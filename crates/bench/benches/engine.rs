@@ -1,0 +1,62 @@
+//! Engine throughput: messages per second through the turn-taking
+//! scheduler, and how each §2 instrumentation strategy loads it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig};
+use tracedbg_workloads::master_worker::{self, PoolConfig};
+use tracedbg_workloads::ring::{self, RingConfig};
+
+fn bench_ring_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_throughput");
+    g.sample_size(10);
+    let rounds = 200usize;
+    for (name, cfg) in [
+        ("off", RecorderConfig::off()),
+        ("markers_only", RecorderConfig::markers_only()),
+        ("comm_only", RecorderConfig::comm_only()),
+        ("full", RecorderConfig::full()),
+    ] {
+        let rcfg = RingConfig {
+            nprocs: 4,
+            rounds,
+            hop_cost: 0,
+        };
+        g.throughput(Throughput::Elements((rounds * rcfg.nprocs) as u64));
+        g.bench_with_input(BenchmarkId::new("strategy", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut e = Engine::launch(
+                    EngineConfig::with_recorder(cfg.clone()),
+                    ring::programs(&rcfg),
+                );
+                assert!(e.run().is_completed());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_scaling");
+    g.sample_size(10);
+    for nprocs in [2usize, 4, 8, 16] {
+        let cfg = PoolConfig {
+            nprocs,
+            tasks: 64,
+            base_cost: 0,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(nprocs), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut e = Engine::launch(
+                    EngineConfig::with_recorder(RecorderConfig::comm_only()),
+                    master_worker::programs(cfg),
+                );
+                assert!(e.run().is_completed());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring_throughput, bench_pool_scaling);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Frontier computation cost (Figure 8 machinery) as traces grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracedbg_causality::{ConcurrencyRegion, Frontier, HbIndex};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig};
+use tracedbg_trace::{EventKind, Rank, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_workloads::lu::{self, LuConfig};
+
+fn lu_trace(sweeps: usize) -> TraceStore {
+    let cfg = LuConfig {
+        nprocs: 8,
+        sweeps,
+        ..Default::default()
+    };
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::full()),
+        lu::programs(&cfg),
+    );
+    assert!(e.run().is_completed());
+    e.trace_store()
+}
+
+fn bench_hb_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hb_index_build");
+    g.sample_size(20);
+    for sweeps in [4usize, 16, 64] {
+        let store = lu_trace(sweeps);
+        let matching = MessageMatching::build(&store);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(store.len()),
+            &(store, matching),
+            |b, (s, m)| b.iter(|| HbIndex::build(s, m)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_frontier_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontier_queries");
+    let store = lu_trace(32);
+    let matching = MessageMatching::build(&store);
+    let hb = HbIndex::build(&store, &matching);
+    let mid = Rank(4);
+    let selected = store
+        .by_rank(mid)
+        .iter()
+        .copied()
+        .find(|&id| store.record(id).kind == EventKind::RecvDone)
+        .unwrap();
+    g.bench_function("past_frontier", |b| {
+        b.iter(|| Frontier::past_of(&store, &hb, selected))
+    });
+    g.bench_function("future_frontier", |b| {
+        b.iter(|| Frontier::future_of(&store, &hb, selected))
+    });
+    g.bench_function("concurrency_region_scan", |b| {
+        b.iter(|| {
+            let r = ConcurrencyRegion::of(&hb, selected);
+            r.concurrent_events(&store).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hb_index, bench_frontier_queries);
+criterion_main!(benches);

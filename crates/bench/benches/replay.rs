@@ -1,0 +1,113 @@
+//! Replay cost: re-executing to a marker threshold as history deepens
+//! (the §6 observation that straightforward replay is O(history)), and
+//! the checkpointed alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::machine::{
+    MachineCtx, MachineEngine, MachineOutcome, MachineProgram, MachineStatus,
+};
+use tracedbg_mpsim::{CostModel, Engine, EngineConfig, SchedPolicy};
+use tracedbg_trace::Rank;
+use tracedbg_workloads::ring::{self, RingConfig};
+
+fn bench_replay_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay_to_marker");
+    g.sample_size(10);
+    for rounds in [16usize, 64, 256] {
+        let cfg = RingConfig {
+            nprocs: 4,
+            rounds,
+            hop_cost: 100,
+        };
+        // Record once to get the final markers and the match log.
+        let mut rec = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::markers_only()),
+            ring::programs(&cfg),
+        );
+        assert!(rec.run().is_completed());
+        let target = rec.markers();
+        let log = rec.match_log();
+        g.bench_with_input(BenchmarkId::new("ring_rounds", rounds), &rounds, |b, _| {
+            b.iter(|| {
+                let mut e = Engine::launch(
+                    EngineConfig {
+                        recorder: RecorderConfig::markers_only(),
+                        replay: Some(log.clone()),
+                        ..Default::default()
+                    },
+                    ring::programs(&cfg),
+                );
+                // Stop halfway through each rank's history.
+                for m in target.iter() {
+                    e.set_threshold(m.rank, Some((m.count / 2).max(1)));
+                }
+                assert!(e.run().is_stopped());
+            })
+        });
+    }
+    g.finish();
+}
+
+struct Ticker {
+    steps: u64,
+    done: u64,
+}
+
+impl MachineProgram for Ticker {
+    fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+        if self.done >= self.steps {
+            return MachineStatus::Finished;
+        }
+        let site = ctx.site("tick.rs", 1, "tick");
+        ctx.compute(10, site);
+        self.done += 1;
+        MachineStatus::Running
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut v = self.steps.to_le_bytes().to_vec();
+        v.extend_from_slice(&self.done.to_le_bytes());
+        v
+    }
+    fn restore(&mut self, bytes: &[u8]) {
+        self.steps = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        self.done = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    }
+}
+
+fn bench_checkpoint_restore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("undo_strategies");
+    g.sample_size(10);
+    let steps = 20_000u64;
+    let make = || {
+        MachineEngine::new(
+            vec![Box::new(Ticker { steps, done: 0 }) as Box<dyn MachineProgram>],
+            RecorderConfig::markers_only(),
+            CostModel::default(),
+            SchedPolicy::RoundRobin,
+            None,
+        )
+    };
+    // Prepare a checkpointed engine stopped mid-way.
+    let mut e = make();
+    e.set_threshold(Rank(0), Some(steps / 2));
+    assert!(matches!(e.run(), MachineOutcome::Stopped(_)));
+    e.clear_thresholds();
+    let cp = e.checkpoint();
+    g.bench_function("replay_from_start_20k", |b| {
+        b.iter(|| {
+            let mut r = make();
+            r.set_threshold(Rank(0), Some(steps / 2));
+            assert!(matches!(r.run(), MachineOutcome::Stopped(_)));
+        })
+    });
+    g.bench_function("checkpoint_restore_20k", |b| {
+        b.iter(|| {
+            e.restore(&cp);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay_depth, bench_checkpoint_restore);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Trace-graph construction cost and the dissemination trade-off (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig};
+use tracedbg_trace::TraceStore;
+use tracedbg_tracegraph::{ActionGraph, CallGraph, CommGraph, MessageMatching, TraceGraph};
+use tracedbg_workloads::ring::{self, RingConfig};
+
+fn trace_of(rounds: usize) -> TraceStore {
+    let cfg = RingConfig {
+        nprocs: 4,
+        rounds,
+        hop_cost: 100,
+    };
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::full()),
+        ring::programs(&cfg),
+    );
+    assert!(e.run().is_completed());
+    e.trace_store()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracegraph_build");
+    g.sample_size(20);
+    for rounds in [32usize, 256] {
+        let store = trace_of(rounds);
+        g.bench_with_input(
+            BenchmarkId::new("unbounded", store.len()),
+            &store,
+            |b, s| b.iter(|| TraceGraph::build(s)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dissemination_32", store.len()),
+            &store,
+            |b, s| b.iter(|| TraceGraph::build_with_limit(s, Some(32))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_derived_graphs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derived_graphs");
+    g.sample_size(20);
+    let store = trace_of(128);
+    let matching = MessageMatching::build(&store);
+    let tg = TraceGraph::build(&store);
+    g.bench_function("matching", |b| b.iter(|| MessageMatching::build(&store)));
+    g.bench_function("callgraph_projection", |b| {
+        b.iter(|| CallGraph::project(&tg, tracedbg_trace::Rank(0)))
+    });
+    g.bench_function("commgraph", |b| b.iter(|| CommGraph::build(&store, &matching)));
+    g.bench_function("actiongraph", |b| b.iter(|| ActionGraph::build(&store)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_derived_graphs);
+criterion_main!(benches);

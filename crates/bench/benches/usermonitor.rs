@@ -1,0 +1,61 @@
+//! Criterion microbenches behind Table 1: the per-event cost of each
+//! instrumentation strategy, and instrumented vs plain Fibonacci.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tracedbg_instrument::{Recorder, RecorderConfig};
+use tracedbg_mpsim::{Engine, EngineConfig};
+use tracedbg_trace::{EventKind, Rank, SiteId, TraceRecord};
+use tracedbg_workloads::fib;
+
+fn bench_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recorder_observe");
+    for (name, cfg) in [
+        ("markers_only", RecorderConfig::markers_only()),
+        ("comm_only", RecorderConfig::comm_only()),
+        ("full", RecorderConfig::full()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || Recorder::new(Rank(0), cfg.clone()),
+                |r| {
+                    for i in 0..1000u64 {
+                        let rec = TraceRecord::basic(0u32, EventKind::FnEnter, 0, i)
+                            .with_site(SiteId(3))
+                            .with_args(i as i64, 0);
+                        black_box(r.observe(rec));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fib_table1");
+    g.sample_size(10);
+    g.bench_function("plain_fib20", |b| {
+        b.iter(|| black_box(fib::fib_plain(black_box(20))))
+    });
+    for (name, cfg) in [
+        ("engine_off_fib20", RecorderConfig::off()),
+        ("engine_usermonitor_fib20", RecorderConfig::markers_only()),
+        ("engine_full_fib20", RecorderConfig::full()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = Engine::launch(
+                    EngineConfig::with_recorder(cfg.clone()),
+                    vec![fib::program(20)],
+                );
+                assert!(e.run().is_completed());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_fib);
+criterion_main!(benches);

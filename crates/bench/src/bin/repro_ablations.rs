@@ -1,0 +1,207 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **Dissemination** (§4.3): the trace graph's stored arc count with
+//!    and without the merge limit, as execution length grows. Claim: the
+//!    capped graph's size is (nearly) independent of execution length
+//!    while representing every primitive arc.
+//! 2. **Checkpointed undo** (§6 future work): wall time of returning to a
+//!    mid-execution state by replay-from-start (the paper's
+//!    implementation) vs restoring a checkpoint (the proposed
+//!    improvement), as a function of history depth.
+
+use std::time::Instant;
+use tracedbg_bench::{write_artifact, TextTable};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::machine::{
+    MachineCtx, MachineEngine, MachineOutcome, MachineProgram, MachineStatus,
+};
+use tracedbg_mpsim::{CostModel, Engine, EngineConfig, SchedPolicy};
+use tracedbg_trace::Rank;
+use tracedbg_tracegraph::TraceGraph;
+use tracedbg_workloads::ring::{self, RingConfig};
+
+fn dissemination_table() -> String {
+    let mut table = TextTable::new(&[
+        "rounds",
+        "events",
+        "arcs (unbounded)",
+        "arcs (limit 32)",
+        "primitive arcs",
+    ]);
+    for rounds in [8usize, 32, 128, 512] {
+        let cfg = RingConfig {
+            nprocs: 4,
+            rounds,
+            hop_cost: 100,
+        };
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            ring::programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        let full = TraceGraph::build(&store);
+        let capped = TraceGraph::build_with_limit(&store, Some(32));
+        assert_eq!(full.n_primitive_arcs(), capped.n_primitive_arcs());
+        table.row(&[
+            rounds.to_string(),
+            store.len().to_string(),
+            full.n_arcs().to_string(),
+            capped.n_arcs().to_string(),
+            capped.n_primitive_arcs().to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// A counting machine for the checkpoint ablation. Snapshot is hand-rolled
+/// (two u64s) — no serialization framework needed.
+struct Ticker {
+    steps: u64,
+    done: u64,
+}
+
+impl MachineProgram for Ticker {
+    fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+        if self.done >= self.steps {
+            return MachineStatus::Finished;
+        }
+        let site = ctx.site("tick.rs", 1, "tick");
+        ctx.compute(100, site);
+        self.done += 1;
+        MachineStatus::Running
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut v = self.steps.to_le_bytes().to_vec();
+        v.extend_from_slice(&self.done.to_le_bytes());
+        v
+    }
+
+    fn restore(&mut self, bytes: &[u8]) {
+        self.steps = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        self.done = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    }
+}
+
+fn machine(steps: u64) -> MachineEngine {
+    MachineEngine::new(
+        vec![
+            Box::new(Ticker { steps, done: 0 }),
+            Box::new(Ticker { steps, done: 0 }),
+        ],
+        RecorderConfig::markers_only(),
+        CostModel::default(),
+        SchedPolicy::RoundRobin,
+        None,
+    )
+}
+
+fn undo_table() -> String {
+    let mut table = TextTable::new(&[
+        "history depth (events)",
+        "replay-from-start (µs)",
+        "checkpoint restore (µs)",
+        "speedup",
+    ]);
+    for steps in [1_000u64, 10_000, 50_000] {
+        // Run to a mid-point stop, checkpoint there, then run to the end.
+        let mut e = machine(steps);
+        let half = steps; // ProcStart + computes: stop rank 0 mid-way
+        e.set_threshold(Rank(0), Some(half / 2));
+        assert!(matches!(e.run(), MachineOutcome::Stopped(_)));
+        e.clear_thresholds();
+        let cp = e.checkpoint();
+        let target = e.markers();
+        e.resume_trapped();
+        assert!(matches!(e.run(), MachineOutcome::Completed));
+
+        // Undo via replay-from-start: fresh engine, thresholds at target.
+        let t0 = Instant::now();
+        let mut replay = machine(steps);
+        for m in target.iter() {
+            replay.set_threshold(m.rank, Some(m.count));
+        }
+        assert!(matches!(replay.run(), MachineOutcome::Stopped(_)));
+        let replay_time = t0.elapsed();
+        assert_eq!(replay.markers().get(Rank(0)), target.get(Rank(0)));
+
+        // Undo via checkpoint restore.
+        let t0 = Instant::now();
+        e.restore(&cp);
+        let restore_time = t0.elapsed();
+        assert_eq!(e.markers(), target);
+
+        table.row(&[
+            steps.to_string(),
+            format!("{:.1}", replay_time.as_secs_f64() * 1e6),
+            format!("{:.1}", restore_time.as_secs_f64() * 1e6),
+            format!(
+                "{:.0}x",
+                replay_time.as_secs_f64() / restore_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    table.render()
+}
+
+/// The session-level view: with the checkpointed `MachineSession`, how
+/// many events does a backward jump actually re-execute, as a fraction of
+/// history?
+fn session_jump_table() -> String {
+    use tracedbg_debugger::{MachineFactory, MachineSession};
+    let mut table = TextTable::new(&[
+        "history (events)",
+        "jump target",
+        "events re-executed",
+        "fraction of history",
+    ]);
+    for steps in [2_000u64, 20_000] {
+        let factory: MachineFactory = Box::new(move || {
+            vec![
+                Box::new(Ticker { steps, done: 0 }) as Box<dyn MachineProgram>,
+                Box::new(Ticker { steps, done: 0 }),
+            ]
+        });
+        let mut s = MachineSession::launch(
+            factory,
+            tracedbg_instrument::RecorderConfig::markers_only(),
+            256,
+        );
+        assert!(s.run().is_completed());
+        let end = s.markers();
+        let total: u64 = end.counts().iter().sum();
+        for (label, num, den) in [("25%", 1u64, 4u64), ("50%", 1, 2), ("90%", 9, 10)] {
+            let target = tracedbg_trace::MarkerVector::from_counts(
+                end.counts().iter().map(|c| c * num / den).collect(),
+            );
+            s.steps_replayed = 0;
+            assert!(s.replay_to(&target).is_stopped());
+            table.row(&[
+                total.to_string(),
+                label.to_string(),
+                s.steps_replayed.to_string(),
+                format!("{:.4}", s.steps_replayed as f64 / total as f64),
+            ]);
+        }
+    }
+    table.render()
+}
+
+fn main() {
+    let d = dissemination_table();
+    println!("ABLATION 1 — dissemination bounds the trace graph (§4.3)\n");
+    println!("{d}");
+    let u = undo_table();
+    println!("ABLATION 2 — undo: replay-from-start vs checkpoint restore (§6)\n");
+    println!("{u}");
+    let j = session_jump_table();
+    println!("ABLATION 3 — checkpointed session: re-executed events per jump\n");
+    println!("{j}");
+    let report = format!(
+        "ABLATION 1 — dissemination\n\n{d}\nABLATION 2 — undo strategies\n\n{u}\n\
+         ABLATION 3 — checkpointed session jumps\n\n{j}"
+    );
+    let p = write_artifact("ablations.txt", &report);
+    println!("wrote {}", p.display());
+}

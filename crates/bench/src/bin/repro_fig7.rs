@@ -1,0 +1,106 @@
+//! Figure 7 — "Identification of the incorrect send destination with
+//! p2d2."
+//!
+//! The scripted debugging session of §4.1: run the buggy program, set a
+//! stopline before the distribution, replay, and step through `MatrSend`'s
+//! loop until the probed destination exposes the `jres`-vs-`jres+1` bug.
+//! The transcript is the artifact.
+
+use std::fmt::Write as _;
+use tracedbg_bench::write_artifact;
+use tracedbg_debugger::{CommandInterface, Session, SessionConfig, Stopline};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_trace::EventKind;
+use tracedbg_workloads::strassen::{self, StrassenConfig, Variant};
+
+fn main() {
+    let cfg = StrassenConfig::figures(Variant::JresBug);
+    let session = Session::launch(
+        SessionConfig {
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        Box::new(strassen::factory(cfg)),
+    );
+    let mut ci = CommandInterface::new(session);
+    let mut transcript = String::new();
+
+    // Run to the hang, analyze.
+    let _ = writeln!(transcript, "{}", ci.execute("run"));
+    let _ = writeln!(transcript, "{}", ci.execute("analyze"));
+
+    // Stopline before the first send (from the timeline, as in Figure 6).
+    let trace = ci.session().trace();
+    let first_send_t = trace
+        .records()
+        .iter()
+        .filter(|r| r.kind == EventKind::Send)
+        .map(|r| r.t_start)
+        .min()
+        .unwrap();
+    let stopline = Stopline::vertical(&trace, first_send_t.saturating_sub(1));
+    let cmd = format!(
+        "stopline markers {}",
+        stopline
+            .markers
+            .counts()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let _ = writeln!(transcript, "{}", ci.execute(&cmd));
+    let _ = writeln!(transcript, "{}", ci.execute("replay"));
+
+    // A location breakpoint on MatrSend gets the user into the loop
+    // directly ("a few step operations would lead the user to the loop of
+    // MatrSend") — our debugger supports both routes; show the breakpoint.
+    let b = ci.execute("break MatrSend");
+    let _ = writeln!(transcript, "{b}");
+    assert!(!b.contains("0 site(s)"), "MatrSend sites must resolve: {b}");
+    let c = ci.execute("continue");
+    let _ = writeln!(transcript, "{c}");
+    let why = ci.execute("why 0");
+    let _ = writeln!(transcript, "{why}");
+    assert!(why.contains("Breakpoint"), "{why}");
+    let _ = writeln!(transcript, "{}", ci.execute("delete breaks"));
+
+    // "a few step operations would lead the user to the loop of MatrSend.
+    // Stepping through the loop, the user will find that jres should be
+    // replaced by jres+1 in line 161."
+    let mut destinations = Vec::new();
+    for _ in 0..40 {
+        let out = ci.execute("step 0");
+        let _ = writeln!(transcript, "{out}");
+        let probe = ci.execute("probe 0 jres");
+        if let Some(v) = probe
+            .lines()
+            .last()
+            .and_then(|l| l.rsplit('=').next())
+            .and_then(|v| v.trim().parse::<i64>().ok())
+        {
+            if destinations.last() != Some(&v) {
+                destinations.push(v);
+                let _ = writeln!(transcript, "{probe}");
+                let w = ci.execute("where 0");
+                let _ = writeln!(transcript, "{w}");
+            }
+        }
+        if destinations.len() >= 3 {
+            break;
+        }
+    }
+    assert_eq!(
+        destinations.first(),
+        Some(&0),
+        "the first B-part goes to rank 0 — it should go to rank 1"
+    );
+    let verdict = "VERDICT: MatrSend (strassen.c:161) uses `jres` as the destination \
+                   of the second submatrix; it should be `jres+1`.";
+    let _ = writeln!(transcript, "{verdict}");
+
+    println!("FIGURE 7 — scripted p2d2 session finding the bad send destination\n");
+    println!("{transcript}");
+    let p = write_artifact("fig7_session.txt", &transcript);
+    println!("wrote {}", p.display());
+}

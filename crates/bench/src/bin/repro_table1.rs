@@ -1,0 +1,124 @@
+//! Table 1 — instrumentation overhead.
+//!
+//! Paper (SGI workstations, 1998):
+//!
+//! |                  | Strassen 96·128·112 | Strassen 192·256·224 | fib(34)   | fib(35)   |
+//! | number of calls  | 136                 | 136                  | 18454930  | 29860704  |
+//! | time (uninstr.)  | 8.19 s              | 28.72 s              | 5.17 s    | 8.36 s    |
+//! | time (instr.)    | 8.46 s (+3%)        | 28.77 s (+0.2%)      | 20.98 s (4.1×) | 34.12 s (4.1×) |
+//!
+//! This harness runs the same two workloads on the simulated runtime with
+//! the `UserMonitor` instrumentation on (`Strategy::MarkersOnly`) and
+//! fully off (`Strategy::Off`) and reports the same rows. Absolute times
+//! differ (different machine, simulated message passing, smaller inputs so
+//! the harness finishes in seconds); the **shape** is the claim: for a
+//! coarse-grained program (Strassen: a handful of monitor calls around
+//! large multiplies) the overhead is ~zero, for a pathologically
+//! fine-grained one (recursive Fibonacci: one monitor call per two machine
+//! instructions' worth of work) instrumentation dominates.
+
+use tracedbg_bench::{median_time, secs, write_artifact, TextTable};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig};
+use tracedbg_workloads::fib;
+use tracedbg_workloads::strassen::{self, StrassenConfig, Variant};
+
+fn run_strassen(n: usize, instrumented: bool) -> u64 {
+    let cfg = StrassenConfig {
+        n,
+        nprocs: 4,
+        variant: Variant::Correct,
+        seed: 5,
+        cutoff: 32,
+    };
+    let rc = if instrumented {
+        RecorderConfig::markers_only()
+    } else {
+        RecorderConfig::off()
+    };
+    let mut e = Engine::launch(EngineConfig::with_recorder(rc), strassen::programs(&cfg));
+    assert!(e.run().is_completed());
+    e.invocations().iter().sum()
+}
+
+fn run_fib(n: u64, instrumented: bool) -> u64 {
+    let rc = if instrumented {
+        RecorderConfig::markers_only()
+    } else {
+        RecorderConfig::off()
+    };
+    let mut e = Engine::launch(EngineConfig::with_recorder(rc), vec![fib::program(n)]);
+    assert!(e.run().is_completed());
+    e.invocations().iter().sum()
+}
+
+fn main() {
+    let reps = 3;
+    let mut table = TextTable::new(&[
+        "workload",
+        "input",
+        "monitor calls",
+        "time uninstr (s)",
+        "time instr (s)",
+        "ratio",
+    ]);
+
+    // Strassen distributed multiply on 4 processes, two sizes (the paper
+    // used 96·128·112 and 192·256·224; square analogues here).
+    for n in [96usize, 192] {
+        let t_off = median_time(reps, || {
+            run_strassen(n, false);
+        });
+        let t_on = median_time(reps, || {
+            run_strassen(n, true);
+        });
+        let calls = run_strassen(n, true);
+        table.row(&[
+            "strassen 4p".into(),
+            format!("{n}x{n}"),
+            calls.to_string(),
+            secs(t_off),
+            secs(t_on),
+            format!("{:.2}x", t_on.as_secs_f64() / t_off.as_secs_f64()),
+        ]);
+    }
+
+    // Recursive Fibonacci (the paper's 34/35 make ~18M/30M calls; 27/29
+    // keep this harness interactive while preserving the call-density
+    // regime — scale up with REPRO_FIB=34 if desired).
+    let fib_inputs: Vec<u64> = std::env::var("REPRO_FIB")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: u64| vec![n.saturating_sub(1), n])
+        .unwrap_or_else(|| vec![27, 29]);
+    for &n in &fib_inputs {
+        let t_off = median_time(reps, || {
+            run_fib(n, false);
+        });
+        let t_on = median_time(reps, || {
+            run_fib(n, true);
+        });
+        let calls = run_fib(n, true);
+        table.row(&[
+            "fibonacci".into(),
+            format!("fib({n})"),
+            calls.to_string(),
+            secs(t_off),
+            secs(t_on),
+            format!("{:.2}x", t_on.as_secs_f64() / t_off.as_secs_f64()),
+        ]);
+        // The call-count row is exact: 2·(2·fib(n+1)−1)+3 monitor events
+        // (enter+exit per call, ProcStart/End, result probe).
+        assert_eq!(calls, 2 * fib::fib_call_count(n) + 3);
+    }
+
+    let rendered = table.render();
+    println!("TABLE 1 — instrumentation overhead (UserMonitor on vs off)\n");
+    println!("{rendered}");
+    println!(
+        "paper shape: Strassen ratio ~1.0 (coarse-grained); Fibonacci ratio >> 1\n\
+         (fine-grained; the paper measured ~4.1x on 1998 hardware)."
+    );
+    let path = write_artifact("table1_overhead.txt", &rendered);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,127 @@
+//! Post-hoc deadlock detection from a trace (§4.4).
+//!
+//! "When provided with the history trace, the debugger is also able to
+//! detect deadlocks due to circular dependency in sends or receives."
+//!
+//! Unlike the runtime detector in `mpsim` (which sees live scheduler
+//! state), this analysis works on a trace file alone: processes whose last
+//! communication construct is an uncompleted `RecvPost` are blocked; a
+//! cycle among their awaited sources is a circular wait.
+
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_trace::{EventId, Rank, TraceStore};
+
+/// A circular wait found in the trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircularWait {
+    /// Ranks on the cycle, sorted.
+    pub ranks: Vec<Rank>,
+    /// The blocked receive posts of those ranks.
+    pub posts: Vec<EventId>,
+}
+
+/// Detect circular waits among the trace's blocked receives.
+pub fn detect_circular_waits(
+    store: &TraceStore,
+    matching: &MessageMatching,
+) -> Vec<CircularWait> {
+    let _ = store;
+    use std::collections::HashMap;
+    // waiter -> (awaited, post)
+    let mut edge: HashMap<Rank, (Rank, EventId)> = HashMap::new();
+    for ur in &matching.unmatched_recvs {
+        if let Some(src) = ur.src {
+            edge.insert(ur.rank, (src, ur.post));
+        }
+    }
+    let mut cycles: Vec<CircularWait> = Vec::new();
+    let mut on_known_cycle: std::collections::HashSet<Rank> = Default::default();
+    for &start in edge.keys() {
+        if on_known_cycle.contains(&start) {
+            continue;
+        }
+        let mut path: Vec<Rank> = vec![start];
+        let mut cur = start;
+        #[allow(clippy::while_let_loop)] // the None arm documents "walked out of the blocked set"
+        loop {
+            match edge.get(&cur) {
+                Some(&(next, _)) => {
+                    if let Some(pos) = path.iter().position(|&r| r == next) {
+                        let mut ranks: Vec<Rank> = path[pos..].to_vec();
+                        ranks.sort();
+                        if !on_known_cycle.contains(&ranks[0]) {
+                            let posts = ranks
+                                .iter()
+                                .map(|r| edge[r].1)
+                                .collect();
+                            for r in &ranks {
+                                on_known_cycle.insert(*r);
+                            }
+                            cycles.push(CircularWait { ranks, posts });
+                        }
+                        break;
+                    }
+                    path.push(next);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+    }
+    cycles.sort_by_key(|c| c.ranks.clone());
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{EventKind, SiteTable, TraceRecord};
+
+    fn post(rank: u32, marker: u64, t: u64, src: i64) -> TraceRecord {
+        TraceRecord::basic(rank, EventKind::RecvPost, marker, t).with_args(src, -1)
+    }
+
+    #[test]
+    fn figure5_cycle_found() {
+        // P0 blocked on P7, P7 blocked on P0 (8-rank run).
+        let recs = vec![post(0, 5, 100, 7), post(7, 3, 90, 0)];
+        let store = TraceStore::build(recs, SiteTable::new(), 8);
+        let mm = MessageMatching::build(&store);
+        let cycles = detect_circular_waits(&store, &mm);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].ranks, vec![Rank(0), Rank(7)]);
+        assert_eq!(cycles[0].posts.len(), 2);
+    }
+
+    #[test]
+    fn chain_is_not_a_cycle() {
+        let recs = vec![post(0, 1, 0, 1), post(1, 1, 0, 2)];
+        let store = TraceStore::build(recs, SiteTable::new(), 3);
+        let mm = MessageMatching::build(&store);
+        assert!(detect_circular_waits(&store, &mm).is_empty());
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let recs = vec![
+            post(0, 1, 0, 1),
+            post(1, 1, 0, 0),
+            post(2, 1, 0, 3),
+            post(3, 1, 0, 2),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 4);
+        let mm = MessageMatching::build(&store);
+        let cycles = detect_circular_waits(&store, &mm);
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].ranks, vec![Rank(0), Rank(1)]);
+        assert_eq!(cycles[1].ranks, vec![Rank(2), Rank(3)]);
+    }
+
+    #[test]
+    fn wildcard_wait_is_not_circular() {
+        let recs = vec![post(0, 1, 0, -1), post(1, 1, 0, 0)];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        assert!(detect_circular_waits(&store, &mm).is_empty());
+    }
+}

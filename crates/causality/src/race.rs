@@ -1,0 +1,220 @@
+//! Message race detection (§4.4, after Netzer et al.).
+//!
+//! "If however the program is multithreaded, then message racing can
+//! occur. In this case the user might want to turn on the race detection
+//! feature of the debugger."
+//!
+//! A wildcard (`MPI_ANY_SOURCE`) receive races when some *other* send
+//! could have been delivered to it instead of the one that was: the
+//! alternative send targets the same destination with an admissible tag
+//! and is not causally ordered after the receive's completion (if it were,
+//! it could never have arrived in time in any execution).
+
+use crate::hb::HbIndex;
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_trace::{EventId, EventKind, Rank, TraceStore};
+
+/// One racing wildcard receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageRace {
+    /// The completed wildcard receive.
+    pub recv: EventId,
+    /// The send it actually matched.
+    pub actual_send: EventId,
+    /// Other sends that could have matched it instead.
+    pub alternatives: Vec<EventId>,
+}
+
+/// Find all message races in a trace.
+///
+/// For each `RecvDone` whose `RecvPost` used a wildcard source, collect
+/// alternative sends: different source, same destination, admissible tag,
+/// not happening-after the receive, and not consumed by an *earlier*
+/// receive on the same destination.
+pub fn detect_races(
+    store: &TraceStore,
+    matching: &MessageMatching,
+    hb: &HbIndex,
+) -> Vec<MessageRace> {
+    let mut races = Vec::new();
+    // All sends, by destination.
+    let sends: Vec<EventId> = store.of_kind(EventKind::Send);
+    for r in 0..store.n_ranks() {
+        let rank = Rank(r as u32);
+        let lane = store.by_rank(rank);
+        // Walk posts and dones in program order, remembering the wildcard
+        // flag and tag of the pending post.
+        let mut pending: Option<(bool, i64)> = None;
+        for &id in lane {
+            let rec = store.record(id);
+            match rec.kind {
+                EventKind::RecvPost => {
+                    pending = Some((rec.args[0] < 0, rec.args[1]));
+                }
+                EventKind::RecvDone => {
+                    let Some((wildcard_src, want_tag)) = pending.take() else {
+                        continue;
+                    };
+                    if !wildcard_src {
+                        continue;
+                    }
+                    let Some(m) = matching.match_of_recv(id) else {
+                        continue;
+                    };
+                    let actual_src = m.info.src;
+                    let mut alternatives = Vec::new();
+                    for &s in &sends {
+                        let srec = store.record(s);
+                        let info = srec.msg.unwrap();
+                        if info.dst != rank || info.src == actual_src {
+                            continue;
+                        }
+                        if want_tag >= 0 && info.tag.0 as i64 != want_tag {
+                            continue;
+                        }
+                        // A send causally after the receive's completion
+                        // could never have raced with it.
+                        if hb.happens_before(store, id, s) {
+                            continue;
+                        }
+                        // A send whose own receive happens before this
+                        // receive was already consumed earlier; it was not
+                        // available.
+                        if let Some(other) = matching.match_of_send(s) {
+                            if hb.happens_before(store, other.recv, id)
+                                || other.recv == id
+                            {
+                                continue;
+                            }
+                        }
+                        alternatives.push(s);
+                    }
+                    if !alternatives.is_empty() {
+                        races.push(MessageRace {
+                            recv: id,
+                            actual_send: m.send,
+                            alternatives,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    races
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{MsgInfo, SiteTable, Tag, TraceRecord};
+
+    fn msg(src: u32, dst: u32, tag: i32, seq: u64) -> MsgInfo {
+        MsgInfo {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag(tag),
+            bytes: 8,
+            seq,
+        }
+    }
+
+    /// Two senders race to a single wildcard receive on P0.
+    fn racy_store() -> TraceStore {
+        let m1 = msg(1, 0, 5, 0);
+        let m2 = msg(2, 0, 5, 0);
+        let recs = vec![
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+                .with_span(0, 2)
+                .with_msg(m1),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 1)
+                .with_span(1, 3)
+                .with_msg(m2),
+            TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(-1, 5),
+            TraceRecord::basic(0u32, EventKind::RecvDone, 2, 4)
+                .with_span(4, 10)
+                .with_msg(m1),
+            // The losing message is received later by a second wildcard.
+            TraceRecord::basic(0u32, EventKind::RecvPost, 3, 10).with_args(-1, 5),
+            TraceRecord::basic(0u32, EventKind::RecvDone, 4, 10)
+                .with_span(10, 12)
+                .with_msg(m2),
+        ];
+        TraceStore::build(recs, SiteTable::new(), 3)
+    }
+
+    fn analyze(store: &TraceStore) -> Vec<MessageRace> {
+        let mm = MessageMatching::build(store);
+        let hb = HbIndex::build(store, &mm);
+        detect_races(store, &mm, &hb)
+    }
+
+    #[test]
+    fn wildcard_race_detected() {
+        let s = racy_store();
+        let races = analyze(&s);
+        // The first receive raced (P2's message was also available). The
+        // second receive had no choice: P1's message was already consumed
+        // by the first (causally earlier) receive.
+        assert_eq!(races.len(), 1);
+        assert_eq!(s.record(races[0].recv).marker, 2);
+        assert_eq!(races[0].alternatives.len(), 1);
+        let alt = s.record(races[0].alternatives[0]);
+        assert_eq!(alt.msg.unwrap().src, Rank(2));
+    }
+
+    #[test]
+    fn specific_source_recv_never_races() {
+        let m1 = msg(1, 0, 5, 0);
+        let m2 = msg(2, 0, 5, 0);
+        let recs = vec![
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0).with_span(0, 2).with_msg(m1),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 1).with_span(1, 3).with_msg(m2),
+            TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(1, 5),
+            TraceRecord::basic(0u32, EventKind::RecvDone, 2, 4)
+                .with_span(4, 10)
+                .with_msg(m1),
+        ];
+        let s = TraceStore::build(recs, SiteTable::new(), 3);
+        assert!(analyze(&s).is_empty());
+    }
+
+    #[test]
+    fn tag_mismatch_is_not_an_alternative() {
+        let m1 = msg(1, 0, 5, 0);
+        let m2 = msg(2, 0, 6, 0); // different tag
+        let recs = vec![
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0).with_span(0, 2).with_msg(m1),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 1).with_span(1, 3).with_msg(m2),
+            TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(-1, 5),
+            TraceRecord::basic(0u32, EventKind::RecvDone, 2, 4)
+                .with_span(4, 10)
+                .with_msg(m1),
+        ];
+        let s = TraceStore::build(recs, SiteTable::new(), 3);
+        assert!(analyze(&s).is_empty());
+    }
+
+    #[test]
+    fn causally_later_send_is_not_a_race() {
+        // P0 wildcard-receives from P1, then sends to P2, which triggers
+        // P2's send back to P0: that send could never have raced.
+        let m1 = msg(1, 0, 5, 0);
+        let trigger = msg(0, 2, 9, 0);
+        let m2 = msg(2, 0, 5, 0);
+        let recs = vec![
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0).with_span(0, 2).with_msg(m1),
+            TraceRecord::basic(0u32, EventKind::RecvPost, 1, 3).with_args(-1, 5),
+            TraceRecord::basic(0u32, EventKind::RecvDone, 2, 3)
+                .with_span(3, 5)
+                .with_msg(m1),
+            TraceRecord::basic(0u32, EventKind::Send, 3, 5).with_span(5, 6).with_msg(trigger),
+            TraceRecord::basic(2u32, EventKind::RecvDone, 1, 7)
+                .with_span(7, 8)
+                .with_msg(trigger),
+            TraceRecord::basic(2u32, EventKind::Send, 2, 8).with_span(8, 9).with_msg(m2),
+        ];
+        let s = TraceStore::build(recs, SiteTable::new(), 3);
+        assert!(analyze(&s).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Vector clocks over process events.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock: component `r` counts events of rank `r` in the causal
+/// past (inclusive of the event itself for its own rank).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    v: Vec<u64>,
+}
+
+impl VectorClock {
+    pub fn zero(n: usize) -> Self {
+        VectorClock { v: vec![0; n] }
+    }
+
+    pub fn from_components(v: Vec<u64>) -> Self {
+        VectorClock { v }
+    }
+
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    pub fn get(&self, r: usize) -> u64 {
+        self.v[r]
+    }
+
+    pub fn set(&mut self, r: usize, val: u64) {
+        self.v[r] = val;
+    }
+
+    /// Tick one component (a local event on rank `r`).
+    pub fn inc(&mut self, r: usize) {
+        self.v[r] += 1;
+    }
+
+    /// Componentwise maximum (message receipt).
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.v.len(), other.v.len());
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Componentwise `<=`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.v.len() == other.v.len() && self.v.iter().zip(&other.v).all(|(a, b)| a <= b)
+    }
+
+    /// Strictly less: `<=` and different.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Neither ordered way: concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Partial-order comparison.
+    pub fn partial_cmp_vc(&self, other: &VectorClock) -> Option<Ordering> {
+        if self == other {
+            Some(Ordering::Equal)
+        } else if self.le(other) {
+            Some(Ordering::Less)
+        } else if other.le(self) {
+            Some(Ordering::Greater)
+        } else {
+            None
+        }
+    }
+
+    pub fn components(&self) -> &[u64] {
+        &self.v
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_and_merge() {
+        let mut a = VectorClock::zero(3);
+        a.inc(0);
+        a.inc(0);
+        let mut b = VectorClock::zero(3);
+        b.inc(1);
+        b.merge(&a);
+        assert_eq!(b.components(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = VectorClock::from_components(vec![1, 0]);
+        let b = VectorClock::from_components(vec![1, 2]);
+        let c = VectorClock::from_components(vec![0, 1]);
+        assert!(a.lt(&b));
+        assert!(!b.lt(&a));
+        assert!(a.concurrent(&c));
+        assert_eq!(a.partial_cmp_vc(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_vc(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_vc(&c), None);
+        assert_eq!(a.partial_cmp_vc(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn le_rejects_length_mismatch() {
+        let a = VectorClock::zero(2);
+        let b = VectorClock::zero(3);
+        assert!(!a.le(&b));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: vector clock laws and cut algebra.
+
+use proptest::prelude::*;
+use tracedbg_causality::VectorClock;
+use tracedbg_trace::MarkerVector;
+
+fn arb_vc(n: usize) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..50, n).prop_map(VectorClock::from_components)
+}
+
+fn arb_mv(n: usize) -> impl Strategy<Value = MarkerVector> {
+    proptest::collection::vec(0u64..50, n).prop_map(MarkerVector::from_counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vc_le_is_a_partial_order(a in arb_vc(4), b in arb_vc(4), c in arb_vc(4)) {
+        prop_assert!(a.le(&a), "reflexive");
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c), "transitive");
+        }
+    }
+
+    #[test]
+    fn vc_merge_is_lub(a in arb_vc(4), b in arb_vc(4)) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(a.le(&m) && b.le(&m), "upper bound");
+        // Least: any other upper bound dominates m.
+        let mut wit = a.clone();
+        wit.merge(&b);
+        prop_assert!(m.le(&wit));
+        // Commutative.
+        let mut m2 = b.clone();
+        m2.merge(&a);
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn vc_concurrency_is_symmetric_and_irreflexive(a in arb_vc(4), b in arb_vc(4)) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        prop_assert!(!a.concurrent(&a));
+        // Trichotomy-ish: exactly one of <=, >=, concurrent (with overlap
+        // on equality for <= and >=).
+        let le = a.le(&b);
+        let ge = b.le(&a);
+        let conc = a.concurrent(&b);
+        prop_assert!(le || ge || conc);
+        prop_assert!(!(conc && (le || ge)));
+    }
+
+    #[test]
+    fn vc_inc_strictly_increases(a in arb_vc(4), r in 0usize..4) {
+        let mut b = a.clone();
+        b.inc(r);
+        prop_assert!(a.lt(&b));
+        prop_assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn marker_vector_meet_is_glb(a in arb_mv(5), b in arb_mv(5)) {
+        let m = a.meet(&b);
+        prop_assert!(m.le(&a) && m.le(&b), "lower bound");
+        // Greatest: the meet dominates any common lower bound; test with
+        // the zero vector and with the meet itself.
+        prop_assert!(MarkerVector::zero(5).le(&m) || m.counts().contains(&0));
+        prop_assert_eq!(a.meet(&b), b.meet(&a), "commutative");
+        let idem = a.meet(&a);
+        prop_assert_eq!(idem, a.clone(), "idempotent");
+    }
+
+    #[test]
+    fn marker_vector_le_consistent_with_meet(a in arb_mv(5), b in arb_mv(5)) {
+        if a.le(&b) {
+            prop_assert_eq!(a.meet(&b), a.clone());
+        }
+        if a.meet(&b) == a {
+            prop_assert!(a.le(&b));
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! `tracedbg` — command-line front end.
+//!
+//! ```text
+//! tracedbg run <workload> [--trace out.trc] [--seed N] [--procs N]
+//! tracedbg view <trace.trc> [--width N] [--svg out.svg] [--window lo:hi]
+//! tracedbg analyze <trace.trc>
+//! tracedbg report <trace.trc> -o report.html
+//! tracedbg graph <trace.trc> --kind comm|call|trace [--format dot|vcg] [--rank N]
+//! tracedbg debug <workload> [--seed N] [--procs N] [-e CMD]...
+//! tracedbg workloads
+//! ```
+//!
+//! Workloads: `strassen`, `strassen-bug`, `lu`, `ring`, `pool`,
+//! `fib:<n>`, `random:<transfers>`, `script:<path>`.
+//!
+//! `debug` opens the p2d2-style command loop (`run`, `analyze`,
+//! `stopline t <ns>`, `replay`, `step <rank>`, `probe <rank> <label>`,
+//! `break <func|file:line>`, `watch <label> == <v>`, `undo`, ...); with
+//! `-e` commands it runs non-interactively.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use tracedbg::prelude::*;
+use tracedbg::trace::file::{read_text, write_text, TraceFile};
+use tracedbg::trace::file::{read_binary, write_binary};
+use tracedbg::tracegraph::{ActionGraph, Profile};
+use tracedbg::viz::{dot, vcg};
+use tracedbg::workloads::{heat, lu, master_worker, random_comm, ring, script, strassen};
+
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--") && !v.starts_with("-e"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_string(), value));
+            } else if a == "-e" {
+                let cmd = it.next().cloned().unwrap_or_default();
+                flags.push(("e".into(), Some(cmd)));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Opts { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flag(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn commands(&self) -> Vec<String> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == "e")
+            .filter_map(|(_, v)| v.clone())
+            .collect()
+    }
+}
+
+fn workload_factory(
+    name: &str,
+    seed: u64,
+    procs: usize,
+) -> Result<(ProgramFactory, usize), String> {
+    let f: (ProgramFactory, usize) = match name {
+        "strassen" | "strassen-bug" => {
+            let cfg = strassen::StrassenConfig {
+                n: 32,
+                nprocs: procs.max(2),
+                variant: if name == "strassen-bug" {
+                    strassen::Variant::JresBug
+                } else {
+                    strassen::Variant::Correct
+                },
+                seed,
+                cutoff: 8,
+            };
+            let n = cfg.nprocs;
+            (Box::new(strassen::factory(cfg)), n)
+        }
+        "lu" => {
+            let cfg = lu::LuConfig {
+                nprocs: procs.max(2),
+                ..Default::default()
+            };
+            let n = cfg.nprocs;
+            (Box::new(lu::factory(cfg)), n)
+        }
+        "ring" => {
+            let cfg = ring::RingConfig {
+                nprocs: procs.max(2),
+                ..Default::default()
+            };
+            let n = cfg.nprocs;
+            (Box::new(ring::factory(cfg)), n)
+        }
+        "heat" => {
+            let cfg = heat::HeatConfig {
+                nprocs: procs.max(2),
+                ..Default::default()
+            };
+            let n = cfg.nprocs;
+            (Box::new(heat::factory(cfg)), n)
+        }
+        "pool" => {
+            let cfg = master_worker::PoolConfig {
+                nprocs: procs.max(2),
+                ..Default::default()
+            };
+            let n = cfg.nprocs;
+            (Box::new(master_worker::factory(cfg)), n)
+        }
+        other => {
+            if let Some(n) = other.strip_prefix("fib:") {
+                let n: u64 = n.parse().map_err(|_| format!("bad fib input {n:?}"))?;
+                (
+                    Box::new(move || vec![tracedbg::workloads::fib::program(n)]),
+                    1,
+                )
+            } else if let Some(t) = other.strip_prefix("random:") {
+                let t: usize = t.parse().map_err(|_| format!("bad transfer count {t:?}"))?;
+                let nprocs = procs.max(2);
+                let pat = random_comm::generate(seed, nprocs, t);
+                (
+                    Box::new(move || random_comm::programs(&pat, seed)),
+                    nprocs,
+                )
+            } else if let Some(path) = other.strip_prefix("script:") {
+                let src = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let parsed = script::parse(&src).map_err(|e| e.to_string())?;
+                let nprocs = procs.max(2);
+                let file = path.to_string();
+                (
+                    Box::new(move || script::programs(&parsed, nprocs, &file)),
+                    nprocs,
+                )
+            } else {
+                return Err(format!(
+                    "unknown workload {other:?} (try `tracedbg workloads`)"
+                ));
+            }
+        }
+    };
+    Ok(f)
+}
+
+fn load_store(path: &str) -> Result<TraceStore, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let tf = if path.ends_with(".tbin") {
+        read_binary(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+    };
+    Ok(tf.into_store())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let name = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg run <workload>")?;
+    let seed = opts.num("seed", 42u64);
+    let procs = opts.num("procs", 8usize);
+    let (factory, _n) = workload_factory(name, seed, procs)?;
+    let mut session = Session::launch(SessionConfig::default(), factory);
+    let status = session.run();
+    println!("outcome: {status:?}");
+    let store = session.trace();
+    println!("{}", tracedbg::trace::TraceStats::compute(store.records()));
+    let report = HistoryReport::analyze(&store);
+    println!("{report}");
+    if let Some(out) = opts.flag("trace") {
+        let file = TraceFile::new(
+            store.records().to_vec(),
+            store.sites().clone(),
+            store.n_ranks(),
+        );
+        let mut w = std::fs::File::create(out).map_err(|e| e.to_string())?;
+        if out.ends_with(".tbin") {
+            write_binary(&mut w, &file).map_err(|e| e.to_string())?;
+        } else {
+            write_text(&mut w, &file).map_err(|e| e.to_string())?;
+        }
+        println!("trace written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_view(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg view <trace.trc>")?;
+    let store = load_store(path)?;
+    let matching = MessageMatching::build(&store);
+    let mut model = TimelineModel::build(&store, &matching, false);
+    if let Some(win) = opts.flag("window") {
+        let (lo, hi) = win
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .ok_or("bad --window, expected lo:hi")?;
+        model = model.window(lo, hi);
+    }
+    let width = opts.num("width", 120usize);
+    println!("{}", render_ascii(&model, width));
+    if let Some(svg_path) = opts.flag("svg") {
+        std::fs::write(svg_path, render_svg(&model, 1100.0)).map_err(|e| e.to_string())?;
+        println!("svg written to {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg analyze <trace.trc>")?;
+    let store = load_store(path)?;
+    let report = HistoryReport::analyze(&store);
+    println!("{report}");
+    println!();
+    let actions = ActionGraph::build(&store);
+    println!("--- action graph (§4.4) ---");
+    print!("{}", actions.render());
+    let profile = Profile::compute(&store);
+    if !profile.is_empty() {
+        println!("\n--- function profile (simulated time) ---");
+        print!("{profile}");
+    }
+    Ok(())
+}
+
+fn cmd_report(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg report <trace.trc> [--o out.html]")?;
+    let store = load_store(path)?;
+    let analysis = HistoryReport::analyze(&store).to_string();
+    let html = tracedbg::viz::render_html_report(&store, &analysis, path);
+    let out = opts.flag("o").unwrap_or("trace_report.html");
+    std::fs::write(out, html).map_err(|e| e.to_string())?;
+    println!("report written to {out}");
+    Ok(())
+}
+
+fn cmd_graph(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg graph <trace.trc> --kind comm|call|trace")?;
+    let store = load_store(path)?;
+    let kind = opts.flag("kind").unwrap_or("comm");
+    let format = opts.flag("format").unwrap_or("dot");
+    let out = match (kind, format) {
+        ("comm", "dot") => {
+            let mm = MessageMatching::build(&store);
+            dot::comm_graph_dot(&CommGraph::build(&store, &mm))
+        }
+        ("comm", "vcg") => {
+            let mm = MessageMatching::build(&store);
+            vcg::comm_graph_vcg(&CommGraph::build(&store, &mm))
+        }
+        ("call", fmt) => {
+            let rank = Rank(opts.num("rank", 0u32));
+            let tg = TraceGraph::build(&store);
+            let cg = CallGraph::project(&tg, rank);
+            if fmt == "vcg" {
+                vcg::call_graph_vcg(&cg, 4)
+            } else {
+                dot::call_graph_dot(&cg, 4)
+            }
+        }
+        ("trace", fmt) => {
+            let tg = TraceGraph::build(&store);
+            if fmt == "vcg" {
+                vcg::trace_graph_vcg(&tg)
+            } else {
+                dot::trace_graph_dot(&tg)
+            }
+        }
+        (k, f) => return Err(format!("unknown kind/format {k}/{f}")),
+    };
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_debug(opts: &Opts) -> Result<(), String> {
+    let name = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg debug <workload>")?;
+    let seed = opts.num("seed", 42u64);
+    let procs = opts.num("procs", 8usize);
+    let (factory, _) = workload_factory(name, seed, procs)?;
+    let session = Session::launch(SessionConfig::default(), factory);
+    let mut ci = CommandInterface::new(session);
+    let scripted = opts.commands();
+    if !scripted.is_empty() {
+        for cmd in scripted {
+            println!("{}", ci.execute(&cmd));
+        }
+        return Ok(());
+    }
+    println!("tracedbg interactive debugger — 'help' for commands, 'quit' to exit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("(tracedbg) ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "quit" | "exit" | "q" => break,
+            "help" => println!(
+                "commands: run | continue | step [rank] | markers | where <rank> |\n\
+                 probe <rank> <label> | stopline t <ns> | stopline markers <m...> |\n\
+                 replay | undo | analyze | break <func|file:line> |\n\
+                 watch <label> (change | == v | != v) | delete breaks | why <rank> |\n\
+                 pending | view [width] | setdef <name> <spec> | sets |\n\
+                 step <set-spec> | find <send to N|recv on N|tag T|fn F|probe L> |\n\
+                 verify | restart | quit"
+            ),
+            cmd => println!("{}", ci.execute(cmd)),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!(
+            "usage: tracedbg <run|view|analyze|report|graph|debug|workloads> ...\n\
+             see `tracedbg workloads` for available targets"
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = Opts::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "view" => cmd_view(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "report" => cmd_report(&opts),
+        "graph" => cmd_graph(&opts),
+        "debug" => cmd_debug(&opts),
+        "workloads" => {
+            println!(
+                "strassen       distributed Strassen multiply (8 procs, correct)\n\
+                 strassen-bug   the paper's jres bug: deadlocks ranks 0 and 7\n\
+                 lu             LU/SSOR wavefront pipeline\n\
+                 ring           token ring\n\
+                 pool           master/worker with wildcard receives\n\
+                 heat           1-D heat diffusion: halo exchange + allreduce\n\
+                 fib:<n>        recursive Fibonacci (Table 1 driver)\n\
+                 random:<n>     seeded random transfer pattern\n\
+                 script:<path>  interpreted mini-language program (SPMD)"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # tracedbg — trace-driven debugging of message passing programs
+//!
+//! A from-scratch Rust reproduction of Frumkin, Hood & Lopez,
+//! *Trace-Driven Debugging of Message Passing Programs* (IPPS 1998): the
+//! p2d2 debugger's trace-driven features — execution history collection,
+//! time-space visualization, consistent **stoplines**, controlled
+//! **replay**, parallel **undo**, and communication supervision — together
+//! with every substrate they need, built on a deterministic message-
+//! passing runtime.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tracedbg::prelude::*;
+//!
+//! // A two-process program: P0 sends, P1 receives.
+//! let factory: ProgramFactory = Box::new(|| {
+//!     let p0: ProgramFn = Box::new(|ctx| {
+//!         let site = ctx.site("demo.rs", 3, "main");
+//!         ctx.send(Rank(1), Tag(7), Payload::from_i64(42), site);
+//!     });
+//!     let p1: ProgramFn = Box::new(|ctx| {
+//!         let site = ctx.site("demo.rs", 7, "main");
+//!         let m = ctx.recv_from(Rank(0), Tag(7), site);
+//!         assert_eq!(m.payload.to_i64(), Some(42));
+//!     });
+//!     vec![p0, p1]
+//! });
+//!
+//! // Debug it: run, inspect the history, replay to a stopline.
+//! let mut session = Session::launch(SessionConfig::default(), factory);
+//! assert!(session.run().is_completed());
+//! let trace = session.trace();
+//! assert_eq!(trace.n_ranks(), 2);
+//! let stopline = Stopline::vertical(&trace, trace.time_bounds().1 / 2);
+//! session.replay_to(&stopline);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Paper section |
+//! |---|---|---|
+//! | [`trace`] | `tracedbg-trace` | §2–§3: records, markers, trace files |
+//! | [`instrument`] | `tracedbg-instrument` | §2: AIMS / UserMonitor / PMPI strategies |
+//! | [`mpsim`] | `tracedbg-mpsim` | runtime substrate + §4.2 record/replay |
+//! | [`tracegraph`] | `tracedbg-tracegraph` | §3.2, §4.3: trace/call/comm/action graphs |
+//! | [`causality`] | `tracedbg-causality` | §4.1: happens-before, frontiers, races |
+//! | [`debugger`] | `tracedbg-debugger` | §4: stoplines, replay, undo, analysis |
+//! | [`viz`] | `tracedbg-viz` | §3.1: NTV/VK time-space diagrams, DOT/VCG |
+//! | [`workloads`] | `tracedbg-workloads` | evaluation programs (Strassen, fib, LU) |
+
+pub use tracedbg_causality as causality;
+pub use tracedbg_debugger as debugger;
+pub use tracedbg_instrument as instrument;
+pub use tracedbg_mpsim as mpsim;
+pub use tracedbg_trace as trace;
+pub use tracedbg_tracegraph as tracegraph;
+pub use tracedbg_viz as viz;
+pub use tracedbg_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use tracedbg_causality::{Frontier, HbIndex};
+    pub use tracedbg_debugger::{
+        CommandInterface, HistoryReport, ProgramFactory, Session, SessionConfig, SessionStatus,
+        Stopline,
+    };
+    pub use tracedbg_instrument::{RecorderConfig, Strategy};
+    pub use tracedbg_mpsim::{
+        CostModel, Engine, EngineConfig, Payload, ProcessCtx, ProgramFn, RunOutcome, SchedPolicy,
+    };
+    pub use tracedbg_trace::{
+        EventKind, Marker, MarkerVector, Rank, Tag, TraceRecord, TraceStore,
+    };
+    pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
+    pub use tracedbg_viz::{render_ascii, render_svg, NtvView, TimelineModel, VkView};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = Rank(0);
+        let _ = Tag(1);
+        let _ = SessionConfig::default();
+    }
+}

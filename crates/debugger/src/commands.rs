@@ -1,0 +1,530 @@
+//! A text command interface over a [`Session`].
+//!
+//! This is the scripting surface the figure-reproduction harnesses drive;
+//! each command returns a transcript line, so a scripted debugging session
+//! reads like the interaction §4.1 narrates (set a stopline, replay, step,
+//! inspect, find the bug).
+
+use crate::analysis::HistoryReport;
+use crate::procset::ProcSets;
+use crate::session::{Session, SessionStatus};
+use crate::stopline::Stopline;
+use tracedbg_trace::{EventKind, EventQuery, Rank, Tag};
+
+/// Stateful command processor.
+pub struct CommandInterface {
+    session: Session,
+    /// The pending stopline, set by `stopline ...`, consumed by `replay`.
+    pending: Option<Stopline>,
+    /// Named process sets (p2d2's set-oriented operations).
+    sets: ProcSets,
+}
+
+impl CommandInterface {
+    pub fn new(session: Session) -> Self {
+        let sets = ProcSets::new(session.n_ranks());
+        CommandInterface {
+            session,
+            pending: None,
+            sets,
+        }
+    }
+
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    fn status_line(&self) -> String {
+        match self.session.status() {
+            SessionStatus::Idle => "idle".into(),
+            SessionStatus::Completed => "completed".into(),
+            SessionStatus::Deadlocked(d) => format!(
+                "DEADLOCK: blocked {:?}, cycle {:?}",
+                d.blocked_ranks(),
+                d.cycle
+            ),
+            SessionStatus::Stopped { traps, paused } => {
+                format!("stopped: traps {traps:?} paused {paused:?}")
+            }
+            SessionStatus::Panicked { rank, message } => {
+                format!("PANIC in {rank:?}: {message}")
+            }
+        }
+    }
+
+    /// Execute one command, returning the transcript output.
+    pub fn execute(&mut self, cmd: &str) -> String {
+        let parts: Vec<&str> = cmd.split_whitespace().collect();
+        match parts.as_slice() {
+            ["run"] => {
+                self.session.run();
+                format!("> run\n{}", self.status_line())
+            }
+            ["continue"] => {
+                self.session.continue_all();
+                format!("> continue\n{}", self.status_line())
+            }
+            ["step"] => {
+                self.session.step_all();
+                format!("> step\n{}", self.status_line())
+            }
+            ["step", spec] => {
+                // A bare rank steps one process; anything else is a set
+                // spec or a named set (p2d2's set-oriented stepping).
+                if let Ok(r) = spec.parse::<u32>() {
+                    self.session.step(Rank(r));
+                    format!(
+                        "> step {r}\nP{r} at marker {}",
+                        self.session.markers().get(Rank(r))
+                    )
+                } else {
+                    match self.sets.parse(spec) {
+                        Ok(set) => {
+                            self.session.step_set(&set);
+                            format!("> step {spec}\n{:?}", self.session.markers())
+                        }
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+            }
+            ["markers"] => {
+                format!("> markers\n{:?}", self.session.markers())
+            }
+            ["where", r] => match r.parse::<u32>() {
+                Ok(r) => {
+                    let lines = self.session.where_is(Rank(r));
+                    let body = if lines.is_empty() {
+                        "  (no monitor history)".to_string()
+                    } else {
+                        lines
+                            .iter()
+                            .map(|l| format!("  {l}"))
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    };
+                    format!("> where {r}\n{body}")
+                }
+                Err(_) => format!("error: bad rank {r:?}"),
+            },
+            ["probe", r, label] => match r.parse::<u32>() {
+                Ok(r) => match self.session.latest_probe(Rank(r), label) {
+                    Some(v) => format!("> probe {r} {label}\nP{r} {label} = {v}"),
+                    None => format!("> probe {r} {label}\n(no such probe)"),
+                },
+                Err(_) => format!("error: bad rank {r:?}"),
+            },
+            ["stopline", "t", t] => match t.parse::<u64>() {
+                Ok(t) => {
+                    let store = self.session.trace();
+                    let sl = Stopline::vertical(&store, t);
+                    let out = format!("> stopline t {t}\nstopline {:?}", sl.markers);
+                    self.pending = Some(sl);
+                    out
+                }
+                Err(_) => format!("error: bad time {t:?}"),
+            },
+            ["stopline", "markers", rest @ ..] => {
+                let counts: Result<Vec<u64>, _> =
+                    rest.iter().map(|s| s.parse::<u64>()).collect();
+                match counts {
+                    Ok(c) if c.len() == self.session.n_ranks() => {
+                        let sl = Stopline {
+                            markers: tracedbg_trace::MarkerVector::from_counts(c),
+                            origin: "manual".into(),
+                        };
+                        let out = format!("> stopline markers\nstopline {:?}", sl.markers);
+                        self.pending = Some(sl);
+                        out
+                    }
+                    Ok(c) => format!(
+                        "error: {} markers given, {} processes",
+                        c.len(),
+                        self.session.n_ranks()
+                    ),
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+            ["replay"] => match self.pending.clone() {
+                Some(sl) => {
+                    self.session.replay_to(&sl);
+                    format!(
+                        "> replay (stopline {})\n{}",
+                        sl.origin,
+                        self.status_line()
+                    )
+                }
+                None => "error: no stopline set".into(),
+            },
+            ["undo"] => {
+                if self.session.undo() {
+                    format!("> undo\n{}", self.status_line())
+                } else {
+                    "> undo\nnothing to undo".into()
+                }
+            }
+            ["analyze"] => {
+                let store = self.session.trace();
+                let rep = HistoryReport::analyze(&store);
+                format!("> analyze\n{rep}")
+            }
+            ["restart"] => {
+                self.session.restart();
+                "> restart\nidle".into()
+            }
+            ["break", spec] => {
+                // "func" or "file:line"
+                let armed = match spec.rsplit_once(':') {
+                    Some((file, line)) => match line.parse::<u32>() {
+                        Ok(l) => self.session.break_at_line(file, l),
+                        Err(_) => return format!("error: bad line in {spec:?}"),
+                    },
+                    None => self.session.break_at_function(spec),
+                };
+                format!("> break {spec}\n{armed} site(s) armed")
+            }
+            ["watch", label, "change"] => {
+                self.session
+                    .watch(None, label, tracedbg_instrument::WatchCond::Change);
+                format!("> watch {label} change\narmed")
+            }
+            ["watch", label, "==", v] => match v.parse::<i64>() {
+                Ok(v) => {
+                    self.session
+                        .watch(None, label, tracedbg_instrument::WatchCond::Equals(v));
+                    format!("> watch {label} == {v}\narmed")
+                }
+                Err(_) => format!("error: bad value {v:?}"),
+            },
+            ["watch", label, "!=", v] => match v.parse::<i64>() {
+                Ok(v) => {
+                    self.session
+                        .watch(None, label, tracedbg_instrument::WatchCond::NotEquals(v));
+                    format!("> watch {label} != {v}\narmed")
+                }
+                Err(_) => format!("error: bad value {v:?}"),
+            },
+            ["delete", "breaks"] => {
+                self.session.clear_breaks();
+                "> delete breaks\ncleared".into()
+            }
+            ["why", r] => match r.parse::<u32>() {
+                Ok(r) => match self.session.why(Rank(r)) {
+                    Some(cause) => format!("> why {r}\n{cause:?}"),
+                    None => format!("> why {r}\n(no trap recorded)"),
+                },
+                Err(_) => format!("error: bad rank {r:?}"),
+            },
+            ["setdef", name, spec] => match self.sets.define(name, spec) {
+                Ok(()) => format!("> setdef {name} {spec}\n{}", self.sets),
+                Err(e) => format!("error: {e}"),
+            },
+            ["sets"] => format!("> sets\n{}", self.sets),
+            ["find", rest @ ..] => {
+                let store = self.session.trace();
+                let q = match rest {
+                    ["send", "to", d] => match d.parse::<u32>() {
+                        Ok(d) => EventQuery::new().kind(EventKind::Send).msg_to(d),
+                        Err(_) => return format!("error: bad rank {d:?}"),
+                    },
+                    ["send", "from", s] => match s.parse::<u32>() {
+                        Ok(s) => EventQuery::new().kind(EventKind::Send).msg_from(s),
+                        Err(_) => return format!("error: bad rank {s:?}"),
+                    },
+                    ["recv", "on", r] => match r.parse::<u32>() {
+                        Ok(r) => EventQuery::new().kind(EventKind::RecvDone).rank(r),
+                        Err(_) => return format!("error: bad rank {r:?}"),
+                    },
+                    ["tag", t] => match t.parse::<i32>() {
+                        Ok(t) => EventQuery::new().tag(Tag(t)),
+                        Err(_) => return format!("error: bad tag {t:?}"),
+                    },
+                    ["fn", name] => EventQuery::new().in_function(*name),
+                    ["probe", label] => {
+                        EventQuery::new().kind(EventKind::Probe).label(*label)
+                    }
+                    _ => {
+                        return "error: find <send to N | send from N | recv on N | \
+                                tag T | fn NAME | probe LABEL>"
+                            .into()
+                    }
+                };
+                let hits = q.find_all(&store);
+                let mut out = format!("> find {}\n{} match(es)", rest.join(" "), hits.len());
+                for id in hits.iter().take(8) {
+                    let rec = store.record(*id);
+                    out.push_str(&format!(
+                        "\n  {:?} marker {} at t={}: {}",
+                        rec.rank, rec.marker, rec.t_start, rec
+                    ));
+                }
+                if hits.len() > 8 {
+                    out.push_str("\n  ...");
+                }
+                out
+            }
+            ["verify"] => {
+                let divs = self.session.verify_replay();
+                if divs.is_empty() {
+                    "> verify\nreplay is faithful: no divergence".into()
+                } else {
+                    let mut out = format!("> verify\n{} divergence(s):", divs.len());
+                    for d in divs.iter().take(4) {
+                        out.push_str(&format!("\n{d}"));
+                    }
+                    out
+                }
+            }
+            ["pending"] => {
+                // Undelivered messages per destination — the §4.4
+                // communication supervision view of the live mailboxes.
+                let mut out = String::from("> pending");
+                let mut any = false;
+                for (rank, msgs) in self.session.engine().undelivered() {
+                    for m in msgs {
+                        any = true;
+                        out.push_str(&format!(
+                            "\n  P{} <- P{} tag{} #{} ({} bytes) undelivered",
+                            rank, m.src, m.tag, m.seq,
+                            m.payload.len()
+                        ));
+                    }
+                }
+                if !any {
+                    out.push_str("\n(no undelivered messages)");
+                }
+                out
+            }
+            ["view"] | ["view", _] => {
+                let width = match parts.get(1) {
+                    Some(w) => match w.parse::<usize>() {
+                        Ok(w) => w,
+                        Err(_) => return format!("error: bad width {w:?}"),
+                    },
+                    None => 100,
+                };
+                let store = self.session.trace();
+                let mm = tracedbg_tracegraph::MessageMatching::build(&store);
+                let model = tracedbg_viz::TimelineModel::build(&store, &mm, false);
+                format!("> view\n{}", tracedbg_viz::render_ascii(&model, width))
+            }
+            _ => format!("error: unknown command {cmd:?}"),
+        }
+    }
+
+    /// Run a whole script, returning the full transcript.
+    pub fn script(&mut self, commands: &[&str]) -> String {
+        commands
+            .iter()
+            .map(|c| self.execute(c))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{ProgramFactory, SessionConfig};
+    use tracedbg_mpsim::{Payload, ProgramFn, RecorderConfig, Tag};
+
+    fn iface() -> CommandInterface {
+        let factory: ProgramFactory = Box::new(|| {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("c.rs", 1, "p0");
+                ctx.compute(100, s);
+                ctx.probe("x", 42, s);
+                ctx.send(Rank(1), Tag(1), Payload::from_i64(7), s);
+            });
+            let p1: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("c.rs", 2, "p1");
+                let _ = ctx.recv_from(Rank(0), Tag(1), s);
+            });
+            vec![p0, p1]
+        });
+        CommandInterface::new(Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            factory,
+        ))
+    }
+
+    #[test]
+    fn run_and_analyze() {
+        let mut ci = iface();
+        let t = ci.execute("run");
+        assert!(t.contains("completed"), "{t}");
+        let a = ci.execute("analyze");
+        assert!(a.contains("1 matched message(s)"), "{a}");
+    }
+
+    #[test]
+    fn probe_command() {
+        let mut ci = iface();
+        ci.execute("run");
+        let p = ci.execute("probe 0 x");
+        assert!(p.contains("x = 42"), "{p}");
+        let missing = ci.execute("probe 0 nothere");
+        assert!(missing.contains("no such probe"), "{missing}");
+    }
+
+    #[test]
+    fn stopline_replay_step_script() {
+        let mut ci = iface();
+        let t = ci.script(&[
+            "run",
+            "stopline markers 2 1",
+            "replay",
+            "markers",
+            "step 0",
+            "continue",
+        ]);
+        assert!(t.contains("stopline ⟨2,1⟩"), "{t}");
+        assert!(t.contains("stopped"), "{t}");
+        assert!(t.contains("P0 at marker 3"), "{t}");
+        assert!(t.trim_end().ends_with("completed"), "{t}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut ci = iface();
+        assert!(ci.execute("replay").contains("no stopline"));
+        assert!(ci.execute("bogus").contains("unknown command"));
+        assert!(ci.execute("step zz").contains("bad rank"));
+        assert!(ci
+            .execute("stopline markers 1 2 3")
+            .contains("3 markers given, 2 processes"));
+        assert!(ci.execute("undo").contains("nothing to undo"));
+    }
+
+    #[test]
+    fn break_watch_why_commands() {
+        let mut ci = iface();
+        ci.execute("run");
+        ci.execute("stopline markers 1 1");
+        ci.execute("replay");
+        let b = ci.execute("break p0");
+        assert!(b.contains("site(s) armed"), "{b}");
+        let c = ci.execute("continue");
+        assert!(c.contains("stopped"), "{c}");
+        let why = ci.execute("why 0");
+        assert!(why.contains("Breakpoint"), "{why}");
+        let d = ci.execute("delete breaks");
+        assert!(d.contains("cleared"), "{d}");
+        let done = ci.execute("continue");
+        assert!(done.contains("completed"), "{done}");
+    }
+
+    #[test]
+    fn watch_command_syntax() {
+        let mut ci = iface();
+        ci.execute("run");
+        ci.execute("stopline markers 1 1");
+        ci.execute("replay");
+        let w = ci.execute("watch x == 42");
+        assert!(w.contains("armed"), "{w}");
+        let c = ci.execute("continue");
+        assert!(c.contains("stopped"), "{c}");
+        let why = ci.execute("why 0");
+        assert!(why.contains("Watch"), "{why}");
+        assert!(ci.execute("watch x != banana").contains("bad value"));
+        assert!(ci.execute("watch y change").contains("armed"));
+    }
+
+    #[test]
+    fn set_oriented_stepping() {
+        let mut ci = iface();
+        ci.execute("run");
+        ci.execute("stopline markers 1 1");
+        ci.execute("replay");
+        let d = ci.execute("setdef everyone 0-1");
+        assert!(d.contains("everyone = {0,1}"), "{d}");
+        let before = ci.session().markers();
+        let s = ci.execute("step everyone");
+        assert!(s.contains("\u{27e8}2,2\u{27e9}"), "{s}");
+        let after = ci.session().markers();
+        assert_eq!(after.get(Rank(0)), before.get(Rank(0)) + 1);
+        assert_eq!(after.get(Rank(1)), before.get(Rank(1)) + 1);
+        assert!(ci.execute("sets").contains("everyone"));
+        assert!(ci.execute("step nosuchset").contains("error"));
+        assert!(ci.execute("setdef all 0").contains("error"));
+    }
+
+    #[test]
+    fn find_command() {
+        let mut ci = iface();
+        ci.execute("run");
+        let f = ci.execute("find send to 1");
+        assert!(f.contains("1 match(es)"), "{f}");
+        let f2 = ci.execute("find probe x");
+        assert!(f2.contains("1 match(es)"), "{f2}");
+        let f3 = ci.execute("find fn p0");
+        assert!(!f3.contains("0 match(es)"), "{f3}");
+        assert!(ci.execute("find tag 12345").contains("0 match(es)"));
+        assert!(ci.execute("find nonsense").contains("error"));
+    }
+
+    #[test]
+    fn verify_command_reports_fidelity() {
+        let mut ci = iface();
+        ci.execute("run");
+        let v = ci.execute("verify");
+        assert!(v.contains("faithful"), "{v}");
+        // Also from a stopped state.
+        ci.execute("stopline markers 2 1");
+        ci.execute("replay");
+        let v2 = ci.execute("verify");
+        assert!(v2.contains("faithful"), "{v2}");
+    }
+
+    #[test]
+    fn pending_and_view_commands() {
+        let mut ci = iface();
+        ci.execute("run");
+        let p = ci.execute("pending");
+        assert!(p.contains("no undelivered messages"), "{p}");
+        let v = ci.execute("view");
+        assert!(v.contains("legend:"), "{v}");
+        assert!(v.contains("P0"), "{v}");
+        let v2 = ci.execute("view 40");
+        assert!(v2.lines().any(|l| l.len() < 60), "{v2}");
+        assert!(ci.execute("view zz").contains("bad width"));
+    }
+
+    #[test]
+    fn pending_shows_lost_message() {
+        // A send nobody receives shows up in `pending` at the stop.
+        let factory: ProgramFactory = Box::new(|| {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("p.rs", 1, "p0");
+                ctx.send(Rank(1), Tag(9), Payload::from_i64(1), s);
+            });
+            let p1: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("p.rs", 2, "p1");
+                ctx.compute(10, s);
+            });
+            vec![p0, p1]
+        });
+        let mut ci = CommandInterface::new(Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            factory,
+        ));
+        ci.execute("run");
+        let p = ci.execute("pending");
+        assert!(p.contains("P1 <- P0 tag9"), "{p}");
+    }
+
+    #[test]
+    fn stopline_from_time() {
+        let mut ci = iface();
+        ci.execute("run");
+        let t = ci.execute("stopline t 50");
+        assert!(t.contains("stopline ⟨"), "{t}");
+        let r = ci.execute("replay");
+        assert!(r.contains("stopped") || r.contains("completed"), "{r}");
+    }
+}

@@ -1,0 +1,36 @@
+//! The p2d2-style trace-driven debugger (§4).
+//!
+//! This crate assembles the substrates into the paper's contribution: a
+//! state-based parallel debugger extended with trace-driven features —
+//!
+//! * **stoplines** ([`Stopline`]) — a breakpoint in the timeline: from a
+//!   clicked time (vertical slice) or from a selected event's past/future
+//!   frontier, mapped to one execution-marker threshold per process;
+//! * **controlled replay** ([`Session::replay_to`]) — restart the target
+//!   program, arm the `UserMonitor` thresholds, and force wildcard receive
+//!   matches from the recorded history so the re-execution has identical
+//!   event causality (§4.2);
+//! * **parallel undo** ([`Session::undo`]) — return every process to its
+//!   state at the previous debugger stop, implemented — as §6 says — "in
+//!   straightforward manner by re-executing until an execution marker
+//!   threshold is encountered";
+//! * **communication supervision** ([`HistoryReport`]) — unmatched
+//!   sends/receives, circular-wait deadlocks, message races (§4.4);
+//! * a text **command interface** ([`commands::CommandInterface`]) used by
+//!   the scripted debugging sessions in the figure-reproduction harnesses.
+
+pub mod analysis;
+pub mod commands;
+pub mod machine_session;
+pub mod procset;
+pub mod session;
+pub mod stopline;
+pub mod undo;
+
+pub use analysis::HistoryReport;
+pub use commands::CommandInterface;
+pub use machine_session::{MachineFactory, MachineSession, MachineSessionStatus};
+pub use procset::ProcSets;
+pub use session::{ProgramFactory, Session, SessionConfig, SessionStatus};
+pub use stopline::Stopline;
+pub use undo::UndoStack;

@@ -1,0 +1,420 @@
+//! Checkpointed debugging sessions — the §6 improvement, end to end.
+//!
+//! "Our current implementation of replay and undo is done in
+//! straightforward manner by re-executing until an execution marker
+//! threshold is encountered. We could improve on this by periodically
+//! checkpointing program states and keeping a logarithmic backlog of
+//! process states."
+//!
+//! [`MachineSession`] is that improvement, built on the checkpointable
+//! state-machine backend: execution is driven in bounded chunks, a full
+//! [`Checkpoint`] is taken every `interval` machine steps, and the
+//! retained set is thinned to a logarithmic backlog. `replay_to` and
+//! `undo` then restore the nearest checkpoint at or before the target and
+//! run only the residue — O(distance to nearest checkpoint) instead of
+//! O(history). Because execution is deterministic, checkpoints *after* a
+//! rewind stay valid too: the session can jump forward again without
+//! re-running from the start.
+//!
+//! Restrictions (documented, inherent to snapshotting): round-robin
+//! scheduling only, and programs expressed as [`MachineProgram`] state
+//! machines.
+
+use crate::undo::UndoStack;
+use tracedbg_mpsim::machine::{Checkpoint, MachineEngine, MachineOutcome, MachineProgram};
+use tracedbg_mpsim::{CostModel, RecorderConfig, SchedPolicy};
+use tracedbg_trace::{Marker, MarkerVector, TraceStore};
+
+/// Recreates the machine programs for a from-scratch (re-)execution.
+pub type MachineFactory = Box<dyn Fn() -> Vec<Box<dyn MachineProgram>> + Send>;
+
+/// Session status (machine backend).
+#[derive(Debug)]
+pub enum MachineSessionStatus {
+    Idle,
+    Stopped(Vec<Marker>),
+    Completed,
+    Deadlocked,
+}
+
+impl MachineSessionStatus {
+    pub fn is_stopped(&self) -> bool {
+        matches!(self, MachineSessionStatus::Stopped(_))
+    }
+
+    pub fn is_completed(&self) -> bool {
+        matches!(self, MachineSessionStatus::Completed)
+    }
+}
+
+/// A debugging session with periodic checkpoints.
+pub struct MachineSession {
+    factory: MachineFactory,
+    recorder: RecorderConfig,
+    cost: CostModel,
+    engine: MachineEngine,
+    /// Retained checkpoints, oldest first, thinned logarithmically.
+    checkpoints: Vec<Checkpoint>,
+    /// Machine steps between checkpoints.
+    interval: usize,
+    /// Bound on retained checkpoints before thinning.
+    max_checkpoints: usize,
+    status: MachineSessionStatus,
+    undo: UndoStack,
+    /// Wall-clock-ish accounting: machine steps re-executed by
+    /// restores+residue runs (ablation measurements read this).
+    pub steps_replayed: u64,
+}
+
+impl MachineSession {
+    /// Launch with a checkpoint every `interval` machine steps.
+    pub fn launch(
+        factory: MachineFactory,
+        recorder: RecorderConfig,
+        interval: usize,
+    ) -> Self {
+        let engine = MachineEngine::new(
+            factory(),
+            recorder.clone(),
+            CostModel::default(),
+            SchedPolicy::RoundRobin,
+            None,
+        );
+        MachineSession {
+            factory,
+            recorder,
+            cost: CostModel::default(),
+            engine,
+            checkpoints: Vec::new(),
+            interval: interval.max(1),
+            max_checkpoints: 24,
+            status: MachineSessionStatus::Idle,
+            undo: UndoStack::new(),
+            steps_replayed: 0,
+        }
+    }
+
+    pub fn status(&self) -> &MachineSessionStatus {
+        &self.status
+    }
+
+    pub fn markers(&self) -> MarkerVector {
+        self.engine.markers()
+    }
+
+    pub fn trace(&mut self) -> TraceStore {
+        self.engine.trace_store()
+    }
+
+    pub fn n_checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Run to the next stop/completion, checkpointing along the way.
+    pub fn run(&mut self) -> &MachineSessionStatus {
+        loop {
+            match self.engine.run_bounded(self.interval) {
+                Some(outcome) => {
+                    self.status = match outcome {
+                        MachineOutcome::Completed => MachineSessionStatus::Completed,
+                        MachineOutcome::Deadlock(_) => MachineSessionStatus::Deadlocked,
+                        MachineOutcome::Stopped(traps) => MachineSessionStatus::Stopped(traps),
+                    };
+                    self.undo.push(self.engine.markers());
+                    return &self.status;
+                }
+                None => {
+                    self.take_checkpoint();
+                }
+            }
+        }
+    }
+
+    fn take_checkpoint(&mut self) {
+        let cp = self.engine.checkpoint();
+        // Keep the backlog ordered by total progress (marker sum) so
+        // thinning and nearest-checkpoint selection stay meaningful even
+        // after rewinds insert checkpoints "in the past".
+        let total = |c: &Checkpoint| c.at.counts().iter().sum::<u64>();
+        let t = total(&cp);
+        let pos = self
+            .checkpoints
+            .partition_point(|c| total(c) < t);
+        // Skip duplicates of an already-retained instant.
+        if self.checkpoints.get(pos).map(|c| &c.at) == Some(&cp.at)
+            || (pos > 0 && self.checkpoints[pos - 1].at == cp.at)
+        {
+            return;
+        }
+        self.checkpoints.insert(pos, cp);
+        if self.checkpoints.len() > self.max_checkpoints {
+            self.thin();
+        }
+    }
+
+    /// Thin to a logarithmic backlog: bucket checkpoints by the power of
+    /// two of their distance (in total events) from the most advanced
+    /// retained point, keeping the newest checkpoint of each bucket. This
+    /// gives O(log history) storage with the classic guarantee that a jump
+    /// back by distance `d` re-executes O(d) events.
+    fn thin(&mut self) {
+        let total = |c: &Checkpoint| c.at.counts().iter().sum::<u64>();
+        let latest = self.checkpoints.last().map(&total).unwrap_or(0);
+        let mut buckets = std::collections::HashSet::new();
+        let mut kept: Vec<Checkpoint> = Vec::new();
+        for cp in self.checkpoints.drain(..).rev() {
+            let d = latest.saturating_sub(total(&cp));
+            let bucket = if d == 0 { 0u32 } else { 64 - d.leading_zeros() };
+            if buckets.insert(bucket) {
+                kept.push(cp);
+            }
+        }
+        kept.reverse();
+        self.checkpoints = kept;
+    }
+
+    /// The most advanced retained checkpoint dominated by `target`.
+    fn best_checkpoint(&self, target: &MarkerVector) -> Option<usize> {
+        self.checkpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, cp)| cp.at.le(target))
+            .max_by_key(|(_, cp)| cp.at.counts().iter().sum::<u64>())
+            .map(|(i, _)| i)
+    }
+
+    /// Jump to an exact marker vector: restore the nearest checkpoint at
+    /// or before the target (or restart from scratch) and run the residue
+    /// under thresholds.
+    pub fn replay_to(&mut self, target: &MarkerVector) -> &MachineSessionStatus {
+        match self.best_checkpoint(target) {
+            Some(ix) => {
+                // Clone out to appease the borrow checker; checkpoints are
+                // plain data.
+                let cp = self.checkpoints[ix].clone();
+                self.engine.restore(&cp);
+            }
+            None => {
+                self.engine = MachineEngine::new(
+                    (self.factory)(),
+                    self.recorder.clone(),
+                    self.cost,
+                    SchedPolicy::RoundRobin,
+                    None,
+                );
+            }
+        }
+        // Residue accounting: how far the restored point is from target.
+        let here = self.engine.markers();
+        self.steps_replayed += target
+            .counts()
+            .iter()
+            .zip(here.counts())
+            .map(|(t, h)| t.saturating_sub(*h))
+            .sum::<u64>();
+        if &here == target {
+            self.status = MachineSessionStatus::Stopped(
+                here.iter().filter(|m| m.count > 0).collect(),
+            );
+            self.undo.push(here);
+            return &self.status;
+        }
+        self.engine.clear_thresholds();
+        for m in target.iter() {
+            if here.get(m.rank) >= m.count {
+                // Already at (or past — impossible for a valid target) the
+                // goal: hold the machine; arming the threshold now would
+                // overshoot by one event (the trap fires on generation).
+                self.engine.set_paused(m.rank, true);
+            } else {
+                self.engine.set_threshold(m.rank, Some(m.count));
+            }
+        }
+        self.engine.resume_trapped();
+        self.run();
+        self.engine.clear_thresholds();
+        self.engine.clear_pauses();
+        &self.status
+    }
+
+    /// Parallel undo via the nearest checkpoint.
+    pub fn undo(&mut self) -> bool {
+        let Some(target) = self.undo.undo_target() else {
+            return false;
+        };
+        self.replay_to(&target);
+        true
+    }
+
+    /// Continue from a stop.
+    pub fn continue_all(&mut self) -> &MachineSessionStatus {
+        self.engine.clear_thresholds();
+        self.engine.clear_pauses();
+        self.engine.resume_trapped();
+        self.run()
+    }
+
+    /// Arm a marker threshold (counter breakpoint) on one rank.
+    pub fn set_threshold(&mut self, rank: tracedbg_trace::Rank, t: Option<u64>) {
+        self.engine.set_threshold(rank, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use tracedbg_mpsim::machine::{MachineCtx, MachineStatus};
+    use tracedbg_mpsim::{Payload, Rank, Tag};
+
+    /// Ping-pong machines (same shape as the mpsim machine tests).
+    #[derive(Serialize, Deserialize)]
+    struct Pinger {
+        rank: u32,
+        phase: u32,
+        rounds: u32,
+    }
+
+    impl MachineProgram for Pinger {
+        fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+            let site = ctx.site("pp.rs", 1, "pingpong");
+            let peer = Rank(1 - self.rank);
+            if self.phase >= 2 * self.rounds {
+                return MachineStatus::Finished;
+            }
+            let my_turn = (self.phase % 2 == 0) == (self.rank == 0);
+            if my_turn {
+                ctx.send(peer, Tag(0), Payload::from_i64(self.phase as i64), site);
+                self.phase += 1;
+            } else if ctx.try_recv(Some(peer), Some(Tag(0)), site).is_some() {
+                self.phase += 1;
+            }
+            MachineStatus::Running
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            serde_json::to_vec(self).unwrap()
+        }
+        fn restore(&mut self, bytes: &[u8]) {
+            *self = serde_json::from_slice(bytes).unwrap();
+        }
+    }
+
+    fn factory(rounds: u32) -> MachineFactory {
+        Box::new(move || {
+            vec![
+                Box::new(Pinger {
+                    rank: 0,
+                    phase: 0,
+                    rounds,
+                }) as Box<dyn MachineProgram>,
+                Box::new(Pinger {
+                    rank: 1,
+                    phase: 0,
+                    rounds,
+                }),
+            ]
+        })
+    }
+
+    #[test]
+    fn checkpoints_accumulate_during_run() {
+        let mut s = MachineSession::launch(factory(200), RecorderConfig::markers_only(), 50);
+        assert!(s.run().is_completed());
+        assert!(s.n_checkpoints() > 2, "{}", s.n_checkpoints());
+    }
+
+    #[test]
+    fn replay_to_uses_nearest_checkpoint() {
+        let mut s = MachineSession::launch(factory(300), RecorderConfig::markers_only(), 40);
+        assert!(s.run().is_completed());
+        let end = s.markers();
+        // Jump back to ~75% of rank 0's history.
+        let target = MarkerVector::from_counts(vec![
+            end.get(Rank(0)) * 3 / 4,
+            end.get(Rank(1)) * 3 / 4,
+        ]);
+        s.steps_replayed = 0;
+        assert!(s.replay_to(&target).is_stopped());
+        assert_eq!(s.markers(), target);
+        // Residue must be much smaller than the full history.
+        let total: u64 = end.counts().iter().sum();
+        assert!(
+            s.steps_replayed < total / 2,
+            "replayed {} of {total} events — checkpoint not used",
+            s.steps_replayed
+        );
+    }
+
+    #[test]
+    fn jump_back_then_forward_reuses_later_checkpoints() {
+        let mut s = MachineSession::launch(factory(300), RecorderConfig::markers_only(), 40);
+        assert!(s.run().is_completed());
+        let end = s.markers();
+        let early = MarkerVector::from_counts(vec![
+            end.get(Rank(0)) / 4,
+            end.get(Rank(1)) / 4,
+        ]);
+        let late = MarkerVector::from_counts(vec![
+            end.get(Rank(0)) * 3 / 4,
+            end.get(Rank(1)) * 3 / 4,
+        ]);
+        assert!(s.replay_to(&early).is_stopped());
+        assert_eq!(s.markers(), early);
+        // Forward jump: a post-rewind checkpoint at ≤ late must be reused.
+        s.steps_replayed = 0;
+        assert!(s.replay_to(&late).is_stopped());
+        assert_eq!(s.markers(), late);
+        let total: u64 = end.counts().iter().sum();
+        assert!(
+            s.steps_replayed < total / 2,
+            "forward jump replayed {} of {total}",
+            s.steps_replayed
+        );
+    }
+
+    #[test]
+    fn undo_returns_to_previous_stop() {
+        let mut s = MachineSession::launch(factory(100), RecorderConfig::markers_only(), 25);
+        s.set_threshold(Rank(0), Some(50));
+        assert!(s.run().is_stopped());
+        let first_stop = s.markers();
+        s.set_threshold(Rank(0), Some(80));
+        s.continue_all();
+        assert_ne!(s.markers(), first_stop);
+        assert!(s.undo());
+        assert_eq!(s.markers(), first_stop);
+    }
+
+    #[test]
+    fn backlog_is_logarithmic() {
+        let mut s = MachineSession::launch(factory(5000), RecorderConfig::markers_only(), 10);
+        assert!(s.run().is_completed());
+        // ~20000 events at interval 10 would be ~2000 checkpoints without
+        // thinning; the backlog must stay around log2(history) + recent.
+        assert!(
+            s.n_checkpoints() <= 64,
+            "backlog must stay logarithmic: {}",
+            s.n_checkpoints()
+        );
+    }
+
+    #[test]
+    fn jump_cost_proportional_to_distance() {
+        let mut s = MachineSession::launch(factory(5000), RecorderConfig::markers_only(), 64);
+        assert!(s.run().is_completed());
+        let end = s.markers();
+        let total: u64 = end.counts().iter().sum();
+        // A short jump back (2% of history) must not replay the world.
+        let target = MarkerVector::from_counts(
+            end.counts().iter().map(|c| c * 98 / 100).collect(),
+        );
+        let distance = total - target.counts().iter().sum::<u64>();
+        s.steps_replayed = 0;
+        assert!(s.replay_to(&target).is_stopped());
+        assert!(
+            s.steps_replayed <= 2 * distance + 256,
+            "short jump (distance {distance}) replayed {}",
+            s.steps_replayed
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Process sets — p2d2's central UI abstraction.
+//!
+//! The host debugger this paper extends (Hood, *The p2d2 Project*, SPDT'96)
+//! organizes every operation around *sets of processes*: the user defines
+//! named sets ("workers", "masters") and points debugger commands at a set
+//! instead of a single pid. This module provides the set algebra and the
+//! `1-6`/`0,2,5`/`all` spec syntax the command interface exposes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use tracedbg_trace::Rank;
+
+/// A named collection of process sets over `n_ranks` processes.
+#[derive(Clone, Debug)]
+pub struct ProcSets {
+    n_ranks: usize,
+    sets: BTreeMap<String, BTreeSet<Rank>>,
+}
+
+impl ProcSets {
+    pub fn new(n_ranks: usize) -> Self {
+        ProcSets {
+            n_ranks,
+            sets: BTreeMap::new(),
+        }
+    }
+
+    /// Parse a set spec: `all`, a rank (`3`), a range (`1-6`), a comma
+    /// union (`0,2-4,7`), or the name of a previously defined set.
+    pub fn parse(&self, spec: &str) -> Result<BTreeSet<Rank>, String> {
+        if spec == "all" {
+            return Ok((0..self.n_ranks as u32).map(Rank).collect());
+        }
+        if let Some(named) = self.sets.get(spec) {
+            return Ok(named.clone());
+        }
+        let mut out = BTreeSet::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(format!("empty component in {spec:?}"));
+            }
+            if let Some((a, b)) = part.split_once('-') {
+                let a: u32 = a.parse().map_err(|_| format!("bad rank {a:?}"))?;
+                let b: u32 = b.parse().map_err(|_| format!("bad rank {b:?}"))?;
+                if a > b {
+                    return Err(format!("reversed range {part:?}"));
+                }
+                for r in a..=b {
+                    out.insert(Rank(r));
+                }
+            } else {
+                let r: u32 = part.parse().map_err(|_| format!("bad rank {part:?}"))?;
+                out.insert(Rank(r));
+            }
+        }
+        if let Some(r) = out.iter().find(|r| r.ix() >= self.n_ranks) {
+            return Err(format!("{r:?} out of range (0..{})", self.n_ranks));
+        }
+        Ok(out)
+    }
+
+    /// Define (or redefine) a named set from a spec. Specs may reference
+    /// previously defined names.
+    pub fn define(&mut self, name: &str, spec: &str) -> Result<(), String> {
+        if name == "all" || name.chars().any(|c| c.is_ascii_digit()) {
+            return Err(format!(
+                "set name {name:?} is reserved or ambiguous with a rank spec"
+            ));
+        }
+        let set = self.parse(spec)?;
+        self.sets.insert(name.to_string(), set);
+        Ok(())
+    }
+
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.sets.remove(name).is_some()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&BTreeSet<Rank>> {
+        self.sets.get(name)
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.sets.keys().map(String::as_str).collect()
+    }
+
+    /// Set union of two specs.
+    pub fn union(&self, a: &str, b: &str) -> Result<BTreeSet<Rank>, String> {
+        let mut s = self.parse(a)?;
+        s.extend(self.parse(b)?);
+        Ok(s)
+    }
+
+    /// Set difference `a \ b`.
+    pub fn difference(&self, a: &str, b: &str) -> Result<BTreeSet<Rank>, String> {
+        let sb = self.parse(b)?;
+        Ok(self.parse(a)?.into_iter().filter(|r| !sb.contains(r)).collect())
+    }
+}
+
+impl fmt::Display for ProcSets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sets.is_empty() {
+            return write!(f, "(no sets defined)");
+        }
+        for (name, set) in &self.sets {
+            write!(f, "{name} = {{")?;
+            for (i, r) in set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{r}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks(v: &[u32]) -> BTreeSet<Rank> {
+        v.iter().copied().map(Rank).collect()
+    }
+
+    #[test]
+    fn parse_specs() {
+        let s = ProcSets::new(8);
+        assert_eq!(s.parse("3").unwrap(), ranks(&[3]));
+        assert_eq!(s.parse("1-3").unwrap(), ranks(&[1, 2, 3]));
+        assert_eq!(s.parse("0,2-4,7").unwrap(), ranks(&[0, 2, 3, 4, 7]));
+        assert_eq!(s.parse("all").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = ProcSets::new(4);
+        assert!(s.parse("9").is_err(), "out of range");
+        assert!(s.parse("3-1").is_err(), "reversed");
+        assert!(s.parse("x").is_err(), "unknown name");
+        assert!(s.parse("1,,2").is_err(), "empty component");
+    }
+
+    #[test]
+    fn named_sets_and_algebra() {
+        let mut s = ProcSets::new(8);
+        s.define("workers", "1-7").unwrap();
+        s.define("odd", "1,3,5,7").unwrap();
+        assert_eq!(s.parse("workers").unwrap().len(), 7);
+        // Names can reference names.
+        s.define("crew", "workers").unwrap();
+        assert_eq!(s.parse("crew").unwrap().len(), 7);
+        assert_eq!(s.union("odd", "0").unwrap(), ranks(&[0, 1, 3, 5, 7]));
+        assert_eq!(
+            s.difference("workers", "odd").unwrap(),
+            ranks(&[2, 4, 6])
+        );
+        assert!(s.remove("crew"));
+        assert!(!s.remove("crew"));
+        assert_eq!(s.names(), vec!["odd", "workers"]);
+    }
+
+    #[test]
+    fn reserved_and_ambiguous_names_rejected() {
+        let mut s = ProcSets::new(4);
+        assert!(s.define("all", "0").is_err());
+        assert!(s.define("p1", "0").is_err(), "digit-bearing names clash with specs");
+        assert!(s.define("workers", "0-2").is_ok());
+    }
+
+    #[test]
+    fn display_lists_sets() {
+        let mut s = ProcSets::new(4);
+        s.define("w", "1-2").unwrap();
+        let txt = format!("{s}");
+        assert!(txt.contains("w = {1,2}"), "{txt}");
+        assert_eq!(format!("{}", ProcSets::new(2)), "(no sets defined)");
+    }
+}

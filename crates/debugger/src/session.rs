@@ -1,0 +1,645 @@
+//! A debugging session over the simulated runtime.
+//!
+//! The session owns the target program (as a *factory*, because replay and
+//! undo re-execute it from the start — §6: "our current implementation of
+//! replay and undo is done in straightforward manner by re-executing until
+//! an execution marker threshold is encountered"), the engine incarnation
+//! currently running it, the recorded receive-match log, and the undo
+//! stack of stop states.
+
+use crate::stopline::Stopline;
+use crate::undo::UndoStack;
+use tracedbg_mpsim::{
+    CostModel, Engine, EngineConfig, ProgramFn, RecorderConfig, ReplayLog, RunOutcome,
+    SchedPolicy,
+};
+use tracedbg_mpsim::DeadlockReport;
+use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
+
+/// Recreates the target program for each (re-)execution.
+pub type ProgramFactory = Box<dyn Fn() -> Vec<ProgramFn> + Send>;
+
+/// Session construction parameters.
+#[derive(Clone, Debug, Default)]
+pub struct SessionConfig {
+    pub cost: CostModel,
+    pub policy: SchedPolicy,
+    pub recorder: RecorderConfig,
+}
+
+/// Where the session currently stands.
+#[derive(Debug)]
+pub enum SessionStatus {
+    /// Launched but not yet run.
+    Idle,
+    /// Stopped at traps and/or pauses.
+    Stopped {
+        traps: Vec<Marker>,
+        paused: Vec<Rank>,
+    },
+    Completed,
+    Deadlocked(DeadlockReport),
+    Panicked { rank: Rank, message: String },
+}
+
+impl SessionStatus {
+    pub fn is_stopped(&self) -> bool {
+        matches!(self, SessionStatus::Stopped { .. })
+    }
+
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SessionStatus::Completed)
+    }
+
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self, SessionStatus::Deadlocked(_))
+    }
+}
+
+/// A live debugging session.
+pub struct Session {
+    factory: ProgramFactory,
+    cfg: SessionConfig,
+    /// One site table for the whole session: location ids are stable
+    /// across recording, replay and restart incarnations.
+    sites: SiteTable,
+    engine: Engine,
+    status: SessionStatus,
+    undo: UndoStack,
+    /// Match log recorded by the most recent from-scratch run.
+    recorded_log: Option<ReplayLog>,
+    /// Is the current engine incarnation a replay?
+    replaying: bool,
+}
+
+impl Session {
+    /// Launch the target program (processes created, nothing run yet).
+    pub fn launch(cfg: SessionConfig, factory: ProgramFactory) -> Self {
+        let sites = SiteTable::new();
+        let engine = Engine::launch(
+            EngineConfig {
+                cost: cfg.cost,
+                policy: cfg.policy.clone(),
+                recorder: cfg.recorder.clone(),
+                replay: None,
+                sites: Some(sites.clone()),
+            },
+            factory(),
+        );
+        Session {
+            factory,
+            cfg,
+            sites,
+            engine,
+            status: SessionStatus::Idle,
+            undo: UndoStack::new(),
+            recorded_log: None,
+            replaying: false,
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.engine.n_ranks()
+    }
+
+    pub fn status(&self) -> &SessionStatus {
+        &self.status
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Run until the next stop/completion/deadlock, recording the stop on
+    /// the undo stack.
+    pub fn run(&mut self) -> &SessionStatus {
+        let outcome = self.engine.run();
+        self.status = match outcome {
+            RunOutcome::Completed => SessionStatus::Completed,
+            RunOutcome::Deadlock(d) => SessionStatus::Deadlocked(d),
+            RunOutcome::Stopped(s) => SessionStatus::Stopped {
+                traps: s.traps,
+                paused: s.paused,
+            },
+            RunOutcome::Panicked { rank, message } => SessionStatus::Panicked { rank, message },
+        };
+        // Keep the freshest full match log for replay (only from recording
+        // incarnations — a replay's log is just the forced history again).
+        if !self.replaying {
+            self.recorded_log = Some(self.engine.match_log());
+        }
+        self.undo.push(self.engine.markers());
+        &self.status
+    }
+
+    /// Resume every trapped process and run on (breakpoint thresholds are
+    /// cleared — with counter-threshold semantics a kept threshold would
+    /// re-trap on the very next event).
+    pub fn continue_all(&mut self) -> &SessionStatus {
+        self.engine.clear_thresholds();
+        self.engine.clear_pauses();
+        self.engine.resume_trapped();
+        self.run()
+    }
+
+    /// Single-step one process by one instrumentation event; all other
+    /// processes hold (the paper's antidote to the fatal "step over" —
+    /// execution cannot run away).
+    pub fn step(&mut self, rank: Rank) -> &SessionStatus {
+        let cur = self.engine.markers().get(rank);
+        self.engine.set_threshold(rank, Some(cur + 1));
+        for r in 0..self.engine.n_ranks() {
+            if r != rank.ix() {
+                self.engine.set_paused(Rank(r as u32), true);
+            }
+        }
+        self.engine.resume_rank(rank);
+        self.run();
+        for r in 0..self.engine.n_ranks() {
+            self.engine.set_paused(Rank(r as u32), false);
+        }
+        self.engine.set_threshold(rank, None);
+        &self.status
+    }
+
+    /// Step every process in a set by one event while the rest hold —
+    /// p2d2's set-oriented stepping.
+    pub fn step_set(&mut self, ranks: &std::collections::BTreeSet<Rank>) -> &SessionStatus {
+        let markers = self.engine.markers();
+        for r in 0..self.engine.n_ranks() {
+            let rank = Rank(r as u32);
+            if ranks.contains(&rank) {
+                if !self.engine.is_finished(rank) {
+                    self.engine
+                        .set_threshold(rank, Some(markers.get(rank) + 1));
+                }
+                self.engine.resume_rank(rank);
+            } else {
+                self.engine.set_paused(rank, true);
+            }
+        }
+        self.run();
+        for r in 0..self.engine.n_ranks() {
+            let rank = Rank(r as u32);
+            self.engine.set_paused(rank, false);
+            if ranks.contains(&rank) {
+                self.engine.set_threshold(rank, None);
+            }
+        }
+        &self.status
+    }
+
+    /// Verify replay fidelity (§4.2's "identical event causality"): re-run
+    /// the program from scratch under the recorded match log in a separate
+    /// engine and diff its trace against this session's history so far.
+    /// Returns the divergences (empty = faithful). Requires a recorded run.
+    pub fn verify_replay(&mut self) -> Vec<tracedbg_trace::Divergence> {
+        let mut log = self
+            .recorded_log
+            .clone()
+            .unwrap_or_else(|| self.engine.match_log());
+        log.reset();
+        let mine = self.trace();
+        let final_markers = mine.final_markers();
+        let mut other = Engine::launch(
+            EngineConfig {
+                cost: self.cfg.cost,
+                policy: self.cfg.policy.clone(),
+                recorder: self.cfg.recorder.clone(),
+                replay: Some(log),
+                sites: Some(self.sites.clone()),
+            },
+            (self.factory)(),
+        );
+        // Stop the verification run exactly where this session's history
+        // ends, so partial histories (stopped sessions) compare cleanly.
+        other.arm_stopline(&final_markers);
+        let _ = other.run();
+        let theirs = other.trace_store();
+        tracedbg_trace::diff_traces(&mine, &theirs, tracedbg_trace::DiffMode::Exact)
+    }
+
+    /// Step every non-finished process by one event.
+    pub fn step_all(&mut self) -> &SessionStatus {
+        let markers = self.engine.markers();
+        for m in markers.iter() {
+            if !self.engine.is_finished(m.rank) {
+                self.engine.set_threshold(m.rank, Some(m.count + 1));
+            }
+        }
+        self.engine.resume_trapped();
+        self.run();
+        self.engine.clear_thresholds();
+        &self.status
+    }
+
+    /// Current execution markers.
+    pub fn markers(&self) -> MarkerVector {
+        self.engine.markers()
+    }
+
+    /// Everything traced so far, as a queryable store.
+    pub fn trace(&mut self) -> TraceStore {
+        self.engine.trace_store()
+    }
+
+    /// Arm a stopline and (re-)execute to it under nondeterminism control:
+    /// the §4.1/§4.2 replay. The program restarts from scratch; wildcard
+    /// receives are forced to their recorded matches; every process stops
+    /// when its `UserMonitor` counter reaches the stopline marker.
+    pub fn replay_to(&mut self, stopline: &Stopline) -> &SessionStatus {
+        let mut log = self
+            .recorded_log
+            .clone()
+            .unwrap_or_else(|| self.engine.match_log());
+        log.reset();
+        self.engine = Engine::launch(
+            EngineConfig {
+                cost: self.cfg.cost,
+                policy: self.cfg.policy.clone(),
+                recorder: self.cfg.recorder.clone(),
+                replay: Some(log),
+                sites: Some(self.sites.clone()),
+            },
+            (self.factory)(),
+        );
+        self.replaying = true;
+        self.engine.arm_stopline(&stopline.markers);
+        self.run()
+    }
+
+    /// Parallel undo (§4.2): replay to the stop state preceding the most
+    /// recent resumption.
+    ///
+    /// Returns `false` when there is no earlier stop to return to.
+    pub fn undo(&mut self) -> bool {
+        let Some(target) = self.undo.undo_target() else {
+            return false;
+        };
+        let sl = Stopline {
+            markers: target,
+            origin: "undo".into(),
+        };
+        self.replay_to(&sl);
+        true
+    }
+
+    /// Restart the program from scratch *without* replay forcing (a fresh
+    /// recording run).
+    pub fn restart(&mut self) -> &SessionStatus {
+        self.engine = Engine::launch(
+            EngineConfig {
+                cost: self.cfg.cost,
+                policy: self.cfg.policy.clone(),
+                recorder: self.cfg.recorder.clone(),
+                replay: None,
+                sites: Some(self.sites.clone()),
+            },
+            (self.factory)(),
+        );
+        self.replaying = false;
+        self.undo = UndoStack::new();
+        self.status = SessionStatus::Idle;
+        &self.status
+    }
+
+    /// The most recent probe value with this label on a rank, from the
+    /// trace collected so far — the stand-in for inspecting a local
+    /// variable at a stop (Figure 7's `jres`).
+    pub fn latest_probe(&mut self, rank: Rank, label: &str) -> Option<i64> {
+        let store = self.trace();
+        store
+            .by_rank(rank)
+            .iter()
+            .rev()
+            .map(|&id| store.record(id).clone())
+            .find(|r: &TraceRecord| {
+                r.kind == tracedbg_trace::EventKind::Probe
+                    && r.label.as_deref() == Some(label)
+            })
+            .map(|r| r.args[0])
+    }
+
+    /// Recent `UserMonitor` ring entries of a rank, resolved to source
+    /// locations (the "where" report at a stop).
+    pub fn where_is(&self, rank: Rank) -> Vec<String> {
+        let sites = self.engine.sites().clone();
+        self.engine
+            .recent_calls(rank)
+            .into_iter()
+            .map(|e| {
+                let loc = sites
+                    .resolve(e.site)
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "?".into());
+                format!(
+                    "marker {} at {} args=({}, {})",
+                    e.marker, loc, e.args[0], e.args[1]
+                )
+            })
+            .collect()
+    }
+
+    /// The undo stack (stop history).
+    pub fn undo_stack(&self) -> &UndoStack {
+        &self.undo
+    }
+
+    // ---- breakpoints & watchpoints ----
+    //
+    // Location breakpoints resolve through the shared site table, which is
+    // populated as instrumented code executes. The trace-driven workflow —
+    // record a run first, then replay with breakpoints — guarantees the
+    // sites exist. Breakpoints survive `continue_all` (unlike the
+    // counter-threshold, which must be cleared to avoid immediate
+    // re-trapping) but are *not* carried across `replay_to`/`restart`
+    // engine incarnations; re-arm after replaying.
+
+    /// Arm a breakpoint on every site of a function. Returns how many
+    /// sites were armed (0 if the function never executed yet).
+    pub fn break_at_function(&mut self, func: &str) -> usize {
+        let sites = self.engine.sites().find_function(func);
+        for s in &sites {
+            self.engine.add_breakpoint(*s);
+        }
+        sites.len()
+    }
+
+    /// Arm a breakpoint at a file:line. Returns how many sites matched.
+    pub fn break_at_line(&mut self, file: &str, line: u32) -> usize {
+        let sites = self.engine.sites().find_line(file, line);
+        for s in &sites {
+            self.engine.add_breakpoint(*s);
+        }
+        sites.len()
+    }
+
+    /// Arm a watchpoint on a probe label (all ranks if `rank` is `None`).
+    pub fn watch(
+        &mut self,
+        rank: Option<Rank>,
+        label: &str,
+        cond: tracedbg_instrument::WatchCond,
+    ) {
+        self.engine
+            .add_watch(rank, tracedbg_instrument::Watch::new(label, cond));
+    }
+
+    /// Disarm all breakpoints and watchpoints.
+    pub fn clear_breaks(&mut self) {
+        self.engine.clear_breaks();
+    }
+
+    /// Why a rank's most recent trap fired.
+    pub fn why(&self, rank: Rank) -> Option<tracedbg_instrument::TrapCause> {
+        self.engine.trap_cause(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Payload, Tag};
+
+    fn two_proc_factory() -> ProgramFactory {
+        Box::new(|| {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("sess.rs", 1, "p0");
+                for i in 0..5 {
+                    ctx.compute(100, s);
+                    ctx.probe("i", i, s);
+                }
+                ctx.send(Rank(1), Tag(1), Payload::from_i64(99), s);
+            });
+            let p1: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("sess.rs", 2, "p1");
+                let m = ctx.recv_from(Rank(0), Tag(1), s);
+                ctx.probe("got", m.payload.to_i64().unwrap(), s);
+            });
+            vec![p0, p1]
+        })
+    }
+
+    fn session() -> Session {
+        Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            two_proc_factory(),
+        )
+    }
+
+    #[test]
+    fn run_to_completion() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        assert_eq!(s.latest_probe(Rank(1), "got"), Some(99));
+        assert_eq!(s.latest_probe(Rank(0), "i"), Some(4));
+        assert_eq!(s.latest_probe(Rank(0), "nope"), None);
+    }
+
+    #[test]
+    fn stopline_replay_stops_at_markers() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let store = s.trace();
+        // Stop P0 after its 3rd compute: ProcStart(1) c(2) p(3) c(4) p(5) c(6)
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![6, 1]),
+            origin: "test".into(),
+        };
+        match s.replay_to(&sl) {
+            SessionStatus::Stopped { traps, .. } => {
+                assert_eq!(traps.len(), 2, "{traps:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.markers().get(Rank(0)), 6);
+        assert_eq!(s.markers().get(Rank(1)), 1);
+        drop(store);
+        // Continue to the end.
+        assert!(s.continue_all().is_completed());
+    }
+
+    #[test]
+    fn step_advances_one_marker() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![2, 1]),
+            origin: "test".into(),
+        };
+        s.replay_to(&sl);
+        let before = s.markers().get(Rank(0));
+        s.step(Rank(0));
+        assert_eq!(s.markers().get(Rank(0)), before + 1);
+        assert_eq!(s.markers().get(Rank(1)), 1, "other rank held");
+    }
+
+    #[test]
+    fn undo_returns_to_previous_stop() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![4, 1]),
+            origin: "first stop".into(),
+        };
+        s.replay_to(&sl);
+        let at_first = s.markers();
+        s.step(Rank(0));
+        s.step(Rank(0));
+        assert_ne!(s.markers(), at_first);
+        assert!(s.undo(), "one undo");
+        // Undo returns to the state before the last resumption, i.e. the
+        // stop after the first step.
+        assert_eq!(s.markers().get(Rank(0)), 5);
+        assert!(s.undo(), "second undo back to the stopline");
+        assert_eq!(s.markers(), at_first);
+    }
+
+    #[test]
+    fn undo_with_no_history_is_refused() {
+        let mut s = session();
+        assert!(!s.undo());
+    }
+
+    #[test]
+    fn step_all_advances_every_live_rank() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![2, 1]),
+            origin: "test".into(),
+        };
+        s.replay_to(&sl);
+        s.step_all();
+        assert_eq!(s.markers().counts(), &[3, 2]);
+    }
+
+    #[test]
+    fn where_reports_sites() {
+        let mut s = session();
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![3, 1]),
+            origin: "test".into(),
+        };
+        s.run();
+        s.replay_to(&sl);
+        let w = s.where_is(Rank(0));
+        assert!(!w.is_empty());
+        assert!(w[0].contains("sess.rs"), "{w:?}");
+    }
+
+    #[test]
+    fn restart_resets() {
+        let mut s = session();
+        s.run();
+        s.restart();
+        assert!(matches!(s.status(), SessionStatus::Idle));
+        assert!(s.run().is_completed());
+    }
+
+    #[test]
+    fn breakpoint_on_function_stops_each_visit() {
+        let mut s = session();
+        assert!(s.run().is_completed()); // record: interns the sites
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![1, 1]),
+            origin: "start".into(),
+        };
+        s.replay_to(&sl);
+        // Break on the probe site inside p0's loop ("sess.rs" line 1 is
+        // both compute and probe's function scope? sites are per
+        // (file,line,func): p0 used one site for everything).
+        let armed = s.break_at_function("p0");
+        assert!(armed > 0);
+        // Continue: P0 traps at its next event at that site.
+        s.continue_all();
+        match s.status() {
+            SessionStatus::Stopped { traps, .. } => {
+                assert!(!traps.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.why(Rank(0)) {
+            Some(tracedbg_instrument::TrapCause::Breakpoint(_)) => {}
+            other => panic!("expected breakpoint cause, got {other:?}"),
+        }
+        // Breakpoints survive continue; the next event at the site traps
+        // again, strictly later.
+        let m1 = s.markers().get(Rank(0));
+        s.continue_all();
+        if s.status().is_stopped() {
+            assert!(s.markers().get(Rank(0)) > m1);
+        }
+        // After clearing, the run completes.
+        s.clear_breaks();
+        while s.status().is_stopped() {
+            s.continue_all();
+        }
+        assert!(s.status().is_completed());
+    }
+
+    #[test]
+    fn watchpoint_on_probe_value() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![1, 1]),
+            origin: "start".into(),
+        };
+        s.replay_to(&sl);
+        // p0 probes i = 0,1,2,3,4; trap when i == 3.
+        s.watch(
+            Some(Rank(0)),
+            "i",
+            tracedbg_instrument::WatchCond::Equals(3),
+        );
+        s.continue_all();
+        assert!(s.status().is_stopped(), "{:?}", s.status());
+        match s.why(Rank(0)) {
+            Some(tracedbg_instrument::TrapCause::Watch { label, value }) => {
+                assert_eq!(label, "i");
+                assert_eq!(value, 3);
+            }
+            other => panic!("expected watch cause, got {other:?}"),
+        }
+        assert_eq!(s.latest_probe(Rank(0), "i"), Some(3));
+        s.clear_breaks();
+        assert!(s.continue_all().is_completed());
+    }
+
+    #[test]
+    fn replay_after_deadlock_stops_before_it() {
+        // Deadlocking pair; replay to just before the fatal receives.
+        let factory: ProgramFactory = Box::new(|| {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("d.rs", 1, "p0");
+                ctx.compute(10, s);
+                let _ = ctx.recv_from(Rank(1), Tag(0), s);
+            });
+            let p1: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("d.rs", 2, "p1");
+                ctx.compute(10, s);
+                let _ = ctx.recv_from(Rank(0), Tag(0), s);
+            });
+            vec![p0, p1]
+        });
+        let mut s = Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            factory,
+        );
+        assert!(s.run().is_deadlocked());
+        // Each: ProcStart(1) compute(2) recvpost(3). Stop at 2.
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![2, 2]),
+            origin: "before deadlock".into(),
+        };
+        assert!(s.replay_to(&sl).is_stopped());
+        assert_eq!(s.markers().counts(), &[2, 2]);
+    }
+}

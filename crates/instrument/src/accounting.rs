@@ -1,0 +1,76 @@
+//! Invocation accounting — the "Number of calls" row of Table 1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tracedbg_trace::EventKind;
+
+/// Counts of instrumentation events by kind.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Accounting {
+    counts: BTreeMap<&'static str, u64>,
+    total: u64,
+}
+
+impl Accounting {
+    #[inline]
+    pub fn count(&mut self, kind: EventKind) {
+        *self.counts.entry(kind.code()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    pub fn of(&self, kind: EventKind) -> u64 {
+        self.counts.get(kind.code()).copied().unwrap_or(0)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Merge another process's accounting into this one (whole-run totals).
+    pub fn merge(&mut self, other: &Accounting) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+
+    /// Function-entry count — the paper counts `UserMonitor` calls, which
+    /// gcc's `-p` inserts at function entries.
+    pub fn fn_entries(&self) -> u64 {
+        self.of(EventKind::FnEnter)
+    }
+}
+
+impl fmt::Display for Accounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} events (", self.total)?;
+        for (i, (k, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}:{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_merge() {
+        let mut a = Accounting::default();
+        a.count(EventKind::FnEnter);
+        a.count(EventKind::FnEnter);
+        a.count(EventKind::Send);
+        let mut b = Accounting::default();
+        b.count(EventKind::FnEnter);
+        a.merge(&b);
+        assert_eq!(a.fn_entries(), 3);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.of(EventKind::RecvDone), 0);
+        let s = format!("{a}");
+        assert!(s.contains("FE:3"), "{s}");
+    }
+}

@@ -1,0 +1,218 @@
+//! The `UserMonitor` function (§2.2).
+//!
+//! "In its current implementation, the function increments a single global
+//! counter, records the address it was called from together with the first
+//! two arguments passed to it, and tests to see if the global counter has
+//! reached a threshold value which can be set by the debugger."
+//!
+//! In the simulated runtime each process has its own monitor (our "global"
+//! counter is global *to the process*, which is what the original per-
+//! address-space counter was). The call-site "address" is an interned
+//! [`SiteId`].
+
+use tracedbg_trace::SiteId;
+
+/// Threshold value meaning "no trap armed".
+pub const NO_THRESHOLD: u64 = u64::MAX;
+
+/// One remembered monitor invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingEntry {
+    /// Which instrumentation point called the monitor.
+    pub site: SiteId,
+    /// First two integer arguments of the instrumented call.
+    pub args: [i64; 2],
+    /// The marker counter value at the invocation.
+    pub marker: u64,
+}
+
+/// Fixed-size ring of the most recent monitor invocations, consulted by the
+/// debugger when a process stops ("where was I, and with what arguments?").
+#[derive(Clone, Debug)]
+pub struct CallRing {
+    entries: Vec<Option<RingEntry>>,
+    pos: usize,
+}
+
+impl CallRing {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        CallRing {
+            entries: vec![None; capacity],
+            pos: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, e: RingEntry) {
+        self.entries[self.pos] = Some(e);
+        self.pos = (self.pos + 1) % self.entries.len();
+    }
+
+    /// Most recent entries, newest first.
+    pub fn recent(&self) -> Vec<RingEntry> {
+        let n = self.entries.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let ix = (self.pos + n - 1 - i) % n;
+            if let Some(e) = self.entries[ix] {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// The single most recent entry.
+    pub fn last(&self) -> Option<RingEntry> {
+        let n = self.entries.len();
+        self.entries[(self.pos + n - 1) % n]
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-process `UserMonitor` state: the execution-marker counter, the
+/// debugger-set threshold, and the recent-call ring.
+#[derive(Clone, Debug)]
+pub struct UserMonitor {
+    counter: u64,
+    threshold: u64,
+    ring: CallRing,
+    invocations: u64,
+}
+
+impl UserMonitor {
+    pub fn new(ring_capacity: usize) -> Self {
+        UserMonitor {
+            counter: 0,
+            threshold: NO_THRESHOLD,
+            ring: CallRing::new(ring_capacity),
+            invocations: 0,
+        }
+    }
+
+    /// The monitor call itself. Returns `true` when the counter has reached
+    /// the armed threshold (a debugger trap).
+    #[inline]
+    pub fn invoke(&mut self, site: SiteId, a0: i64, a1: i64) -> bool {
+        self.counter += 1;
+        self.invocations += 1;
+        self.ring.push(RingEntry {
+            site,
+            args: [a0, a1],
+            marker: self.counter,
+        });
+        self.counter >= self.threshold
+    }
+
+    /// Current marker counter (number of instrumentation events executed).
+    #[inline]
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Arm a trap: the monitor reports a trap at the first event with
+    /// `counter >= threshold`. This is the replay/stopline mechanism: "the
+    /// debugger ... stores the execution markers in the UserMonitor
+    /// threshold variables" (§4.1).
+    pub fn set_threshold(&mut self, threshold: u64) {
+        self.threshold = threshold;
+    }
+
+    /// Disarm the trap.
+    pub fn clear_threshold(&mut self) {
+        self.threshold = NO_THRESHOLD;
+    }
+
+    pub fn threshold(&self) -> Option<u64> {
+        if self.threshold == NO_THRESHOLD {
+            None
+        } else {
+            Some(self.threshold)
+        }
+    }
+
+    /// Total monitor invocations (Table 1's "Number of calls" row).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Force the counter to an absolute value. Only used when restoring a
+    /// checkpoint: the restored process must continue generating the same
+    /// marker sequence it would have reached by re-execution.
+    pub fn force_counter(&mut self, value: u64) {
+        self.counter = value;
+    }
+
+    /// Recent-call ring, for the debugger's stop reports.
+    pub fn ring(&self) -> &CallRing {
+        &self.ring
+    }
+}
+
+impl Default for UserMonitor {
+    fn default() -> Self {
+        UserMonitor::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments() {
+        let mut m = UserMonitor::default();
+        assert!(!m.invoke(SiteId(0), 1, 2));
+        assert!(!m.invoke(SiteId(1), 3, 4));
+        assert_eq!(m.counter(), 2);
+        assert_eq!(m.invocations(), 2);
+    }
+
+    #[test]
+    fn threshold_traps_exactly_once_armed() {
+        let mut m = UserMonitor::default();
+        m.set_threshold(3);
+        assert!(!m.invoke(SiteId(0), 0, 0));
+        assert!(!m.invoke(SiteId(0), 0, 0));
+        assert!(m.invoke(SiteId(0), 0, 0), "3rd event must trap");
+        // Threshold is >= so subsequent events keep trapping until cleared —
+        // the debugger clears it on stop.
+        assert!(m.invoke(SiteId(0), 0, 0));
+        m.clear_threshold();
+        assert!(!m.invoke(SiteId(0), 0, 0));
+        assert_eq!(m.threshold(), None);
+    }
+
+    #[test]
+    fn ring_keeps_newest_first() {
+        let mut m = UserMonitor::new(3);
+        for i in 0..5 {
+            m.invoke(SiteId(i), i as i64, 0);
+        }
+        let recent = m.ring().recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].site, SiteId(4));
+        assert_eq!(recent[1].site, SiteId(3));
+        assert_eq!(recent[2].site, SiteId(2));
+        assert_eq!(recent[0].marker, 5);
+        assert_eq!(m.ring().last().unwrap().site, SiteId(4));
+    }
+
+    #[test]
+    fn ring_partial_fill() {
+        let mut m = UserMonitor::new(8);
+        m.invoke(SiteId(9), 7, 8);
+        let recent = m.ring().recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].args, [7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_ring_panics() {
+        CallRing::new(0);
+    }
+}

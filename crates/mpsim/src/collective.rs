@@ -1,0 +1,278 @@
+//! Collective operations, implemented natively in the engine.
+//!
+//! Each process enters the collective with its contribution; when all `n`
+//! ranks have arrived the engine computes per-rank results and releases
+//! everyone at the synchronized completion time. Collectives are traced as
+//! single constructs (one record per participant), matching how AIMS
+//! displayed them.
+
+use crate::payload::Payload;
+use serde::{Deserialize, Serialize};
+use tracedbg_trace::{CollKind, Rank};
+
+/// Reduction operators over f64 element vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Prod => 1.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// One rank's pending entry into a collective.
+#[derive(Debug)]
+pub struct CollEntry {
+    pub rank: Rank,
+    pub payload: Payload,
+    pub t_enter: u64,
+}
+
+/// An in-progress collective: buffers entries until all ranks arrive.
+#[derive(Debug)]
+pub struct PendingCollective {
+    pub kind: CollKind,
+    pub root: Rank,
+    pub op: Option<ReduceOp>,
+    pub entries: Vec<Option<CollEntry>>,
+    pub arrived: usize,
+}
+
+impl PendingCollective {
+    pub fn new(kind: CollKind, root: Rank, op: Option<ReduceOp>, n: usize) -> Self {
+        PendingCollective {
+            kind,
+            root,
+            op,
+            entries: (0..n).map(|_| None).collect(),
+            arrived: 0,
+        }
+    }
+
+    /// Add a participant; returns `true` when the collective is complete.
+    pub fn join(&mut self, e: CollEntry) -> bool {
+        let ix = e.rank.ix();
+        assert!(
+            self.entries[ix].is_none(),
+            "{:?} entered collective twice",
+            e.rank
+        );
+        self.entries[ix] = Some(e);
+        self.arrived += 1;
+        self.arrived == self.entries.len()
+    }
+
+    /// Completion time: all participants synchronize at the latest entry
+    /// (plus a fixed synchronization cost supplied by the caller).
+    pub fn completion_time(&self, sync_cost: u64) -> u64 {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.t_enter)
+            .max()
+            .unwrap_or(0)
+            + sync_cost
+    }
+
+    /// Compute each rank's result payload. Panics if called before all
+    /// ranks arrived.
+    pub fn results(&self) -> Vec<Payload> {
+        assert_eq!(self.arrived, self.entries.len());
+        let n = self.entries.len();
+        let payload_of = |r: usize| -> &Payload { &self.entries[r].as_ref().unwrap().payload };
+        match self.kind {
+            CollKind::Barrier => (0..n).map(|_| Payload::empty()).collect(),
+            CollKind::Bcast => {
+                let root = payload_of(self.root.ix()).clone();
+                (0..n).map(|_| root.clone()).collect()
+            }
+            CollKind::Reduce | CollKind::AllReduce => {
+                let op = self.op.expect("reduce requires an operator");
+                let vecs: Vec<Vec<f64>> = (0..n)
+                    .map(|r| {
+                        payload_of(r)
+                            .to_f64s()
+                            .expect("reduce payloads must be f64 vectors")
+                    })
+                    .collect();
+                let len = vecs.first().map(|v| v.len()).unwrap_or(0);
+                assert!(
+                    vecs.iter().all(|v| v.len() == len),
+                    "reduce contributions must have equal length"
+                );
+                let mut acc = vec![op.identity(); len];
+                for v in &vecs {
+                    for (a, x) in acc.iter_mut().zip(v) {
+                        *a = op.apply(*a, *x);
+                    }
+                }
+                let result = Payload::from_f64s(&acc);
+                match self.kind {
+                    CollKind::Reduce => (0..n)
+                        .map(|r| {
+                            if r == self.root.ix() {
+                                result.clone()
+                            } else {
+                                Payload::empty()
+                            }
+                        })
+                        .collect(),
+                    _ => (0..n).map(|_| result.clone()).collect(),
+                }
+            }
+            CollKind::Gather => {
+                let parts: Vec<Payload> = (0..n).map(|r| payload_of(r).clone()).collect();
+                let all = Payload::concat(&parts);
+                (0..n)
+                    .map(|r| {
+                        if r == self.root.ix() {
+                            all.clone()
+                        } else {
+                            Payload::empty()
+                        }
+                    })
+                    .collect()
+            }
+            CollKind::Scatter => {
+                
+                payload_of(self.root.ix()).split_n(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rank: u32, payload: Payload, t: u64) -> CollEntry {
+        CollEntry {
+            rank: Rank(rank),
+            payload,
+            t_enter: t,
+        }
+    }
+
+    fn run(kind: CollKind, root: u32, op: Option<ReduceOp>, payloads: Vec<Payload>) -> Vec<Payload> {
+        let n = payloads.len();
+        let mut pc = PendingCollective::new(kind, Rank(root), op, n);
+        for (i, p) in payloads.into_iter().enumerate() {
+            let done = pc.join(entry(i as u32, p, (i as u64 + 1) * 10));
+            assert_eq!(done, i == n - 1);
+        }
+        pc.results()
+    }
+
+    #[test]
+    fn barrier_empty_results() {
+        let res = run(CollKind::Barrier, 0, None, vec![Payload::empty(); 3]);
+        assert!(res.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn bcast_copies_root() {
+        let res = run(
+            CollKind::Bcast,
+            1,
+            None,
+            vec![
+                Payload::empty(),
+                Payload::from_i64(42),
+                Payload::empty(),
+            ],
+        );
+        assert!(res.iter().all(|p| p.to_i64() == Some(42)));
+    }
+
+    #[test]
+    fn reduce_sum_to_root_only() {
+        let res = run(
+            CollKind::Reduce,
+            0,
+            Some(ReduceOp::Sum),
+            vec![
+                Payload::from_f64s(&[1.0, 2.0]),
+                Payload::from_f64s(&[10.0, 20.0]),
+            ],
+        );
+        assert_eq!(res[0].to_f64s().unwrap(), vec![11.0, 22.0]);
+        assert!(res[1].is_empty());
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        let res = run(
+            CollKind::AllReduce,
+            0,
+            Some(ReduceOp::Max),
+            vec![
+                Payload::from_f64s(&[1.0, 9.0]),
+                Payload::from_f64s(&[5.0, 2.0]),
+            ],
+        );
+        for p in &res {
+            assert_eq!(p.to_f64s().unwrap(), vec![5.0, 9.0]);
+        }
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let res = run(
+            CollKind::Gather,
+            1,
+            None,
+            vec![Payload::from_i64(1), Payload::from_i64(2), Payload::from_i64(3)],
+        );
+        assert!(res[0].is_empty());
+        assert_eq!(res[1].to_i64s().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scatter_splits_root_payload() {
+        let res = run(
+            CollKind::Scatter,
+            0,
+            None,
+            vec![Payload::from_i64s(&[7, 8]), Payload::empty()],
+        );
+        assert_eq!(res[0].to_i64(), Some(7));
+        assert_eq!(res[1].to_i64(), Some(8));
+    }
+
+    #[test]
+    fn completion_time_is_last_arrival_plus_cost() {
+        let mut pc = PendingCollective::new(CollKind::Barrier, Rank(0), None, 2);
+        pc.join(entry(0, Payload::empty(), 5));
+        pc.join(entry(1, Payload::empty(), 50));
+        assert_eq!(pc.completion_time(3), 53);
+    }
+
+    #[test]
+    fn reduce_ops_math() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Prod.apply(2.0, 3.0), 6.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert_eq!(ReduceOp::Prod.identity(), 1.0);
+    }
+}

@@ -1,0 +1,1029 @@
+//! The turn-taking engine.
+//!
+//! The engine owns every shared structure of a run (mailboxes, sequence
+//! counters, collective state, the match recorder) and grants execution to
+//! exactly one process at a time. A granted process runs until its next
+//! runtime operation, submits a [`Request`] and blocks; the engine services
+//! the request and schedules the next turn. Because scheduling decisions
+//! are a pure function of (program, policy seed, replay log), the run is
+//! controlled — restarting it with the same inputs regenerates the same
+//! execution, which is the foundation of the paper's replay, stopline and
+//! *undo* operations.
+
+use crate::clock::CostModel;
+use crate::collective::{CollEntry, PendingCollective};
+use crate::deadlock::DeadlockReport;
+use crate::mailbox::Mailbox;
+use crate::message::{Envelope, MatchSpec};
+use crate::ops::{Reply, Request, SendMode, ShutdownSignal};
+use crate::proc::{ProcessCtx, ProgramFn};
+use crate::record::{MatchRecorder, RecordedMatch, ReplayLog};
+use crate::sched::{SchedPolicy, Scheduler};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tracedbg_instrument::{Recorder, RecorderConfig};
+use tracedbg_trace::{
+    FlushHandle, Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore,
+};
+
+/// Engine construction parameters.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    pub cost: CostModel,
+    pub policy: SchedPolicy,
+    pub recorder: RecorderConfig,
+    /// Force receive matches from a previous run (§4.2 replay).
+    pub replay: Option<ReplayLog>,
+    /// Share a site table across engine incarnations so source-location
+    /// ids stay stable between a recording run and its replays (the
+    /// debugger's breakpoints and trace comparisons depend on this).
+    pub sites: Option<SiteTable>,
+}
+
+impl EngineConfig {
+    pub fn with_recorder(recorder: RecorderConfig) -> Self {
+        EngineConfig {
+            recorder,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why `Engine::run` returned.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Every process finished.
+    Completed,
+    /// No process can make progress (the Figure 5 situation).
+    Deadlock(DeadlockReport),
+    /// One or more processes hit debugger traps / pauses.
+    Stopped(StopReason),
+    /// A process panicked.
+    Panicked { rank: Rank, message: String },
+}
+
+impl RunOutcome {
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RunOutcome::Deadlock(_))
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        matches!(self, RunOutcome::Stopped(_))
+    }
+}
+
+/// Details of a debugger stop.
+#[derive(Debug, Clone)]
+pub struct StopReason {
+    /// Processes stopped at fired marker thresholds.
+    pub traps: Vec<Marker>,
+    /// Processes paused by an explicit debugger pause.
+    pub paused: Vec<Rank>,
+}
+
+#[derive(Debug)]
+enum ProcState {
+    /// Waiting for a turn; the reply to deliver when granted.
+    Ready(Reply),
+    /// Currently holding the turn (engine is waiting for its request).
+    Running,
+    /// Blocked in a receive.
+    Blocked {
+        spec: MatchSpec,
+        t_post: u64,
+        marker: u64,
+    },
+    /// Blocked in a synchronous send to `dst`, waiting for the rendezvous.
+    BlockedSend { dst: Rank, marker: u64 },
+    /// Waiting inside a collective.
+    InCollective,
+    /// Stopped at a fired marker threshold.
+    Trapped { marker: u64 },
+    Finished,
+    Panicked(String),
+}
+
+/// A complete simulated run.
+pub struct Engine {
+    states: Vec<ProcState>,
+    paused: Vec<bool>,
+    reply_txs: Vec<Sender<Reply>>,
+    req_rx: Receiver<(Rank, Request)>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    mailboxes: Vec<Mailbox>,
+    /// `send_seq[src][dst]`: next sequence number on that channel.
+    send_seq: Vec<Vec<u64>>,
+    scheduler: Scheduler,
+    match_rec: MatchRecorder,
+    replay: Option<ReplayLog>,
+    recorders: Vec<Arc<Mutex<Recorder>>>,
+    sites: SiteTable,
+    flush: FlushHandle,
+    cost: CostModel,
+    pending_coll: Option<PendingCollective>,
+    n_ranks: usize,
+    /// Trace records collected from finished/flushed buffers.
+    collected: Vec<TraceRecord>,
+}
+
+impl Engine {
+    /// Launch `programs` (one per rank) under `config`. Processes start
+    /// ready but do not run until [`Engine::run`].
+    pub fn launch(config: EngineConfig, programs: Vec<ProgramFn>) -> Self {
+        install_quiet_shutdown_hook();
+        let n = programs.len();
+        assert!(n > 0, "need at least one process");
+        let sites = config.sites.clone().unwrap_or_default();
+        let flush = FlushHandle::new();
+        let (req_tx, req_rx) = unbounded::<(Rank, Request)>();
+        let mut reply_txs = Vec::with_capacity(n);
+        let mut recorders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut replay = config.replay;
+        if let Some(log) = replay.as_mut() {
+            log.reset();
+        }
+        for (i, program) in programs.into_iter().enumerate() {
+            let rank = Rank(i as u32);
+            let (reply_tx, reply_rx) = unbounded::<Reply>();
+            let recorder = Arc::new(Mutex::new(Recorder::new(rank, config.recorder.clone())));
+            let mut ctx = ProcessCtx::new(
+                rank,
+                n,
+                config.cost,
+                sites.clone(),
+                Arc::clone(&recorder),
+                req_tx.clone(),
+                reply_rx,
+                flush.clone(),
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("mpsim-p{i}"))
+                .spawn(move || {
+                    ctx.wait_initial_grant();
+                    ctx.emit_proc_start();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        program(&mut ctx)
+                    }));
+                    match result {
+                        Ok(()) => {
+                            ctx.emit_proc_end();
+                            ctx.finish();
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<ShutdownSignal>().is_some() {
+                                return; // engine teardown: exit quietly
+                            }
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic>".into());
+                            ctx.report_panic(msg);
+                        }
+                    }
+                })
+                .expect("spawn process thread");
+            reply_txs.push(reply_tx);
+            recorders.push(recorder);
+            handles.push(Some(handle));
+        }
+        Engine {
+            states: (0..n).map(|_| ProcState::Ready(Reply::Proceed)).collect(),
+            paused: vec![false; n],
+            reply_txs,
+            req_rx,
+            handles,
+            mailboxes: (0..n).map(|_| Mailbox::new(n)).collect(),
+            send_seq: vec![vec![0; n]; n],
+            scheduler: Scheduler::new(&config.policy, n),
+            match_rec: MatchRecorder::new(n),
+            replay,
+            recorders,
+            sites,
+            flush,
+            cost: config.cost,
+            pending_coll: None,
+            n_ranks: n,
+            collected: Vec::new(),
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// Run until completion, deadlock, panic, or a debugger stop.
+    pub fn run(&mut self) -> RunOutcome {
+        loop {
+            let runnable: Vec<Rank> = self
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| matches!(s, ProcState::Ready(_)) && !self.paused[*i])
+                .map(|(i, _)| Rank(i as u32))
+                .collect();
+            if runnable.is_empty() {
+                return self.stall_outcome();
+            }
+            let p = self.scheduler.pick(&runnable);
+            let reply = match std::mem::replace(&mut self.states[p.ix()], ProcState::Running) {
+                ProcState::Ready(r) => r,
+                other => unreachable!("granted non-ready process in state {other:?}"),
+            };
+            self.reply_txs[p.ix()]
+                .send(reply)
+                .expect("process thread vanished");
+            let (rank, req) = self.req_rx.recv().expect("request channel closed");
+            debug_assert_eq!(rank, p, "request from a process without the turn");
+            self.service(rank, req);
+        }
+    }
+
+    /// Classify the no-runnable-process situation.
+    fn stall_outcome(&mut self) -> RunOutcome {
+        if let Some((i, msg)) = self.states.iter().enumerate().find_map(|(i, s)| match s {
+            ProcState::Panicked(m) => Some((i, m.clone())),
+            _ => None,
+        }) {
+            return RunOutcome::Panicked {
+                rank: Rank(i as u32),
+                message: msg,
+            };
+        }
+        if self
+            .states
+            .iter()
+            .all(|s| matches!(s, ProcState::Finished))
+        {
+            return RunOutcome::Completed;
+        }
+        let traps: Vec<Marker> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ProcState::Trapped { marker } => Some(Marker::new(i as u32, *marker)),
+                _ => None,
+            })
+            .collect();
+        let paused: Vec<Rank> = self
+            .paused
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| **p && matches!(self.states[*i], ProcState::Ready(_)))
+            .map(|(i, _)| Rank(i as u32))
+            .collect();
+        if !traps.is_empty() || !paused.is_empty() {
+            return RunOutcome::Stopped(StopReason { traps, paused });
+        }
+        // Genuine stall: everyone is blocked, in a collective, or finished.
+        let blocked: Vec<(Rank, MatchSpec, u64)> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ProcState::Blocked { spec, marker, .. } => {
+                    Some((Rank(i as u32), *spec, *marker))
+                }
+                ProcState::BlockedSend { dst, marker } => Some((
+                    Rank(i as u32),
+                    MatchSpec::new(Some(*dst), None),
+                    *marker,
+                )),
+                ProcState::InCollective => {
+                    Some((Rank(i as u32), MatchSpec::any(), 0))
+                }
+                _ => None,
+            })
+            .collect();
+        RunOutcome::Deadlock(DeadlockReport::analyze(&blocked))
+    }
+
+    fn service(&mut self, rank: Rank, req: Request) {
+        match req {
+            Request::Send {
+                dst,
+                tag,
+                payload,
+                t0,
+                send_marker,
+                site,
+                mode,
+            } => {
+                let seq = self.send_seq[rank.ix()][dst.ix()];
+                self.send_seq[rank.ix()][dst.ix()] += 1;
+                let t_done = self.cost.send_done(t0);
+                let arrival = self.cost.arrival(t_done, payload.len());
+                let env = Envelope {
+                    src: rank,
+                    dst,
+                    tag,
+                    seq,
+                    arrival,
+                    send_marker,
+                    send_site: site,
+                    synchronous: mode == SendMode::Synchronous,
+                    payload,
+                };
+                self.mailboxes[dst.ix()].push(env);
+                self.states[rank.ix()] = match mode {
+                    SendMode::Buffered => ProcState::Ready(Reply::SendDone { seq, t_done }),
+                    SendMode::Synchronous => ProcState::BlockedSend {
+                        dst,
+                        marker: send_marker,
+                    },
+                };
+                self.try_match(dst);
+            }
+            Request::Recv { mut spec, t_post } => {
+                // Replay pinning: narrow this receive to the recorded match.
+                if let Some(log) = self.replay.as_mut() {
+                    if let Some(m) = log.next_for(rank) {
+                        spec.forced = Some((m.src, m.seq));
+                    }
+                }
+                let marker = self.recorders[rank.ix()].lock().marker();
+                self.states[rank.ix()] = ProcState::Blocked {
+                    spec,
+                    t_post,
+                    marker,
+                };
+                self.try_match(rank);
+            }
+            Request::Collective {
+                kind,
+                root,
+                payload,
+                op,
+                t_enter,
+            } => {
+                let pc = self.pending_coll.get_or_insert_with(|| {
+                    PendingCollective::new(kind, root, op, self.n_ranks)
+                });
+                assert_eq!(
+                    pc.kind, kind,
+                    "collective mismatch: {:?} entered {kind:?} while {:?} in progress",
+                    rank, pc.kind
+                );
+                self.states[rank.ix()] = ProcState::InCollective;
+                let complete = pc.join(CollEntry {
+                    rank,
+                    payload,
+                    t_enter,
+                });
+                if complete {
+                    let pc = self.pending_coll.take().unwrap();
+                    let t_done = pc.completion_time(self.cost.latency);
+                    let results = pc.results();
+                    for (i, result) in results.into_iter().enumerate() {
+                        self.states[i] = ProcState::Ready(Reply::CollDone { result, t_done });
+                    }
+                }
+            }
+            Request::MarkerTrap { marker } => {
+                self.states[rank.ix()] = ProcState::Trapped { marker };
+            }
+            Request::Finished { .. } => {
+                self.states[rank.ix()] = ProcState::Finished;
+                // Collect the finished process's trace immediately.
+                let recs = self.recorders[rank.ix()].lock().take_records();
+                self.collected.extend(recs);
+            }
+            Request::Panicked { message } => {
+                self.states[rank.ix()] = ProcState::Panicked(message);
+            }
+        }
+    }
+
+    /// If `dst` is blocked in a receive that can now match, deliver.
+    fn try_match(&mut self, dst: Rank) {
+        let (spec, t_post) = match &self.states[dst.ix()] {
+            ProcState::Blocked { spec, t_post, .. } => (*spec, *t_post),
+            _ => return,
+        };
+        let candidates = self.mailboxes[dst.ix()].candidates(&spec);
+        if candidates.is_empty() {
+            return;
+        }
+        let keys: Vec<(u64, Rank)> = candidates.iter().map(|c| (c.arrival, c.src)).collect();
+        let pick = self.scheduler.pick_candidate(&keys);
+        let env = self.mailboxes[dst.ix()].take(candidates[pick]);
+        self.match_rec.record(
+            dst,
+            RecordedMatch {
+                src: env.src,
+                tag: env.tag,
+                seq: env.seq,
+            },
+        );
+        let t_done = self.cost.recv_done(t_post, env.arrival);
+        // A synchronous sender rendezvouses here: it completes at the
+        // same instant the receive does.
+        if env.synchronous {
+            let sender = env.src;
+            if matches!(self.states[sender.ix()], ProcState::BlockedSend { .. }) {
+                self.states[sender.ix()] = ProcState::Ready(Reply::SendDone {
+                    seq: env.seq,
+                    t_done,
+                });
+            }
+        }
+        self.states[dst.ix()] = ProcState::Ready(Reply::RecvDone { env, t_done });
+    }
+
+    // ---- debugger interface ----
+
+    /// Arm the marker threshold of one process (`None` disarms). The
+    /// process traps at the first event whose marker reaches the value.
+    pub fn set_threshold(&self, rank: Rank, threshold: Option<u64>) {
+        self.recorders[rank.ix()].lock().set_threshold(threshold);
+    }
+
+    /// Arm thresholds for all ranks from a marker vector. A rank with
+    /// count 0 means "stop before the first event": that rank is paused
+    /// outright (there is no marker state 0 to trap on).
+    pub fn arm_stopline(&mut self, markers: &MarkerVector) {
+        for m in markers.iter() {
+            if m.count > 0 {
+                self.set_threshold(m.rank, Some(m.count));
+            } else {
+                self.set_paused(m.rank, true);
+            }
+        }
+    }
+
+    /// Clear every debugger pause.
+    pub fn clear_pauses(&mut self) {
+        self.paused.fill(false);
+    }
+
+    /// Disarm every threshold.
+    pub fn clear_thresholds(&self) {
+        for r in 0..self.n_ranks {
+            self.set_threshold(Rank(r as u32), None);
+        }
+    }
+
+    /// Resume all trapped processes (thresholds stay as set; clear them
+    /// first to avoid immediately re-trapping).
+    pub fn resume_trapped(&mut self) {
+        for s in self.states.iter_mut() {
+            if matches!(s, ProcState::Trapped { .. }) {
+                *s = ProcState::Ready(Reply::Proceed);
+            }
+        }
+    }
+
+    /// Resume a single trapped process (single-process `step`/`continue`).
+    /// Returns `false` if the process was not trapped.
+    pub fn resume_rank(&mut self, rank: Rank) -> bool {
+        let s = &mut self.states[rank.ix()];
+        if matches!(s, ProcState::Trapped { .. }) {
+            *s = ProcState::Ready(Reply::Proceed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is this process currently stopped at a trap?
+    pub fn is_trapped(&self, rank: Rank) -> bool {
+        matches!(self.states[rank.ix()], ProcState::Trapped { .. })
+    }
+
+    /// Has this process finished?
+    pub fn is_finished(&self, rank: Rank) -> bool {
+        matches!(self.states[rank.ix()], ProcState::Finished)
+    }
+
+    /// Pause / unpause a process (debugger-initiated, turn-level).
+    pub fn set_paused(&mut self, rank: Rank, paused: bool) {
+        self.paused[rank.ix()] = paused;
+    }
+
+    /// Current execution markers of every process.
+    pub fn markers(&self) -> MarkerVector {
+        let mut v = MarkerVector::zero(self.n_ranks);
+        for (i, r) in self.recorders.iter().enumerate() {
+            v.set(Rank(i as u32), r.lock().marker());
+        }
+        v
+    }
+
+    /// Ranks currently stopped at traps.
+    pub fn trapped(&self) -> Vec<Marker> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ProcState::Trapped { marker } => Some(Marker::new(i as u32, *marker)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Recent `UserMonitor` ring of a process (stop reports).
+    pub fn recent_calls(&self, rank: Rank) -> Vec<tracedbg_instrument::RingEntry> {
+        self.recorders[rank.ix()].lock().monitor().ring().recent()
+    }
+
+    /// Arm a source-location breakpoint on every process.
+    pub fn add_breakpoint(&self, site: tracedbg_trace::SiteId) {
+        for r in &self.recorders {
+            r.lock().add_breakpoint(site);
+        }
+    }
+
+    /// Disarm a source-location breakpoint on every process.
+    pub fn remove_breakpoint(&self, site: tracedbg_trace::SiteId) {
+        for r in &self.recorders {
+            r.lock().remove_breakpoint(site);
+        }
+    }
+
+    /// Arm a watchpoint on one process (or all, with `None`).
+    pub fn add_watch(&self, rank: Option<Rank>, watch: tracedbg_instrument::Watch) {
+        match rank {
+            Some(r) => self.recorders[r.ix()].lock().add_watch(watch),
+            None => {
+                for r in &self.recorders {
+                    r.lock().add_watch(watch.clone());
+                }
+            }
+        }
+    }
+
+    /// Disarm all breakpoints and watchpoints everywhere.
+    pub fn clear_breaks(&self) {
+        for r in &self.recorders {
+            r.lock().clear_breaks();
+        }
+    }
+
+    /// Why a process's most recent trap fired.
+    pub fn trap_cause(&self, rank: Rank) -> Option<tracedbg_instrument::TrapCause> {
+        self.recorders[rank.ix()].lock().last_trap().cloned()
+    }
+
+    /// Pull everything traced so far (on-demand flush of every process
+    /// buffer plus previously flushed data). Safe while stopped: no process
+    /// thread runs while the engine has control.
+    pub fn collect_trace(&mut self) -> Vec<TraceRecord> {
+        for r in &self.recorders {
+            let mut g = r.lock();
+            let recs = g.take_records();
+            drop(g);
+            self.collected.extend(recs);
+        }
+        self.collected.extend(self.flush.drain());
+        self.collected.clone()
+    }
+
+    /// Collected trace as a queryable store.
+    pub fn trace_store(&mut self) -> TraceStore {
+        let recs = self.collect_trace();
+        TraceStore::build(recs, self.sites.clone(), self.n_ranks)
+    }
+
+    /// The receive-match history of this run, for replaying it later.
+    pub fn match_log(&self) -> ReplayLog {
+        self.match_rec.clone().into_log()
+    }
+
+    /// Undelivered messages per destination (unmatched sends, §4.4).
+    pub fn undelivered(&self) -> Vec<(Rank, Vec<Envelope>)> {
+        self.mailboxes
+            .iter()
+            .enumerate()
+            .map(|(i, mb)| {
+                (
+                    Rank(i as u32),
+                    mb.undelivered().into_iter().cloned().collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Per-process monitor invocation counts (Table 1 accounting).
+    pub fn invocations(&self) -> Vec<u64> {
+        self.recorders
+            .iter()
+            .map(|r| r.lock().monitor().invocations())
+            .collect()
+    }
+}
+
+/// Engine teardown unwinds parked process threads with a
+/// [`ShutdownSignal`] panic; this hook keeps those intentional unwinds out
+/// of stderr while delegating real panics to the previous hook.
+fn install_quiet_shutdown_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Wake every parked process with a shutdown grant, then join.
+        for (i, tx) in self.reply_txs.iter().enumerate() {
+            if !matches!(self.states[i], ProcState::Finished | ProcState::Panicked(_)) {
+                let _ = tx.send(Reply::Shutdown);
+            }
+        }
+        for h in self.handles.iter_mut() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+    use tracedbg_trace::{EventKind, Tag};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::with_recorder(RecorderConfig::full())
+    }
+
+    fn site_of(ctx: &ProcessCtx, f: &str) -> tracedbg_trace::SiteId {
+        ctx.site("test.rs", 1, f)
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.send(Rank(1), Tag(1), Payload::from_i64(42), s);
+            let m = ctx.recv_from(Rank(1), Tag(2), s);
+            assert_eq!(m.payload.to_i64(), Some(43));
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            let m = ctx.recv_from(Rank(0), Tag(1), s);
+            let x = m.payload.to_i64().unwrap();
+            ctx.send(Rank(0), Tag(2), Payload::from_i64(x + 1), s);
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        let out = e.run();
+        assert!(out.is_completed(), "{out:?}");
+        let store = e.trace_store();
+        assert_eq!(store.of_kind(EventKind::Send).len(), 2);
+        assert_eq!(store.of_kind(EventKind::RecvDone).len(), 2);
+    }
+
+    #[test]
+    fn recv_before_send_blocks_then_matches() {
+        // P1 posts its receive long before P0 sends.
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.compute(1_000_000, s);
+            ctx.send(Rank(1), Tag(9), Payload::from_i64(7), s);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            let m = ctx.recv_from(Rank(0), Tag(9), s);
+            assert_eq!(m.payload.to_i64(), Some(7));
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        // Receive completion must not precede send completion.
+        let send = &store.records()[store.of_kind(EventKind::Send)[0].ix()];
+        let recv = &store.records()[store.of_kind(EventKind::RecvDone)[0].ix()];
+        assert!(recv.t_end >= send.t_end);
+    }
+
+    #[test]
+    fn deadlock_detected_with_cycle() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            let _ = ctx.recv_from(Rank(1), Tag(0), s);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            let _ = ctx.recv_from(Rank(0), Tag(0), s);
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        match e.run() {
+            RunOutcome::Deadlock(rep) => {
+                assert!(rep.is_cyclic());
+                assert_eq!(rep.cycle, vec![Rank(0), Rank(1)]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_recv_and_match_log() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            let a = ctx.recv_any(Some(Tag(1)), s);
+            let b = ctx.recv_any(Some(Tag(1)), s);
+            let mut got = vec![
+                a.payload.to_i64().unwrap(),
+                b.payload.to_i64().unwrap(),
+            ];
+            got.sort();
+            assert_eq!(got, vec![10, 20]);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.send(Rank(0), Tag(1), Payload::from_i64(10), s);
+        });
+        let p2: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p2");
+            ctx.send(Rank(0), Tag(1), Payload::from_i64(20), s);
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1, p2]);
+        assert!(e.run().is_completed());
+        let log = e.match_log();
+        assert_eq!(log.len_for(Rank(0)), 2);
+    }
+
+    #[test]
+    fn replay_forces_wildcard_matches() {
+        // Record under one seed, replay under a different seed: the
+        // wildcard receive order must follow the log, not the new seed.
+        let make = || -> Vec<ProgramFn> {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = site_of(ctx, "p0");
+                let a = ctx.recv_any(None, s);
+                let b = ctx.recv_any(None, s);
+                // Report the observed order via probes.
+                ctx.probe("first", a.src.0 as i64, s);
+                ctx.probe("second", b.src.0 as i64, s);
+            });
+            let sender = |v: i64| -> ProgramFn {
+                Box::new(move |ctx| {
+                    let s = site_of(ctx, "sender");
+                    ctx.send(Rank(0), Tag(0), Payload::from_i64(v), s);
+                })
+            };
+            vec![p0, sender(1), sender(2)]
+        };
+        let order_of = |e: &mut Engine| -> Vec<i64> {
+            let store = e.trace_store();
+            store
+                .records()
+                .iter()
+                .filter(|r| r.kind == EventKind::Probe)
+                .map(|r| r.args[0])
+                .collect()
+        };
+        let mut cfg1 = cfg();
+        cfg1.policy = SchedPolicy::Seeded(1);
+        let mut e1 = Engine::launch(cfg1, make());
+        assert!(e1.run().is_completed());
+        let recorded = order_of(&mut e1);
+        let log = e1.match_log();
+
+        let mut cfg2 = cfg();
+        cfg2.policy = SchedPolicy::Seeded(999);
+        cfg2.replay = Some(log);
+        let mut e2 = Engine::launch(cfg2, make());
+        assert!(e2.run().is_completed());
+        let replayed = order_of(&mut e2);
+        assert_eq!(recorded, replayed, "replay must pin wildcard matches");
+    }
+
+    #[test]
+    fn threshold_trap_stops_and_resumes() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            for _ in 0..10 {
+                ctx.compute(100, s);
+            }
+        });
+        let mut e = Engine::launch(cfg(), vec![p0]);
+        e.set_threshold(Rank(0), Some(5));
+        match e.run() {
+            RunOutcome::Stopped(stop) => {
+                assert_eq!(stop.traps, vec![Marker::new(0u32, 5)]);
+            }
+            other => panic!("expected stop, got {other:?}"),
+        }
+        assert_eq!(e.markers().get(Rank(0)), 5);
+        e.clear_thresholds();
+        e.resume_trapped();
+        assert!(e.run().is_completed());
+        // ProcStart + 10 computes + ProcEnd = 12 events
+        assert_eq!(e.markers().get(Rank(0)), 12);
+    }
+
+    #[test]
+    fn pause_stops_run() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.compute(100, s);
+        });
+        let mut e = Engine::launch(cfg(), vec![p0]);
+        e.set_paused(Rank(0), true);
+        match e.run() {
+            RunOutcome::Stopped(stop) => {
+                assert_eq!(stop.paused, vec![Rank(0)]);
+                assert!(stop.traps.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        e.set_paused(Rank(0), false);
+        assert!(e.run().is_completed());
+    }
+
+    #[test]
+    fn panic_is_reported() {
+        let p0: ProgramFn = Box::new(|_ctx| {
+            panic!("boom at iteration 3");
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.compute(10, s);
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        match e.run() {
+            RunOutcome::Panicked { rank, message } => {
+                assert_eq!(rank, Rank(0));
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ssend_rendezvous_completes_and_orders_times() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.ssend(Rank(1), Tag(1), Payload::from_i64(5), s);
+            ctx.probe("after_ssend", ctx.now() as i64, s);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.compute(1_000_000, s); // keep the sender waiting
+            let m = ctx.recv_from(Rank(0), Tag(1), s);
+            assert_eq!(m.payload.to_i64(), Some(5));
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        let send = &store.records()[store.of_kind(EventKind::Send)[0].ix()];
+        let recv = &store.records()[store.of_kind(EventKind::RecvDone)[0].ix()];
+        // Rendezvous: the send completes no earlier than the receive
+        // and waits out the receiver's long compute.
+        assert_eq!(send.t_end, recv.t_end);
+        assert!(send.t_end >= 1_000_000);
+    }
+
+    #[test]
+    fn ssend_cycle_deadlocks() {
+        // The send-side circular dependency of §4.4: both processes in
+        // synchronous sends to each other, nobody receives.
+        let mk = |peer: u32| -> ProgramFn {
+            Box::new(move |ctx| {
+                let s = site_of(ctx, "ss");
+                ctx.ssend(Rank(peer), Tag(0), Payload::from_i64(1), s);
+                let _ = ctx.recv_from(Rank(peer), Tag(0), s);
+            })
+        };
+        let mut e = Engine::launch(cfg(), vec![mk(1), mk(0)]);
+        match e.run() {
+            RunOutcome::Deadlock(rep) => {
+                assert!(rep.is_cyclic());
+                assert_eq!(rep.cycle, vec![Rank(0), Rank(1)]);
+            }
+            other => panic!("expected send-send deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffered_sends_do_not_deadlock_same_pattern() {
+        // The same exchange with buffered sends completes — the classic
+        // reason "it works with small messages" bugs exist.
+        let mk = |peer: u32| -> ProgramFn {
+            Box::new(move |ctx| {
+                let s = site_of(ctx, "bs");
+                ctx.send(Rank(peer), Tag(0), Payload::from_i64(1), s);
+                let _ = ctx.recv_from(Rank(peer), Tag(0), s);
+            })
+        };
+        let mut e = Engine::launch(cfg(), vec![mk(1), mk(0)]);
+        assert!(e.run().is_completed());
+    }
+
+    #[test]
+    fn collectives_work_end_to_end() {
+        use crate::collective::ReduceOp;
+        let make = |rank: u32| -> ProgramFn {
+            Box::new(move |ctx| {
+                let s = site_of(ctx, "coll");
+                ctx.barrier(s);
+                let v = ctx.bcast(Rank(0), if rank == 0 {
+                    Payload::from_i64(7)
+                } else {
+                    Payload::empty()
+                }, s);
+                assert_eq!(v.to_i64(), Some(7));
+                let sum = ctx.allreduce(
+                    ReduceOp::Sum,
+                    Payload::from_f64s(&[rank as f64]),
+                    s,
+                );
+                assert_eq!(sum.to_f64s().unwrap(), vec![0.0 + 1.0 + 2.0]);
+            })
+        };
+        let mut e = Engine::launch(cfg(), vec![make(0), make(1), make(2)]);
+        let out = e.run();
+        assert!(out.is_completed(), "{out:?}");
+        let store = e.trace_store();
+        assert_eq!(
+            store
+                .records()
+                .iter()
+                .filter(|r| matches!(r.kind, EventKind::Collective(_)))
+                .count(),
+            9
+        );
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_traces() {
+        let make = || -> Vec<ProgramFn> {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = site_of(ctx, "p0");
+                ctx.compute(500, s);
+                ctx.send(Rank(1), Tag(3), Payload::from_i64(1), s);
+                let _ = ctx.recv_from(Rank(1), Tag(4), s);
+            });
+            let p1: ProgramFn = Box::new(|ctx| {
+                let s = site_of(ctx, "p1");
+                let _ = ctx.recv_from(Rank(0), Tag(3), s);
+                ctx.send(Rank(0), Tag(4), Payload::from_i64(2), s);
+            });
+            vec![p0, p1]
+        };
+        let run = || {
+            let mut e = Engine::launch(cfg(), make());
+            assert!(e.run().is_completed());
+            e.collect_trace()
+        };
+        assert_eq!(run(), run(), "determinism: same program, same trace");
+    }
+
+    #[test]
+    fn undelivered_messages_visible() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.send(Rank(1), Tag(1), Payload::from_i64(5), s);
+        });
+        let p1: ProgramFn = Box::new(|_ctx| {
+            // never receives
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        assert!(e.run().is_completed());
+        let und = e.undelivered();
+        assert_eq!(und[1].1.len(), 1);
+        assert_eq!(und[1].1[0].tag, Tag(1));
+        assert_eq!(und[0].1.len(), 0);
+    }
+
+    #[test]
+    fn trap_on_recv_post_stops_before_blocking() {
+        // Threshold at the RecvPost marker: process stops *before* the
+        // engine parks it in the mailbox wait.
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            let _ = ctx.recv_from(Rank(1), Tag(0), s); // would deadlock
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.compute(10, s);
+        });
+        let mut e = Engine::launch(cfg(), vec![p0, p1]);
+        // P0 events: ProcStart(1), RecvPost(2)
+        e.set_threshold(Rank(0), Some(2));
+        match e.run() {
+            RunOutcome::Stopped(st) => {
+                assert_eq!(st.traps, vec![Marker::new(0u32, 2)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! A deterministic message-passing runtime with debugger hooks.
+//!
+//! `mpsim` plays the role of MPI/PVM plus the process-control half of p2d2
+//! in the paper's architecture. Simulated processes are real OS threads
+//! running arbitrary Rust code against a [`ProcessCtx`] (an MPI-flavoured
+//! API: tagged sends, blocking receives with `ANY_SOURCE`/`ANY_TAG`
+//! wildcards, collectives). A turn-taking [`Engine`] grants execution to
+//! exactly one process at a time, which makes a run a pure function of the
+//! program and the scheduling seed — precisely the controlled-execution
+//! property the paper's replay machinery requires.
+//!
+//! Debugger integration points:
+//!
+//! * every instrumentation event flows through the process's
+//!   [`Recorder`](tracedbg_instrument::Recorder); when a debugger-armed
+//!   marker threshold fires the process traps and the engine returns
+//!   control ([`RunOutcome::Stopped`]);
+//! * wildcard receive matches are recorded ([`MatchRecorder`]) and can be
+//!   forced on a later run ([`ReplayLog`]) — §4.2's nondeterminism control;
+//! * a seeded perturbation mode randomizes scheduling and wildcard choice,
+//!   standing in for the timing variation of a real cluster, so replay has
+//!   genuine nondeterminism to defeat;
+//! * when no process can run and none trapped, the engine produces a
+//!   [`DeadlockReport`] with the wait-for cycle (the Figure 5 scenario);
+//! * [`machine`] provides an alternative *state-machine* process backend
+//!   whose whole state can be checkpointed and restored — the paper's §6
+//!   future-work extension ("periodically checkpointing program states").
+
+pub mod clock;
+pub mod collective;
+pub mod deadlock;
+pub mod engine;
+pub mod machine;
+pub mod mailbox;
+pub mod message;
+pub mod ops;
+pub mod payload;
+pub mod proc;
+pub mod record;
+pub mod sched;
+
+pub use clock::CostModel;
+pub use deadlock::{DeadlockReport, WaitForEdge};
+pub use engine::{Engine, EngineConfig, RunOutcome, StopReason};
+pub use mailbox::Mailbox;
+pub use message::{Envelope, MatchSpec, Message};
+pub use ops::SendMode;
+pub use payload::Payload;
+pub use proc::{ProcessCtx, ProgramFn};
+pub use record::{MatchRecorder, RecordedMatch, ReplayLog};
+pub use sched::SchedPolicy;
+
+// Re-export the vocabulary crates so workloads depend only on mpsim.
+pub use tracedbg_instrument::{Recorder, RecorderConfig, Strategy};
+pub use tracedbg_trace::{
+    Marker, MarkerVector, Rank, SiteTable, Tag, TraceRecord, TraceStore, ANY_SOURCE, ANY_TAG,
+};

@@ -1,0 +1,895 @@
+//! Checkpointable state-machine process backend.
+//!
+//! The thread-backed [`Engine`](crate::Engine) cannot snapshot a process
+//! mid-flight (its state lives on a thread stack — the same reason p2d2
+//! re-executes from the start). The paper's conclusions sketch the fix:
+//! "We could improve on this by periodically checkpointing program states
+//! and keeping a logarithmic backlog of process states."
+//!
+//! This module provides that improvement for programs written as explicit
+//! state machines: a [`MachineProgram`] carries all of its state in a
+//! serializable struct, the single-threaded [`MachineEngine`] steps the
+//! machines under the same mailbox/cost/recording semantics as the thread
+//! engine, and [`MachineEngine::checkpoint`] / [`MachineEngine::restore`]
+//! capture and reinstate the entire computation — making *undo* and replay
+//! jumps O(distance from nearest checkpoint) instead of O(history).
+
+use crate::clock::CostModel;
+use crate::deadlock::DeadlockReport;
+use crate::mailbox::Mailbox;
+use crate::message::{Envelope, MatchSpec, Message};
+use crate::record::{MatchRecorder, RecordedMatch, ReplayLog};
+use crate::sched::SchedPolicy;
+use serde::{Deserialize, Serialize};
+use tracedbg_instrument::{Disposition, Recorder, RecorderConfig};
+use tracedbg_trace::{
+    EventKind, Marker, MarkerVector, Rank, SiteId, SiteTable, Tag, TraceRecord, TraceStore,
+};
+
+/// Result of one [`MachineProgram::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineStatus {
+    /// More steps to run.
+    Running,
+    /// The program is done.
+    Finished,
+}
+
+/// A process expressed as an explicit, snapshottable state machine.
+///
+/// `step` is called whenever the engine gives the machine a turn. A step
+/// that calls [`MachineCtx::try_recv`] and gets `None` should return
+/// `Running` *without changing state*: the engine parks the machine until
+/// a matching message arrives and then re-runs the same step.
+pub trait MachineProgram: Send {
+    fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus;
+
+    /// Serialize the complete program state.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Reinstate a state produced by [`MachineProgram::snapshot`].
+    fn restore(&mut self, bytes: &[u8]);
+}
+
+/// Per-step context handed to a machine.
+pub struct MachineCtx<'a> {
+    rank: Rank,
+    n_ranks: usize,
+    clock: &'a mut u64,
+    cost: &'a CostModel,
+    recorder: &'a mut Recorder,
+    sites: &'a SiteTable,
+    /// Outgoing messages produced this step.
+    outbox: Vec<(Rank, Tag, crate::Payload, SiteId)>,
+    /// Set when a `try_recv` found nothing: the spec to wake on.
+    blocked_on: Option<MatchSpec>,
+    /// Message the engine pre-matched for this step's `try_recv`.
+    delivery: Option<(Envelope, u64)>,
+    trapped: bool,
+}
+
+impl<'a> MachineCtx<'a> {
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    pub fn now(&self) -> u64 {
+        *self.clock
+    }
+
+    pub fn site(&self, file: &str, line: u32, func: &str) -> SiteId {
+        self.sites.site(file, line, func)
+    }
+
+    fn observe(&mut self, rec: TraceRecord) {
+        let (_, disp) = self.recorder.observe(rec);
+        *self.clock += self.cost.event_overhead;
+        if disp == Disposition::Trap {
+            self.trapped = true;
+        }
+    }
+
+    /// Local computation.
+    pub fn compute(&mut self, cost_ns: u64, site: SiteId) {
+        let t0 = *self.clock;
+        *self.clock += cost_ns;
+        let t1 = *self.clock;
+        self.observe(
+            TraceRecord::basic(self.rank, EventKind::Compute, 0, t0)
+                .with_span(t0, t1)
+                .with_site(site),
+        );
+    }
+
+    /// Probe a value.
+    pub fn probe(&mut self, label: &str, value: i64, site: SiteId) {
+        let t = *self.clock;
+        self.observe(
+            TraceRecord::basic(self.rank, EventKind::Probe, 0, t)
+                .with_site(site)
+                .with_args(value, 0)
+                .with_label(label),
+        );
+    }
+
+    /// Buffered send (queued; the engine deposits it after the step).
+    pub fn send(&mut self, dst: Rank, tag: Tag, payload: crate::Payload, site: SiteId) {
+        let t0 = *self.clock;
+        let t_done = self.cost.send_done(t0);
+        *self.clock = t_done;
+        // The engine patches the seq into the record after assignment.
+        self.observe(
+            TraceRecord::basic(self.rank, EventKind::Send, 0, t0)
+                .with_span(t0, t_done)
+                .with_site(site)
+                .with_msg(tracedbg_trace::MsgInfo {
+                    src: self.rank,
+                    dst,
+                    tag,
+                    bytes: payload.len() as u32,
+                    seq: u64::MAX, // patched by the engine
+                }),
+        );
+        self.outbox.push((dst, tag, payload, site));
+    }
+
+    /// Non-blocking receive attempt. On `None` the machine is parked until
+    /// a matching message arrives; the step must return
+    /// [`MachineStatus::Running`] without consuming its state transition.
+    pub fn try_recv(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        site: SiteId,
+    ) -> Option<Message> {
+        if let Some((env, t_done)) = self.delivery.take() {
+            let t_post = *self.clock;
+            *self.clock = t_done.max(t_post);
+            self.observe(
+                TraceRecord::basic(self.rank, EventKind::RecvDone, 0, t_post)
+                    .with_span(t_post, *self.clock)
+                    .with_site(site)
+                    .with_msg(env.msg_info()),
+            );
+            return Some(env.into());
+        }
+        let t_post = *self.clock;
+        self.observe(
+            TraceRecord::basic(self.rank, EventKind::RecvPost, 0, t_post)
+                .with_site(site)
+                .with_args(
+                    src.map(|r| r.0 as i64).unwrap_or(-1),
+                    tag.map(|t| t.0 as i64).unwrap_or(-1),
+                ),
+        );
+        self.blocked_on = Some(MatchSpec::new(src, tag));
+        None
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+enum MState {
+    Ready,
+    /// Parked on a receive; the original (pre-replay-pinning) spec plus the
+    /// post time.
+    Blocked { spec: MatchSpec, t_post: u64 },
+    /// A matched message waits for the machine's next step.
+    Deliverable,
+    Trapped,
+    Finished,
+}
+
+/// A complete checkpoint of a [`MachineEngine`] run.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    program_states: Vec<Vec<u8>>,
+    clocks: Vec<u64>,
+    markers: Vec<u64>,
+    states: Vec<MState>,
+    mailboxes: Vec<Vec<Envelope>>,
+    deliveries: Vec<Option<(Envelope, u64)>>,
+    send_seq: Vec<Vec<u64>>,
+    rr_last: usize,
+    match_rec: MatchRecorder,
+    /// Markers of the checkpointed instant, for labeling.
+    pub at: MarkerVector,
+}
+
+/// Why a [`MachineEngine::run`] returned.
+#[derive(Debug)]
+pub enum MachineOutcome {
+    Completed,
+    Deadlock(DeadlockReport),
+    /// A marker threshold fired on these processes.
+    Stopped(Vec<Marker>),
+}
+
+/// Single-threaded engine over state-machine programs.
+pub struct MachineEngine {
+    programs: Vec<Box<dyn MachineProgram>>,
+    states: Vec<MState>,
+    /// Debugger pauses: a paused machine keeps its state (blocked
+    /// machines still receive staged deliveries) but is never stepped.
+    paused: Vec<bool>,
+    clocks: Vec<u64>,
+    recorders: Vec<Recorder>,
+    mailboxes: Vec<Mailbox>,
+    deliveries: Vec<Option<(Envelope, u64)>>,
+    send_seq: Vec<Vec<u64>>,
+    rr_last: usize,
+    match_rec: MatchRecorder,
+    replay: Option<ReplayLog>,
+    cost: CostModel,
+    sites: SiteTable,
+    n: usize,
+    collected: Vec<TraceRecord>,
+}
+
+impl MachineEngine {
+    pub fn new(
+        programs: Vec<Box<dyn MachineProgram>>,
+        recorder: RecorderConfig,
+        cost: CostModel,
+        policy: SchedPolicy,
+        replay: Option<ReplayLog>,
+    ) -> Self {
+        assert!(
+            matches!(policy, SchedPolicy::RoundRobin),
+            "MachineEngine supports the deterministic round-robin policy only \
+             (checkpoints cannot capture a perturbation RNG mid-stream)"
+        );
+        let n = programs.len();
+        assert!(n > 0);
+        let mut replay = replay;
+        if let Some(log) = replay.as_mut() {
+            log.reset();
+        }
+        let mut recorders: Vec<Recorder> = (0..n)
+            .map(|i| Recorder::new(Rank(i as u32), recorder.clone()))
+            .collect();
+        let clocks = vec![0u64; n];
+        // ProcStart events.
+        for (i, r) in recorders.iter_mut().enumerate() {
+            r.observe(TraceRecord::basic(i as u32, EventKind::ProcStart, 0, 0));
+        }
+        MachineEngine {
+            programs,
+            states: vec![MState::Ready; n],
+            paused: vec![false; n],
+            clocks,
+            recorders,
+            mailboxes: (0..n).map(|_| Mailbox::new(n)).collect(),
+            deliveries: (0..n).map(|_| None).collect(),
+            send_seq: vec![vec![0; n]; n],
+            rr_last: n - 1,
+            match_rec: MatchRecorder::new(n),
+            replay,
+            cost,
+            sites: SiteTable::new(),
+            n,
+            collected: Vec::new(),
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    fn next_ready(&self) -> Option<usize> {
+        for k in 1..=self.n {
+            let i = (self.rr_last + k) % self.n;
+            if self.paused[i] {
+                continue;
+            }
+            if matches!(self.states[i], MState::Ready | MState::Deliverable) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Run until completion, deadlock, or a marker-threshold stop. A
+    /// machine that traps is parked; the others keep running until they
+    /// finish, trap, or block — matching the thread engine's semantics.
+    pub fn run(&mut self) -> MachineOutcome {
+        loop {
+            if let Some(out) = self.run_bounded(usize::MAX) {
+                return out;
+            }
+        }
+    }
+
+    /// Execute at most `max_steps` machine steps. Returns `Some(outcome)`
+    /// when the run reached a terminal/stop state within the budget, else
+    /// `None` (budget exhausted, more work pending) — the hook a
+    /// checkpointing driver uses to snapshot at regular intervals.
+    pub fn run_bounded(&mut self, max_steps: usize) -> Option<MachineOutcome> {
+        for _ in 0..max_steps {
+            let Some(i) = self.next_ready() else {
+                return Some(self.stall());
+            };
+            self.rr_last = i;
+            self.step_machine(i);
+        }
+        // Budget exhausted; terminal states are still reported eagerly.
+        if self.next_ready().is_none() {
+            return Some(self.stall());
+        }
+        None
+    }
+
+    fn stall(&self) -> MachineOutcome {
+        if self.states.iter().all(|s| matches!(s, MState::Finished)) {
+            return MachineOutcome::Completed;
+        }
+        let traps: Vec<Marker> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                matches!(s, MState::Trapped)
+                    || (self.paused[*i] && !matches!(s, MState::Finished))
+            })
+            .map(|(r, _)| Marker::new(r as u32, self.recorders[r].marker()))
+            .collect();
+        if !traps.is_empty() {
+            return MachineOutcome::Stopped(traps);
+        }
+        let blocked: Vec<(Rank, MatchSpec, u64)> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                MState::Blocked { spec, .. } => {
+                    Some((Rank(i as u32), *spec, self.recorders[i].marker()))
+                }
+                _ => None,
+            })
+            .collect();
+        MachineOutcome::Deadlock(DeadlockReport::analyze(&blocked))
+    }
+
+    fn step_machine(&mut self, i: usize) {
+        let delivery = self.deliveries[i].take();
+        let mut ctx = MachineCtx {
+            rank: Rank(i as u32),
+            n_ranks: self.n,
+            clock: &mut self.clocks[i],
+            cost: &self.cost,
+            recorder: &mut self.recorders[i],
+            sites: &self.sites,
+            outbox: Vec::new(),
+            blocked_on: None,
+            delivery,
+            trapped: false,
+        };
+        let status = self.programs[i].step(&mut ctx);
+        let outbox = std::mem::take(&mut ctx.outbox);
+        let blocked_on = ctx.blocked_on.take();
+        let trapped = ctx.trapped;
+        let t_post = *ctx.clock;
+        drop(ctx);
+        // Deposit sends (assigning sequence numbers, patching records).
+        for (dst, tag, payload, site) in outbox {
+            let seq = self.send_seq[i][dst.ix()];
+            self.send_seq[i][dst.ix()] += 1;
+            self.patch_last_send_seq(i, seq);
+            let arrival = self.cost.arrival(self.clocks[i], payload.len());
+            let env = Envelope {
+                src: Rank(i as u32),
+                dst,
+                tag,
+                seq,
+                arrival,
+                send_marker: self.recorders[i].marker(),
+                send_site: site,
+                synchronous: false,
+                payload,
+            };
+            self.mailboxes[dst.ix()].push(env);
+            self.try_wake(dst.ix());
+        }
+        self.states[i] = if trapped {
+            MState::Trapped
+        } else if status == MachineStatus::Finished {
+            let t = self.clocks[i];
+            self.recorders[i].observe(TraceRecord::basic(
+                i as u32,
+                EventKind::ProcEnd,
+                0,
+                t,
+            ));
+            MState::Finished
+        } else if let Some(mut spec) = blocked_on {
+            if let Some(log) = self.replay.as_mut() {
+                if let Some(m) = log.next_for(Rank(i as u32)) {
+                    spec.forced = Some((m.src, m.seq));
+                }
+            }
+            self.states[i] = MState::Blocked { spec, t_post };
+            self.try_wake(i);
+            return;
+        } else {
+            MState::Ready
+        };
+    }
+
+    /// Patch the `seq` of the most recent Send record of machine `i` (the
+    /// ctx could not know it when the record was emitted).
+    fn patch_last_send_seq(&mut self, i: usize, seq: u64) {
+        // Records with seq == u64::MAX are unpatched sends, newest last.
+        // The recorder buffer is append-only, so scan from the back.
+        let recs = self.recorders[i].records();
+        let pos = recs
+            .iter()
+            .rposition(|r| r.kind == EventKind::Send && r.msg.map(|m| m.seq) == Some(u64::MAX));
+        if let Some(p) = pos {
+            self.recorders[i].patch_msg_seq(p, seq);
+        }
+    }
+
+    /// If machine `dst` is blocked and a message now matches, stage the
+    /// delivery for its next step.
+    fn try_wake(&mut self, dst: usize) {
+        let (spec, t_post) = match &self.states[dst] {
+            MState::Blocked { spec, t_post } => (*spec, *t_post),
+            _ => return,
+        };
+        let candidates = self.mailboxes[dst].candidates(&spec);
+        let Some(best) = candidates.iter().min_by_key(|c| (c.arrival, c.src)) else {
+            return;
+        };
+        let env = self.mailboxes[dst].take(*best);
+        self.match_rec.record(
+            Rank(dst as u32),
+            RecordedMatch {
+                src: env.src,
+                tag: env.tag,
+                seq: env.seq,
+            },
+        );
+        let t_done = self.cost.recv_done(t_post, env.arrival);
+        self.deliveries[dst] = Some((env, t_done));
+        self.states[dst] = MState::Deliverable;
+    }
+
+    // ---- debugger interface ----
+
+    pub fn set_threshold(&mut self, rank: Rank, threshold: Option<u64>) {
+        self.recorders[rank.ix()].set_threshold(threshold);
+    }
+
+    pub fn clear_thresholds(&mut self) {
+        for r in &mut self.recorders {
+            r.set_threshold(None);
+        }
+    }
+
+    pub fn resume_trapped(&mut self) {
+        for s in self.states.iter_mut() {
+            if matches!(s, MState::Trapped) {
+                *s = MState::Ready;
+            }
+        }
+    }
+
+    /// Debugger pause: hold a machine without disturbing its state.
+    pub fn set_paused(&mut self, rank: Rank, paused: bool) {
+        self.paused[rank.ix()] = paused;
+    }
+
+    /// Clear every pause.
+    pub fn clear_pauses(&mut self) {
+        self.paused.fill(false);
+    }
+
+    pub fn markers(&self) -> MarkerVector {
+        MarkerVector::from_counts(self.recorders.iter().map(|r| r.marker()).collect())
+    }
+
+    pub fn collect_trace(&mut self) -> Vec<TraceRecord> {
+        for r in &mut self.recorders {
+            self.collected.extend(r.take_records());
+        }
+        self.collected.clone()
+    }
+
+    pub fn trace_store(&mut self) -> TraceStore {
+        let recs = self.collect_trace();
+        TraceStore::build(recs, self.sites.clone(), self.n)
+    }
+
+    pub fn match_log(&self) -> ReplayLog {
+        self.match_rec.clone().into_log()
+    }
+
+    // ---- checkpointing ----
+
+    /// Capture the whole computation. Trace records buffered so far are
+    /// moved to the engine's collected set (a checkpoint is a cut: history
+    /// before it is already final).
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        for r in &mut self.recorders {
+            self.collected.extend(r.take_records());
+        }
+        Checkpoint {
+            program_states: self.programs.iter().map(|p| p.snapshot()).collect(),
+            clocks: self.clocks.clone(),
+            markers: self.recorders.iter().map(|r| r.marker()).collect(),
+            states: self.states.clone(),
+            mailboxes: self
+                .mailboxes
+                .iter()
+                .map(|m| m.undelivered().into_iter().cloned().collect())
+                .collect(),
+            deliveries: self.deliveries.clone(),
+            send_seq: self.send_seq.clone(),
+            rr_last: self.rr_last,
+            match_rec: self.match_rec.clone(),
+            at: self.markers(),
+        }
+    }
+
+    /// Reinstate a checkpoint. Trace records produced after the checkpoint
+    /// are discarded (they describe a future that is being rewound).
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        assert_eq!(cp.program_states.len(), self.n);
+        for (i, p) in self.programs.iter_mut().enumerate() {
+            p.restore(&cp.program_states[i]);
+        }
+        self.clocks = cp.clocks.clone();
+        for (i, r) in self.recorders.iter_mut().enumerate() {
+            r.take_records(); // drop post-checkpoint records
+            r.force_marker(cp.markers[i]);
+        }
+        self.states = cp.states.clone();
+        for (i, mb) in self.mailboxes.iter_mut().enumerate() {
+            mb.drain_all();
+            for env in &cp.mailboxes[i] {
+                mb.push(env.clone());
+            }
+        }
+        self.deliveries = cp.deliveries.clone();
+        self.send_seq = cp.send_seq.clone();
+        self.rr_last = cp.rr_last;
+        self.match_rec = cp.match_rec.clone();
+        self.paused.fill(false);
+        // Collected history after the checkpoint marker must be dropped.
+        let at = &cp.at;
+        self.collected
+            .retain(|rec| rec.marker <= at.get(rec.rank));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    /// A counter machine: computes `steps` blocks then finishes.
+    #[derive(Serialize, Deserialize)]
+    struct Counter {
+        steps: u32,
+        done: u32,
+    }
+
+    impl MachineProgram for Counter {
+        fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+            if self.done >= self.steps {
+                return MachineStatus::Finished;
+            }
+            let site = ctx.site("counter.rs", 1, "tick");
+            ctx.compute(100, site);
+            self.done += 1;
+            MachineStatus::Running
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            serde_json::to_vec(self).unwrap()
+        }
+
+        fn restore(&mut self, bytes: &[u8]) {
+            *self = serde_json::from_slice(bytes).unwrap();
+        }
+    }
+
+    /// Ping-pong pair as state machines.
+    #[derive(Serialize, Deserialize)]
+    struct Pinger {
+        rank: u32,
+        phase: u32,
+        rounds: u32,
+    }
+
+    impl MachineProgram for Pinger {
+        fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+            let site = ctx.site("pp.rs", 1, "pingpong");
+            let peer = Rank(1 - self.rank);
+            if self.phase >= 2 * self.rounds {
+                return MachineStatus::Finished;
+            }
+            let my_turn_to_send = (self.phase % 2 == 0) == (self.rank == 0);
+            if my_turn_to_send {
+                ctx.send(peer, Tag(0), Payload::from_i64(self.phase as i64), site);
+                self.phase += 1;
+            } else {
+                match ctx.try_recv(Some(peer), Some(Tag(0)), site) {
+                    Some(_) => self.phase += 1,
+                    None => return MachineStatus::Running,
+                }
+            }
+            MachineStatus::Running
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            serde_json::to_vec(self).unwrap()
+        }
+
+        fn restore(&mut self, bytes: &[u8]) {
+            *self = serde_json::from_slice(bytes).unwrap();
+        }
+    }
+
+    fn engine_of(programs: Vec<Box<dyn MachineProgram>>) -> MachineEngine {
+        MachineEngine::new(
+            programs,
+            RecorderConfig::full(),
+            CostModel::default(),
+            SchedPolicy::RoundRobin,
+            None,
+        )
+    }
+
+    #[test]
+    fn counters_complete() {
+        let mut e = engine_of(vec![
+            Box::new(Counter { steps: 3, done: 0 }),
+            Box::new(Counter { steps: 5, done: 0 }),
+        ]);
+        assert!(matches!(e.run(), MachineOutcome::Completed));
+        let store = e.trace_store();
+        assert_eq!(store.of_kind(EventKind::Compute).len(), 8);
+    }
+
+    #[test]
+    fn pingpong_machines_complete() {
+        let mut e = engine_of(vec![
+            Box::new(Pinger {
+                rank: 0,
+                phase: 0,
+                rounds: 3,
+            }),
+            Box::new(Pinger {
+                rank: 1,
+                phase: 0,
+                rounds: 3,
+            }),
+        ]);
+        assert!(matches!(e.run(), MachineOutcome::Completed));
+        let store = e.trace_store();
+        assert_eq!(store.of_kind(EventKind::Send).len(), 6);
+        assert_eq!(store.of_kind(EventKind::RecvDone).len(), 6);
+        // All send seqs patched.
+        assert!(store
+            .records()
+            .iter()
+            .filter(|r| r.kind == EventKind::Send)
+            .all(|r| r.msg.unwrap().seq != u64::MAX));
+    }
+
+    #[test]
+    fn threshold_stops_machine_run() {
+        let mut e = engine_of(vec![Box::new(Counter { steps: 10, done: 0 })]);
+        e.set_threshold(Rank(0), Some(4));
+        match e.run() {
+            MachineOutcome::Stopped(traps) => {
+                assert_eq!(traps, vec![Marker::new(0u32, 4)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        e.clear_thresholds();
+        e.resume_trapped();
+        assert!(matches!(e.run(), MachineOutcome::Completed));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        // Run A: checkpoint mid-way, continue to completion.
+        let mut e = engine_of(vec![
+            Box::new(Pinger {
+                rank: 0,
+                phase: 0,
+                rounds: 4,
+            }),
+            Box::new(Pinger {
+                rank: 1,
+                phase: 0,
+                rounds: 4,
+            }),
+        ]);
+        e.set_threshold(Rank(0), Some(6));
+        assert!(matches!(e.run(), MachineOutcome::Stopped(_)));
+        e.clear_thresholds();
+        let cp = e.checkpoint();
+        e.resume_trapped();
+        assert!(matches!(e.run(), MachineOutcome::Completed));
+        let full_trace = e.collect_trace();
+        let final_markers = e.markers();
+
+        // Rewind to the checkpoint and run again: identical end state.
+        e.restore(&cp);
+        e.resume_trapped();
+        assert!(matches!(e.run(), MachineOutcome::Completed));
+        let trace2 = e.collect_trace();
+        assert_eq!(e.markers(), final_markers);
+        let key = |v: &Vec<TraceRecord>| {
+            let mut k: Vec<(u32, u64, u64, u64)> = v
+                .iter()
+                .map(|r| (r.rank.0, r.marker, r.t_start, r.t_end))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&full_trace), key(&trace2));
+    }
+
+    #[test]
+    fn machine_deadlock_detected() {
+        #[derive(Serialize, Deserialize)]
+        struct Waiter {
+            peer: u32,
+        }
+        impl MachineProgram for Waiter {
+            fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+                let site = ctx.site("w.rs", 1, "wait");
+                match ctx.try_recv(Some(Rank(self.peer)), None, site) {
+                    Some(_) => MachineStatus::Finished,
+                    None => MachineStatus::Running,
+                }
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                serde_json::to_vec(self).unwrap()
+            }
+            fn restore(&mut self, bytes: &[u8]) {
+                *self = serde_json::from_slice(bytes).unwrap();
+            }
+        }
+        let mut e = engine_of(vec![
+            Box::new(Waiter { peer: 1 }),
+            Box::new(Waiter { peer: 0 }),
+        ]);
+        match e.run() {
+            MachineOutcome::Deadlock(rep) => {
+                assert!(rep.is_cyclic());
+                assert_eq!(rep.cycle, vec![Rank(0), Rank(1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A sink machine with a wildcard receive, recording arrival order.
+    #[derive(Serialize, Deserialize)]
+    struct WildSink {
+        expect: u32,
+        got: Vec<u32>,
+    }
+
+    impl MachineProgram for WildSink {
+        fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+            if self.got.len() as u32 >= self.expect {
+                return MachineStatus::Finished;
+            }
+            let site = ctx.site("ws.rs", 1, "sink");
+            match ctx.try_recv(None, None, site) {
+                Some(m) => {
+                    self.got.push(m.src.0);
+                    MachineStatus::Running
+                }
+                None => MachineStatus::Running,
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            serde_json::to_vec(self).unwrap()
+        }
+        fn restore(&mut self, bytes: &[u8]) {
+            *self = serde_json::from_slice(bytes).unwrap();
+        }
+    }
+
+    /// One-shot sender machine.
+    #[derive(Serialize, Deserialize)]
+    struct OneSend {
+        sent: bool,
+        delay_steps: u32,
+    }
+
+    impl MachineProgram for OneSend {
+        fn step(&mut self, ctx: &mut MachineCtx<'_>) -> MachineStatus {
+            let site = ctx.site("ws.rs", 2, "sender");
+            if self.delay_steps > 0 {
+                self.delay_steps -= 1;
+                ctx.compute(50, site);
+                return MachineStatus::Running;
+            }
+            if !self.sent {
+                ctx.send(Rank(0), Tag(0), Payload::from_i64(1), site);
+                self.sent = true;
+                return MachineStatus::Running;
+            }
+            MachineStatus::Finished
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            serde_json::to_vec(self).unwrap()
+        }
+        fn restore(&mut self, bytes: &[u8]) {
+            *self = serde_json::from_slice(bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn machine_replay_pins_wildcard_matches() {
+        let make = |replay: Option<ReplayLog>| {
+            MachineEngine::new(
+                vec![
+                    Box::new(WildSink {
+                        expect: 2,
+                        got: Vec::new(),
+                    }) as Box<dyn MachineProgram>,
+                    Box::new(OneSend {
+                        sent: false,
+                        delay_steps: 3,
+                    }),
+                    Box::new(OneSend {
+                        sent: false,
+                        delay_steps: 0,
+                    }),
+                ],
+                RecorderConfig::full(),
+                CostModel::default(),
+                SchedPolicy::RoundRobin,
+                replay,
+            )
+        };
+        let mut rec = make(None);
+        assert!(matches!(rec.run(), MachineOutcome::Completed));
+        let recorded: Vec<(u32, u64)> = {
+            let store = rec.trace_store();
+            store
+                .records()
+                .iter()
+                .filter(|r| r.kind == EventKind::RecvDone)
+                .map(|r| (r.msg.unwrap().src.0, r.marker))
+                .collect()
+        };
+        assert_eq!(recorded.len(), 2);
+        let mut rep = make(Some(rec.match_log()));
+        assert!(matches!(rep.run(), MachineOutcome::Completed));
+        let replayed: Vec<(u32, u64)> = {
+            let store = rep.trace_store();
+            store
+                .records()
+                .iter()
+                .filter(|r| r.kind == EventKind::RecvDone)
+                .map(|r| (r.msg.unwrap().src.0, r.marker))
+                .collect()
+        };
+        assert_eq!(recorded, replayed);
+    }
+
+    #[test]
+    fn checkpoint_serializes() {
+        let mut e = engine_of(vec![Box::new(Counter { steps: 2, done: 0 })]);
+        let cp = e.checkpoint();
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.at, cp.at);
+    }
+}

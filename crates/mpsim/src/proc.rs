@@ -1,0 +1,404 @@
+//! The process-side API and thread harness.
+//!
+//! User programs receive a `&mut ProcessCtx` and call MPI-flavoured
+//! operations on it. Instrumentation events (function scopes, probes,
+//! compute blocks, communication) are observed through the process's
+//! [`Recorder`]; when a debugger-armed marker threshold fires the process
+//! traps to the engine and stays paused until resumed — the `UserMonitor`
+//! protocol of §2.2.
+
+use crate::clock::CostModel;
+use crate::collective::ReduceOp;
+use crate::message::{MatchSpec, Message};
+use crate::ops::{Reply, Request, SendMode, ShutdownSignal};
+use crate::payload::Payload;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tracedbg_instrument::{Disposition, Recorder};
+use tracedbg_trace::{
+    CollKind, EventKind, FlushHandle, Rank, SiteId, SiteTable, Tag, TraceRecord,
+};
+
+/// A simulated process body.
+pub type ProgramFn = Box<dyn FnOnce(&mut ProcessCtx) + Send + 'static>;
+
+/// The API a simulated process programs against.
+pub struct ProcessCtx {
+    rank: Rank,
+    n_ranks: usize,
+    clock: u64,
+    cost: CostModel,
+    sites: SiteTable,
+    recorder: Arc<Mutex<Recorder>>,
+    req_tx: Sender<(Rank, Request)>,
+    reply_rx: Receiver<Reply>,
+    flush: FlushHandle,
+    /// Sites of the function scopes currently open (innermost last).
+    fn_stack: Vec<SiteId>,
+    /// Cached: instrumentation entirely off (Table 1 baseline fast path).
+    instr_off: bool,
+}
+
+impl ProcessCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: Rank,
+        n_ranks: usize,
+        cost: CostModel,
+        sites: SiteTable,
+        recorder: Arc<Mutex<Recorder>>,
+        req_tx: Sender<(Rank, Request)>,
+        reply_rx: Receiver<Reply>,
+        flush: FlushHandle,
+    ) -> Self {
+        let instr_off = recorder.lock().is_off();
+        ProcessCtx {
+            rank,
+            n_ranks,
+            clock: 0,
+            cost,
+            sites,
+            recorder,
+            req_tx,
+            reply_rx,
+            flush,
+            fn_stack: Vec::new(),
+            instr_off,
+        }
+    }
+
+    // ---- identity & time ----
+
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Current simulated local time (ns).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Intern a source location (cache the id outside hot loops).
+    pub fn site(&self, file: &str, line: u32, func: &str) -> SiteId {
+        self.sites.site(file, line, func)
+    }
+
+    /// Intern a location using the innermost open function scope's name.
+    pub fn site_here(&self, file: &str, line: u32) -> SiteId {
+        let func = self
+            .fn_stack
+            .last()
+            .map(|s| self.sites.func_name(*s))
+            .unwrap_or_else(|| "main".into());
+        self.sites.site(file, line, &func)
+    }
+
+    // ---- instrumentation events ----
+
+    /// Observe one instrumentation event; trap to the engine if the marker
+    /// threshold fired.
+    fn observe(&mut self, rec: TraceRecord) {
+        if self.instr_off {
+            return;
+        }
+        let (marker, disp) = self.recorder.lock().observe(rec);
+        self.clock += self.cost.event_overhead;
+        if disp == Disposition::Trap {
+            self.request(Request::MarkerTrap { marker });
+            match self.await_reply() {
+                Reply::Proceed => {}
+                other => panic!("unexpected reply to trap: {other:?}"),
+            }
+        }
+    }
+
+    fn request(&self, req: Request) {
+        // A closed channel means the engine is gone: unwind quietly.
+        if self.req_tx.send((self.rank, req)).is_err() {
+            std::panic::panic_any(ShutdownSignal);
+        }
+    }
+
+    fn await_reply(&self) -> Reply {
+        match self.reply_rx.recv() {
+            Ok(Reply::Shutdown) | Err(_) => std::panic::panic_any(ShutdownSignal),
+            Ok(r) => r,
+        }
+    }
+
+    /// A block of local computation costing `cost_ns` of simulated time.
+    pub fn compute(&mut self, cost_ns: u64, site: SiteId) {
+        let t0 = self.clock;
+        self.clock += cost_ns;
+        let t1 = self.clock;
+        let rec = TraceRecord::basic(self.rank, EventKind::Compute, 0, t0)
+            .with_span(t0, t1)
+            .with_site(site);
+        self.observe(rec);
+    }
+
+    /// Record a probe: a named value snapshot the debugger can inspect when
+    /// stepping (our stand-in for reading locals through ptrace).
+    pub fn probe(&mut self, label: &str, value: i64, site: SiteId) {
+        let t = self.clock;
+        let rec = TraceRecord::basic(self.rank, EventKind::Probe, 0, t)
+            .with_site(site)
+            .with_args(value, 0)
+            .with_label(label);
+        self.observe(rec);
+    }
+
+    /// Run `body` inside an instrumented function scope: a `FnEnter` event
+    /// on the way in (the `UserMonitor` call gcc's `-p` would insert in the
+    /// prologue) and a `FnExit` on the way out.
+    pub fn scope<T>(
+        &mut self,
+        site: SiteId,
+        args: [i64; 2],
+        body: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        if self.instr_off {
+            return body(self);
+        }
+        let t = self.clock;
+        let rec = TraceRecord::basic(self.rank, EventKind::FnEnter, 0, t)
+            .with_site(site)
+            .with_args(args[0], args[1]);
+        self.observe(rec);
+        self.fn_stack.push(site);
+        let out = body(self);
+        self.fn_stack.pop();
+        let t = self.clock;
+        let rec = TraceRecord::basic(self.rank, EventKind::FnExit, 0, t).with_site(site);
+        self.observe(rec);
+        out
+    }
+
+    // ---- point-to-point communication ----
+
+    /// Buffered send (completes locally, like `MPI_Send` with buffering).
+    pub fn send(&mut self, dst: Rank, tag: Tag, payload: Payload, site: SiteId) {
+        self.send_mode(dst, tag, payload, site, SendMode::Buffered)
+    }
+
+    /// Synchronous (rendezvous) send, like `MPI_Ssend`: blocks until the
+    /// matching receive takes the message. Two processes synchronously
+    /// sending to each other deadlock — the send-side circular dependency
+    /// §4.4's analysis detects.
+    pub fn ssend(&mut self, dst: Rank, tag: Tag, payload: Payload, site: SiteId) {
+        self.send_mode(dst, tag, payload, site, SendMode::Synchronous)
+    }
+
+    /// Point-to-point send with explicit semantics.
+    pub fn send_mode(
+        &mut self,
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        site: SiteId,
+        mode: SendMode,
+    ) {
+        assert!(dst.ix() < self.n_ranks, "send to nonexistent {dst:?}");
+        let t0 = self.clock;
+        let bytes = payload.len() as u32;
+        let send_marker = if self.instr_off {
+            0
+        } else {
+            self.recorder.lock().marker() + 1
+        };
+        self.request(Request::Send {
+            dst,
+            tag,
+            payload,
+            t0,
+            send_marker,
+            site,
+            mode,
+        });
+        let (seq, t_done) = match self.await_reply() {
+            Reply::SendDone { seq, t_done } => (seq, t_done),
+            other => panic!("unexpected reply to send: {other:?}"),
+        };
+        self.clock = t_done;
+        let rec = TraceRecord::basic(self.rank, EventKind::Send, 0, t0)
+            .with_span(t0, t_done)
+            .with_site(site)
+            .with_msg(tracedbg_trace::MsgInfo {
+                src: self.rank,
+                dst,
+                tag,
+                bytes,
+                seq,
+            });
+        self.observe(rec);
+    }
+
+    /// Blocking receive. `src`/`tag` of `None` are the wildcards.
+    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>, site: SiteId) -> Message {
+        let t_post = self.clock;
+        let post_rec = TraceRecord::basic(self.rank, EventKind::RecvPost, 0, t_post)
+            .with_site(site)
+            .with_args(
+                src.map(|r| r.0 as i64).unwrap_or(-1),
+                tag.map(|t| t.0 as i64).unwrap_or(-1),
+            );
+        self.observe(post_rec);
+        self.request(Request::Recv {
+            spec: MatchSpec::new(src, tag),
+            t_post,
+        });
+        let (env, t_done) = match self.await_reply() {
+            Reply::RecvDone { env, t_done } => (env, t_done),
+            other => panic!("unexpected reply to recv: {other:?}"),
+        };
+        self.clock = t_done;
+        let rec = TraceRecord::basic(self.rank, EventKind::RecvDone, 0, t_post)
+            .with_span(t_post, t_done)
+            .with_site(site)
+            .with_msg(env.msg_info());
+        self.observe(rec);
+        env.into()
+    }
+
+    /// Exact-source receive, the common case.
+    pub fn recv_from(&mut self, src: Rank, tag: Tag, site: SiteId) -> Message {
+        self.recv(Some(src), Some(tag), site)
+    }
+
+    /// Wildcard-source receive (`MPI_ANY_SOURCE`) — nondeterministic, and
+    /// therefore the construct replay must pin down.
+    pub fn recv_any(&mut self, tag: Option<Tag>, site: SiteId) -> Message {
+        self.recv(None, tag, site)
+    }
+
+    // ---- collectives ----
+
+    fn collective(
+        &mut self,
+        kind: CollKind,
+        root: Rank,
+        payload: Payload,
+        op: Option<ReduceOp>,
+        site: SiteId,
+    ) -> Payload {
+        let t_enter = self.clock;
+        self.request(Request::Collective {
+            kind,
+            root,
+            payload,
+            op,
+            t_enter,
+        });
+        let (result, t_done) = match self.await_reply() {
+            Reply::CollDone { result, t_done } => (result, t_done),
+            other => panic!("unexpected reply to collective: {other:?}"),
+        };
+        self.clock = t_done;
+        let rec = TraceRecord::basic(self.rank, EventKind::Collective(kind), 0, t_enter)
+            .with_span(t_enter, t_done)
+            .with_site(site)
+            .with_msg(tracedbg_trace::MsgInfo {
+                src: root,
+                dst: self.rank,
+                tag: Tag(-1),
+                bytes: result.len() as u32,
+                seq: 0,
+            });
+        self.observe(rec);
+        result
+    }
+
+    pub fn barrier(&mut self, site: SiteId) {
+        self.collective(CollKind::Barrier, Rank(0), Payload::empty(), None, site);
+    }
+
+    pub fn bcast(&mut self, root: Rank, payload: Payload, site: SiteId) -> Payload {
+        self.collective(CollKind::Bcast, root, payload, None, site)
+    }
+
+    pub fn reduce(&mut self, root: Rank, op: ReduceOp, payload: Payload, site: SiteId) -> Payload {
+        self.collective(CollKind::Reduce, root, payload, Some(op), site)
+    }
+
+    pub fn allreduce(&mut self, op: ReduceOp, payload: Payload, site: SiteId) -> Payload {
+        self.collective(CollKind::AllReduce, Rank(0), payload, Some(op), site)
+    }
+
+    pub fn gather(&mut self, root: Rank, payload: Payload, site: SiteId) -> Payload {
+        self.collective(CollKind::Gather, root, payload, None, site)
+    }
+
+    pub fn scatter(&mut self, root: Rank, payload: Payload, site: SiteId) -> Payload {
+        self.collective(CollKind::Scatter, root, payload, None, site)
+    }
+
+    // ---- trace control ----
+
+    /// On-demand flush of this process's trace buffer (§2.1's extension of
+    /// the AIMS monitor).
+    pub fn flush_trace(&mut self) {
+        self.recorder.lock().flush_into(&self.flush);
+    }
+
+    /// Toggle trace collection for this process.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.recorder.lock().set_tracing_enabled(on);
+    }
+
+    // ---- harness entry points (crate-internal) ----
+
+    pub(crate) fn emit_proc_start(&mut self) {
+        let rec = TraceRecord::basic(self.rank, EventKind::ProcStart, 0, self.clock);
+        self.observe(rec);
+    }
+
+    pub(crate) fn emit_proc_end(&mut self) {
+        let rec = TraceRecord::basic(self.rank, EventKind::ProcEnd, 0, self.clock);
+        self.observe(rec);
+    }
+
+    pub(crate) fn wait_initial_grant(&self) {
+        match self.await_reply() {
+            Reply::Proceed => {}
+            other => panic!("unexpected initial grant: {other:?}"),
+        }
+    }
+
+    pub(crate) fn finish(&mut self) {
+        let t_end = self.clock;
+        self.request(Request::Finished { t_end });
+    }
+
+    pub(crate) fn report_panic(&self, message: String) {
+        let _ = self.req_tx.send((self.rank, Request::Panicked { message }));
+    }
+}
+
+/// Convenience macro: open an instrumented function scope.
+///
+/// ```ignore
+/// fn_scope!(ctx, "MatrMult", [n as i64, 0], {
+///     // body, with `ctx` rebound inside
+/// })
+/// ```
+#[macro_export]
+macro_rules! fn_scope {
+    ($ctx:ident, $name:expr, [$a:expr, $b:expr], $body:expr) => {{
+        let __site = $ctx.site(file!(), line!(), $name);
+        $ctx.scope(__site, [($a) as i64, ($b) as i64], |$ctx| $body)
+    }};
+}
+
+/// Convenience macro: record a probe with the current file/line.
+#[macro_export]
+macro_rules! probe {
+    ($ctx:expr, $label:expr, $value:expr) => {{
+        let __site = $ctx.site_here(file!(), line!());
+        $ctx.probe($label, ($value) as i64, __site)
+    }};
+}

@@ -1,0 +1,148 @@
+//! Recording and forcing of receive matches (§4.2).
+//!
+//! "In a replay, the behavior of nondeterministic statements (such as
+//! statements using the MPI_ANY_SOURCE wild card) can be controlled by p2d2
+//! with the information available in the program trace. This ensures that
+//! the replay has identical event causality with the original program
+//! execution."
+//!
+//! The engine always records, for each completed receive, the matched
+//! `(source, tag, sequence)` triple in program order. A [`ReplayLog`] built
+//! from that recording pins each receive of the re-execution to the same
+//! message.
+
+use serde::{Deserialize, Serialize};
+use tracedbg_trace::{Rank, Tag};
+
+/// One recorded receive match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedMatch {
+    pub src: Rank,
+    pub tag: Tag,
+    /// Per-(src, receiver) send sequence number.
+    pub seq: u64,
+}
+
+/// Accumulates matches during a recorded run, per receiver in program order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MatchRecorder {
+    per_rank: Vec<Vec<RecordedMatch>>,
+}
+
+impl MatchRecorder {
+    pub fn new(n_ranks: usize) -> Self {
+        MatchRecorder {
+            per_rank: vec![Vec::new(); n_ranks],
+        }
+    }
+
+    pub fn record(&mut self, receiver: Rank, m: RecordedMatch) {
+        self.per_rank[receiver.ix()].push(m);
+    }
+
+    pub fn matches_of(&self, receiver: Rank) -> &[RecordedMatch] {
+        &self.per_rank[receiver.ix()]
+    }
+
+    pub fn total(&self) -> usize {
+        self.per_rank.iter().map(|v| v.len()).sum()
+    }
+
+    /// Freeze into a replayable log.
+    pub fn into_log(self) -> ReplayLog {
+        ReplayLog {
+            per_rank: self.per_rank,
+            cursor: Vec::new(),
+        }
+    }
+}
+
+/// A frozen match history driving a replay.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplayLog {
+    per_rank: Vec<Vec<RecordedMatch>>,
+    #[serde(skip)]
+    cursor: Vec<usize>,
+}
+
+impl ReplayLog {
+    /// Prepare cursors for a fresh replay.
+    pub fn reset(&mut self) {
+        self.cursor = vec![0; self.per_rank.len()];
+    }
+
+    /// The forced match for `receiver`'s next receive, advancing the
+    /// cursor. `None` when the log is exhausted for that rank (the replay
+    /// ran past the recorded history — receives become free again).
+    pub fn next_for(&mut self, receiver: Rank) -> Option<RecordedMatch> {
+        if self.cursor.is_empty() {
+            self.reset();
+        }
+        let c = &mut self.cursor[receiver.ix()];
+        let m = self.per_rank[receiver.ix()].get(*c).copied();
+        if m.is_some() {
+            *c += 1;
+        }
+        m
+    }
+
+    /// Recorded receive count for a rank.
+    pub fn len_for(&self, receiver: Rank) -> usize {
+        self.per_rank[receiver.ix()].len()
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_replay_in_order() {
+        let mut rec = MatchRecorder::new(2);
+        rec.record(
+            Rank(1),
+            RecordedMatch {
+                src: Rank(0),
+                tag: Tag(5),
+                seq: 0,
+            },
+        );
+        rec.record(
+            Rank(1),
+            RecordedMatch {
+                src: Rank(0),
+                tag: Tag(5),
+                seq: 1,
+            },
+        );
+        assert_eq!(rec.total(), 2);
+        let mut log = rec.into_log();
+        log.reset();
+        assert_eq!(log.next_for(Rank(1)).unwrap().seq, 0);
+        assert_eq!(log.next_for(Rank(1)).unwrap().seq, 1);
+        assert!(log.next_for(Rank(1)).is_none(), "exhausted");
+        assert!(log.next_for(Rank(0)).is_none(), "rank 0 recorded nothing");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rec = MatchRecorder::new(1);
+        rec.record(
+            Rank(0),
+            RecordedMatch {
+                src: Rank(0),
+                tag: Tag(1),
+                seq: 9,
+            },
+        );
+        let log = rec.into_log();
+        let json = serde_json::to_string(&log).unwrap();
+        let mut back: ReplayLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_ranks(), 1);
+        assert_eq!(back.next_for(Rank(0)).unwrap().seq, 9);
+    }
+}

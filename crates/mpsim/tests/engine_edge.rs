@@ -1,0 +1,247 @@
+//! Engine edge cases: self-sends, wildcards, scale, empty payloads,
+//! flush-on-demand, and trap interactions.
+
+use tracedbg_mpsim::{
+    CostModel, Engine, EngineConfig, Payload, ProgramFn, RecorderConfig, RunOutcome, SchedPolicy,
+};
+use tracedbg_trace::{EventKind, Marker, Rank, Tag};
+
+fn cfg() -> EngineConfig {
+    EngineConfig::with_recorder(RecorderConfig::full())
+}
+
+#[test]
+fn self_send_and_receive() {
+    // The buggy Strassen sends to rank 0 itself; the runtime must treat
+    // self-sends as ordinary buffered messages.
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 1, "selfie");
+        ctx.send(Rank(0), Tag(1), Payload::from_i64(9), s);
+        let m = ctx.recv_from(Rank(0), Tag(1), s);
+        assert_eq!(m.payload.to_i64(), Some(9));
+    });
+    let mut e = Engine::launch(cfg(), vec![p0]);
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    assert_eq!(store.of_kind(EventKind::Send).len(), 1);
+    assert_eq!(store.of_kind(EventKind::RecvDone).len(), 1);
+}
+
+#[test]
+fn any_tag_receive_takes_oldest() {
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 2, "p0");
+        ctx.send(Rank(1), Tag(9), Payload::from_i64(1), s);
+        ctx.send(Rank(1), Tag(5), Payload::from_i64(2), s);
+    });
+    let p1: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 3, "p1");
+        let a = ctx.recv(Some(Rank(0)), None, s);
+        let b = ctx.recv(Some(Rank(0)), None, s);
+        assert_eq!(a.tag, Tag(9), "ANY_TAG takes the queue head");
+        assert_eq!(b.tag, Tag(5));
+    });
+    let mut e = Engine::launch(cfg(), vec![p0, p1]);
+    assert!(e.run().is_completed());
+}
+
+#[test]
+fn empty_payload_messages() {
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 4, "p0");
+        ctx.send(Rank(1), Tag(0), Payload::empty(), s);
+    });
+    let p1: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 5, "p1");
+        let m = ctx.recv_from(Rank(0), Tag(0), s);
+        assert!(m.payload.is_empty());
+    });
+    let mut e = Engine::launch(cfg(), vec![p0, p1]);
+    assert!(e.run().is_completed());
+}
+
+#[test]
+fn sixteen_rank_all_to_one() {
+    // Scale check: 15 senders funnel into one wildcard receiver.
+    let recv: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 6, "sink");
+        let mut sum = 0i64;
+        for _ in 0..15 {
+            let m = ctx.recv_any(Some(Tag(1)), s);
+            sum += m.payload.to_i64().unwrap();
+        }
+        assert_eq!(sum, (1..16).sum::<i64>());
+    });
+    let mut progs: Vec<ProgramFn> = vec![recv];
+    for r in 1..16u32 {
+        progs.push(Box::new(move |ctx| {
+            let s = ctx.site("e.rs", 7, "source");
+            ctx.compute((r as u64) * 1000, s);
+            ctx.send(Rank(0), Tag(1), Payload::from_i64(r as i64), s);
+        }));
+    }
+    let mut e = Engine::launch(cfg(), progs);
+    assert!(e.run().is_completed());
+    assert_eq!(e.match_log().len_for(Rank(0)), 15);
+}
+
+#[test]
+fn flush_on_demand_mid_run() {
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 8, "p0");
+        ctx.compute(100, s);
+        ctx.flush_trace();
+        ctx.compute(100, s);
+    });
+    let mut e = Engine::launch(cfg(), vec![p0]);
+    assert!(e.run().is_completed());
+    // Both the flushed and the end-of-run records survive collection.
+    let store = e.trace_store();
+    assert_eq!(store.of_kind(EventKind::Compute).len(), 2);
+}
+
+#[test]
+fn tracing_toggle_inside_program() {
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 9, "p0");
+        ctx.compute(1, s);
+        ctx.set_tracing(false);
+        ctx.compute(2, s);
+        ctx.compute(3, s);
+        ctx.set_tracing(true);
+        ctx.compute(4, s);
+    });
+    let mut e = Engine::launch(cfg(), vec![p0]);
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    // 2 of the 4 computes recorded; markers unaffected (4 computes + 2
+    // lifecycle events).
+    assert_eq!(store.of_kind(EventKind::Compute).len(), 2);
+    assert_eq!(e.markers().get(Rank(0)), 6);
+}
+
+#[test]
+fn trap_mid_collective_sequence() {
+    // One rank traps before entering the barrier; the others wait inside
+    // the collective — a Stopped outcome, not a deadlock.
+    let mk = |_r: u32| -> ProgramFn {
+        Box::new(move |ctx| {
+            let s = ctx.site("e.rs", 10, "coll");
+            ctx.compute(10, s);
+            ctx.barrier(s);
+        })
+    };
+    let mut e = Engine::launch(cfg(), vec![mk(0), mk(1), mk(2)]);
+    // P0: ProcStart(1) compute(2) barrier(3)... trap at 2.
+    e.set_threshold(Rank(0), Some(2));
+    match e.run() {
+        RunOutcome::Stopped(st) => assert_eq!(st.traps, vec![Marker::new(0u32, 2)]),
+        other => panic!("{other:?}"),
+    }
+    e.clear_thresholds();
+    e.resume_trapped();
+    assert!(e.run().is_completed());
+}
+
+#[test]
+fn seeded_policy_is_reproducible_end_to_end() {
+    let make = || -> Vec<ProgramFn> {
+        (0..4u32)
+            .map(|r| {
+                let p: ProgramFn = Box::new(move |ctx| {
+                    let s = ctx.site("e.rs", 11, "n");
+                    if r == 0 {
+                        for _ in 0..3 {
+                            let _ = ctx.recv_any(None, s);
+                        }
+                    } else {
+                        ctx.compute((r as u64) * 7, s);
+                        ctx.send(Rank(0), Tag(0), Payload::from_i64(r as i64), s);
+                    }
+                });
+                p
+            })
+            .collect()
+    };
+    let run = |seed: u64| {
+        let mut e = Engine::launch(
+            EngineConfig {
+                policy: SchedPolicy::Seeded(seed),
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            make(),
+        );
+        assert!(e.run().is_completed());
+        e.collect_trace()
+    };
+    assert_eq!(run(12), run(12), "same seed, same trace");
+}
+
+#[test]
+fn zero_cost_model_still_causal() {
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 12, "p0");
+        ctx.send(Rank(1), Tag(1), Payload::from_i64(1), s);
+    });
+    let p1: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 13, "p1");
+        let _ = ctx.recv_from(Rank(0), Tag(1), s);
+    });
+    let mut e = Engine::launch(
+        EngineConfig {
+            cost: CostModel::free(),
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        vec![p0, p1],
+    );
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    let send = &store.records()[store.of_kind(EventKind::Send)[0].ix()];
+    let recv = &store.records()[store.of_kind(EventKind::RecvDone)[0].ix()];
+    assert!(recv.t_end >= send.t_end);
+}
+
+#[test]
+fn engine_run_after_completion_is_idempotent() {
+    let p0: ProgramFn = Box::new(|ctx| {
+        let s = ctx.site("e.rs", 14, "p0");
+        ctx.compute(1, s);
+    });
+    let mut e = Engine::launch(cfg(), vec![p0]);
+    assert!(e.run().is_completed());
+    assert!(e.run().is_completed(), "second run() reports completion");
+}
+
+#[test]
+fn fn_scope_and_probe_macros() {
+    use tracedbg_mpsim::{fn_scope, probe};
+    let p0: ProgramFn = Box::new(|ctx| {
+        let result = fn_scope!(ctx, "outer", [7, 8], {
+            probe!(ctx, "inside", 42);
+            fn_scope!(ctx, "inner", [1, 0], { 5 + 5 })
+        });
+        assert_eq!(result, 10);
+    });
+    let mut e = Engine::launch(cfg(), vec![p0]);
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    assert_eq!(store.of_kind(EventKind::FnEnter).len(), 2);
+    assert_eq!(store.of_kind(EventKind::FnExit).len(), 2);
+    let probe_rec = store
+        .records()
+        .iter()
+        .find(|r| r.kind == EventKind::Probe)
+        .unwrap();
+    assert_eq!(probe_rec.args[0], 42);
+    // probe! resolves the enclosing scope's function name via site_here.
+    assert_eq!(store.sites().func_name(probe_rec.site), "outer");
+    // fn_scope! captured the first two args.
+    let enter = store
+        .records()
+        .iter()
+        .find(|r| r.kind == EventKind::FnEnter)
+        .unwrap();
+    assert_eq!(enter.args, [7, 8]);
+}

@@ -1,0 +1,160 @@
+//! Small copy identifiers shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The rank (process number) of a simulated process, 0-based as in MPI.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Index form for vectors sized by the number of processes.
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(r: u32) -> Self {
+        Rank(r)
+    }
+}
+
+impl From<usize> for Rank {
+    fn from(r: usize) -> Self {
+        Rank(r as u32)
+    }
+}
+
+/// A message tag. Non-negative values are user tags; negative values are
+/// reserved for the runtime (collectives, control traffic).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag(pub i32);
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i32> for Tag {
+    fn from(t: i32) -> Self {
+        Tag(t)
+    }
+}
+
+/// Wildcard source for receives, the analog of `MPI_ANY_SOURCE`. Receives
+/// posted with this are the (only) nondeterministic constructs the replay
+/// controller must pin down (§4.2).
+pub const ANY_SOURCE: Option<Rank> = None;
+
+/// Wildcard tag for receives, the analog of `MPI_ANY_TAG`.
+pub const ANY_TAG: Option<Tag> = None;
+
+/// Interned source location id; resolved through a [`crate::SiteTable`].
+///
+/// The `UserMonitor` records a `SiteId` (the analog of "the address it was
+/// called from", §2.2) rather than strings so that per-call cost stays at a
+/// couple of machine words.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Sentinel for events with no registered source location.
+    pub const UNKNOWN: SiteId = SiteId(u32::MAX);
+
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SiteId::UNKNOWN {
+            write!(f, "site?")
+        } else {
+            write!(f, "site{}", self.0)
+        }
+    }
+}
+
+/// A communication channel: one per unordered pair of processes, as in the
+/// paper's trace graph (§3.2: "one channel per pair of processes").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId {
+    pub lo: Rank,
+    pub hi: Rank,
+}
+
+impl ChannelId {
+    /// Canonical channel for a (src, dst) pair; direction-insensitive.
+    pub fn between(a: Rank, b: Rank) -> Self {
+        if a.0 <= b.0 {
+            ChannelId { lo: a, hi: b }
+        } else {
+            ChannelId { lo: b, hi: a }
+        }
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch({},{})", self.lo.0, self.hi.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_roundtrip_and_order() {
+        let r: Rank = 3u32.into();
+        assert_eq!(r.ix(), 3);
+        assert!(Rank(1) < Rank(2));
+        assert_eq!(format!("{:?}", Rank(7)), "P7");
+    }
+
+    #[test]
+    fn channel_is_canonical() {
+        assert_eq!(
+            ChannelId::between(Rank(5), Rank(2)),
+            ChannelId::between(Rank(2), Rank(5))
+        );
+        let c = ChannelId::between(Rank(5), Rank(2));
+        assert_eq!(c.lo, Rank(2));
+        assert_eq!(c.hi, Rank(5));
+    }
+
+    #[test]
+    fn self_channel_allowed() {
+        let c = ChannelId::between(Rank(4), Rank(4));
+        assert_eq!(c.lo, c.hi);
+    }
+
+    #[test]
+    fn site_sentinel() {
+        assert_eq!(format!("{:?}", SiteId::UNKNOWN), "site?");
+        assert_ne!(SiteId(0), SiteId::UNKNOWN);
+    }
+}

@@ -1,0 +1,43 @@
+//! AIMS-style execution traces for trace-driven debugging.
+//!
+//! This crate is the shared vocabulary of the `tracedbg` workspace. It
+//! defines:
+//!
+//! * process [`Rank`]s, message [`Tag`]s and interned source locations
+//!   ([`SiteTable`]) — the identifiers every other crate speaks;
+//! * [`Marker`]s — the paper's *execution markers* (§2): a per-process
+//!   counter value that names a unique state of the execution and that the
+//!   controlled-replay machinery tests against debugger-set thresholds;
+//! * [`TraceRecord`]s — one record per executed instrumented construct,
+//!   carrying the construct's location, the executing process, start/end
+//!   simulated times, and (for message-passing constructs) the message tag
+//!   and endpoints, exactly the schema of §3;
+//! * [`TraceBuffer`] / [`TraceStore`] — per-process collection with
+//!   on-demand flush (the paper's extension of the AIMS monitor for *during
+//!   execution* use) and a merged, queryable whole-program history;
+//! * text and JSON trace file formats ([`file`]).
+//!
+//! Everything here is deliberately independent of the runtime: the trace is
+//! plain data, so the analyses (`tracedbg-tracegraph`, `tracedbg-causality`)
+//! and the visualizers consume it without linking the engine.
+
+pub mod buffer;
+pub mod diff;
+pub mod event;
+pub mod file;
+pub mod ids;
+pub mod loc;
+pub mod marker;
+pub mod query;
+pub mod stats;
+pub mod store;
+
+pub use buffer::{FlushHandle, TraceBuffer};
+pub use diff::{diff_traces, DiffMode, Divergence};
+pub use event::{CollKind, EventKind, MsgInfo, TraceRecord};
+pub use query::EventQuery;
+pub use ids::{ChannelId, Rank, SiteId, Tag, ANY_SOURCE, ANY_TAG};
+pub use loc::{SiteTable, SourceLoc};
+pub use marker::{Marker, MarkerVector};
+pub use stats::TraceStats;
+pub use store::{EventId, TraceStore};

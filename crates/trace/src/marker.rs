@@ -1,0 +1,180 @@
+//! Execution markers (§2).
+//!
+//! "The key idea is to put tags in the execution trace that allow mapping
+//! from a particular trace record to the point of its generation. We call
+//! such a tag an *execution marker*."
+//!
+//! In this implementation a marker is the value of a per-process software
+//! event counter at the instant an instrumented construct executes — the
+//! same scheme as the software instruction counter the paper builds on
+//! (Mellor-Crummey & LeBlanc). Because a deterministic replay regenerates
+//! the identical event sequence, `(rank, count)` names one unique program
+//! state across runs, which is exactly what stoplines, replay and *undo*
+//! need.
+
+use crate::ids::Rank;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One execution marker: the `count`-th instrumentation event executed by
+/// process `rank`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Marker {
+    pub rank: Rank,
+    pub count: u64,
+}
+
+impl Marker {
+    pub fn new(rank: impl Into<Rank>, count: u64) -> Self {
+        Marker {
+            rank: rank.into(),
+            count,
+        }
+    }
+}
+
+impl fmt::Debug for Marker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{}", self.rank, self.count)
+    }
+}
+
+/// A marker per process: the coordinates of a global debugger stop — one
+/// threshold for each process's `UserMonitor` (§4.1: "the stopline will be
+/// communicated to p2d2 as a set of breakpoints along with the execution
+/// markers indicating the corresponding states").
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MarkerVector {
+    counts: Vec<u64>,
+}
+
+impl MarkerVector {
+    /// The state "before anything executed" for `n` processes.
+    pub fn zero(n: usize) -> Self {
+        MarkerVector {
+            counts: vec![0; n],
+        }
+    }
+
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        MarkerVector { counts }
+    }
+
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn get(&self, rank: Rank) -> u64 {
+        self.counts[rank.ix()]
+    }
+
+    pub fn set(&mut self, rank: Rank, count: u64) {
+        self.counts[rank.ix()] = count;
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Iterate `(rank, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = Marker> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| Marker::new(r as u32, c))
+    }
+
+    /// Componentwise `<=`: does stopping at `self` precede (or equal)
+    /// stopping at `other` in every process?
+    pub fn le(&self, other: &MarkerVector) -> bool {
+        self.counts.len() == other.counts.len()
+            && self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .all(|(a, b)| a <= b)
+    }
+
+    /// Strictly earlier in at least one process and later in none.
+    pub fn lt(&self, other: &MarkerVector) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Componentwise minimum — the latest common predecessor state.
+    pub fn meet(&self, other: &MarkerVector) -> MarkerVector {
+        assert_eq!(self.counts.len(), other.counts.len());
+        MarkerVector {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| (*a).min(*b))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for MarkerVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_vector() {
+        let v = MarkerVector::zero(4);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|m| m.count == 0));
+    }
+
+    #[test]
+    fn get_set() {
+        let mut v = MarkerVector::zero(3);
+        v.set(Rank(1), 42);
+        assert_eq!(v.get(Rank(1)), 42);
+        assert_eq!(v.get(Rank(0)), 0);
+    }
+
+    #[test]
+    fn partial_order() {
+        let a = MarkerVector::from_counts(vec![1, 2, 3]);
+        let b = MarkerVector::from_counts(vec![1, 5, 3]);
+        let c = MarkerVector::from_counts(vec![2, 1, 3]);
+        assert!(a.le(&b));
+        assert!(a.lt(&b));
+        assert!(!b.le(&a));
+        assert!(!a.le(&c) && !c.le(&a)); // incomparable
+        assert!(a.le(&a) && !a.lt(&a));
+    }
+
+    #[test]
+    fn meet_is_lower_bound() {
+        let b = MarkerVector::from_counts(vec![1, 5, 3]);
+        let c = MarkerVector::from_counts(vec![2, 1, 3]);
+        let m = b.meet(&c);
+        assert_eq!(m.counts(), &[1, 1, 3]);
+        assert!(m.le(&b) && m.le(&c));
+    }
+
+    #[test]
+    fn length_mismatch_not_le() {
+        let a = MarkerVector::zero(2);
+        let b = MarkerVector::zero(3);
+        assert!(!a.le(&b));
+    }
+}

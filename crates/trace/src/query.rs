@@ -1,0 +1,237 @@
+//! Event search — §4.3's "fast location of events of interest".
+//!
+//! A small composable filter over a [`TraceStore`]: combine constraints on
+//! kind, rank, function, tag, endpoints, label and time window, then
+//! iterate matches in canonical order. The debugger's `find` command and
+//! the visualizers' click-to-locate both sit on this.
+
+use crate::event::EventKind;
+use crate::ids::{Rank, Tag};
+use crate::store::{EventId, TraceStore};
+
+/// A conjunctive event filter. All set constraints must hold.
+#[derive(Clone, Debug, Default)]
+pub struct EventQuery {
+    kind: Option<EventKind>,
+    rank: Option<Rank>,
+    func: Option<String>,
+    tag: Option<Tag>,
+    msg_src: Option<Rank>,
+    msg_dst: Option<Rank>,
+    label: Option<String>,
+    t_min: Option<u64>,
+    t_max: Option<u64>,
+    marker_min: Option<u64>,
+}
+
+impl EventQuery {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn kind(mut self, k: EventKind) -> Self {
+        self.kind = Some(k);
+        self
+    }
+
+    pub fn rank(mut self, r: impl Into<Rank>) -> Self {
+        self.rank = Some(r.into());
+        self
+    }
+
+    /// Events whose site belongs to this function.
+    pub fn in_function(mut self, func: impl Into<String>) -> Self {
+        self.func = Some(func.into());
+        self
+    }
+
+    pub fn tag(mut self, t: Tag) -> Self {
+        self.tag = Some(t);
+        self
+    }
+
+    pub fn msg_from(mut self, src: impl Into<Rank>) -> Self {
+        self.msg_src = Some(src.into());
+        self
+    }
+
+    pub fn msg_to(mut self, dst: impl Into<Rank>) -> Self {
+        self.msg_dst = Some(dst.into());
+        self
+    }
+
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = Some(l.into());
+        self
+    }
+
+    /// Restrict to events completing in `[lo, hi]`.
+    pub fn in_window(mut self, lo: u64, hi: u64) -> Self {
+        self.t_min = Some(lo);
+        self.t_max = Some(hi);
+        self
+    }
+
+    /// Only events at or after this marker (search "from here forward").
+    pub fn after_marker(mut self, m: u64) -> Self {
+        self.marker_min = Some(m);
+        self
+    }
+
+    fn matches(&self, store: &TraceStore, id: EventId) -> bool {
+        let rec = store.record(id);
+        if let Some(k) = self.kind {
+            if rec.kind != k {
+                return false;
+            }
+        }
+        if let Some(r) = self.rank {
+            if rec.rank != r {
+                return false;
+            }
+        }
+        if let Some(m) = self.marker_min {
+            if rec.marker < m {
+                return false;
+            }
+        }
+        if let Some(lo) = self.t_min {
+            if rec.t_end < lo {
+                return false;
+            }
+        }
+        if let Some(hi) = self.t_max {
+            if rec.t_start > hi {
+                return false;
+            }
+        }
+        if let Some(func) = &self.func {
+            if &store.sites().func_name(rec.site) != func {
+                return false;
+            }
+        }
+        if self.tag.is_some() || self.msg_src.is_some() || self.msg_dst.is_some() {
+            let Some(msg) = &rec.msg else { return false };
+            if let Some(t) = self.tag {
+                if msg.tag != t {
+                    return false;
+                }
+            }
+            if let Some(s) = self.msg_src {
+                if msg.src != s {
+                    return false;
+                }
+            }
+            if let Some(d) = self.msg_dst {
+                if msg.dst != d {
+                    return false;
+                }
+            }
+        }
+        if let Some(l) = &self.label {
+            if rec.label.as_deref() != Some(l.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All matches in canonical order.
+    pub fn find_all(&self, store: &TraceStore) -> Vec<EventId> {
+        store.ids().filter(|id| self.matches(store, *id)).collect()
+    }
+
+    /// The first match.
+    pub fn find_first(&self, store: &TraceStore) -> Option<EventId> {
+        store.ids().find(|id| self.matches(store, *id))
+    }
+
+    /// Number of matches.
+    pub fn count(&self, store: &TraceStore) -> usize {
+        store.ids().filter(|id| self.matches(store, *id)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MsgInfo, TraceRecord};
+    use crate::loc::SiteTable;
+
+    fn store() -> TraceStore {
+        let sites = SiteTable::new();
+        let f = sites.site("a.c", 1, "MatrSend");
+        let g = sites.site("a.c", 2, "MatrRecv");
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(7),
+            tag: Tag(11),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(f),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 10)
+                .with_span(10, 12)
+                .with_site(f)
+                .with_msg(m),
+            TraceRecord::basic(0u32, EventKind::Probe, 3, 15)
+                .with_site(g)
+                .with_args(6, 0)
+                .with_label("jres"),
+            TraceRecord::basic(7u32, EventKind::RecvDone, 1, 20)
+                .with_span(20, 25)
+                .with_msg(m),
+        ];
+        TraceStore::build(recs, sites, 8)
+    }
+
+    #[test]
+    fn find_send_to_rank() {
+        let s = store();
+        let q = EventQuery::new().kind(EventKind::Send).msg_to(7u32);
+        assert_eq!(q.count(&s), 1);
+        let id = q.find_first(&s).unwrap();
+        assert_eq!(s.record(id).marker, 2);
+    }
+
+    #[test]
+    fn find_by_function() {
+        let s = store();
+        let q = EventQuery::new().in_function("MatrSend");
+        assert_eq!(q.count(&s), 2);
+        assert_eq!(EventQuery::new().in_function("nope").count(&s), 0);
+    }
+
+    #[test]
+    fn find_probe_by_label() {
+        let s = store();
+        let id = EventQuery::new().label("jres").find_first(&s).unwrap();
+        assert_eq!(s.record(id).args[0], 6);
+    }
+
+    #[test]
+    fn window_and_rank_compose() {
+        let s = store();
+        let q = EventQuery::new().rank(0u32).in_window(9, 16);
+        // send (10..12) and probe (15) on rank 0
+        assert_eq!(q.count(&s), 2);
+        let none = EventQuery::new().rank(7u32).in_window(0, 5);
+        assert_eq!(none.count(&s), 0);
+    }
+
+    #[test]
+    fn tag_constraint_requires_message() {
+        let s = store();
+        let q = EventQuery::new().tag(Tag(11));
+        assert_eq!(q.count(&s), 2, "send + recv of the tagged message");
+        assert_eq!(EventQuery::new().tag(Tag(99)).count(&s), 0);
+    }
+
+    #[test]
+    fn after_marker() {
+        let s = store();
+        let q = EventQuery::new().rank(0u32).after_marker(3);
+        assert_eq!(q.count(&s), 1);
+    }
+}

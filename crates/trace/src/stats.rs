@@ -1,0 +1,142 @@
+//! Per-trace summary statistics.
+//!
+//! Used by the benchmark harnesses (message counts per figure) and by the
+//! debugger's history reports.
+
+use crate::event::{EventKind, TraceRecord};
+use crate::ids::Rank;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics over a set of trace records.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceStats {
+    pub n_events: usize,
+    pub n_ranks: usize,
+    /// Event count per kind code (BTreeMap for stable display order).
+    pub per_kind: BTreeMap<&'static str, usize>,
+    /// Event count per rank.
+    pub per_rank: BTreeMap<u32, usize>,
+    /// Completed messages (RecvDone records).
+    pub messages_delivered: usize,
+    /// Send records emitted.
+    pub sends: usize,
+    /// Total payload bytes over all sends.
+    pub bytes_sent: u64,
+    /// Simulated makespan (max t_end - min t_start).
+    pub makespan: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics from records.
+    pub fn compute(records: &[TraceRecord]) -> Self {
+        let mut s = TraceStats {
+            n_events: records.len(),
+            ..TraceStats::default()
+        };
+        let mut t_lo = u64::MAX;
+        let mut t_hi = 0u64;
+        for r in records {
+            *s.per_kind.entry(r.kind.code()).or_insert(0) += 1;
+            *s.per_rank.entry(r.rank.0).or_insert(0) += 1;
+            t_lo = t_lo.min(r.t_start);
+            t_hi = t_hi.max(r.t_end);
+            match r.kind {
+                EventKind::Send => {
+                    s.sends += 1;
+                    if let Some(m) = &r.msg {
+                        s.bytes_sent += m.bytes as u64;
+                    }
+                }
+                EventKind::RecvDone => s.messages_delivered += 1,
+                _ => {}
+            }
+        }
+        s.n_ranks = s.per_rank.len();
+        s.makespan = if s.n_events == 0 { 0 } else { t_hi - t_lo };
+        s
+    }
+
+    /// Messages delivered *to* a given rank.
+    pub fn received_by(records: &[TraceRecord], rank: Rank) -> usize {
+        records
+            .iter()
+            .filter(|r| r.kind == EventKind::RecvDone && r.rank == rank)
+            .count()
+    }
+
+    /// Messages sent *by* a given rank.
+    pub fn sent_by(records: &[TraceRecord], rank: Rank) -> usize {
+        records
+            .iter()
+            .filter(|r| r.kind == EventKind::Send && r.rank == rank)
+            .count()
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events, {} ranks, {} sends / {} delivered, {} bytes, makespan {} ns",
+            self.n_events,
+            self.n_ranks,
+            self.sends,
+            self.messages_delivered,
+            self.bytes_sent,
+            self.makespan
+        )?;
+        for (k, n) in &self.per_kind {
+            writeln!(f, "  {k}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MsgInfo, TraceRecord};
+    use crate::ids::{Rank, Tag};
+
+    fn msg(src: u32, dst: u32, bytes: u32) -> MsgInfo {
+        MsgInfo {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag(0),
+            bytes,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn counts_and_makespan() {
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Send, 1, 10)
+                .with_span(10, 12)
+                .with_msg(msg(0, 1, 100)),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 12)
+                .with_span(12, 14)
+                .with_msg(msg(0, 1, 100)),
+            TraceRecord::basic(0u32, EventKind::Compute, 2, 12).with_span(12, 50),
+        ];
+        let s = TraceStats::compute(&recs);
+        assert_eq!(s.n_events, 3);
+        assert_eq!(s.n_ranks, 2);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.bytes_sent, 100);
+        assert_eq!(s.makespan, 40);
+        assert_eq!(s.per_kind["SN"], 1);
+        assert_eq!(TraceStats::received_by(&recs, Rank(1)), 1);
+        assert_eq!(TraceStats::sent_by(&recs, Rank(0)), 1);
+        assert_eq!(TraceStats::sent_by(&recs, Rank(1)), 0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.n_events, 0);
+        assert_eq!(s.makespan, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! The action graph (§4.4).
+//!
+//! "The first level of analysis is done at the level of the call graph.
+//! For every function, the calls made while the function is active are
+//! classified into actions and the call graph is transformed into an
+//! actions graph. The action graph represents history with less resolution
+//! than the time-space diagram and makes it more understandable."
+//!
+//! For each function (per process) we classify the events executed while
+//! the function is the innermost active frame into [`ActionKind`]s and
+//! fold consecutive repetitions of the same action into one action with a
+//! count — e.g. `MatrSend`'s body becomes `send ×14` instead of fourteen
+//! separate arcs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tracedbg_trace::{EventKind, Rank, TraceStore};
+
+/// What a function instance did, at action resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// Called another function.
+    Call(String),
+    /// Sent a message to a rank.
+    SendTo(Rank),
+    /// Received a message from a rank.
+    RecvFrom(Rank),
+    /// Local computation.
+    Compute,
+    /// Entered a collective.
+    Collective,
+    /// Recorded a probe.
+    Probe,
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::Call(name) => write!(f, "call {name}"),
+            ActionKind::SendTo(r) => write!(f, "send->{r:?}"),
+            ActionKind::RecvFrom(r) => write!(f, "recv<-{r:?}"),
+            ActionKind::Compute => write!(f, "compute"),
+            ActionKind::Collective => write!(f, "collective"),
+            ActionKind::Probe => write!(f, "probe"),
+        }
+    }
+}
+
+/// A folded run of identical actions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Action {
+    pub kind: ActionKind,
+    pub count: u64,
+}
+
+/// Actions per (rank, function).
+pub struct ActionGraph {
+    /// Key: (rank, function name) → folded action sequence.
+    actions: BTreeMap<(u32, String), Vec<Action>>,
+}
+
+impl ActionGraph {
+    /// Build the action classification for a whole trace.
+    pub fn build(store: &TraceStore) -> Self {
+        let mut actions: BTreeMap<(u32, String), Vec<Action>> = BTreeMap::new();
+        for r in 0..store.n_ranks() {
+            let rank = Rank(r as u32);
+            let mut stack: Vec<String> = vec!["main".into()];
+            for &id in store.by_rank(rank) {
+                let rec = store.record(id);
+                let current = stack.last().unwrap().clone();
+                let kind = match rec.kind {
+                    EventKind::FnEnter => {
+                        let callee = store.sites().func_name(rec.site);
+                        let k = ActionKind::Call(callee.clone());
+                        Self::push(&mut actions, rank, &current, k);
+                        stack.push(callee);
+                        continue;
+                    }
+                    EventKind::FnExit => {
+                        if stack.len() > 1 {
+                            stack.pop();
+                        }
+                        continue;
+                    }
+                    EventKind::Send => rec.msg.map(|m| ActionKind::SendTo(m.dst)),
+                    EventKind::RecvDone => rec.msg.map(|m| ActionKind::RecvFrom(m.src)),
+                    EventKind::Compute => Some(ActionKind::Compute),
+                    EventKind::Collective(_) => Some(ActionKind::Collective),
+                    EventKind::Probe => Some(ActionKind::Probe),
+                    _ => None,
+                };
+                if let Some(k) = kind {
+                    Self::push(&mut actions, rank, &current, k);
+                }
+            }
+        }
+        ActionGraph { actions }
+    }
+
+    fn push(
+        actions: &mut BTreeMap<(u32, String), Vec<Action>>,
+        rank: Rank,
+        func: &str,
+        kind: ActionKind,
+    ) {
+        let seq = actions.entry((rank.0, func.to_string())).or_default();
+        if let Some(last) = seq.last_mut() {
+            if last.kind == kind {
+                last.count += 1;
+                return;
+            }
+        }
+        seq.push(Action { kind, count: 1 });
+    }
+
+    /// Action sequence of a function on a rank.
+    pub fn of(&self, rank: Rank, func: &str) -> &[Action] {
+        self.actions
+            .get(&(rank.0, func.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All (rank, function) keys in display order.
+    pub fn keys(&self) -> Vec<(Rank, String)> {
+        self.actions
+            .keys()
+            .map(|(r, f)| (Rank(*r), f.clone()))
+            .collect()
+    }
+
+    /// Render the whole action graph as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ((r, f), seq) in &self.actions {
+            out.push_str(&format!("P{r} {f}:\n"));
+            for a in seq {
+                if a.count > 1 {
+                    out.push_str(&format!("  {} x{}\n", a.kind, a.count));
+                } else {
+                    out.push_str(&format!("  {}\n", a.kind));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{MsgInfo, SiteTable, Tag, TraceRecord};
+
+    fn store() -> TraceStore {
+        let sites = SiteTable::new();
+        let f = sites.site("a.c", 1, "distribute");
+        let mut recs = Vec::new();
+        let mut marker = 0u64;
+        let mut push = |rec: TraceRecord, recs: &mut Vec<TraceRecord>| {
+            marker += 1;
+            let mut r = rec;
+            r.marker = marker;
+            r.t_start = marker * 10;
+            r.t_end = marker * 10 + 1;
+            recs.push(r);
+        };
+        push(
+            TraceRecord::basic(0u32, EventKind::FnEnter, 0, 0).with_site(f),
+            &mut recs,
+        );
+        for d in 1..=3u32 {
+            for _ in 0..2 {
+                push(
+                    TraceRecord::basic(0u32, EventKind::Send, 0, 0).with_msg(MsgInfo {
+                        src: Rank(0),
+                        dst: Rank(d),
+                        tag: Tag(1),
+                        bytes: 8,
+                        seq: 0,
+                    }),
+                    &mut recs,
+                );
+            }
+        }
+        push(
+            TraceRecord::basic(0u32, EventKind::Compute, 0, 0),
+            &mut recs,
+        );
+        push(
+            TraceRecord::basic(0u32, EventKind::FnExit, 0, 0).with_site(f),
+            &mut recs,
+        );
+        TraceStore::build(recs, sites, 4)
+    }
+
+    #[test]
+    fn consecutive_sends_fold() {
+        let s = store();
+        let ag = ActionGraph::build(&s);
+        let acts = ag.of(Rank(0), "distribute");
+        // 2 sends to each of P1..P3 fold pairwise, then compute
+        assert_eq!(acts.len(), 4, "{acts:?}");
+        assert_eq!(acts[0], Action { kind: ActionKind::SendTo(Rank(1)), count: 2 });
+        assert_eq!(acts[3].kind, ActionKind::Compute);
+    }
+
+    #[test]
+    fn main_records_the_call() {
+        let s = store();
+        let ag = ActionGraph::build(&s);
+        let acts = ag.of(Rank(0), "main");
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].kind, ActionKind::Call("distribute".into()));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let s = store();
+        let ag = ActionGraph::build(&s);
+        let txt = ag.render();
+        assert!(txt.contains("send->P1 x2"), "{txt}");
+        assert!(txt.contains("P0 distribute:"), "{txt}");
+    }
+
+    #[test]
+    fn unknown_function_is_empty() {
+        let s = store();
+        let ag = ActionGraph::build(&s);
+        assert!(ag.of(Rank(0), "nope").is_empty());
+        assert!(ag.of(Rank(2), "distribute").is_empty());
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let s = store();
+        let ag = ActionGraph::build(&s);
+        let keys = ag.keys();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].1, "distribute");
+    }
+}

@@ -1,0 +1,213 @@
+//! The communication graph (Figure 4).
+//!
+//! "Each node corresponds to one or two messages. The arcs describe
+//! causality of messages."
+//!
+//! Nodes are matched messages; an arc joins message *a* to message *b*
+//! when some process participates in *a* and then, next among its
+//! communication events, participates in *b* — the immediate program-order
+//! causality between messages. Chains of these arcs (plus the messages
+//! themselves) generate the full happens-before relation on communication
+//! events.
+
+use crate::matching::{MatchedMessage, MessageMatching};
+use std::collections::HashMap;
+use tracedbg_trace::{EventId, EventKind, Rank, TraceStore};
+
+/// Index of a node (matched message) in the communication graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommNodeId(pub u32);
+
+impl CommNodeId {
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The communication graph.
+pub struct CommGraph {
+    messages: Vec<MatchedMessage>,
+    /// Arcs (from, to), deduplicated, in discovery order.
+    arcs: Vec<(CommNodeId, CommNodeId)>,
+    succ: Vec<Vec<CommNodeId>>,
+    pred: Vec<Vec<CommNodeId>>,
+}
+
+impl CommGraph {
+    /// Build from a store and its matching.
+    pub fn build(store: &TraceStore, matching: &MessageMatching) -> Self {
+        let n = matching.matched.len();
+        let mut by_event: HashMap<EventId, CommNodeId> = HashMap::new();
+        for (i, m) in matching.matched.iter().enumerate() {
+            by_event.insert(m.send, CommNodeId(i as u32));
+            by_event.insert(m.recv, CommNodeId(i as u32));
+        }
+        let mut arcs = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for r in 0..store.n_ranks() {
+            let mut prev: Option<CommNodeId> = None;
+            for &id in store.by_rank(Rank(r as u32)) {
+                let rec = store.record(id);
+                if !matches!(rec.kind, EventKind::Send | EventKind::RecvDone) {
+                    continue;
+                }
+                let Some(&node) = by_event.get(&id) else {
+                    continue; // unmatched send
+                };
+                if let Some(p) = prev {
+                    if p != node && seen.insert((p, node)) {
+                        arcs.push((p, node));
+                        succ[p.ix()].push(node);
+                        pred[node.ix()].push(p);
+                    }
+                }
+                prev = Some(node);
+            }
+        }
+        CommGraph {
+            messages: matching.matched.clone(),
+            arcs,
+            succ,
+            pred,
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.messages.len()
+    }
+
+    pub fn n_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    pub fn message(&self, id: CommNodeId) -> &MatchedMessage {
+        &self.messages[id.ix()]
+    }
+
+    pub fn arcs(&self) -> &[(CommNodeId, CommNodeId)] {
+        &self.arcs
+    }
+
+    pub fn successors(&self, id: CommNodeId) -> &[CommNodeId] {
+        &self.succ[id.ix()]
+    }
+
+    pub fn predecessors(&self, id: CommNodeId) -> &[CommNodeId] {
+        &self.pred[id.ix()]
+    }
+
+    /// Nodes with no predecessors (the initial messages).
+    pub fn roots(&self) -> Vec<CommNodeId> {
+        (0..self.messages.len() as u32)
+            .map(CommNodeId)
+            .filter(|id| self.pred[id.ix()].is_empty())
+            .collect()
+    }
+
+    /// Human-readable node label: `P0->P7 tag11 #4`.
+    pub fn label(&self, id: CommNodeId) -> String {
+        let m = &self.messages[id.ix()].info;
+        format!("P{}->P{} tag{} #{}", m.src, m.dst, m.tag, m.seq)
+    }
+
+    /// Ids in topological-friendly order (by send event id — sends are in
+    /// canonical trace order, which respects causality).
+    pub fn ids(&self) -> impl Iterator<Item = CommNodeId> {
+        (0..self.messages.len() as u32).map(CommNodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{MsgInfo, SiteTable, Tag, TraceRecord};
+
+    /// P0 sends to P1, P1 then sends to P2 — message 0 causes message 1.
+    fn chain_store() -> TraceStore {
+        let m01 = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let m12 = MsgInfo {
+            src: Rank(1),
+            dst: Rank(2),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Send, 1, 0)
+                .with_span(0, 1)
+                .with_msg(m01),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 2)
+                .with_span(2, 3)
+                .with_msg(m01),
+            TraceRecord::basic(1u32, EventKind::Send, 2, 4)
+                .with_span(4, 5)
+                .with_msg(m12),
+            TraceRecord::basic(2u32, EventKind::RecvDone, 1, 6)
+                .with_span(6, 7)
+                .with_msg(m12),
+        ];
+        TraceStore::build(recs, SiteTable::new(), 3)
+    }
+
+    #[test]
+    fn chain_produces_one_arc() {
+        let store = chain_store();
+        let mm = MessageMatching::build(&store);
+        let g = CommGraph::build(&store, &mm);
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.n_arcs(), 1);
+        let (a, b) = g.arcs()[0];
+        assert_eq!(g.message(a).info.dst, Rank(1));
+        assert_eq!(g.message(b).info.src, Rank(1));
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.successors(a), &[b]);
+        assert_eq!(g.predecessors(b), &[a]);
+    }
+
+    #[test]
+    fn label_format() {
+        let store = chain_store();
+        let mm = MessageMatching::build(&store);
+        let g = CommGraph::build(&store, &mm);
+        let labels: Vec<String> = g.ids().map(|i| g.label(i)).collect();
+        assert!(labels.contains(&"P0->P1 tag1 #0".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn independent_messages_have_no_arcs() {
+        let m01 = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let m23 = MsgInfo {
+            src: Rank(2),
+            dst: Rank(3),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Send, 1, 0).with_msg(m01),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 2).with_msg(m01),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 0).with_msg(m23),
+            TraceRecord::basic(3u32, EventKind::RecvDone, 1, 2).with_msg(m23),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 4);
+        let mm = MessageMatching::build(&store);
+        let g = CommGraph::build(&store, &mm);
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.n_arcs(), 0);
+        assert_eq!(g.roots().len(), 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! The trace graph (§3.2) with the dissemination size bound (§4.3).
+//!
+//! Vertices: one node per (process, function) plus one node per channel
+//! (unordered pair of processes). Arcs: a call arc per function call and a
+//! message arc per send/receive, each tied back to its trace event ("each
+//! arc has an image in the execution trace").
+//!
+//! "The number of nodes of the trace graph is bounded by the number of
+//! program functions times the number of processors plus the square of the
+//! number of processors." The arc count, however, grows with execution
+//! length, so §4.3 bounds it with *dissemination*: "if the number of arcs
+//! incident to a node exceeds a limit, we merge every other arc with the
+//! previous one. ... If the user wants to zoom in on a particular event,
+//! the required arcs are reconstructed by rescanning the appropriate
+//! portion of the trace file." — see [`TraceGraph::expand_node`].
+
+use std::collections::HashMap;
+use tracedbg_trace::{ChannelId, EventId, EventKind, Rank, TraceStore};
+
+/// Index of a node in the trace graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A trace graph vertex.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TraceNode {
+    /// A function executing on one process.
+    Function { rank: Rank, func: String },
+    /// A communication channel between two processes.
+    Channel(ChannelId),
+}
+
+impl TraceNode {
+    pub fn label(&self) -> String {
+        match self {
+            TraceNode::Function { rank, func } => format!("{func}@{rank}"),
+            TraceNode::Channel(c) => format!("ch({},{})", c.lo, c.hi),
+        }
+    }
+}
+
+/// Arc classification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArcKind {
+    /// Caller function → callee function (same rank).
+    Call,
+    /// Sending function → channel.
+    MsgSend,
+    /// Channel → receiving function.
+    MsgRecv,
+}
+
+/// One (possibly merged) arc.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceArc {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub kind: ArcKind,
+    /// How many primitive arcs this arc stands for (>1 after merging).
+    pub multiplicity: u64,
+    /// Trace image: the first and last primitive event folded in.
+    pub first_event: EventId,
+    pub last_event: EventId,
+}
+
+/// The trace graph.
+pub struct TraceGraph {
+    nodes: Vec<TraceNode>,
+    index: HashMap<TraceNode, NodeId>,
+    /// Outgoing arcs per node.
+    out: Vec<Vec<TraceArc>>,
+    /// Dissemination limit (max outgoing arcs kept per node); `None` = keep
+    /// everything.
+    limit: Option<usize>,
+    /// Count of primitive arcs folded away by dissemination.
+    merged_away: u64,
+}
+
+impl TraceGraph {
+    /// Build the full-resolution trace graph.
+    pub fn build(store: &TraceStore) -> Self {
+        Self::build_with_limit(store, None)
+    }
+
+    /// Build with a dissemination limit on per-node outgoing arcs.
+    pub fn build_with_limit(store: &TraceStore, limit: Option<usize>) -> Self {
+        let mut g = TraceGraph {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            out: Vec::new(),
+            limit,
+            merged_away: 0,
+        };
+        for r in 0..store.n_ranks() {
+            let rank = Rank(r as u32);
+            let root = g.intern(TraceNode::Function {
+                rank,
+                func: "main".into(),
+            });
+            let mut stack: Vec<NodeId> = vec![root];
+            for &id in store.by_rank(rank) {
+                let rec = store.record(id);
+                match rec.kind {
+                    EventKind::FnEnter => {
+                        let func = store.sites().func_name(rec.site);
+                        let node = g.intern(TraceNode::Function { rank, func });
+                        let top = *stack.last().unwrap();
+                        g.add_arc(top, node, ArcKind::Call, id);
+                        stack.push(node);
+                    }
+                    EventKind::FnExit
+                        if stack.len() > 1 => {
+                            stack.pop();
+                        }
+                    EventKind::Send => {
+                        let m = rec.msg.expect("send without msg");
+                        let ch = g.intern(TraceNode::Channel(ChannelId::between(m.src, m.dst)));
+                        let top = *stack.last().unwrap();
+                        g.add_arc(top, ch, ArcKind::MsgSend, id);
+                    }
+                    EventKind::RecvDone => {
+                        let m = rec.msg.expect("recv without msg");
+                        let ch = g.intern(TraceNode::Channel(ChannelId::between(m.src, m.dst)));
+                        let top = *stack.last().unwrap();
+                        g.add_arc(ch, top, ArcKind::MsgRecv, id);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        g
+    }
+
+    fn intern(&mut self, node: TraceNode) -> NodeId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        self.out.push(Vec::new());
+        id
+    }
+
+    fn add_arc(&mut self, from: NodeId, to: NodeId, kind: ArcKind, event: EventId) {
+        self.out[from.ix()].push(TraceArc {
+            from,
+            to,
+            kind,
+            multiplicity: 1,
+            first_event: event,
+            last_event: event,
+        });
+        if let Some(limit) = self.limit {
+            if self.out[from.ix()].len() > limit {
+                self.disseminate(from);
+            }
+        }
+    }
+
+    /// Merge every other arc with the previous one when the two agree on
+    /// (to, kind) — the homogeneous-burst case the technique targets.
+    fn disseminate(&mut self, node: NodeId) {
+        let arcs = std::mem::take(&mut self.out[node.ix()]);
+        let mut merged: Vec<TraceArc> = Vec::with_capacity(arcs.len() / 2 + 1);
+        let mut it = arcs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) if b.to == a.to && b.kind == a.kind => {
+                    self.merged_away += 1;
+                    merged.push(TraceArc {
+                        multiplicity: a.multiplicity + b.multiplicity,
+                        last_event: b.last_event,
+                        ..a
+                    });
+                }
+                Some(b) => {
+                    merged.push(a);
+                    merged.push(b);
+                }
+                None => merged.push(a),
+            }
+        }
+        self.out[node.ix()] = merged;
+    }
+
+    /// Rebuild a node's outgoing arcs at full resolution by rescanning the
+    /// trace (the zoom-in path of §4.3).
+    pub fn expand_node(&self, store: &TraceStore, node: NodeId) -> Vec<TraceArc> {
+        let full = TraceGraph::build(store);
+        match full.find(&self.nodes[node.ix()]) {
+            Some(n) => full.out[n.ix()].clone(),
+            None => Vec::new(),
+        }
+    }
+
+    pub fn find(&self, node: &TraceNode) -> Option<NodeId> {
+        self.index.get(node).copied()
+    }
+
+    pub fn node(&self, id: NodeId) -> &TraceNode {
+        &self.nodes[id.ix()]
+    }
+
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.nodes
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn arcs_from(&self, id: NodeId) -> &[TraceArc] {
+        &self.out[id.ix()]
+    }
+
+    /// Total arcs currently stored.
+    pub fn n_arcs(&self) -> usize {
+        self.out.iter().map(|v| v.len()).sum()
+    }
+
+    /// Total primitive arcs represented (stored arcs weighted by
+    /// multiplicity).
+    pub fn n_primitive_arcs(&self) -> u64 {
+        self.out
+            .iter()
+            .flatten()
+            .map(|a| a.multiplicity)
+            .sum()
+    }
+
+    /// Primitive arcs folded away by dissemination so far.
+    pub fn merged_away(&self) -> u64 {
+        self.merged_away
+    }
+
+    /// All arcs, for exporters.
+    pub fn all_arcs(&self) -> impl Iterator<Item = &TraceArc> {
+        self.out.iter().flatten()
+    }
+
+    /// Function nodes of one rank (projection support).
+    pub fn function_nodes_of(&self, rank: Rank) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, TraceNode::Function { rank: r, .. } if *r == rank))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{MsgInfo, SiteTable, Tag, TraceRecord};
+
+    /// One rank calling f twice from main, sending once from f.
+    fn sample_store() -> TraceStore {
+        let sites = SiteTable::new();
+        let f = sites.site("a.c", 10, "f");
+        let mut recs = Vec::new();
+        let mut marker = 0;
+        let mut t = 0;
+        let mut push = |kind, site, msg: Option<MsgInfo>, recs: &mut Vec<TraceRecord>| {
+            marker += 1;
+            t += 10;
+            let mut r = TraceRecord::basic(0u32, kind, marker, t).with_site(site);
+            if let Some(m) = msg {
+                r = r.with_msg(m);
+            }
+            recs.push(r);
+        };
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        push(EventKind::FnEnter, f, None, &mut recs);
+        push(EventKind::Send, f, Some(m), &mut recs);
+        push(EventKind::FnExit, f, None, &mut recs);
+        push(EventKind::FnEnter, f, None, &mut recs);
+        push(EventKind::FnExit, f, None, &mut recs);
+        TraceStore::build(recs, sites, 2)
+    }
+
+    #[test]
+    fn nodes_and_arcs() {
+        let store = sample_store();
+        let g = TraceGraph::build(&store);
+        // main@0, f@0, ch(0,1)  (rank 1 contributes main@1)
+        assert_eq!(g.n_nodes(), 4);
+        let main0 = g
+            .find(&TraceNode::Function {
+                rank: Rank(0),
+                func: "main".into(),
+            })
+            .unwrap();
+        let arcs = g.arcs_from(main0);
+        assert_eq!(arcs.len(), 2, "two calls to f");
+        assert!(arcs.iter().all(|a| a.kind == ArcKind::Call));
+        let f0 = g
+            .find(&TraceNode::Function {
+                rank: Rank(0),
+                func: "f".into(),
+            })
+            .unwrap();
+        let fa = g.arcs_from(f0);
+        assert_eq!(fa.len(), 1);
+        assert_eq!(fa[0].kind, ArcKind::MsgSend);
+        assert!(matches!(g.node(fa[0].to), TraceNode::Channel(_)));
+    }
+
+    #[test]
+    fn node_bound_holds() {
+        let store = sample_store();
+        let g = TraceGraph::build(&store);
+        let n_funcs = 2; // main, f
+        let n_procs = store.n_ranks();
+        assert!(g.n_nodes() <= n_funcs * n_procs + n_procs * n_procs);
+    }
+
+    fn burst_store(calls: usize) -> TraceStore {
+        let sites = SiteTable::new();
+        let f = sites.site("a.c", 10, "f");
+        let mut recs = Vec::new();
+        for i in 0..calls {
+            let m = 2 * i as u64 + 1;
+            recs.push(
+                TraceRecord::basic(0u32, EventKind::FnEnter, m, m * 10).with_site(f),
+            );
+            recs.push(
+                TraceRecord::basic(0u32, EventKind::FnExit, m + 1, m * 10 + 5).with_site(f),
+            );
+        }
+        TraceStore::build(recs, sites, 1)
+    }
+
+    #[test]
+    fn dissemination_bounds_arcs() {
+        let store = burst_store(1000);
+        let g = TraceGraph::build_with_limit(&store, Some(16));
+        let main0 = g
+            .find(&TraceNode::Function {
+                rank: Rank(0),
+                func: "main".into(),
+            })
+            .unwrap();
+        assert!(
+            g.arcs_from(main0).len() <= 16,
+            "arc count {} exceeds limit",
+            g.arcs_from(main0).len()
+        );
+        // but every primitive call is still represented
+        assert_eq!(g.n_primitive_arcs(), 1000);
+        assert!(g.merged_away() > 0);
+    }
+
+    #[test]
+    fn expand_reconstructs_full_resolution() {
+        let store = burst_store(64);
+        let g = TraceGraph::build_with_limit(&store, Some(8));
+        let main0 = g
+            .find(&TraceNode::Function {
+                rank: Rank(0),
+                func: "main".into(),
+            })
+            .unwrap();
+        assert!(g.arcs_from(main0).len() <= 8);
+        let full = g.expand_node(&store, main0);
+        assert_eq!(full.len(), 64);
+        assert!(full.iter().all(|a| a.multiplicity == 1));
+    }
+
+    #[test]
+    fn unlimited_graph_keeps_every_arc() {
+        let store = burst_store(100);
+        let g = TraceGraph::build(&store);
+        assert_eq!(g.n_arcs(), 100);
+        assert_eq!(g.merged_away(), 0);
+    }
+
+    #[test]
+    fn recv_arc_direction() {
+        let sites = SiteTable::new();
+        let m = MsgInfo {
+            src: Rank(1),
+            dst: Rank(0),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![TraceRecord::basic(0u32, EventKind::RecvDone, 1, 10).with_msg(m)];
+        let store = TraceStore::build(recs, sites, 2);
+        let g = TraceGraph::build(&store);
+        let ch = g
+            .find(&TraceNode::Channel(ChannelId::between(Rank(0), Rank(1))))
+            .unwrap();
+        let arcs = g.arcs_from(ch);
+        assert_eq!(arcs.len(), 1);
+        assert_eq!(arcs[0].kind, ArcKind::MsgRecv);
+        assert_eq!(g.node(arcs[0].to).label(), "main@0");
+    }
+}

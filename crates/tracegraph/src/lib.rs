@@ -1,0 +1,37 @@
+//! Graph abstractions of the execution history (§3.2, §4.3, §4.4).
+//!
+//! "The *trace graph* of the execution is a graph whose vertex set consists
+//! of a node for each function in the program and a node for each
+//! communication channel (one channel per pair of processes). ...
+//! Projection of the trace graph onto a particular process gives us a
+//! dynamic call graph of the process. A simple transformation of the trace
+//! graph gives us a communication graph."
+//!
+//! This crate consumes a [`TraceStore`](tracedbg_trace::TraceStore) and
+//! produces:
+//!
+//! * [`MessageMatching`] — send records paired with receive records using
+//!   the non-overtaking channel sequence, plus the unmatched ledger the
+//!   debugger reports (§4.4);
+//! * [`TraceGraph`] — the function/channel graph with call and message
+//!   arcs, bounded in size by the *dissemination* technique (§4.3);
+//! * [`CallGraph`] — the per-process dynamic call graph projection;
+//! * [`CommGraph`] — the communication graph of matched messages with
+//!   causality arcs (Figure 4);
+//! * [`ActionGraph`] — the coarser action classification of §4.4.
+
+pub mod actions;
+pub mod callgraph;
+pub mod commgraph;
+pub mod graph;
+pub mod intertwined;
+pub mod matching;
+pub mod profile;
+
+pub use actions::{Action, ActionGraph, ActionKind};
+pub use callgraph::{CallArcView, CallGraph};
+pub use commgraph::{CommGraph, CommNodeId};
+pub use graph::{ArcKind, NodeId, TraceArc, TraceGraph, TraceNode};
+pub use intertwined::{find_intertwined, Intertwining};
+pub use matching::{MatchedMessage, MessageMatching, UnmatchedRecv, UnmatchedSend};
+pub use profile::{FuncProfile, Profile};

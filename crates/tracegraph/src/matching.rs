@@ -1,0 +1,264 @@
+//! Send/receive matching and the unmatched ledger.
+//!
+//! "The message 'non-overtaking' property specified in the MPI standard
+//! allows a unique matching of send arcs with receive arcs incident to the
+//! same channel and having the same message tag." (§3.2)
+//!
+//! In this trace format the runtime stamps each message with its per-
+//! `(src, dst)` sequence number, so the unique key `(src, dst, seq)` pairs
+//! a `Send` record with its `RecvDone` record directly. The ledger of
+//! sends that were never received and receives that never completed is
+//! exactly what §4.4's history analysis reports ("the user is informed
+//! about the unmatched send/receives") and what Figure 6 visualizes as the
+//! missed message.
+
+use std::collections::HashMap;
+use tracedbg_trace::{EventId, EventKind, MsgInfo, Rank, TraceStore};
+
+/// A send paired with its receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchedMessage {
+    pub send: EventId,
+    pub recv: EventId,
+    pub info: MsgInfo,
+}
+
+/// A send whose message was never received.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnmatchedSend {
+    pub send: EventId,
+    pub info: MsgInfo,
+}
+
+/// A posted receive that never completed (blocked at end of trace).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnmatchedRecv {
+    pub post: EventId,
+    pub rank: Rank,
+    /// Requested source (`-1` encoded as `None` = wildcard).
+    pub src: Option<Rank>,
+}
+
+/// Complete matching of a trace.
+#[derive(Clone, Debug, Default)]
+pub struct MessageMatching {
+    pub matched: Vec<MatchedMessage>,
+    pub unmatched_sends: Vec<UnmatchedSend>,
+    pub unmatched_recvs: Vec<UnmatchedRecv>,
+    /// recv event id -> index into `matched`.
+    by_recv: HashMap<EventId, usize>,
+    /// send event id -> index into `matched`.
+    by_send: HashMap<EventId, usize>,
+}
+
+impl MessageMatching {
+    /// Match all sends and receives of a trace.
+    pub fn build(store: &TraceStore) -> Self {
+        let mut sends: HashMap<(Rank, Rank, u64), EventId> = HashMap::new();
+        let mut out = MessageMatching::default();
+        for id in store.ids() {
+            let rec = store.record(id);
+            if rec.kind == EventKind::Send {
+                let m = rec.msg.expect("send record without msg info");
+                sends.insert((m.src, m.dst, m.seq), id);
+            }
+        }
+        // Pair receives; count completed receives per post by walking each
+        // rank's lane (RecvPost followed by its RecvDone in program order).
+        for id in store.ids() {
+            let rec = store.record(id);
+            if rec.kind != EventKind::RecvDone {
+                continue;
+            }
+            let m = rec.msg.expect("recv record without msg info");
+            if let Some(send_id) = sends.remove(&(m.src, m.dst, m.seq)) {
+                let ix = out.matched.len();
+                out.matched.push(MatchedMessage {
+                    send: send_id,
+                    recv: id,
+                    info: m,
+                });
+                out.by_recv.insert(id, ix);
+                out.by_send.insert(send_id, ix);
+            }
+        }
+        // Remaining sends are unmatched.
+        let mut rest: Vec<UnmatchedSend> = sends.into_values().map(|send_id| UnmatchedSend {
+                send: send_id,
+                info: store.record(send_id).msg.unwrap(),
+            })
+            .collect();
+        rest.sort_by_key(|u| u.send);
+        out.unmatched_sends = rest;
+        // Receive posts not followed by a completion on the same rank: a
+        // post is completed iff the next Recv* event after it in that
+        // rank's lane is a RecvDone.
+        for r in 0..store.n_ranks() {
+            let lane = store.by_rank(Rank(r as u32));
+            let mut pending_post: Option<EventId> = None;
+            for &id in lane {
+                let rec = store.record(id);
+                match rec.kind {
+                    EventKind::RecvPost => {
+                        if let Some(post) = pending_post.take() {
+                            out.push_unmatched_recv(store, post);
+                        }
+                        pending_post = Some(id);
+                    }
+                    EventKind::RecvDone => {
+                        pending_post = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(post) = pending_post {
+                out.push_unmatched_recv(store, post);
+            }
+        }
+        out
+    }
+
+    fn push_unmatched_recv(&mut self, store: &TraceStore, post: EventId) {
+        let rec = store.record(post);
+        let src = if rec.args[0] < 0 {
+            None
+        } else {
+            Some(Rank(rec.args[0] as u32))
+        };
+        self.unmatched_recvs.push(UnmatchedRecv {
+            post,
+            rank: rec.rank,
+            src,
+        });
+    }
+
+    /// The match containing this receive event, if any.
+    pub fn match_of_recv(&self, recv: EventId) -> Option<&MatchedMessage> {
+        self.by_recv.get(&recv).map(|&i| &self.matched[i])
+    }
+
+    /// The match containing this send event, if any.
+    pub fn match_of_send(&self, send: EventId) -> Option<&MatchedMessage> {
+        self.by_send.get(&send).map(|&i| &self.matched[i])
+    }
+
+    /// Is the trace fully matched (no lost messages, no blocked receives)?
+    pub fn is_clean(&self) -> bool {
+        self.unmatched_sends.is_empty() && self.unmatched_recvs.is_empty()
+    }
+
+    /// Messages delivered into each rank (Figure 6's "processes 1-6 each
+    /// receive 2 messages and process 7 only receives 1" query).
+    pub fn received_counts(&self, n_ranks: usize, store: &TraceStore) -> Vec<usize> {
+        let mut counts = vec![0usize; n_ranks];
+        for m in &self.matched {
+            counts[store.record(m.recv).rank.ix()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{SiteTable, Tag, TraceRecord};
+
+    fn msg(src: u32, dst: u32, tag: i32, seq: u64) -> MsgInfo {
+        MsgInfo {
+            src: Rank(src),
+            dst: Rank(dst),
+            tag: Tag(tag),
+            bytes: 8,
+            seq,
+        }
+    }
+
+    fn send(rank: u32, marker: u64, t: u64, m: MsgInfo) -> TraceRecord {
+        TraceRecord::basic(rank, EventKind::Send, marker, t)
+            .with_span(t, t + 1)
+            .with_msg(m)
+    }
+
+    fn recv_post(rank: u32, marker: u64, t: u64, src: i64) -> TraceRecord {
+        TraceRecord::basic(rank, EventKind::RecvPost, marker, t).with_args(src, -1)
+    }
+
+    fn recv_done(rank: u32, marker: u64, t: u64, m: MsgInfo) -> TraceRecord {
+        TraceRecord::basic(rank, EventKind::RecvDone, marker, t)
+            .with_span(t, t + 1)
+            .with_msg(m)
+    }
+
+    #[test]
+    fn clean_trace_matches_fully() {
+        let recs = vec![
+            send(0, 1, 0, msg(0, 1, 5, 0)),
+            recv_post(1, 1, 2, 0),
+            recv_done(1, 2, 2, msg(0, 1, 5, 0)),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        assert!(mm.is_clean());
+        assert_eq!(mm.matched.len(), 1);
+        assert_eq!(mm.received_counts(2, &store), vec![0, 1]);
+    }
+
+    #[test]
+    fn lost_message_is_unmatched_send() {
+        let recs = vec![send(0, 1, 0, msg(0, 1, 5, 0))];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        assert_eq!(mm.unmatched_sends.len(), 1);
+        assert_eq!(mm.unmatched_sends[0].info.dst, Rank(1));
+        assert!(!mm.is_clean());
+    }
+
+    #[test]
+    fn blocked_recv_is_unmatched() {
+        let recs = vec![recv_post(0, 1, 0, 7)];
+        let store = TraceStore::build(recs, SiteTable::new(), 8);
+        let mm = MessageMatching::build(&store);
+        assert_eq!(mm.unmatched_recvs.len(), 1);
+        assert_eq!(mm.unmatched_recvs[0].rank, Rank(0));
+        assert_eq!(mm.unmatched_recvs[0].src, Some(Rank(7)));
+    }
+
+    #[test]
+    fn wildcard_post_reported_as_wildcard() {
+        let recs = vec![recv_post(2, 1, 0, -1)];
+        let store = TraceStore::build(recs, SiteTable::new(), 3);
+        let mm = MessageMatching::build(&store);
+        assert_eq!(mm.unmatched_recvs[0].src, None);
+    }
+
+    #[test]
+    fn lookup_by_send_and_recv() {
+        let recs = vec![
+            send(0, 1, 0, msg(0, 1, 5, 0)),
+            recv_post(1, 1, 2, 0),
+            recv_done(1, 2, 2, msg(0, 1, 5, 0)),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        let m = mm.matched[0];
+        assert_eq!(mm.match_of_send(m.send), Some(&mm.matched[0]));
+        assert_eq!(mm.match_of_recv(m.recv), Some(&mm.matched[0]));
+        assert_eq!(mm.match_of_recv(m.send), None);
+    }
+
+    #[test]
+    fn completed_recv_between_two_posts() {
+        // post, done, post (blocked) — only the second post is unmatched.
+        let recs = vec![
+            send(0, 1, 0, msg(0, 1, 5, 0)),
+            recv_post(1, 1, 2, 0),
+            recv_done(1, 2, 3, msg(0, 1, 5, 0)),
+            recv_post(1, 3, 4, 0),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        assert_eq!(mm.matched.len(), 1);
+        assert_eq!(mm.unmatched_recvs.len(), 1);
+        assert_eq!(store.record(mm.unmatched_recvs[0].post).marker, 3);
+    }
+}

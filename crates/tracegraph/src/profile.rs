@@ -1,0 +1,183 @@
+//! Per-function time profiles from the trace.
+//!
+//! AIMS was first a performance tool; the trace records carry start/end
+//! times, so the same history the debugger replays also yields a profile:
+//! per (process, function) call counts, inclusive time (enter→exit) and
+//! exclusive time (inclusive minus time spent in instrumented callees).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tracedbg_trace::{EventKind, Rank, TraceStore};
+
+/// Profile entry for one (rank, function).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncProfile {
+    pub calls: u64,
+    /// Total simulated ns between enter and exit.
+    pub inclusive_ns: u64,
+    /// Inclusive minus instrumented-callee inclusive time.
+    pub exclusive_ns: u64,
+}
+
+/// The whole profile: keyed by (rank, function name).
+pub struct Profile {
+    entries: BTreeMap<(u32, String), FuncProfile>,
+}
+
+impl Profile {
+    /// Compute the profile by walking each rank's enter/exit events. An
+    /// unmatched enter (process blocked or stopped inside the function)
+    /// is closed at the rank's last event time.
+    pub fn compute(store: &TraceStore) -> Self {
+        let mut entries: BTreeMap<(u32, String), FuncProfile> = BTreeMap::new();
+        for r in 0..store.n_ranks() {
+            let rank = Rank(r as u32);
+            let lane = store.by_rank(rank);
+            let last_t = lane
+                .last()
+                .map(|id| store.record(*id).t_end)
+                .unwrap_or(0);
+            // Stack of (func, enter time, child inclusive accumulator).
+            let mut stack: Vec<(String, u64, u64)> = Vec::new();
+            for &id in lane {
+                let rec = store.record(id);
+                match rec.kind {
+                    EventKind::FnEnter => {
+                        let func = store.sites().func_name(rec.site);
+                        stack.push((func, rec.t_start, 0));
+                    }
+                    EventKind::FnExit => {
+                        if let Some((func, t_enter, child)) = stack.pop() {
+                            let inclusive = rec.t_end.saturating_sub(t_enter);
+                            let e = entries.entry((r as u32, func)).or_default();
+                            e.calls += 1;
+                            e.inclusive_ns += inclusive;
+                            e.exclusive_ns += inclusive.saturating_sub(child);
+                            if let Some(parent) = stack.last_mut() {
+                                parent.2 += inclusive;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Close functions still open at the end of the trace.
+            while let Some((func, t_enter, child)) = stack.pop() {
+                let inclusive = last_t.saturating_sub(t_enter);
+                let e = entries.entry((r as u32, func)).or_default();
+                e.calls += 1;
+                e.inclusive_ns += inclusive;
+                e.exclusive_ns += inclusive.saturating_sub(child);
+                if let Some(parent) = stack.last_mut() {
+                    parent.2 += inclusive;
+                }
+            }
+        }
+        Profile { entries }
+    }
+
+    pub fn get(&self, rank: Rank, func: &str) -> Option<&FuncProfile> {
+        self.entries.get(&(rank.0, func.to_string()))
+    }
+
+    /// Entries aggregated over all ranks, heaviest inclusive time first.
+    pub fn by_function(&self) -> Vec<(String, FuncProfile)> {
+        let mut agg: BTreeMap<String, FuncProfile> = BTreeMap::new();
+        for ((_, f), p) in &self.entries {
+            let e = agg.entry(f.clone()).or_default();
+            e.calls += p.calls;
+            e.inclusive_ns += p.inclusive_ns;
+            e.exclusive_ns += p.exclusive_ns;
+        }
+        let mut v: Vec<_> = agg.into_iter().collect();
+        v.sort_by_key(|(_, p)| std::cmp::Reverse(p.inclusive_ns));
+        v
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>14} {:>14}",
+            "function", "calls", "inclusive(ns)", "exclusive(ns)"
+        )?;
+        for (name, p) in self.by_function() {
+            writeln!(
+                f,
+                "{:<24} {:>8} {:>14} {:>14}",
+                name, p.calls, p.inclusive_ns, p.exclusive_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{SiteTable, TraceRecord};
+
+    /// main { f { compute 100 } compute 50 }
+    fn store() -> TraceStore {
+        let sites = SiteTable::new();
+        let m = sites.site("a.c", 1, "main");
+        let f = sites.site("a.c", 5, "f");
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(m),
+            TraceRecord::basic(0u32, EventKind::FnEnter, 2, 0).with_site(f),
+            TraceRecord::basic(0u32, EventKind::Compute, 3, 0).with_span(0, 100),
+            TraceRecord::basic(0u32, EventKind::FnExit, 4, 100).with_span(100, 100).with_site(f),
+            TraceRecord::basic(0u32, EventKind::Compute, 5, 100).with_span(100, 150),
+            TraceRecord::basic(0u32, EventKind::FnExit, 6, 150).with_span(150, 150).with_site(m),
+        ];
+        TraceStore::build(recs, sites, 1)
+    }
+
+    #[test]
+    fn inclusive_and_exclusive() {
+        let p = Profile::compute(&store());
+        let main = p.get(Rank(0), "main").unwrap();
+        assert_eq!(main.calls, 1);
+        assert_eq!(main.inclusive_ns, 150);
+        assert_eq!(main.exclusive_ns, 50, "main minus f's 100");
+        let f = p.get(Rank(0), "f").unwrap();
+        assert_eq!(f.inclusive_ns, 100);
+        assert_eq!(f.exclusive_ns, 100);
+    }
+
+    #[test]
+    fn open_function_closed_at_trace_end() {
+        let sites = SiteTable::new();
+        let m = sites.site("a.c", 1, "stuck");
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(m),
+            TraceRecord::basic(0u32, EventKind::Compute, 2, 0).with_span(0, 40),
+        ];
+        let store = TraceStore::build(recs, sites, 1);
+        let p = Profile::compute(&store);
+        let stuck = p.get(Rank(0), "stuck").unwrap();
+        assert_eq!(stuck.calls, 1);
+        assert_eq!(stuck.inclusive_ns, 40);
+    }
+
+    #[test]
+    fn aggregation_sorts_by_inclusive() {
+        let p = Profile::compute(&store());
+        let agg = p.by_function();
+        assert_eq!(agg[0].0, "main");
+        assert_eq!(agg[1].0, "f");
+        let text = format!("{p}");
+        assert!(text.contains("inclusive"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_empty_profile() {
+        let store = TraceStore::build(vec![], SiteTable::new(), 2);
+        assert!(Profile::compute(&store).is_empty());
+    }
+}

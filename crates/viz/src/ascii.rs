@@ -1,0 +1,156 @@
+//! Terminal rendering of the time-space diagram.
+//!
+//! One text row per process, time mapped linearly onto the given width.
+//! Construct bars are runs of their [`BarKind`](crate::BarKind) character,
+//! message endpoints are marked (`>` at the send, `v` at the receive) and
+//! a stopline is a `|` column drawn through every lane.
+
+use crate::timeline::{Overlay, TimelineModel};
+
+/// Render the model to a text block. `width` is the number of time
+/// columns (the lane labels are prepended).
+pub fn render_ascii(model: &TimelineModel, width: usize) -> String {
+    let width = width.max(10);
+    let span = model.span() as f64;
+    let col = |t: u64| -> usize {
+        let x = (t.saturating_sub(model.t_min)) as f64 / span * (width - 1) as f64;
+        (x.round() as usize).min(width - 1)
+    };
+    let mut lanes: Vec<Vec<char>> = vec![vec![' '; width]; model.n_ranks];
+    for b in &model.bars {
+        let (c0, c1) = (col(b.t0.max(model.t_min)), col(b.t1.min(model.t_max)));
+        let ch = b.kind.ch();
+        let lane = &mut lanes[b.rank.ix()];
+        for cell in lane[c0..=c1].iter_mut() {
+            *cell = ch;
+        }
+        // An open-ended blocked receive extends to the right edge.
+        if b.kind == crate::timeline::BarKind::BlockedRecv {
+            for cell in lane[c0..].iter_mut() {
+                if *cell == ' ' {
+                    *cell = '?';
+                }
+            }
+        }
+    }
+    for m in &model.messages {
+        if m.t_sent >= model.t_min && m.t_sent <= model.t_max {
+            lanes[m.src.ix()][col(m.t_sent)] = '>';
+        }
+        if m.t_recv >= model.t_min && m.t_recv <= model.t_max {
+            lanes[m.dst.ix()][col(m.t_recv)] = 'v';
+        }
+    }
+    let mut footer: Vec<String> = Vec::new();
+    for o in &model.overlays {
+        match o {
+            Overlay::Stopline { t, label } => {
+                let c = col(*t);
+                for lane in &mut lanes {
+                    lane[c] = '|';
+                }
+                footer.push(format!("| stopline '{label}' at t={t}"));
+            }
+            Overlay::FrontierLine { points, label } => {
+                for (rank, t) in points {
+                    if *t >= model.t_min && *t <= model.t_max {
+                        lanes[rank.ix()][col(*t)] = '!';
+                    }
+                }
+                footer.push(format!("! frontier '{label}'"));
+            }
+            Overlay::Mark { rank, t, label } => {
+                if *t >= model.t_min && *t <= model.t_max {
+                    lanes[rank.ix()][col(*t)] = 'O';
+                }
+                footer.push(format!("O mark '{label}' at P{rank} t={t}"));
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time {} .. {} ns ({} lanes)\n",
+        model.t_min, model.t_max, model.n_ranks
+    ));
+    // Highest rank on top, like the paper's figures (process 0 at the
+    // bottom of Figure 3).
+    for r in (0..model.n_ranks).rev() {
+        out.push_str(&format!("P{r:<3}|"));
+        out.extend(lanes[r].iter());
+        out.push('\n');
+    }
+    out.push_str("legend: = compute  S send  R recv  ? blocked-recv  # collective  > msg-out  v msg-in\n");
+    for f in footer {
+        out.push_str(&f);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_tracegraph::MessageMatching;
+    use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+
+    fn model() -> TimelineModel {
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(3),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 100),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 100)
+                .with_span(100, 110)
+                .with_msg(m),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 0)
+                .with_span(0, 160)
+                .with_msg(m),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        TimelineModel::build(&store, &mm, false)
+    }
+
+    #[test]
+    fn renders_lanes_and_legend() {
+        let txt = render_ascii(&model(), 60);
+        assert!(txt.contains("P0  |"), "{txt}");
+        assert!(txt.contains("P1  |"), "{txt}");
+        assert!(txt.contains("legend:"), "{txt}");
+        assert!(txt.contains('='), "compute bar missing:\n{txt}");
+        assert!(txt.contains('v'), "recv endpoint missing:\n{txt}");
+    }
+
+    #[test]
+    fn p0_is_bottom_lane() {
+        let txt = render_ascii(&model(), 40);
+        let p1_pos = txt.find("P1  |").unwrap();
+        let p0_pos = txt.find("P0  |").unwrap();
+        assert!(p1_pos < p0_pos, "higher ranks on top");
+    }
+
+    #[test]
+    fn stopline_spans_all_lanes() {
+        let mut m = model();
+        m.add_stopline(50, "test");
+        let txt = render_ascii(&m, 60);
+        let lines: Vec<&str> = txt.lines().collect();
+        let bar_lines: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with('P'))
+            .copied()
+            .collect();
+        assert!(bar_lines.iter().all(|l| l.contains('|')));
+        assert!(txt.contains("stopline 'test' at t=50"));
+    }
+
+    #[test]
+    fn tiny_width_clamped() {
+        let txt = render_ascii(&model(), 1);
+        assert!(txt.contains("P0"));
+    }
+}

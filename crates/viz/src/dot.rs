@@ -1,0 +1,121 @@
+//! Graphviz DOT exporters for the trace-graph family.
+
+use std::fmt::Write as _;
+use tracedbg_tracegraph::{ArcKind, CallGraph, CommGraph, TraceGraph, TraceNode};
+
+/// Export a communication graph (Figure 4) to DOT.
+pub fn comm_graph_dot(g: &CommGraph) -> String {
+    let mut s = String::from("digraph comm {\n  rankdir=LR;\n  node [shape=box];\n");
+    for id in g.ids() {
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", id.0, g.label(id));
+    }
+    for (a, b) in g.arcs() {
+        let _ = writeln!(s, "  n{} -> n{};", a.0, b.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Export a dynamic call graph (Figure 9) to DOT; `max_arcs_per_pair`
+/// controls arc grouping ("the number of calls per arc is adjustable").
+pub fn call_graph_dot(g: &CallGraph, max_arcs_per_pair: usize) -> String {
+    let mut s = String::from("digraph calls {\n  node [shape=ellipse];\n");
+    for f in &g.functions {
+        let _ = writeln!(s, "  \"{f}\";");
+    }
+    for a in g.arcs_grouped(max_arcs_per_pair) {
+        let _ = writeln!(
+            s,
+            "  \"{}\" -> \"{}\" [label=\"x{}\"];",
+            a.caller, a.callee, a.calls
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Export the full trace graph to DOT (functions as ellipses, channels as
+/// diamonds; arc style by kind).
+pub fn trace_graph_dot(g: &TraceGraph) -> String {
+    let mut s = String::from("digraph trace {\n");
+    for (i, n) in g.nodes().iter().enumerate() {
+        let shape = match n {
+            TraceNode::Function { .. } => "ellipse",
+            TraceNode::Channel(_) => "diamond",
+        };
+        let _ = writeln!(s, "  n{i} [shape={shape} label=\"{}\"];", n.label());
+    }
+    for a in g.all_arcs() {
+        let style = match a.kind {
+            ArcKind::Call => "solid",
+            ArcKind::MsgSend => "dashed",
+            ArcKind::MsgRecv => "dotted",
+        };
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [style={style} label=\"x{}\"];",
+            a.from.0, a.to.0, a.multiplicity
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+    use tracedbg_tracegraph::MessageMatching;
+
+    fn store() -> TraceStore {
+        let sites = SiteTable::new();
+        let f = sites.site("a.c", 1, "work");
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(f),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 1).with_span(1, 2).with_msg(m),
+            TraceRecord::basic(0u32, EventKind::FnExit, 3, 3).with_site(f),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 4)
+                .with_span(4, 5)
+                .with_msg(m),
+        ];
+        TraceStore::build(recs, sites, 2)
+    }
+
+    #[test]
+    fn comm_dot_is_wellformed() {
+        let s = store();
+        let mm = MessageMatching::build(&s);
+        let g = CommGraph::build(&s, &mm);
+        let dot = comm_graph_dot(&g);
+        assert!(dot.starts_with("digraph comm {"));
+        assert!(dot.contains("P0->P1 tag1 #0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn call_dot_contains_arcs() {
+        let s = store();
+        let tg = TraceGraph::build(&s);
+        let cg = CallGraph::project(&tg, Rank(0));
+        let dot = call_graph_dot(&cg, 1);
+        assert!(dot.contains("\"main\" -> \"work\" [label=\"x1\"]"), "{dot}");
+    }
+
+    #[test]
+    fn trace_dot_styles_by_kind() {
+        let s = store();
+        let tg = TraceGraph::build(&s);
+        let dot = trace_graph_dot(&tg);
+        assert!(dot.contains("shape=diamond"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("style=dotted"), "{dot}");
+        assert!(dot.contains("style=solid"), "{dot}");
+    }
+}

@@ -1,0 +1,186 @@
+//! The NTV-style interaction model (§3.1).
+//!
+//! "NTV provides the user with the entire trace file at one time and
+//! allows selective zooming and panning to find events of interest." The
+//! Ben-library integration gives the debugger two hooks this type
+//! reproduces: *what are the execution markers at the point of a mouse
+//! click in the time line* ([`NtvView::click`]) and *an indicator (a
+//! vertical line) that the debugger can use to mark a point in the
+//! history* ([`NtvView::set_indicator`]).
+
+use crate::timeline::TimelineModel;
+use tracedbg_trace::{EventId, MarkerVector, Rank, TraceStore};
+
+/// Whole-trace view with zoom/pan and the debugger indicator line.
+pub struct NtvView {
+    /// Full extent of the trace.
+    t_lo: u64,
+    t_hi: u64,
+    /// Current zoom window.
+    win_lo: u64,
+    win_hi: u64,
+    /// The stopline indicator, if placed.
+    indicator: Option<u64>,
+}
+
+impl NtvView {
+    pub fn new(store: &TraceStore) -> Self {
+        let (t_lo, t_hi) = store.time_bounds();
+        NtvView {
+            t_lo,
+            t_hi,
+            win_lo: t_lo,
+            win_hi: t_hi,
+            indicator: None,
+        }
+    }
+
+    pub fn window(&self) -> (u64, u64) {
+        (self.win_lo, self.win_hi)
+    }
+
+    /// Zoom so the window covers `[lo, hi]` (clamped to the trace).
+    pub fn zoom(&mut self, lo: u64, hi: u64) {
+        let lo = lo.max(self.t_lo);
+        let hi = hi.min(self.t_hi).max(lo + 1);
+        self.win_lo = lo;
+        self.win_hi = hi;
+    }
+
+    /// Zoom in around a center by a factor (>1 = closer).
+    pub fn zoom_factor(&mut self, center: u64, factor: f64) {
+        assert!(factor > 0.0);
+        let half = ((self.win_hi - self.win_lo) as f64 / (2.0 * factor)).max(1.0) as u64;
+        let lo = center.saturating_sub(half);
+        let hi = center + half;
+        self.zoom(lo, hi);
+    }
+
+    /// Pan by a signed amount of time.
+    pub fn pan(&mut self, delta: i64) {
+        let w = self.win_hi - self.win_lo;
+        let lo = if delta < 0 {
+            self.win_lo.saturating_sub((-delta) as u64).max(self.t_lo)
+        } else {
+            (self.win_lo + delta as u64).min(self.t_hi.saturating_sub(w))
+        };
+        self.win_lo = lo;
+        self.win_hi = lo + w;
+    }
+
+    /// Reset to the full trace.
+    pub fn reset(&mut self) {
+        self.win_lo = self.t_lo;
+        self.win_hi = self.t_hi;
+    }
+
+    /// A click at time `t`: the execution markers of every process at that
+    /// point — what the debugger turns into a stopline.
+    pub fn click(&self, store: &TraceStore, t: u64) -> MarkerVector {
+        store.markers_at_time(t)
+    }
+
+    /// A click on a specific lane: the nearest event of that rank whose
+    /// span contains or precedes `t` (for source-location lookup).
+    pub fn click_event(&self, store: &TraceStore, rank: Rank, t: u64) -> Option<EventId> {
+        let mut best: Option<EventId> = None;
+        for &id in store.by_rank(rank) {
+            let rec = store.record(id);
+            if rec.t_start <= t {
+                best = Some(id);
+            }
+            if rec.t_start > t {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Place the indicator (stopline) at a time.
+    pub fn set_indicator(&mut self, t: u64) {
+        self.indicator = Some(t);
+    }
+
+    pub fn indicator(&self) -> Option<u64> {
+        self.indicator
+    }
+
+    /// Produce the windowed view model with the indicator drawn.
+    pub fn render_model(&self, full: &TimelineModel) -> TimelineModel {
+        let mut m = full.window(self.win_lo, self.win_hi);
+        if let Some(t) = self.indicator {
+            if t >= self.win_lo && t <= self.win_hi {
+                m.add_stopline(t, "stopline");
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{EventKind, SiteTable, TraceRecord};
+
+    fn store() -> TraceStore {
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 100),
+            TraceRecord::basic(0u32, EventKind::Compute, 2, 100).with_span(100, 200),
+            TraceRecord::basic(1u32, EventKind::Compute, 1, 0).with_span(0, 150),
+        ];
+        TraceStore::build(recs, SiteTable::new(), 2)
+    }
+
+    #[test]
+    fn zoom_and_pan() {
+        let s = store();
+        let mut v = NtvView::new(&s);
+        assert_eq!(v.window(), (0, 200));
+        v.zoom(50, 150);
+        assert_eq!(v.window(), (50, 150));
+        v.pan(25);
+        assert_eq!(v.window(), (75, 175));
+        v.pan(-1000);
+        assert_eq!(v.window(), (0, 100));
+        v.reset();
+        assert_eq!(v.window(), (0, 200));
+    }
+
+    #[test]
+    fn zoom_factor_centers() {
+        let s = store();
+        let mut v = NtvView::new(&s);
+        v.zoom_factor(100, 2.0);
+        let (lo, hi) = v.window();
+        assert!(lo >= 50 && hi <= 150, "({lo},{hi})");
+    }
+
+    #[test]
+    fn click_returns_markers() {
+        let s = store();
+        let v = NtvView::new(&s);
+        let mv = v.click(&s, 120);
+        assert_eq!(mv.get(Rank(0)), 1); // compute(0..100) done by 120
+        assert_eq!(mv.get(Rank(1)), 0); // compute(0..150) not yet
+    }
+
+    #[test]
+    fn click_event_finds_enclosing() {
+        let s = store();
+        let v = NtvView::new(&s);
+        let id = v.click_event(&s, Rank(0), 150).unwrap();
+        assert_eq!(s.record(id).marker, 2);
+        assert!(v.click_event(&s, Rank(0), 0).is_some());
+    }
+
+    #[test]
+    fn indicator_appears_in_model() {
+        let s = store();
+        let mm = tracedbg_tracegraph::MessageMatching::build(&s);
+        let full = TimelineModel::build(&s, &mm, false);
+        let mut v = NtvView::new(&s);
+        v.set_indicator(90);
+        let m = v.render_model(&full);
+        assert_eq!(m.overlays.len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! SVG rendering of the time-space diagram.
+//!
+//! Produces self-contained SVG in the visual style of the paper's NTV/VK
+//! screenshots: horizontal lanes (process 0 at the bottom), colored
+//! construct bars, angled message lines, a red stopline, frontier
+//! polylines and a selection circle.
+
+use crate::timeline::{Overlay, TimelineModel};
+use std::fmt::Write as _;
+
+const LANE_H: f64 = 28.0;
+const BAR_H: f64 = 14.0;
+const MARGIN_L: f64 = 50.0;
+const MARGIN_T: f64 = 30.0;
+const MARGIN_B: f64 = 40.0;
+
+/// Render the model to an SVG document string.
+pub fn render_svg(model: &TimelineModel, width: f64) -> String {
+    let width = width.max(200.0);
+    let plot_w = width - MARGIN_L - 20.0;
+    let span = model.span() as f64;
+    let n = model.n_ranks;
+    let height = MARGIN_T + n as f64 * LANE_H + MARGIN_B;
+    let x_of = |t: u64| -> f64 {
+        MARGIN_L + (t.saturating_sub(model.t_min)) as f64 / span * plot_w
+    };
+    // Rank 0 at the bottom, like Figure 3.
+    let lane_y = |r: usize| -> f64 { MARGIN_T + (n - 1 - r) as f64 * LANE_H };
+    let bar_y = |r: usize| -> f64 { lane_y(r) + (LANE_H - BAR_H) / 2.0 };
+    let mid_y = |r: usize| -> f64 { lane_y(r) + LANE_H / 2.0 };
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="10">"#
+    );
+    let _ = write!(
+        s,
+        r#"<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>"#
+    );
+    // Lane baselines + labels.
+    for r in 0..n {
+        let y = mid_y(r);
+        let _ = write!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{:.1}" y2="{y}" stroke="#dddddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = write!(
+            s,
+            r#"<text x="8" y="{:.1}">P{r}</text>"#,
+            y + 3.0
+        );
+    }
+    // Bars.
+    for b in &model.bars {
+        let x0 = x_of(b.t0.max(model.t_min));
+        let mut x1 = x_of(b.t1.min(model.t_max));
+        let open_ended = b.kind == crate::timeline::BarKind::BlockedRecv;
+        if open_ended {
+            x1 = MARGIN_L + plot_w; // runs off the right edge
+        }
+        let w = (x1 - x0).max(1.0);
+        let y = bar_y(b.rank.ix());
+        let _ = write!(
+            s,
+            r#"<rect x="{x0:.1}" y="{y:.1}" width="{w:.1}" height="{BAR_H}" fill="{}"{}><title>{}</title></rect>"#,
+            b.kind.color(),
+            if open_ended { r#" fill-opacity="0.6""# } else { "" },
+            xml_escape(&b.label)
+        );
+    }
+    // Message lines.
+    for m in &model.messages {
+        let x0 = x_of(m.t_sent);
+        let x1 = x_of(m.t_recv);
+        let y0 = mid_y(m.src.ix());
+        let y1 = mid_y(m.dst.ix());
+        let _ = write!(
+            s,
+            r##"<line x1="{x0:.1}" y1="{y0:.1}" x2="{x1:.1}" y2="{y1:.1}" stroke="#333333" stroke-width="0.8"><title>P{}→P{} tag{}</title></line>"##,
+            m.src, m.dst, m.tag
+        );
+    }
+    // Overlays.
+    for o in &model.overlays {
+        match o {
+            Overlay::Stopline { t, label } => {
+                let x = x_of(*t);
+                let _ = write!(
+                    s,
+                    r#"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="red" stroke-width="1.5"/>"#,
+                    MARGIN_T + n as f64 * LANE_H
+                );
+                let _ = write!(
+                    s,
+                    r#"<text x="{:.1}" y="{:.1}" fill="red">{}</text>"#,
+                    x + 3.0,
+                    MARGIN_T - 5.0,
+                    xml_escape(label)
+                );
+            }
+            Overlay::FrontierLine { points, label } => {
+                if points.is_empty() {
+                    continue;
+                }
+                let mut pts: Vec<(f64, f64)> = points
+                    .iter()
+                    .map(|(r, t)| (x_of(*t), mid_y(r.ix())))
+                    .collect();
+                pts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                let path: String = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (x, y))| {
+                        format!("{}{x:.1},{y:.1}", if i == 0 { "M" } else { "L" })
+                    })
+                    .collect();
+                let _ = write!(
+                    s,
+                    r#"<path d="{path}" fill="none" stroke="black" stroke-width="1.5"><title>{}</title></path>"#,
+                    xml_escape(label)
+                );
+            }
+            Overlay::Mark { rank, t, label } => {
+                let x = x_of(*t);
+                let y = mid_y(rank.ix());
+                let _ = write!(
+                    s,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="none" stroke="black" stroke-width="1.5"><title>{}</title></circle>"#,
+                    xml_escape(label)
+                );
+            }
+        }
+    }
+    // Time axis.
+    let y_axis = MARGIN_T + n as f64 * LANE_H + 14.0;
+    for i in 0..=4 {
+        let t = model.t_min + model.span() * i / 4;
+        let x = x_of(t);
+        let _ = write!(
+            s,
+            r##"<text x="{x:.1}" y="{y_axis:.1}" text-anchor="middle" fill="#666666">{t}</text>"##
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelineModel;
+    use tracedbg_tracegraph::MessageMatching;
+    use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+
+    fn model() -> (TraceStore, TimelineModel) {
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(3),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 100),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 100)
+                .with_span(100, 110)
+                .with_msg(m),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 0)
+                .with_span(0, 160)
+                .with_msg(m),
+            TraceRecord::basic(1u32, EventKind::RecvPost, 2, 170).with_args(0, -1),
+        ];
+        let store = TraceStore::build(recs, SiteTable::new(), 2);
+        let mm = MessageMatching::build(&store);
+        let tm = TimelineModel::build(&store, &mm, false);
+        (store, tm)
+    }
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let (_, tm) = model();
+        let svg = render_svg(&tm, 800.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("P0"));
+        assert!(svg.contains("P1"));
+    }
+
+    #[test]
+    fn stopline_is_red() {
+        let (_, mut tm) = model();
+        tm.add_stopline(50, "stop here");
+        let svg = render_svg(&tm, 800.0);
+        assert!(svg.contains(r#"stroke="red""#));
+        assert!(svg.contains("stop here"));
+    }
+
+    #[test]
+    fn blocked_recv_runs_to_edge() {
+        let (_, tm) = model();
+        let svg = render_svg(&tm, 800.0);
+        assert!(svg.contains("fill-opacity"), "open-ended bar missing");
+    }
+
+    #[test]
+    fn escapes_labels() {
+        assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn mark_overlay_draws_circle() {
+        let (s, mut tm) = model();
+        tm.add_mark(&s, tracedbg_trace::EventId(0), "sel");
+        let svg = render_svg(&tm, 800.0);
+        assert!(svg.contains("<circle"));
+    }
+}

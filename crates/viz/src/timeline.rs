@@ -1,0 +1,351 @@
+//! The time-space diagram view model.
+//!
+//! Built once from a trace; rendered by the ASCII and SVG back ends.
+//! "Each construct is represented by a bar positioned according to its
+//! process number and start/end times. The bar is colored depending on the
+//! type of the construct. Each message is represented by a straight line
+//! segment connecting (time_sent, source) and (time_received, destination)
+//! points of the time-space display." (§3.1)
+
+use tracedbg_causality::Frontier;
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_trace::{EventId, EventKind, Marker, Rank, TraceStore};
+
+/// Visual classification of a bar (maps to a color / character).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarKind {
+    Compute,
+    Send,
+    Recv,
+    /// A receive that never completed — drawn open-ended (the Figure 5
+    /// blocked processes).
+    BlockedRecv,
+    Function,
+    Collective,
+    Probe,
+    Lifecycle,
+}
+
+impl BarKind {
+    pub fn of(kind: EventKind) -> BarKind {
+        match kind {
+            EventKind::Compute => BarKind::Compute,
+            EventKind::Send => BarKind::Send,
+            EventKind::RecvDone => BarKind::Recv,
+            EventKind::RecvPost => BarKind::BlockedRecv,
+            EventKind::FnEnter | EventKind::FnExit => BarKind::Function,
+            EventKind::Collective(_) => BarKind::Collective,
+            EventKind::Probe => BarKind::Probe,
+            EventKind::ProcStart | EventKind::ProcEnd => BarKind::Lifecycle,
+        }
+    }
+
+    /// ASCII fill character.
+    pub fn ch(self) -> char {
+        match self {
+            BarKind::Compute => '=',
+            BarKind::Send => 'S',
+            BarKind::Recv => 'R',
+            BarKind::BlockedRecv => '?',
+            BarKind::Function => '-',
+            BarKind::Collective => '#',
+            BarKind::Probe => '*',
+            BarKind::Lifecycle => '.',
+        }
+    }
+
+    /// SVG fill color.
+    pub fn color(self) -> &'static str {
+        match self {
+            BarKind::Compute => "#4c78a8",
+            BarKind::Send => "#f58518",
+            BarKind::Recv => "#54a24b",
+            BarKind::BlockedRecv => "#e45756",
+            BarKind::Function => "#b5b5b5",
+            BarKind::Collective => "#72b7b2",
+            BarKind::Probe => "#eeca3b",
+            BarKind::Lifecycle => "#9d755d",
+        }
+    }
+}
+
+/// One construct bar.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    pub rank: Rank,
+    pub t0: u64,
+    pub t1: u64,
+    pub kind: BarKind,
+    pub event: EventId,
+    pub label: String,
+}
+
+/// One message line.
+#[derive(Clone, Debug)]
+pub struct MsgLine {
+    pub src: Rank,
+    pub dst: Rank,
+    pub t_sent: u64,
+    pub t_recv: u64,
+    pub tag: i32,
+    pub send_event: EventId,
+    pub recv_event: EventId,
+}
+
+/// Decorations drawn on top of the diagram.
+#[derive(Clone, Debug)]
+pub enum Overlay {
+    /// A vertical stopline at a simulated time (Figures 2 and 6).
+    Stopline { t: u64, label: String },
+    /// A frontier polyline: one `(rank, t)` vertex per rank (Figure 8's
+    /// slanted black lines).
+    FrontierLine {
+        points: Vec<(Rank, u64)>,
+        label: String,
+    },
+    /// A highlighted point (the Figure 8 selection circle).
+    Mark { rank: Rank, t: u64, label: String },
+}
+
+/// The complete view model.
+pub struct TimelineModel {
+    pub n_ranks: usize,
+    pub t_min: u64,
+    pub t_max: u64,
+    pub bars: Vec<Bar>,
+    pub messages: Vec<MsgLine>,
+    pub overlays: Vec<Overlay>,
+}
+
+impl TimelineModel {
+    /// Build from a trace. Function enter/exit and probes are skipped as
+    /// bars by default (they are instantaneous); pass `detailed = true` to
+    /// include them as ticks.
+    pub fn build(store: &TraceStore, matching: &MessageMatching, detailed: bool) -> Self {
+        let (t_min, t_max) = store.time_bounds();
+        let mut bars = Vec::new();
+        for id in store.ids() {
+            let rec = store.record(id);
+            let kind = match rec.kind {
+                EventKind::Compute
+                | EventKind::RecvDone
+                | EventKind::Send
+                | EventKind::Collective(_) => BarKind::of(rec.kind),
+                EventKind::RecvPost => {
+                    // Only blocked (never completed) posts become bars.
+                    if matching.unmatched_recvs.iter().any(|u| u.post == id) {
+                        BarKind::BlockedRecv
+                    } else {
+                        continue;
+                    }
+                }
+                EventKind::FnEnter | EventKind::Probe if detailed => BarKind::of(rec.kind),
+                _ => continue,
+            };
+            let label = match kind {
+                BarKind::BlockedRecv => format!(
+                    "P{} blocked recv (marker {})",
+                    rec.rank, rec.marker
+                ),
+                _ => format!("{} m{}", rec.kind.code(), rec.marker),
+            };
+            bars.push(Bar {
+                rank: rec.rank,
+                t0: rec.t_start,
+                t1: rec.t_end,
+                kind,
+                event: id,
+                label,
+            });
+        }
+        let messages = matching
+            .matched
+            .iter()
+            .map(|m| {
+                let send = store.record(m.send);
+                let recv = store.record(m.recv);
+                MsgLine {
+                    src: m.info.src,
+                    dst: m.info.dst,
+                    t_sent: send.t_end,
+                    t_recv: recv.t_end,
+                    tag: m.info.tag.0,
+                    send_event: m.send,
+                    recv_event: m.recv,
+                }
+            })
+            .collect();
+        TimelineModel {
+            n_ranks: store.n_ranks(),
+            t_min,
+            t_max,
+            bars,
+            messages,
+            overlays: Vec::new(),
+        }
+    }
+
+    /// Add a vertical stopline overlay.
+    pub fn add_stopline(&mut self, t: u64, label: impl Into<String>) {
+        self.overlays.push(Overlay::Stopline {
+            t,
+            label: label.into(),
+        });
+    }
+
+    /// Add a frontier overlay from markers: each frontier event is drawn
+    /// at its completion time.
+    pub fn add_frontier(
+        &mut self,
+        store: &TraceStore,
+        frontier: &Frontier,
+        label: impl Into<String>,
+    ) {
+        let points: Vec<(Rank, u64)> = frontier
+            .iter()
+            .filter_map(|m: Marker| {
+                store
+                    .find_marker(m)
+                    .map(|id| (m.rank, store.record(id).t_end))
+            })
+            .collect();
+        self.overlays.push(Overlay::FrontierLine {
+            points,
+            label: label.into(),
+        });
+    }
+
+    /// Mark a selected event (the Figure 8 circle).
+    pub fn add_mark(&mut self, store: &TraceStore, event: EventId, label: impl Into<String>) {
+        let rec = store.record(event);
+        self.overlays.push(Overlay::Mark {
+            rank: rec.rank,
+            t: rec.t_end,
+            label: label.into(),
+        });
+    }
+
+    /// Restrict to a time window (zoom): keeps bars/messages intersecting
+    /// `[lo, hi]` and clamps the canvas.
+    pub fn window(&self, lo: u64, hi: u64) -> TimelineModel {
+        TimelineModel {
+            n_ranks: self.n_ranks,
+            t_min: lo,
+            t_max: hi,
+            bars: self
+                .bars
+                .iter()
+                .filter(|b| b.t0 <= hi && b.t1 >= lo)
+                .cloned()
+                .collect(),
+            messages: self
+                .messages
+                .iter()
+                .filter(|m| m.t_sent.min(m.t_recv) <= hi && m.t_sent.max(m.t_recv) >= lo)
+                .cloned()
+                .collect(),
+            overlays: self
+                .overlays
+                .iter()
+                .filter(|o| match o {
+                    Overlay::Stopline { t, .. } => *t >= lo && *t <= hi,
+                    Overlay::Mark { t, .. } => *t >= lo && *t <= hi,
+                    Overlay::FrontierLine { .. } => true,
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Duration of the displayed window.
+    pub fn span(&self) -> u64 {
+        self.t_max.saturating_sub(self.t_min).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{MsgInfo, SiteTable, Tag, TraceRecord};
+
+    fn store() -> TraceStore {
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(3),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 100),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 100)
+                .with_span(100, 110)
+                .with_msg(m),
+            TraceRecord::basic(1u32, EventKind::RecvPost, 1, 50),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 2, 50)
+                .with_span(50, 160)
+                .with_msg(m),
+            // a blocked recv on rank 1 at the end
+            TraceRecord::basic(1u32, EventKind::RecvPost, 3, 200).with_args(0, -1),
+        ];
+        TraceStore::build(recs, SiteTable::new(), 2)
+    }
+
+    #[test]
+    fn bars_and_messages() {
+        let s = store();
+        let mm = MessageMatching::build(&s);
+        let tm = TimelineModel::build(&s, &mm, false);
+        // compute, send, recvdone, blocked recv = 4 bars
+        assert_eq!(tm.bars.len(), 4);
+        assert_eq!(tm.messages.len(), 1);
+        let msg = &tm.messages[0];
+        assert_eq!(msg.t_sent, 110);
+        assert_eq!(msg.t_recv, 160);
+        assert!(tm
+            .bars
+            .iter()
+            .any(|b| b.kind == BarKind::BlockedRecv && b.rank == Rank(1)));
+        // completed post did NOT become a bar
+        assert_eq!(
+            tm.bars
+                .iter()
+                .filter(|b| b.kind == BarKind::BlockedRecv)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn window_filters() {
+        let s = store();
+        let mm = MessageMatching::build(&s);
+        let tm = TimelineModel::build(&s, &mm, false);
+        let w = tm.window(0, 60);
+        // compute (0..100) and recvdone (50..160) intersect; send does not
+        assert_eq!(w.bars.len(), 2);
+        assert_eq!(w.span(), 60);
+    }
+
+    #[test]
+    fn overlays_accumulate() {
+        let s = store();
+        let mm = MessageMatching::build(&s);
+        let mut tm = TimelineModel::build(&s, &mm, false);
+        tm.add_stopline(80, "stopline");
+        tm.add_mark(&s, tracedbg_trace::EventId(0), "sel");
+        assert_eq!(tm.overlays.len(), 2);
+        let w = tm.window(0, 50);
+        // stopline at 80 outside window, mark at... compute ends 100 — out.
+        assert_eq!(w.overlays.len(), 0);
+    }
+
+    #[test]
+    fn barkind_mapping_total() {
+        for k in EventKind::all() {
+            let b = BarKind::of(k);
+            let _ = b.ch();
+            let _ = b.color();
+        }
+    }
+}

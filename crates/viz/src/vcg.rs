@@ -1,0 +1,148 @@
+//! VCG exporters.
+//!
+//! The paper's Figure 9 caption: "The graph was converted to VCG format
+//! displayed with the xvcg graph layout tool." VCG is the GDL-like format
+//! of Sander's visualization tool; these exporters produce the same graphs
+//! as the DOT back end in that format.
+
+use std::fmt::Write as _;
+use tracedbg_tracegraph::{ArcKind, CallGraph, CommGraph, TraceGraph, TraceNode};
+
+fn header(title: &str) -> String {
+    format!(
+        "graph: {{\n  title: \"{title}\"\n  layoutalgorithm: minbackward\n  display_edge_labels: yes\n"
+    )
+}
+
+/// Export a communication graph (Figure 4) to VCG.
+pub fn comm_graph_vcg(g: &CommGraph) -> String {
+    let mut s = header("communication graph");
+    for id in g.ids() {
+        let _ = writeln!(
+            s,
+            "  node: {{ title: \"n{}\" label: \"{}\" }}",
+            id.0,
+            g.label(id)
+        );
+    }
+    for (a, b) in g.arcs() {
+        let _ = writeln!(
+            s,
+            "  edge: {{ sourcename: \"n{}\" targetname: \"n{}\" }}",
+            a.0, b.0
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Export a dynamic call graph (Figure 9) to VCG. Multiple arcs appear as
+/// multiple edges, exactly like the xvcg display in the paper.
+pub fn call_graph_vcg(g: &CallGraph, max_arcs_per_pair: usize) -> String {
+    let mut s = header(&format!("dynamic call graph P{}", g.rank));
+    for (i, f) in g.functions.iter().enumerate() {
+        let _ = writeln!(s, "  node: {{ title: \"f{i}\" label: \"{f}\" }}");
+    }
+    let ix_of = |name: &str| g.functions.iter().position(|f| f == name).unwrap();
+    for a in g.arcs_grouped(max_arcs_per_pair) {
+        let _ = writeln!(
+            s,
+            "  edge: {{ sourcename: \"f{}\" targetname: \"f{}\" label: \"x{}\" }}",
+            ix_of(&a.caller),
+            ix_of(&a.callee),
+            a.calls
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Export the trace graph to VCG.
+pub fn trace_graph_vcg(g: &TraceGraph) -> String {
+    let mut s = header("trace graph");
+    for (i, n) in g.nodes().iter().enumerate() {
+        let shape = match n {
+            TraceNode::Function { .. } => "box",
+            TraceNode::Channel(_) => "rhomb",
+        };
+        let _ = writeln!(
+            s,
+            "  node: {{ title: \"n{i}\" label: \"{}\" shape: {shape} }}",
+            n.label()
+        );
+    }
+    for a in g.all_arcs() {
+        let class = match a.kind {
+            ArcKind::Call => 1,
+            ArcKind::MsgSend => 2,
+            ArcKind::MsgRecv => 3,
+        };
+        let _ = writeln!(
+            s,
+            "  edge: {{ sourcename: \"n{}\" targetname: \"n{}\" class: {class} label: \"x{}\" }}",
+            a.from.0, a.to.0, a.multiplicity
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+    use tracedbg_tracegraph::MessageMatching;
+
+    fn store() -> TraceStore {
+        let sites = SiteTable::new();
+        let f = sites.site("a.c", 1, "work");
+        let m = MsgInfo {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(1),
+            bytes: 8,
+            seq: 0,
+        };
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(f),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 1).with_span(1, 2).with_msg(m),
+            TraceRecord::basic(0u32, EventKind::FnExit, 3, 3).with_site(f),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 4)
+                .with_span(4, 5)
+                .with_msg(m),
+        ];
+        TraceStore::build(recs, sites, 2)
+    }
+
+    #[test]
+    fn vcg_structure() {
+        let s = store();
+        let mm = MessageMatching::build(&s);
+        let g = CommGraph::build(&s, &mm);
+        let vcg = comm_graph_vcg(&g);
+        assert!(vcg.starts_with("graph: {"));
+        assert!(vcg.contains("node: {"));
+        assert!(vcg.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn call_graph_vcg_has_edges() {
+        let s = store();
+        let tg = TraceGraph::build(&s);
+        let cg = CallGraph::project(&tg, Rank(0));
+        let vcg = call_graph_vcg(&cg, 1);
+        assert!(vcg.contains("edge: {"), "{vcg}");
+        assert!(vcg.contains("label: \"x1\""), "{vcg}");
+    }
+
+    #[test]
+    fn trace_graph_vcg_classes() {
+        let s = store();
+        let tg = TraceGraph::build(&s);
+        let vcg = trace_graph_vcg(&tg);
+        assert!(vcg.contains("class: 1"));
+        assert!(vcg.contains("class: 2"));
+        assert!(vcg.contains("class: 3"));
+        assert!(vcg.contains("shape: rhomb"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The VK-style interaction model (§3.1).
+//!
+//! "VK, on the other hand, gives the user a window into the trace file and
+//! provides an animated view of the events of execution. The user can
+//! scroll through the history in both directions and change the time
+//! scale."
+
+use crate::timeline::TimelineModel;
+use tracedbg_trace::TraceStore;
+
+/// A fixed-width window that scrolls/animates over the trace.
+pub struct VkView {
+    t_lo: u64,
+    t_hi: u64,
+    /// Window start.
+    pos: u64,
+    /// Window width ("time scale").
+    scale: u64,
+}
+
+impl VkView {
+    pub fn new(store: &TraceStore, scale: u64) -> Self {
+        let (t_lo, t_hi) = store.time_bounds();
+        VkView {
+            t_lo,
+            t_hi,
+            pos: t_lo,
+            scale: scale.max(1),
+        }
+    }
+
+    pub fn window(&self) -> (u64, u64) {
+        (self.pos, (self.pos + self.scale).min(self.t_hi))
+    }
+
+    /// Change the time scale, keeping the window start.
+    pub fn set_scale(&mut self, scale: u64) {
+        self.scale = scale.max(1);
+    }
+
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Scroll forward/backward by a fraction of the window.
+    pub fn scroll(&mut self, forward: bool) {
+        let step = (self.scale / 2).max(1);
+        if forward {
+            self.pos = (self.pos + step).min(self.t_hi.saturating_sub(self.scale).max(self.t_lo));
+        } else {
+            self.pos = self.pos.saturating_sub(step).max(self.t_lo);
+        }
+    }
+
+    /// Is the window at the end of the trace?
+    pub fn at_end(&self) -> bool {
+        self.pos + self.scale >= self.t_hi
+    }
+
+    /// Animate: produce the sequence of window frames from the current
+    /// position to the end of the trace (the VK animation).
+    pub fn animate(&mut self) -> Vec<(u64, u64)> {
+        let mut frames = vec![self.window()];
+        while !self.at_end() {
+            self.scroll(true);
+            frames.push(self.window());
+        }
+        frames
+    }
+
+    /// View model for the current frame.
+    pub fn render_model(&self, full: &TimelineModel) -> TimelineModel {
+        let (lo, hi) = self.window();
+        full.window(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::{EventKind, SiteTable, TraceRecord};
+
+    fn store() -> TraceStore {
+        let recs: Vec<_> = (0..10)
+            .map(|i| {
+                TraceRecord::basic(0u32, EventKind::Compute, i + 1, i * 100)
+                    .with_span(i * 100, i * 100 + 90)
+            })
+            .collect();
+        TraceStore::build(recs, SiteTable::new(), 1)
+    }
+
+    #[test]
+    fn scroll_both_directions() {
+        let s = store();
+        let mut v = VkView::new(&s, 200);
+        assert_eq!(v.window(), (0, 200));
+        v.scroll(true);
+        assert_eq!(v.window(), (100, 300));
+        v.scroll(false);
+        assert_eq!(v.window(), (0, 200));
+        v.scroll(false); // clamped at start
+        assert_eq!(v.window(), (0, 200));
+    }
+
+    #[test]
+    fn animation_reaches_end() {
+        let s = store();
+        let mut v = VkView::new(&s, 300);
+        let frames = v.animate();
+        assert!(frames.len() > 2);
+        assert!(v.at_end());
+        let (_, hi) = *frames.last().unwrap();
+        assert_eq!(hi, 990);
+    }
+
+    #[test]
+    fn scale_change() {
+        let s = store();
+        let mut v = VkView::new(&s, 100);
+        v.set_scale(500);
+        assert_eq!(v.scale(), 500);
+        assert_eq!(v.window(), (0, 500));
+        v.set_scale(0); // clamped
+        assert_eq!(v.scale(), 1);
+    }
+
+    #[test]
+    fn render_model_windows() {
+        let s = store();
+        let mm = tracedbg_tracegraph::MessageMatching::build(&s);
+        let full = TimelineModel::build(&s, &mm, false);
+        let v = VkView::new(&s, 250);
+        let m = v.render_model(&full);
+        // computes at 0..90, 100..190, 200..290 intersect [0,250]
+        assert_eq!(m.bars.len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Recursive Fibonacci — the Table 1 worst-case overhead driver.
+//!
+//! Every call enters an instrumented function scope, so `fib(n)` drives
+//! `2·fib(n+1)-1` `UserMonitor` invocations of enter events (plus exits) —
+//! the paper measured 18,454,930 calls for fib(34) and 29,860,704 for
+//! fib(35). The closed form for the number of calls is
+//! [`fib_call_count`].
+
+use tracedbg_mpsim::{ProcessCtx, ProgramFn};
+use tracedbg_trace::SiteId;
+
+/// Uninstrumented reference implementation.
+pub fn fib_plain(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_plain(n - 1) + fib_plain(n - 2)
+    }
+}
+
+/// Number of calls the recursive computation of `fib(n)` makes
+/// (`2·fib(n+1) − 1`): Table 1's "Number of calls" row.
+pub fn fib_call_count(n: u64) -> u64 {
+    2 * fib_plain(n + 1) - 1
+}
+
+/// Instrumented recursion: one function scope per call, carrying `n` as
+/// the first monitored argument (the §2.2 contract).
+pub fn fib_traced(ctx: &mut ProcessCtx, n: u64, site: SiteId) -> u64 {
+    ctx.scope(site, [n as i64, 0], |ctx| {
+        if n < 2 {
+            n
+        } else {
+            fib_traced(ctx, n - 1, site) + fib_traced(ctx, n - 2, site)
+        }
+    })
+}
+
+/// A single-process program computing `fib(n)` under instrumentation.
+pub fn program(n: u64) -> ProgramFn {
+    Box::new(move |ctx| {
+        let site = ctx.site("fib.c", 11, "fib");
+        let result = fib_traced(ctx, n, site);
+        let check_site = ctx.site("fib.c", 30, "main");
+        ctx.probe("fib_result", result as i64, check_site);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig};
+    use tracedbg_trace::EventKind;
+
+    #[test]
+    fn plain_values() {
+        assert_eq!(fib_plain(0), 0);
+        assert_eq!(fib_plain(1), 1);
+        assert_eq!(fib_plain(10), 55);
+        assert_eq!(fib_plain(20), 6765);
+    }
+
+    #[test]
+    fn call_count_closed_form() {
+        // Count actual calls with a counter-instrumented recursion.
+        fn count(n: u64, c: &mut u64) -> u64 {
+            *c += 1;
+            if n < 2 {
+                n
+            } else {
+                count(n - 1, c) + count(n - 2, c)
+            }
+        }
+        for n in 0..15 {
+            let mut c = 0;
+            count(n, &mut c);
+            assert_eq!(fib_call_count(n), c, "n={n}");
+        }
+    }
+
+    #[test]
+    fn traced_fib_matches_and_counts_monitor_calls() {
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::markers_only()),
+            vec![program(12)],
+        );
+        assert!(e.run().is_completed());
+        // MarkersOnly still counts invocations: enter+exit per call, plus
+        // ProcStart/ProcEnd and the result probe.
+        let calls = fib_call_count(12);
+        assert_eq!(e.invocations()[0], 2 * calls + 3);
+    }
+
+    #[test]
+    fn traced_fib_result_probe() {
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            vec![program(10)],
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        let probe = store
+            .records()
+            .iter()
+            .find(|r| r.kind == EventKind::Probe)
+            .unwrap();
+        assert_eq!(probe.args[0], 55);
+        // Full tracing records every call: FnEnter count = calls + 1
+        // (main's probe scope is not a FnEnter).
+        assert_eq!(
+            store.of_kind(EventKind::FnEnter).len() as u64,
+            fib_call_count(10)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! A wavefront pipeline modeled on the NAS LU benchmark (Figure 8).
+//!
+//! NAS LU's SSOR solver sweeps a wavefront across a processor grid: each
+//! process waits for boundary data from its predecessor, relaxes its
+//! block, and forwards the boundary to its successor. The staircase of
+//! dependencies is exactly what makes Figure 8's past/future frontiers
+//! non-trivial (slanted lines), so this workload reproduces it as a 1-D
+//! pipeline with multiple sweeps.
+
+use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+
+/// Pipeline parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LuConfig {
+    /// Number of pipeline stages (processes).
+    pub nprocs: usize,
+    /// Number of wavefront sweeps.
+    pub sweeps: usize,
+    /// Simulated relaxation cost per block (ns).
+    pub block_cost: u64,
+    /// Boundary size in f64 elements.
+    pub boundary: usize,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        LuConfig {
+            nprocs: 6,
+            sweeps: 4,
+            block_cost: 200_000,
+            boundary: 64,
+        }
+    }
+}
+
+const TAG_BOUNDARY: Tag = Tag(10);
+
+fn stage(ctx: &mut ProcessCtx, cfg: &LuConfig, rank: usize) {
+    let ssor_site = ctx.site("lu.f", 40, "ssor");
+    let relax_site = ctx.site("lu.f", 55, "blts");
+    let cfg = *cfg;
+    ctx.scope(ssor_site, [rank as i64, cfg.sweeps as i64], move |ctx| {
+        let mut boundary = vec![rank as f64; cfg.boundary];
+        for sweep in 0..cfg.sweeps {
+            // Receive the incoming boundary from the predecessor (stage 0
+            // starts each sweep on its own).
+            if rank > 0 {
+                let m = ctx.recv_from(Rank(rank as u32 - 1), TAG_BOUNDARY, ssor_site);
+                boundary = m.payload.to_f64s().expect("f64 boundary");
+            }
+            // Relax the local block.
+            ctx.scope(relax_site, [sweep as i64, rank as i64], |ctx| {
+                ctx.compute(cfg.block_cost, relax_site);
+                for x in boundary.iter_mut() {
+                    *x = 0.5 * *x + 1.0;
+                }
+            });
+            // Forward the boundary downstream.
+            if rank + 1 < cfg.nprocs {
+                ctx.send(
+                    Rank(rank as u32 + 1),
+                    TAG_BOUNDARY,
+                    Payload::from_f64s(&boundary),
+                    ssor_site,
+                );
+            }
+        }
+    });
+}
+
+/// Build the pipeline programs.
+pub fn programs(cfg: &LuConfig) -> Vec<ProgramFn> {
+    assert!(cfg.nprocs >= 2);
+    (0..cfg.nprocs)
+        .map(|r| {
+            let c = *cfg;
+            let p: ProgramFn = Box::new(move |ctx| stage(ctx, &c, r));
+            p
+        })
+        .collect()
+}
+
+/// A reusable factory for debugger sessions.
+pub fn factory(cfg: LuConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+    move || programs(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig};
+    use tracedbg_trace::EventKind;
+
+    #[test]
+    fn pipeline_completes() {
+        let cfg = LuConfig::default();
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        // (nprocs-1) messages per sweep.
+        assert_eq!(
+            store.of_kind(EventKind::Send).len(),
+            (cfg.nprocs - 1) * cfg.sweeps
+        );
+    }
+
+    #[test]
+    fn wavefront_times_are_staggered() {
+        let cfg = LuConfig {
+            nprocs: 4,
+            sweeps: 1,
+            ..Default::default()
+        };
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        // Each stage's compute must end strictly later than its
+        // predecessor's (the wavefront).
+        let mut ends = vec![0u64; 4];
+        for r in store.records() {
+            if r.kind == EventKind::Compute {
+                ends[r.rank.ix()] = ends[r.rank.ix()].max(r.t_end);
+            }
+        }
+        assert!(ends.windows(2).all(|w| w[0] < w[1]), "{ends:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! A master/worker pool with wildcard receives.
+//!
+//! The master hands out work items and collects results with
+//! `MPI_ANY_SOURCE` receives — the nondeterministic construct §4.2's
+//! replay control exists for. Under a perturbed scheduling seed the result
+//! arrival order varies run to run; under replay it is pinned. Completion
+//! order is recorded via probes so tests (and the replay ablation bench)
+//! can compare orders across runs.
+
+use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+
+const TAG_WORK: Tag = Tag(30);
+const TAG_RESULT: Tag = Tag(31);
+const TAG_STOP: Tag = Tag(32);
+
+/// Pool parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    pub nprocs: usize,
+    pub tasks: usize,
+    /// Base simulated cost per task (ns); task `i` costs
+    /// `base_cost * (1 + i % 3)` so workers finish out of order.
+    pub base_cost: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            nprocs: 4,
+            tasks: 9,
+            base_cost: 50_000,
+        }
+    }
+}
+
+fn master(ctx: &mut ProcessCtx, cfg: &PoolConfig) {
+    let site = ctx.site("pool.c", 10, "master");
+    let cfg = *cfg;
+    ctx.scope(site, [cfg.tasks as i64, 0], move |ctx| {
+        let nworkers = cfg.nprocs - 1;
+        let mut next_task = 0usize;
+        let mut outstanding = 0usize;
+        // Prime every worker with one task.
+        for w in 1..=nworkers {
+            if next_task < cfg.tasks {
+                ctx.send(
+                    Rank(w as u32),
+                    TAG_WORK,
+                    Payload::from_i64(next_task as i64),
+                    site,
+                );
+                next_task += 1;
+                outstanding += 1;
+            }
+        }
+        // Collect results with wildcard receives; keep the pipeline full.
+        let mut done = 0usize;
+        while done < cfg.tasks {
+            let m = ctx.recv_any(Some(TAG_RESULT), site);
+            done += 1;
+            outstanding -= 1;
+            // Record the nondeterministic completion order.
+            ctx.probe("completed_by", m.src.0 as i64, site);
+            if next_task < cfg.tasks {
+                ctx.send(m.src, TAG_WORK, Payload::from_i64(next_task as i64), site);
+                next_task += 1;
+                outstanding += 1;
+            }
+        }
+        assert_eq!(outstanding, 0);
+        // Dismiss the pool.
+        for w in 1..=nworkers {
+            ctx.send(Rank(w as u32), TAG_STOP, Payload::empty(), site);
+        }
+    });
+}
+
+fn worker(ctx: &mut ProcessCtx, cfg: &PoolConfig, rank: usize) {
+    let site = ctx.site("pool.c", 40, "worker");
+    let cfg = *cfg;
+    ctx.scope(site, [rank as i64, 0], move |ctx| loop {
+        let m = ctx.recv(Some(Rank(0)), None, site);
+        if m.tag == TAG_STOP {
+            break;
+        }
+        let task = m.payload.to_i64().unwrap() as u64;
+        ctx.compute(cfg.base_cost * (1 + task % 3), site);
+        ctx.send(Rank(0), TAG_RESULT, Payload::from_i64(task as i64), site);
+    });
+}
+
+/// Build the pool programs.
+pub fn programs(cfg: &PoolConfig) -> Vec<ProgramFn> {
+    assert!(cfg.nprocs >= 2);
+    let mut out: Vec<ProgramFn> = Vec::new();
+    let c0 = *cfg;
+    out.push(Box::new(move |ctx| master(ctx, &c0)));
+    for r in 1..cfg.nprocs {
+        let c = *cfg;
+        out.push(Box::new(move |ctx| worker(ctx, &c, r)));
+    }
+    out
+}
+
+/// A reusable factory for debugger sessions.
+pub fn factory(cfg: PoolConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+    move || programs(&cfg)
+}
+
+/// Extract the completion order recorded by the master's probes.
+pub fn completion_order(store: &tracedbg_trace::TraceStore) -> Vec<u32> {
+    store
+        .by_rank(Rank(0))
+        .iter()
+        .map(|&id| store.record(id))
+        .filter(|r| r.label.as_deref() == Some("completed_by"))
+        .map(|r| r.args[0] as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig, SchedPolicy};
+
+    fn run_with(policy: SchedPolicy, replay: Option<tracedbg_mpsim::ReplayLog>) -> (Vec<u32>, tracedbg_mpsim::ReplayLog) {
+        let cfg = PoolConfig::default();
+        let mut e = Engine::launch(
+            EngineConfig {
+                policy,
+                recorder: RecorderConfig::full(),
+                replay,
+                ..Default::default()
+            },
+            programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        (completion_order(&store), e.match_log())
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        let (order, _) = run_with(SchedPolicy::RoundRobin, None);
+        assert_eq!(order.len(), PoolConfig::default().tasks);
+    }
+
+    #[test]
+    fn replay_pins_wildcard_order_across_seeds() {
+        let (order1, log) = run_with(SchedPolicy::Seeded(3), None);
+        // Different seed, forced by the recorded log: same order.
+        let (order2, _) = run_with(SchedPolicy::Seeded(1234), Some(log));
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        // Not guaranteed for every seed pair, but these differ (and if the
+        // pattern were fully deterministic the replay test above would be
+        // vacuous).
+        let orders: Vec<Vec<u32>> = (0..8)
+            .map(|s| run_with(SchedPolicy::Seeded(s), None).0)
+            .collect();
+        assert!(
+            orders.windows(2).any(|w| w[0] != w[1]),
+            "expected some seed-dependent variation: {orders:?}"
+        );
+    }
+}

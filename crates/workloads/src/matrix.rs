@@ -1,0 +1,233 @@
+//! Dense row-major matrices with naive and Strassen multiplication.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A dense row-major `rows × cols` matrix of f64.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Seeded pseudo-random matrix with entries in [-1, 1).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Naive O(n³) multiply.
+    pub fn mul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * out.cols + j] += a * other.at(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Split a matrix with even dimensions into quadrants
+    /// `(m11, m12, m21, m22)`.
+    pub fn quadrants(&self) -> (Matrix, Matrix, Matrix, Matrix) {
+        assert!(self.rows % 2 == 0 && self.cols % 2 == 0, "odd dimensions");
+        let (hr, hc) = (self.rows / 2, self.cols / 2);
+        let block = |r0: usize, c0: usize| {
+            let mut m = Matrix::zeros(hr, hc);
+            for r in 0..hr {
+                for c in 0..hc {
+                    m.set(r, c, self.at(r0 + r, c0 + c));
+                }
+            }
+            m
+        };
+        (block(0, 0), block(0, hc), block(hr, 0), block(hr, hc))
+    }
+
+    /// Assemble from quadrants.
+    pub fn from_quadrants(m11: &Matrix, m12: &Matrix, m21: &Matrix, m22: &Matrix) -> Matrix {
+        assert_eq!((m11.rows, m11.cols), (m12.rows, m12.cols));
+        assert_eq!((m21.rows, m21.cols), (m22.rows, m22.cols));
+        assert_eq!(m11.rows, m12.rows);
+        let (hr, hc) = (m11.rows, m11.cols);
+        let mut out = Matrix::zeros(2 * hr, 2 * hc);
+        for r in 0..hr {
+            for c in 0..hc {
+                out.set(r, c, m11.at(r, c));
+                out.set(r, c + hc, m12.at(r, c));
+                out.set(r + hr, c, m21.at(r, c));
+                out.set(r + hr, c + hc, m22.at(r, c));
+            }
+        }
+        out
+    }
+
+    /// Recursive Strassen multiply (square, power-of-two-friendly; falls
+    /// back to naive below `cutoff` or on odd dimensions).
+    pub fn mul_strassen(&self, other: &Matrix, cutoff: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        if self.rows <= cutoff
+            || self.rows % 2 != 0
+            || self.cols % 2 != 0
+            || other.cols % 2 != 0
+        {
+            return self.mul_naive(other);
+        }
+        let (a11, a12, a21, a22) = self.quadrants();
+        let (b11, b12, b21, b22) = other.quadrants();
+        let m1 = a11.add(&a22).mul_strassen(&b11.add(&b22), cutoff);
+        let m2 = a21.add(&a22).mul_strassen(&b11, cutoff);
+        let m3 = a11.mul_strassen(&b12.sub(&b22), cutoff);
+        let m4 = a22.mul_strassen(&b21.sub(&b11), cutoff);
+        let m5 = a11.add(&a12).mul_strassen(&b22, cutoff);
+        let m6 = a21.sub(&a11).mul_strassen(&b11.add(&b12), cutoff);
+        let m7 = a12.sub(&a22).mul_strassen(&b21.add(&b22), cutoff);
+        let c11 = m1.add(&m4).sub(&m5).add(&m7);
+        let c12 = m3.add(&m5);
+        let c21 = m2.add(&m4);
+        let c22 = m1.sub(&m2).add(&m3).add(&m6);
+        Matrix::from_quadrants(&c11, &c12, &c21, &c22)
+    }
+
+    /// Largest absolute elementwise difference.
+    pub fn max_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Flatten to a payload-friendly vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data.clone()
+    }
+
+    /// Rebuild from a flat vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Matrix { rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_identity() {
+        let mut i2 = Matrix::zeros(2, 2);
+        i2.set(0, 0, 1.0);
+        i2.set(1, 1, 1.0);
+        let a = Matrix::random(2, 2, 1);
+        assert_eq!(a.mul_naive(&i2), a);
+    }
+
+    #[test]
+    fn strassen_matches_naive_square() {
+        let a = Matrix::random(16, 16, 1);
+        let b = Matrix::random(16, 16, 2);
+        let naive = a.mul_naive(&b);
+        let fast = a.mul_strassen(&b, 4);
+        assert!(naive.max_diff(&fast) < 1e-9, "{}", naive.max_diff(&fast));
+    }
+
+    #[test]
+    fn strassen_matches_naive_rectangular() {
+        // The Table 1 shape: 96x128 * 128x112.
+        let a = Matrix::random(24, 32, 3);
+        let b = Matrix::random(32, 28, 4);
+        let naive = a.mul_naive(&b);
+        let fast = a.mul_strassen(&b, 8);
+        assert!(naive.max_diff(&fast) < 1e-9);
+    }
+
+    #[test]
+    fn quadrant_roundtrip() {
+        let a = Matrix::random(8, 6, 5);
+        let (q11, q12, q21, q22) = a.quadrants();
+        let back = Matrix::from_quadrants(&q11, &q12, &q21, &q22);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let a = Matrix::random(3, 4, 6);
+        let b = Matrix::from_vec(3, 4, a.to_vec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        assert_eq!(Matrix::random(4, 4, 7), Matrix::random(4, 4, 7));
+        assert_ne!(Matrix::random(4, 4, 7), Matrix::random(4, 4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_mul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.mul_naive(&b);
+    }
+}

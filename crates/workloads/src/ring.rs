@@ -1,0 +1,103 @@
+//! A token ring: deterministic pattern for replay/trace tests.
+
+use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+
+const TAG_TOKEN: Tag = Tag(20);
+
+/// Ring parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RingConfig {
+    pub nprocs: usize,
+    pub rounds: usize,
+    /// Simulated work between forwards (ns).
+    pub hop_cost: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            nprocs: 4,
+            rounds: 3,
+            hop_cost: 10_000,
+        }
+    }
+}
+
+fn node(ctx: &mut ProcessCtx, cfg: &RingConfig, rank: usize) {
+    let site = ctx.site("ring.c", 12, "ring");
+    let cfg = *cfg;
+    ctx.scope(site, [rank as i64, cfg.rounds as i64], move |ctx| {
+        let next = Rank(((rank + 1) % cfg.nprocs) as u32);
+        let prev = Rank(((rank + cfg.nprocs - 1) % cfg.nprocs) as u32);
+        for round in 0..cfg.rounds {
+            if rank == 0 {
+                // Rank 0 injects the token, then waits for it to return.
+                ctx.compute(cfg.hop_cost, site);
+                ctx.send(next, TAG_TOKEN, Payload::from_i64(round as i64), site);
+                let tok = ctx.recv_from(prev, TAG_TOKEN, site);
+                assert_eq!(tok.payload.to_i64(), Some(round as i64));
+            } else {
+                let tok = ctx.recv_from(prev, TAG_TOKEN, site);
+                ctx.compute(cfg.hop_cost, site);
+                ctx.send(next, TAG_TOKEN, tok.payload, site);
+            }
+        }
+    });
+}
+
+/// Build the ring programs.
+pub fn programs(cfg: &RingConfig) -> Vec<ProgramFn> {
+    assert!(cfg.nprocs >= 2);
+    (0..cfg.nprocs)
+        .map(|r| {
+            let c = *cfg;
+            let p: ProgramFn = Box::new(move |ctx| node(ctx, &c, r));
+            p
+        })
+        .collect()
+}
+
+/// A reusable factory for debugger sessions.
+pub fn factory(cfg: RingConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+    move || programs(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig};
+    use tracedbg_trace::EventKind;
+
+    #[test]
+    fn ring_completes_all_rounds() {
+        let cfg = RingConfig::default();
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        assert_eq!(
+            store.of_kind(EventKind::Send).len(),
+            cfg.nprocs * cfg.rounds
+        );
+        assert_eq!(
+            store.of_kind(EventKind::RecvDone).len(),
+            cfg.nprocs * cfg.rounds
+        );
+    }
+
+    #[test]
+    fn two_node_ring() {
+        let cfg = RingConfig {
+            nprocs: 2,
+            rounds: 5,
+            hop_cost: 100,
+        };
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::comm_only()),
+            programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+    }
+}

@@ -1,0 +1,334 @@
+//! The distributed Strassen matrix multiplication of §3–§4.
+//!
+//! "A trace of Strassen's matrix multiplication running on 8 processes.
+//! Process 0 (at the bottom) distributes pairs of submatrices among the
+//! other processes (each send is shown as a separate message). Then
+//! process 0 receives 7 partial results and combines them into the final
+//! result." (Figure 3)
+//!
+//! The seven Strassen products M1..M7 are distributed round-robin over the
+//! worker ranks (all seven to workers 1..7 in the 8-process runs of the
+//! figures). [`Variant::JresBug`] plants the paper's bug: in `MatrSend`'s
+//! loop the destination of the second submatrix of each pair is `jres`
+//! where `jres+1` was meant ("the user will find that jres should be
+//! replaced by jres+1 in line 161", Figure 7) — which starves the last
+//! worker of one message and deadlocks ranks 0 and 7 against each other
+//! (Figures 5 and 6).
+
+use crate::matrix::Matrix;
+use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+
+/// Message tags.
+pub const TAG_A: Tag = Tag(1);
+pub const TAG_B: Tag = Tag(2);
+/// Result of product `i` travels with tag `TAG_RESULT_BASE + i`.
+pub const TAG_RESULT_BASE: i32 = 100;
+
+/// Which version of the program to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    Correct,
+    /// The "line 161" bug: the second send of each pair goes to `jres`
+    /// instead of `jres+1`.
+    JresBug,
+}
+
+/// Distributed-run parameters.
+#[derive(Clone, Debug)]
+pub struct StrassenConfig {
+    /// Matrix dimension (even).
+    pub n: usize,
+    /// Total processes (master + workers), ≥ 2.
+    pub nprocs: usize,
+    pub variant: Variant,
+    pub seed: u64,
+    /// Strassen recursion cutoff for the workers' local multiplies.
+    pub cutoff: usize,
+}
+
+impl StrassenConfig {
+    pub fn figures(variant: Variant) -> Self {
+        StrassenConfig {
+            n: 32,
+            nprocs: 8,
+            variant,
+            seed: 42,
+            cutoff: 8,
+        }
+    }
+}
+
+/// Worker that computes product `i` (1-based).
+fn worker_of(i: usize, nworkers: usize) -> usize {
+    (i - 1) % nworkers + 1
+}
+
+/// The seven Strassen operand pairs of `A × B`.
+pub fn operands(a: &Matrix, b: &Matrix) -> Vec<(Matrix, Matrix)> {
+    let (a11, a12, a21, a22) = a.quadrants();
+    let (b11, b12, b21, b22) = b.quadrants();
+    vec![
+        (a11.add(&a22), b11.add(&b22)),
+        (a21.add(&a22), b11.clone()),
+        (a11.clone(), b12.sub(&b22)),
+        (a22.clone(), b21.sub(&b11)),
+        (a11.add(&a12), b22.clone()),
+        (a21.sub(&a11), b11.add(&b12)),
+        (a12.sub(&a22), b21.add(&b22)),
+    ]
+}
+
+/// Combine M1..M7 into the product matrix.
+pub fn combine(m: &[Matrix]) -> Matrix {
+    assert_eq!(m.len(), 7);
+    let c11 = m[0].add(&m[3]).sub(&m[4]).add(&m[6]);
+    let c12 = m[2].add(&m[4]);
+    let c21 = m[1].add(&m[3]);
+    let c22 = m[0].sub(&m[1]).add(&m[2]).add(&m[5]);
+    Matrix::from_quadrants(&c11, &c12, &c21, &c22)
+}
+
+/// The reference result (naive sequential multiply of the same seeded
+/// inputs).
+pub fn expected(cfg: &StrassenConfig) -> Matrix {
+    let a = Matrix::random(cfg.n, cfg.n, cfg.seed);
+    let b = Matrix::random(cfg.n, cfg.n, cfg.seed + 1);
+    a.mul_naive(&b)
+}
+
+fn send_matrix(ctx: &mut ProcessCtx, dst: Rank, tag: Tag, m: &Matrix, site: tracedbg_trace::SiteId) {
+    ctx.send(dst, tag, Payload::from_f64s(&m.to_vec()), site);
+}
+
+fn recv_matrix(
+    ctx: &mut ProcessCtx,
+    src: Rank,
+    tag: Tag,
+    rows: usize,
+    cols: usize,
+    site: tracedbg_trace::SiteId,
+) -> Matrix {
+    let msg = ctx.recv_from(src, tag, site);
+    Matrix::from_vec(rows, cols, msg.payload.to_f64s().expect("f64 payload"))
+}
+
+/// The master process (rank 0).
+fn master(ctx: &mut ProcessCtx, cfg: &StrassenConfig) {
+    let nworkers = cfg.nprocs - 1;
+    let h = cfg.n / 2;
+    let master_site = ctx.site("strassen.c", 120, "StrassenMaster");
+    let send_a_site = ctx.site("strassen.c", 158, "MatrSend");
+    // Line 161: the send whose destination expression is wrong in the
+    // buggy variant.
+    let send_b_site = ctx.site("strassen.c", 161, "MatrSend");
+    let recv_site = ctx.site("strassen.c", 190, "MatrRecv");
+    let cfg2 = cfg.clone();
+    ctx.scope(master_site, [cfg.n as i64, cfg.nprocs as i64], move |ctx| {
+        let a = Matrix::random(cfg2.n, cfg2.n, cfg2.seed);
+        let b = Matrix::random(cfg2.n, cfg2.n, cfg2.seed + 1);
+        // Simulated cost of forming the operand combinations.
+        ctx.compute((cfg2.n * cfg2.n) as u64, master_site);
+        let ops = operands(&a, &b);
+
+        // MatrSend: distribute pairs of submatrices (Figure 3's fan of
+        // separate sends).
+        let send_fn_site = ctx.site("strassen.c", 150, "MatrSend");
+        ctx.scope(send_fn_site, [nworkers as i64, 0], |ctx| {
+            for (ix, (x, y)) in ops.iter().enumerate() {
+                let i = ix + 1; // product number, 1-based
+                let jres = worker_of(i, nworkers); // loop variable of the paper
+                send_matrix(ctx, Rank(jres as u32), TAG_A, x, send_a_site);
+                let b_dest = match cfg2.variant {
+                    Variant::Correct => jres,
+                    // The bug: `jres` where `jres+1` was meant. With the
+                    // paper's 0-based loop the wrong expression addresses
+                    // the previous rank.
+                    Variant::JresBug => jres - 1,
+                };
+                ctx.probe("jres", b_dest as i64, send_b_site);
+                send_matrix(ctx, Rank(b_dest as u32), TAG_B, y, send_b_site);
+            }
+        });
+
+        // MatrRecv: collect the seven partial results and combine.
+        let recv_fn_site = ctx.site("strassen.c", 185, "MatrRecv");
+        let results: Vec<Matrix> = ctx.scope(recv_fn_site, [7, 0], |ctx| {
+            (1..=7)
+                .map(|i| {
+                    let w = worker_of(i, nworkers);
+                    recv_matrix(
+                        ctx,
+                        Rank(w as u32),
+                        Tag(TAG_RESULT_BASE + i as i32),
+                        h,
+                        h,
+                        recv_site,
+                    )
+                })
+                .collect()
+        });
+        ctx.compute((cfg2.n * cfg2.n) as u64, master_site);
+        let c = combine(&results);
+        let err = c.max_diff(&expected(&cfg2));
+        // Verification probe: max |C - A·B| in nano-units.
+        ctx.probe("maxerr_e9", (err * 1e9) as i64, master_site);
+    });
+}
+
+/// A worker process (ranks 1..nprocs).
+fn worker(ctx: &mut ProcessCtx, cfg: &StrassenConfig, rank: usize) {
+    let nworkers = cfg.nprocs - 1;
+    let h = cfg.n / 2;
+    let worker_site = ctx.site("strassen.c", 220, "StrassenWorker");
+    let mult_site = ctx.site("strassen.c", 240, "MatrMult");
+    let cfg2 = cfg.clone();
+    ctx.scope(worker_site, [rank as i64, 0], move |ctx| {
+        let my_products: Vec<usize> = (1..=7)
+            .filter(|&i| worker_of(i, nworkers) == rank)
+            .collect();
+        for i in my_products {
+            let x = recv_matrix(ctx, Rank(0), TAG_A, h, h, worker_site);
+            let y = recv_matrix(ctx, Rank(0), TAG_B, h, h, worker_site);
+            let m = ctx.scope(mult_site, [i as i64, h as i64], |ctx| {
+                let m = x.mul_strassen(&y, cfg2.cutoff);
+                // Simulated cost of the block multiply (~2·h³ flops).
+                ctx.compute(2 * (h * h * h) as u64, mult_site);
+                m
+            });
+            send_matrix(
+                ctx,
+                Rank(0),
+                Tag(TAG_RESULT_BASE + i as i32),
+                &m,
+                worker_site,
+            );
+        }
+    });
+}
+
+/// Build the program vector for an engine launch.
+pub fn programs(cfg: &StrassenConfig) -> Vec<ProgramFn> {
+    assert!(cfg.nprocs >= 2, "need a master and at least one worker");
+    assert!(cfg.n % 2 == 0, "matrix dimension must be even");
+    let mut progs: Vec<ProgramFn> = Vec::with_capacity(cfg.nprocs);
+    let c0 = cfg.clone();
+    progs.push(Box::new(move |ctx| master(ctx, &c0)));
+    for r in 1..cfg.nprocs {
+        let c = cfg.clone();
+        progs.push(Box::new(move |ctx| worker(ctx, &c, r)));
+    }
+    progs
+}
+
+/// A reusable factory (for debugger sessions, which re-execute).
+pub fn factory(cfg: StrassenConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+    move || programs(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig, RunOutcome};
+    use tracedbg_trace::EventKind;
+
+    fn run(cfg: &StrassenConfig) -> (Engine, RunOutcome) {
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            programs(cfg),
+        );
+        let out = e.run();
+        (e, out)
+    }
+
+    #[test]
+    fn correct_8proc_computes_the_product() {
+        let cfg = StrassenConfig::figures(Variant::Correct);
+        let (mut e, out) = run(&cfg);
+        assert!(out.is_completed(), "{out:?}");
+        let store = e.trace_store();
+        // The verification probe must report (near) zero error.
+        let err = store
+            .records()
+            .iter()
+            .find(|r| r.label.as_deref() == Some("maxerr_e9"))
+            .map(|r| r.args[0])
+            .expect("maxerr probe present");
+        assert!(err < 1000, "max error {err} nano-units");
+        // Figure 3 shape: 14 distribution sends + 7 result sends.
+        assert_eq!(store.of_kind(EventKind::Send).len(), 21);
+        assert_eq!(store.of_kind(EventKind::RecvDone).len(), 21);
+    }
+
+    #[test]
+    fn buggy_8proc_deadlocks_ranks_0_and_7() {
+        let cfg = StrassenConfig::figures(Variant::JresBug);
+        let (_e, out) = run(&cfg);
+        match out {
+            RunOutcome::Deadlock(rep) => {
+                assert!(rep.is_cyclic());
+                assert_eq!(rep.cycle, vec![Rank(0), Rank(7)]);
+            }
+            other => panic!("expected the Figure 5 deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buggy_run_has_figure6_receive_counts() {
+        let cfg = StrassenConfig::figures(Variant::JresBug);
+        let (mut e, _) = run(&cfg);
+        let store = e.trace_store();
+        let mut counts = [0usize; 8];
+        for r in store.records() {
+            if r.kind == EventKind::RecvDone && r.rank.0 >= 1 {
+                counts[r.rank.ix()] += 1;
+            }
+        }
+        // "processes 1-6 each receive 2 messages and process 7 only
+        // receives 1"
+        assert_eq!(&counts[1..7], &[2, 2, 2, 2, 2, 2]);
+        assert_eq!(counts[7], 1);
+    }
+
+    #[test]
+    fn correct_4proc_round_robin() {
+        let cfg = StrassenConfig {
+            n: 16,
+            nprocs: 4,
+            variant: Variant::Correct,
+            seed: 7,
+            cutoff: 4,
+        };
+        let (mut e, out) = run(&cfg);
+        assert!(out.is_completed(), "{out:?}");
+        let store = e.trace_store();
+        let err = store
+            .records()
+            .iter()
+            .find(|r| r.label.as_deref() == Some("maxerr_e9"))
+            .map(|r| r.args[0])
+            .unwrap();
+        assert!(err < 1000, "{err}");
+    }
+
+    #[test]
+    fn operand_combination_is_strassen() {
+        let a = Matrix::random(8, 8, 1);
+        let b = Matrix::random(8, 8, 2);
+        let ms: Vec<Matrix> = operands(&a, &b)
+            .iter()
+            .map(|(x, y)| x.mul_naive(y))
+            .collect();
+        let c = combine(&ms);
+        assert!(c.max_diff(&a.mul_naive(&b)) < 1e-9);
+    }
+
+    #[test]
+    fn worker_assignment_round_robin() {
+        assert_eq!(worker_of(1, 7), 1);
+        assert_eq!(worker_of(7, 7), 7);
+        assert_eq!(worker_of(1, 3), 1);
+        assert_eq!(worker_of(4, 3), 1);
+        assert_eq!(worker_of(7, 3), 1);
+        assert_eq!(worker_of(5, 3), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's running debugging story (§4.1, Figures 5–7): a distributed
+//! Strassen multiply hangs; the trace display shows processes 0 and 7
+//! blocked on each other; history analysis finds the missed message; a
+//! stopline + replay + stepping pins the bug to the `jres` send
+//! destination in `MatrSend`.
+//!
+//! ```sh
+//! cargo run --example find_missed_message
+//! ```
+
+use tracedbg::prelude::*;
+use tracedbg::workloads::strassen::{self, StrassenConfig, Variant};
+
+fn main() {
+    // Run the buggy program.
+    let cfg = StrassenConfig::figures(Variant::JresBug);
+    let factory: ProgramFactory = Box::new(strassen::factory(cfg));
+    let mut session = Session::launch(
+        SessionConfig {
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        factory,
+    );
+
+    println!("running the buggy Strassen on 8 processes...");
+    let status = session.run();
+    println!("outcome: {status:?}\n");
+    assert!(status.is_deadlocked(), "the bug must deadlock the run");
+
+    // Figure 5: the time-space diagram shows 0 and 7 blocked in receives.
+    let trace = session.trace();
+    let matching = MessageMatching::build(&trace);
+    let model = TimelineModel::build(&trace, &matching, false);
+    println!("--- Figure 5 view: blocked receives are '?' bars ---");
+    println!("{}", render_ascii(&model, 110));
+
+    // §4.4 history analysis: the missed message and the starving rank.
+    let report = HistoryReport::analyze(&trace);
+    println!("--- history analysis ---\n{report}\n");
+    assert_eq!(report.circular_waits.len(), 1);
+
+    // Figure 6 diagnosis: processes 1-6 receive 2 messages, 7 only 1.
+    println!("received per worker: {:?}", &report.received_counts[1..]);
+
+    // Set a stopline before the first distribution send and replay.
+    let first_send_t = trace
+        .records()
+        .iter()
+        .find(|r| r.kind == EventKind::Send)
+        .map(|r| r.t_start)
+        .unwrap();
+    let stopline = Stopline::vertical(&trace, first_send_t.saturating_sub(1));
+    println!(
+        "\nstopline before the first send: {:?}",
+        stopline.markers
+    );
+    session.replay_to(&stopline);
+    println!("replayed; markers {:?}", session.markers());
+
+    // Step process 0 through MatrSend, watching the probed destination.
+    println!("\nstepping P0 through MatrSend (probe 'jres' = B-part destination):");
+    let mut observed = Vec::new();
+    for _ in 0..40 {
+        session.step(Rank(0));
+        if let Some(dest) = session.latest_probe(Rank(0), "jres") {
+            if observed.last() != Some(&dest) {
+                observed.push(dest);
+                println!(
+                    "  at marker {:>3}: send B-part to rank {dest}",
+                    session.markers().get(Rank(0))
+                );
+            }
+        }
+    }
+    // Figure 7's conclusion: the destinations are 0..6 where 1..7 were
+    // meant — "jres should be replaced by jres+1 in line 161".
+    assert_eq!(observed.first(), Some(&0));
+    println!(
+        "\nBUG FOUND: MatrSend (strassen.c:161) sends the second submatrix to `jres`;\n\
+         it should send to `jres+1` — worker 7 never gets its data, and rank 0\n\
+         deadlocks against it waiting for the missing result."
+    );
+}

@@ -1,0 +1,89 @@
+//! The §2 instrumentation spectrum, end to end.
+//!
+//! Runs the same script program under the three strategies the paper
+//! compares — AIMS-style source-to-source instrumentation at two
+//! resolutions (§2.1), UserMonitor-only (§2.2), and PMPI comm-only
+//! wrappers (§2.3) — and shows the trade-off the paper describes: effort
+//! vs. history resolution vs. overhead.
+//!
+//! ```sh
+//! cargo run --example instrumentation_levels
+//! ```
+
+use tracedbg::prelude::*;
+use tracedbg::workloads::script::{self, InstrumentLevel};
+
+const SRC: &str = r#"
+fn worker
+  recv from 0 tag 1 into x
+  compute 20000
+  let y = x * 2
+  send 0 tag 2 y
+end
+fn main
+  if rank == 0
+    loop w 1 nprocs
+      send w tag 1 ( w + 100 )
+    end
+    loop w 1 nprocs
+      recv from any tag 2 into r
+    end
+  else
+    call worker
+  end
+end
+"#;
+
+fn run(src: &str, recorder: RecorderConfig) -> (usize, usize, u64) {
+    let parsed = script::parse(src).expect("parse");
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(recorder),
+        script::programs(&parsed, 4, "levels.script"),
+    );
+    assert!(e.run().is_completed());
+    let invocations: u64 = e.invocations().iter().sum();
+    let store = e.trace_store();
+    let probes = store
+        .records()
+        .iter()
+        .filter(|r| r.kind == EventKind::Probe)
+        .count();
+    (store.len(), probes, invocations)
+}
+
+fn main() {
+    // §2.1: the uinst analog — a real source-to-source pass.
+    let fn_level = script::instrument_source(SRC, InstrumentLevel::Functions).unwrap();
+    let stmt_level = script::instrument_source(SRC, InstrumentLevel::Statements).unwrap();
+    println!("--- source after function-level instrumentation (excerpt) ---");
+    for line in fn_level.lines().take(8) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    let rows = [
+        ("uninstrumented source, full tracing", SRC.to_string(), RecorderConfig::full()),
+        ("fn-level source instr. (§2.1)", fn_level, RecorderConfig::full()),
+        ("stmt-level source instr. (§2.1)", stmt_level, RecorderConfig::full()),
+        ("UserMonitor only (§2.2)", SRC.to_string(), RecorderConfig::markers_only()),
+        ("PMPI comm wrappers (§2.3)", SRC.to_string(), RecorderConfig::comm_only()),
+    ];
+    println!(
+        "{:<38} {:>8} {:>8} {:>12}",
+        "strategy", "records", "probes", "monitor-calls"
+    );
+    let mut prev_probes = None;
+    for (name, src, rc) in rows {
+        let (records, probes, invocations) = run(&src, rc);
+        println!("{name:<38} {records:>8} {probes:>8} {invocations:>12}");
+        if name.contains("stmt-level") {
+            // Statement-level strictly refines function-level.
+            assert!(probes > prev_probes.unwrap_or(0));
+        }
+        prev_probes = Some(probes);
+    }
+    println!(
+        "\nsame program, same results — history resolution and overhead scale\n\
+         with the chosen instrumentation strategy, exactly the paper's spectrum."
+    );
+}

@@ -1,0 +1,428 @@
+//! Cross-crate integration tests: full debugging stories end to end.
+
+use std::io::Cursor;
+use tracedbg::causality::{cut_of_time, verify_cut, ConcurrencyRegion, Frontier, HbIndex};
+use tracedbg::prelude::*;
+use tracedbg::trace::file::{read_text, write_text, TraceFile};
+use tracedbg::tracegraph::{ActionGraph, CallGraph, CommGraph, TraceGraph};
+use tracedbg::workloads::lu::{self, LuConfig};
+use tracedbg::workloads::master_worker::{self, completion_order, PoolConfig};
+use tracedbg::workloads::ring::{self, RingConfig};
+use tracedbg::workloads::strassen::{self, StrassenConfig, Variant};
+
+fn strassen_session(variant: Variant) -> Session {
+    let cfg = StrassenConfig::figures(variant);
+    Session::launch(
+        SessionConfig {
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        Box::new(strassen::factory(cfg)),
+    )
+}
+
+#[test]
+fn full_bug_hunt_story() {
+    // The §4.1 narrative as assertions: deadlock → analysis → stopline →
+    // replay → step → probe reveals the wrong destination.
+    let mut session = strassen_session(Variant::JresBug);
+    assert!(session.run().is_deadlocked());
+    let trace = session.trace();
+    let report = HistoryReport::analyze(&trace);
+    assert_eq!(report.circular_waits.len(), 1);
+    assert_eq!(
+        report.circular_waits[0].ranks,
+        vec![Rank(0), Rank(7)],
+        "figure 5: ranks 0 and 7 wait on each other"
+    );
+    assert_eq!(&report.received_counts[1..7], &[2, 2, 2, 2, 2, 2]);
+    assert_eq!(report.received_counts[7], 1, "figure 6: P7 starves");
+    assert!(!report.unmatched_sends.is_empty(), "the missed message");
+
+    // Stopline before the first send; replay; the stop is consistent.
+    let first_send_t = trace
+        .records()
+        .iter()
+        .find(|r| r.kind == EventKind::Send)
+        .unwrap()
+        .t_start;
+    let sl = Stopline::vertical(&trace, first_send_t.saturating_sub(1));
+    let matching = MessageMatching::build(&trace);
+    assert!(sl.is_consistent(&trace, &matching));
+    assert!(session.replay_to(&sl).is_stopped());
+
+    // Step P0 until the first B-part send probe appears: destination 0,
+    // where 1 was meant (jres vs jres+1).
+    let mut first_dest = None;
+    for _ in 0..60 {
+        session.step(Rank(0));
+        if let Some(d) = session.latest_probe(Rank(0), "jres") {
+            first_dest = Some(d);
+            break;
+        }
+    }
+    assert_eq!(first_dest, Some(0), "the buggy destination is exposed");
+}
+
+#[test]
+fn correct_strassen_verifies_and_draws() {
+    let mut session = strassen_session(Variant::Correct);
+    assert!(session.run().is_completed());
+    let trace = session.trace();
+    // Figure 3 shape: 14 distribution sends from P0, 7 result sends.
+    let sends_from_0 = trace
+        .records()
+        .iter()
+        .filter(|r| r.kind == EventKind::Send && r.rank == Rank(0))
+        .count();
+    assert_eq!(sends_from_0, 14);
+    let matching = MessageMatching::build(&trace);
+    assert!(matching.is_clean());
+    assert_eq!(matching.matched.len(), 21);
+
+    // Every renderer accepts the full trace.
+    let model = TimelineModel::build(&trace, &matching, false);
+    let ascii = render_ascii(&model, 100);
+    assert!(ascii.contains("P7"));
+    let svg = render_svg(&model, 900.0);
+    assert!(svg.contains("</svg>"));
+
+    // Graph abstractions.
+    let tg = TraceGraph::build(&trace);
+    assert!(tg.n_nodes() > 8);
+    let cg = CallGraph::project(&tg, Rank(0));
+    assert!(cg.functions.iter().any(|f| f == "MatrSend"));
+    let comm = CommGraph::build(&trace, &matching);
+    assert_eq!(comm.n_nodes(), 21);
+    let actions = ActionGraph::build(&trace);
+    assert!(!actions.of(Rank(0), "MatrSend").is_empty());
+}
+
+#[test]
+fn trace_file_roundtrip_preserves_analysis() {
+    let mut session = strassen_session(Variant::Correct);
+    session.run();
+    let trace = session.trace();
+    let file = TraceFile::new(
+        trace.records().to_vec(),
+        trace.sites().clone(),
+        trace.n_ranks(),
+    );
+    let mut buf = Vec::new();
+    write_text(&mut buf, &file).unwrap();
+    let back = read_text(Cursor::new(&buf)).unwrap().into_store();
+    assert_eq!(back.len(), trace.len());
+    let mm1 = MessageMatching::build(&trace);
+    let mm2 = MessageMatching::build(&back);
+    assert_eq!(mm1.matched.len(), mm2.matched.len());
+    // Happens-before survives the round trip.
+    let hb1 = HbIndex::build(&trace, &mm1);
+    let hb2 = HbIndex::build(&back, &mm2);
+    for id in trace.ids().take(50) {
+        assert_eq!(
+            hb1.clock(id).components(),
+            hb2.clock(id).components(),
+            "clock mismatch at {id:?}"
+        );
+    }
+}
+
+#[test]
+fn every_vertical_cut_of_a_real_trace_is_consistent() {
+    let mut session = strassen_session(Variant::Correct);
+    session.run();
+    let trace = session.trace();
+    let mm = MessageMatching::build(&trace);
+    let (lo, hi) = trace.time_bounds();
+    let step = ((hi - lo) / 64).max(1);
+    let mut t = lo;
+    while t <= hi {
+        let cut = cut_of_time(&trace, t);
+        assert!(
+            verify_cut(&trace, &mm, &cut).is_empty(),
+            "vertical cut at t={t} inconsistent"
+        );
+        t += step;
+    }
+}
+
+#[test]
+fn frontier_stoplines_on_lu_are_consistent_and_replayable() {
+    let cfg = LuConfig::default();
+    let mut session = Session::launch(
+        SessionConfig::default(),
+        Box::new(lu::factory(cfg)),
+    );
+    assert!(session.run().is_completed());
+    let trace = session.trace();
+    let mm = MessageMatching::build(&trace);
+    let hb = HbIndex::build(&trace, &mm);
+    // Select a middle receive.
+    let mid = Rank((cfg.nprocs / 2) as u32);
+    let recv = trace
+        .by_rank(mid)
+        .iter()
+        .copied()
+        .find(|&id| trace.record(id).kind == EventKind::RecvDone)
+        .unwrap();
+    let past = Stopline::past_frontier(&trace, &hb, recv);
+    let future = Stopline::future_frontier(&trace, &hb, recv);
+    assert!(past.is_consistent(&trace, &mm));
+    assert!(future.is_consistent(&trace, &mm));
+    // On every rank except the selected one, the past frontier precedes
+    // (or meets) the exclusive future cut — the concurrency region lies
+    // between them. (On the selected rank the past includes the event
+    // itself while the future cut stops just before it.)
+    for r in 0..trace.n_ranks() {
+        if Rank(r as u32) == mid {
+            continue;
+        }
+        assert!(
+            past.markers.get(Rank(r as u32)) <= future.markers.get(Rank(r as u32)),
+            "rank {r}: past {:?} future {:?}",
+            past.markers,
+            future.markers
+        );
+    }
+    // Replay to the past frontier: markers land exactly on it.
+    session.replay_to(&past);
+    assert_eq!(session.markers(), past.markers);
+
+    // Concurrency region is consistent with the frontier markers.
+    let region = ConcurrencyRegion::of(&hb, recv);
+    for id in region.concurrent_events(&trace) {
+        let f = Frontier::past_of(&trace, &hb, recv);
+        let rec = trace.record(id);
+        if let Some(m) = f.marker_of(rec.rank) {
+            assert!(rec.marker > m.count, "concurrent event inside the past");
+        }
+    }
+}
+
+#[test]
+fn replay_reproduces_timestamps_exactly() {
+    // Determinism: a replay regenerates the identical time-space diagram.
+    let cfg = PoolConfig::default();
+    let run = |policy: SchedPolicy, replay| {
+        let mut e = Engine::launch(
+            EngineConfig {
+                policy,
+                recorder: RecorderConfig::full(),
+                replay,
+                ..Default::default()
+            },
+            master_worker::programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        let recs: Vec<(u32, u64, u64, u64)> = store
+            .records()
+            .iter()
+            .map(|r| (r.rank.0, r.marker, r.t_start, r.t_end))
+            .collect();
+        (recs, e.match_log())
+    };
+    let (recs1, log) = run(SchedPolicy::Seeded(5), None);
+    let (recs2, _) = run(SchedPolicy::Seeded(777), Some(log));
+    assert_eq!(recs1, recs2, "replayed trace must be bit-identical");
+}
+
+#[test]
+fn undo_across_multiple_stops_on_ring() {
+    let cfg = RingConfig::default();
+    let mut session = Session::launch(
+        SessionConfig::default(),
+        Box::new(ring::factory(cfg)),
+    );
+    assert!(session.run().is_completed());
+    let final_markers = session.markers();
+    // Replay to an early stopline, then walk forward with global steps.
+    let trace = session.trace();
+    let sl = Stopline::vertical(&trace, trace.time_bounds().1 / 4);
+    session.replay_to(&sl);
+    let stops: Vec<MarkerVector> = (0..3)
+        .map(|_| {
+            session.step_all();
+            session.markers()
+        })
+        .collect();
+    // Undo unwinds the stops in reverse order.
+    assert!(session.undo());
+    assert_eq!(session.markers(), stops[1]);
+    assert!(session.undo());
+    assert_eq!(session.markers(), stops[0]);
+    // Continue to completion: same final state as the recording run.
+    assert!(session.continue_all().is_completed());
+    assert_eq!(session.markers(), final_markers);
+}
+
+#[test]
+fn command_interface_drives_a_session() {
+    let cfg = RingConfig {
+        nprocs: 3,
+        rounds: 2,
+        hop_cost: 1_000,
+    };
+    let session = Session::launch(
+        SessionConfig::default(),
+        Box::new(ring::factory(cfg)),
+    );
+    let mut ci = CommandInterface::new(session);
+    let transcript = ci.script(&["run", "analyze", "markers"]);
+    assert!(transcript.contains("completed"), "{transcript}");
+    assert!(transcript.contains("matched message(s)"), "{transcript}");
+    let t2 = ci.execute("stopline t 1");
+    assert!(t2.contains("stopline"), "{t2}");
+    let t3 = ci.execute("replay");
+    assert!(
+        t3.contains("stopped") || t3.contains("completed"),
+        "{t3}"
+    );
+}
+
+#[test]
+fn wildcard_completion_order_is_pinned_by_replay() {
+    let cfg = PoolConfig {
+        nprocs: 5,
+        tasks: 12,
+        base_cost: 10_000,
+    };
+    let run = |policy: SchedPolicy, replay| {
+        let mut e = Engine::launch(
+            EngineConfig {
+                policy,
+                recorder: RecorderConfig::full(),
+                replay,
+                ..Default::default()
+            },
+            master_worker::programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let s = e.trace_store();
+        (completion_order(&s), e.match_log())
+    };
+    let (o1, log) = run(SchedPolicy::Seeded(11), None);
+    let (o2, _) = run(SchedPolicy::Seeded(4242), Some(log));
+    assert_eq!(o1, o2);
+    assert_eq!(o1.len(), 12);
+}
+
+#[test]
+fn comm_only_strategy_still_supports_matching() {
+    // PMPI-style instrumentation records only communication, but the
+    // trace graph's message arcs and the matching still work.
+    let cfg = RingConfig::default();
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::comm_only()),
+        ring::programs(&cfg),
+    );
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    assert_eq!(store.of_kind(EventKind::FnEnter).len(), 0);
+    let mm = MessageMatching::build(&store);
+    assert!(mm.is_clean());
+    assert_eq!(mm.matched.len(), cfg.nprocs * cfg.rounds);
+}
+
+#[test]
+fn crash_postmortem_replay() {
+    // §4.1's opening scenario: "in a situation where a program crashes and
+    // a post-mortem debugging session sheds no light on the bug, the user
+    // can instrument the program and get an execution trace to the point
+    // of the crash ... by setting a stopline and replaying, the user can
+    // have the execution stop before the problem occurs."
+    let factory: ProgramFactory = Box::new(|| {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = ctx.site("crash.rs", 4, "main");
+            for i in 0..10i64 {
+                ctx.probe("i", i, s);
+                ctx.compute(1_000, s);
+                if i == 7 {
+                    panic!("index out of bounds at iteration {i}");
+                }
+            }
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = ctx.site("crash.rs", 20, "bystander");
+            ctx.compute(500, s);
+        });
+        vec![p0, p1]
+    });
+    let mut session = Session::launch(
+        SessionConfig {
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        factory,
+    );
+    // 1. The crash.
+    match session.run() {
+        SessionStatus::Panicked { rank, message } => {
+            assert_eq!(*rank, Rank(0));
+            assert!(message.contains("iteration 7"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // 2. The trace reaches the point of the crash.
+    let trace = session.trace();
+    assert_eq!(session.latest_probe(Rank(0), "i"), Some(7));
+    // 3. Stop before the problem occurs: one event before the end of the
+    //    crashed rank's history.
+    let final_markers = trace.final_markers();
+    let sl = Stopline {
+        markers: MarkerVector::from_counts(vec![
+            // Two events back: before the fatal iteration's probe.
+            final_markers.get(Rank(0)) - 2,
+            final_markers.get(Rank(1)),
+        ]),
+        origin: "before the crash".into(),
+    };
+    session.replay_to(&sl);
+    assert!(session.status().is_stopped(), "{:?}", session.status());
+    // The fatal iteration has not executed yet in the replay.
+    assert_eq!(session.latest_probe(Rank(0), "i"), Some(7 - 1));
+    // Standard debugging from here: one step reproduces the crash
+    // deterministically.
+    session.step(Rank(0));
+    session.step(Rank(0));
+    match session.continue_all() {
+        SessionStatus::Panicked { message, .. } => {
+            assert!(message.contains("iteration 7"), "{message}");
+        }
+        other => panic!("the replayed crash must reproduce: {other:?}"),
+    }
+}
+
+#[test]
+fn markers_only_strategy_supports_stopline_replay() {
+    // The cheapest §2.2 mode: no trace records, but replay still stops at
+    // exact markers. Record a reachable stop state by trapping rank 0
+    // mid-run, then replay to exactly that state.
+    let cfg = RingConfig::default();
+    let run_cfg = EngineConfig::with_recorder(RecorderConfig::markers_only());
+    let mut rec_engine = Engine::launch(run_cfg.clone(), ring::programs(&cfg));
+    assert!(rec_engine.run().is_completed());
+    let final_markers = rec_engine.markers();
+    let log = rec_engine.match_log();
+
+    // Trap rank 0 halfway through its events on a fresh recording run.
+    let half = final_markers.get(Rank(0)) / 2;
+    let mut stop_engine = Engine::launch(run_cfg.clone(), ring::programs(&cfg));
+    stop_engine.set_threshold(Rank(0), Some(half));
+    assert!(stop_engine.run().is_stopped());
+    let stop_state = stop_engine.markers();
+    assert_eq!(stop_state.get(Rank(0)), half);
+
+    // Replay to that exact state under forced matching.
+    let mut replay_engine = Engine::launch(
+        EngineConfig {
+            replay: Some(log),
+            ..run_cfg
+        },
+        ring::programs(&cfg),
+    );
+    replay_engine.arm_stopline(&stop_state);
+    let out = replay_engine.run();
+    assert!(out.is_stopped(), "{out:?}");
+    assert_eq!(replay_engine.markers(), stop_state);
+}
