@@ -7,8 +7,8 @@
 //! consistent, because the trace timestamps honour send-before-receive —
 //! [`cut_of_time`] + [`verify_cut`] make that checkable.
 
-use tracedbg_tracegraph::MessageMatching;
 use tracedbg_trace::{EventId, MarkerVector, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
 
 /// A message received inside the cut but sent outside it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -8,8 +8,8 @@
 //! communication construct is an uncompleted `RecvPost` are blocked; a
 //! cycle among their awaited sources is a circular wait.
 
-use tracedbg_tracegraph::MessageMatching;
 use tracedbg_trace::{EventId, Rank, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
 
 /// A circular wait found in the trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,10 +21,7 @@ pub struct CircularWait {
 }
 
 /// Detect circular waits among the trace's blocked receives.
-pub fn detect_circular_waits(
-    store: &TraceStore,
-    matching: &MessageMatching,
-) -> Vec<CircularWait> {
+pub fn detect_circular_waits(store: &TraceStore, matching: &MessageMatching) -> Vec<CircularWait> {
     let _ = store;
     use std::collections::HashMap;
     // waiter -> (awaited, post)
@@ -50,10 +47,7 @@ pub fn detect_circular_waits(
                         let mut ranks: Vec<Rank> = path[pos..].to_vec();
                         ranks.sort();
                         if !on_known_cycle.contains(&ranks[0]) {
-                            let posts = ranks
-                                .iter()
-                                .map(|r| edge[r].1)
-                                .collect();
+                            let posts = ranks.iter().map(|r| edge[r].1).collect();
                             for r in &ranks {
                                 on_known_cycle.insert(*r);
                             }

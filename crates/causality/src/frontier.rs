@@ -160,9 +160,7 @@ impl ConcurrencyRegion {
     pub fn concurrent_events(&self, store: &TraceStore) -> Vec<EventId> {
         store
             .ids()
-            .filter(|&id| {
-                id != self.event && self.classify_event(store, id) == Region::Concurrent
-            })
+            .filter(|&id| id != self.event && self.classify_event(store, id) == Region::Concurrent)
             .collect()
     }
 }
@@ -170,8 +168,8 @@ impl ConcurrencyRegion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracedbg_tracegraph::MessageMatching;
     use tracedbg_trace::{EventKind, MsgInfo, SiteTable, Tag, TraceRecord};
+    use tracedbg_tracegraph::MessageMatching;
 
     /// P0: c(1) send(2) c(3);  P1: c(1) recv(2) c(3);  P2: c(1)
     fn store() -> TraceStore {
@@ -184,7 +182,9 @@ mod tests {
         };
         let recs = vec![
             TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 10),
-            TraceRecord::basic(0u32, EventKind::Send, 2, 10).with_span(10, 12).with_msg(m),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 10)
+                .with_span(10, 12)
+                .with_msg(m),
             TraceRecord::basic(0u32, EventKind::Compute, 3, 12).with_span(12, 30),
             TraceRecord::basic(1u32, EventKind::Compute, 1, 0).with_span(0, 5),
             TraceRecord::basic(1u32, EventKind::RecvDone, 2, 5)

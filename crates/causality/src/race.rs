@@ -11,8 +11,8 @@
 //! it could never have arrived in time in any execution).
 
 use crate::hb::HbIndex;
-use tracedbg_tracegraph::MessageMatching;
 use tracedbg_trace::{EventId, EventKind, Rank, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
 
 /// One racing wildcard receive.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,16 +43,19 @@ pub fn detect_races(
         let rank = Rank(r as u32);
         let lane = store.by_rank(rank);
         // Walk posts and dones in program order, remembering the wildcard
-        // flag and tag of the pending post.
-        let mut pending: Option<(bool, i64)> = None;
+        // flag and tag of each pending post. Posts complete in post order
+        // (non-overtaking), so a FIFO pairs each done with its own post
+        // even when several receives are outstanding at once.
+        let mut pending: std::collections::VecDeque<(bool, i64)> =
+            std::collections::VecDeque::new();
         for &id in lane {
             let rec = store.record(id);
             match rec.kind {
                 EventKind::RecvPost => {
-                    pending = Some((rec.args[0] < 0, rec.args[1]));
+                    pending.push_back((rec.args[0] < 0, rec.args[1]));
                 }
                 EventKind::RecvDone => {
-                    let Some((wildcard_src, want_tag)) = pending.take() else {
+                    let Some((wildcard_src, want_tag)) = pending.pop_front() else {
                         continue;
                     };
                     if !wildcard_src {
@@ -81,9 +84,7 @@ pub fn detect_races(
                         // receive was already consumed earlier; it was not
                         // available.
                         if let Some(other) = matching.match_of_send(s) {
-                            if hb.happens_before(store, other.recv, id)
-                                || other.recv == id
-                            {
+                            if hb.happens_before(store, other.recv, id) || other.recv == id {
                                 continue;
                             }
                         }
@@ -168,8 +169,12 @@ mod tests {
         let m1 = msg(1, 0, 5, 0);
         let m2 = msg(2, 0, 5, 0);
         let recs = vec![
-            TraceRecord::basic(1u32, EventKind::Send, 1, 0).with_span(0, 2).with_msg(m1),
-            TraceRecord::basic(2u32, EventKind::Send, 1, 1).with_span(1, 3).with_msg(m2),
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+                .with_span(0, 2)
+                .with_msg(m1),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 1)
+                .with_span(1, 3)
+                .with_msg(m2),
             TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(1, 5),
             TraceRecord::basic(0u32, EventKind::RecvDone, 2, 4)
                 .with_span(4, 10)
@@ -184,8 +189,12 @@ mod tests {
         let m1 = msg(1, 0, 5, 0);
         let m2 = msg(2, 0, 6, 0); // different tag
         let recs = vec![
-            TraceRecord::basic(1u32, EventKind::Send, 1, 0).with_span(0, 2).with_msg(m1),
-            TraceRecord::basic(2u32, EventKind::Send, 1, 1).with_span(1, 3).with_msg(m2),
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+                .with_span(0, 2)
+                .with_msg(m1),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 1)
+                .with_span(1, 3)
+                .with_msg(m2),
             TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(-1, 5),
             TraceRecord::basic(0u32, EventKind::RecvDone, 2, 4)
                 .with_span(4, 10)
@@ -196,6 +205,45 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_posts_keep_their_own_specs() {
+        // Two receives are posted back-to-back before either completes:
+        // first a wildcard, then a source-specific one. The specific post
+        // must not clobber the wildcard's spec — the first RecvDone still
+        // belongs to the wildcard post and must be race-checked.
+        let m1 = msg(1, 0, 5, 0);
+        let m2 = msg(2, 0, 5, 0);
+        let recs = vec![
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+                .with_span(0, 2)
+                .with_msg(m1),
+            TraceRecord::basic(2u32, EventKind::Send, 1, 1)
+                .with_span(1, 3)
+                .with_msg(m2),
+            // Post #1: wildcard. Post #2: specifically from rank 2.
+            TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(-1, 5),
+            TraceRecord::basic(0u32, EventKind::RecvPost, 2, 5).with_args(2, 5),
+            // Done #1 completes the wildcard post with P1's message.
+            TraceRecord::basic(0u32, EventKind::RecvDone, 3, 6)
+                .with_span(6, 7)
+                .with_msg(m1),
+            // Done #2 completes the specific post.
+            TraceRecord::basic(0u32, EventKind::RecvDone, 4, 8)
+                .with_span(8, 9)
+                .with_msg(m2),
+        ];
+        let s = TraceStore::build(recs, SiteTable::new(), 3);
+        let races = analyze(&s);
+        // Exactly one race: the wildcard receive could have taken P2's
+        // message instead. Before the FIFO fix the second post overwrote
+        // the pending spec, the first done was treated as source-specific,
+        // and no race was reported.
+        assert_eq!(races.len(), 1);
+        assert_eq!(s.record(races[0].recv).marker, 3);
+        assert_eq!(races[0].alternatives.len(), 1);
+        assert_eq!(s.record(races[0].alternatives[0]).msg.unwrap().src, Rank(2));
+    }
+
+    #[test]
     fn causally_later_send_is_not_a_race() {
         // P0 wildcard-receives from P1, then sends to P2, which triggers
         // P2's send back to P0: that send could never have raced.
@@ -203,16 +251,22 @@ mod tests {
         let trigger = msg(0, 2, 9, 0);
         let m2 = msg(2, 0, 5, 0);
         let recs = vec![
-            TraceRecord::basic(1u32, EventKind::Send, 1, 0).with_span(0, 2).with_msg(m1),
+            TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+                .with_span(0, 2)
+                .with_msg(m1),
             TraceRecord::basic(0u32, EventKind::RecvPost, 1, 3).with_args(-1, 5),
             TraceRecord::basic(0u32, EventKind::RecvDone, 2, 3)
                 .with_span(3, 5)
                 .with_msg(m1),
-            TraceRecord::basic(0u32, EventKind::Send, 3, 5).with_span(5, 6).with_msg(trigger),
+            TraceRecord::basic(0u32, EventKind::Send, 3, 5)
+                .with_span(5, 6)
+                .with_msg(trigger),
             TraceRecord::basic(2u32, EventKind::RecvDone, 1, 7)
                 .with_span(7, 8)
                 .with_msg(trigger),
-            TraceRecord::basic(2u32, EventKind::Send, 2, 8).with_span(8, 9).with_msg(m2),
+            TraceRecord::basic(2u32, EventKind::Send, 2, 8)
+                .with_span(8, 9)
+                .with_msg(m2),
         ];
         let s = TraceStore::build(recs, SiteTable::new(), 3);
         assert!(analyze(&s).is_empty());

@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! The workspace uses single-consumer channels, so mpsc's restriction
+//! (a `Receiver` is not `Clone`) does not bite; `Receiver` here wraps the
+//! std receiver in a mutex so it can still be shared by reference if a
+//! future caller needs `&self` receiving from multiple threads.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (no crates-io access): the input item
+//! is parsed by a small hand-rolled walker that understands exactly the
+//! shapes this workspace uses — structs with named fields, tuple structs,
+//! and enums whose variants are unit, newtype, tuple or struct-like —
+//! plus the `#[serde(skip)]` field attribute. Generated impls target the
+//! value-tree model of the local `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------- item model
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    /// `struct S { a: T, .. }`
+    Named(Vec<Field>),
+    /// `struct S(T, ..);` — arity only, newtypes serialize transparently.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generics tokens between `<` and `>`, e.g. `'a`.
+    generics: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Does a `#[...]` attribute group mark a serde skip?
+fn attr_is_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut skip = false;
+    while pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        skip |= attr_is_skip(g);
+        pos += 2;
+    }
+    (pos, skip)
+}
+
+/// Consume an optional `pub` / `pub(..)` visibility.
+fn eat_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Skip a type (or any token run) up to a top-level comma, tracking `<>`
+/// depth so commas inside generic arguments do not split fields.
+fn skip_to_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle: i32 = 0;
+    while pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return pos,
+                _ => {}
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// Count the top-level comma-separated entries of a tuple body.
+fn tuple_arity(body: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (p, _) = eat_attrs(&tokens, pos);
+        let p = eat_vis(&tokens, p);
+        if p >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        pos = skip_to_comma(&tokens, p) + 1;
+    }
+    arity
+}
+
+/// Parse `{ attrs vis name : Type, .. }` named fields.
+fn parse_named_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (p, skip) = eat_attrs(&tokens, pos);
+        let p = eat_vis(&tokens, p);
+        let Some(TokenTree::Ident(name)) = tokens.get(p) else {
+            break;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+        // name, ':', then the type up to the next top-level comma.
+        pos = skip_to_comma(&tokens, p + 2) + 1;
+    }
+    fields
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (p, _) = eat_attrs(&tokens, pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(p) else {
+            break;
+        };
+        let name = name.to_string();
+        let mut p = p + 1;
+        let shape = match tokens.get(p) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                p += 1;
+                VariantShape::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                p += 1;
+                VariantShape::Named(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip a possible discriminant and the separating comma.
+        pos = skip_to_comma(&tokens, p) + 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut pos, _) = eat_attrs(&tokens, 0);
+    pos = eat_vis(&tokens, pos);
+    let is_enum = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    // Optional generics: capture raw tokens between the angle brackets.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            pos += 1;
+            let mut depth = 1;
+            while pos < tokens.len() {
+                if let TokenTree::Punct(p) = &tokens[pos] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                match &tokens[pos] {
+                    // Keep joint punctuation (e.g. the `'` of a lifetime)
+                    // glued to the following token, or the re-parse fails.
+                    TokenTree::Punct(p) => {
+                        generics.push(p.as_char());
+                        if p.spacing() == proc_macro::Spacing::Alone {
+                            generics.push(' ');
+                        }
+                    }
+                    t => {
+                        generics.push_str(&t.to_string());
+                        generics.push(' ');
+                    }
+                }
+                pos += 1;
+            }
+        }
+    }
+    let shape = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(g))
+            } else {
+                Shape::Named(parse_named_fields(g))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(tuple_arity(g))
+        }
+        other => panic!("serde_derive: unsupported item body {other:?}"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        format!(
+            "impl<{g}> ::serde::{trait_name} for {}<{g}> ",
+            item.name,
+            g = item.generics
+        )
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s =
+                String::from("let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "pairs.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(pairs)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{v}]))]),\n",
+                            b = binds.join(", "),
+                            v = vals.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "inner.push((\"{0}\".to_string(), \
+                                     ::serde::Serialize::to_value({0})));",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{\n\
+                             let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n{p}\n\
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(inner))]) }},\n",
+                            b = binds.join(", "),
+                            p = pushes.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "{header}{{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(&item, "Serialize")
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `field: <decode field "f">` expression for named-field construction.
+fn named_field_inits(type_name: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value({source}.get(\"{0}\")\
+                 .unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| ::serde::Error::msg(\
+                 format!(\"field `{0}` of {type_name}: {{e}}\")))?,\n",
+                f.name
+            ));
+        }
+    }
+    inits
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits = named_field_inits(name, fields, "v");
+            format!(
+                "if v.as_object().is_none() {{\n\
+                 return Err(::serde::Error::msg(format!(\
+                 \"expected object for {name}, got {{}}\", v.kind())));\n}}\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::Error::msg(\"wrong arity for {name}\"));\n}}\n\
+                 Ok({name}({gets}))",
+                gets = gets.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(val)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = val.as_array().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected array for {name}::{vn}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\"));\n}}\n\
+                             Ok({name}::{vn}({gets}))\n}},\n",
+                            gets = gets.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits = named_field_inits(&format!("{name}::{vn}"), fields, "val");
+                        data_arms
+                            .push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant {{other:?}} of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, val) = &pairs[0];\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant {{other:?}} of {name}\"))),\n}}\n}},\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"expected variant of {name}, got {{}}\", other.kind()))),\n}}"
+            )
+        }
+    };
+    let header = if item.generics.is_empty() {
+        format!("impl ::serde::Deserialize for {name} ")
+    } else {
+        format!(
+            "impl<{g}> ::serde::Deserialize for {name}<{g}> ",
+            g = item.generics
+        )
+    };
+    let out = format!(
+        "{header}{{\n fn from_value(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

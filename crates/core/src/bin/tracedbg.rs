@@ -7,6 +7,7 @@
 //! tracedbg report <trace.trc> -o report.html
 //! tracedbg graph <trace.trc> --kind comm|call|trace [--format dot|vcg] [--rank N]
 //! tracedbg debug <workload> [--seed N] [--procs N] [-e CMD]...
+//! tracedbg lint <trace.trc | script:path> [--procs N] [--json] [--rules SPEC]
 //! tracedbg workloads
 //! ```
 //!
@@ -21,8 +22,8 @@
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use tracedbg::prelude::*;
-use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::trace::file::{read_binary, write_binary};
+use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::tracegraph::{ActionGraph, Profile};
 use tracedbg::viz::{dot, vcg};
 use tracedbg::workloads::{heat, lu, master_worker, random_comm, ring, script, strassen};
@@ -62,6 +63,11 @@ impl Opts {
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Was the flag given at all (with or without a value)?
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
@@ -143,10 +149,7 @@ fn workload_factory(
                 let t: usize = t.parse().map_err(|_| format!("bad transfer count {t:?}"))?;
                 let nprocs = procs.max(2);
                 let pat = random_comm::generate(seed, nprocs, t);
-                (
-                    Box::new(move || random_comm::programs(&pat, seed)),
-                    nprocs,
-                )
+                (Box::new(move || random_comm::programs(&pat, seed)), nprocs)
             } else if let Some(path) = other.strip_prefix("script:") {
                 let src = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -331,7 +334,12 @@ fn cmd_debug(opts: &Opts) -> Result<(), String> {
         print!("(tracedbg) ");
         std::io::stdout().flush().ok();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
             break;
         }
         let line = line.trim();
@@ -353,11 +361,61 @@ fn cmd_debug(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `tracedbg lint` — run the correctness checker over a recorded trace
+/// (post-mortem front end) or a workload script (pre-execution front end).
+/// Exits non-zero when any error-severity diagnostic is found.
+fn cmd_lint(opts: &Opts) -> Result<ExitCode, String> {
+    use tracedbg::lint::{self, report};
+
+    let input = opts.positional.first().ok_or(
+        "usage: tracedbg lint <trace.trc | trace.tbin | script:path> \
+         [--procs N] [--json] [--rules SPEC]\n\
+         SPEC: comma-separated rule IDs to run, or -ID entries to skip \
+         (e.g. --rules TDL001,TDL005 or --rules -SDL105).\n\
+         `tracedbg lint rules` lists the catalog.",
+    )?;
+    if input == "rules" {
+        for info in lint::rule_catalog() {
+            println!(
+                "{}  {:<7}  {:<6}  {}",
+                info.id,
+                info.severity.to_string(),
+                info.front_end,
+                info.description
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let cfg = match opts.flag("rules") {
+        Some(spec) => lint::LintConfig::from_spec(spec),
+        None => lint::LintConfig::default(),
+    };
+    let diags = if let Some(path) = input.strip_prefix("script:") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let parsed = script::parse(&src).map_err(|e| e.to_string())?;
+        let nprocs = opts.num("procs", 8usize).max(2);
+        lint::lint_script(&parsed, nprocs, path, &cfg)
+    } else {
+        let store = load_store(input)?;
+        lint::lint_trace(&store, &cfg)
+    };
+    if opts.has("json") {
+        println!("{}", report::render_json(&diags));
+    } else {
+        print!("{}", report::render_human(&diags));
+    }
+    Ok(if report::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|view|analyze|report|graph|debug|workloads> ...\n\
+            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -370,6 +428,15 @@ fn main() -> ExitCode {
         "report" => cmd_report(&opts),
         "graph" => cmd_graph(&opts),
         "debug" => cmd_debug(&opts),
+        "lint" => {
+            return match cmd_lint(&opts) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         "workloads" => {
             println!(
                 "strassen       distributed Strassen multiply (8 procs, correct)\n\

@@ -45,6 +45,7 @@
 //! | [`mpsim`] | `tracedbg-mpsim` | runtime substrate + §4.2 record/replay |
 //! | [`tracegraph`] | `tracedbg-tracegraph` | §3.2, §4.3: trace/call/comm/action graphs |
 //! | [`causality`] | `tracedbg-causality` | §4.1: happens-before, frontiers, races |
+//! | [`lint`] | `tracedbg-lint` | §4.4: rule-based communication supervision |
 //! | [`debugger`] | `tracedbg-debugger` | §4: stoplines, replay, undo, analysis |
 //! | [`viz`] | `tracedbg-viz` | §3.1: NTV/VK time-space diagrams, DOT/VCG |
 //! | [`workloads`] | `tracedbg-workloads` | evaluation programs (Strassen, fib, LU) |
@@ -52,6 +53,7 @@
 pub use tracedbg_causality as causality;
 pub use tracedbg_debugger as debugger;
 pub use tracedbg_instrument as instrument;
+pub use tracedbg_lint as lint;
 pub use tracedbg_mpsim as mpsim;
 pub use tracedbg_trace as trace;
 pub use tracedbg_tracegraph as tracegraph;
@@ -66,12 +68,11 @@ pub mod prelude {
         Stopline,
     };
     pub use tracedbg_instrument::{RecorderConfig, Strategy};
+    pub use tracedbg_lint::{lint_script, lint_trace, Diagnostic, LintConfig, Severity};
     pub use tracedbg_mpsim::{
         CostModel, Engine, EngineConfig, Payload, ProcessCtx, ProgramFn, RunOutcome, SchedPolicy,
     };
-    pub use tracedbg_trace::{
-        EventKind, Marker, MarkerVector, Rank, Tag, TraceRecord, TraceStore,
-    };
+    pub use tracedbg_trace::{EventKind, Marker, MarkerVector, Rank, Tag, TraceRecord, TraceStore};
     pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
     pub use tracedbg_viz::{render_ascii, render_svg, NtvView, TimelineModel, VkView};
 }

@@ -7,8 +7,10 @@
 
 use std::fmt;
 use tracedbg_causality::{detect_circular_waits, detect_races, CircularWait, HbIndex, MessageRace};
-use tracedbg_tracegraph::{find_intertwined, Intertwining, MessageMatching, UnmatchedRecv, UnmatchedSend};
 use tracedbg_trace::{Rank, TraceStore};
+use tracedbg_tracegraph::{
+    find_intertwined, Intertwining, MessageMatching, UnmatchedRecv, UnmatchedSend,
+};
 
 /// Everything §4.4 reports about a trace.
 pub struct HistoryReport {
@@ -135,7 +137,9 @@ mod tests {
     fn clean_history() {
         let m = msg(0, 1, 0);
         let recs = vec![
-            TraceRecord::basic(0u32, EventKind::Send, 1, 0).with_span(0, 1).with_msg(m),
+            TraceRecord::basic(0u32, EventKind::Send, 1, 0)
+                .with_span(0, 1)
+                .with_msg(m),
             TraceRecord::basic(1u32, EventKind::RecvPost, 1, 2).with_args(0, 1),
             TraceRecord::basic(1u32, EventKind::RecvDone, 2, 2)
                 .with_span(2, 3)

@@ -124,8 +124,7 @@ impl CommandInterface {
                 Err(_) => format!("error: bad time {t:?}"),
             },
             ["stopline", "markers", rest @ ..] => {
-                let counts: Result<Vec<u64>, _> =
-                    rest.iter().map(|s| s.parse::<u64>()).collect();
+                let counts: Result<Vec<u64>, _> = rest.iter().map(|s| s.parse::<u64>()).collect();
                 match counts {
                     Ok(c) if c.len() == self.session.n_ranks() => {
                         let sl = Stopline {
@@ -147,11 +146,7 @@ impl CommandInterface {
             ["replay"] => match self.pending.clone() {
                 Some(sl) => {
                     self.session.replay_to(&sl);
-                    format!(
-                        "> replay (stopline {})\n{}",
-                        sl.origin,
-                        self.status_line()
-                    )
+                    format!("> replay (stopline {})\n{}", sl.origin, self.status_line())
                 }
                 None => "error: no stopline set".into(),
             },
@@ -239,9 +234,7 @@ impl CommandInterface {
                         Err(_) => return format!("error: bad tag {t:?}"),
                     },
                     ["fn", name] => EventQuery::new().in_function(*name),
-                    ["probe", label] => {
-                        EventQuery::new().kind(EventKind::Probe).label(*label)
-                    }
+                    ["probe", label] => EventQuery::new().kind(EventKind::Probe).label(*label),
                     _ => {
                         return "error: find <send to N | send from N | recv on N | \
                                 tag T | fn NAME | probe LABEL>"
@@ -284,7 +277,10 @@ impl CommandInterface {
                         any = true;
                         out.push_str(&format!(
                             "\n  P{} <- P{} tag{} #{} ({} bytes) undelivered",
-                            rank, m.src, m.tag, m.seq,
+                            rank,
+                            m.src,
+                            m.tag,
+                            m.seq,
                             m.payload.len()
                         ));
                     }

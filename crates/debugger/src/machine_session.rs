@@ -68,11 +68,7 @@ pub struct MachineSession {
 
 impl MachineSession {
     /// Launch with a checkpoint every `interval` machine steps.
-    pub fn launch(
-        factory: MachineFactory,
-        recorder: RecorderConfig,
-        interval: usize,
-    ) -> Self {
+    pub fn launch(factory: MachineFactory, recorder: RecorderConfig, interval: usize) -> Self {
         let engine = MachineEngine::new(
             factory(),
             recorder.clone(),
@@ -137,9 +133,7 @@ impl MachineSession {
         // after rewinds insert checkpoints "in the past".
         let total = |c: &Checkpoint| c.at.counts().iter().sum::<u64>();
         let t = total(&cp);
-        let pos = self
-            .checkpoints
-            .partition_point(|c| total(c) < t);
+        let pos = self.checkpoints.partition_point(|c| total(c) < t);
         // Skip duplicates of an already-retained instant.
         if self.checkpoints.get(pos).map(|c| &c.at) == Some(&cp.at)
             || (pos > 0 && self.checkpoints[pos - 1].at == cp.at)
@@ -213,9 +207,8 @@ impl MachineSession {
             .map(|(t, h)| t.saturating_sub(*h))
             .sum::<u64>();
         if &here == target {
-            self.status = MachineSessionStatus::Stopped(
-                here.iter().filter(|m| m.count > 0).collect(),
-            );
+            self.status =
+                MachineSessionStatus::Stopped(here.iter().filter(|m| m.count > 0).collect());
             self.undo.push(here);
             return &self.status;
         }
@@ -329,10 +322,8 @@ mod tests {
         assert!(s.run().is_completed());
         let end = s.markers();
         // Jump back to ~75% of rank 0's history.
-        let target = MarkerVector::from_counts(vec![
-            end.get(Rank(0)) * 3 / 4,
-            end.get(Rank(1)) * 3 / 4,
-        ]);
+        let target =
+            MarkerVector::from_counts(vec![end.get(Rank(0)) * 3 / 4, end.get(Rank(1)) * 3 / 4]);
         s.steps_replayed = 0;
         assert!(s.replay_to(&target).is_stopped());
         assert_eq!(s.markers(), target);
@@ -350,14 +341,9 @@ mod tests {
         let mut s = MachineSession::launch(factory(300), RecorderConfig::markers_only(), 40);
         assert!(s.run().is_completed());
         let end = s.markers();
-        let early = MarkerVector::from_counts(vec![
-            end.get(Rank(0)) / 4,
-            end.get(Rank(1)) / 4,
-        ]);
-        let late = MarkerVector::from_counts(vec![
-            end.get(Rank(0)) * 3 / 4,
-            end.get(Rank(1)) * 3 / 4,
-        ]);
+        let early = MarkerVector::from_counts(vec![end.get(Rank(0)) / 4, end.get(Rank(1)) / 4]);
+        let late =
+            MarkerVector::from_counts(vec![end.get(Rank(0)) * 3 / 4, end.get(Rank(1)) * 3 / 4]);
         assert!(s.replay_to(&early).is_stopped());
         assert_eq!(s.markers(), early);
         // Forward jump: a post-rewind checkpoint at ≤ late must be reused.
@@ -405,9 +391,7 @@ mod tests {
         let end = s.markers();
         let total: u64 = end.counts().iter().sum();
         // A short jump back (2% of history) must not replay the world.
-        let target = MarkerVector::from_counts(
-            end.counts().iter().map(|c| c * 98 / 100).collect(),
-        );
+        let target = MarkerVector::from_counts(end.counts().iter().map(|c| c * 98 / 100).collect());
         let distance = total - target.counts().iter().sum::<u64>();
         s.steps_replayed = 0;
         assert!(s.replay_to(&target).is_stopped());

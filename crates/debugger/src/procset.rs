@@ -95,7 +95,11 @@ impl ProcSets {
     /// Set difference `a \ b`.
     pub fn difference(&self, a: &str, b: &str) -> Result<BTreeSet<Rank>, String> {
         let sb = self.parse(b)?;
-        Ok(self.parse(a)?.into_iter().filter(|r| !sb.contains(r)).collect())
+        Ok(self
+            .parse(a)?
+            .into_iter()
+            .filter(|r| !sb.contains(r))
+            .collect())
     }
 }
 
@@ -154,10 +158,7 @@ mod tests {
         s.define("crew", "workers").unwrap();
         assert_eq!(s.parse("crew").unwrap().len(), 7);
         assert_eq!(s.union("odd", "0").unwrap(), ranks(&[0, 1, 3, 5, 7]));
-        assert_eq!(
-            s.difference("workers", "odd").unwrap(),
-            ranks(&[2, 4, 6])
-        );
+        assert_eq!(s.difference("workers", "odd").unwrap(), ranks(&[2, 4, 6]));
         assert!(s.remove("crew"));
         assert!(!s.remove("crew"));
         assert_eq!(s.names(), vec!["odd", "workers"]);
@@ -167,7 +168,10 @@ mod tests {
     fn reserved_and_ambiguous_names_rejected() {
         let mut s = ProcSets::new(4);
         assert!(s.define("all", "0").is_err());
-        assert!(s.define("p1", "0").is_err(), "digit-bearing names clash with specs");
+        assert!(
+            s.define("p1", "0").is_err(),
+            "digit-bearing names clash with specs"
+        );
         assert!(s.define("workers", "0-2").is_ok());
     }
 

@@ -9,11 +9,10 @@
 
 use crate::stopline::Stopline;
 use crate::undo::UndoStack;
-use tracedbg_mpsim::{
-    CostModel, Engine, EngineConfig, ProgramFn, RecorderConfig, ReplayLog, RunOutcome,
-    SchedPolicy,
-};
 use tracedbg_mpsim::DeadlockReport;
+use tracedbg_mpsim::{
+    CostModel, Engine, EngineConfig, ProgramFn, RecorderConfig, ReplayLog, RunOutcome, SchedPolicy,
+};
 use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
 /// Recreates the target program for each (re-)execution.
@@ -39,7 +38,10 @@ pub enum SessionStatus {
     },
     Completed,
     Deadlocked(DeadlockReport),
-    Panicked { rank: Rank, message: String },
+    Panicked {
+        rank: Rank,
+        message: String,
+    },
 }
 
 impl SessionStatus {
@@ -170,8 +172,7 @@ impl Session {
             let rank = Rank(r as u32);
             if ranks.contains(&rank) {
                 if !self.engine.is_finished(rank) {
-                    self.engine
-                        .set_threshold(rank, Some(markers.get(rank) + 1));
+                    self.engine.set_threshold(rank, Some(markers.get(rank) + 1));
                 }
                 self.engine.resume_rank(rank);
             } else {
@@ -314,8 +315,7 @@ impl Session {
             .rev()
             .map(|&id| store.record(id).clone())
             .find(|r: &TraceRecord| {
-                r.kind == tracedbg_trace::EventKind::Probe
-                    && r.label.as_deref() == Some(label)
+                r.kind == tracedbg_trace::EventKind::Probe && r.label.as_deref() == Some(label)
             })
             .map(|r| r.args[0])
     }
@@ -375,12 +375,7 @@ impl Session {
     }
 
     /// Arm a watchpoint on a probe label (all ranks if `rank` is `None`).
-    pub fn watch(
-        &mut self,
-        rank: Option<Rank>,
-        label: &str,
-        cond: tracedbg_instrument::WatchCond,
-    ) {
+    pub fn watch(&mut self, rank: Option<Rank>, label: &str, cond: tracedbg_instrument::WatchCond) {
         self.engine
             .add_watch(rank, tracedbg_instrument::Watch::new(label, cond));
     }

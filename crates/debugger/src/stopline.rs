@@ -19,8 +19,8 @@
 //! currently implemented" in p2d2.)
 
 use tracedbg_causality::{verify_cut, Frontier, HbIndex};
-use tracedbg_tracegraph::MessageMatching;
 use tracedbg_trace::{EventId, Marker, MarkerVector, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
 
 /// A consistent set of per-process stop markers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -101,7 +101,9 @@ mod tests {
         };
         let recs = vec![
             TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 10),
-            TraceRecord::basic(0u32, EventKind::Send, 2, 10).with_span(10, 12).with_msg(m),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 10)
+                .with_span(10, 12)
+                .with_msg(m),
             TraceRecord::basic(0u32, EventKind::Compute, 3, 12).with_span(12, 30),
             TraceRecord::basic(1u32, EventKind::Compute, 1, 0).with_span(0, 5),
             TraceRecord::basic(1u32, EventKind::RecvDone, 2, 5)

@@ -137,7 +137,10 @@ mod tests {
     fn site_breakpoint_fires() {
         let mut b = BreakSet::new();
         b.add_site(SiteId(5));
-        assert_eq!(b.test_site(SiteId(5)), Some(TrapCause::Breakpoint(SiteId(5))));
+        assert_eq!(
+            b.test_site(SiteId(5)),
+            Some(TrapCause::Breakpoint(SiteId(5)))
+        );
         assert_eq!(b.test_site(SiteId(6)), None);
         b.remove_site(SiteId(5));
         assert_eq!(b.test_site(SiteId(5)), None);
@@ -147,7 +150,10 @@ mod tests {
     fn watch_change_needs_two_samples() {
         let mut b = BreakSet::new();
         b.add_watch(Watch::new("x", WatchCond::Change));
-        assert!(b.test_probe(SiteId(0), "x", 1).is_none(), "first sample arms");
+        assert!(
+            b.test_probe(SiteId(0), "x", 1).is_none(),
+            "first sample arms"
+        );
         assert!(b.test_probe(SiteId(0), "x", 1).is_none(), "no change");
         let t = b.test_probe(SiteId(0), "x", 2);
         assert_eq!(

@@ -76,8 +76,8 @@ impl ConstructFilter {
         }
         // Comm + lifecycle records ignore the allowlist: without them the
         // trace graph loses its message arcs.
-        let structural = kind.is_comm()
-            || matches!(kind, EventKind::ProcStart | EventKind::ProcEnd);
+        let structural =
+            kind.is_comm() || matches!(kind, EventKind::ProcStart | EventKind::ProcEnd);
         if !structural && !self.site_allowlist.is_empty() {
             return self.site_allowlist.contains(&site);
         }

@@ -66,9 +66,7 @@ impl Recorder {
         if self.is_off() {
             return (0, Disposition::Continue);
         }
-        let threshold_hit = self
-            .monitor
-            .invoke(rec.site, rec.args[0], rec.args[1]);
+        let threshold_hit = self.monitor.invoke(rec.site, rec.args[0], rec.args[1]);
         let marker = self.monitor.counter();
         rec.marker = marker;
         self.accounting.count(rec.kind);
@@ -80,11 +78,8 @@ impl Recorder {
         };
         if cause.is_none() && !self.breaks.is_empty() {
             cause = if rec.kind == EventKind::Probe {
-                self.breaks.test_probe(
-                    rec.site,
-                    rec.label.as_deref().unwrap_or(""),
-                    rec.args[0],
-                )
+                self.breaks
+                    .test_probe(rec.site, rec.label.as_deref().unwrap_or(""), rec.args[0])
             } else {
                 self.breaks.test_site(rec.site)
             };
@@ -92,8 +87,7 @@ impl Recorder {
         let keep = match self.config.strategy {
             Strategy::Full => self.config.filter.selects(rec.kind, rec.site),
             Strategy::CommOnly => {
-                rec.kind.is_comm()
-                    || matches!(rec.kind, EventKind::ProcStart | EventKind::ProcEnd)
+                rec.kind.is_comm() || matches!(rec.kind, EventKind::ProcStart | EventKind::ProcEnd)
             }
             Strategy::MarkersOnly => false,
             Strategy::Off => false,

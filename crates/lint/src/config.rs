@@ -1,0 +1,90 @@
+//! Rule selection.
+
+use crate::diag::RuleId;
+use std::collections::BTreeSet;
+
+/// Which rules run. Default: all of them.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    disabled: BTreeSet<String>,
+    /// When set, only these rules run (takes precedence over `disabled`).
+    only: Option<BTreeSet<String>>,
+}
+
+impl LintConfig {
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Disable one rule by ID.
+    pub fn disable(mut self, id: impl Into<String>) -> Self {
+        self.disabled.insert(id.into());
+        self
+    }
+
+    /// Restrict the run to exactly these rules.
+    pub fn only(mut self, ids: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.only = Some(ids.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Parse a CLI spec: a comma-separated list of rule IDs, each
+    /// optionally prefixed with `-` to disable it instead. A spec with
+    /// any non-negated ID becomes an allow-list.
+    pub fn from_spec(spec: &str) -> Self {
+        let mut cfg = LintConfig::new();
+        let mut allow = BTreeSet::new();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(id) = part.strip_prefix('-') {
+                cfg.disabled.insert(id.to_string());
+            } else {
+                allow.insert(part.to_string());
+            }
+        }
+        if !allow.is_empty() {
+            cfg.only = Some(allow);
+        }
+        cfg
+    }
+
+    pub fn is_enabled(&self, id: RuleId) -> bool {
+        if let Some(only) = &self.only {
+            return only.contains(id.as_str());
+        }
+        !self.disabled.contains(id.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let cfg = LintConfig::new();
+        assert!(cfg.is_enabled(RuleId("TDL001")));
+        assert!(cfg.is_enabled(RuleId("SDL999")));
+    }
+
+    #[test]
+    fn disable_and_only() {
+        let cfg = LintConfig::new().disable("TDL004");
+        assert!(!cfg.is_enabled(RuleId("TDL004")));
+        assert!(cfg.is_enabled(RuleId("TDL001")));
+
+        let cfg = LintConfig::new().only(["TDL001", "TDL002"]);
+        assert!(cfg.is_enabled(RuleId("TDL002")));
+        assert!(!cfg.is_enabled(RuleId("TDL005")));
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let cfg = LintConfig::from_spec("-TDL005");
+        assert!(!cfg.is_enabled(RuleId("TDL005")));
+        assert!(cfg.is_enabled(RuleId("TDL001")));
+
+        let cfg = LintConfig::from_spec("TDL001, SDL102");
+        assert!(cfg.is_enabled(RuleId("SDL102")));
+        assert!(!cfg.is_enabled(RuleId("TDL002")));
+    }
+}

@@ -1,0 +1,146 @@
+//! Structured diagnostics emitted by lint rules.
+//!
+//! Every finding carries a stable rule ID (`TDL...` for trace rules,
+//! `SDL...` for script rules), a severity, the events or source location
+//! it anchors to, and — where the rule can tell — a suggested fix. The
+//! shape deliberately mirrors compiler diagnostics so reports stay useful
+//! both for humans (`report::render_human`) and tools (`--json`).
+
+use serde::Serialize;
+use std::fmt;
+
+/// Stable identifier of a lint rule, e.g. `TDL001`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct RuleId(pub &'static str);
+
+impl RuleId {
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// Definite correctness problem (lost message, deadlock, mismatch).
+    Error,
+    /// Suspicious but potentially intended (race, self-send).
+    Warning,
+    /// Informational observation.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// Source location a diagnostic points at.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Loc {
+    pub file: String,
+    pub line: u32,
+    pub func: String,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} ({})", self.file, self.line, self.func)
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, Serialize)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    pub severity: Severity,
+    /// Rank the finding is about, when it concerns a single process.
+    pub rank: Option<u32>,
+    /// Trace event ids involved (empty for script findings).
+    pub events: Vec<u32>,
+    /// Source location, when the trace site table or script line knows it.
+    pub loc: Option<Loc>,
+    pub message: String,
+    /// Actionable follow-up, when the rule can propose one.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(rule: RuleId, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            rank: None,
+            events: Vec::new(),
+            loc: None,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub fn with_rank(mut self, rank: u32) -> Self {
+        self.rank = Some(rank);
+        self
+    }
+
+    pub fn with_events(mut self, events: impl IntoIterator<Item = u32>) -> Self {
+        self.events.extend(events);
+        self
+    }
+
+    pub fn with_loc(mut self, loc: Loc) -> Self {
+        self.loc = Some(loc);
+        self
+    }
+
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.rule)?;
+        if let Some(r) = self.rank {
+            write!(f, " rank {r}")?;
+        }
+        if let Some(loc) = &self.loc {
+            write!(f, " at {loc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_and_rank() {
+        let d = Diagnostic::new(RuleId("TDL001"), Severity::Error, "boom").with_rank(3);
+        let s = d.to_string();
+        assert!(s.contains("TDL001") && s.contains("rank 3") && s.contains("boom"));
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+    }
+}

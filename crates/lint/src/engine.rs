@@ -1,0 +1,146 @@
+//! The rule engine: shared analysis context, rule registry, entry points.
+//!
+//! Two front ends share one diagnostic pipeline. The post-mortem front end
+//! builds the expensive trace indices (message matching, happens-before)
+//! once and hands every registered [`TraceRule`] the same context — this is
+//! the paper's "history analysis" recast as a batch of checkers. The
+//! pre-execution front end walks a parsed workload script per rank without
+//! running it, so the same class of mistakes is caught before any trace
+//! exists.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Loc, RuleId, Severity};
+use crate::{script_rules, trace_rules};
+use tracedbg_causality::HbIndex;
+use tracedbg_trace::{EventId, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_workloads::script::Script;
+
+/// Everything a trace rule may consult, built once per run.
+pub struct TraceCx<'a> {
+    pub store: &'a TraceStore,
+    pub matching: MessageMatching,
+    pub hb: HbIndex,
+}
+
+impl<'a> TraceCx<'a> {
+    pub fn build(store: &'a TraceStore) -> Self {
+        let matching = MessageMatching::build(store);
+        let hb = HbIndex::build(store, &matching);
+        TraceCx {
+            store,
+            matching,
+            hb,
+        }
+    }
+
+    /// Resolve an event's source location through the site table.
+    pub fn loc_of(&self, id: EventId) -> Option<Loc> {
+        let rec = self.store.record(id);
+        self.store.sites().resolve(rec.site).map(|s| Loc {
+            file: s.file,
+            line: s.line,
+            func: s.func,
+        })
+    }
+}
+
+/// Everything a script rule may consult.
+pub struct ScriptCx<'a> {
+    pub script: &'a Script,
+    pub nprocs: usize,
+    /// File name used in diagnostics.
+    pub file: &'a str,
+}
+
+/// A post-mortem checker over a recorded trace.
+pub trait TraceRule {
+    fn id(&self) -> RuleId;
+    fn severity(&self) -> Severity;
+    fn description(&self) -> &'static str;
+    fn check(&self, cx: &TraceCx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A pre-execution checker over a parsed workload script.
+pub trait ScriptRule {
+    fn id(&self) -> RuleId;
+    fn severity(&self) -> Severity;
+    fn description(&self) -> &'static str;
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// One row of the rule catalog.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    pub id: RuleId,
+    pub severity: Severity,
+    pub description: &'static str,
+    /// `"trace"` or `"script"`.
+    pub front_end: &'static str,
+}
+
+/// Every registered rule, for `--rules` listings and the README table.
+pub fn rule_catalog() -> Vec<RuleInfo> {
+    let mut out: Vec<RuleInfo> = trace_rules::all()
+        .iter()
+        .map(|r| RuleInfo {
+            id: r.id(),
+            severity: r.severity(),
+            description: r.description(),
+            front_end: "trace",
+        })
+        .collect();
+    out.extend(script_rules::all().iter().map(|r| RuleInfo {
+        id: r.id(),
+        severity: r.severity(),
+        description: r.description(),
+        front_end: "script",
+    }));
+    out.sort_by_key(|r| r.id);
+    out
+}
+
+fn finish(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| {
+        (a.severity, a.rule, a.rank, &a.events, &a.message)
+            .cmp(&(b.severity, b.rule, b.rank, &b.events, &b.message))
+    });
+    diags.dedup_by(|a, b| {
+        a.rule == b.rule && a.rank == b.rank && a.events == b.events && a.message == b.message
+    });
+    diags
+}
+
+/// Run every enabled trace rule over a recorded trace.
+pub fn lint_trace(store: &TraceStore, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let cx = TraceCx::build(store);
+    let mut diags = Vec::new();
+    for rule in trace_rules::all() {
+        if cfg.is_enabled(rule.id()) {
+            rule.check(&cx, &mut diags);
+        }
+    }
+    finish(diags)
+}
+
+/// Run every enabled script rule over a parsed workload script, as it
+/// would execute with `nprocs` processes.
+pub fn lint_script(
+    script: &Script,
+    nprocs: usize,
+    file: &str,
+    cfg: &LintConfig,
+) -> Vec<Diagnostic> {
+    let cx = ScriptCx {
+        script,
+        nprocs,
+        file,
+    };
+    let mut diags = Vec::new();
+    for rule in script_rules::all() {
+        if cfg.is_enabled(rule.id()) {
+            rule.check(&cx, &mut diags);
+        }
+    }
+    finish(diags)
+}

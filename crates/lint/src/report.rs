@@ -1,0 +1,100 @@
+//! Rendering diagnostics for humans and for tools.
+
+use crate::diag::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// True when any diagnostic is an error (drives the CLI exit code).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// One-line totals, e.g. `2 errors, 1 warning`.
+pub fn summary_line(diags: &[Diagnostic]) -> String {
+    let count = |sev: Severity| diags.iter().filter(|d| d.severity == sev).count();
+    let (e, w, i) = (
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+    );
+    if e + w + i == 0 {
+        return "clean: no diagnostics".to_string();
+    }
+    let plural = |n: usize, word: &str| {
+        if n == 1 {
+            format!("1 {word}")
+        } else {
+            format!("{n} {word}s")
+        }
+    };
+    let mut parts = Vec::new();
+    if e > 0 {
+        parts.push(plural(e, "error"));
+    }
+    if w > 0 {
+        parts.push(plural(w, "warning"));
+    }
+    if i > 0 {
+        parts.push(plural(i, "info"));
+    }
+    parts.join(", ")
+}
+
+/// Multi-line human-readable report with suggestions and a summary.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+        if !d.events.is_empty() {
+            let ids: Vec<String> = d.events.iter().map(|e| format!("#{e}")).collect();
+            let _ = writeln!(out, "    events: {}", ids.join(", "));
+        }
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "    help: {s}");
+        }
+    }
+    let _ = writeln!(out, "{}", summary_line(diags));
+    out
+}
+
+/// JSON array of diagnostics (`tracedbg lint --json`).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    serde_json::to_string(&diags.to_vec()).expect("diagnostics always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, RuleId, Severity};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(RuleId("TDL001"), Severity::Error, "lost message")
+                .with_rank(1)
+                .with_events([4u32])
+                .with_suggestion("add a receive"),
+            Diagnostic::new(RuleId("TDL005"), Severity::Warning, "race"),
+        ]
+    }
+
+    #[test]
+    fn human_report_mentions_everything() {
+        let s = render_human(&sample());
+        assert!(s.contains("TDL001"));
+        assert!(s.contains("help: add a receive"));
+        assert!(s.contains("1 error, 1 warning"));
+    }
+
+    #[test]
+    fn json_is_an_array_with_rules() {
+        let s = render_json(&sample());
+        assert!(s.starts_with('['));
+        assert!(s.contains("\"rule\":\"TDL001\""));
+        assert!(s.contains("\"severity\":\"Warning\""));
+    }
+
+    #[test]
+    fn clean_summary() {
+        assert_eq!(summary_line(&[]), "clean: no diagnostics");
+        assert!(!has_errors(&[]));
+    }
+}

@@ -1,0 +1,655 @@
+//! Pre-execution rules over workload scripts (`SDL...`).
+//!
+//! The script DSL is simple enough that an abstract interpreter can walk
+//! each rank's program with constant propagation: `let`-bound values and
+//! loop indices are tracked exactly, values read from messages become
+//! "unknown", and both branches of an undecidable `if` are explored. The
+//! result is a per-rank sequence of abstract communication operations that
+//! the rules inspect — so tag typos, out-of-range ranks, and guaranteed
+//! deadlocks are reported before the engine ever runs.
+
+use crate::diag::{Diagnostic, Loc, RuleId, Severity};
+use crate::engine::{ScriptCx, ScriptRule};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tracedbg_workloads::script::{Cond, Expr, Script, Stmt, StmtKind};
+
+pub const UNDEFINED_CALL: RuleId = RuleId("SDL101");
+pub const RANK_OUT_OF_BOUNDS: RuleId = RuleId("SDL102");
+pub const GUARANTEED_DEADLOCK: RuleId = RuleId("SDL103");
+pub const TAG_NEVER_SENT: RuleId = RuleId("SDL104");
+pub const SELF_MESSAGE: RuleId = RuleId("SDL105");
+pub const MISSING_MAIN: RuleId = RuleId("SDL106");
+
+/// All registered script rules.
+pub fn all() -> Vec<Box<dyn ScriptRule>> {
+    vec![
+        Box::new(MissingMain),
+        Box::new(UndefinedCall),
+        Box::new(RankOutOfBounds),
+        Box::new(GuaranteedDeadlock),
+        Box::new(TagNeverSent),
+        Box::new(SelfMessage),
+    ]
+}
+
+// ------------------------------------------------- abstract interpretation
+
+/// Source specification of an abstract receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SrcSpec {
+    /// `recv from any` — matches any sender.
+    Wildcard,
+    Known(i64),
+    /// Depends on a value the interpreter cannot track.
+    Unknown,
+}
+
+#[derive(Clone, Debug)]
+enum AbsOpKind {
+    Send { dst: Option<i64>, tag: i32 },
+    Recv { src: SrcSpec, tag: Option<i32> },
+    Barrier,
+}
+
+#[derive(Clone, Debug)]
+struct AbsOp {
+    line: u32,
+    func: String,
+    kind: AbsOpKind,
+}
+
+/// Abstract execution result for one `nprocs` configuration.
+struct Summary {
+    per_rank: Vec<Vec<AbsOp>>,
+    /// True when every value was tracked exactly: no unknown branches,
+    /// no truncated loops, no unresolved calls. Deadlock detection only
+    /// trusts exact summaries.
+    exact: bool,
+}
+
+type Env = HashMap<String, Option<i64>>;
+
+const STEP_CAP: usize = 100_000;
+const LOOP_CAP: i64 = 4096;
+const DEPTH_CAP: usize = 32;
+
+struct Walker<'a> {
+    script: &'a Script,
+    ops: Vec<AbsOp>,
+    exact: bool,
+    steps: usize,
+}
+
+fn eval(env: &Env, e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(n) => Some(*n),
+        Expr::Var(name) => env.get(name).copied().flatten(),
+        Expr::Add(a, b) => Some(eval(env, a)?.wrapping_add(eval(env, b)?)),
+        Expr::Sub(a, b) => Some(eval(env, a)?.wrapping_sub(eval(env, b)?)),
+        Expr::Mul(a, b) => Some(eval(env, a)?.wrapping_mul(eval(env, b)?)),
+        Expr::Mod(a, b) => {
+            let (a, b) = (eval(env, a)?, eval(env, b)?);
+            (b != 0).then(|| a.rem_euclid(b))
+        }
+    }
+}
+
+fn eval_cond(env: &Env, c: &Cond) -> Option<bool> {
+    let (a, b) = match c {
+        Cond::Eq(a, b) | Cond::Ne(a, b) | Cond::Lt(a, b) => (eval(env, a)?, eval(env, b)?),
+    };
+    Some(match c {
+        Cond::Eq(..) => a == b,
+        Cond::Ne(..) => a != b,
+        Cond::Lt(..) => a < b,
+    })
+}
+
+/// Join two environments after exploring both sides of an undecidable
+/// branch: variables that disagree become unknown.
+fn merge_env(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for (k, &va) in a {
+        let vb = b.get(k).copied().flatten();
+        out.insert(k.clone(), if va == vb { va } else { None });
+    }
+    for (k, _) in b.iter() {
+        out.entry(k.clone()).or_insert(None);
+    }
+    out
+}
+
+impl<'a> Walker<'a> {
+    fn walk(&mut self, func: &str, stmts: &[Stmt], env: &mut Env, depth: usize) {
+        for s in stmts {
+            self.steps += 1;
+            if self.steps > STEP_CAP {
+                self.exact = false;
+                return;
+            }
+            match &s.kind {
+                StmtKind::Let { var, value } => {
+                    let v = eval(env, value);
+                    env.insert(var.clone(), v);
+                }
+                StmtKind::Compute { .. } | StmtKind::Trace { .. } => {}
+                StmtKind::Send { dst, tag, .. } => {
+                    self.ops.push(AbsOp {
+                        line: s.line,
+                        func: func.to_string(),
+                        kind: AbsOpKind::Send {
+                            dst: eval(env, dst),
+                            tag: *tag,
+                        },
+                    });
+                }
+                StmtKind::Recv { src, tag, var } => {
+                    let spec = match src {
+                        None => SrcSpec::Wildcard,
+                        Some(e) => match eval(env, e) {
+                            Some(v) => SrcSpec::Known(v),
+                            None => SrcSpec::Unknown,
+                        },
+                    };
+                    self.ops.push(AbsOp {
+                        line: s.line,
+                        func: func.to_string(),
+                        kind: AbsOpKind::Recv {
+                            src: spec,
+                            tag: *tag,
+                        },
+                    });
+                    // The received payload is data-dependent.
+                    env.insert(var.clone(), None);
+                }
+                StmtKind::Call { func: callee } => {
+                    if depth >= DEPTH_CAP {
+                        self.exact = false;
+                        continue;
+                    }
+                    if let Some(body) = self.script.functions.get(callee) {
+                        self.walk(callee, body, env, depth + 1);
+                    }
+                    // Undefined callee: SDL101 reports it; the runtime
+                    // would abort here, so nothing else to model.
+                }
+                StmtKind::Loop {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    match (eval(env, from), eval(env, to)) {
+                        (Some(lo), Some(hi)) if hi - lo <= LOOP_CAP => {
+                            for i in lo..hi {
+                                env.insert(var.clone(), Some(i));
+                                self.walk(func, body, env, depth);
+                                if self.steps > STEP_CAP {
+                                    return;
+                                }
+                            }
+                        }
+                        _ => {
+                            // Unknown or oversized bounds: explore the body
+                            // once with an unknown index so send/recv sites
+                            // are still seen, but give up on exactness.
+                            self.exact = false;
+                            env.insert(var.clone(), None);
+                            self.walk(func, body, env, depth);
+                        }
+                    }
+                }
+                StmtKind::If { cond, then, els } => match eval_cond(env, cond) {
+                    Some(true) => self.walk(func, then, env, depth),
+                    Some(false) => self.walk(func, els, env, depth),
+                    None => {
+                        self.exact = false;
+                        let mut then_env = env.clone();
+                        let mut els_env = env.clone();
+                        self.walk(func, then, &mut then_env, depth);
+                        self.walk(func, els, &mut els_env, depth);
+                        *env = merge_env(&then_env, &els_env);
+                    }
+                },
+                StmtKind::Barrier => {
+                    self.ops.push(AbsOp {
+                        line: s.line,
+                        func: func.to_string(),
+                        kind: AbsOpKind::Barrier,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn summarize(script: &Script, nprocs: usize) -> Summary {
+    let mut per_rank = Vec::with_capacity(nprocs);
+    let mut exact = true;
+    for rank in 0..nprocs {
+        let mut w = Walker {
+            script,
+            ops: Vec::new(),
+            exact: true,
+            steps: 0,
+        };
+        let mut env = Env::new();
+        env.insert("rank".to_string(), Some(rank as i64));
+        env.insert("nprocs".to_string(), Some(nprocs as i64));
+        if let Some(main) = script.functions.get("main") {
+            w.walk("main", main, &mut env, 0);
+        }
+        exact &= w.exact;
+        per_rank.push(w.ops);
+    }
+    Summary { per_rank, exact }
+}
+
+fn loc(cx: &ScriptCx<'_>, op: &AbsOp) -> Loc {
+    Loc {
+        file: cx.file.to_string(),
+        line: op.line,
+        func: op.func.clone(),
+    }
+}
+
+// ------------------------------------------------------------------- rules
+
+/// SDL106: the script never defines `main`.
+struct MissingMain;
+
+impl ScriptRule for MissingMain {
+    fn id(&self) -> RuleId {
+        MISSING_MAIN
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "the script defines no `main` function, so no rank runs anything"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        if !cx.script.functions.contains_key("main") {
+            out.push(
+                Diagnostic::new(self.id(), self.severity(), "no `main` function defined")
+                    .with_suggestion("add `fn main` — it is the entry point for every rank"),
+            );
+        }
+    }
+}
+
+fn for_each_stmt<'s>(script: &'s Script, mut f: impl FnMut(&'s str, &'s Stmt)) {
+    fn rec<'s>(func: &'s str, stmts: &'s [Stmt], f: &mut impl FnMut(&'s str, &'s Stmt)) {
+        for s in stmts {
+            f(func, s);
+            match &s.kind {
+                StmtKind::Loop { body, .. } => rec(func, body, f),
+                StmtKind::If { then, els, .. } => {
+                    rec(func, then, f);
+                    rec(func, els, f);
+                }
+                _ => {}
+            }
+        }
+    }
+    for (name, body) in &script.functions {
+        rec(name, body, &mut f);
+    }
+}
+
+/// SDL101: `call f` where no function `f` exists. The parser accepts it;
+/// the engine only fails at runtime, on the rank that reaches the call.
+struct UndefinedCall;
+
+impl ScriptRule for UndefinedCall {
+    fn id(&self) -> RuleId {
+        UNDEFINED_CALL
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "a `call` names a function the script never defines"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let mut seen: BTreeSet<(u32, &str)> = BTreeSet::new();
+        for_each_stmt(cx.script, |func, s| {
+            if let StmtKind::Call { func: callee } = &s.kind {
+                if !cx.script.functions.contains_key(callee) && seen.insert((s.line, callee)) {
+                    let known: Vec<&str> = cx.script.functions.keys().map(String::as_str).collect();
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            self.severity(),
+                            format!("call to undefined function `{callee}`"),
+                        )
+                        .with_loc(Loc {
+                            file: cx.file.to_string(),
+                            line: s.line,
+                            func: func.to_string(),
+                        })
+                        .with_suggestion(format!("defined functions: {}", known.join(", "))),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// SDL102: a send destination or receive source that provably falls
+/// outside `0..nprocs` on some rank.
+struct RankOutOfBounds;
+
+impl ScriptRule for RankOutOfBounds {
+    fn id(&self) -> RuleId {
+        RANK_OUT_OF_BOUNDS
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "a send/receive names a rank outside 0..nprocs"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let summary = summarize(cx.script, cx.nprocs);
+        let n = cx.nprocs as i64;
+        // Dedupe by (line, offending value); the same line trips on
+        // every rank that executes it.
+        let mut seen: BTreeSet<(u32, i64)> = BTreeSet::new();
+        for (rank, ops) in summary.per_rank.iter().enumerate() {
+            for op in ops {
+                let (value, what) = match op.kind {
+                    AbsOpKind::Send { dst: Some(d), .. } if d < 0 || d >= n => (d, "send to"),
+                    AbsOpKind::Recv {
+                        src: SrcSpec::Known(s),
+                        ..
+                    } if s < 0 || s >= n => (s, "receive from"),
+                    _ => continue,
+                };
+                if seen.insert((op.line, value)) {
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            self.severity(),
+                            format!(
+                                "rank {rank} would {what} rank {value}, but only ranks \
+                                 0..{n} exist",
+                            ),
+                        )
+                        .with_rank(rank as u32)
+                        .with_loc(loc(cx, op))
+                        .with_suggestion("clamp the expression or fix the rank arithmetic"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// SDL103: every rank provably blocks — the script cannot complete for
+/// this `nprocs` no matter how the engine schedules it.
+///
+/// Sends are modeled as buffered (the engine's semantics), so the
+/// guaranteed deadlocks are receive cycles, receives with no matching
+/// send left, and barriers some rank never reaches. Only exact summaries
+/// (no unknown values, no wildcard receives) are simulated, so a report
+/// is never a false alarm.
+struct GuaranteedDeadlock;
+
+impl GuaranteedDeadlock {
+    fn simulate(per_rank: &[Vec<AbsOp>]) -> Option<Vec<(usize, AbsOp)>> {
+        let nprocs = per_rank.len();
+        let mut pos = vec![0usize; nprocs];
+        let mut mail: BTreeMap<(i64, usize, i32), usize> = BTreeMap::new();
+        loop {
+            // A barrier completes only when every rank is at one.
+            if (0..nprocs).all(|r| {
+                matches!(
+                    per_rank[r].get(pos[r]).map(|op| &op.kind),
+                    Some(AbsOpKind::Barrier)
+                )
+            }) {
+                for p in &mut pos {
+                    *p += 1;
+                }
+                continue;
+            }
+            let mut progressed = false;
+            for r in 0..nprocs {
+                let Some(op) = per_rank[r].get(pos[r]) else {
+                    continue;
+                };
+                match op.kind {
+                    AbsOpKind::Send { dst: Some(d), tag } => {
+                        if (0..nprocs as i64).contains(&d) {
+                            *mail.entry((r as i64, d as usize, tag)).or_insert(0) += 1;
+                        }
+                        // Out-of-range destination: the message vanishes
+                        // (SDL102 already reported the real problem).
+                        pos[r] += 1;
+                        progressed = true;
+                    }
+                    AbsOpKind::Recv {
+                        src: SrcSpec::Known(s),
+                        tag: Some(t),
+                    } => {
+                        if let Some(count) = mail.get_mut(&(s, r, t)) {
+                            if *count > 0 {
+                                *count -= 1;
+                                pos[r] += 1;
+                                progressed = true;
+                            }
+                        }
+                    }
+                    AbsOpKind::Recv {
+                        src: SrcSpec::Known(s),
+                        tag: None,
+                    } => {
+                        let key = mail
+                            .iter()
+                            .find(|(&(src, dst, _), &c)| src == s && dst == r && c > 0)
+                            .map(|(&k, _)| k);
+                        if let Some(k) = key {
+                            *mail.get_mut(&k).unwrap() -= 1;
+                            pos[r] += 1;
+                            progressed = true;
+                        }
+                    }
+                    // Wildcard/unknown receives never reach the simulator
+                    // (the rule bails out below), sends with unknown
+                    // destinations likewise.
+                    _ => {}
+                }
+            }
+            if !progressed {
+                if (0..nprocs).all(|r| pos[r] >= per_rank[r].len()) {
+                    return None; // everyone finished
+                }
+                return Some(
+                    (0..nprocs)
+                        .filter_map(|r| per_rank[r].get(pos[r]).map(|op| (r, op.clone())))
+                        .collect(),
+                );
+            }
+        }
+    }
+}
+
+impl ScriptRule for GuaranteedDeadlock {
+    fn id(&self) -> RuleId {
+        GUARANTEED_DEADLOCK
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "the script deadlocks for this nprocs under every schedule"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let summary = summarize(cx.script, cx.nprocs);
+        if !summary.exact {
+            return;
+        }
+        let analyzable = summary.per_rank.iter().flatten().all(|op| {
+            !matches!(
+                op.kind,
+                AbsOpKind::Send { dst: None, .. }
+                    | AbsOpKind::Recv {
+                        src: SrcSpec::Wildcard | SrcSpec::Unknown,
+                        ..
+                    }
+            )
+        });
+        if !analyzable {
+            return;
+        }
+        let Some(blocked) = Self::simulate(&summary.per_rank) else {
+            return;
+        };
+        let detail: Vec<String> = blocked
+            .iter()
+            .map(|(r, op)| {
+                let what = match &op.kind {
+                    AbsOpKind::Recv {
+                        src: SrcSpec::Known(s),
+                        tag,
+                    } => match tag {
+                        Some(t) => format!("receiving from rank {s} tag {t}"),
+                        None => format!("receiving from rank {s}"),
+                    },
+                    AbsOpKind::Barrier => "waiting at a barrier".to_string(),
+                    _ => "blocked".to_string(),
+                };
+                format!("rank {r} {what} (line {})", op.line)
+            })
+            .collect();
+        let first = &blocked[0];
+        out.push(
+            Diagnostic::new(
+                self.id(),
+                self.severity(),
+                format!(
+                    "guaranteed deadlock with {} processes: {}",
+                    cx.nprocs,
+                    detail.join("; ")
+                ),
+            )
+            .with_rank(first.0 as u32)
+            .with_loc(loc(cx, &first.1))
+            .with_suggestion("no schedule can complete this pattern; fix the blocked operations"),
+        );
+    }
+}
+
+/// SDL104: a tag asymmetry — receives wait for a tag no send carries, or
+/// sends carry a tag no receive accepts.
+struct TagNeverSent;
+
+impl ScriptRule for TagNeverSent {
+    fn id(&self) -> RuleId {
+        TAG_NEVER_SENT
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn description(&self) -> &'static str {
+        "a tag appears only on sends or only on receives (likely typo)"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let summary = summarize(cx.script, cx.nprocs);
+        let ops: Vec<&AbsOp> = summary.per_rank.iter().flatten().collect();
+        let mut send_tags: BTreeMap<i32, &AbsOp> = BTreeMap::new();
+        let mut recv_tags: BTreeMap<i32, &AbsOp> = BTreeMap::new();
+        let mut any_tag_recv = false;
+        for op in &ops {
+            match op.kind {
+                AbsOpKind::Send { tag, .. } => {
+                    send_tags.entry(tag).or_insert(op);
+                }
+                AbsOpKind::Recv { tag: Some(t), .. } => {
+                    recv_tags.entry(t).or_insert(op);
+                }
+                AbsOpKind::Recv { tag: None, .. } => any_tag_recv = true,
+                AbsOpKind::Barrier => {}
+            }
+        }
+        let nearest = |tags: &BTreeMap<i32, &AbsOp>, t: i32| {
+            tags.keys()
+                .min_by_key(|&&k| (k - t).unsigned_abs())
+                .copied()
+        };
+        if !send_tags.is_empty() {
+            for (&t, op) in &recv_tags {
+                if !send_tags.contains_key(&t) {
+                    let mut d = Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        format!("receives wait for tag {t}, but no send uses that tag"),
+                    )
+                    .with_loc(loc(cx, op));
+                    if let Some(n) = nearest(&send_tags, t) {
+                        d = d.with_suggestion(format!("sends use tag {n} — did you mean {n}?"));
+                    }
+                    out.push(d);
+                }
+            }
+        }
+        // An any-tag receive can absorb every tag; and with no receives at
+        // all, "tag asymmetry" is not the right story to tell.
+        if !any_tag_recv && !recv_tags.is_empty() {
+            for (&t, op) in &send_tags {
+                if !recv_tags.contains_key(&t) {
+                    let mut d = Diagnostic::new(
+                        self.id(),
+                        self.severity(),
+                        format!("messages with tag {t} are sent, but no receive accepts it"),
+                    )
+                    .with_loc(loc(cx, op));
+                    if let Some(n) = nearest(&recv_tags, t) {
+                        d = d.with_suggestion(format!("receives use tag {n} — did you mean {n}?"));
+                    }
+                    out.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// SDL105: a rank sending a message to itself.
+struct SelfMessage;
+
+impl ScriptRule for SelfMessage {
+    fn id(&self) -> RuleId {
+        SELF_MESSAGE
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn description(&self) -> &'static str {
+        "a rank sends a message to itself"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let summary = summarize(cx.script, cx.nprocs);
+        let mut seen_lines: BTreeSet<u32> = BTreeSet::new();
+        for (rank, ops) in summary.per_rank.iter().enumerate() {
+            for op in ops {
+                if let AbsOpKind::Send { dst: Some(d), .. } = op.kind {
+                    if d == rank as i64 && seen_lines.insert(op.line) {
+                        out.push(
+                            Diagnostic::new(
+                                self.id(),
+                                self.severity(),
+                                format!("rank {rank} sends a message to itself"),
+                            )
+                            .with_rank(rank as u32)
+                            .with_loc(loc(cx, op))
+                            .with_suggestion(
+                                "self-messages usually indicate off-by-one rank arithmetic",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

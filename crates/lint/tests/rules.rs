@@ -1,0 +1,346 @@
+//! One triggering fixture per lint rule ID, for both front ends, plus
+//! configuration filtering.
+
+use tracedbg_lint::{lint_script, lint_trace, Diagnostic, LintConfig, Severity};
+use tracedbg_trace::{CollKind, EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+use tracedbg_workloads::script;
+
+fn has(diags: &[Diagnostic], rule: &str) -> bool {
+    diags.iter().any(|d| d.rule.0 == rule)
+}
+
+fn find<'a>(diags: &'a [Diagnostic], rule: &str) -> &'a Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.rule.0 == rule)
+        .unwrap_or_else(|| panic!("expected a {rule} diagnostic, got {diags:?}"))
+}
+
+fn msg(src: u32, dst: u32, tag: i32, seq: u64) -> MsgInfo {
+    MsgInfo {
+        src: Rank(src),
+        dst: Rank(dst),
+        tag: Tag(tag),
+        bytes: 8,
+        seq,
+    }
+}
+
+fn lint(recs: Vec<TraceRecord>, n_ranks: usize) -> Vec<Diagnostic> {
+    let store = TraceStore::build(recs, SiteTable::new(), n_ranks);
+    lint_trace(&store, &LintConfig::default())
+}
+
+fn lint_src(src: &str, nprocs: usize) -> Vec<Diagnostic> {
+    let parsed = script::parse(src).expect("fixture script parses");
+    lint_script(&parsed, nprocs, "fixture.script", &LintConfig::default())
+}
+
+// ------------------------------------------------------- trace front end
+
+#[test]
+fn tdl001_unreceived_send() {
+    let recs = vec![TraceRecord::basic(0u32, EventKind::Send, 1, 0)
+        .with_span(0, 2)
+        .with_msg(msg(0, 1, 5, 0))];
+    let diags = lint(recs, 2);
+    let d = find(&diags, "TDL001");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rank, Some(0));
+    assert!(d.message.contains("tag 5"));
+}
+
+#[test]
+fn tdl002_blocked_receive() {
+    let recs = vec![TraceRecord::basic(0u32, EventKind::RecvPost, 1, 0).with_args(1, 5)];
+    let diags = lint(recs, 2);
+    let d = find(&diags, "TDL002");
+    assert_eq!(d.rank, Some(0));
+    assert!(d.message.contains("never completed"));
+}
+
+#[test]
+fn tdl003_impossible_receive_tag_mismatch() {
+    // Rank 1 sends tag 6; rank 0 waits forever for tag 5 from rank 1.
+    let recs = vec![
+        TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+            .with_span(0, 2)
+            .with_msg(msg(1, 0, 6, 0)),
+        TraceRecord::basic(0u32, EventKind::RecvPost, 1, 3).with_args(1, 5),
+    ];
+    let diags = lint(recs, 2);
+    let d = find(&diags, "TDL003");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("tag 5"));
+    assert!(d.suggestion.as_deref().unwrap().contains("tag 6"));
+}
+
+#[test]
+fn tdl004_collective_kind_mismatch() {
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::Collective(CollKind::Barrier), 1, 0),
+        TraceRecord::basic(1u32, EventKind::Collective(CollKind::Bcast), 1, 0),
+    ];
+    let diags = lint(recs, 2);
+    let d = find(&diags, "TDL004");
+    assert!(d.message.contains("different operations"));
+}
+
+#[test]
+fn tdl004_collective_count_mismatch() {
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::Collective(CollKind::Barrier), 1, 0),
+        TraceRecord::basic(1u32, EventKind::Collective(CollKind::Barrier), 1, 0),
+        TraceRecord::basic(0u32, EventKind::Collective(CollKind::Barrier), 2, 5),
+    ];
+    let diags = lint(recs, 2);
+    let d = find(&diags, "TDL004");
+    assert!(d.message.contains("never entered"));
+}
+
+#[test]
+fn tdl005_wildcard_race() {
+    // Two senders race to a wildcard receive on P0; the loser is drained
+    // by a second wildcard so nothing is left unmatched.
+    let recs = vec![
+        TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+            .with_span(0, 2)
+            .with_msg(msg(1, 0, 5, 0)),
+        TraceRecord::basic(2u32, EventKind::Send, 1, 1)
+            .with_span(1, 3)
+            .with_msg(msg(2, 0, 5, 0)),
+        TraceRecord::basic(0u32, EventKind::RecvPost, 1, 4).with_args(-1, 5),
+        TraceRecord::basic(0u32, EventKind::RecvDone, 2, 4)
+            .with_span(4, 10)
+            .with_msg(msg(1, 0, 5, 0)),
+        TraceRecord::basic(0u32, EventKind::RecvPost, 3, 10).with_args(-1, 5),
+        TraceRecord::basic(0u32, EventKind::RecvDone, 4, 10)
+            .with_span(10, 12)
+            .with_msg(msg(2, 0, 5, 0)),
+    ];
+    let diags = lint(recs, 3);
+    let d = find(&diags, "TDL005");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("nondeterministic"));
+    assert!(!has(&diags, "TDL001"), "both messages were received");
+}
+
+#[test]
+fn tdl006_wait_cycle() {
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::RecvPost, 1, 0).with_args(1, -1),
+        TraceRecord::basic(1u32, EventKind::RecvPost, 1, 0).with_args(0, -1),
+    ];
+    let diags = lint(recs, 2);
+    let d = find(&diags, "TDL006");
+    assert!(d.message.contains("circular wait"));
+    // The blocked posts themselves are also reported individually.
+    assert!(has(&diags, "TDL002"));
+}
+
+#[test]
+fn tdl007_event_after_end() {
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::ProcStart, 1, 0),
+        TraceRecord::basic(0u32, EventKind::ProcEnd, 2, 5),
+        TraceRecord::basic(0u32, EventKind::Probe, 3, 6),
+    ];
+    let diags = lint(recs, 1);
+    let d = find(&diags, "TDL007");
+    assert!(d.message.contains("probe after finalize"));
+}
+
+#[test]
+fn clean_trace_has_no_diagnostics() {
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::ProcStart, 1, 0),
+        TraceRecord::basic(1u32, EventKind::ProcStart, 1, 0),
+        TraceRecord::basic(0u32, EventKind::Send, 2, 1)
+            .with_span(1, 2)
+            .with_msg(msg(0, 1, 5, 0)),
+        TraceRecord::basic(1u32, EventKind::RecvPost, 2, 1).with_args(0, 5),
+        TraceRecord::basic(1u32, EventKind::RecvDone, 3, 2)
+            .with_span(2, 3)
+            .with_msg(msg(0, 1, 5, 0)),
+        TraceRecord::basic(0u32, EventKind::ProcEnd, 3, 4),
+        TraceRecord::basic(1u32, EventKind::ProcEnd, 4, 4),
+    ];
+    assert!(lint(recs, 2).is_empty());
+}
+
+// ------------------------------------------------------ script front end
+
+#[test]
+fn sdl101_undefined_call() {
+    let diags = lint_src("fn main\n  call helper\nend\n", 2);
+    let d = find(&diags, "SDL101");
+    assert!(d.message.contains("`helper`"));
+    assert_eq!(d.loc.as_ref().unwrap().line, 2);
+}
+
+#[test]
+fn sdl102_rank_out_of_bounds() {
+    let diags = lint_src(
+        "fn main\n  send nprocs tag 1 rank\n  recv from 0 tag 1 into x\nend\n",
+        4,
+    );
+    let d = find(&diags, "SDL102");
+    assert!(d.message.contains("rank 4"));
+    assert!(d.message.contains("0..4"));
+}
+
+#[test]
+fn sdl103_guaranteed_deadlock() {
+    // Every rank receives from its left neighbour before sending: the
+    // classic head-to-head cycle with no send in flight.
+    let src = "\
+fn main
+  recv from ( ( rank + 1 ) % nprocs ) tag 1 into x
+  send ( ( rank + 1 ) % nprocs ) tag 1 rank
+end
+";
+    let diags = lint_src(src, 3);
+    let d = find(&diags, "SDL103");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("guaranteed deadlock"));
+}
+
+#[test]
+fn sdl103_not_reported_for_buffered_ring() {
+    // Send first, then receive: buffered sends make this complete.
+    let src = "\
+fn main
+  send ( ( rank + 1 ) % nprocs ) tag 1 rank
+  recv from ( ( rank + nprocs - 1 ) % nprocs ) tag 1 into x
+end
+";
+    let diags = lint_src(src, 3);
+    assert!(!has(&diags, "SDL103"), "buffered ring completes: {diags:?}");
+}
+
+#[test]
+fn sdl103_not_reported_when_wildcards_present() {
+    // A wildcard receive makes the schedule nondeterministic; the rule
+    // must stay silent rather than guess.
+    let src = "\
+fn main
+  recv from any tag 1 into x
+end
+";
+    let diags = lint_src(src, 2);
+    assert!(!has(&diags, "SDL103"));
+}
+
+#[test]
+fn sdl104_tag_typo() {
+    let src = "\
+fn main
+  if rank == 0
+    send 1 tag 10 rank
+  else
+    recv from 0 tag 11 into x
+  end
+end
+";
+    let diags = lint_src(src, 2);
+    // Both sides of the asymmetry are reported: the orphan send (tag 10)
+    // and the orphan receive (tag 11), each suggesting the other's tag.
+    let sdl104: Vec<_> = diags.iter().filter(|d| d.rule.0 == "SDL104").collect();
+    assert_eq!(sdl104.len(), 2, "{diags:?}");
+    assert!(sdl104
+        .iter()
+        .any(|d| d.message.contains("tag 11") && d.suggestion.as_deref().unwrap().contains("10")));
+}
+
+#[test]
+fn sdl104_silent_when_any_tag_recv_absorbs() {
+    let src = "\
+fn main
+  if rank == 0
+    send 1 tag 10 rank
+  else
+    recv from 0 into x
+  end
+end
+";
+    let diags = lint_src(src, 2);
+    assert!(!has(&diags, "SDL104"), "any-tag receive absorbs: {diags:?}");
+}
+
+#[test]
+fn sdl105_self_message() {
+    let diags = lint_src(
+        "fn main\n  send rank tag 1 rank\n  recv from any tag 1 into x\nend\n",
+        2,
+    );
+    let d = find(&diags, "SDL105");
+    assert!(d.message.contains("itself"));
+}
+
+#[test]
+fn sdl106_missing_main() {
+    // `script::parse` refuses a source without `fn main`, so this guards
+    // programmatically-built scripts (and future parser relaxations).
+    let empty = script::Script {
+        functions: Default::default(),
+    };
+    let diags = lint_script(&empty, 2, "empty.script", &LintConfig::default());
+    let d = find(&diags, "SDL106");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn clean_script_has_no_diagnostics() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scripts/pingpong.script"
+    ))
+    .expect("pingpong example script exists");
+    for nprocs in [2, 4, 7] {
+        let diags = lint_src(&src, nprocs);
+        assert!(diags.is_empty(), "pingpong at {nprocs} procs: {diags:?}");
+    }
+}
+
+// ---------------------------------------------------------- configuration
+
+#[test]
+fn config_disable_suppresses_rule() {
+    let src = "fn main\n  call helper\nend\n";
+    let parsed = script::parse(src).unwrap();
+    let cfg = LintConfig::from_spec("-SDL101");
+    let diags = lint_script(&parsed, 2, "f.script", &cfg);
+    assert!(!has(&diags, "SDL101"));
+}
+
+#[test]
+fn config_only_restricts_to_listed_rules() {
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::RecvPost, 1, 0).with_args(1, -1),
+        TraceRecord::basic(1u32, EventKind::RecvPost, 1, 0).with_args(0, -1),
+    ];
+    let store = TraceStore::build(recs, SiteTable::new(), 2);
+    let cfg = LintConfig::from_spec("TDL006");
+    let diags = lint_trace(&store, &cfg);
+    assert!(has(&diags, "TDL006"));
+    assert!(
+        !has(&diags, "TDL002"),
+        "TDL002 not in allow-list: {diags:?}"
+    );
+}
+
+#[test]
+fn diagnostics_sort_errors_first() {
+    // TDL003 (warning) and TDL002 (error) both fire here.
+    let recs = vec![
+        TraceRecord::basic(1u32, EventKind::Send, 1, 0)
+            .with_span(0, 2)
+            .with_msg(msg(1, 0, 6, 0)),
+        TraceRecord::basic(0u32, EventKind::RecvPost, 1, 3).with_args(1, 5),
+    ];
+    let diags = lint(recs, 2);
+    assert!(diags.len() >= 2);
+    for pair in diags.windows(2) {
+        assert!(pair[0].severity <= pair[1].severity);
+    }
+}

@@ -152,10 +152,7 @@ impl PendingCollective {
                     })
                     .collect()
             }
-            CollKind::Scatter => {
-                
-                payload_of(self.root.ix()).split_n(n)
-            }
+            CollKind::Scatter => payload_of(self.root.ix()).split_n(n),
         }
     }
 }
@@ -172,7 +169,12 @@ mod tests {
         }
     }
 
-    fn run(kind: CollKind, root: u32, op: Option<ReduceOp>, payloads: Vec<Payload>) -> Vec<Payload> {
+    fn run(
+        kind: CollKind,
+        root: u32,
+        op: Option<ReduceOp>,
+        payloads: Vec<Payload>,
+    ) -> Vec<Payload> {
         let n = payloads.len();
         let mut pc = PendingCollective::new(kind, Rank(root), op, n);
         for (i, p) in payloads.into_iter().enumerate() {
@@ -194,11 +196,7 @@ mod tests {
             CollKind::Bcast,
             1,
             None,
-            vec![
-                Payload::empty(),
-                Payload::from_i64(42),
-                Payload::empty(),
-            ],
+            vec![Payload::empty(), Payload::from_i64(42), Payload::empty()],
         );
         assert!(res.iter().all(|p| p.to_i64() == Some(42)));
     }
@@ -240,7 +238,11 @@ mod tests {
             CollKind::Gather,
             1,
             None,
-            vec![Payload::from_i64(1), Payload::from_i64(2), Payload::from_i64(3)],
+            vec![
+                Payload::from_i64(1),
+                Payload::from_i64(2),
+                Payload::from_i64(3),
+            ],
         );
         assert!(res[0].is_empty());
         assert_eq!(res[1].to_i64s().unwrap(), vec![1, 2, 3]);

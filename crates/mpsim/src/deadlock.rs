@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn two_cycle_detected() {
         // The Figure 5 shape: 0 waits on 7, 7 waits on 0.
-        let blocked = vec![
-            (Rank(0), spec(Some(7)), 10),
-            (Rank(7), spec(Some(0)), 12),
-        ];
+        let blocked = vec![(Rank(0), spec(Some(7)), 10), (Rank(7), spec(Some(0)), 12)];
         let rep = DeadlockReport::analyze(&blocked);
         assert!(rep.is_cyclic());
         assert_eq!(rep.cycle, vec![Rank(0), Rank(7)]);

@@ -24,9 +24,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tracedbg_instrument::{Recorder, RecorderConfig};
-use tracedbg_trace::{
-    FlushHandle, Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore,
-};
+use tracedbg_trace::{FlushHandle, Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
 /// Engine construction parameters.
 #[derive(Clone, Debug, Default)]
@@ -100,11 +98,16 @@ enum ProcState {
         marker: u64,
     },
     /// Blocked in a synchronous send to `dst`, waiting for the rendezvous.
-    BlockedSend { dst: Rank, marker: u64 },
+    BlockedSend {
+        dst: Rank,
+        marker: u64,
+    },
     /// Waiting inside a collective.
     InCollective,
     /// Stopped at a fired marker threshold.
-    Trapped { marker: u64 },
+    Trapped {
+        marker: u64,
+    },
     Finished,
     Panicked(String),
 }
@@ -261,11 +264,7 @@ impl Engine {
                 message: msg,
             };
         }
-        if self
-            .states
-            .iter()
-            .all(|s| matches!(s, ProcState::Finished))
-        {
+        if self.states.iter().all(|s| matches!(s, ProcState::Finished)) {
             return RunOutcome::Completed;
         }
         let traps: Vec<Marker> = self
@@ -293,17 +292,11 @@ impl Engine {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| match s {
-                ProcState::Blocked { spec, marker, .. } => {
-                    Some((Rank(i as u32), *spec, *marker))
+                ProcState::Blocked { spec, marker, .. } => Some((Rank(i as u32), *spec, *marker)),
+                ProcState::BlockedSend { dst, marker } => {
+                    Some((Rank(i as u32), MatchSpec::new(Some(*dst), None), *marker))
                 }
-                ProcState::BlockedSend { dst, marker } => Some((
-                    Rank(i as u32),
-                    MatchSpec::new(Some(*dst), None),
-                    *marker,
-                )),
-                ProcState::InCollective => {
-                    Some((Rank(i as u32), MatchSpec::any(), 0))
-                }
+                ProcState::InCollective => Some((Rank(i as u32), MatchSpec::any(), 0)),
                 _ => None,
             })
             .collect();
@@ -368,9 +361,9 @@ impl Engine {
                 op,
                 t_enter,
             } => {
-                let pc = self.pending_coll.get_or_insert_with(|| {
-                    PendingCollective::new(kind, root, op, self.n_ranks)
-                });
+                let pc = self
+                    .pending_coll
+                    .get_or_insert_with(|| PendingCollective::new(kind, root, op, self.n_ranks));
                 assert_eq!(
                     pc.kind, kind,
                     "collective mismatch: {:?} entered {kind:?} while {:?} in progress",
@@ -739,10 +732,7 @@ mod tests {
             let s = site_of(ctx, "p0");
             let a = ctx.recv_any(Some(Tag(1)), s);
             let b = ctx.recv_any(Some(Tag(1)), s);
-            let mut got = vec![
-                a.payload.to_i64().unwrap(),
-                b.payload.to_i64().unwrap(),
-            ];
+            let mut got = vec![a.payload.to_i64().unwrap(), b.payload.to_i64().unwrap()];
             got.sort();
             assert_eq!(got, vec![10, 20]);
         });
@@ -935,17 +925,17 @@ mod tests {
             Box::new(move |ctx| {
                 let s = site_of(ctx, "coll");
                 ctx.barrier(s);
-                let v = ctx.bcast(Rank(0), if rank == 0 {
-                    Payload::from_i64(7)
-                } else {
-                    Payload::empty()
-                }, s);
-                assert_eq!(v.to_i64(), Some(7));
-                let sum = ctx.allreduce(
-                    ReduceOp::Sum,
-                    Payload::from_f64s(&[rank as f64]),
+                let v = ctx.bcast(
+                    Rank(0),
+                    if rank == 0 {
+                        Payload::from_i64(7)
+                    } else {
+                        Payload::empty()
+                    },
                     s,
                 );
+                assert_eq!(v.to_i64(), Some(7));
+                let sum = ctx.allreduce(ReduceOp::Sum, Payload::from_f64s(&[rank as f64]), s);
                 assert_eq!(sum.to_f64s().unwrap(), vec![0.0 + 1.0 + 2.0]);
             })
         };

@@ -176,7 +176,10 @@ enum MState {
     Ready,
     /// Parked on a receive; the original (pre-replay-pinning) spec plus the
     /// post time.
-    Blocked { spec: MatchSpec, t_post: u64 },
+    Blocked {
+        spec: MatchSpec,
+        t_post: u64,
+    },
     /// A matched message waits for the machine's next step.
     Deliverable,
     Trapped,
@@ -335,8 +338,7 @@ impl MachineEngine {
             .iter()
             .enumerate()
             .filter(|(i, s)| {
-                matches!(s, MState::Trapped)
-                    || (self.paused[*i] && !matches!(s, MState::Finished))
+                matches!(s, MState::Trapped) || (self.paused[*i] && !matches!(s, MState::Finished))
             })
             .map(|(r, _)| Marker::new(r as u32, self.recorders[r].marker()))
             .collect();
@@ -401,12 +403,7 @@ impl MachineEngine {
             MState::Trapped
         } else if status == MachineStatus::Finished {
             let t = self.clocks[i];
-            self.recorders[i].observe(TraceRecord::basic(
-                i as u32,
-                EventKind::ProcEnd,
-                0,
-                t,
-            ));
+            self.recorders[i].observe(TraceRecord::basic(i as u32, EventKind::ProcEnd, 0, t));
             MState::Finished
         } else if let Some(mut spec) = blocked_on {
             if let Some(log) = self.replay.as_mut() {
@@ -564,8 +561,7 @@ impl MachineEngine {
         self.paused.fill(false);
         // Collected history after the checkpoint marker must be dropped.
         let at = &cp.at;
-        self.collected
-            .retain(|rec| rec.marker <= at.get(rec.rank));
+        self.collected.retain(|rec| rec.marker <= at.get(rec.rank));
     }
 }
 

@@ -16,9 +16,7 @@ use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tracedbg_instrument::{Disposition, Recorder};
-use tracedbg_trace::{
-    CollKind, EventKind, FlushHandle, Rank, SiteId, SiteTable, Tag, TraceRecord,
-};
+use tracedbg_trace::{CollKind, EventKind, FlushHandle, Rank, SiteId, SiteTable, Tag, TraceRecord};
 
 /// A simulated process body.
 pub type ProgramFn = Box<dyn FnOnce(&mut ProcessCtx) + Send + 'static>;

@@ -12,8 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use tracedbg_trace::Rank;
 
 /// Scheduling policy.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub enum SchedPolicy {
     /// Deterministic: cycle through ranks starting after the last granted.
     #[default]
@@ -22,7 +21,6 @@ pub enum SchedPolicy {
     /// wildcard match candidates.
     Seeded(u64),
 }
-
 
 /// Instantiated scheduler state.
 pub struct Scheduler {

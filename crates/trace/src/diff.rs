@@ -36,7 +36,11 @@ pub struct Divergence {
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "divergence on {:?} at marker {}:", self.rank, self.marker)?;
+        writeln!(
+            f,
+            "divergence on {:?} at marker {}:",
+            self.rank, self.marker
+        )?;
         match &self.left {
             Some(l) => writeln!(f, "  left : {l}")?,
             None => writeln!(f, "  left : <no event>")?,
@@ -69,12 +73,19 @@ pub fn diff_traces(left: &TraceStore, right: &TraceStore, mode: DiffMode) -> Vec
     for r in 0..n {
         let rank = Rank(r as u32);
         let llane: Vec<&TraceRecord> = if r < left.n_ranks() {
-            left.by_rank(rank).iter().map(|&id| left.record(id)).collect()
+            left.by_rank(rank)
+                .iter()
+                .map(|&id| left.record(id))
+                .collect()
         } else {
             Vec::new()
         };
         let rlane: Vec<&TraceRecord> = if r < right.n_ranks() {
-            right.by_rank(rank).iter().map(|&id| right.record(id)).collect()
+            right
+                .by_rank(rank)
+                .iter()
+                .map(|&id| right.record(id))
+                .collect()
         } else {
             Vec::new()
         };

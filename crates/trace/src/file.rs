@@ -94,7 +94,11 @@ pub fn write_text<W: Write>(w: &mut W, file: &TraceFile) -> io::Result<()> {
         }
         write!(w, "{} {}", r.args[0], r.args[1])?;
         if let Some(m) = &r.msg {
-            write!(w, " M {} {} {} {} {}", m.src.0, m.dst.0, m.tag.0, m.bytes, m.seq)?;
+            write!(
+                w,
+                " M {} {} {} {} {}",
+                m.src.0, m.dst.0, m.tag.0, m.bytes, m.seq
+            )?;
         }
         // Labels are written trimmed; a label that is empty after trimming
         // is unrepresentable in a line-oriented format and reads back as
@@ -119,7 +123,8 @@ fn next_field<'a, I: Iterator<Item = &'a str>>(
     ln: usize,
     what: &str,
 ) -> Result<&'a str, ReadError> {
-    it.next().ok_or_else(|| parse_err(ln, format!("missing {what}")))
+    it.next()
+        .ok_or_else(|| parse_err(ln, format!("missing {what}")))
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, ln: usize, what: &str) -> Result<T, ReadError> {
@@ -256,9 +261,7 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<TraceFile, ReadError> {
         sites: Vec<SourceLoc>,
     }
     let mut lines = r.lines();
-    let first = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))??;
+    let first = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
     let header: Header =
         serde_json::from_str(&first).map_err(|e| parse_err(1, format!("bad header: {e}")))?;
     let mut records = Vec::new();
@@ -459,7 +462,9 @@ mod tests {
         let sites = SiteTable::new();
         let s0 = sites.site("strassen.c", 161, "MatrSend");
         let recs = vec![
-            TraceRecord::basic(0u32, FnEnter, 1, 0).with_site(s0).with_args(7, 3),
+            TraceRecord::basic(0u32, FnEnter, 1, 0)
+                .with_site(s0)
+                .with_args(7, 3),
             TraceRecord::basic(0u32, Send, 2, 5)
                 .with_span(5, 8)
                 .with_site(s0)
@@ -505,10 +510,7 @@ mod tests {
         let mut buf = Vec::new();
         write_text(&mut buf, &f).unwrap();
         let back = read_text(io::Cursor::new(&buf)).unwrap();
-        assert_eq!(
-            back.records[2].label.as_deref(),
-            Some("jres value at loop")
-        );
+        assert_eq!(back.records[2].label.as_deref(), Some("jres value at loop"));
     }
 
     #[test]

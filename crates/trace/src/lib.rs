@@ -35,9 +35,9 @@ pub mod store;
 pub use buffer::{FlushHandle, TraceBuffer};
 pub use diff::{diff_traces, DiffMode, Divergence};
 pub use event::{CollKind, EventKind, MsgInfo, TraceRecord};
-pub use query::EventQuery;
 pub use ids::{ChannelId, Rank, SiteId, Tag, ANY_SOURCE, ANY_TAG};
 pub use loc::{SiteTable, SourceLoc};
 pub use marker::{Marker, MarkerVector};
+pub use query::EventQuery;
 pub use stats::TraceStats;
 pub use store::{EventId, TraceStore};

@@ -87,7 +87,9 @@ impl SiteTable {
 
     /// Name of the function at `id`, or `"?"`.
     pub fn func_name(&self, id: SiteId) -> String {
-        self.resolve(id).map(|l| l.func).unwrap_or_else(|| "?".into())
+        self.resolve(id)
+            .map(|l| l.func)
+            .unwrap_or_else(|| "?".into())
     }
 
     /// Number of interned sites.

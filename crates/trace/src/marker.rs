@@ -51,9 +51,7 @@ pub struct MarkerVector {
 impl MarkerVector {
     /// The state "before anything executed" for `n` processes.
     pub fn zero(n: usize) -> Self {
-        MarkerVector {
-            counts: vec![0; n],
-        }
+        MarkerVector { counts: vec![0; n] }
     }
 
     pub fn from_counts(counts: Vec<u64>) -> Self {
@@ -92,11 +90,7 @@ impl MarkerVector {
     /// stopping at `other` in every process?
     pub fn le(&self, other: &MarkerVector) -> bool {
         self.counts.len() == other.counts.len()
-            && self
-                .counts
-                .iter()
-                .zip(&other.counts)
-                .all(|(a, b)| a <= b)
+            && self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
     }
 
     /// Strictly earlier in at least one process and later in none.

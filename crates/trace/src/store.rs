@@ -42,11 +42,7 @@ impl TraceStore {
         records.sort_by_key(|r| (r.t_start, r.rank, r.marker));
         // Use the declared rank count, but never less than the records
         // actually reference (robustness against undersized headers).
-        let inferred = records
-            .iter()
-            .map(|r| r.rank.ix() + 1)
-            .max()
-            .unwrap_or(0);
+        let inferred = records.iter().map(|r| r.rank.ix() + 1).max().unwrap_or(0);
         let n_ranks = n_ranks.max(inferred);
         let mut per_rank: Vec<Vec<EventId>> = vec![Vec::new(); n_ranks];
         for (i, r) in records.iter().enumerate() {
@@ -156,7 +152,9 @@ impl TraceStore {
 
     /// Events of a given kind, canonical order.
     pub fn of_kind(&self, kind: EventKind) -> Vec<EventId> {
-        self.ids().filter(|id| self.record(*id).kind == kind).collect()
+        self.ids()
+            .filter(|id| self.record(*id).kind == kind)
+            .collect()
     }
 
     /// The latest event of each rank (end of trace), as a marker vector.

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use std::io::Cursor;
-use tracedbg_trace::file::{read_binary, read_jsonl, read_text, write_binary, write_jsonl, write_text, TraceFile};
+use tracedbg_trace::file::{
+    read_binary, read_jsonl, read_text, write_binary, write_jsonl, write_text, TraceFile,
+};
 use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteId, SiteTable, Tag, TraceRecord};
 
 fn arb_kind() -> impl Strategy<Value = EventKind> {
@@ -22,15 +24,20 @@ fn arb_label() -> impl Strategy<Value = Option<String>> {
 fn arb_msg() -> impl Strategy<Value = Option<MsgInfo>> {
     prop_oneof![
         Just(None),
-        (0u32..16, 0u32..16, -2i32..100, 0u32..1_000_000, 0u64..10_000).prop_map(
-            |(src, dst, tag, bytes, seq)| Some(MsgInfo {
+        (
+            0u32..16,
+            0u32..16,
+            -2i32..100,
+            0u32..1_000_000,
+            0u64..10_000
+        )
+            .prop_map(|(src, dst, tag, bytes, seq)| Some(MsgInfo {
                 src: Rank(src),
                 dst: Rank(dst),
                 tag: Tag(tag),
                 bytes,
                 seq,
-            })
-        ),
+            })),
     ]
 }
 
@@ -64,7 +71,10 @@ prop_compose! {
 fn arb_file() -> impl Strategy<Value = TraceFile> {
     (
         proptest::collection::vec(arb_record(), 0..60),
-        proptest::collection::vec(("[a-z./]{1,12}", 0u32..5000, "[A-Za-z_][A-Za-z0-9_]{0,10}"), 0..10),
+        proptest::collection::vec(
+            ("[a-z./]{1,12}", 0u32..5000, "[A-Za-z_][A-Za-z0-9_]{0,10}"),
+            0..10,
+        ),
         0usize..16,
     )
         .prop_map(|(records, site_specs, n_ranks)| {

@@ -201,7 +201,13 @@ mod tests {
         let acts = ag.of(Rank(0), "distribute");
         // 2 sends to each of P1..P3 fold pairwise, then compute
         assert_eq!(acts.len(), 4, "{acts:?}");
-        assert_eq!(acts[0], Action { kind: ActionKind::SendTo(Rank(1)), count: 2 });
+        assert_eq!(
+            acts[0],
+            Action {
+                kind: ActionKind::SendTo(Rank(1)),
+                count: 2
+            }
+        );
         assert_eq!(acts[3].kind, ActionKind::Compute);
     }
 

@@ -36,8 +36,7 @@ impl CallGraph {
     pub fn project(graph: &TraceGraph, rank: Rank) -> Self {
         let nodes = graph.function_nodes_of(rank);
         let mut functions = Vec::new();
-        let mut local: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::new();
+        let mut local: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
         for id in &nodes {
             if let TraceNode::Function { func, .. } = graph.node(*id) {
                 local.insert(*id, functions.len());

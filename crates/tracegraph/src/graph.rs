@@ -114,10 +114,9 @@ impl TraceGraph {
                         g.add_arc(top, node, ArcKind::Call, id);
                         stack.push(node);
                     }
-                    EventKind::FnExit
-                        if stack.len() > 1 => {
-                            stack.pop();
-                        }
+                    EventKind::FnExit if stack.len() > 1 => {
+                        stack.pop();
+                    }
                     EventKind::Send => {
                         let m = rec.msg.expect("send without msg");
                         let ch = g.intern(TraceNode::Channel(ChannelId::between(m.src, m.dst)));
@@ -228,11 +227,7 @@ impl TraceGraph {
     /// Total primitive arcs represented (stored arcs weighted by
     /// multiplicity).
     pub fn n_primitive_arcs(&self) -> u64 {
-        self.out
-            .iter()
-            .flatten()
-            .map(|a| a.multiplicity)
-            .sum()
+        self.out.iter().flatten().map(|a| a.multiplicity).sum()
     }
 
     /// Primitive arcs folded away by dissemination so far.
@@ -334,12 +329,8 @@ mod tests {
         let mut recs = Vec::new();
         for i in 0..calls {
             let m = 2 * i as u64 + 1;
-            recs.push(
-                TraceRecord::basic(0u32, EventKind::FnEnter, m, m * 10).with_site(f),
-            );
-            recs.push(
-                TraceRecord::basic(0u32, EventKind::FnExit, m + 1, m * 10 + 5).with_site(f),
-            );
+            recs.push(TraceRecord::basic(0u32, EventKind::FnEnter, m, m * 10).with_site(f));
+            recs.push(TraceRecord::basic(0u32, EventKind::FnExit, m + 1, m * 10 + 5).with_site(f));
         }
         TraceStore::build(recs, sites, 1)
     }

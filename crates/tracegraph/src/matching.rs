@@ -83,7 +83,9 @@ impl MessageMatching {
             }
         }
         // Remaining sends are unmatched.
-        let mut rest: Vec<UnmatchedSend> = sends.into_values().map(|send_id| UnmatchedSend {
+        let mut rest: Vec<UnmatchedSend> = sends
+            .into_values()
+            .map(|send_id| UnmatchedSend {
                 send: send_id,
                 info: store.record(send_id).msg.unwrap(),
             })

@@ -33,10 +33,7 @@ impl Profile {
         for r in 0..store.n_ranks() {
             let rank = Rank(r as u32);
             let lane = store.by_rank(rank);
-            let last_t = lane
-                .last()
-                .map(|id| store.record(*id).t_end)
-                .unwrap_or(0);
+            let last_t = lane.last().map(|id| store.record(*id).t_end).unwrap_or(0);
             // Stack of (func, enter time, child inclusive accumulator).
             let mut stack: Vec<(String, u64, u64)> = Vec::new();
             for &id in lane {
@@ -131,9 +128,13 @@ mod tests {
             TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(m),
             TraceRecord::basic(0u32, EventKind::FnEnter, 2, 0).with_site(f),
             TraceRecord::basic(0u32, EventKind::Compute, 3, 0).with_span(0, 100),
-            TraceRecord::basic(0u32, EventKind::FnExit, 4, 100).with_span(100, 100).with_site(f),
+            TraceRecord::basic(0u32, EventKind::FnExit, 4, 100)
+                .with_span(100, 100)
+                .with_site(f),
             TraceRecord::basic(0u32, EventKind::Compute, 5, 100).with_span(100, 150),
-            TraceRecord::basic(0u32, EventKind::FnExit, 6, 150).with_span(150, 150).with_site(m),
+            TraceRecord::basic(0u32, EventKind::FnExit, 6, 150)
+                .with_span(150, 150)
+                .with_site(m),
         ];
         TraceStore::build(recs, sites, 1)
     }

@@ -79,7 +79,9 @@ pub fn render_ascii(model: &TimelineModel, width: usize) -> String {
         out.extend(lanes[r].iter());
         out.push('\n');
     }
-    out.push_str("legend: = compute  S send  R recv  ? blocked-recv  # collective  > msg-out  v msg-in\n");
+    out.push_str(
+        "legend: = compute  S send  R recv  ? blocked-recv  # collective  > msg-out  v msg-in\n",
+    );
     for f in footer {
         out.push_str(&f);
         out.push('\n');
@@ -90,8 +92,8 @@ pub fn render_ascii(model: &TimelineModel, width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracedbg_tracegraph::MessageMatching;
     use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+    use tracedbg_tracegraph::MessageMatching;
 
     fn model() -> TimelineModel {
         let m = MsgInfo {

@@ -21,9 +21,8 @@ pub fn render_svg(model: &TimelineModel, width: f64) -> String {
     let span = model.span() as f64;
     let n = model.n_ranks;
     let height = MARGIN_T + n as f64 * LANE_H + MARGIN_B;
-    let x_of = |t: u64| -> f64 {
-        MARGIN_L + (t.saturating_sub(model.t_min)) as f64 / span * plot_w
-    };
+    let x_of =
+        |t: u64| -> f64 { MARGIN_L + (t.saturating_sub(model.t_min)) as f64 / span * plot_w };
     // Rank 0 at the bottom, like Figure 3.
     let lane_y = |r: usize| -> f64 { MARGIN_T + (n - 1 - r) as f64 * LANE_H };
     let bar_y = |r: usize| -> f64 { lane_y(r) + (LANE_H - BAR_H) / 2.0 };
@@ -46,11 +45,7 @@ pub fn render_svg(model: &TimelineModel, width: f64) -> String {
             r##"<line x1="{MARGIN_L}" y1="{y}" x2="{:.1}" y2="{y}" stroke="#dddddd"/>"##,
             MARGIN_L + plot_w
         );
-        let _ = write!(
-            s,
-            r#"<text x="8" y="{:.1}">P{r}</text>"#,
-            y + 3.0
-        );
+        let _ = write!(s, r#"<text x="8" y="{:.1}">P{r}</text>"#, y + 3.0);
     }
     // Bars.
     for b in &model.bars {
@@ -66,7 +61,11 @@ pub fn render_svg(model: &TimelineModel, width: f64) -> String {
             s,
             r#"<rect x="{x0:.1}" y="{y:.1}" width="{w:.1}" height="{BAR_H}" fill="{}"{}><title>{}</title></rect>"#,
             b.kind.color(),
-            if open_ended { r#" fill-opacity="0.6""# } else { "" },
+            if open_ended {
+                r#" fill-opacity="0.6""#
+            } else {
+                ""
+            },
             xml_escape(&b.label)
         );
     }
@@ -112,9 +111,7 @@ pub fn render_svg(model: &TimelineModel, width: f64) -> String {
                 let path: String = pts
                     .iter()
                     .enumerate()
-                    .map(|(i, (x, y))| {
-                        format!("{}{x:.1},{y:.1}", if i == 0 { "M" } else { "L" })
-                    })
+                    .map(|(i, (x, y))| format!("{}{x:.1},{y:.1}", if i == 0 { "M" } else { "L" }))
                     .collect();
                 let _ = write!(
                     s,
@@ -158,8 +155,8 @@ fn xml_escape(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::timeline::TimelineModel;
-    use tracedbg_tracegraph::MessageMatching;
     use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteTable, Tag, TraceRecord, TraceStore};
+    use tracedbg_tracegraph::MessageMatching;
 
     fn model() -> (TraceStore, TimelineModel) {
         let m = MsgInfo {

@@ -8,8 +8,8 @@
 //! points of the time-space display." (§3.1)
 
 use tracedbg_causality::Frontier;
-use tracedbg_tracegraph::MessageMatching;
 use tracedbg_trace::{EventId, EventKind, Marker, Rank, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
 
 /// Visual classification of a bar (maps to a color / character).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -143,10 +143,9 @@ impl TimelineModel {
                 _ => continue,
             };
             let label = match kind {
-                BarKind::BlockedRecv => format!(
-                    "P{} blocked recv (marker {})",
-                    rec.rank, rec.marker
-                ),
+                BarKind::BlockedRecv => {
+                    format!("P{} blocked recv (marker {})", rec.rank, rec.marker)
+                }
                 _ => format!("{} m{}", rec.kind.code(), rec.marker),
             };
             bars.push(Bar {

@@ -105,7 +105,9 @@ mod tests {
         };
         let recs = vec![
             TraceRecord::basic(0u32, EventKind::FnEnter, 1, 0).with_site(f),
-            TraceRecord::basic(0u32, EventKind::Send, 2, 1).with_span(1, 2).with_msg(m),
+            TraceRecord::basic(0u32, EventKind::Send, 2, 1)
+                .with_span(1, 2)
+                .with_msg(m),
             TraceRecord::basic(0u32, EventKind::FnExit, 3, 3).with_site(f),
             TraceRecord::basic(1u32, EventKind::RecvDone, 1, 4)
                 .with_span(4, 5)

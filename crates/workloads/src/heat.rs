@@ -62,7 +62,12 @@ fn stage(ctx: &mut ProcessCtx, cfg: &HeatConfig, rank: usize) {
             let (mut ghost_l, mut ghost_r) = (u[0], u[cfg.cells - 1]);
             ctx.scope(halo_site, [step as i64, 0], |ctx| {
                 if let Some(l) = left {
-                    ctx.send(Rank(l as u32), TAG_LEFT, Payload::from_f64s(&[u[0]]), halo_site);
+                    ctx.send(
+                        Rank(l as u32),
+                        TAG_LEFT,
+                        Payload::from_f64s(&[u[0]]),
+                        halo_site,
+                    );
                 }
                 if let Some(r) = right {
                     ctx.send(
@@ -85,22 +90,18 @@ fn stage(ctx: &mut ProcessCtx, cfg: &HeatConfig, rank: usize) {
             let old = u.clone();
             for i in 0..cfg.cells {
                 let l = if i == 0 { ghost_l } else { old[i - 1] };
-                let r = if i == cfg.cells - 1 { ghost_r } else { old[i + 1] };
+                let r = if i == cfg.cells - 1 {
+                    ghost_r
+                } else {
+                    old[i + 1]
+                };
                 u[i] = old[i] + 0.25 * (l - 2.0 * old[i] + r);
             }
             ctx.compute(cfg.cell_cost * cfg.cells as u64, solve_site);
             // Global residual check.
             if (step + 1) % cfg.check_every == 0 {
-                let local: f64 = u
-                    .iter()
-                    .zip(&old)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                let global = ctx.allreduce(
-                    ReduceOp::Sum,
-                    Payload::from_f64s(&[local]),
-                    solve_site,
-                );
+                let local: f64 = u.iter().zip(&old).map(|(a, b)| (a - b) * (a - b)).sum();
+                let global = ctx.allreduce(ReduceOp::Sum, Payload::from_f64s(&[local]), solve_site);
                 let g = global.to_f64s().unwrap()[0];
                 ctx.probe("residual_e6", (g * 1e6) as i64, solve_site);
             }

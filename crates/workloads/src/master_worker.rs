@@ -123,7 +123,10 @@ mod tests {
     use super::*;
     use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig, SchedPolicy};
 
-    fn run_with(policy: SchedPolicy, replay: Option<tracedbg_mpsim::ReplayLog>) -> (Vec<u32>, tracedbg_mpsim::ReplayLog) {
+    fn run_with(
+        policy: SchedPolicy,
+        replay: Option<tracedbg_mpsim::ReplayLog>,
+    ) -> (Vec<u32>, tracedbg_mpsim::ReplayLog) {
         let cfg = PoolConfig::default();
         let mut e = Engine::launch(
             EngineConfig {

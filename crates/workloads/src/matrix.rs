@@ -125,11 +125,7 @@ impl Matrix {
     /// back to naive below `cutoff` or on odd dimensions).
     pub fn mul_strassen(&self, other: &Matrix, cutoff: usize) -> Matrix {
         assert_eq!(self.cols, other.rows);
-        if self.rows <= cutoff
-            || self.rows % 2 != 0
-            || self.cols % 2 != 0
-            || other.cols % 2 != 0
-        {
+        if self.rows <= cutoff || self.rows % 2 != 0 || self.cols % 2 != 0 || other.cols % 2 != 0 {
             return self.mul_naive(other);
         }
         let (a11, a12, a21, a22) = self.quadrants();

@@ -64,12 +64,7 @@ pub fn programs(pattern: &Pattern, jitter_seed: u64) -> Vec<ProgramFn> {
                 for t in &pat.transfers {
                     if t.src as usize == r {
                         ctx.compute(rng.gen_range(0..5_000), site);
-                        ctx.send(
-                            Rank(t.dst),
-                            Tag(t.tag),
-                            Payload::from_i64(t.value),
-                            site,
-                        );
+                        ctx.send(Rank(t.dst), Tag(t.tag), Payload::from_i64(t.value), site);
                     } else if t.dst as usize == r {
                         let m = ctx.recv_from(Rank(t.src), Tag(t.tag), site);
                         // Per-(src,dst,tag) FIFO: values on the same

@@ -139,9 +139,10 @@ fn err(line: u32, message: impl Into<String>) -> ScriptError {
 
 /// Tokenize one expression from a token stream (shunting-free: the grammar
 /// is `term (op term)*`, left-associative, no precedence — parenthesize).
-fn parse_expr(tokens: &mut std::iter::Peekable<std::vec::IntoIter<String>>, line: u32)
-    -> Result<Expr, ScriptError>
-{
+fn parse_expr(
+    tokens: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+    line: u32,
+) -> Result<Expr, ScriptError> {
     fn term(
         tokens: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
         line: u32,
@@ -713,13 +714,15 @@ fn print_block(out: &mut String, stmts: &[Stmt], depth: usize) {
                 let _ = writeln!(out, "compute {}", print_expr(cost));
             }
             StmtKind::Send { dst, tag, value } => {
-                let _ = writeln!(out, "send {} tag {tag} {}", print_expr(dst), print_expr(value));
+                let _ = writeln!(
+                    out,
+                    "send {} tag {tag} {}",
+                    print_expr(dst),
+                    print_expr(value)
+                );
             }
             StmtKind::Recv { src, tag, var } => {
-                let src_s = src
-                    .as_ref()
-                    .map(print_expr)
-                    .unwrap_or_else(|| "any".into());
+                let src_s = src.as_ref().map(print_expr).unwrap_or_else(|| "any".into());
                 match tag {
                     Some(t) => {
                         let _ = writeln!(out, "recv from {src_s} tag {t} into {var}");
@@ -772,9 +775,7 @@ fn print_block(out: &mut String, stmts: &[Stmt], depth: usize) {
 fn instrument_block(stmts: &[Stmt], level: InstrumentLevel, func: &str) -> Vec<Stmt> {
     let mut out = Vec::new();
     for s in stmts {
-        if level == InstrumentLevel::Statements
-            && !matches!(s.kind, StmtKind::Trace { .. })
-        {
+        if level == InstrumentLevel::Statements && !matches!(s.kind, StmtKind::Trace { .. }) {
             out.push(Stmt {
                 line: s.line,
                 kind: StmtKind::Trace {
@@ -802,10 +803,7 @@ fn instrument_block(stmts: &[Stmt], level: InstrumentLevel, func: &str) -> Vec<S
             },
             other => other.clone(),
         };
-        out.push(Stmt {
-            line: s.line,
-            kind,
-        });
+        out.push(Stmt { line: s.line, kind });
     }
     out
 }
@@ -966,8 +964,14 @@ end
     #[test]
     fn uinst_function_level_adds_enter_exit() {
         let instrumented = instrument_source(PINGPONG, InstrumentLevel::Functions).unwrap();
-        assert!(instrumented.contains("trace \"enter worker\""), "{instrumented}");
-        assert!(instrumented.contains("trace \"exit main\""), "{instrumented}");
+        assert!(
+            instrumented.contains("trace \"enter worker\""),
+            "{instrumented}"
+        );
+        assert!(
+            instrumented.contains("trace \"exit main\""),
+            "{instrumented}"
+        );
         // The instrumented program still computes the same replies.
         let store = run_script(&instrumented, 4);
         let mut replies: Vec<i64> = store

@@ -96,7 +96,13 @@ pub fn expected(cfg: &StrassenConfig) -> Matrix {
     a.mul_naive(&b)
 }
 
-fn send_matrix(ctx: &mut ProcessCtx, dst: Rank, tag: Tag, m: &Matrix, site: tracedbg_trace::SiteId) {
+fn send_matrix(
+    ctx: &mut ProcessCtx,
+    dst: Rank,
+    tag: Tag,
+    m: &Matrix,
+    site: tracedbg_trace::SiteId,
+) {
     ctx.send(dst, tag, Payload::from_f64s(&m.to_vec()), site);
 }
 

@@ -51,10 +51,7 @@ fn main() {
         .map(|r| r.t_start)
         .unwrap();
     let stopline = Stopline::vertical(&trace, first_send_t.saturating_sub(1));
-    println!(
-        "\nstopline before the first send: {:?}",
-        stopline.markers
-    );
+    println!("\nstopline before the first send: {:?}", stopline.markers);
     session.replay_to(&stopline);
     println!("replayed; markers {:?}", session.markers());
 

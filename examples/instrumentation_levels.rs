@@ -62,11 +62,31 @@ fn main() {
     println!("...\n");
 
     let rows = [
-        ("uninstrumented source, full tracing", SRC.to_string(), RecorderConfig::full()),
-        ("fn-level source instr. (§2.1)", fn_level, RecorderConfig::full()),
-        ("stmt-level source instr. (§2.1)", stmt_level, RecorderConfig::full()),
-        ("UserMonitor only (§2.2)", SRC.to_string(), RecorderConfig::markers_only()),
-        ("PMPI comm wrappers (§2.3)", SRC.to_string(), RecorderConfig::comm_only()),
+        (
+            "uninstrumented source, full tracing",
+            SRC.to_string(),
+            RecorderConfig::full(),
+        ),
+        (
+            "fn-level source instr. (§2.1)",
+            fn_level,
+            RecorderConfig::full(),
+        ),
+        (
+            "stmt-level source instr. (§2.1)",
+            stmt_level,
+            RecorderConfig::full(),
+        ),
+        (
+            "UserMonitor only (§2.2)",
+            SRC.to_string(),
+            RecorderConfig::markers_only(),
+        ),
+        (
+            "PMPI comm wrappers (§2.3)",
+            SRC.to_string(),
+            RecorderConfig::comm_only(),
+        ),
     ];
     println!(
         "{:<38} {:>8} {:>8} {:>12}",

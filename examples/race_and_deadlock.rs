@@ -9,7 +9,10 @@ use tracedbg::causality::detect_races;
 use tracedbg::prelude::*;
 use tracedbg::workloads::master_worker::{self, completion_order, PoolConfig};
 
-fn run_pool(policy: SchedPolicy, replay: Option<tracedbg::mpsim::ReplayLog>) -> (Vec<u32>, tracedbg::mpsim::ReplayLog, TraceStore) {
+fn run_pool(
+    policy: SchedPolicy,
+    replay: Option<tracedbg::mpsim::ReplayLog>,
+) -> (Vec<u32>, tracedbg::mpsim::ReplayLog, TraceStore) {
     let cfg = PoolConfig::default();
     let mut engine = Engine::launch(
         EngineConfig {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full offline verification: what CI runs, what a PR must keep green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test -q"
+cargo test --offline -q
+
+echo "==> lint smoke: seed workloads must be clean"
+./target/release/tracedbg run ring --trace target/verify_ring.trc >/dev/null
+./target/release/tracedbg lint target/verify_ring.trc
+./target/release/tracedbg lint script:examples/scripts/pingpong.script --procs 4
+
+echo "verify: OK"

@@ -22,6 +22,19 @@ fn strassen_session(variant: Variant) -> Session {
 }
 
 #[test]
+fn lint_catches_the_jres_bug() {
+    // The paper's bug hunt (§4.1) takes stoplines, replay, and probes; the
+    // lint pass flags the same run in one shot: the misdirected send shows
+    // up as a leaked send, the starved ranks as a wait cycle.
+    let mut session = strassen_session(Variant::JresBug);
+    assert!(session.run().is_deadlocked());
+    let diags = tracedbg::lint::lint_trace(&session.trace(), &LintConfig::default());
+    assert!(diags.iter().any(|d| d.rule.0 == "TDL001"), "{diags:?}");
+    assert!(diags.iter().any(|d| d.rule.0 == "TDL006"), "{diags:?}");
+    assert!(tracedbg::lint::report::has_errors(&diags));
+}
+
+#[test]
 fn full_bug_hunt_story() {
     // The §4.1 narrative as assertions: deadlock → analysis → stopline →
     // replay → step → probe reveals the wrong destination.
@@ -149,10 +162,7 @@ fn every_vertical_cut_of_a_real_trace_is_consistent() {
 #[test]
 fn frontier_stoplines_on_lu_are_consistent_and_replayable() {
     let cfg = LuConfig::default();
-    let mut session = Session::launch(
-        SessionConfig::default(),
-        Box::new(lu::factory(cfg)),
-    );
+    let mut session = Session::launch(SessionConfig::default(), Box::new(lu::factory(cfg)));
     assert!(session.run().is_completed());
     let trace = session.trace();
     let mm = MessageMatching::build(&trace);
@@ -230,10 +240,7 @@ fn replay_reproduces_timestamps_exactly() {
 #[test]
 fn undo_across_multiple_stops_on_ring() {
     let cfg = RingConfig::default();
-    let mut session = Session::launch(
-        SessionConfig::default(),
-        Box::new(ring::factory(cfg)),
-    );
+    let mut session = Session::launch(SessionConfig::default(), Box::new(ring::factory(cfg)));
     assert!(session.run().is_completed());
     let final_markers = session.markers();
     // Replay to an early stopline, then walk forward with global steps.
@@ -263,10 +270,7 @@ fn command_interface_drives_a_session() {
         rounds: 2,
         hop_cost: 1_000,
     };
-    let session = Session::launch(
-        SessionConfig::default(),
-        Box::new(ring::factory(cfg)),
-    );
+    let session = Session::launch(SessionConfig::default(), Box::new(ring::factory(cfg)));
     let mut ci = CommandInterface::new(session);
     let transcript = ci.script(&["run", "analyze", "markers"]);
     assert!(transcript.contains("completed"), "{transcript}");
@@ -274,10 +278,7 @@ fn command_interface_drives_a_session() {
     let t2 = ci.execute("stopline t 1");
     assert!(t2.contains("stopline"), "{t2}");
     let t3 = ci.execute("replay");
-    assert!(
-        t3.contains("stopped") || t3.contains("completed"),
-        "{t3}"
-    );
+    assert!(t3.contains("stopped") || t3.contains("completed"), "{t3}");
 }
 
 #[test]

@@ -16,6 +16,7 @@
 
 use proptest::prelude::*;
 use tracedbg::causality::{cut_of_time, verify_cut, ConcurrencyRegion, HbIndex};
+use tracedbg::lint::{lint_trace, LintConfig};
 use tracedbg::prelude::*;
 use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::tracegraph::TraceGraph;
@@ -175,6 +176,19 @@ proptest! {
         prop_assert!(capped.n_arcs() <= full.n_arcs());
     }
 
+    /// Correct programs must lint clean: the rule engine may not cry wolf
+    /// on any deadlock-free random pattern.
+    #[test]
+    fn clean_patterns_lint_clean(
+        seed in 0u64..10_000,
+        nprocs in 2usize..6,
+        n in 1usize..30,
+    ) {
+        let (store, _) = run_pattern(seed, nprocs, n, SchedPolicy::RoundRobin, None);
+        let diags = lint_trace(&store, &LintConfig::default());
+        prop_assert!(diags.is_empty(), "clean pattern produced diagnostics: {diags:?}");
+    }
+
     #[test]
     fn stopline_replay_lands_exactly(
         seed in 0u64..10_000,
@@ -198,4 +212,30 @@ proptest! {
         // And the run can always be completed from there.
         prop_assert!(session.continue_all().is_completed());
     }
+}
+
+/// The seed workloads (deterministic, known-correct) lint clean.
+#[test]
+fn seed_workloads_lint_clean() {
+    use tracedbg::workloads::{ring, strassen};
+    let run = |programs: Vec<ProgramFn>| -> TraceStore {
+        let mut e = Engine::launch(
+            EngineConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            programs,
+        );
+        assert!(e.run().is_completed());
+        e.trace_store()
+    };
+    let cfg = LintConfig::default();
+    let ring_trace = run(ring::programs(&ring::RingConfig::default()));
+    let diags = lint_trace(&ring_trace, &cfg);
+    assert!(diags.is_empty(), "ring: {diags:?}");
+    let strassen_trace = run(strassen::programs(&strassen::StrassenConfig::figures(
+        strassen::Variant::Correct,
+    )));
+    let diags = lint_trace(&strassen_trace, &cfg);
+    assert!(diags.is_empty(), "strassen: {diags:?}");
 }
