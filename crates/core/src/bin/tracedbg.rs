@@ -8,11 +8,15 @@
 //! tracedbg graph <trace.trc> --kind comm|call|trace [--format dot|vcg] [--rank N]
 //! tracedbg debug <workload> [--seed N] [--procs N] [-e CMD]...
 //! tracedbg lint <trace.trc | script:path> [--procs N] [--json] [--rules SPEC]
+//! tracedbg explore <workload> [--runs N] [--seed N] [--preemptions K] [--faults]
+//!                  [--strategy random|systematic|both] [--out DIR] [--json]
+//! tracedbg replay --schedule <file.sched.json> [--trace out.trc] [--json]
 //! tracedbg workloads
 //! ```
 //!
 //! Workloads: `strassen`, `strassen-bug`, `lu`, `ring`, `pool`,
-//! `fib:<n>`, `random:<transfers>`, `script:<path>`.
+//! `racy-wildcard`, `racy-deadlock`, `fib:<n>`, `random:<transfers>`,
+//! `script:<path>`.
 //!
 //! `debug` opens the p2d2-style command loop (`run`, `analyze`,
 //! `stopline t <ns>`, `replay`, `step <rank>`, `probe <rank> <label>`,
@@ -26,7 +30,7 @@ use tracedbg::trace::file::{read_binary, write_binary};
 use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::tracegraph::{ActionGraph, Profile};
 use tracedbg::viz::{dot, vcg};
-use tracedbg::workloads::{heat, lu, master_worker, random_comm, ring, script, strassen};
+use tracedbg::workloads::{heat, lu, master_worker, racy, random_comm, ring, script, strassen};
 
 struct Opts {
     positional: Vec<String>,
@@ -137,6 +141,18 @@ fn workload_factory(
             };
             let n = cfg.nprocs;
             (Box::new(master_worker::factory(cfg)), n)
+        }
+        "racy-wildcard" | "racy-deadlock" => {
+            let cfg = racy::RacyConfig {
+                nprocs: procs.clamp(3, 16),
+                ..Default::default()
+            };
+            let n = cfg.nprocs;
+            if name == "racy-wildcard" {
+                (Box::new(racy::wildcard_race_factory(cfg)), n)
+            } else {
+                (Box::new(racy::orphan_deadlock_factory(cfg)), n)
+            }
         }
         other => {
             if let Some(n) = other.strip_prefix("fib:") {
@@ -411,11 +427,156 @@ fn cmd_lint(opts: &Opts) -> Result<ExitCode, String> {
     })
 }
 
+/// `tracedbg explore` — search the schedule space (and optionally the
+/// fault space) of a workload for deadlocks, panics, and lint violations.
+/// Each finding is saved as a minimized `.sched.json` artifact that
+/// `tracedbg replay --schedule` re-executes deterministically. Exits
+/// non-zero when any violation was found, mirroring `lint`.
+fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
+    let name = opts.positional.first().ok_or(
+        "usage: tracedbg explore <workload> [--runs N] [--seed N] [--procs N] \
+         [--preemptions K] [--faults] [--strategy random|systematic|both] \
+         [--out DIR] [--json]",
+    )?;
+    let seed = opts.num("seed", 42u64);
+    let procs = opts.num("procs", 8usize);
+    let (factory, _n) = workload_factory(name, seed, procs)?;
+    let cfg = ExploreConfig {
+        workload: name.clone(),
+        seed,
+        runs: opts.num("runs", 64usize),
+        preemptions: opts.num("preemptions", 2usize),
+        inject_faults: opts.has("faults"),
+        strategy: opts.flag("strategy").unwrap_or("both").parse()?,
+        ..Default::default()
+    };
+    let report = Explorer::new(cfg, factory).explore();
+    if opts.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    let found = !report.findings.is_empty();
+    if found {
+        let out_dir = opts.flag("out").unwrap_or("target/explore");
+        std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+        let safe: String = name
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        for (i, f) in report.findings.iter().enumerate() {
+            let path = format!("{out_dir}/{safe}-{}-{i}.sched.json", f.class);
+            std::fs::write(&path, f.artifact.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !opts.has("json") {
+                println!("schedule written to {path}");
+            }
+        }
+    }
+    Ok(if found {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `tracedbg replay --schedule` — re-execute an explorer artifact. The
+/// artifact names its workload; every scheduling decision and injected
+/// fault comes from the file, so the outcome is reproducible run-to-run.
+/// Exits zero iff the replay reproduced the artifact's recorded outcome.
+fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
+    let path = opts
+        .flag("schedule")
+        .ok_or("usage: tracedbg replay --schedule <file.sched.json> [--trace out.trc] [--json]")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let artifact = ScheduleArtifact::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    let (factory, _n) = workload_factory(&artifact.workload, artifact.seed, artifact.procs)?;
+    // The replayed failure is the expected outcome; keep panic backtraces
+    // of the simulated processes off stderr.
+    tracedbg::mpsim::set_quiet_panics(true);
+    let mut replay = replay_schedule(&artifact, factory);
+    tracedbg::mpsim::set_quiet_panics(false);
+    let expected = artifact.failure.as_deref().unwrap_or("completed");
+    let reproduced = replay.class == expected && !replay.diverged;
+    if opts.has("json") {
+        println!(
+            "{{\"workload\":{},\"class\":{},\"expected\":{},\"detail\":{},\"diverged\":{},\"reproduced\":{}}}",
+            json_string(&artifact.workload),
+            json_string(&replay.class),
+            json_string(expected),
+            json_string(&replay.detail),
+            replay.diverged,
+            reproduced,
+        );
+    } else {
+        println!("replaying {artifact}");
+        println!("outcome: {} ({})", replay.class, replay.detail);
+        if replay.diverged {
+            println!("WARNING: schedule diverged — this run does not reproduce the artifact");
+        }
+        println!(
+            "{}",
+            if reproduced {
+                format!("reproduced recorded failure class '{expected}'")
+            } else {
+                format!("did NOT reproduce '{expected}'")
+            }
+        );
+    }
+    if let Some(out) = opts.flag("trace") {
+        let store = replay.trace();
+        let file = TraceFile::new(
+            store.records().to_vec(),
+            store.sites().clone(),
+            store.n_ranks(),
+        );
+        let mut w = std::fs::File::create(out).map_err(|e| e.to_string())?;
+        if out.ends_with(".tbin") {
+            write_binary(&mut w, &file).map_err(|e| e.to_string())?;
+        } else {
+            write_text(&mut w, &file).map_err(|e| e.to_string())?;
+        }
+        if !opts.has("json") {
+            println!("trace written to {out}");
+        }
+    }
+    Ok(if reproduced {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Minimal JSON string encoder for the hand-rolled `replay --json` output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|workloads> ...\n\
+            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|explore|replay|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -437,6 +598,24 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "explore" => {
+            return match cmd_explore(&opts) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "replay" => {
+            return match cmd_replay(&opts) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         "workloads" => {
             println!(
                 "strassen       distributed Strassen multiply (8 procs, correct)\n\
@@ -445,6 +624,8 @@ fn main() -> ExitCode {
                  ring           token ring\n\
                  pool           master/worker with wildcard receives\n\
                  heat           1-D heat diffusion: halo exchange + allreduce\n\
+                 racy-wildcard  wildcard-receive race (explore finds the panic)\n\
+                 racy-deadlock  orphaned receive (explore finds the deadlock)\n\
                  fib:<n>        recursive Fibonacci (Table 1 driver)\n\
                  random:<n>     seeded random transfer pattern\n\
                  script:<path>  interpreted mini-language program (SPMD)"
@@ -459,5 +640,65 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parses_flags_values_and_positionals() {
+        let o = Opts::parse(&args(&[
+            "ring", "--seed", "7", "--json", "--procs", "4", "-e", "run",
+        ]));
+        assert_eq!(o.positional, vec!["ring"]);
+        assert_eq!(o.flag("seed"), Some("7"));
+        assert_eq!(o.num("procs", 0usize), 4);
+        assert!(o.has("json"));
+        assert_eq!(o.flag("json"), None, "bare flag carries no value");
+        assert_eq!(o.commands(), vec!["run"]);
+        assert!(!o.has("faults"));
+        assert_eq!(o.num("runs", 64usize), 64, "missing flag falls back");
+    }
+
+    #[test]
+    fn workload_factory_resolves_known_names() {
+        for name in [
+            "strassen",
+            "strassen-bug",
+            "lu",
+            "ring",
+            "heat",
+            "pool",
+            "racy-wildcard",
+            "racy-deadlock",
+            "fib:6",
+            "random:4",
+        ] {
+            let (factory, n) = workload_factory(name, 1, 4).expect(name);
+            assert_eq!(factory().len(), n, "{name}: factory/proc-count agree");
+        }
+        assert!(workload_factory("no-such-workload", 1, 4).is_err());
+        assert!(workload_factory("fib:x", 1, 4).is_err());
+    }
+
+    #[test]
+    fn racy_workloads_enforce_a_minimum_of_three_procs() {
+        let (_, n) = workload_factory("racy-wildcard", 1, 1).unwrap();
+        assert_eq!(n, 3);
+        let (_, n) = workload_factory("racy-deadlock", 1, 12).unwrap();
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn json_string_escapes_control_and_quote_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny\u{1}"), "\"x\\ny\\u0001\"");
     }
 }

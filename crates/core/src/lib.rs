@@ -47,11 +47,13 @@
 //! | [`causality`] | `tracedbg-causality` | §4.1: happens-before, frontiers, races |
 //! | [`lint`] | `tracedbg-lint` | §4.4: rule-based communication supervision |
 //! | [`debugger`] | `tracedbg-debugger` | §4: stoplines, replay, undo, analysis |
+//! | [`explore`] | `tracedbg-explore` | schedule exploration + fault injection |
 //! | [`viz`] | `tracedbg-viz` | §3.1: NTV/VK time-space diagrams, DOT/VCG |
 //! | [`workloads`] | `tracedbg-workloads` | evaluation programs (Strassen, fib, LU) |
 
 pub use tracedbg_causality as causality;
 pub use tracedbg_debugger as debugger;
+pub use tracedbg_explore as explore;
 pub use tracedbg_instrument as instrument;
 pub use tracedbg_lint as lint;
 pub use tracedbg_mpsim as mpsim;
@@ -64,15 +66,20 @@ pub use tracedbg_workloads as workloads;
 pub mod prelude {
     pub use tracedbg_causality::{Frontier, HbIndex};
     pub use tracedbg_debugger::{
-        CommandInterface, HistoryReport, ProgramFactory, Session, SessionConfig, SessionStatus,
-        Stopline,
+        replay_schedule, CommandInterface, HistoryReport, ProgramFactory, ScheduleReplay, Session,
+        SessionConfig, SessionStatus, Stopline,
+    };
+    pub use tracedbg_explore::{
+        ExploreConfig, ExploreReport, Explorer, Strategy as ExploreStrategy,
     };
     pub use tracedbg_instrument::{RecorderConfig, Strategy};
     pub use tracedbg_lint::{lint_script, lint_trace, Diagnostic, LintConfig, Severity};
     pub use tracedbg_mpsim::{
         CostModel, Engine, EngineConfig, Payload, ProcessCtx, ProgramFn, RunOutcome, SchedPolicy,
     };
-    pub use tracedbg_trace::{EventKind, Marker, MarkerVector, Rank, Tag, TraceRecord, TraceStore};
+    pub use tracedbg_trace::{
+        EventKind, Marker, MarkerVector, Rank, ScheduleArtifact, Tag, TraceRecord, TraceStore,
+    };
     pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
     pub use tracedbg_viz::{render_ascii, render_svg, NtvView, TimelineModel, VkView};
 }

@@ -23,6 +23,7 @@ pub mod analysis;
 pub mod commands;
 pub mod machine_session;
 pub mod procset;
+pub mod schedule_replay;
 pub mod session;
 pub mod stopline;
 pub mod undo;
@@ -31,6 +32,7 @@ pub use analysis::HistoryReport;
 pub use commands::CommandInterface;
 pub use machine_session::{MachineFactory, MachineSession, MachineSessionStatus};
 pub use procset::ProcSets;
+pub use schedule_replay::{classify, replay_schedule, ScheduleReplay};
 pub use session::{ProgramFactory, Session, SessionConfig, SessionStatus};
 pub use stopline::Stopline;
 pub use undo::UndoStack;

@@ -1,0 +1,191 @@
+//! Schedule-driven replay: re-execute an explorer artifact.
+//!
+//! `tracedbg explore` saves failures as [`ScheduleArtifact`]s — the fault
+//! plan plus the full scheduling decision sequence of the failing run.
+//! [`replay_schedule`] turns one back into a live execution: it builds a
+//! [`Session`] whose scheduler follows the script and whose engine injects
+//! the recorded faults, runs it to its outcome, and classifies what
+//! happened. Because every source of nondeterminism is pinned, the outcome
+//! is a pure function of the artifact — the debugger's §4.2 replay
+//! guarantee extended from wildcard matches to whole schedules.
+
+use crate::session::{ProgramFactory, Session, SessionConfig, SessionStatus};
+use tracedbg_mpsim::{FaultPlan, RecorderConfig, SchedPolicy};
+use tracedbg_trace::schedule::ScheduleArtifact;
+use tracedbg_trace::TraceStore;
+
+/// Outcome classes an artifact can reproduce. `failure_class` strings in
+/// artifacts use these names.
+pub const CLASS_COMPLETED: &str = "completed";
+pub const CLASS_DEADLOCK: &str = "deadlock";
+pub const CLASS_PANIC: &str = "panic";
+pub const CLASS_STOPPED: &str = "stopped";
+
+/// The result of replaying one schedule artifact.
+pub struct ScheduleReplay {
+    /// The session, stopped at the artifact's outcome; callers can inspect
+    /// it further (traces, deadlock reports, undo, …).
+    pub session: Session,
+    /// Outcome class of the replayed run (one of the `CLASS_*` strings).
+    pub class: String,
+    /// Human-readable outcome detail (deadlock cycle, panic message, …).
+    pub detail: String,
+    /// Did the scripted scheduler apply every decision as recorded? A
+    /// diverged replay still runs to an outcome, but it no longer
+    /// reproduces the artifact's execution.
+    pub diverged: bool,
+}
+
+impl ScheduleReplay {
+    /// The replayed run's trace.
+    pub fn trace(&mut self) -> TraceStore {
+        self.session.trace()
+    }
+}
+
+/// Classify a session status into an artifact failure class.
+pub fn classify(status: &SessionStatus) -> (String, String) {
+    match status {
+        SessionStatus::Completed | SessionStatus::Idle => {
+            (CLASS_COMPLETED.into(), "run completed".into())
+        }
+        SessionStatus::Deadlocked(rep) => {
+            let detail = if rep.is_cyclic() {
+                format!("cyclic wait: {:?}", rep.cycle)
+            } else {
+                format!(
+                    "stalled: {} process(es) waiting with no cycle",
+                    rep.waits.len()
+                )
+            };
+            (CLASS_DEADLOCK.into(), detail)
+        }
+        SessionStatus::Panicked { rank, message } => {
+            (CLASS_PANIC.into(), format!("{rank:?} panicked: {message}"))
+        }
+        SessionStatus::Stopped { traps, paused } => (
+            CLASS_STOPPED.into(),
+            format!("{} trap(s), {} paused", traps.len(), paused.len()),
+        ),
+    }
+}
+
+/// Re-execute an artifact's schedule against a freshly-built program.
+///
+/// The caller resolves the artifact's `workload`/`procs`/`seed` fields to a
+/// program factory (the CLI owns workload names; the debugger does not).
+pub fn replay_schedule(artifact: &ScheduleArtifact, factory: ProgramFactory) -> ScheduleReplay {
+    let cfg = SessionConfig {
+        policy: SchedPolicy::Scripted(artifact.decisions.clone()),
+        recorder: RecorderConfig::full(),
+        faults: FaultPlan::new(artifact.faults.clone()),
+        ..Default::default()
+    };
+    let mut session = Session::launch(cfg, factory);
+    session.run();
+    let (class, detail) = classify(session.status());
+    let diverged = session.engine().schedule_diverged();
+    ScheduleReplay {
+        session,
+        class,
+        detail,
+        diverged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Payload, ProgramFn, Tag};
+    use tracedbg_trace::schedule::Decision;
+    use tracedbg_trace::Rank;
+
+    /// P0 takes two wildcard receives and asserts P1 arrived first; the
+    /// schedule decides whether that holds.
+    fn racy_factory() -> ProgramFactory {
+        Box::new(|| {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("sr.rs", 1, "p0");
+                let _ = ctx.recv_from(Rank(1), Tag(7), s);
+                let a = ctx.recv_any(None, s);
+                assert_eq!(a.src, Rank(2), "expected P2 first");
+                let _ = ctx.recv_any(None, s);
+            });
+            let sender = |tag: i32| -> ProgramFn {
+                Box::new(move |ctx| {
+                    let s = ctx.site("sr.rs", 2, "sender");
+                    ctx.send(Rank(0), Tag(tag), Payload::from_i64(1), s);
+                })
+            };
+            vec![p0, sender(7), sender(0), sender(0)]
+        })
+    }
+
+    #[test]
+    fn artifact_schedule_decides_the_outcome() {
+        // Record the deterministic run (P2 matches first: completes).
+        let mut rec = Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            racy_factory(),
+        );
+        assert!(rec.run().is_completed());
+        let decisions = rec.engine().schedule_log();
+
+        let mut good = ScheduleArtifact::new("test-racy", 4, 0);
+        good.decisions = decisions.clone();
+        let replay = replay_schedule(&good, racy_factory());
+        assert_eq!(replay.class, CLASS_COMPLETED);
+        assert!(!replay.diverged);
+
+        // Flip the branchy wildcard match from P2 to P3: the assertion in
+        // P0 must now fire, and the replay must classify it as a panic.
+        let mut bad = good.clone();
+        let flip = bad
+            .decisions
+            .iter()
+            .position(|d| {
+                matches!(
+                    d,
+                    Decision::Match {
+                        dst: Rank(0),
+                        src: Rank(2),
+                        ..
+                    }
+                )
+            })
+            .expect("recorded run matches P2 on the wildcard");
+        bad.decisions[flip] = Decision::Match {
+            dst: Rank(0),
+            src: Rank(3),
+            seq: 0,
+        };
+        // Decisions after the flipped one may not apply verbatim (the
+        // execution changes); truncate to the flipped prefix — the
+        // round-robin tail completes the schedule.
+        bad.decisions.truncate(flip + 1);
+        let replay = replay_schedule(&bad, racy_factory());
+        assert_eq!(replay.class, CLASS_PANIC);
+        assert!(
+            replay.detail.contains("expected P2 first"),
+            "{}",
+            replay.detail
+        );
+    }
+
+    #[test]
+    fn faults_in_artifact_are_injected() {
+        use tracedbg_trace::schedule::Fault;
+        let mut a = ScheduleArtifact::new("test-racy", 4, 0);
+        // P1 crashes before sending: P0's directed receive starves.
+        a.faults.push(Fault::Crash {
+            rank: Rank(1),
+            after_ops: 0,
+        });
+        let replay = replay_schedule(&a, racy_factory());
+        assert_eq!(replay.class, CLASS_DEADLOCK);
+        assert!(replay.detail.contains("no cycle"), "{}", replay.detail);
+    }
+}

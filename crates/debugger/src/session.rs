@@ -11,7 +11,8 @@ use crate::stopline::Stopline;
 use crate::undo::UndoStack;
 use tracedbg_mpsim::DeadlockReport;
 use tracedbg_mpsim::{
-    CostModel, Engine, EngineConfig, ProgramFn, RecorderConfig, ReplayLog, RunOutcome, SchedPolicy,
+    CostModel, Engine, EngineConfig, FaultPlan, ProgramFn, RecorderConfig, ReplayLog, RunOutcome,
+    SchedPolicy,
 };
 use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
@@ -24,6 +25,9 @@ pub struct SessionConfig {
     pub cost: CostModel,
     pub policy: SchedPolicy,
     pub recorder: RecorderConfig,
+    /// Faults to inject into every incarnation of the target (explorer
+    /// schedule replays carry the fault plan of the run they reproduce).
+    pub faults: FaultPlan,
 }
 
 /// Where the session currently stands.
@@ -85,6 +89,7 @@ impl Session {
                 recorder: cfg.recorder.clone(),
                 replay: None,
                 sites: Some(sites.clone()),
+                faults: cfg.faults.clone(),
             },
             factory(),
         );
@@ -209,6 +214,7 @@ impl Session {
                 recorder: self.cfg.recorder.clone(),
                 replay: Some(log),
                 sites: Some(self.sites.clone()),
+                faults: self.cfg.faults.clone(),
             },
             (self.factory)(),
         );
@@ -261,6 +267,7 @@ impl Session {
                 recorder: self.cfg.recorder.clone(),
                 replay: Some(log),
                 sites: Some(self.sites.clone()),
+                faults: self.cfg.faults.clone(),
             },
             (self.factory)(),
         );
@@ -295,6 +302,7 @@ impl Session {
                 recorder: self.cfg.recorder.clone(),
                 replay: None,
                 sites: Some(self.sites.clone()),
+                faults: self.cfg.faults.clone(),
             },
             (self.factory)(),
         );

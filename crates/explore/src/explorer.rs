@@ -1,0 +1,461 @@
+//! The exploration strategies, finding pipeline, and report.
+
+use crate::oracle::{self, Violation};
+use crate::runner::{execute, ProgramSource, RunResult, CLASS_COMPLETED, CLASS_DIVERGENCE};
+use crate::shrink::ddmin;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use tracedbg_mpsim::SchedPolicy;
+use tracedbg_trace::schedule::{Decision, DecisionPoint, Fault, ScheduleArtifact};
+use tracedbg_trace::Rank;
+
+/// Which part of the schedule space to search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Seeded random walks (optionally with generated faults).
+    Random,
+    /// Bounded-preemption DFS over recorded decision points.
+    Systematic,
+    /// Systematic first, random walk with the remaining budget.
+    Both,
+}
+
+impl Strategy {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Strategy::Random => "random",
+            Strategy::Systematic => "systematic",
+            Strategy::Both => "both",
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "random" => Ok(Strategy::Random),
+            "systematic" => Ok(Strategy::Systematic),
+            "both" => Ok(Strategy::Both),
+            other => Err(format!(
+                "unknown strategy '{other}' (random|systematic|both)"
+            )),
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Workload spec recorded into artifacts (the CLI's workload name).
+    pub workload: String,
+    /// Base seed: run seeds and generated faults derive from it.
+    pub seed: u64,
+    /// Total exploration run budget (shrink/confirm runs not included).
+    pub runs: usize,
+    /// Max decision-point substitutions along one systematic path.
+    pub preemptions: usize,
+    /// Generate fault plans on part of the random walk.
+    pub inject_faults: bool,
+    pub strategy: Strategy,
+    /// Run the trace lint as an oracle on completed runs.
+    pub lint_oracle: bool,
+    /// Max predicate evaluations while shrinking one failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            workload: String::new(),
+            seed: 0,
+            runs: 64,
+            preemptions: 2,
+            inject_faults: false,
+            strategy: Strategy::Both,
+            lint_oracle: true,
+            shrink_budget: 128,
+        }
+    }
+}
+
+/// One confirmed failure with its minimized, replayable schedule.
+#[derive(Clone, Debug, Serialize)]
+pub struct Finding {
+    /// Failure class (`deadlock`, `panic`, `lint`, `divergence`).
+    pub class: String,
+    pub detail: String,
+    /// Which exploration run exposed it (1-based).
+    pub found_on_run: usize,
+    /// Strategy that found it.
+    pub strategy: String,
+    /// Decision count before/after shrinking.
+    pub decisions_recorded: usize,
+    pub decisions_shrunk: usize,
+    /// Did a final scripted re-execution reproduce the class with a
+    /// stable trace digest?
+    pub confirmed: bool,
+    pub artifact: ScheduleArtifact,
+}
+
+/// The full result of one exploration.
+#[derive(Serialize)]
+pub struct ExploreReport {
+    pub workload: String,
+    pub procs: usize,
+    pub seed: u64,
+    pub strategy: String,
+    /// Exploration runs executed (budget consumption).
+    pub runs_executed: usize,
+    /// Extra runs spent on shrinking and confirming findings.
+    pub aux_runs: usize,
+    /// Schedules skipped as equivalent to one already seen.
+    pub pruned: usize,
+    /// Branch points (real choices) in the deterministic baseline run.
+    pub baseline_branches: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl ExploreReport {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization cannot fail")
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "explored {} (procs={} seed={} strategy={}): {} runs, {} aux, {} pruned, {} baseline branch point(s)\n",
+            self.workload,
+            self.procs,
+            self.seed,
+            self.strategy,
+            self.runs_executed,
+            self.aux_runs,
+            self.pruned,
+            self.baseline_branches,
+        ));
+        if self.findings.is_empty() {
+            out.push_str("no violations found\n");
+        }
+        for f in &self.findings {
+            out.push_str(&format!(
+                "[{}] run {} ({}): {}\n    schedule: {} -> {} decision(s), {} fault(s){}\n",
+                f.class,
+                f.found_on_run,
+                f.strategy,
+                f.detail,
+                f.decisions_recorded,
+                f.decisions_shrunk,
+                f.artifact.faults.len(),
+                if f.confirmed {
+                    ", confirmed"
+                } else {
+                    ", UNCONFIRMED"
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// The exploration engine.
+pub struct Explorer {
+    cfg: ExploreConfig,
+    source: ProgramSource,
+    procs: usize,
+    runs_executed: usize,
+    aux_runs: usize,
+    pruned: usize,
+    digests: HashSet<u64>,
+    prefixes: HashSet<u64>,
+    findings: Vec<Finding>,
+    classes_found: HashSet<String>,
+}
+
+fn hash_decisions(d: &[Decision]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    d.hash(&mut h);
+    h.finish()
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Explorer {
+    pub fn new(cfg: ExploreConfig, source: ProgramSource) -> Self {
+        let procs = source().len();
+        Explorer {
+            cfg,
+            source,
+            procs,
+            runs_executed: 0,
+            aux_runs: 0,
+            pruned: 0,
+            digests: HashSet::new(),
+            prefixes: HashSet::new(),
+            findings: Vec::new(),
+            classes_found: HashSet::new(),
+        }
+    }
+
+    /// Run the exploration to completion and report.
+    pub fn explore(mut self) -> ExploreReport {
+        // Failing runs are the point here; keep their panics off stderr.
+        tracedbg_mpsim::set_quiet_panics(true);
+        // Deterministic baseline: the root of systematic search, and the
+        // subject of the replay-conformance oracle.
+        let base = self.run_and_check(SchedPolicy::RoundRobin, &[], "baseline");
+        let baseline_branches = base.points.iter().filter(|p| p.is_branch()).count();
+        self.conformance_check(&base);
+        match self.cfg.strategy {
+            Strategy::Systematic | Strategy::Both => self.systematic(&base),
+            Strategy::Random => {}
+        }
+        match self.cfg.strategy {
+            Strategy::Random | Strategy::Both => self.random_walk(),
+            Strategy::Systematic => {}
+        }
+        tracedbg_mpsim::set_quiet_panics(false);
+        ExploreReport {
+            workload: self.cfg.workload,
+            procs: self.procs,
+            seed: self.cfg.seed,
+            strategy: self.cfg.strategy.as_str().to_string(),
+            runs_executed: self.runs_executed,
+            aux_runs: self.aux_runs,
+            pruned: self.pruned,
+            baseline_branches,
+            findings: self.findings,
+        }
+    }
+
+    /// Execute one exploration run and feed it to the oracles.
+    fn run_and_check(
+        &mut self,
+        policy: SchedPolicy,
+        faults: &[Fault],
+        strategy: &'static str,
+    ) -> RunResult {
+        let res = execute(&self.source, policy, faults);
+        self.runs_executed += 1;
+        if self.digests.insert(res.digest) {
+            if let Some(v) = oracle::check(&res, self.cfg.lint_oracle) {
+                self.handle_violation(&res, faults, v, strategy);
+            }
+        } else {
+            self.pruned += 1;
+        }
+        res
+    }
+
+    /// Replay-conformance oracle: re-executing the baseline's own decision
+    /// sequence as a script must regenerate the identical trace. A
+    /// mismatch is a bug in the record/replay machinery itself.
+    fn conformance_check(&mut self, base: &RunResult) {
+        if base.class != CLASS_COMPLETED {
+            return;
+        }
+        self.aux_runs += 1;
+        let rerun = execute(
+            &self.source,
+            SchedPolicy::Scripted(base.decisions.clone()),
+            &[],
+        );
+        if rerun.digest != base.digest || rerun.diverged {
+            let mut artifact =
+                ScheduleArtifact::new(self.cfg.workload.clone(), self.procs, self.cfg.seed);
+            artifact.decisions = base.decisions.clone();
+            artifact.failure = Some(CLASS_DIVERGENCE.to_string());
+            self.findings.push(Finding {
+                class: CLASS_DIVERGENCE.to_string(),
+                detail: format!(
+                    "scripted re-execution of the baseline diverged (diverged={}, digest {:#x} vs {:#x})",
+                    rerun.diverged, rerun.digest, base.digest
+                ),
+                found_on_run: self.runs_executed,
+                strategy: "baseline".to_string(),
+                decisions_recorded: base.decisions.len(),
+                decisions_shrunk: base.decisions.len(),
+                confirmed: false,
+                artifact,
+            });
+        }
+    }
+
+    /// Bounded-preemption search, breadth-first: every 1-preemption
+    /// schedule runs before any 2-preemption schedule. Each queue entry is
+    /// a schedule prefix that replays an observed run up to a branch point
+    /// and substitutes one alternative; `depth` counts substitutions along
+    /// the path. Breadth order matters — races live at early branch
+    /// points, and depth-first order would burn the whole run budget
+    /// permuting the (usually equivalent) tail of the schedule.
+    fn systematic(&mut self, base: &RunResult) {
+        let mut queue: VecDeque<(Vec<Decision>, usize)> = VecDeque::new();
+        Self::push_extensions(&base.points, 0, 0, &mut queue);
+        while let Some((prefix, depth)) = queue.pop_front() {
+            if self.runs_executed >= self.cfg.runs {
+                break;
+            }
+            // Prefix-level pruning: an already-visited substitution leads
+            // to an already-explored subtree.
+            if !self.prefixes.insert(hash_decisions(&prefix)) {
+                self.pruned += 1;
+                continue;
+            }
+            let plen = prefix.len();
+            let res = self.run_and_check(SchedPolicy::Scripted(prefix), &[], "systematic");
+            // Only branch on decisions *after* the substitution: earlier
+            // alternatives are someone else's subtree (the sleep-set-style
+            // part of the reduction).
+            if depth < self.cfg.preemptions && !res.diverged {
+                Self::push_extensions(&res.points, plen, depth, &mut queue);
+            }
+        }
+    }
+
+    /// For every branch point at index >= `from`, enqueue each untaken
+    /// alternative as (replayed prefix + alternative).
+    fn push_extensions(
+        points: &[DecisionPoint],
+        from: usize,
+        depth: usize,
+        queue: &mut VecDeque<(Vec<Decision>, usize)>,
+    ) {
+        for (i, p) in points.iter().enumerate().skip(from) {
+            if !p.is_branch() {
+                continue;
+            }
+            for &alt in &p.alternatives {
+                if alt == p.chosen {
+                    continue;
+                }
+                let mut prefix: Vec<Decision> = points[..i].iter().map(|q| q.chosen).collect();
+                prefix.push(alt);
+                queue.push_back((prefix, depth + 1));
+            }
+        }
+    }
+
+    /// Seeded random walks until the budget runs out.
+    fn random_walk(&mut self) {
+        let mut i = 0u64;
+        while self.runs_executed < self.cfg.runs {
+            i += 1;
+            let seed = splitmix64(self.cfg.seed.wrapping_add(i));
+            let faults = if self.cfg.inject_faults && i.is_multiple_of(2) {
+                let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(seed));
+                self.gen_faults(&mut rng)
+            } else {
+                Vec::new()
+            };
+            self.run_and_check(SchedPolicy::Seeded(seed), &faults, "random");
+        }
+    }
+
+    /// A small random fault plan: delays dominate (they stay within MPI
+    /// legality), with occasional crash/hang injections.
+    fn gen_faults(&self, rng: &mut ChaCha8Rng) -> Vec<Fault> {
+        let n = 1 + rng.gen_range(0..2);
+        (0..n)
+            .map(|_| {
+                let rank = Rank(rng.gen_range(0..self.procs) as u32);
+                match rng.gen_range(0..4) {
+                    0 | 1 => {
+                        let mut dst = rng.gen_range(0..self.procs);
+                        if dst == rank.ix() {
+                            dst = (dst + 1) % self.procs;
+                        }
+                        Fault::Delay {
+                            src: rank,
+                            dst: Rank(dst as u32),
+                            nth: rng.gen_range(0..3) as u64,
+                            extra_ns: 1_000_000 * (1 + rng.gen_range(0..100)) as u64,
+                        }
+                    }
+                    2 => Fault::Crash {
+                        rank,
+                        after_ops: rng.gen_range(0..4) as u64,
+                    },
+                    _ => Fault::Hang {
+                        rank,
+                        after_ops: rng.gen_range(0..4) as u64,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Shrink, minimize faults, confirm, and record one violation.
+    fn handle_violation(
+        &mut self,
+        res: &RunResult,
+        faults: &[Fault],
+        v: Violation,
+        strategy: &'static str,
+    ) {
+        let class = v.class().to_string();
+        // One finding per class keeps reports and artifact sets small; the
+        // first exposure is also the cheapest to shrink.
+        if !self.classes_found.insert(class.clone()) {
+            return;
+        }
+        let recorded = res.decisions.len();
+        let mut aux = 0usize;
+        let reproduces = |decisions: &[Decision], faults: &[Fault], aux: &mut usize| -> bool {
+            *aux += 1;
+            let rerun = execute(
+                &self.source,
+                SchedPolicy::Scripted(decisions.to_vec()),
+                faults,
+            );
+            rerun.class == class
+        };
+        // Delta-debug the decision sequence (fault plan held fixed).
+        let shrunk = ddmin(res.decisions.clone(), self.cfg.shrink_budget, |d| {
+            reproduces(d, faults, &mut aux)
+        });
+        // Then drop faults that are not needed to reproduce.
+        let mut kept: Vec<Fault> = faults.to_vec();
+        let mut fi = 0;
+        while fi < kept.len() {
+            let mut without = kept.clone();
+            without.remove(fi);
+            if reproduces(&shrunk, &without, &mut aux) {
+                kept = without;
+            } else {
+                fi += 1;
+            }
+        }
+        // Confirm: two scripted re-executions agree with each other and
+        // with the failure class.
+        let c1 = execute(&self.source, SchedPolicy::Scripted(shrunk.clone()), &kept);
+        let c2 = execute(&self.source, SchedPolicy::Scripted(shrunk.clone()), &kept);
+        aux += 2;
+        let confirmed = c1.class == class && c2.class == class && c1.digest == c2.digest;
+        self.aux_runs += aux;
+
+        let mut artifact =
+            ScheduleArtifact::new(self.cfg.workload.clone(), self.procs, self.cfg.seed);
+        artifact.faults = kept;
+        artifact.decisions = shrunk;
+        artifact.failure = Some(class.clone());
+        self.findings.push(Finding {
+            class,
+            detail: v.detail().to_string(),
+            found_on_run: self.runs_executed,
+            strategy: strategy.to_string(),
+            decisions_recorded: recorded,
+            decisions_shrunk: artifact.decisions.len(),
+            confirmed,
+            artifact,
+        });
+    }
+}

@@ -1,0 +1,31 @@
+//! Schedule-space exploration and fault injection.
+//!
+//! The paper's replay machinery (§4.2) defeats nondeterminism once a buggy
+//! execution is in hand; this crate *finds* those executions. An
+//! [`Explorer`] drives the `mpsim` engine through many interleavings of a
+//! workload:
+//!
+//! * **random walk** — per-run seeds perturb turn order and wildcard
+//!   matching, optionally combined with generated faults (message delays,
+//!   process crash/hang);
+//! * **systematic bounded-preemption search** — starting from the
+//!   deterministic baseline, substitute alternatives at recorded decision
+//!   points (turn grants, wildcard matches), depth-bounded by a preemption
+//!   budget, with digest-based pruning of schedules already proven
+//!   equivalent (a sleep-set-flavoured reduction: a schedule whose trace
+//!   digest matches a visited one cannot expose a new outcome).
+//!
+//! Each run's decisions are recorded; when an **oracle** fires (deadlock,
+//! process panic, lint error on the trace, replay divergence), the failing
+//! decision sequence is **shrunk** by delta debugging ([`shrink::ddmin`])
+//! and saved as a [`ScheduleArtifact`] that `tracedbg replay --schedule`
+//! re-executes deterministically.
+
+pub mod explorer;
+pub mod oracle;
+pub mod runner;
+pub mod shrink;
+
+pub use explorer::{ExploreConfig, ExploreReport, Explorer, Finding, Strategy};
+pub use oracle::Violation;
+pub use runner::{ProgramSource, RunResult};

@@ -1,0 +1,97 @@
+//! One explored run: engine execution → compact result.
+
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig, FaultPlan, ProgramFn, RunOutcome, SchedPolicy};
+use tracedbg_trace::schedule::{Decision, DecisionPoint, Fault};
+use tracedbg_trace::{trace_digest, TraceStore};
+
+/// Recreates the target program for each run (the explorer executes it
+/// many times).
+pub type ProgramSource = Box<dyn Fn() -> Vec<ProgramFn> + Send>;
+
+/// Outcome classes. These are the `failure` strings written into schedule
+/// artifacts; `tracedbg replay` compares against them.
+pub const CLASS_COMPLETED: &str = "completed";
+pub const CLASS_DEADLOCK: &str = "deadlock";
+pub const CLASS_PANIC: &str = "panic";
+pub const CLASS_STOPPED: &str = "stopped";
+pub const CLASS_LINT: &str = "lint";
+pub const CLASS_DIVERGENCE: &str = "divergence";
+
+/// Everything the explorer keeps from one run.
+pub struct RunResult {
+    /// Outcome class (`CLASS_*`).
+    pub class: &'static str,
+    /// Human-readable outcome detail.
+    pub detail: String,
+    /// Whether the deadlock (if any) was a genuine circular wait.
+    pub cyclic: bool,
+    /// The decisions the run actually made.
+    pub decisions: Vec<Decision>,
+    /// Decisions with their alternatives — the branch structure.
+    pub points: Vec<DecisionPoint>,
+    /// Stable digest of the run's trace, for equivalence pruning.
+    pub digest: u64,
+    /// The run's trace (for trace-level oracles).
+    pub store: TraceStore,
+    /// Did a scripted policy fail to apply at some point?
+    pub diverged: bool,
+    /// Did any injected fault actually silence a process?
+    pub fault_fired: bool,
+}
+
+/// Execute the program once under `policy` + `faults` and summarize.
+pub fn execute(source: &ProgramSource, policy: SchedPolicy, faults: &[Fault]) -> RunResult {
+    let mut engine = Engine::launch(
+        EngineConfig {
+            policy,
+            recorder: RecorderConfig::full(),
+            faults: FaultPlan::new(faults.to_vec()),
+            ..Default::default()
+        },
+        source(),
+    );
+    let outcome = engine.run();
+    let (class, detail, cyclic) = match &outcome {
+        RunOutcome::Completed => (CLASS_COMPLETED, "run completed".to_string(), false),
+        RunOutcome::Deadlock(rep) => {
+            let detail = if rep.is_cyclic() {
+                format!("cyclic wait: {:?}", rep.cycle)
+            } else {
+                format!(
+                    "stalled: {} process(es) waiting with no cycle",
+                    rep.waits.len()
+                )
+            };
+            (CLASS_DEADLOCK, detail, rep.is_cyclic())
+        }
+        RunOutcome::Panicked { rank, message } => {
+            (CLASS_PANIC, format!("{rank:?} panicked: {message}"), false)
+        }
+        RunOutcome::Stopped(s) => (
+            CLASS_STOPPED,
+            format!("{} trap(s), {} paused", s.traps.len(), s.paused.len()),
+            false,
+        ),
+    };
+    let decisions = engine.schedule_log();
+    let points = engine.decision_points().to_vec();
+    let diverged = engine.schedule_diverged();
+    let fault_fired = !engine.faulted().is_empty();
+    let store = engine.trace_store();
+    let digest = {
+        let recs: Vec<_> = store.records().to_vec();
+        trace_digest(&recs)
+    };
+    RunResult {
+        class,
+        detail,
+        cyclic,
+        decisions,
+        points,
+        digest,
+        store,
+        diverged,
+        fault_fired,
+    }
+}

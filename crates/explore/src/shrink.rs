@@ -1,0 +1,108 @@
+//! Delta debugging over decision sequences.
+//!
+//! A failing schedule recorded by the explorer contains every decision of
+//! the run — most of them irrelevant, because the scripted scheduler falls
+//! back to deterministic round-robin once (or wherever) the script runs
+//! out. [`ddmin`] strips the sequence down to the decisions that actually
+//! force the failure, using the classic Zeller/Hildebrandt algorithm:
+//! partition into chunks, try the complement of each chunk, refine
+//! granularity when nothing can be removed.
+
+use tracedbg_trace::schedule::Decision;
+
+/// Minimize `input` while `test` (the "still fails the same way"
+/// predicate) holds. `test(&input)` is assumed true on entry. `budget`
+/// bounds the number of predicate evaluations — each one is a full
+/// program run.
+pub fn ddmin<F>(input: Vec<Decision>, budget: usize, mut test: F) -> Vec<Decision>
+where
+    F: FnMut(&[Decision]) -> bool,
+{
+    let mut current = input;
+    let mut spent = 0usize;
+    // Fast path: the empty schedule (pure round-robin tail) often already
+    // reproduces fault-driven failures.
+    if budget > 0 && test(&[]) {
+        return Vec::new();
+    }
+    spent += 1;
+    let mut n = 2usize;
+    while current.len() >= 2 && spent < budget {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() && spent < budget {
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except current[start..end].
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            spent += 1;
+            if test(&candidate) {
+                current = candidate;
+                n = (n - 1).max(2);
+                reduced = true;
+                // Re-partition the shrunk input from scratch.
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::Rank;
+
+    fn turn(r: u32) -> Decision {
+        Decision::Turn { rank: Rank(r) }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_decision() {
+        let input: Vec<Decision> = (0..32).map(|i| turn(i % 4)).collect();
+        let needle = turn(2);
+        // "Fails" whenever the needle decision is present.
+        let out = ddmin(input, 10_000, |c| c.contains(&needle));
+        assert_eq!(out, vec![needle]);
+    }
+
+    #[test]
+    fn shrinks_to_a_required_pair() {
+        let mut input: Vec<Decision> = (0..20).map(|_| turn(0)).collect();
+        input[3] = turn(1);
+        input[15] = turn(2);
+        let out = ddmin(input, 10_000, |c| {
+            c.contains(&turn(1)) && c.contains(&turn(2))
+        });
+        assert_eq!(out, vec![turn(1), turn(2)]);
+    }
+
+    #[test]
+    fn empty_input_when_failure_is_unconditional() {
+        let input: Vec<Decision> = (0..8).map(turn).collect();
+        let out = ddmin(input, 10_000, |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn budget_bounds_evaluations() {
+        let input: Vec<Decision> = (0..64).map(|i| turn(i % 4)).collect();
+        let mut calls = 0;
+        let needle = turn(3);
+        let out = ddmin(input, 5, |c| {
+            calls += 1;
+            c.contains(&needle)
+        });
+        assert!(calls <= 6, "budget respected, got {calls}");
+        assert!(out.contains(&needle), "never shrinks away the failure");
+    }
+}

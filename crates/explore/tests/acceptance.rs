@@ -1,0 +1,129 @@
+//! End-to-end acceptance: the explorer must break the intentionally racy
+//! workloads, emit shrunk artifacts, and those artifacts must reproduce
+//! the failure deterministically when replayed as scripts.
+
+use tracedbg_explore::runner::{execute, CLASS_DEADLOCK, CLASS_PANIC};
+use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
+use tracedbg_mpsim::SchedPolicy;
+use tracedbg_trace::ScheduleArtifact;
+use tracedbg_workloads::racy::{orphan_deadlock_factory, wildcard_race_factory, RacyConfig};
+
+fn config(workload: &str, strategy: Strategy) -> ExploreConfig {
+    ExploreConfig {
+        workload: workload.to_string(),
+        seed: 7,
+        runs: 48,
+        preemptions: 2,
+        strategy,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn systematic_search_finds_the_wildcard_race() {
+    let source = Box::new(wildcard_race_factory(RacyConfig::default()));
+    let report = Explorer::new(config("racy-wildcard", Strategy::Systematic), source).explore();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == CLASS_PANIC)
+        .expect("the wildcard race must be found within the budget");
+    assert!(finding.confirmed, "finding must double-confirm");
+    assert!(
+        finding.decisions_shrunk <= finding.decisions_recorded,
+        "shrinking never grows the schedule"
+    );
+    assert!(
+        finding.decisions_shrunk <= 4,
+        "one wrong turn triggers this race; got {} decisions",
+        finding.decisions_shrunk
+    );
+    // The artifact survives serialization and still reproduces the panic.
+    let json = finding.artifact.to_json();
+    let artifact = ScheduleArtifact::from_json(&json).expect("artifact roundtrips");
+    let source = Box::new(wildcard_race_factory(RacyConfig::default()));
+    let rerun = execute(
+        &(source as tracedbg_explore::ProgramSource),
+        SchedPolicy::Scripted(artifact.decisions.clone()),
+        &artifact.faults,
+    );
+    assert_eq!(rerun.class, CLASS_PANIC, "replayed artifact reproduces");
+    assert_eq!(artifact.failure.as_deref(), Some(CLASS_PANIC));
+}
+
+#[test]
+fn systematic_search_finds_the_orphan_deadlock() {
+    let source = Box::new(orphan_deadlock_factory(RacyConfig::default()));
+    let report = Explorer::new(config("racy-deadlock", Strategy::Systematic), source).explore();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == CLASS_DEADLOCK)
+        .expect("the orphaned receive must be found within the budget");
+    assert!(finding.confirmed);
+    let source = Box::new(orphan_deadlock_factory(RacyConfig::default()));
+    let rerun = execute(
+        &(source as tracedbg_explore::ProgramSource),
+        SchedPolicy::Scripted(finding.artifact.decisions.clone()),
+        &finding.artifact.faults,
+    );
+    assert_eq!(rerun.class, CLASS_DEADLOCK);
+    // Running the artifact twice gives byte-identical traces.
+    let source = Box::new(orphan_deadlock_factory(RacyConfig::default()));
+    let rerun2 = execute(
+        &(source as tracedbg_explore::ProgramSource),
+        SchedPolicy::Scripted(finding.artifact.decisions.clone()),
+        &finding.artifact.faults,
+    );
+    assert_eq!(rerun.digest, rerun2.digest, "replay is deterministic");
+}
+
+#[test]
+fn random_walk_also_finds_the_race() {
+    let source = Box::new(wildcard_race_factory(RacyConfig::default()));
+    let mut cfg = config("racy-wildcard", Strategy::Random);
+    cfg.runs = 64;
+    let report = Explorer::new(cfg, source).explore();
+    assert!(
+        report.findings.iter().any(|f| f.class == CLASS_PANIC),
+        "64 seeded walks should hit a 2-candidate race"
+    );
+}
+
+#[test]
+fn clean_workload_yields_no_findings() {
+    let source = Box::new(tracedbg_workloads::ring::factory(Default::default()));
+    let mut cfg = config("ring", Strategy::Both);
+    cfg.runs = 24;
+    let report = Explorer::new(cfg, source).explore();
+    assert!(
+        report.findings.is_empty(),
+        "the ring is schedule-insensitive: {:?}",
+        report
+            .findings
+            .iter()
+            .map(|f| (&f.class, &f.detail))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.runs_executed >= 1);
+}
+
+#[test]
+fn fault_injection_exposes_starvation_in_the_ring() {
+    // The ring deadlocks if any node crashes: its neighbour waits forever.
+    let source = Box::new(tracedbg_workloads::ring::factory(Default::default()));
+    let mut cfg = config("ring", Strategy::Random);
+    cfg.runs = 32;
+    cfg.inject_faults = true;
+    let report = Explorer::new(cfg, source).explore();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == CLASS_DEADLOCK)
+        .expect("crash/hang faults starve the ring");
+    assert!(
+        !finding.artifact.faults.is_empty(),
+        "the fault plan is part of the minimal artifact"
+    );
+    assert!(finding.confirmed);
+}

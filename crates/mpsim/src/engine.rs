@@ -13,6 +13,7 @@
 use crate::clock::CostModel;
 use crate::collective::{CollEntry, PendingCollective};
 use crate::deadlock::DeadlockReport;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::mailbox::Mailbox;
 use crate::message::{Envelope, MatchSpec};
 use crate::ops::{Reply, Request, SendMode, ShutdownSignal};
@@ -24,6 +25,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tracedbg_instrument::{Recorder, RecorderConfig};
+use tracedbg_trace::schedule::{Decision, DecisionPoint};
 use tracedbg_trace::{FlushHandle, Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
 /// Engine construction parameters.
@@ -38,6 +40,8 @@ pub struct EngineConfig {
     /// ids stay stable between a recording run and its replays (the
     /// debugger's breakpoints and trace comparisons depend on this).
     pub sites: Option<SiteTable>,
+    /// Faults to inject into this run (explorer fault plane).
+    pub faults: FaultPlan,
 }
 
 impl EngineConfig {
@@ -108,6 +112,9 @@ enum ProcState {
     Trapped {
         marker: u64,
     },
+    /// Silenced by an injected fault: the process submitted a request that
+    /// was swallowed and will never be granted another turn.
+    Faulted(FaultKind),
     Finished,
     Panicked(String),
 }
@@ -133,6 +140,13 @@ pub struct Engine {
     n_ranks: usize,
     /// Trace records collected from finished/flushed buffers.
     collected: Vec<TraceRecord>,
+    faults: FaultPlan,
+    /// Runtime operations (send/recv/collective) submitted per rank, for
+    /// fault thresholds.
+    ops: Vec<u64>,
+    /// Every scheduling decision of this run with its alternatives — the
+    /// raw material of schedule artifacts and systematic exploration.
+    decision_log: Vec<DecisionPoint>,
 }
 
 impl Engine {
@@ -215,6 +229,9 @@ impl Engine {
             pending_coll: None,
             n_ranks: n,
             collected: Vec::new(),
+            faults: config.faults,
+            ops: vec![0; n],
+            decision_log: Vec::new(),
         }
     }
 
@@ -240,6 +257,13 @@ impl Engine {
                 return self.stall_outcome();
             }
             let p = self.scheduler.pick(&runnable);
+            self.decision_log.push(DecisionPoint {
+                chosen: Decision::Turn { rank: p },
+                alternatives: runnable
+                    .iter()
+                    .map(|&r| Decision::Turn { rank: r })
+                    .collect(),
+            });
             let reply = match std::mem::replace(&mut self.states[p.ix()], ProcState::Running) {
                 ProcState::Ready(r) => r,
                 other => unreachable!("granted non-ready process in state {other:?}"),
@@ -264,7 +288,15 @@ impl Engine {
                 message: msg,
             };
         }
-        if self.states.iter().all(|s| matches!(s, ProcState::Finished)) {
+        // A crash-faulted process counts as gone: the fault itself is not a
+        // violation; what matters is whether the peers could still finish.
+        // A hang-faulted process, by contrast, keeps the run incomplete.
+        if self.states.iter().all(|s| {
+            matches!(
+                s,
+                ProcState::Finished | ProcState::Faulted(FaultKind::Crash)
+            )
+        }) {
             return RunOutcome::Completed;
         }
         let traps: Vec<Marker> = self
@@ -297,6 +329,9 @@ impl Engine {
                     Some((Rank(i as u32), MatchSpec::new(Some(*dst), None), *marker))
                 }
                 ProcState::InCollective => Some((Rank(i as u32), MatchSpec::any(), 0)),
+                // A hung process shows up as an orphan wait so the report
+                // names it; a crashed one is simply absent.
+                ProcState::Faulted(FaultKind::Hang) => Some((Rank(i as u32), MatchSpec::any(), 0)),
                 _ => None,
             })
             .collect();
@@ -304,6 +339,21 @@ impl Engine {
     }
 
     fn service(&mut self, rank: Rank, req: Request) {
+        // Fault plane: runtime operations count toward the process's
+        // silence threshold; the operation that crosses it is swallowed and
+        // the process never runs again. Peers observe only the silence.
+        if matches!(
+            req,
+            Request::Send { .. } | Request::Recv { .. } | Request::Collective { .. }
+        ) {
+            self.ops[rank.ix()] += 1;
+            if let Some((after_ops, kind)) = self.faults.silence_for(rank) {
+                if self.ops[rank.ix()] > after_ops {
+                    self.states[rank.ix()] = ProcState::Faulted(kind);
+                    return;
+                }
+            }
+        }
         match req {
             Request::Send {
                 dst,
@@ -317,7 +367,8 @@ impl Engine {
                 let seq = self.send_seq[rank.ix()][dst.ix()];
                 self.send_seq[rank.ix()][dst.ix()] += 1;
                 let t_done = self.cost.send_done(t0);
-                let arrival = self.cost.arrival(t_done, payload.len());
+                let arrival =
+                    self.cost.arrival(t_done, payload.len()) + self.faults.delay(rank, dst, seq);
                 let env = Envelope {
                     src: rank,
                     dst,
@@ -409,8 +460,22 @@ impl Engine {
         if candidates.is_empty() {
             return;
         }
-        let keys: Vec<(u64, Rank)> = candidates.iter().map(|c| (c.arrival, c.src)).collect();
-        let pick = self.scheduler.pick_candidate(&keys);
+        let pick = self.scheduler.pick_candidate(dst, &candidates);
+        self.decision_log.push(DecisionPoint {
+            chosen: Decision::Match {
+                dst,
+                src: candidates[pick].src,
+                seq: candidates[pick].seq,
+            },
+            alternatives: candidates
+                .iter()
+                .map(|c| Decision::Match {
+                    dst,
+                    src: c.src,
+                    seq: c.seq,
+                })
+                .collect(),
+        });
         let env = self.mailboxes[dst.ix()].take(candidates[pick]);
         self.match_rec.record(
             dst,
@@ -615,6 +680,46 @@ impl Engine {
             .map(|r| r.lock().monitor().invocations())
             .collect()
     }
+
+    // ---- explorer interface ----
+
+    /// Every scheduling decision of the run so far, with the alternatives
+    /// that were available at each point.
+    pub fn decision_points(&self) -> &[DecisionPoint] {
+        &self.decision_log
+    }
+
+    /// Just the chosen decisions — the schedule this run followed.
+    pub fn schedule_log(&self) -> Vec<Decision> {
+        self.decision_log.iter().map(|d| d.chosen).collect()
+    }
+
+    /// Under a scripted policy: did the script fail to apply at some point?
+    pub fn schedule_diverged(&self) -> bool {
+        self.scheduler.diverged()
+    }
+
+    /// Processes silenced by injected faults.
+    pub fn faulted(&self) -> Vec<(Rank, FaultKind)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ProcState::Faulted(k) => Some((Rank(i as u32), *k)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+static QUIET_PANICS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Suppress stderr noise from panics inside simulated processes. The
+/// explorer turns this on: it drives hundreds of runs into assertion
+/// failures on purpose, and every panic is already captured and reported
+/// through [`RunOutcome::Panicked`].
+pub fn set_quiet_panics(quiet: bool) {
+    QUIET_PANICS.store(quiet, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// Engine teardown unwinds parked process threads with a
@@ -625,9 +730,16 @@ fn install_quiet_shutdown_hook() {
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
-                prev(info);
+            if info.payload().downcast_ref::<ShutdownSignal>().is_some() {
+                return;
             }
+            let in_sim_proc = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("mpsim-p"));
+            if in_sim_proc && QUIET_PANICS.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
+            }
+            prev(info);
         }));
     });
 }
@@ -992,6 +1104,182 @@ mod tests {
         assert_eq!(und[1].1.len(), 1);
         assert_eq!(und[1].1[0].tag, Tag(1));
         assert_eq!(und[0].1.len(), 0);
+    }
+
+    #[test]
+    fn scripted_schedule_reproduces_a_seeded_run() {
+        // Record a seeded run's decisions, then re-execute them as a
+        // script: the trace must be bit-identical even though the scripted
+        // scheduler shares no RNG state with the recording.
+        let make = || -> Vec<ProgramFn> {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = site_of(ctx, "p0");
+                let a = ctx.recv_any(None, s);
+                let b = ctx.recv_any(None, s);
+                ctx.probe("order", (a.src.0 * 10 + b.src.0) as i64, s);
+            });
+            let sender = |v: i64| -> ProgramFn {
+                Box::new(move |ctx| {
+                    let s = site_of(ctx, "sender");
+                    ctx.compute(100, s);
+                    ctx.send(Rank(0), Tag(0), Payload::from_i64(v), s);
+                })
+            };
+            vec![p0, sender(1), sender(2)]
+        };
+        let mut cfg1 = cfg();
+        cfg1.policy = SchedPolicy::Seeded(42);
+        let mut e1 = Engine::launch(cfg1, make());
+        assert!(e1.run().is_completed());
+        let script = e1.schedule_log();
+        let recorded = e1.collect_trace();
+
+        let mut cfg2 = cfg();
+        cfg2.policy = SchedPolicy::Scripted(script);
+        let mut e2 = Engine::launch(cfg2, make());
+        assert!(e2.run().is_completed());
+        assert!(!e2.schedule_diverged(), "script must apply cleanly");
+        assert_eq!(recorded, e2.collect_trace(), "scripted replay is exact");
+    }
+
+    /// The receiver matches a directed receive from P1 first; while it
+    /// holds no turn, P2 and P3 queue their sends. The first wildcard then
+    /// sees two candidates — a real branch point.
+    fn wildcard_fanin() -> Vec<ProgramFn> {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            let _ = ctx.recv_from(Rank(1), Tag(0), s);
+            let a = ctx.recv_any(None, s);
+            ctx.probe("first", a.src.0 as i64, s);
+            let _ = ctx.recv_any(None, s);
+        });
+        let sender = || -> ProgramFn {
+            Box::new(move |ctx| {
+                let s = site_of(ctx, "sender");
+                ctx.send(Rank(0), Tag(0), Payload::from_i64(1), s);
+            })
+        };
+        vec![p0, sender(), sender(), sender()]
+    }
+
+    #[test]
+    fn decision_log_marks_wildcard_branches() {
+        let mut e = Engine::launch(cfg(), wildcard_fanin());
+        assert!(e.run().is_completed());
+        let branchy: Vec<_> = e
+            .decision_points()
+            .iter()
+            .filter(|d| d.is_branch() && matches!(d.chosen, Decision::Match { .. }))
+            .collect();
+        assert_eq!(
+            branchy.len(),
+            1,
+            "first wildcard has two candidates, second has one"
+        );
+        assert_eq!(branchy[0].alternatives.len(), 2);
+    }
+
+    #[test]
+    fn delay_fault_reorders_wildcard_arrivals() {
+        use tracedbg_trace::Fault;
+        // The first wildcard of `wildcard_fanin` ties on arrival and picks
+        // the lowest source (P2); delaying P2's message flips it to P3.
+        let first_src = |faults: FaultPlan| -> i64 {
+            let mut c = cfg();
+            c.faults = faults;
+            let mut e = Engine::launch(c, wildcard_fanin());
+            assert!(e.run().is_completed());
+            let store = e.trace_store();
+            store
+                .records()
+                .iter()
+                .find(|r| r.kind == EventKind::Probe)
+                .map(|r| r.args[0])
+                .unwrap()
+        };
+        assert_eq!(first_src(FaultPlan::default()), 2);
+        let delayed = FaultPlan::new(vec![Fault::Delay {
+            src: Rank(2),
+            dst: Rank(0),
+            nth: 0,
+            extra_ns: 50_000_000,
+        }]);
+        assert_eq!(first_src(delayed), 3, "delay fault must flip the match");
+    }
+
+    #[test]
+    fn crash_fault_starves_peer_into_deadlock() {
+        use tracedbg_trace::Fault;
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            let _ = ctx.recv_from(Rank(1), Tag(0), s);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.send(Rank(0), Tag(0), Payload::from_i64(1), s);
+        });
+        let mut c = cfg();
+        // P1 crashes on its very first operation: the send never happens.
+        c.faults = FaultPlan::new(vec![Fault::Crash {
+            rank: Rank(1),
+            after_ops: 0,
+        }]);
+        let mut e = Engine::launch(c, vec![p0, p1]);
+        match e.run() {
+            RunOutcome::Deadlock(rep) => {
+                assert!(!rep.is_cyclic(), "starvation, not a cycle");
+                assert_eq!(rep.waits.len(), 1);
+                assert_eq!(rep.waits[0].waiter, Rank(0));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert_eq!(e.faulted(), vec![(Rank(1), FaultKind::Crash)]);
+    }
+
+    #[test]
+    fn crash_fault_alone_still_completes() {
+        use tracedbg_trace::Fault;
+        // Nobody depends on P1: its crash is not a failure.
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.compute(10, s);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.send(Rank(0), Tag(9), Payload::from_i64(1), s);
+        });
+        let mut c = cfg();
+        c.faults = FaultPlan::new(vec![Fault::Crash {
+            rank: Rank(1),
+            after_ops: 0,
+        }]);
+        let mut e = Engine::launch(c, vec![p0, p1]);
+        assert!(e.run().is_completed());
+    }
+
+    #[test]
+    fn hang_fault_prevents_completion() {
+        use tracedbg_trace::Fault;
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.compute(10, s);
+        });
+        let p1: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p1");
+            ctx.send(Rank(0), Tag(9), Payload::from_i64(1), s);
+        });
+        let mut c = cfg();
+        c.faults = FaultPlan::new(vec![Fault::Hang {
+            rank: Rank(1),
+            after_ops: 0,
+        }]);
+        let mut e = Engine::launch(c, vec![p0, p1]);
+        match e.run() {
+            RunOutcome::Deadlock(rep) => {
+                assert!(rep.waits.iter().any(|w| w.waiter == Rank(1)));
+            }
+            other => panic!("expected hang-induced stall, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Fault injection plane.
+//!
+//! The explorer perturbs executions not only through scheduling but through
+//! *faults*: message delays (legal under MPI semantics — they only shift
+//! arrival times, which biases wildcard matching), and injected process
+//! crashes or hangs (the process goes silent after a set number of runtime
+//! operations). A [`FaultPlan`] is attached to an
+//! [`EngineConfig`](crate::EngineConfig); the engine consults it while
+//! servicing requests. Faulted processes are not themselves reported as
+//! failures — the observable signal is what their silence does to their
+//! peers (starvation, orphaned receives, broken collectives).
+
+use tracedbg_trace::schedule::Fault;
+use tracedbg_trace::Rank;
+
+/// What kind of silence a faulted process fell into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Terminated abruptly: counts as gone for run-completion purposes.
+    Crash,
+    /// Alive but never progressing: the run can never complete.
+    Hang,
+}
+
+/// An immutable set of faults to inject into one run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    pub fn new(faults: Vec<Fault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Total extra latency to add to message `seq` on the `src -> dst`
+    /// channel.
+    pub fn delay(&self, src: Rank, dst: Rank, seq: u64) -> u64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Delay {
+                    src: s,
+                    dst: d,
+                    nth,
+                    extra_ns,
+                } if *s == src && *d == dst && *nth == seq => Some(*extra_ns),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// If `rank` is scheduled to go silent, the operation threshold and the
+    /// kind of silence. The process is cut off when it submits its
+    /// `after_ops + 1`-th runtime operation.
+    pub fn silence_for(&self, rank: Rank) -> Option<(u64, FaultKind)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Crash { rank: r, after_ops } if *r == rank => {
+                    Some((*after_ops, FaultKind::Crash))
+                }
+                Fault::Hang { rank: r, after_ops } if *r == rank => {
+                    Some((*after_ops, FaultKind::Hang))
+                }
+                _ => None,
+            })
+            .min_by_key(|(ops, _)| *ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_accumulate_per_message() {
+        let plan = FaultPlan::new(vec![
+            Fault::Delay {
+                src: Rank(1),
+                dst: Rank(0),
+                nth: 0,
+                extra_ns: 100,
+            },
+            Fault::Delay {
+                src: Rank(1),
+                dst: Rank(0),
+                nth: 0,
+                extra_ns: 50,
+            },
+            Fault::Delay {
+                src: Rank(1),
+                dst: Rank(0),
+                nth: 1,
+                extra_ns: 7,
+            },
+        ]);
+        assert_eq!(plan.delay(Rank(1), Rank(0), 0), 150);
+        assert_eq!(plan.delay(Rank(1), Rank(0), 1), 7);
+        assert_eq!(plan.delay(Rank(1), Rank(0), 2), 0);
+        assert_eq!(plan.delay(Rank(0), Rank(1), 0), 0);
+    }
+
+    #[test]
+    fn earliest_silence_wins() {
+        let plan = FaultPlan::new(vec![
+            Fault::Hang {
+                rank: Rank(2),
+                after_ops: 9,
+            },
+            Fault::Crash {
+                rank: Rank(2),
+                after_ops: 3,
+            },
+        ]);
+        assert_eq!(plan.silence_for(Rank(2)), Some((3, FaultKind::Crash)));
+        assert_eq!(plan.silence_for(Rank(0)), None);
+    }
+}

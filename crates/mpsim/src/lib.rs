@@ -30,6 +30,7 @@ pub mod clock;
 pub mod collective;
 pub mod deadlock;
 pub mod engine;
+pub mod fault;
 pub mod machine;
 pub mod mailbox;
 pub mod message;
@@ -41,8 +42,9 @@ pub mod sched;
 
 pub use clock::CostModel;
 pub use deadlock::{DeadlockReport, WaitForEdge};
-pub use engine::{Engine, EngineConfig, RunOutcome, StopReason};
-pub use mailbox::Mailbox;
+pub use engine::{set_quiet_panics, Engine, EngineConfig, RunOutcome, StopReason};
+pub use fault::{FaultKind, FaultPlan};
+pub use mailbox::{Candidate, Mailbox};
 pub use message::{Envelope, MatchSpec, Message};
 pub use ops::SendMode;
 pub use payload::Payload;
@@ -53,5 +55,6 @@ pub use sched::SchedPolicy;
 // Re-export the vocabulary crates so workloads depend only on mpsim.
 pub use tracedbg_instrument::{Recorder, RecorderConfig, Strategy};
 pub use tracedbg_trace::{
-    Marker, MarkerVector, Rank, SiteTable, Tag, TraceRecord, TraceStore, ANY_SOURCE, ANY_TAG,
+    Decision, DecisionPoint, Fault, Marker, MarkerVector, Rank, ScheduleArtifact, SiteTable, Tag,
+    TraceRecord, TraceStore, ANY_SOURCE, ANY_TAG,
 };

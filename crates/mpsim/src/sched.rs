@@ -5,10 +5,13 @@
 //! deterministic baseline; `Seeded` perturbs both turn order and wildcard
 //! message choice, standing in for real-cluster timing variation so that
 //! replay (which pins wildcard matches) has actual nondeterminism to
-//! defeat.
+//! defeat; `Scripted` follows a recorded decision sequence exactly — the
+//! explorer's schedule artifacts replay through it.
 
+use crate::mailbox::Candidate;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use tracedbg_trace::schedule::Decision;
 use tracedbg_trace::Rank;
 
 /// Scheduling policy.
@@ -20,6 +23,11 @@ pub enum SchedPolicy {
     /// Seeded pseudo-random choice among runnable processes and among
     /// wildcard match candidates.
     Seeded(u64),
+    /// Follow a recorded decision sequence; once it is exhausted, fall back
+    /// to deterministic round-robin (so a shrunk prefix is still a complete
+    /// schedule). If a scripted decision cannot be honoured the scheduler
+    /// abandons the script and flags [`Scheduler::diverged`].
+    Scripted(Vec<Decision>),
 }
 
 /// Instantiated scheduler state.
@@ -28,25 +36,62 @@ pub struct Scheduler {
     rng: ChaCha8Rng,
     last: usize,
     n: usize,
+    script: Vec<Decision>,
+    cursor: usize,
+    diverged: bool,
 }
 
 impl Scheduler {
     pub fn new(policy: &SchedPolicy, n_ranks: usize) -> Self {
-        let (policy_is_random, seed) = match policy {
-            SchedPolicy::RoundRobin => (false, 0),
-            SchedPolicy::Seeded(s) => (true, *s),
+        let (policy_is_random, seed, script) = match policy {
+            SchedPolicy::RoundRobin => (false, 0, Vec::new()),
+            SchedPolicy::Seeded(s) => (true, *s, Vec::new()),
+            SchedPolicy::Scripted(d) => (false, 0, d.clone()),
         };
         Scheduler {
             policy_is_random,
             rng: ChaCha8Rng::seed_from_u64(seed),
             last: n_ranks.saturating_sub(1),
             n: n_ranks,
+            script,
+            cursor: 0,
+            diverged: false,
+        }
+    }
+
+    /// Did a scripted decision fail to apply? (Exhausting the script is not
+    /// divergence — the round-robin tail is part of the artifact contract.)
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// How many scripted decisions have been consumed.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Next scripted decision, unless the script diverged or ran out.
+    fn scripted_next(&self) -> Option<Decision> {
+        if self.diverged {
+            None
+        } else {
+            self.script.get(self.cursor).copied()
         }
     }
 
     /// Choose the next process among `runnable` (must be non-empty).
     pub fn pick(&mut self, runnable: &[Rank]) -> Rank {
         assert!(!runnable.is_empty());
+        if let Some(d) = self.scripted_next() {
+            match d {
+                Decision::Turn { rank } if runnable.contains(&rank) => {
+                    self.cursor += 1;
+                    self.last = rank.ix();
+                    return rank;
+                }
+                _ => self.diverged = true,
+            }
+        }
         if self.policy_is_random {
             let i = self.rng.gen_range(0..runnable.len());
             runnable[i]
@@ -66,17 +111,29 @@ impl Scheduler {
         }
     }
 
-    /// Choose among wildcard receive candidates, given their `(arrival,
-    /// src)` keys. Deterministic policy: earliest arrival, then lowest
-    /// rank. Random policy: uniform among candidates.
-    pub fn pick_candidate(&mut self, keys: &[(u64, Rank)]) -> usize {
-        assert!(!keys.is_empty());
+    /// Choose among the match candidates of a receive on `dst`.
+    /// Deterministic policy: earliest arrival, then lowest source rank.
+    /// Random policy: uniform. Scripted: the recorded `(src, seq)`.
+    pub fn pick_candidate(&mut self, dst: Rank, cands: &[Candidate]) -> usize {
+        assert!(!cands.is_empty());
+        if let Some(d) = self.scripted_next() {
+            match d {
+                Decision::Match { dst: sd, src, seq } if sd == dst => {
+                    if let Some(i) = cands.iter().position(|c| c.src == src && c.seq == seq) {
+                        self.cursor += 1;
+                        return i;
+                    }
+                    self.diverged = true;
+                }
+                _ => self.diverged = true,
+            }
+        }
         if self.policy_is_random {
-            self.rng.gen_range(0..keys.len())
+            self.rng.gen_range(0..cands.len())
         } else {
             let mut best = 0;
-            for (i, k) in keys.iter().enumerate() {
-                if *k < keys[best] {
+            for (i, c) in cands.iter().enumerate() {
+                if (c.arrival, c.src) < (cands[best].arrival, cands[best].src) {
                     best = i;
                 }
             }
@@ -88,6 +145,15 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn cand(src: u32, arrival: u64, seq: u64) -> Candidate {
+        Candidate {
+            src: Rank(src),
+            pos: 0,
+            arrival,
+            seq,
+        }
+    }
 
     #[test]
     fn round_robin_cycles_fairly() {
@@ -119,7 +185,44 @@ mod tests {
     #[test]
     fn deterministic_candidate_pick_prefers_earliest_then_lowest() {
         let mut s = Scheduler::new(&SchedPolicy::RoundRobin, 4);
-        let keys = vec![(20, Rank(0)), (10, Rank(3)), (10, Rank(1))];
-        assert_eq!(s.pick_candidate(&keys), 2);
+        let cands = vec![cand(0, 20, 0), cand(3, 10, 0), cand(1, 10, 0)];
+        assert_eq!(s.pick_candidate(Rank(9), &cands), 2);
+    }
+
+    #[test]
+    fn scripted_follows_then_falls_back_to_round_robin() {
+        let script = vec![
+            Decision::Turn { rank: Rank(2) },
+            Decision::Match {
+                dst: Rank(0),
+                src: Rank(1),
+                seq: 5,
+            },
+        ];
+        let mut s = Scheduler::new(&SchedPolicy::Scripted(script), 3);
+        let all: Vec<Rank> = (0..3u32).map(Rank).collect();
+        assert_eq!(s.pick(&all), Rank(2));
+        let cands = vec![cand(2, 10, 0), cand(1, 20, 5)];
+        assert_eq!(s.pick_candidate(Rank(0), &cands), 1);
+        assert!(!s.diverged());
+        assert_eq!(s.cursor(), 2);
+        // Script exhausted: deterministic round-robin continues after P2.
+        assert_eq!(s.pick(&all), Rank(0));
+        assert!(!s.diverged(), "exhaustion is not divergence");
+    }
+
+    #[test]
+    fn scripted_divergence_flagged_and_abandoned() {
+        let script = vec![
+            Decision::Turn { rank: Rank(2) },
+            Decision::Turn { rank: Rank(0) },
+        ];
+        let mut s = Scheduler::new(&SchedPolicy::Scripted(script), 3);
+        // P2 is not runnable: the script cannot be honoured.
+        assert_eq!(s.pick(&[Rank(0), Rank(1)]), Rank(0));
+        assert!(s.diverged());
+        // The rest of the script is ignored; fallback stays deterministic.
+        assert_eq!(s.pick(&[Rank(0), Rank(1)]), Rank(1));
+        assert_eq!(s.cursor(), 0);
     }
 }

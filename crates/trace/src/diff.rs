@@ -108,6 +108,25 @@ pub fn diff_traces(left: &TraceStore, right: &TraceStore, mode: DiffMode) -> Vec
     out
 }
 
+/// A stable 64-bit digest of a record sequence (FNV-1a over each record's
+/// canonical display form). Two runs with equal digests produced the same
+/// observable execution; the explorer uses this to prune equivalent
+/// schedules and the golden corpus uses it as a cheap identity check.
+pub fn trace_digest(records: &[TraceRecord]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for rec in records {
+        for b in rec.to_string().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +195,26 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rank, Rank(1));
         assert!(d[0].left.is_none());
+    }
+
+    #[test]
+    fn digest_distinguishes_and_matches() {
+        use EventKind::*;
+        let a = [
+            TraceRecord::basic(0u32, Compute, 1, 0),
+            TraceRecord::basic(0u32, Send, 2, 5),
+        ];
+        let b = [
+            TraceRecord::basic(0u32, Compute, 1, 0),
+            TraceRecord::basic(0u32, Send, 2, 5),
+        ];
+        let c = [
+            TraceRecord::basic(0u32, Compute, 1, 0),
+            TraceRecord::basic(0u32, Probe, 2, 5),
+        ];
+        assert_eq!(trace_digest(&a), trace_digest(&b));
+        assert_ne!(trace_digest(&a), trace_digest(&c));
+        assert_ne!(trace_digest(&a), trace_digest(&a[..1]));
     }
 
     #[test]

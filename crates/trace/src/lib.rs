@@ -29,15 +29,17 @@ pub mod ids;
 pub mod loc;
 pub mod marker;
 pub mod query;
+pub mod schedule;
 pub mod stats;
 pub mod store;
 
 pub use buffer::{FlushHandle, TraceBuffer};
-pub use diff::{diff_traces, DiffMode, Divergence};
+pub use diff::{diff_traces, trace_digest, DiffMode, Divergence};
 pub use event::{CollKind, EventKind, MsgInfo, TraceRecord};
 pub use ids::{ChannelId, Rank, SiteId, Tag, ANY_SOURCE, ANY_TAG};
 pub use loc::{SiteTable, SourceLoc};
 pub use marker::{Marker, MarkerVector};
 pub use query::EventQuery;
+pub use schedule::{Decision, DecisionPoint, Fault, ScheduleArtifact};
 pub use stats::TraceStats;
 pub use store::{EventId, TraceStore};

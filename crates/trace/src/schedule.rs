@@ -1,0 +1,227 @@
+//! Schedule artifacts — serialized scheduling decision sequences.
+//!
+//! The engine's nondeterminism is confined to two choice points: which
+//! runnable process is granted the next turn, and which candidate message a
+//! wildcard receive matches. A [`Decision`] names one resolved choice; the
+//! ordered sequence of every decision a run made, together with the fault
+//! plan that was active, is a complete *schedule artifact*
+//! ([`ScheduleArtifact`]): re-executing the program under the same decision
+//! sequence regenerates the identical execution. The explorer records an
+//! artifact for every failing interleaving it finds, shrinks it, and the
+//! debugger replays it (`tracedbg replay --schedule`) — MAD-style event
+//! manipulation made reproducible.
+//!
+//! Artifacts are plain data (serde/JSON) so they can be committed as a
+//! regression corpus and replayed by any later build.
+
+use crate::ids::Rank;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One resolved scheduling choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// The scheduler granted `rank` the next turn.
+    Turn { rank: Rank },
+    /// A receive on `dst` matched the message `(src, seq)`.
+    Match { dst: Rank, src: Rank, seq: u64 },
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Turn { rank } => write!(f, "turn {rank:?}"),
+            Decision::Match { dst, src, seq } => write!(f, "match {dst:?} <- {src:?}#{seq}"),
+        }
+    }
+}
+
+/// A decision together with every alternative that was available at that
+/// point — the branch structure systematic exploration enumerates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionPoint {
+    pub chosen: Decision,
+    /// All admissible choices at this point (includes `chosen`).
+    pub alternatives: Vec<Decision>,
+}
+
+impl DecisionPoint {
+    /// Was there an actual choice here?
+    pub fn is_branch(&self) -> bool {
+        self.alternatives.len() > 1
+    }
+}
+
+/// An injected fault. Delays stay within MPI legality (they shift arrival
+/// times, which only biases wildcard matching); crash/hang silence a
+/// process after its first `after_ops` runtime operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Add `extra_ns` to the arrival time of the `nth` message (0-based
+    /// send sequence) from `src` to `dst`.
+    Delay {
+        src: Rank,
+        dst: Rank,
+        nth: u64,
+        extra_ns: u64,
+    },
+    /// Process `rank` crashes (stops servicing, peers see silence) at its
+    /// `after_ops + 1`-th runtime operation.
+    Crash { rank: Rank, after_ops: u64 },
+    /// Process `rank` hangs (alive but never progresses) at its
+    /// `after_ops + 1`-th runtime operation.
+    Hang { rank: Rank, after_ops: u64 },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Delay {
+                src,
+                dst,
+                nth,
+                extra_ns,
+            } => write!(f, "delay {src:?}->{dst:?} #{nth} by {extra_ns}ns"),
+            Fault::Crash { rank, after_ops } => write!(f, "crash {rank:?} after {after_ops} ops"),
+            Fault::Hang { rank, after_ops } => write!(f, "hang {rank:?} after {after_ops} ops"),
+        }
+    }
+}
+
+/// Current artifact format version (bump on incompatible change).
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A complete, replayable description of one explored execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleArtifact {
+    pub version: u32,
+    /// Workload spec as the CLI understands it (e.g. `racy-wildcard`,
+    /// `script:path`).
+    pub workload: String,
+    /// Process count the workload was instantiated with.
+    pub procs: usize,
+    /// Workload seed (some workloads generate their pattern from it).
+    pub seed: u64,
+    /// Faults that were injected into the run.
+    pub faults: Vec<Fault>,
+    /// The decision sequence. A replay follows it to the end, then falls
+    /// back to the deterministic policy — so a shrunk prefix remains a
+    /// complete schedule.
+    pub decisions: Vec<Decision>,
+    /// Failure class this artifact reproduces (`deadlock`, `panic`,
+    /// `lint`, `divergence`), if any.
+    pub failure: Option<String>,
+}
+
+impl ScheduleArtifact {
+    pub fn new(workload: impl Into<String>, procs: usize, seed: u64) -> Self {
+        ScheduleArtifact {
+            version: ARTIFACT_VERSION,
+            workload: workload.into(),
+            procs,
+            seed,
+            faults: Vec::new(),
+            decisions: Vec::new(),
+            failure: None,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization cannot fail")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let a: ScheduleArtifact =
+            serde_json::from_str(s).map_err(|e| format!("bad schedule artifact: {e:?}"))?;
+        if a.version != ARTIFACT_VERSION {
+            return Err(format!(
+                "schedule artifact version {} unsupported (expected {})",
+                a.version, ARTIFACT_VERSION
+            ));
+        }
+        Ok(a)
+    }
+}
+
+impl fmt::Display for ScheduleArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} procs={} seed={} faults={} decisions={}",
+            self.workload,
+            self.procs,
+            self.seed,
+            self.faults.len(),
+            self.decisions.len()
+        )?;
+        if let Some(cls) = &self.failure {
+            write!(f, " failure={cls}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_json_roundtrip() {
+        let mut a = ScheduleArtifact::new("racy-wildcard", 3, 7);
+        a.faults.push(Fault::Delay {
+            src: Rank(1),
+            dst: Rank(0),
+            nth: 0,
+            extra_ns: 99_000,
+        });
+        a.faults.push(Fault::Crash {
+            rank: Rank(2),
+            after_ops: 3,
+        });
+        a.decisions.push(Decision::Turn { rank: Rank(0) });
+        a.decisions.push(Decision::Match {
+            dst: Rank(0),
+            src: Rank(2),
+            seq: 0,
+        });
+        a.failure = Some("deadlock".into());
+        let json = a.to_json();
+        let back = ScheduleArtifact::from_json(&json).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut a = ScheduleArtifact::new("ring", 4, 0);
+        a.version = 999;
+        let err = ScheduleArtifact::from_json(&a.to_json()).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn decision_display() {
+        let t = Decision::Turn { rank: Rank(3) };
+        let m = Decision::Match {
+            dst: Rank(0),
+            src: Rank(2),
+            seq: 5,
+        };
+        assert_eq!(format!("{t}"), "turn P3");
+        assert_eq!(format!("{m}"), "match P0 <- P2#5");
+    }
+
+    #[test]
+    fn branch_detection() {
+        let d = Decision::Turn { rank: Rank(0) };
+        let single = DecisionPoint {
+            chosen: d,
+            alternatives: vec![d],
+        };
+        assert!(!single.is_branch());
+        let multi = DecisionPoint {
+            chosen: d,
+            alternatives: vec![d, Decision::Turn { rank: Rank(1) }],
+        };
+        assert!(multi.is_branch());
+    }
+}

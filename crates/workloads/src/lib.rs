@@ -12,18 +12,22 @@
 //!   communication structure (Figure 8);
 //! * [`ring`], [`master_worker`] — additional stress/demo generators:
 //!   a token ring, and a wildcard-receive master/worker pattern that
-//!   exercises nondeterminism control and race detection.
+//!   exercises nondeterminism control and race detection;
+//! * [`racy`] — intentionally schedule-sensitive patterns (wildcard race,
+//!   orphaned receive) that `tracedbg explore` is expected to break.
 
 pub mod fib;
 pub mod heat;
 pub mod lu;
 pub mod master_worker;
 pub mod matrix;
+pub mod racy;
 pub mod random_comm;
 pub mod ring;
 pub mod script;
 pub mod strassen;
 
 pub use matrix::Matrix;
+pub use racy::RacyConfig;
 pub use script::{InstrumentLevel, Script};
 pub use strassen::Variant;

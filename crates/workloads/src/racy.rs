@@ -1,0 +1,181 @@
+//! Intentionally racy workloads — the explorer's prey.
+//!
+//! Both patterns complete cleanly under the deterministic round-robin
+//! scheduler but hide a schedule-dependent bug behind a wildcard receive;
+//! `tracedbg explore` must drive the runtime into the failing
+//! interleavings and hand back minimal replayable schedules.
+//!
+//! * [`wildcard_race`] — the master assumes its first `ANY_SOURCE` message
+//!   comes from worker 1 (who is "obviously" fastest). Any schedule that
+//!   lets another worker's send land first fires the assertion: a classic
+//!   wildcard-receive race ending in a panic.
+//! * [`orphan_deadlock`] — the master takes one wildcard message, then
+//!   issues a *directed* receive for a follow-up from that same source.
+//!   Only worker 1 ever sends a follow-up; if the wildcard matches anyone
+//!   else, the directed receive waits forever — a schedule-dependent,
+//!   non-cyclic deadlock (the orphaned-receive shape of §4.4).
+
+use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+
+const TAG_DATA: Tag = Tag(30);
+
+/// Parameters for the racy patterns.
+#[derive(Clone, Copy, Debug)]
+pub struct RacyConfig {
+    /// Total processes (master + nprocs-1 workers); at least 3.
+    pub nprocs: usize,
+    /// Simulated work (ns) worker 1 does before sending; the others do
+    /// four times as much, which is why the "worker 1 is first" assumption
+    /// *usually* holds.
+    pub work: u64,
+}
+
+impl Default for RacyConfig {
+    fn default() -> Self {
+        RacyConfig {
+            nprocs: 3,
+            work: 50_000,
+        }
+    }
+}
+
+fn worker(ctx: &mut ProcessCtx, cfg: RacyConfig, rank: usize, extra_sends: usize) {
+    let site = ctx.site("racy.c", 40, "worker");
+    let slow = if rank == 1 { 1 } else { 4 };
+    ctx.compute(cfg.work * slow, site);
+    ctx.send(Rank(0), TAG_DATA, Payload::from_i64(rank as i64), site);
+    for k in 0..extra_sends {
+        ctx.send(Rank(0), TAG_DATA, Payload::from_i64((100 + k) as i64), site);
+    }
+}
+
+/// The wildcard-race pattern: assertion failure on "wrong" match order.
+pub fn wildcard_race(cfg: &RacyConfig) -> Vec<ProgramFn> {
+    assert!(
+        cfg.nprocs >= 3,
+        "racy patterns need a master and 2+ workers"
+    );
+    let c = *cfg;
+    let master: ProgramFn = Box::new(move |ctx| {
+        let site = ctx.site("racy.c", 12, "master");
+        let first = ctx.recv_any(Some(TAG_DATA), site);
+        ctx.probe("first_src", first.src.0 as i64, site);
+        // The bug: worker 1 is assumed fastest, but nothing enforces it.
+        assert_eq!(first.src, Rank(1), "master assumed worker 1 reports first");
+        for _ in 0..c.nprocs - 2 {
+            let _ = ctx.recv_any(Some(TAG_DATA), site);
+        }
+    });
+    let mut progs = vec![master];
+    for r in 1..c.nprocs {
+        progs.push(Box::new(move |ctx: &mut ProcessCtx| worker(ctx, c, r, 0)) as ProgramFn);
+    }
+    progs
+}
+
+/// A reusable factory for sessions and the explorer.
+pub fn wildcard_race_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+    move || wildcard_race(&cfg)
+}
+
+/// The orphaned-receive pattern: schedule-dependent non-cyclic deadlock.
+pub fn orphan_deadlock(cfg: &RacyConfig) -> Vec<ProgramFn> {
+    assert!(
+        cfg.nprocs >= 3,
+        "racy patterns need a master and 2+ workers"
+    );
+    let c = *cfg;
+    let master: ProgramFn = Box::new(move |ctx| {
+        let site = ctx.site("racy.c", 24, "master");
+        let first = ctx.recv_any(Some(TAG_DATA), site);
+        ctx.probe("first_src", first.src.0 as i64, site);
+        // The bug: only worker 1 sends a follow-up message, but the
+        // directed receive targets whoever happened to match first.
+        let _ = ctx.recv_from(first.src, TAG_DATA, site);
+        for _ in 0..c.nprocs - 2 {
+            let _ = ctx.recv_any(Some(TAG_DATA), site);
+        }
+    });
+    let mut progs = vec![master];
+    for r in 1..c.nprocs {
+        let extra = if r == 1 { 1 } else { 0 };
+        progs.push(Box::new(move |ctx: &mut ProcessCtx| worker(ctx, c, r, extra)) as ProgramFn);
+    }
+    progs
+}
+
+/// A reusable factory for sessions and the explorer.
+pub fn orphan_deadlock_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+    move || orphan_deadlock(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Decision, Engine, EngineConfig, RecorderConfig, RunOutcome, SchedPolicy};
+
+    fn run(programs: Vec<ProgramFn>, policy: SchedPolicy) -> RunOutcome {
+        let mut e = Engine::launch(
+            EngineConfig {
+                policy,
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            programs,
+        );
+        e.run()
+    }
+
+    #[test]
+    fn wildcard_race_completes_deterministically() {
+        let cfg = RacyConfig::default();
+        assert!(run(wildcard_race(&cfg), SchedPolicy::RoundRobin).is_completed());
+    }
+
+    #[test]
+    fn wildcard_race_panics_when_worker2_goes_first() {
+        tracedbg_mpsim::set_quiet_panics(true);
+        let cfg = RacyConfig::default();
+        // One scheduling decision is enough: give worker 2 the first turn,
+        // so its message is already queued when the master's wildcard posts.
+        let script = vec![Decision::Turn { rank: Rank(2) }];
+        match run(wildcard_race(&cfg), SchedPolicy::Scripted(script)) {
+            RunOutcome::Panicked { rank, message } => {
+                assert_eq!(rank, Rank(0));
+                assert!(message.contains("worker 1"), "{message}");
+            }
+            other => panic!("expected the race to fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphan_deadlock_completes_deterministically() {
+        let cfg = RacyConfig::default();
+        assert!(run(orphan_deadlock(&cfg), SchedPolicy::RoundRobin).is_completed());
+    }
+
+    #[test]
+    fn orphan_deadlock_stalls_when_worker2_goes_first() {
+        let cfg = RacyConfig::default();
+        let script = vec![Decision::Turn { rank: Rank(2) }];
+        match run(orphan_deadlock(&cfg), SchedPolicy::Scripted(script)) {
+            RunOutcome::Deadlock(rep) => {
+                assert!(!rep.is_cyclic(), "orphaned receive, not a cycle");
+                assert_eq!(rep.waits.len(), 1);
+                assert_eq!(rep.waits[0].waiter, Rank(0));
+                assert_eq!(rep.waits[0].awaited, Some(Rank(2)));
+            }
+            other => panic!("expected orphan deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scales_beyond_three_processes() {
+        let cfg = RacyConfig {
+            nprocs: 6,
+            ..Default::default()
+        };
+        assert!(run(wildcard_race(&cfg), SchedPolicy::RoundRobin).is_completed());
+        assert!(run(orphan_deadlock(&cfg), SchedPolicy::RoundRobin).is_completed());
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate the golden-trace corpus (tests/golden/*.trc) from the current
+# engine. Review the resulting diff before committing — a blessed drift is
+# a semantic change to the runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BLESS=1 cargo test --offline --test golden "$@"
+echo "golden corpus re-blessed; review: git diff tests/golden/"

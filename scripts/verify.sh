@@ -20,4 +20,22 @@ echo "==> lint smoke: seed workloads must be clean"
 ./target/release/tracedbg lint target/verify_ring.trc
 ./target/release/tracedbg lint script:examples/scripts/pingpong.script --procs 4
 
+echo "==> explore smoke: the seeded races must be found and must reproduce"
+rm -rf target/verify_explore
+# `explore` exits non-zero when it finds violations — here that is the
+# expected outcome, so success (no findings) is the failure case.
+if ./target/release/tracedbg explore racy-wildcard --procs 3 --runs 48 --seed 7 \
+    --out target/verify_explore >/dev/null; then
+  echo "explore failed to find the seeded wildcard race" >&2; exit 1
+fi
+if ./target/release/tracedbg explore racy-deadlock --procs 3 --runs 48 --seed 7 \
+    --strategy systematic --out target/verify_explore >/dev/null; then
+  echo "explore failed to find the seeded orphan deadlock" >&2; exit 1
+fi
+for class in racy-wildcard-panic racy-deadlock-deadlock; do
+  art=$(ls target/verify_explore/${class}-*.sched.json | head -n 1)
+  ./target/release/tracedbg replay --schedule "$art" >/dev/null \
+    || { echo "schedule $art did not reproduce its failure" >&2; exit 1; }
+done
+
 echo "verify: OK"

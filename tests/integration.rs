@@ -427,3 +427,79 @@ fn markers_only_strategy_supports_stopline_replay() {
     assert!(out.is_stopped(), "{out:?}");
     assert_eq!(replay_engine.markers(), stop_state);
 }
+
+#[test]
+fn perturbed_run_records_a_schedule_that_replays_exactly() {
+    // Satellite of the explore work: a run under an arbitrary perturbation
+    // seed records its decision sequence; feeding that sequence back as a
+    // scripted schedule must regenerate the trace event for event,
+    // timestamps included.
+    use tracedbg::trace::diff::{diff_traces, DiffMode};
+    use tracedbg::workloads::random_comm;
+    let pat = random_comm::generate(2024, 5, 30);
+    let mut recorded = Engine::launch(
+        EngineConfig {
+            policy: SchedPolicy::Seeded(0xfeed),
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        random_comm::programs(&pat, 2024),
+    );
+    assert!(recorded.run().is_completed());
+    let script = recorded.schedule_log();
+    assert!(!script.is_empty());
+    let recorded_trace = recorded.trace_store();
+
+    let mut replayed = Engine::launch(
+        EngineConfig {
+            policy: SchedPolicy::Scripted(script),
+            recorder: RecorderConfig::full(),
+            ..Default::default()
+        },
+        random_comm::programs(&pat, 2024),
+    );
+    assert!(replayed.run().is_completed());
+    assert!(!replayed.schedule_diverged(), "every decision must apply");
+    let divs = diff_traces(&recorded_trace, &replayed.trace_store(), DiffMode::Exact);
+    assert!(
+        divs.is_empty(),
+        "replay diverged:\n{}",
+        divs.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn explorer_finding_replays_through_the_debugger() {
+    // The full loop at the facade level: explore a racy workload, take the
+    // shrunk artifact, and re-execute it with the debugger's
+    // schedule-driven replay.
+    use tracedbg::workloads::racy::{wildcard_race_factory, RacyConfig};
+    let cfg = ExploreConfig {
+        workload: "racy-wildcard".into(),
+        seed: 3,
+        runs: 32,
+        strategy: ExploreStrategy::Systematic,
+        ..Default::default()
+    };
+    let report =
+        Explorer::new(cfg, Box::new(wildcard_race_factory(RacyConfig::default()))).explore();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == "panic")
+        .expect("the wildcard race is within a 32-run budget");
+    assert!(finding.confirmed);
+
+    tracedbg::mpsim::set_quiet_panics(true);
+    let replay = replay_schedule(
+        &finding.artifact,
+        Box::new(wildcard_race_factory(RacyConfig::default())),
+    );
+    tracedbg::mpsim::set_quiet_panics(false);
+    assert_eq!(replay.class, "panic");
+    assert!(!replay.diverged);
+    assert!(replay.detail.contains("worker 1"), "{}", replay.detail);
+}

@@ -239,3 +239,57 @@ fn seed_workloads_lint_clean() {
     let diags = lint_trace(&strassen_trace, &cfg);
     assert!(diags.is_empty(), "strassen: {diags:?}");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// MPI ordering guarantees survive arbitrary schedule perturbation:
+    /// per (src, dst) pair, sends are sequenced in program order and
+    /// receives complete in send order (non-overtaking). On failure
+    /// proptest prints the counterexample, including `sched` — the
+    /// perturbation seed that broke the ordering.
+    #[test]
+    fn fifo_and_non_overtaking_hold_under_any_schedule(
+        seed in 0u64..10_000,
+        sched in 0u64..10_000,
+        nprocs in 2usize..6,
+        n in 1usize..40,
+    ) {
+        use std::collections::HashMap;
+        let (store, _) = run_pattern(seed, nprocs, n, SchedPolicy::Seeded(sched), None);
+        let mut sends: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+        let mut recvs: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+        for r in store.records() {
+            let Some(m) = &r.msg else { continue };
+            let lane = (m.src.0, m.dst.0);
+            match r.kind {
+                // Marker = position in the executing process's own history,
+                // so sorting by it recovers program order on that process.
+                EventKind::Send => sends.entry(lane).or_default().push((r.marker, m.seq)),
+                EventKind::RecvDone => recvs.entry(lane).or_default().push((r.marker, m.seq)),
+                _ => {}
+            }
+        }
+        for (pair, mut evs) in sends {
+            evs.sort_unstable();
+            for w in evs.windows(2) {
+                prop_assert!(
+                    w[0].1 < w[1].1,
+                    "send seq out of order on {pair:?} under perturbation seed {sched}"
+                );
+            }
+        }
+        for (pair, mut evs) in recvs {
+            evs.sort_unstable();
+            for w in evs.windows(2) {
+                prop_assert!(
+                    w[0].1 < w[1].1,
+                    "non-overtaking violated on {pair:?} under perturbation seed {sched}"
+                );
+            }
+        }
+    }
+}
