@@ -73,5 +73,10 @@ fn main() {
     let p1 = write_artifact("fig9_callgraph.vcg", &vcg_text);
     let p2 = write_artifact("fig9_callgraph_grouped.vcg", &vcg_grouped);
     let p3 = write_artifact("fig9_callgraph.dot", &dot_text);
-    println!("wrote {}\nwrote {}\nwrote {}", p1.display(), p2.display(), p3.display());
+    println!(
+        "wrote {}\nwrote {}\nwrote {}",
+        p1.display(),
+        p2.display(),
+        p3.display()
+    );
 }

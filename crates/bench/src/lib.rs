@@ -1,4 +1,9 @@
-//! Shared helpers for the table/figure reproduction harnesses.
+//! Shared helpers for the table/figure reproduction harnesses and the
+//! in-tree `tracedbg bench` measurement harness (see [`measure`] and
+//! [`suites`]).
+
+pub mod measure;
+pub mod suites;
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};

@@ -1,0 +1,338 @@
+//! The `tracedbg bench` suites — the hot paths the BENCH_*.json perf
+//! trajectory tracks.
+//!
+//! * `parse` — trace file parse (text + binary) and digesting;
+//! * `causality` — message matching and vector-clock happens-before
+//!   construction;
+//! * `replay` — golden-trace replay: match-log pinning, scripted-schedule
+//!   re-execution, and replay-to-marker (the §6 O(history) observation);
+//! * `engine` — turn-taking engine throughput under the §2
+//!   instrumentation strategies;
+//! * `explore` — explorer schedule-search throughput at `jobs = 1` vs
+//!   `jobs = N` (the parallel-speedup comparison).
+//!
+//! Every suite runs a fixed iteration plan (see [`crate::measure`]), so
+//! numbers are comparable between invocations and across commits.
+
+use crate::measure::{measure, BenchRecord, Plan};
+use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig, SchedPolicy};
+use tracedbg_trace::file::{read_binary, read_text, write_binary, write_text, TraceFile};
+use tracedbg_trace::{trace_digest, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_workloads::racy::{wildcard_race_factory, RacyConfig};
+use tracedbg_workloads::ring::{self, RingConfig};
+
+/// What to run and how hard.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteOptions {
+    /// Scaled-down plans (used by the verify smoke stage).
+    pub quick: bool,
+    /// Substring filter against `suite` or `suite/benchmark` names.
+    pub filter: Option<String>,
+    /// Worker threads for the parallel-explorer comparison point
+    /// (`0` = available parallelism).
+    pub jobs: usize,
+}
+
+/// One suite's results, ready for `BENCH_<name>.json`.
+pub struct Suite {
+    pub name: &'static str,
+    pub records: Vec<BenchRecord>,
+}
+
+fn plan(opts: &SuiteOptions, warmup: u64, samples: usize, iters: u64) -> Plan {
+    let p = Plan::new(warmup, samples, iters);
+    if opts.quick {
+        p.quick()
+    } else {
+        p
+    }
+}
+
+fn wants(opts: &SuiteOptions, suite: &str, bench: &str) -> bool {
+    match &opts.filter {
+        None => true,
+        Some(f) => suite.contains(f.as_str()) || format!("{suite}/{bench}").contains(f.as_str()),
+    }
+}
+
+fn resolved_jobs(opts: &SuiteOptions) -> usize {
+    match opts.jobs {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// A recorded ring run: the parse/causality corpus.
+fn ring_store(rounds: usize) -> TraceStore {
+    let cfg = RingConfig {
+        nprocs: 4,
+        rounds,
+        hop_cost: 100,
+    };
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::full()),
+        ring::programs(&cfg),
+    );
+    assert!(e.run().is_completed());
+    e.trace_store()
+}
+
+/// Trace parse + digest hot paths.
+fn suite_parse(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let store = ring_store(64);
+    let file = TraceFile::new(
+        store.records().to_vec(),
+        store.sites().clone(),
+        store.n_ranks(),
+    );
+    let mut text = Vec::new();
+    write_text(&mut text, &file).expect("in-memory write");
+    let mut binary = Vec::new();
+    write_binary(&mut binary, &file).expect("in-memory write");
+    let p = plan(opts, 8, 9, 24);
+    if wants(opts, "parse", "read_text") {
+        records.push(measure("read_text", 1, p, || {
+            let tf = read_text(text.as_slice()).expect("parse");
+            assert_eq!(tf.records.len(), store.records().len());
+        }));
+    }
+    if wants(opts, "parse", "read_binary") {
+        records.push(measure("read_binary", 1, p, || {
+            let tf = read_binary(binary.as_slice()).expect("parse");
+            assert_eq!(tf.records.len(), store.records().len());
+        }));
+    }
+    if wants(opts, "parse", "write_text") {
+        records.push(measure("write_text", 1, p, || {
+            let mut out = Vec::with_capacity(text.len());
+            write_text(&mut out, &file).expect("write");
+            assert!(!out.is_empty());
+        }));
+    }
+    if wants(opts, "parse", "trace_digest") {
+        records.push(measure("trace_digest", 1, p, || {
+            assert_ne!(trace_digest(store.records()), 0);
+        }));
+    }
+    Suite {
+        name: "parse",
+        records,
+    }
+}
+
+/// Message matching + happens-before (vector clock) construction.
+fn suite_causality(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let store = ring_store(64);
+    let matching = MessageMatching::build(&store);
+    let p = plan(opts, 8, 9, 24);
+    if wants(opts, "causality", "message_matching") {
+        records.push(measure("message_matching", 1, p, || {
+            let mm = MessageMatching::build(&store);
+            assert!(mm.is_clean());
+        }));
+    }
+    if wants(opts, "causality", "hb_index") {
+        records.push(measure("hb_index", 1, p, || {
+            let hb = tracedbg_causality::HbIndex::build(&store, &matching);
+            assert_eq!(hb.n_ranks(), store.n_ranks());
+        }));
+    }
+    Suite {
+        name: "causality",
+        records,
+    }
+}
+
+/// Golden-trace replay costs.
+fn suite_replay(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let cfg = RingConfig {
+        nprocs: 4,
+        rounds: 64,
+        hop_cost: 100,
+    };
+    // Record once: markers, match log, and the full decision schedule.
+    let mut rec = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::markers_only()),
+        ring::programs(&cfg),
+    );
+    assert!(rec.run().is_completed());
+    let target = rec.markers();
+    let log = rec.match_log();
+    let script = rec.schedule_log();
+    let p = plan(opts, 2, 7, 4);
+    if wants(opts, "replay", "matchlog_replay") {
+        records.push(measure("matchlog_replay", 1, p, || {
+            let mut e = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::markers_only(),
+                    replay: Some(log.clone()),
+                    ..Default::default()
+                },
+                ring::programs(&cfg),
+            );
+            assert!(e.run().is_completed());
+        }));
+    }
+    if wants(opts, "replay", "scripted_replay") {
+        records.push(measure("scripted_replay", 1, p, || {
+            let mut e = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::markers_only(),
+                    policy: SchedPolicy::Scripted(script.clone()),
+                    ..Default::default()
+                },
+                ring::programs(&cfg),
+            );
+            assert!(e.run().is_completed());
+            assert!(!e.schedule_diverged());
+        }));
+    }
+    if wants(opts, "replay", "replay_to_marker") {
+        records.push(measure("replay_to_marker", 1, p, || {
+            let mut e = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::markers_only(),
+                    replay: Some(log.clone()),
+                    ..Default::default()
+                },
+                ring::programs(&cfg),
+            );
+            // Stop halfway through each rank's history (§6: replay cost
+            // grows with history depth).
+            for m in target.iter() {
+                e.set_threshold(m.rank, Some((m.count / 2).max(1)));
+            }
+            assert!(e.run().is_stopped());
+        }));
+    }
+    Suite {
+        name: "replay",
+        records,
+    }
+}
+
+/// Engine throughput under the instrumentation strategies of §2.
+fn suite_engine(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let p = plan(opts, 2, 7, 4);
+    for (name, rcfg) in [
+        ("ring_instr_off", RecorderConfig::off()),
+        ("ring_instr_full", RecorderConfig::full()),
+    ] {
+        if !wants(opts, "engine", name) {
+            continue;
+        }
+        let cfg = RingConfig {
+            nprocs: 4,
+            rounds: 100,
+            hop_cost: 0,
+        };
+        records.push(measure(name, 1, p, || {
+            let mut e = Engine::launch(
+                EngineConfig::with_recorder(rcfg.clone()),
+                ring::programs(&cfg),
+            );
+            assert!(e.run().is_completed());
+        }));
+    }
+    Suite {
+        name: "engine",
+        records,
+    }
+}
+
+/// Explorer schedule-search throughput: the jobs=1 vs jobs=N comparison
+/// that motivates the parallel worker pool.
+fn suite_explore(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let runs = if opts.quick { 16 } else { 48 };
+    let p = if opts.quick {
+        Plan::new(1, 3, 1)
+    } else {
+        Plan::new(1, 5, 1)
+    };
+    let n_jobs = resolved_jobs(opts).max(2);
+    for (name, jobs) in [("explore_jobs1", 1usize), ("explore_jobsN", n_jobs)] {
+        if !wants(opts, "explore", name) {
+            continue;
+        }
+        records.push(measure(name, jobs, p, || {
+            let cfg = ExploreConfig {
+                workload: "racy-wildcard".to_string(),
+                seed: 7,
+                runs,
+                preemptions: 2,
+                strategy: Strategy::Both,
+                jobs,
+                ..Default::default()
+            };
+            let source: tracedbg_explore::ProgramSource =
+                Box::new(wildcard_race_factory(RacyConfig::default()));
+            let report = Explorer::new(cfg, source).explore();
+            assert!(
+                report.findings.iter().any(|f| f.class == "panic"),
+                "the seeded race must be found on every measured run"
+            );
+        }));
+    }
+    Suite {
+        name: "explore",
+        records,
+    }
+}
+
+/// Run every (non-filtered) suite in deterministic order.
+pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
+    let all = [
+        suite_parse as fn(&SuiteOptions) -> Suite,
+        suite_causality,
+        suite_replay,
+        suite_engine,
+        suite_explore,
+    ];
+    all.iter()
+        .map(|f| f(opts))
+        .filter(|s| !s.records.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_filtered_suite_produces_schema_valid_records() {
+        let opts = SuiteOptions {
+            quick: true,
+            filter: Some("parse/trace_digest".to_string()),
+            jobs: 1,
+        };
+        let suites = run_suites(&opts);
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0].name, "parse");
+        assert_eq!(suites[0].records.len(), 1);
+        let r = &suites[0].records[0];
+        assert_eq!(r.name, "trace_digest");
+        assert!(r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns);
+    }
+
+    #[test]
+    fn filter_matches_whole_suites_too() {
+        let opts = SuiteOptions {
+            quick: true,
+            filter: Some("causality".to_string()),
+            jobs: 1,
+        };
+        let suites = run_suites(&opts);
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0].records.len(), 2);
+    }
+}

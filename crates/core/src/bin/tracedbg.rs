@@ -9,8 +9,9 @@
 //! tracedbg debug <workload> [--seed N] [--procs N] [-e CMD]...
 //! tracedbg lint <trace.trc | script:path> [--procs N] [--json] [--rules SPEC]
 //! tracedbg explore <workload> [--runs N] [--seed N] [--preemptions K] [--faults]
-//!                  [--strategy random|systematic|both] [--out DIR] [--json]
+//!                  [--strategy random|systematic|both] [--jobs N] [--out DIR] [--json]
 //! tracedbg replay --schedule <file.sched.json> [--trace out.trc] [--json]
+//! tracedbg bench [--quick] [--filter NAME] [--jobs N] [--out DIR]
 //! tracedbg workloads
 //! ```
 //!
@@ -436,7 +437,7 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
     let name = opts.positional.first().ok_or(
         "usage: tracedbg explore <workload> [--runs N] [--seed N] [--procs N] \
          [--preemptions K] [--faults] [--strategy random|systematic|both] \
-         [--out DIR] [--json]",
+         [--jobs N] [--out DIR] [--json]",
     )?;
     let seed = opts.num("seed", 42u64);
     let procs = opts.num("procs", 8usize);
@@ -448,6 +449,9 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
         preemptions: opts.num("preemptions", 2usize),
         inject_faults: opts.has("faults"),
         strategy: opts.flag("strategy").unwrap_or("both").parse()?,
+        // 0 = one worker per available core; findings are identical for
+        // every job count at a fixed seed.
+        jobs: opts.num("jobs", 0usize),
         ..Default::default()
     };
     let report = Explorer::new(cfg, factory).explore();
@@ -553,6 +557,39 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     })
 }
 
+/// `tracedbg bench` — the in-tree perf harness. Runs the fixed-iteration
+/// suites from `tracedbg-bench` (trace parse, happens-before
+/// construction, golden-trace replay, engine throughput, and explorer
+/// runs/sec at jobs=1 vs jobs=N), prints a human table per suite, and
+/// writes `BENCH_<suite>.json` files into `--out` (default the current
+/// directory) for the perf trajectory.
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    let suite_opts = tracedbg_bench::suites::SuiteOptions {
+        quick: opts.has("quick"),
+        filter: opts.flag("filter").map(|s| s.to_string()),
+        // 0 = one worker per available core for the explore_jobsN point.
+        jobs: opts.num("jobs", 0usize),
+    };
+    let out_dir = std::path::Path::new(opts.flag("out").unwrap_or("."));
+    let suites = tracedbg_bench::suites::run_suites(&suite_opts);
+    if suites.is_empty() {
+        return Err(format!(
+            "filter {:?} matched no benchmarks",
+            suite_opts.filter.as_deref().unwrap_or("")
+        ));
+    }
+    for s in &suites {
+        print!(
+            "{}",
+            tracedbg_bench::measure::render_table(s.name, &s.records)
+        );
+        let path = tracedbg_bench::measure::write_suite(out_dir, s.name, &s.records)
+            .map_err(|e| format!("cannot write BENCH_{}.json: {e}", s.name))?;
+        println!("wrote {}\n", path.display());
+    }
+    Ok(())
+}
+
 /// Minimal JSON string encoder for the hand-rolled `replay --json` output.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -576,7 +613,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|explore|replay|workloads> ...\n\
+            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|explore|replay|bench|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -616,6 +653,7 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "bench" => cmd_bench(&opts),
         "workloads" => {
             println!(
                 "strassen       distributed Strassen multiply (8 procs, correct)\n\

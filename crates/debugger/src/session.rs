@@ -17,7 +17,7 @@ use tracedbg_mpsim::{
 use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
 /// Recreates the target program for each (re-)execution.
-pub type ProgramFactory = Box<dyn Fn() -> Vec<ProgramFn> + Send>;
+pub type ProgramFactory = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
 
 /// Session construction parameters.
 #[derive(Clone, Debug, Default)]

@@ -1,6 +1,7 @@
 //! The exploration strategies, finding pipeline, and report.
 
 use crate::oracle::{self, Violation};
+use crate::pool::{run_batch, RunTask};
 use crate::runner::{execute, ProgramSource, RunResult, CLASS_COMPLETED, CLASS_DIVERGENCE};
 use crate::shrink::ddmin;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,11 @@ pub struct ExploreConfig {
     pub lint_oracle: bool,
     /// Max predicate evaluations while shrinking one failure.
     pub shrink_budget: usize,
+    /// Worker threads for exploration runs (`0` = available parallelism).
+    /// Findings are identical for every value at a fixed seed — batches
+    /// are formed and absorbed in deterministic order regardless of which
+    /// worker executes which run.
+    pub jobs: usize,
 }
 
 impl Default for ExploreConfig {
@@ -78,6 +84,7 @@ impl Default for ExploreConfig {
             strategy: Strategy::Both,
             lint_oracle: true,
             shrink_budget: 128,
+            jobs: 1,
         }
     }
 }
@@ -108,6 +115,8 @@ pub struct ExploreReport {
     pub procs: usize,
     pub seed: u64,
     pub strategy: String,
+    /// Worker threads used (resolved: never 0).
+    pub jobs: usize,
     /// Exploration runs executed (budget consumption).
     pub runs_executed: usize,
     /// Extra runs spent on shrinking and confirming findings.
@@ -128,11 +137,12 @@ impl ExploreReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "explored {} (procs={} seed={} strategy={}): {} runs, {} aux, {} pruned, {} baseline branch point(s)\n",
+            "explored {} (procs={} seed={} strategy={} jobs={}): {} runs, {} aux, {} pruned, {} baseline branch point(s)\n",
             self.workload,
             self.procs,
             self.seed,
             self.strategy,
+            self.jobs,
             self.runs_executed,
             self.aux_runs,
             self.pruned,
@@ -206,6 +216,16 @@ impl Explorer {
         }
     }
 
+    /// The resolved worker-thread count (never 0).
+    fn effective_jobs(&self) -> usize {
+        match self.cfg.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Run the exploration to completion and report.
     pub fn explore(mut self) -> ExploreReport {
         // Failing runs are the point here; keep their panics off stderr.
@@ -224,11 +244,13 @@ impl Explorer {
             Strategy::Systematic => {}
         }
         tracedbg_mpsim::set_quiet_panics(false);
+        let jobs = self.effective_jobs();
         ExploreReport {
             workload: self.cfg.workload,
             procs: self.procs,
             seed: self.cfg.seed,
             strategy: self.cfg.strategy.as_str().to_string(),
+            jobs,
             runs_executed: self.runs_executed,
             aux_runs: self.aux_runs,
             pruned: self.pruned,
@@ -245,15 +267,23 @@ impl Explorer {
         strategy: &'static str,
     ) -> RunResult {
         let res = execute(&self.source, policy, faults);
+        self.absorb(&res, faults, strategy);
+        res
+    }
+
+    /// Account one finished run and feed it to the oracles. Every run —
+    /// sequential or from a parallel batch — passes through here in
+    /// deterministic task order, which is what keeps `jobs=N` findings
+    /// identical to `jobs=1`.
+    fn absorb(&mut self, res: &RunResult, faults: &[Fault], strategy: &'static str) {
         self.runs_executed += 1;
         if self.digests.insert(res.digest) {
-            if let Some(v) = oracle::check(&res, self.cfg.lint_oracle) {
-                self.handle_violation(&res, faults, v, strategy);
+            if let Some(v) = oracle::check(res, self.cfg.lint_oracle) {
+                self.handle_violation(res, faults, v, strategy);
             }
         } else {
             self.pruned += 1;
         }
-        res
     }
 
     /// Replay-conformance oracle: re-executing the baseline's own decision
@@ -297,26 +327,51 @@ impl Explorer {
     /// the path. Breadth order matters — races live at early branch
     /// points, and depth-first order would burn the whole run budget
     /// permuting the (usually equivalent) tail of the schedule.
+    ///
+    /// Parallel shape: the FIFO queue is drained into batches (prefix
+    /// pruning and budget accounting happen at batch-formation time,
+    /// exactly where the sequential loop did them at dequeue time), each
+    /// batch runs on the worker pool, and results are absorbed — oracles,
+    /// digest pruning, queue extensions — in task order. Extensions of
+    /// batch item `k` therefore enqueue before extensions of item `k+1`,
+    /// which is precisely the sequential FIFO order.
     fn systematic(&mut self, base: &RunResult) {
+        let jobs = self.effective_jobs();
         let mut queue: VecDeque<(Vec<Decision>, usize)> = VecDeque::new();
         Self::push_extensions(&base.points, 0, 0, &mut queue);
-        while let Some((prefix, depth)) = queue.pop_front() {
-            if self.runs_executed >= self.cfg.runs {
+        loop {
+            let mut batch: Vec<(Vec<Decision>, usize)> = Vec::new();
+            while self.runs_executed + batch.len() < self.cfg.runs {
+                let Some((prefix, depth)) = queue.pop_front() else {
+                    break;
+                };
+                // Prefix-level pruning: an already-visited substitution
+                // leads to an already-explored subtree.
+                if !self.prefixes.insert(hash_decisions(&prefix)) {
+                    self.pruned += 1;
+                    continue;
+                }
+                batch.push((prefix, depth));
+            }
+            if batch.is_empty() {
                 break;
             }
-            // Prefix-level pruning: an already-visited substitution leads
-            // to an already-explored subtree.
-            if !self.prefixes.insert(hash_decisions(&prefix)) {
-                self.pruned += 1;
-                continue;
-            }
-            let plen = prefix.len();
-            let res = self.run_and_check(SchedPolicy::Scripted(prefix), &[], "systematic");
-            // Only branch on decisions *after* the substitution: earlier
-            // alternatives are someone else's subtree (the sleep-set-style
-            // part of the reduction).
-            if depth < self.cfg.preemptions && !res.diverged {
-                Self::push_extensions(&res.points, plen, depth, &mut queue);
+            let tasks: Vec<RunTask> = batch
+                .iter()
+                .map(|(prefix, _)| RunTask {
+                    policy: SchedPolicy::Scripted(prefix.clone()),
+                    faults: Vec::new(),
+                })
+                .collect();
+            let results = run_batch(&self.source, &tasks, jobs);
+            for ((prefix, depth), res) in batch.into_iter().zip(results) {
+                self.absorb(&res, &[], "systematic");
+                // Only branch on decisions *after* the substitution:
+                // earlier alternatives are someone else's subtree (the
+                // sleep-set-style part of the reduction).
+                if depth < self.cfg.preemptions && !res.diverged {
+                    Self::push_extensions(&res.points, prefix.len(), depth, &mut queue);
+                }
             }
         }
     }
@@ -345,18 +400,38 @@ impl Explorer {
     }
 
     /// Seeded random walks until the budget runs out.
+    ///
+    /// Each walk's scheduling seed and fault plan derive purely from the
+    /// base seed and the walk index — a private ChaCha8 stream per run, so
+    /// the task list is the same however many workers execute it.
     fn random_walk(&mut self) {
+        let jobs = self.effective_jobs();
         let mut i = 0u64;
         while self.runs_executed < self.cfg.runs {
-            i += 1;
-            let seed = splitmix64(self.cfg.seed.wrapping_add(i));
-            let faults = if self.cfg.inject_faults && i.is_multiple_of(2) {
-                let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(seed));
-                self.gen_faults(&mut rng)
-            } else {
-                Vec::new()
-            };
-            self.run_and_check(SchedPolicy::Seeded(seed), &faults, "random");
+            let remaining = self.cfg.runs - self.runs_executed;
+            // Chunk the budget so results (each holding a full trace) are
+            // absorbed and dropped before the next chunk is dispatched.
+            let chunk = remaining.min((jobs * 4).max(8));
+            let tasks: Vec<RunTask> = (0..chunk)
+                .map(|_| {
+                    i += 1;
+                    let seed = splitmix64(self.cfg.seed.wrapping_add(i));
+                    let faults = if self.cfg.inject_faults && i.is_multiple_of(2) {
+                        let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(seed));
+                        self.gen_faults(&mut rng)
+                    } else {
+                        Vec::new()
+                    };
+                    RunTask {
+                        policy: SchedPolicy::Seeded(seed),
+                        faults,
+                    }
+                })
+                .collect();
+            let results = run_batch(&self.source, &tasks, jobs);
+            for (task, res) in tasks.iter().zip(results) {
+                self.absorb(&res, &task.faults, "random");
+            }
         }
     }
 

@@ -20,12 +20,20 @@
 //! decision sequence is **shrunk** by delta debugging ([`shrink::ddmin`])
 //! and saved as a [`ScheduleArtifact`] that `tracedbg replay --schedule`
 //! re-executes deterministically.
+//!
+//! Exploration runs fan out over a worker pool ([`pool::run_batch`]);
+//! every run drives a private `mpsim` engine, batches are formed and
+//! their results absorbed in deterministic task order, so `jobs = N`
+//! reports exactly the findings of `jobs = 1` at the same seed — search
+//! throughput scales with cores without sacrificing reproducibility.
 
 pub mod explorer;
 pub mod oracle;
+pub mod pool;
 pub mod runner;
 pub mod shrink;
 
 pub use explorer::{ExploreConfig, ExploreReport, Explorer, Finding, Strategy};
 pub use oracle::Violation;
+pub use pool::{run_batch, RunTask};
 pub use runner::{ProgramSource, RunResult};

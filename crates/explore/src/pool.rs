@@ -1,0 +1,129 @@
+//! The exploration worker pool.
+//!
+//! [`run_batch`] fans a deterministically-ordered batch of exploration
+//! tasks out over worker threads. Each task is executed by [`execute`],
+//! which launches a private `mpsim` engine — workers never share runtime
+//! state, so N concurrent runs are as isolated as N sequential ones (and
+//! running them concurrently doubles as a stress test of that isolation).
+//!
+//! Determinism contract: the *content* of every result depends only on its
+//! task (policy + fault plan), never on which worker ran it or when, and
+//! results are returned **in task order**. The explorer forms batches and
+//! absorbs results sequentially, so `jobs = N` observes the exact state
+//! transitions of `jobs = 1` — the property the parallel-determinism
+//! regression tests pin down.
+
+use crate::runner::{execute, ProgramSource, RunResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tracedbg_mpsim::SchedPolicy;
+use tracedbg_trace::schedule::Fault;
+
+/// One unit of exploration work: a scheduling policy plus a fault plan.
+pub struct RunTask {
+    pub policy: SchedPolicy,
+    pub faults: Vec<Fault>,
+}
+
+/// Execute every task and return the results in task order.
+///
+/// With `jobs <= 1` (or a single task) this degenerates to a plain
+/// sequential loop; otherwise `min(jobs, tasks.len())` workers pull tasks
+/// from a shared cursor and park each result in its task's slot.
+pub fn run_batch(source: &ProgramSource, tasks: &[RunTask], jobs: usize) -> Vec<RunResult> {
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    if jobs == 1 {
+        return tasks
+            .iter()
+            .map(|t| execute(source, t.policy.clone(), &t.faults))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let cursor = &cursor;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let t = &tasks[i];
+                let res = execute(source, t.policy.clone(), &t.faults);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{Payload, ProgramFn, Rank, Tag};
+
+    fn pingpong_source() -> ProgramSource {
+        Box::new(|| {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("pool.rs", 1, "p0");
+                ctx.send(Rank(1), Tag(1), Payload::from_i64(1), s);
+                let _ = ctx.recv_from(Rank(1), Tag(2), s);
+            });
+            let p1: ProgramFn = Box::new(|ctx| {
+                let s = ctx.site("pool.rs", 2, "p1");
+                let _ = ctx.recv_from(Rank(0), Tag(1), s);
+                ctx.send(Rank(0), Tag(2), Payload::from_i64(2), s);
+            });
+            vec![p0, p1]
+        })
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_order_and_content() {
+        let source = pingpong_source();
+        let tasks: Vec<RunTask> = (0..16)
+            .map(|i| RunTask {
+                policy: SchedPolicy::Seeded(i),
+                faults: Vec::new(),
+            })
+            .collect();
+        let seq = run_batch(&source, &tasks, 1);
+        let par = run_batch(&source, &tasks, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.digest, b.digest, "same task, same trace digest");
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.decisions, b.decisions);
+        }
+    }
+
+    #[test]
+    fn oversized_job_count_is_clamped() {
+        let source = pingpong_source();
+        let tasks = vec![RunTask {
+            policy: SchedPolicy::RoundRobin,
+            faults: Vec::new(),
+        }];
+        let out = run_batch(&source, &tasks, 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].class, crate::runner::CLASS_COMPLETED);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let source = pingpong_source();
+        assert!(run_batch(&source, &[], 8).is_empty());
+    }
+}

@@ -7,7 +7,7 @@ use tracedbg_trace::{trace_digest, TraceStore};
 
 /// Recreates the target program for each run (the explorer executes it
 /// many times).
-pub type ProgramSource = Box<dyn Fn() -> Vec<ProgramFn> + Send>;
+pub type ProgramSource = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
 
 /// Outcome classes. These are the `failure` strings written into schedule
 /// artifacts; `tracedbg replay` compares against them.

@@ -1,0 +1,116 @@
+//! Parallel-determinism regression: for a fixed seed, `jobs = N` must
+//! report exactly the findings of `jobs = 1` — same classes, same decision
+//! prefixes, same shrunk artifacts. The explorer guarantees this by
+//! forming batches and absorbing results in deterministic task order, so
+//! worker scheduling can never leak into the report.
+
+use tracedbg_explore::{ExploreConfig, ExploreReport, Explorer, Strategy};
+use tracedbg_workloads::racy::{orphan_deadlock_factory, wildcard_race_factory, RacyConfig};
+
+fn explore(workload: &str, jobs: usize, strategy: Strategy) -> ExploreReport {
+    let source: tracedbg_explore::ProgramSource = match workload {
+        "racy-wildcard" => Box::new(wildcard_race_factory(RacyConfig::default())),
+        "racy-deadlock" => Box::new(orphan_deadlock_factory(RacyConfig::default())),
+        other => panic!("unknown workload {other}"),
+    };
+    let cfg = ExploreConfig {
+        workload: workload.to_string(),
+        seed: 7,
+        runs: 48,
+        preemptions: 2,
+        strategy,
+        jobs,
+        ..Default::default()
+    };
+    Explorer::new(cfg, source).explore()
+}
+
+/// Compare everything observable about two reports except the `jobs`
+/// field itself.
+fn assert_reports_identical(a: &ExploreReport, b: &ExploreReport) {
+    assert_eq!(a.runs_executed, b.runs_executed, "run budget consumption");
+    assert_eq!(a.aux_runs, b.aux_runs, "shrink/confirm accounting");
+    assert_eq!(a.pruned, b.pruned, "pruning decisions");
+    assert_eq!(a.baseline_branches, b.baseline_branches);
+    assert_eq!(a.findings.len(), b.findings.len(), "finding count");
+    for (fa, fb) in a.findings.iter().zip(&b.findings) {
+        assert_eq!(fa.class, fb.class, "violation class");
+        assert_eq!(fa.detail, fb.detail);
+        assert_eq!(fa.found_on_run, fb.found_on_run, "exposure run index");
+        assert_eq!(fa.strategy, fb.strategy);
+        assert_eq!(fa.decisions_recorded, fb.decisions_recorded);
+        assert_eq!(fa.decisions_shrunk, fb.decisions_shrunk);
+        assert_eq!(fa.confirmed, fb.confirmed);
+        assert_eq!(
+            fa.artifact.decisions, fb.artifact.decisions,
+            "shrunk decision prefix"
+        );
+        assert_eq!(fa.artifact.faults, fb.artifact.faults);
+        assert_eq!(fa.artifact.failure, fb.artifact.failure);
+        assert_eq!(
+            fa.artifact.to_json(),
+            fb.artifact.to_json(),
+            "whole serialized artifact"
+        );
+    }
+}
+
+#[test]
+fn racy_wildcard_findings_identical_at_jobs_1_and_4() {
+    let seq = explore("racy-wildcard", 1, Strategy::Both);
+    let par = explore("racy-wildcard", 4, Strategy::Both);
+    assert!(
+        seq.findings.iter().any(|f| f.class == "panic"),
+        "the wildcard race must be found"
+    );
+    assert_eq!(par.jobs, 4);
+    assert_reports_identical(&seq, &par);
+}
+
+#[test]
+fn racy_deadlock_findings_identical_at_jobs_1_and_4() {
+    let seq = explore("racy-deadlock", 1, Strategy::Both);
+    let par = explore("racy-deadlock", 4, Strategy::Both);
+    assert!(
+        seq.findings.iter().any(|f| f.class == "deadlock"),
+        "the orphaned receive must be found"
+    );
+    assert_reports_identical(&seq, &par);
+}
+
+#[test]
+fn auto_jobs_also_matches_sequential() {
+    // jobs = 0 resolves to available_parallelism — whatever that is on the
+    // host, the findings must not change.
+    let seq = explore("racy-wildcard", 1, Strategy::Systematic);
+    let auto = explore("racy-wildcard", 0, Strategy::Systematic);
+    assert!(auto.jobs >= 1, "0 resolves to a real worker count");
+    assert_reports_identical(&seq, &auto);
+}
+
+#[test]
+fn fault_injection_stays_deterministic_across_jobs() {
+    // Fault plans derive from the walk index, not from worker identity;
+    // randomized fault-injecting exploration must merge identically too.
+    let run = |jobs| {
+        let source: tracedbg_explore::ProgramSource =
+            Box::new(tracedbg_workloads::ring::factory(Default::default()));
+        let cfg = ExploreConfig {
+            workload: "ring".to_string(),
+            seed: 11,
+            runs: 32,
+            inject_faults: true,
+            strategy: Strategy::Random,
+            jobs,
+            ..Default::default()
+        };
+        Explorer::new(cfg, source).explore()
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert!(
+        seq.findings.iter().any(|f| f.class == "deadlock"),
+        "crash/hang faults starve the ring"
+    );
+    assert_reports_identical(&seq, &par);
+}

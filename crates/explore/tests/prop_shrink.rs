@@ -1,0 +1,72 @@
+//! Property: for *arbitrary* exploration seeds, every ddmin-shrunk
+//! [`ScheduleArtifact`] the explorer emits still reproduces the violation
+//! class it recorded when replayed as a script. Shrinking may drop
+//! decisions, but it must never change *what goes wrong* — that is the
+//! whole contract of the artifact files `tracedbg explore` writes.
+
+use proptest::prelude::*;
+use tracedbg_explore::runner::execute;
+use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
+use tracedbg_mpsim::SchedPolicy;
+use tracedbg_trace::ScheduleArtifact;
+use tracedbg_workloads::racy::{orphan_deadlock_factory, wildcard_race_factory, RacyConfig};
+
+fn source_for(workload: &str) -> tracedbg_explore::ProgramSource {
+    match workload {
+        "racy-wildcard" => Box::new(wildcard_race_factory(RacyConfig::default())),
+        "racy-deadlock" => Box::new(orphan_deadlock_factory(RacyConfig::default())),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Explore with `seed`, then replay every shrunk artifact from scratch and
+/// check the reproduced class.
+fn check_seed(workload: &str, seed: u64) {
+    let cfg = ExploreConfig {
+        workload: workload.to_string(),
+        seed,
+        runs: 32,
+        preemptions: 2,
+        strategy: Strategy::Both,
+        ..Default::default()
+    };
+    let report = Explorer::new(cfg, source_for(workload)).explore();
+    for finding in &report.findings {
+        // Round-trip through JSON first: the replayed schedule is what a
+        // user would load from disk, not the in-memory struct.
+        let artifact = ScheduleArtifact::from_json(&finding.artifact.to_json())
+            .expect("artifact JSON round-trips");
+        let expected = artifact
+            .failure
+            .as_deref()
+            .expect("violation artifacts record their failure class");
+        tracedbg_mpsim::set_quiet_panics(true);
+        let rerun = execute(
+            &source_for(workload),
+            SchedPolicy::Scripted(artifact.decisions.clone()),
+            &artifact.faults,
+        );
+        tracedbg_mpsim::set_quiet_panics(false);
+        assert_eq!(
+            rerun.class, expected,
+            "seed {seed}: shrunk artifact for {workload} must reproduce \
+             its recorded class (got {}, artifact {})",
+            rerun.class, finding.artifact
+        );
+        assert_eq!(finding.class, expected, "report and artifact agree");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wildcard_artifacts_reproduce_for_arbitrary_seeds(seed in 0u64..1_000_000) {
+        check_seed("racy-wildcard", seed);
+    }
+
+    #[test]
+    fn deadlock_artifacts_reproduce_for_arbitrary_seeds(seed in 0u64..1_000_000) {
+        check_seed("racy-deadlock", seed);
+    }
+}

@@ -128,7 +128,7 @@ pub fn programs(cfg: &HeatConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: HeatConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn factory(cfg: HeatConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || programs(&cfg)
 }
 

@@ -81,7 +81,7 @@ pub fn programs(cfg: &LuConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: LuConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn factory(cfg: LuConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || programs(&cfg)
 }
 

@@ -103,7 +103,7 @@ pub fn programs(cfg: &PoolConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: PoolConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn factory(cfg: PoolConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || programs(&cfg)
 }
 

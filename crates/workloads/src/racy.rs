@@ -74,7 +74,7 @@ pub fn wildcard_race(cfg: &RacyConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for sessions and the explorer.
-pub fn wildcard_race_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn wildcard_race_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || wildcard_race(&cfg)
 }
 
@@ -105,7 +105,7 @@ pub fn orphan_deadlock(cfg: &RacyConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for sessions and the explorer.
-pub fn orphan_deadlock_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn orphan_deadlock_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || orphan_deadlock(&cfg)
 }
 

@@ -58,7 +58,7 @@ pub fn programs(cfg: &RingConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: RingConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn factory(cfg: RingConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || programs(&cfg)
 }
 

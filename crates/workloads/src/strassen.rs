@@ -227,7 +227,7 @@ pub fn programs(cfg: &StrassenConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory (for debugger sessions, which re-execute).
-pub fn factory(cfg: StrassenConfig) -> impl Fn() -> Vec<ProgramFn> + Send {
+pub fn factory(cfg: StrassenConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
     move || programs(&cfg)
 }
 

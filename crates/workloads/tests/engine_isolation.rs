@@ -1,0 +1,121 @@
+//! Engine-isolation stress: the parallel explorer drives one `mpsim`
+//! engine per worker thread, so engines must share *nothing*. This test
+//! runs 8 engines concurrently on separate OS threads — mixed workloads,
+//! full recording — and checks every concurrent run produces exactly the
+//! trace digest of its solo (single-engine) run: no cross-engine bleed,
+//! no panics, no lost messages.
+
+use tracedbg_instrument::RecorderConfig;
+use tracedbg_mpsim::{Engine, EngineConfig, ProgramFn};
+use tracedbg_trace::trace_digest;
+use tracedbg_workloads::{heat, lu, master_worker, ring};
+
+type Factory = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
+
+/// The 8-engine mix: deterministic workloads under round-robin, so each
+/// has exactly one legal trace.
+fn mix() -> Vec<(&'static str, Factory)> {
+    vec![
+        (
+            "ring-a",
+            Box::new(|| {
+                ring::programs(&ring::RingConfig {
+                    nprocs: 4,
+                    rounds: 32,
+                    hop_cost: 100,
+                })
+            }),
+        ),
+        (
+            "ring-b",
+            Box::new(|| {
+                ring::programs(&ring::RingConfig {
+                    nprocs: 8,
+                    rounds: 16,
+                    hop_cost: 50,
+                })
+            }),
+        ),
+        ("heat-a", Box::new(|| heat::programs(&Default::default()))),
+        (
+            "heat-b",
+            Box::new(|| {
+                heat::programs(&heat::HeatConfig {
+                    nprocs: 2,
+                    ..Default::default()
+                })
+            }),
+        ),
+        ("lu-a", Box::new(|| lu::programs(&Default::default()))),
+        (
+            "lu-b",
+            Box::new(|| {
+                lu::programs(&lu::LuConfig {
+                    nprocs: 2,
+                    ..Default::default()
+                })
+            }),
+        ),
+        (
+            "pool-a",
+            Box::new(|| master_worker::programs(&Default::default())),
+        ),
+        (
+            "pool-b",
+            Box::new(|| {
+                master_worker::programs(&master_worker::PoolConfig {
+                    nprocs: 3,
+                    tasks: 6,
+                    base_cost: 10_000,
+                })
+            }),
+        ),
+    ]
+}
+
+fn run_once(programs: Vec<ProgramFn>) -> u64 {
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::full()),
+        programs,
+    );
+    let outcome = e.run();
+    assert!(
+        outcome.is_completed(),
+        "workload must complete: {outcome:?}"
+    );
+    trace_digest(e.trace_store().records())
+}
+
+#[test]
+fn eight_concurrent_engines_stay_isolated() {
+    let workloads = mix();
+    assert_eq!(workloads.len(), 8);
+
+    // Solo baselines, one engine at a time.
+    let solo: Vec<u64> = workloads.iter().map(|(_, f)| run_once(f())).collect();
+
+    // All 8 engines at once, each on its own OS thread. Repeat a few
+    // times: interleaving-dependent bleed rarely shows on a single round.
+    for round in 0..3 {
+        let concurrent: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .map(|(name, f)| {
+                    let programs = f();
+                    scope.spawn(move || (*name, run_once(programs)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no engine thread may panic").1)
+                .collect()
+        });
+        for (i, (name, _)) in workloads.iter().enumerate() {
+            assert_eq!(
+                concurrent[i], solo[i],
+                "round {round}: engine {name} diverged from its solo digest \
+                 while 7 other engines ran concurrently"
+            );
+        }
+    }
+}

@@ -38,4 +38,32 @@ for class in racy-wildcard-panic racy-deadlock-deadlock; do
     || { echo "schedule $art did not reproduce its failure" >&2; exit 1; }
 done
 
+echo "==> parallel determinism smoke: --jobs 4 reports exactly the --jobs 1 findings"
+for wl in racy-wildcard racy-deadlock; do
+  seq=$(./target/release/tracedbg explore "$wl" --procs 3 --runs 48 --seed 7 \
+      --jobs 1 --json --out target/verify_explore_j1 || true)
+  par=$(./target/release/tracedbg explore "$wl" --procs 3 --runs 48 --seed 7 \
+      --jobs 4 --json --out target/verify_explore_j4 || true)
+  # Reports differ only in the resolved jobs field; findings must be
+  # byte-identical.
+  seq_norm=$(printf '%s' "$seq" | sed 's/"jobs":[0-9]*/"jobs":0/')
+  par_norm=$(printf '%s' "$par" | sed 's/"jobs":[0-9]*/"jobs":0/')
+  if [ -z "$seq" ] || [ "$seq_norm" != "$par_norm" ]; then
+    echo "explore $wl: --jobs 4 diverged from --jobs 1" >&2
+    exit 1
+  fi
+done
+
+echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
+rm -rf target/verify_bench
+./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
+for suite in parse replay explore; do
+  f=target/verify_bench/BENCH_${suite}.json
+  [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
+  # Every row carries the six-field schema the serializer unit test pins.
+  for key in '"name"' '"iters"' '"median_ns"' '"p10_ns"' '"p90_ns"' '"jobs"'; do
+    grep -q "$key" "$f" || { echo "$f is missing $key" >&2; exit 1; }
+  done
+done
+
 echo "verify: OK"
