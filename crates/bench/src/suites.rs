@@ -8,6 +8,8 @@
 //!   re-execution, and replay-to-marker (the §6 O(history) observation);
 //! * `engine` — turn-taking engine throughput under the §2
 //!   instrumentation strategies;
+//! * `checkpoint` — snapshot/restore plane: checkpoint capture, engine
+//!   restoration, restored-run determinism, and query site pre-resolution;
 //! * `explore` — explorer schedule-search throughput at `jobs = 1` vs
 //!   `jobs = N` (the parallel-speedup comparison).
 //!
@@ -15,11 +17,12 @@
 //! numbers are comparable between invocations and across commits.
 
 use crate::measure::{measure, BenchRecord, Plan};
+use tracedbg_debugger::{Session, SessionConfig, Stopline};
 use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
 use tracedbg_instrument::RecorderConfig;
 use tracedbg_mpsim::{Engine, EngineConfig, SchedPolicy};
 use tracedbg_trace::file::{read_binary, read_text, write_binary, write_text, TraceFile};
-use tracedbg_trace::{trace_digest, TraceStore};
+use tracedbg_trace::{trace_digest, EventQuery, MarkerVector, TraceStore};
 use tracedbg_tracegraph::MessageMatching;
 use tracedbg_workloads::racy::{wildcard_race_factory, RacyConfig};
 use tracedbg_workloads::ring::{self, RingConfig};
@@ -112,6 +115,13 @@ fn suite_parse(opts: &SuiteOptions) -> Suite {
         records.push(measure("write_text", 1, p, || {
             let mut out = Vec::with_capacity(text.len());
             write_text(&mut out, &file).expect("write");
+            assert!(!out.is_empty());
+        }));
+    }
+    if wants(opts, "parse", "write_binary") {
+        records.push(measure("write_binary", 1, p, || {
+            let mut out = Vec::with_capacity(binary.len());
+            write_binary(&mut out, &file).expect("write");
             assert!(!out.is_empty());
         }));
     }
@@ -213,6 +223,68 @@ fn suite_replay(opts: &SuiteOptions) -> Suite {
             assert!(e.run().is_stopped());
         }));
     }
+    if wants(opts, "replay", "replay_to_marker_ckpt") {
+        // Same half-way stop as `replay_to_marker`, but starting from a
+        // checkpoint taken 3/8 of the way in: only the 3/8→1/2 delta is
+        // re-executed (the O(delta) undo/stopline path).
+        let mut src = Engine::launch(
+            EngineConfig {
+                recorder: RecorderConfig::markers_only(),
+                replay: Some(log.clone()),
+                checkpoints: true,
+                ..Default::default()
+            },
+            ring::programs(&cfg),
+        );
+        for m in target.iter() {
+            src.set_threshold(m.rank, Some((m.count * 3 / 8).max(1)));
+        }
+        assert!(src.run().is_stopped());
+        let cp = src.snapshot();
+        records.push(measure("replay_to_marker_ckpt", 1, p, || {
+            let mut e = Engine::restore(&cp, ring::programs(&cfg));
+            e.clear_thresholds();
+            for m in target.iter() {
+                e.set_threshold(m.rank, Some((m.count / 2).max(1)));
+            }
+            e.resume_trapped();
+            assert!(e.run().is_stopped());
+        }));
+    }
+    // Debugger-level undo: bounce between two stoplines and undo, with the
+    // checkpoint cache off (`undo_scratch`: every hop replays from scratch)
+    // vs on (`undo_ckpt`: every hop restores a dominated checkpoint).
+    let half = Stopline {
+        markers: MarkerVector::from_counts(
+            target.counts().iter().map(|c| (c / 2).max(1)).collect(),
+        ),
+        origin: "bench".into(),
+    };
+    let quarter = Stopline {
+        markers: MarkerVector::from_counts(
+            target.counts().iter().map(|c| (c / 4).max(1)).collect(),
+        ),
+        origin: "bench".into(),
+    };
+    for (name, every) in [("undo_scratch", 0usize), ("undo_ckpt", 1usize)] {
+        if !wants(opts, "replay", name) {
+            continue;
+        }
+        let mut s = Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::markers_only(),
+                checkpoint_every: every,
+                ..Default::default()
+            },
+            Box::new(move || ring::programs(&cfg)),
+        );
+        assert!(s.run().is_completed());
+        records.push(measure(name, 1, p, || {
+            assert!(s.replay_to(&quarter).is_stopped());
+            assert!(s.replay_to(&half).is_stopped());
+            assert!(s.undo(), "a prior stop must exist to undo to");
+        }));
+    }
     Suite {
         name: "replay",
         records,
@@ -245,6 +317,94 @@ fn suite_engine(opts: &SuiteOptions) -> Suite {
     }
     Suite {
         name: "engine",
+        records,
+    }
+}
+
+/// Snapshot/restore plane costs: taking a checkpoint, rebuilding a live
+/// engine from one, and running a restored engine to completion (with the
+/// byte-identical-digest assertion that pins the determinism contract).
+fn suite_checkpoint(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let cfg = RingConfig {
+        nprocs: 4,
+        rounds: 64,
+        hop_cost: 100,
+    };
+    let launch = || {
+        Engine::launch(
+            EngineConfig {
+                recorder: RecorderConfig::markers_only(),
+                checkpoints: true,
+                ..Default::default()
+            },
+            ring::programs(&cfg),
+        )
+    };
+    // Final markers, from a straight run.
+    let mut straight = launch();
+    assert!(straight.run().is_completed());
+    let target = straight.markers();
+    // A half-way stop to snapshot.
+    let mut stopped = launch();
+    for m in target.iter() {
+        stopped.set_threshold(m.rank, Some((m.count / 2).max(1)));
+    }
+    assert!(stopped.run().is_stopped());
+    let cp = stopped.snapshot();
+    let p = plan(opts, 2, 7, 4);
+    if wants(opts, "checkpoint", "snapshot") {
+        records.push(measure("snapshot", 1, p, || {
+            let c = stopped.snapshot();
+            assert_eq!(c.n_ranks(), 4);
+        }));
+    }
+    // The byte-identity ground truth: the stopped engine itself continued
+    // to completion. (Stopping perturbs turn order relative to a
+    // never-stopped run, so the contract is restored == continued, not
+    // restored == never-stopped.)
+    stopped.clear_thresholds();
+    stopped.resume_trapped();
+    assert!(stopped.run().is_completed());
+    let want_digest = stopped.digest();
+    if wants(opts, "checkpoint", "restore") {
+        records.push(measure("restore", 1, p, || {
+            let e = Engine::restore(&cp, ring::programs(&cfg));
+            assert_eq!(e.markers(), cp.markers());
+        }));
+    }
+    if wants(opts, "checkpoint", "restore_continue") {
+        records.push(measure("restore_continue", 1, p, || {
+            let mut e = Engine::restore(&cp, ring::programs(&cfg));
+            e.clear_thresholds();
+            e.resume_trapped();
+            assert!(e.run().is_completed());
+            assert_eq!(
+                e.digest(),
+                want_digest,
+                "restored run must be byte-identical"
+            );
+        }));
+    }
+    if wants(opts, "checkpoint", "query_by_function") {
+        // Query with pre-resolved function→site binding vs what a naive
+        // per-record resolve would report — counts must agree.
+        let store = ring_store(64);
+        let naive = store
+            .records()
+            .iter()
+            .filter(|r| store.sites().func_name(r.site) == "ring")
+            .count();
+        assert!(naive > 0, "the ring workload events live in fn ring");
+        let q = EventQuery::new().in_function("ring");
+        assert_eq!(q.count(&store), naive);
+        let p = plan(opts, 8, 9, 24);
+        records.push(measure("query_by_function", 1, p, || {
+            assert_eq!(q.count(&store), naive);
+        }));
+    }
+    Suite {
+        name: "checkpoint",
         records,
     }
 }
@@ -296,6 +456,7 @@ pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
         suite_causality,
         suite_replay,
         suite_engine,
+        suite_checkpoint,
         suite_explore,
     ];
     all.iter()

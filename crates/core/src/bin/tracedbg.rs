@@ -6,11 +6,11 @@
 //! tracedbg analyze <trace.trc>
 //! tracedbg report <trace.trc> -o report.html
 //! tracedbg graph <trace.trc> --kind comm|call|trace [--format dot|vcg] [--rank N]
-//! tracedbg debug <workload> [--seed N] [--procs N] [-e CMD]...
+//! tracedbg debug <workload> [--seed N] [--procs N] [--checkpoint-every N] [-e CMD]...
 //! tracedbg lint <trace.trc | script:path> [--procs N] [--json] [--rules SPEC]
 //! tracedbg explore <workload> [--runs N] [--seed N] [--preemptions K] [--faults]
 //!                  [--strategy random|systematic|both] [--jobs N] [--out DIR] [--json]
-//! tracedbg replay --schedule <file.sched.json> [--trace out.trc] [--json]
+//! tracedbg replay --schedule <file.sched.json> [--from-checkpoint] [--trace out.trc] [--json]
 //! tracedbg bench [--quick] [--filter NAME] [--jobs N] [--out DIR]
 //! tracedbg workloads
 //! ```
@@ -336,7 +336,13 @@ fn cmd_debug(opts: &Opts) -> Result<(), String> {
     let seed = opts.num("seed", 42u64);
     let procs = opts.num("procs", 8usize);
     let (factory, _) = workload_factory(name, seed, procs)?;
-    let session = Session::launch(SessionConfig::default(), factory);
+    let cfg = SessionConfig {
+        // Checkpoint every Nth stop for O(delta) undo/replay; 0 disables
+        // the cache and every replay re-executes from scratch.
+        checkpoint_every: opts.num("checkpoint-every", 1usize),
+        ..SessionConfig::default()
+    };
+    let session = Session::launch(cfg, factory);
     let mut ci = CommandInterface::new(session);
     let scripted = opts.commands();
     if !scripted.is_empty() {
@@ -501,6 +507,52 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let artifact = ScheduleArtifact::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
     let (factory, _n) = workload_factory(&artifact.workload, artifact.seed, artifact.procs)?;
+    if opts.has("from-checkpoint") {
+        // Checkpointed re-execution: snapshot mid-schedule, restore, and
+        // check the continued run is byte-identical to the straight one —
+        // the restore-determinism audit for a failure artifact.
+        tracedbg::mpsim::set_quiet_panics(true);
+        let ck = replay_schedule_from_checkpoint(&artifact, factory);
+        tracedbg::mpsim::set_quiet_panics(false);
+        if opts.has("json") {
+            println!(
+                "{{\"workload\":{},\"class\":{},\"restored_class\":{},\"snapshot_decisions\":{},\"reproduced\":{}}}",
+                json_string(&artifact.workload),
+                json_string(&ck.class),
+                json_string(&ck.restored_class),
+                ck.snapshot_decisions
+                    .map_or("null".to_string(), |n| n.to_string()),
+                ck.reproduced,
+            );
+        } else {
+            println!("replaying {artifact} (from checkpoint)");
+            println!("straight outcome: {} ({})", ck.class, ck.detail);
+            match ck.snapshot_decisions {
+                Some(n) => println!(
+                    "restored outcome: {} (snapshot at {n} decision(s))",
+                    ck.restored_class
+                ),
+                None => println!(
+                    "restored outcome: {} (run ended before the snapshot point; \
+                     compared against a straight re-execution)",
+                    ck.restored_class
+                ),
+            }
+            println!(
+                "{}",
+                if ck.reproduced {
+                    "reproduced: restored run is byte-identical to the straight run"
+                } else {
+                    "did NOT reproduce: restored run diverged from the straight run"
+                }
+            );
+        }
+        return Ok(if ck.reproduced {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     // The replayed failure is the expected outcome; keep panic backtraces
     // of the simulated processes off stderr.
     tracedbg::mpsim::set_quiet_panics(true);

@@ -66,8 +66,9 @@ pub use tracedbg_workloads as workloads;
 pub mod prelude {
     pub use tracedbg_causality::{Frontier, HbIndex};
     pub use tracedbg_debugger::{
-        replay_schedule, CommandInterface, HistoryReport, ProgramFactory, ScheduleReplay, Session,
-        SessionConfig, SessionStatus, Stopline,
+        replay_schedule, replay_schedule_from_checkpoint, CheckpointReplay, CommandInterface,
+        HistoryReport, ProgramFactory, ScheduleReplay, Session, SessionConfig, SessionStatus,
+        Stopline,
     };
     pub use tracedbg_explore::{
         ExploreConfig, ExploreReport, Explorer, Strategy as ExploreStrategy,

@@ -14,12 +14,17 @@
 //!   state at the previous debugger stop, implemented — as §6 says — "in
 //!   straightforward manner by re-executing until an execution marker
 //!   threshold is encountered";
+//! * **O(delta) replay** ([`CheckpointCache`]) — every stop may deposit an
+//!   engine checkpoint; `replay_to`/`undo` restore the nearest dominated
+//!   snapshot and re-execute only the remaining delta instead of starting
+//!   from process creation (§6's "logarithmic backlog" of saved states);
 //! * **communication supervision** ([`HistoryReport`]) — unmatched
 //!   sends/receives, circular-wait deadlocks, message races (§4.4);
 //! * a text **command interface** ([`commands::CommandInterface`]) used by
 //!   the scripted debugging sessions in the figure-reproduction harnesses.
 
 pub mod analysis;
+pub mod checkpoint_cache;
 pub mod commands;
 pub mod machine_session;
 pub mod procset;
@@ -29,10 +34,13 @@ pub mod stopline;
 pub mod undo;
 
 pub use analysis::HistoryReport;
+pub use checkpoint_cache::CheckpointCache;
 pub use commands::CommandInterface;
 pub use machine_session::{MachineFactory, MachineSession, MachineSessionStatus};
 pub use procset::ProcSets;
-pub use schedule_replay::{classify, replay_schedule, ScheduleReplay};
+pub use schedule_replay::{
+    classify, replay_schedule, replay_schedule_from_checkpoint, CheckpointReplay, ScheduleReplay,
+};
 pub use session::{ProgramFactory, Session, SessionConfig, SessionStatus};
 pub use stopline::Stopline;
 pub use undo::UndoStack;

@@ -10,7 +10,7 @@
 //! guarantee extended from wildcard matches to whole schedules.
 
 use crate::session::{ProgramFactory, Session, SessionConfig, SessionStatus};
-use tracedbg_mpsim::{FaultPlan, RecorderConfig, SchedPolicy};
+use tracedbg_mpsim::{Engine, EngineConfig, FaultPlan, RecorderConfig, RunOutcome, SchedPolicy};
 use tracedbg_trace::schedule::ScheduleArtifact;
 use tracedbg_trace::TraceStore;
 
@@ -90,6 +90,89 @@ pub fn replay_schedule(artifact: &ScheduleArtifact, factory: ProgramFactory) -> 
         class,
         detail,
         diverged,
+    }
+}
+
+/// The result of a checkpointed artifact replay: the scripted run was
+/// snapshotted mid-schedule, then the suffix was re-executed from the
+/// restored snapshot and compared against the straight run.
+pub struct CheckpointReplay {
+    /// Outcome class of the straight scripted run.
+    pub class: String,
+    /// Human-readable outcome detail of the straight run.
+    pub detail: String,
+    /// Outcome class of the restored-and-continued run.
+    pub restored_class: String,
+    /// How many scheduling decisions the snapshot covered (`None` when the
+    /// run ended before reaching the snapshot point; the comparison then
+    /// degrades to a straight re-execution).
+    pub snapshot_decisions: Option<usize>,
+    /// Classes match and the two runs' traces are byte-identical.
+    pub reproduced: bool,
+}
+
+fn status_of(outcome: RunOutcome) -> SessionStatus {
+    match outcome {
+        RunOutcome::Completed => SessionStatus::Completed,
+        RunOutcome::Deadlock(d) => SessionStatus::Deadlocked(d),
+        RunOutcome::Stopped(s) => SessionStatus::Stopped {
+            traps: s.traps,
+            paused: s.paused,
+        },
+        RunOutcome::Panicked { rank, message } => SessionStatus::Panicked { rank, message },
+    }
+}
+
+/// Replay an artifact through a mid-schedule checkpoint.
+///
+/// Runs the scripted schedule with a snapshot armed at half the decision
+/// depth, restores the snapshot into a second engine, runs the suffix, and
+/// checks the restored run reproduces the straight run's outcome class and
+/// trace byte-for-byte — the determinism contract `--from-checkpoint`
+/// verifies from the command line.
+pub fn replay_schedule_from_checkpoint(
+    artifact: &ScheduleArtifact,
+    factory: ProgramFactory,
+) -> CheckpointReplay {
+    let cfg = EngineConfig {
+        policy: SchedPolicy::Scripted(artifact.decisions.clone()),
+        recorder: RecorderConfig::full(),
+        faults: FaultPlan::new(artifact.faults.clone()),
+        checkpoints: true,
+        ..Default::default()
+    };
+    let mut engine = Engine::launch(cfg.clone(), factory());
+    engine.set_snapshot_at(artifact.decisions.len() / 2);
+    let outcome = engine.run();
+    let (class, detail) = classify(&status_of(outcome));
+    let straight_digest = engine.digest();
+    let straight_trace = engine.collect_trace();
+    let (restored_class, snapshot_decisions, reproduced) = match engine.take_pending_snapshot() {
+        Some(cp) => {
+            let mut restored = Engine::restore(&cp, factory());
+            let (rc, _) = classify(&status_of(restored.run()));
+            let ok = rc == class
+                && restored.digest() == straight_digest
+                && restored.collect_trace() == straight_trace;
+            (rc, Some(cp.decision_len()), ok)
+        }
+        None => {
+            // The run never reached the snapshot point; fall back to a
+            // straight re-execution so the command still checks something.
+            let mut rerun = Engine::launch(cfg, factory());
+            let (rc, _) = classify(&status_of(rerun.run()));
+            let ok = rc == class
+                && rerun.digest() == straight_digest
+                && rerun.collect_trace() == straight_trace;
+            (rc, None, ok)
+        }
+    };
+    CheckpointReplay {
+        class,
+        detail,
+        restored_class,
+        snapshot_decisions,
+        reproduced,
     }
 }
 
@@ -173,6 +256,54 @@ mod tests {
             "{}",
             replay.detail
         );
+    }
+
+    #[test]
+    fn checkpointed_replay_reproduces_completion_and_panic() {
+        // Record a completing run, then flip the wildcard to a panicking
+        // one (same recipe as above); both must reproduce through a
+        // mid-schedule checkpoint.
+        let mut rec = Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            racy_factory(),
+        );
+        assert!(rec.run().is_completed());
+        let mut good = ScheduleArtifact::new("test-racy", 4, 0);
+        good.decisions = rec.engine().schedule_log();
+
+        let cr = replay_schedule_from_checkpoint(&good, racy_factory());
+        assert_eq!(cr.class, CLASS_COMPLETED);
+        assert!(cr.reproduced, "restored run diverged from straight run");
+        assert!(cr.snapshot_decisions.is_some());
+
+        let mut bad = good.clone();
+        let flip = bad
+            .decisions
+            .iter()
+            .position(|d| {
+                matches!(
+                    d,
+                    Decision::Match {
+                        dst: Rank(0),
+                        src: Rank(2),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        bad.decisions[flip] = Decision::Match {
+            dst: Rank(0),
+            src: Rank(3),
+            seq: 0,
+        };
+        bad.decisions.truncate(flip + 1);
+        let cr = replay_schedule_from_checkpoint(&bad, racy_factory());
+        assert_eq!(cr.class, CLASS_PANIC);
+        assert_eq!(cr.restored_class, CLASS_PANIC);
+        assert!(cr.reproduced);
     }
 
     #[test]

@@ -7,12 +7,13 @@
 //! currently running it, the recorded receive-match log, and the undo
 //! stack of stop states.
 
+use crate::checkpoint_cache::CheckpointCache;
 use crate::stopline::Stopline;
 use crate::undo::UndoStack;
 use tracedbg_mpsim::DeadlockReport;
 use tracedbg_mpsim::{
-    CostModel, Engine, EngineConfig, FaultPlan, ProgramFn, RecorderConfig, ReplayLog, RunOutcome,
-    SchedPolicy,
+    CostModel, Engine, EngineCheckpoint, EngineConfig, FaultPlan, ProgramFn, RecorderConfig,
+    ReplayLog, RunOutcome, SchedPolicy,
 };
 use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
@@ -20,7 +21,7 @@ use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceSt
 pub type ProgramFactory = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
 
 /// Session construction parameters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SessionConfig {
     pub cost: CostModel,
     pub policy: SchedPolicy,
@@ -28,6 +29,24 @@ pub struct SessionConfig {
     /// Faults to inject into every incarnation of the target (explorer
     /// schedule replays carry the fault plan of the run they reproduce).
     pub faults: FaultPlan,
+    /// Deposit an [`EngineCheckpoint`] in the session's cache every Nth
+    /// debugger stop, so `replay_to`/`undo` restore the nearest dominated
+    /// checkpoint and re-execute only the delta. `0` disables
+    /// checkpointing entirely (every replay re-executes from scratch, the
+    /// pre-checkpoint behavior; also skips the engine's reply logging).
+    pub checkpoint_every: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            cost: CostModel::default(),
+            policy: SchedPolicy::default(),
+            recorder: RecorderConfig::default(),
+            faults: FaultPlan::default(),
+            checkpoint_every: 1,
+        }
+    }
 }
 
 /// Where the session currently stands.
@@ -76,6 +95,11 @@ pub struct Session {
     recorded_log: Option<ReplayLog>,
     /// Is the current engine incarnation a replay?
     replaying: bool,
+    /// Logarithmic backlog of stop-state checkpoints (§6): replay targets
+    /// restore the nearest dominated entry instead of starting over.
+    ckpts: CheckpointCache,
+    /// Stops seen since launch/restart (drives `checkpoint_every`).
+    stop_count: usize,
 }
 
 impl Session {
@@ -90,6 +114,7 @@ impl Session {
                 replay: None,
                 sites: Some(sites.clone()),
                 faults: cfg.faults.clone(),
+                checkpoints: cfg.checkpoint_every > 0,
             },
             factory(),
         );
@@ -102,6 +127,8 @@ impl Session {
             undo: UndoStack::new(),
             recorded_log: None,
             replaying: false,
+            ckpts: CheckpointCache::new(),
+            stop_count: 0,
         }
     }
 
@@ -136,6 +163,15 @@ impl Session {
             self.recorded_log = Some(self.engine.match_log());
         }
         self.undo.push(self.engine.markers());
+        // Deposit a checkpoint at (every Nth) stop: only Stopped states are
+        // replay/undo targets, and only they can make further progress.
+        if self.status.is_stopped() && self.engine.checkpoints_enabled() {
+            self.stop_count += 1;
+            let every = self.cfg.checkpoint_every;
+            if every > 0 && self.stop_count % every == 0 {
+                self.ckpts.insert(self.engine.snapshot());
+            }
+        }
         &self.status
     }
 
@@ -215,6 +251,7 @@ impl Session {
                 replay: Some(log),
                 sites: Some(self.sites.clone()),
                 faults: self.cfg.faults.clone(),
+                checkpoints: false,
             },
             (self.factory)(),
         );
@@ -255,6 +292,9 @@ impl Session {
     /// receives are forced to their recorded matches; every process stops
     /// when its `UserMonitor` counter reaches the stopline marker.
     pub fn replay_to(&mut self, stopline: &Stopline) -> &SessionStatus {
+        if let Some(cp) = self.ckpts.best_for(&stopline.markers) {
+            return self.replay_from_checkpoint(&cp, stopline);
+        }
         let mut log = self
             .recorded_log
             .clone()
@@ -268,12 +308,51 @@ impl Session {
                 replay: Some(log),
                 sites: Some(self.sites.clone()),
                 faults: self.cfg.faults.clone(),
+                checkpoints: self.cfg.checkpoint_every > 0,
             },
             (self.factory)(),
         );
         self.replaying = true;
         self.engine.arm_stopline(&stopline.markers);
         self.run()
+    }
+
+    /// The O(delta) replay path: restore a dominated checkpoint and
+    /// re-execute only from its markers to the stopline's.
+    fn replay_from_checkpoint(
+        &mut self,
+        cp: &EngineCheckpoint,
+        stopline: &Stopline,
+    ) -> &SessionStatus {
+        self.engine = Engine::restore(cp, (self.factory)());
+        // Pin the remaining wildcard matches from the recorded history:
+        // the engine advances the log's cursors past everything the
+        // checkpoint already consumed, so only the delta is forced.
+        if let Some(log) = self.recorded_log.clone() {
+            self.engine.set_replay_delta(log);
+        }
+        // The snapshot carries whatever thresholds/pauses were armed when
+        // it was taken; replace them with the stopline's.
+        self.engine.clear_thresholds();
+        self.engine.clear_pauses();
+        let cur = cp.markers();
+        for m in stopline.markers.iter() {
+            if cur.get(m.rank) < m.count {
+                self.engine.set_threshold(m.rank, Some(m.count));
+                self.engine.resume_rank(m.rank);
+            } else if !self.engine.is_finished(m.rank) {
+                // Already at (or past) the target: hold — an exact-hit
+                // restore is the stop itself, no re-execution at all.
+                self.engine.set_paused(m.rank, true);
+            }
+        }
+        self.replaying = true;
+        self.run();
+        // Drop the at-target holds now that the stop is reported, so
+        // stepping/continuing from here behaves like any other stop
+        // (resume_rank does not clear pause flags).
+        self.engine.clear_pauses();
+        &self.status
     }
 
     /// Parallel undo (§4.2): replay to the stop state preceding the most
@@ -303,12 +382,17 @@ impl Session {
                 replay: None,
                 sites: Some(self.sites.clone()),
                 faults: self.cfg.faults.clone(),
+                checkpoints: self.cfg.checkpoint_every > 0,
             },
             (self.factory)(),
         );
         self.replaying = false;
         self.undo = UndoStack::new();
         self.status = SessionStatus::Idle;
+        // A fresh recording run replaces the history the cached
+        // checkpoints were taken from; drop them.
+        self.ckpts.clear();
+        self.stop_count = 0;
         &self.status
     }
 
@@ -351,6 +435,11 @@ impl Session {
     /// The undo stack (stop history).
     pub fn undo_stack(&self) -> &UndoStack {
         &self.undo
+    }
+
+    /// The checkpoint backlog (empty when `checkpoint_every` is 0).
+    pub fn checkpoint_cache(&self) -> &CheckpointCache {
+        &self.ckpts
     }
 
     // ---- breakpoints & watchpoints ----
@@ -614,6 +703,76 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_session_matches_scratch_session() {
+        // Drive the same debugging script through a checkpointing session
+        // and a scratch-only one: every observable state must agree.
+        let mut fast = session(); // checkpoint_every: 1 (default)
+        let mut slow = Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::full(),
+                checkpoint_every: 0,
+                ..Default::default()
+            },
+            two_proc_factory(),
+        );
+        let script = |s: &mut Session| -> Vec<MarkerVector> {
+            let mut states = Vec::new();
+            assert!(s.run().is_completed());
+            let sl = Stopline {
+                markers: MarkerVector::from_counts(vec![4, 1]),
+                origin: "t".into(),
+            };
+            s.replay_to(&sl);
+            states.push(s.markers());
+            s.step(Rank(0));
+            states.push(s.markers());
+            s.step(Rank(0));
+            states.push(s.markers());
+            assert!(s.undo());
+            states.push(s.markers());
+            assert!(s.undo());
+            states.push(s.markers());
+            assert!(s.continue_all().is_completed());
+            states.push(s.markers());
+            states
+        };
+        let fast_states = script(&mut fast);
+        let slow_states = script(&mut slow);
+        assert_eq!(fast_states, slow_states);
+        assert!(
+            !fast.checkpoint_cache().is_empty(),
+            "fast path must actually cache"
+        );
+        assert!(slow.checkpoint_cache().is_empty());
+        // Full histories agree byte for byte.
+        assert_eq!(fast.trace().records(), slow.trace().records());
+    }
+
+    #[test]
+    fn undo_from_checkpoint_is_a_pure_restore() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![4, 1]),
+            origin: "t".into(),
+        };
+        s.replay_to(&sl);
+        s.step(Rank(0));
+        let at_step = s.markers();
+        s.step(Rank(0));
+        // The stop after the first step was checkpointed; undoing to it is
+        // an exact cache hit (no re-execution), and the session reports
+        // the same stopped state.
+        assert!(s.undo());
+        assert_eq!(s.markers(), at_step);
+        assert!(s.status().is_stopped());
+        // The restored incarnation keeps working: step again, finish.
+        s.step(Rank(0));
+        assert_eq!(s.markers().get(Rank(0)), at_step.get(Rank(0)) + 1);
+        assert!(s.continue_all().is_completed());
+    }
+
+    #[test]
     fn replay_after_deadlock_stops_before_it() {
         // Deadlocking pair; replay to just before the fatal receives.
         let factory: ProgramFactory = Box::new(|| {
@@ -644,5 +803,51 @@ mod tests {
         };
         assert!(s.replay_to(&sl).is_stopped());
         assert_eq!(s.markers().counts(), &[2, 2]);
+    }
+
+    #[test]
+    fn delta_replay_repins_a_blocked_receive() {
+        // Regression: a receive consumes its replay-log entry when the
+        // request is serviced, not when it matches, so a checkpoint taken
+        // while a rank is blocked in an unmatched receive has consumed one
+        // entry beyond its match count. Advancing the log by match counts
+        // alone left that rank's cursor one short, forcing its *next*
+        // receive onto an already-delivered (src, seq) — an upward
+        // `replay_to` past the checkpoint then deadlocked on a bogus
+        // cyclic wait. Long enough rings reliably stop with ranks blocked
+        // in the receive half of a forwarded hop.
+        use tracedbg_workloads::ring::{self, RingConfig};
+        let cfg = RingConfig {
+            nprocs: 4,
+            rounds: 8,
+            hop_cost: 100,
+        };
+        let mut s = Session::launch(
+            SessionConfig {
+                recorder: RecorderConfig::markers_only(),
+                checkpoint_every: 1,
+                ..Default::default()
+            },
+            Box::new(move || ring::programs(&cfg)),
+        );
+        assert!(s.run().is_completed());
+        let target = s.markers();
+        let frac = |num: u64, den: u64| Stopline {
+            markers: MarkerVector::from_counts(
+                target
+                    .counts()
+                    .iter()
+                    .map(|c| (c * num / den).max(1))
+                    .collect(),
+            ),
+            origin: "test".into(),
+        };
+        let quarter = frac(1, 4);
+        let half = frac(1, 2);
+        assert!(s.replay_to(&quarter).is_stopped());
+        // The second replay restores the quarter checkpoint and replays
+        // only the delta; before the fix it deadlocked partway there.
+        assert!(s.replay_to(&half).is_stopped(), "{:?}", s.status());
+        assert_eq!(s.markers(), half.markers);
     }
 }

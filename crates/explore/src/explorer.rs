@@ -1,7 +1,7 @@
 //! The exploration strategies, finding pipeline, and report.
 
 use crate::oracle::{self, Violation};
-use crate::pool::{run_batch, RunTask};
+use crate::pool::{run_batch, PrefixCache, RunTask};
 use crate::runner::{execute, ProgramSource, RunResult, CLASS_COMPLETED, CLASS_DIVERGENCE};
 use crate::shrink::ddmin;
 use rand::{Rng, SeedableRng};
@@ -125,6 +125,9 @@ pub struct ExploreReport {
     pub pruned: usize,
     /// Branch points (real choices) in the deterministic baseline run.
     pub baseline_branches: usize,
+    /// Sibling-schedule groups that shared one checkpointed prefix
+    /// execution (systematic mode). Deterministic for a fixed seed.
+    pub prefix_groups: usize,
     pub findings: Vec<Finding>,
 }
 
@@ -184,7 +187,15 @@ pub struct Explorer {
     prefixes: HashSet<u64>,
     findings: Vec<Finding>,
     classes_found: HashSet<String>,
+    /// Shared-prefix checkpoints for sibling schedules (systematic mode).
+    prefix_cache: PrefixCache,
+    prefix_groups: usize,
 }
+
+/// Don't bother checkpointing shared prefixes shorter than this: the
+/// restore machinery costs a thread respawn per rank, which only pays off
+/// once a real chunk of execution is skipped.
+const MIN_SHARED_PREFIX: usize = 3;
 
 fn hash_decisions(d: &[Decision]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -213,6 +224,8 @@ impl Explorer {
             prefixes: HashSet::new(),
             findings: Vec::new(),
             classes_found: HashSet::new(),
+            prefix_cache: PrefixCache::new(),
+            prefix_groups: 0,
         }
     }
 
@@ -255,6 +268,7 @@ impl Explorer {
             aux_runs: self.aux_runs,
             pruned: self.pruned,
             baseline_branches,
+            prefix_groups: self.prefix_groups,
             findings: self.findings,
         }
     }
@@ -356,14 +370,9 @@ impl Explorer {
             if batch.is_empty() {
                 break;
             }
-            let tasks: Vec<RunTask> = batch
-                .iter()
-                .map(|(prefix, _)| RunTask {
-                    policy: SchedPolicy::Scripted(prefix.clone()),
-                    faults: Vec::new(),
-                })
-                .collect();
-            let results = run_batch(&self.source, &tasks, jobs);
+            let tasks = self.assign_prefix_roles(&batch);
+            self.prefix_groups += tasks.iter().filter(|t| t.snapshot_at.is_some()).count();
+            let results = run_batch(&self.source, &tasks, jobs, &self.prefix_cache);
             for ((prefix, depth), res) in batch.into_iter().zip(results) {
                 self.absorb(&res, &[], "systematic");
                 // Only branch on decisions *after* the substitution:
@@ -374,6 +383,53 @@ impl Explorer {
                 }
             }
         }
+    }
+
+    /// Turn a batch of schedule prefixes into run tasks, assigning
+    /// prefix-checkpoint roles: sibling prefixes (identical up to their
+    /// final decision) share one engine execution of that common prefix.
+    /// The first sibling of each group becomes the *producer* —
+    /// checkpointing at the shared depth — and the rest *fork* from the
+    /// cached checkpoint, re-executing only their own last decision
+    /// onward. Groups whose prefix is already cached (a batch straddling
+    /// the budget, say) get consumers only.
+    ///
+    /// Role assignment depends only on the batch and on which keys earlier
+    /// batches cached — both deterministic — so the task list is identical
+    /// for every worker count.
+    fn assign_prefix_roles(&self, batch: &[(Vec<Decision>, usize)]) -> Vec<RunTask> {
+        let mut group_size: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for (prefix, _) in batch {
+            if prefix.len() > MIN_SHARED_PREFIX {
+                *group_size
+                    .entry(hash_decisions(&prefix[..prefix.len() - 1]))
+                    .or_default() += 1;
+            }
+        }
+        let mut producing: HashSet<u64> = HashSet::new();
+        batch
+            .iter()
+            .map(|(prefix, _)| {
+                let mut task = RunTask::plain(SchedPolicy::Scripted(prefix.clone()), Vec::new());
+                if prefix.len() <= MIN_SHARED_PREFIX {
+                    return task;
+                }
+                let shared = prefix.len() - 1;
+                let key = hash_decisions(&prefix[..shared]);
+                let cached = self.prefix_cache.contains(key);
+                if cached {
+                    task.prefix_key = Some(key);
+                } else if group_size[&key] >= 2 {
+                    task.prefix_key = Some(key);
+                    if producing.insert(key) {
+                        // First sibling of an uncached group produces.
+                        task.snapshot_at = Some(shared);
+                    }
+                }
+                task
+            })
+            .collect()
     }
 
     /// For every branch point at index >= `from`, enqueue each untaken
@@ -422,13 +478,10 @@ impl Explorer {
                     } else {
                         Vec::new()
                     };
-                    RunTask {
-                        policy: SchedPolicy::Seeded(seed),
-                        faults,
-                    }
+                    RunTask::plain(SchedPolicy::Seeded(seed), faults)
                 })
                 .collect();
-            let results = run_batch(&self.source, &tasks, jobs);
+            let results = run_batch(&self.source, &tasks, jobs, &self.prefix_cache);
             for (task, res) in tasks.iter().zip(results) {
                 self.absorb(&res, &task.faults, "random");
             }

@@ -35,5 +35,5 @@ pub mod shrink;
 
 pub use explorer::{ExploreConfig, ExploreReport, Explorer, Finding, Strategy};
 pub use oracle::Violation;
-pub use pool::{run_batch, RunTask};
-pub use runner::{ProgramSource, RunResult};
+pub use pool::{run_batch, PrefixCache, RunTask};
+pub use runner::{execute_task, ProgramSource, RunResult};

@@ -13,16 +13,118 @@
 //! transitions of `jobs = 1` — the property the parallel-determinism
 //! regression tests pin down.
 
-use crate::runner::{execute, ProgramSource, RunResult};
+use crate::runner::{execute_task, ProgramSource, RunResult};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use tracedbg_mpsim::SchedPolicy;
+use std::sync::{Arc, Mutex};
+use tracedbg_mpsim::{EngineCheckpoint, SchedPolicy};
 use tracedbg_trace::schedule::Fault;
 
-/// One unit of exploration work: a scheduling policy plus a fault plan.
+/// One unit of exploration work: a scheduling policy plus a fault plan,
+/// optionally participating in prefix-checkpoint sharing.
 pub struct RunTask {
     pub policy: SchedPolicy,
     pub faults: Vec<Fault>,
+    /// Producer role: checkpoint the engine when its decision log reaches
+    /// this depth and deposit it in the batch's [`PrefixCache`] under
+    /// `prefix_key`. `None` for ordinary runs.
+    pub snapshot_at: Option<usize>,
+    /// The shared-prefix identity of this task (hash of all decisions but
+    /// the last). Consumers (`snapshot_at: None`) fork from the cached
+    /// checkpoint when one is present instead of re-executing the prefix.
+    pub prefix_key: Option<u64>,
+}
+
+impl RunTask {
+    /// A plain run: no checkpoint production or consumption.
+    pub fn plain(policy: SchedPolicy, faults: Vec<Fault>) -> Self {
+        RunTask {
+            policy,
+            faults,
+            snapshot_at: None,
+            prefix_key: None,
+        }
+    }
+}
+
+/// Shared-prefix checkpoint store for one exploration.
+///
+/// Systematic search enqueues sibling schedules that differ only in their
+/// final decision; one sibling per group runs as the *producer*
+/// (checkpointing at the shared-prefix depth) and the rest *fork* from the
+/// restored checkpoint, re-executing only their divergent suffix. The
+/// cache is shared across batches and workers; entries are immutable once
+/// inserted, so a consumer either sees a fully-built checkpoint or falls
+/// back to a from-scratch run — either way the result content is
+/// identical (the restore determinism contract), keeping `jobs = N`
+/// findings equal to `jobs = 1`.
+pub struct PrefixCache {
+    entries: Mutex<HashMap<u64, Arc<EngineCheckpoint>>>,
+    cap: usize,
+    hits: AtomicUsize,
+}
+
+impl PrefixCache {
+    pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        PrefixCache {
+            entries: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn get(&self, key: u64) -> Option<Arc<EngineCheckpoint>> {
+        let hit = self
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
+    }
+
+    /// Insert unless the cache is full (bounded memory: checkpoints hold
+    /// whole reply logs). First insertion wins; re-inserting under a live
+    /// key is a no-op.
+    pub fn insert(&self, key: u64, cp: EngineCheckpoint) {
+        let mut e = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if e.len() < self.cap {
+            e.entry(key).or_insert_with(|| Arc::new(cp));
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumer forks served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PrefixCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Execute every task and return the results in task order.
@@ -30,7 +132,12 @@ pub struct RunTask {
 /// With `jobs <= 1` (or a single task) this degenerates to a plain
 /// sequential loop; otherwise `min(jobs, tasks.len())` workers pull tasks
 /// from a shared cursor and park each result in its task's slot.
-pub fn run_batch(source: &ProgramSource, tasks: &[RunTask], jobs: usize) -> Vec<RunResult> {
+pub fn run_batch(
+    source: &ProgramSource,
+    tasks: &[RunTask],
+    jobs: usize,
+    cache: &PrefixCache,
+) -> Vec<RunResult> {
     let n = tasks.len();
     if n == 0 {
         return Vec::new();
@@ -39,7 +146,7 @@ pub fn run_batch(source: &ProgramSource, tasks: &[RunTask], jobs: usize) -> Vec<
     if jobs == 1 {
         return tasks
             .iter()
-            .map(|t| execute(source, t.policy.clone(), &t.faults))
+            .map(|t| execute_task(source, t, cache))
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -53,8 +160,7 @@ pub fn run_batch(source: &ProgramSource, tasks: &[RunTask], jobs: usize) -> Vec<
                 if i >= n {
                     break;
                 }
-                let t = &tasks[i];
-                let res = execute(source, t.policy.clone(), &t.faults);
+                let res = execute_task(source, &tasks[i], cache);
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
             });
         }
@@ -94,13 +200,11 @@ mod tests {
     fn parallel_batch_matches_sequential_order_and_content() {
         let source = pingpong_source();
         let tasks: Vec<RunTask> = (0..16)
-            .map(|i| RunTask {
-                policy: SchedPolicy::Seeded(i),
-                faults: Vec::new(),
-            })
+            .map(|i| RunTask::plain(SchedPolicy::Seeded(i), Vec::new()))
             .collect();
-        let seq = run_batch(&source, &tasks, 1);
-        let par = run_batch(&source, &tasks, 4);
+        let cache = PrefixCache::new();
+        let seq = run_batch(&source, &tasks, 1, &cache);
+        let par = run_batch(&source, &tasks, 4, &cache);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.digest, b.digest, "same task, same trace digest");
@@ -112,11 +216,8 @@ mod tests {
     #[test]
     fn oversized_job_count_is_clamped() {
         let source = pingpong_source();
-        let tasks = vec![RunTask {
-            policy: SchedPolicy::RoundRobin,
-            faults: Vec::new(),
-        }];
-        let out = run_batch(&source, &tasks, 64);
+        let tasks = vec![RunTask::plain(SchedPolicy::RoundRobin, Vec::new())];
+        let out = run_batch(&source, &tasks, 64, &PrefixCache::new());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].class, crate::runner::CLASS_COMPLETED);
     }
@@ -124,6 +225,42 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let source = pingpong_source();
-        assert!(run_batch(&source, &[], 8).is_empty());
+        assert!(run_batch(&source, &[], 8, &PrefixCache::new()).is_empty());
+    }
+
+    #[test]
+    fn producer_then_consumer_forks_match_scratch_runs() {
+        // Record a schedule, then replay it as a sibling group: the
+        // producer checkpoints the shared prefix, the consumer forks from
+        // it, and both match the from-scratch execution exactly.
+        let source = pingpong_source();
+        let base = crate::runner::execute(&source, SchedPolicy::RoundRobin, &[]);
+        let script = base.decisions.clone();
+        assert!(script.len() >= 2, "need a prefix to share");
+        let shared = script.len() - 1;
+        let key = 0xfeed_beefu64;
+        let cache = PrefixCache::new();
+        let tasks = vec![
+            RunTask {
+                policy: SchedPolicy::Scripted(script.clone()),
+                faults: Vec::new(),
+                snapshot_at: Some(shared),
+                prefix_key: Some(key),
+            },
+            RunTask {
+                policy: SchedPolicy::Scripted(script.clone()),
+                faults: Vec::new(),
+                snapshot_at: None,
+                prefix_key: Some(key),
+            },
+        ];
+        let out = run_batch(&source, &tasks, 1, &cache);
+        assert_eq!(cache.len(), 1, "producer deposited the prefix");
+        assert_eq!(cache.hits(), 1, "consumer forked from it");
+        for r in &out {
+            assert_eq!(r.class, base.class);
+            assert_eq!(r.digest, base.digest, "forked run must match scratch");
+            assert_eq!(r.decisions, base.decisions);
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! One explored run: engine execution → compact result.
 
+use crate::pool::{PrefixCache, RunTask};
 use tracedbg_instrument::RecorderConfig;
 use tracedbg_mpsim::{Engine, EngineConfig, FaultPlan, ProgramFn, RunOutcome, SchedPolicy};
 use tracedbg_trace::schedule::{Decision, DecisionPoint, Fault};
@@ -52,6 +53,58 @@ pub fn execute(source: &ProgramSource, policy: SchedPolicy, faults: &[Fault]) ->
         source(),
     );
     let outcome = engine.run();
+    finish(engine, outcome, None)
+}
+
+/// Execute one [`RunTask`], honoring its prefix-checkpoint role.
+///
+/// * Producer (`snapshot_at: Some(k)`): runs with checkpointing enabled,
+///   snapshots at decision depth `k`, and deposits the checkpoint in the
+///   cache under `prefix_key` (unless the script diverged — a diverged
+///   prefix is not the state its siblings expect).
+/// * Consumer (`prefix_key: Some`, no `snapshot_at`): if the shared prefix
+///   is cached, restores it and re-executes only the divergent suffix of
+///   its script; otherwise falls back to a from-scratch run. Both paths
+///   produce byte-identical results (the restore determinism contract).
+/// * Plain task: equivalent to [`execute`].
+pub fn execute_task(source: &ProgramSource, task: &RunTask, cache: &PrefixCache) -> RunResult {
+    if let Some(k) = task.snapshot_at {
+        let mut engine = Engine::launch(
+            EngineConfig {
+                policy: task.policy.clone(),
+                recorder: RecorderConfig::full(),
+                faults: FaultPlan::new(task.faults.clone()),
+                checkpoints: true,
+                ..Default::default()
+            },
+            source(),
+        );
+        engine.set_snapshot_at(k);
+        let outcome = engine.run();
+        return finish(engine, outcome, task.prefix_key.map(|key| (key, cache)));
+    }
+    if let (SchedPolicy::Scripted(script), Some(key), true) =
+        (&task.policy, task.prefix_key, task.faults.is_empty())
+    {
+        if let Some(cp) = cache.get(key) {
+            if cp.decision_len() <= script.len() {
+                let mut engine = Engine::restore(&cp, source());
+                engine.set_script(script.clone(), cp.decision_len());
+                let outcome = engine.run();
+                return finish(engine, outcome, None);
+            }
+        }
+    }
+    execute(source, task.policy.clone(), &task.faults)
+}
+
+/// Summarize a finished engine; as a producer, deposit the pending
+/// snapshot (taken mid-run) into the prefix cache first.
+fn finish(
+    mut engine: Engine,
+    outcome: RunOutcome,
+    deposit: Option<(u64, &PrefixCache)>,
+) -> RunResult {
     let (class, detail, cyclic) = match &outcome {
         RunOutcome::Completed => (CLASS_COMPLETED, "run completed".to_string(), false),
         RunOutcome::Deadlock(rep) => {
@@ -78,6 +131,13 @@ pub fn execute(source: &ProgramSource, policy: SchedPolicy, faults: &[Fault]) ->
     let points = engine.decision_points().to_vec();
     let diverged = engine.schedule_diverged();
     let fault_fired = !engine.faulted().is_empty();
+    if let Some((key, cache)) = deposit {
+        if !diverged {
+            if let Some(cp) = engine.take_pending_snapshot() {
+                cache.insert(key, cp);
+            }
+        }
+    }
     let store = engine.trace_store();
     let digest = {
         let recs: Vec<_> = store.records().to_vec();

@@ -32,6 +32,7 @@ fn assert_reports_identical(a: &ExploreReport, b: &ExploreReport) {
     assert_eq!(a.aux_runs, b.aux_runs, "shrink/confirm accounting");
     assert_eq!(a.pruned, b.pruned, "pruning decisions");
     assert_eq!(a.baseline_branches, b.baseline_branches);
+    assert_eq!(a.prefix_groups, b.prefix_groups, "prefix-sharing roles");
     assert_eq!(a.findings.len(), b.findings.len(), "finding count");
     for (fa, fb) in a.findings.iter().zip(&b.findings) {
         assert_eq!(fa.class, fb.class, "violation class");
@@ -62,6 +63,10 @@ fn racy_wildcard_findings_identical_at_jobs_1_and_4() {
     assert!(
         seq.findings.iter().any(|f| f.class == "panic"),
         "the wildcard race must be found"
+    );
+    assert!(
+        seq.prefix_groups > 0,
+        "systematic siblings must share checkpointed prefixes"
     );
     assert_eq!(par.jobs, 4);
     assert_reports_identical(&seq, &par);

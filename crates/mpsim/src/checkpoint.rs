@@ -1,0 +1,113 @@
+//! Engine checkpoints: O(delta) replay for undo, stoplines and
+//! prefix-shared exploration.
+//!
+//! The paper's §4.2 bounds replay cost with a "logarithmic backlog" of
+//! saved states; [`EngineCheckpoint`] is that saved state for the
+//! thread-backed engine. It captures everything the engine owns — process
+//! state machines, mailboxes, sequence counters, collective state, the
+//! scheduler (RNG + script cursor), the match recorder, replay cursors,
+//! fault-plan progress, per-rank instrumentation recorders and the
+//! decision log — plus two things that exist only for restoration:
+//!
+//! * the **reply log**: every [`crate::ops::Reply`] the engine granted,
+//!   per rank, in order. Process *threads* cannot be snapshotted, so
+//!   `Engine::restore` re-executes each program on a fresh thread and
+//!   feeds it its recorded reply stream all at once; the thread
+//!   fast-forwards to the snapshot point without a single engine
+//!   round-trip, and all ranks fast-forward in parallel.
+//! * the **trap history**: the markers at which each rank trapped, so the
+//!   fast-forwarding process re-issues exactly the trap requests of the
+//!   original run (keeping request/reply streams aligned).
+//!
+//! Determinism contract: a restored engine continued to the end produces
+//! a byte-identical trace to the uncheckpointed run — the property the
+//! `prop_checkpoint` suite pins, including under fault injection.
+
+use crate::clock::CostModel;
+use crate::collective::PendingCollective;
+use crate::engine::ProcState;
+use crate::fault::FaultPlan;
+use crate::mailbox::Mailbox;
+use crate::ops::Reply;
+use crate::record::{MatchRecorder, ReplayLog};
+use crate::sched::Scheduler;
+use tracedbg_instrument::{Recorder, RecorderConfig};
+use tracedbg_trace::schedule::DecisionPoint;
+use tracedbg_trace::{MarkerVector, Rank, SiteTable, TraceRecord};
+
+/// A full deterministic snapshot of a running [`crate::Engine`].
+///
+/// Cheap to take (clones of owned state, no thread interaction) and
+/// self-contained: [`crate::Engine::restore`] rebuilds a live engine from
+/// it and fresh program closures. Named `EngineCheckpoint` to keep it
+/// distinct from the state-machine backend's `machine::Checkpoint`.
+#[derive(Clone)]
+pub struct EngineCheckpoint {
+    pub(crate) n_ranks: usize,
+    pub(crate) states: Vec<ProcState>,
+    pub(crate) paused: Vec<bool>,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) send_seq: Vec<Vec<u64>>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) match_rec: MatchRecorder,
+    pub(crate) replay: Option<ReplayLog>,
+    pub(crate) recorders: Vec<Recorder>,
+    pub(crate) recorder_cfg: RecorderConfig,
+    pub(crate) sites: SiteTable,
+    pub(crate) flush_pending: Vec<TraceRecord>,
+    pub(crate) cost: CostModel,
+    pub(crate) pending_coll: Option<PendingCollective>,
+    pub(crate) collected: Vec<TraceRecord>,
+    pub(crate) faults: FaultPlan,
+    pub(crate) ops: Vec<u64>,
+    pub(crate) decision_log: Vec<DecisionPoint>,
+    pub(crate) reply_log: Vec<Vec<Reply>>,
+    pub(crate) trap_history: Vec<Vec<u64>>,
+}
+
+impl EngineCheckpoint {
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Execution markers at the snapshot point (the cache key the
+    /// debugger's checkpoint cache dominates against).
+    pub fn markers(&self) -> MarkerVector {
+        let mut v = MarkerVector::zero(self.n_ranks);
+        for (i, r) in self.recorders.iter().enumerate() {
+            v.set(Rank(i as u32), r.marker());
+        }
+        v
+    }
+
+    /// Scheduling decisions taken before the snapshot (the explorer forks
+    /// sibling schedules with the script cursor set to this length).
+    pub fn decision_len(&self) -> usize {
+        self.decision_log.len()
+    }
+
+    /// Receive matches recorded per rank at the snapshot point — where a
+    /// replay log's cursors must stand so only the delta is pinned.
+    pub fn match_counts(&self) -> Vec<usize> {
+        (0..self.n_ranks)
+            .map(|r| self.match_rec.matches_of(Rank(r as u32)).len())
+            .collect()
+    }
+
+    /// Total granted replies captured — proportional to how much history a
+    /// restore must fast-forward through.
+    pub fn replies_len(&self) -> usize {
+        self.reply_log.iter().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineCheckpoint>();
+    }
+}

@@ -40,7 +40,7 @@ impl ReduceOp {
 }
 
 /// One rank's pending entry into a collective.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CollEntry {
     pub rank: Rank,
     pub payload: Payload,
@@ -48,7 +48,7 @@ pub struct CollEntry {
 }
 
 /// An in-progress collective: buffers entries until all ranks arrive.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PendingCollective {
     pub kind: CollKind,
     pub root: Rank,

@@ -10,6 +10,7 @@
 //! execution, which is the foundation of the paper's replay, stopline and
 //! *undo* operations.
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::clock::CostModel;
 use crate::collective::{CollEntry, PendingCollective};
 use crate::deadlock::DeadlockReport;
@@ -42,6 +43,11 @@ pub struct EngineConfig {
     pub sites: Option<SiteTable>,
     /// Faults to inject into this run (explorer fault plane).
     pub faults: FaultPlan,
+    /// Record the per-rank reply streams and trap history needed to take
+    /// [`EngineCheckpoint`]s. Off by default: the reply log deep-copies
+    /// message payloads on the grant path, which the engine benches must
+    /// not pay unless checkpointing is actually wanted.
+    pub checkpoints: bool,
 }
 
 impl EngineConfig {
@@ -89,8 +95,8 @@ pub struct StopReason {
     pub paused: Vec<Rank>,
 }
 
-#[derive(Debug)]
-enum ProcState {
+#[derive(Clone, Debug)]
+pub(crate) enum ProcState {
     /// Waiting for a turn; the reply to deliver when granted.
     Ready(Reply),
     /// Currently holding the turn (engine is waiting for its request).
@@ -147,6 +153,17 @@ pub struct Engine {
     /// Every scheduling decision of this run with its alternatives — the
     /// raw material of schedule artifacts and systematic exploration.
     decision_log: Vec<DecisionPoint>,
+    /// Checkpoint plane (all inert unless `checkpoints` is on).
+    checkpoints: bool,
+    recorder_cfg: RecorderConfig,
+    /// Every reply granted, per rank, in grant order (including the
+    /// initial `Proceed`) — the restore fast-forward script.
+    reply_log: Vec<Vec<Reply>>,
+    /// Markers at which each rank trapped, in order.
+    trap_history: Vec<Vec<u64>>,
+    /// Take a snapshot when the decision log reaches this length.
+    snapshot_at_decision: Option<usize>,
+    pending_snapshot: Option<Box<EngineCheckpoint>>,
 }
 
 impl Engine {
@@ -170,7 +187,7 @@ impl Engine {
             let rank = Rank(i as u32);
             let (reply_tx, reply_rx) = unbounded::<Reply>();
             let recorder = Arc::new(Mutex::new(Recorder::new(rank, config.recorder.clone())));
-            let mut ctx = ProcessCtx::new(
+            let ctx = ProcessCtx::new(
                 rank,
                 n,
                 config.cost,
@@ -180,36 +197,9 @@ impl Engine {
                 reply_rx,
                 flush.clone(),
             );
-            let handle = std::thread::Builder::new()
-                .name(format!("mpsim-p{i}"))
-                .spawn(move || {
-                    ctx.wait_initial_grant();
-                    ctx.emit_proc_start();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        program(&mut ctx)
-                    }));
-                    match result {
-                        Ok(()) => {
-                            ctx.emit_proc_end();
-                            ctx.finish();
-                        }
-                        Err(payload) => {
-                            if payload.downcast_ref::<ShutdownSignal>().is_some() {
-                                return; // engine teardown: exit quietly
-                            }
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "<non-string panic>".into());
-                            ctx.report_panic(msg);
-                        }
-                    }
-                })
-                .expect("spawn process thread");
             reply_txs.push(reply_tx);
             recorders.push(recorder);
-            handles.push(Some(handle));
+            handles.push(Some(spawn_process(i, program, ctx)));
         }
         Engine {
             states: (0..n).map(|_| ProcState::Ready(Reply::Proceed)).collect(),
@@ -232,6 +222,119 @@ impl Engine {
             faults: config.faults,
             ops: vec![0; n],
             decision_log: Vec::new(),
+            checkpoints: config.checkpoints,
+            recorder_cfg: config.recorder,
+            reply_log: vec![Vec::new(); n],
+            trap_history: vec![Vec::new(); n],
+            snapshot_at_decision: None,
+            pending_snapshot: None,
+        }
+    }
+
+    /// Rebuild a live engine from a checkpoint and fresh program closures
+    /// (the same programs the checkpointed engine was launched with —
+    /// determinism of the restore depends on it).
+    ///
+    /// Threads cannot be snapshotted, so each program is re-executed on a
+    /// fresh thread against its recorded reply stream, preloaded in full:
+    /// every rank fast-forwards to the snapshot point in parallel, with no
+    /// engine round-trips, no scheduling, no mailbox work and no trace
+    /// buffering. The engine only drains (and discards) the re-issued
+    /// requests, then installs the checkpointed state wholesale. Restored
+    /// engines keep checkpointing enabled, so checkpoints chain.
+    pub fn restore(cp: &EngineCheckpoint, programs: Vec<ProgramFn>) -> Self {
+        install_quiet_shutdown_hook();
+        let n = cp.n_ranks;
+        assert_eq!(programs.len(), n, "restore needs one program per rank");
+        let sites = cp.sites.clone();
+        let flush = FlushHandle::new();
+        flush.accept(cp.flush_pending.clone());
+        let (req_tx, req_rx) = unbounded::<(Rank, Request)>();
+        let mut reply_txs = Vec::with_capacity(n);
+        let mut recorders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, program) in programs.into_iter().enumerate() {
+            let rank = Rank(i as u32);
+            let (reply_tx, reply_rx) = unbounded::<Reply>();
+            let recorder = Arc::new(Mutex::new(Recorder::fast_forward(
+                rank,
+                cp.recorder_cfg.clone(),
+                cp.trap_history[i].clone(),
+            )));
+            let ctx = ProcessCtx::new(
+                rank,
+                n,
+                cp.cost,
+                sites.clone(),
+                Arc::clone(&recorder),
+                req_tx.clone(),
+                reply_rx,
+                flush.clone(),
+            );
+            let handle = spawn_process(i, program, ctx);
+            // Preload the whole recorded reply stream: the thread replays
+            // against it without ever waiting on the engine.
+            for reply in &cp.reply_log[i] {
+                reply_tx.send(reply.clone()).expect("preload reply stream");
+            }
+            reply_txs.push(reply_tx);
+            recorders.push(recorder);
+            handles.push(Some(handle));
+        }
+        // A thread that consumes R preloaded replies makes exactly R
+        // requests before parking (or exiting): at every engine-rest point
+        // requests-made equals replies-granted for every rank, in every
+        // state. Drain exactly that many, discarding contents — the
+        // checkpointed engine state already reflects having serviced them.
+        let want: Vec<usize> = cp.reply_log.iter().map(|v| v.len()).collect();
+        let mut seen = vec![0usize; n];
+        for _ in 0..want.iter().sum::<usize>() {
+            let (rank, _req) = req_rx.recv().expect("fast-forward request stream");
+            seen[rank.ix()] += 1;
+            assert!(
+                seen[rank.ix()] <= want[rank.ix()],
+                "{rank:?} overran its recorded history during fast-forward"
+            );
+        }
+        // Self-check, then swap the checkpointed recorder state in over
+        // the fast-forward recorders (threads keep their Arc handles).
+        for (i, arc) in recorders.iter().enumerate() {
+            let mut g = arc.lock();
+            assert_eq!(g.ff_pending(), 0, "rank {i}: scripted traps left over");
+            assert_eq!(
+                g.marker(),
+                cp.recorders[i].marker(),
+                "rank {i}: marker mismatch after fast-forward"
+            );
+            *g = cp.recorders[i].clone();
+        }
+        Engine {
+            states: cp.states.clone(),
+            paused: cp.paused.clone(),
+            reply_txs,
+            req_rx,
+            handles,
+            mailboxes: cp.mailboxes.clone(),
+            send_seq: cp.send_seq.clone(),
+            scheduler: cp.scheduler.clone(),
+            match_rec: cp.match_rec.clone(),
+            replay: cp.replay.clone(),
+            recorders,
+            sites,
+            flush,
+            cost: cp.cost,
+            pending_coll: cp.pending_coll.clone(),
+            n_ranks: n,
+            collected: cp.collected.clone(),
+            faults: cp.faults.clone(),
+            ops: cp.ops.clone(),
+            decision_log: cp.decision_log.clone(),
+            checkpoints: true,
+            recorder_cfg: cp.recorder_cfg.clone(),
+            reply_log: cp.reply_log.clone(),
+            trap_history: cp.trap_history.clone(),
+            snapshot_at_decision: None,
+            pending_snapshot: None,
         }
     }
 
@@ -245,6 +348,14 @@ impl Engine {
 
     /// Run until completion, deadlock, panic, or a debugger stop.
     pub fn run(&mut self) -> RunOutcome {
+        // Re-deliver any receive that was mid-match when a checkpoint was
+        // taken (a snapshot can land between a match becoming possible and
+        // its decision being committed). In an uncheckpointed engine this
+        // sweep is a provable no-op: at every rest point a blocked receive
+        // with candidates has already been delivered.
+        for r in 0..self.n_ranks {
+            self.try_match(Rank(r as u32));
+        }
         loop {
             let runnable: Vec<Rank> = self
                 .states
@@ -256,6 +367,7 @@ impl Engine {
             if runnable.is_empty() {
                 return self.stall_outcome();
             }
+            self.maybe_snapshot();
             let p = self.scheduler.pick(&runnable);
             self.decision_log.push(DecisionPoint {
                 chosen: Decision::Turn { rank: p },
@@ -268,6 +380,9 @@ impl Engine {
                 ProcState::Ready(r) => r,
                 other => unreachable!("granted non-ready process in state {other:?}"),
             };
+            if self.checkpoints {
+                self.reply_log[p.ix()].push(reply.clone());
+            }
             self.reply_txs[p.ix()]
                 .send(reply)
                 .expect("process thread vanished");
@@ -436,6 +551,9 @@ impl Engine {
                 }
             }
             Request::MarkerTrap { marker } => {
+                if self.checkpoints {
+                    self.trap_history[rank.ix()].push(marker);
+                }
                 self.states[rank.ix()] = ProcState::Trapped { marker };
             }
             Request::Finished { .. } => {
@@ -460,6 +578,7 @@ impl Engine {
         if candidates.is_empty() {
             return;
         }
+        self.maybe_snapshot();
         let pick = self.scheduler.pick_candidate(dst, &candidates);
         self.decision_log.push(DecisionPoint {
             chosen: Decision::Match {
@@ -710,6 +829,193 @@ impl Engine {
             })
             .collect()
     }
+
+    // ---- checkpoint interface ----
+
+    /// Was this engine launched (or restored) with checkpointing on?
+    pub fn checkpoints_enabled(&self) -> bool {
+        self.checkpoints
+    }
+
+    /// Capture the full deterministic state of the run right now. Callable
+    /// whenever the engine has control (between turns — i.e. whenever
+    /// `run` has returned). Requires `EngineConfig::checkpoints`.
+    pub fn snapshot(&self) -> EngineCheckpoint {
+        assert!(
+            self.checkpoints,
+            "snapshot() requires EngineConfig.checkpoints"
+        );
+        EngineCheckpoint {
+            n_ranks: self.n_ranks,
+            states: self.states.clone(),
+            paused: self.paused.clone(),
+            mailboxes: self.mailboxes.clone(),
+            send_seq: self.send_seq.clone(),
+            scheduler: self.scheduler.clone(),
+            match_rec: self.match_rec.clone(),
+            replay: self.replay.clone(),
+            recorders: self.recorders.iter().map(|r| r.lock().clone()).collect(),
+            recorder_cfg: self.recorder_cfg.clone(),
+            sites: self.sites.clone(),
+            flush_pending: self.flush.snapshot(),
+            cost: self.cost,
+            pending_coll: self.pending_coll.clone(),
+            collected: self.collected.clone(),
+            faults: self.faults.clone(),
+            ops: self.ops.clone(),
+            decision_log: self.decision_log.clone(),
+            reply_log: self.reply_log.clone(),
+            trap_history: self.trap_history.clone(),
+        }
+    }
+
+    /// Arrange for a snapshot to be taken automatically when the decision
+    /// log reaches length `k` (the explorer checkpoints schedule prefixes
+    /// this way). Collected with [`Engine::take_pending_snapshot`].
+    pub fn set_snapshot_at(&mut self, k: usize) {
+        assert!(
+            self.checkpoints,
+            "set_snapshot_at() requires EngineConfig.checkpoints"
+        );
+        self.snapshot_at_decision = Some(k);
+    }
+
+    /// The snapshot armed by [`Engine::set_snapshot_at`], if the run
+    /// reached that decision depth.
+    pub fn take_pending_snapshot(&mut self) -> Option<EngineCheckpoint> {
+        self.pending_snapshot.take().map(|b| *b)
+    }
+
+    fn maybe_snapshot(&mut self) {
+        if let Some(k) = self.snapshot_at_decision {
+            if self.decision_log.len() == k && self.pending_snapshot.is_none() {
+                self.pending_snapshot = Some(Box::new(self.snapshot()));
+            }
+        }
+    }
+
+    /// Structural digest of the engine's deterministic state — a cheap
+    /// self-check that a restored-and-continued run converged to the same
+    /// state as a straight run.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, s) in self.states.iter().enumerate() {
+            (i as u64).hash(&mut h);
+            match s {
+                ProcState::Ready(_) => 0u8.hash(&mut h),
+                ProcState::Running => 1u8.hash(&mut h),
+                ProcState::Blocked { marker, .. } => {
+                    2u8.hash(&mut h);
+                    marker.hash(&mut h);
+                }
+                ProcState::BlockedSend { dst, marker } => {
+                    3u8.hash(&mut h);
+                    dst.ix().hash(&mut h);
+                    marker.hash(&mut h);
+                }
+                ProcState::InCollective => 4u8.hash(&mut h),
+                ProcState::Trapped { marker } => {
+                    5u8.hash(&mut h);
+                    marker.hash(&mut h);
+                }
+                ProcState::Faulted(k) => {
+                    6u8.hash(&mut h);
+                    matches!(k, FaultKind::Crash).hash(&mut h);
+                }
+                ProcState::Finished => 7u8.hash(&mut h),
+                ProcState::Panicked(m) => {
+                    8u8.hash(&mut h);
+                    m.hash(&mut h);
+                }
+            }
+            self.recorders[i].lock().marker().hash(&mut h);
+        }
+        for mb in &self.mailboxes {
+            for env in mb.undelivered() {
+                (env.src.ix(), env.dst.ix(), env.tag.0, env.seq, env.arrival).hash(&mut h);
+            }
+        }
+        self.send_seq.hash(&mut h);
+        self.ops.hash(&mut h);
+        self.decision_log.len().hash(&mut h);
+        self.match_rec.total().hash(&mut h);
+        h.finish()
+    }
+
+    /// Receive matches recorded so far, per rank — where replay-log
+    /// cursors must stand to pin only the delta after a restore.
+    pub fn match_counts(&self) -> Vec<usize> {
+        (0..self.n_ranks)
+            .map(|r| self.match_rec.matches_of(Rank(r as u32)).len())
+            .collect()
+    }
+
+    /// Install (or clear) a replay log mid-session. Unlike the launch
+    /// path, cursors are left exactly where the caller set them — the
+    /// debugger pins a restored run with cursors advanced past the
+    /// checkpoint's matches.
+    pub fn set_replay(&mut self, log: Option<ReplayLog>) {
+        self.replay = log;
+    }
+
+    /// Install a replay log on a restored engine so that only the delta
+    /// ahead of the checkpoint is forced. Cursors advance past each rank's
+    /// made matches — plus, for a rank checkpointed while *blocked in an
+    /// unmatched receive*, the entry for that receive: a recv consumes its
+    /// log entry when the request is serviced, not when it matches, so
+    /// that entry is re-pinned onto the blocked spec instead of leaking to
+    /// the rank's next receive.
+    pub fn set_replay_delta(&mut self, mut log: ReplayLog) {
+        log.reset();
+        log.advance_to(&self.match_counts());
+        for r in 0..self.n_ranks {
+            let rank = Rank(r as u32);
+            if let ProcState::Blocked { spec, .. } = &mut self.states[r] {
+                if let Some(m) = log.next_for(rank) {
+                    spec.forced = Some((m.src, m.seq));
+                }
+            }
+        }
+        self.replay = Some(log);
+    }
+
+    /// Swap the scheduler's script with the cursor pre-advanced past a
+    /// shared prefix (explorer prefix forking; see
+    /// [`crate::sched::Scheduler::set_script`]).
+    pub fn set_script(&mut self, script: Vec<Decision>, cursor: usize) {
+        self.scheduler.set_script(script, cursor);
+    }
+}
+
+/// Spawn one simulated process thread (shared by `launch` and `restore`).
+fn spawn_process(i: usize, program: ProgramFn, mut ctx: ProcessCtx) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("mpsim-p{i}"))
+        .spawn(move || {
+            ctx.wait_initial_grant();
+            ctx.emit_proc_start();
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program(&mut ctx)));
+            match result {
+                Ok(()) => {
+                    ctx.emit_proc_end();
+                    ctx.finish();
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownSignal>().is_some() {
+                        return; // engine teardown: exit quietly
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    ctx.report_panic(msg);
+                }
+            }
+        })
+        .expect("spawn process thread")
 }
 
 static QUIET_PANICS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
@@ -1280,6 +1586,138 @@ mod tests {
             }
             other => panic!("expected hang-induced stall, got {other:?}"),
         }
+    }
+
+    fn ckpt_cfg() -> EngineConfig {
+        EngineConfig {
+            checkpoints: true,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn snapshot_mid_run_restore_and_continue_is_byte_identical() {
+        let mut straight = Engine::launch(ckpt_cfg(), wildcard_fanin());
+        assert!(straight.run().is_completed());
+        let want = straight.collect_trace();
+        let want_digest = straight.digest();
+        // Same run, but snapshot when the decision log reaches depth 5.
+        let mut e = Engine::launch(ckpt_cfg(), wildcard_fanin());
+        e.set_snapshot_at(5);
+        assert!(e.run().is_completed());
+        let cp = e.take_pending_snapshot().expect("snapshot at decision 5");
+        assert_eq!(cp.decision_len(), 5);
+        assert_eq!(e.collect_trace(), want, "snapshotting must not perturb");
+        // Restore the prefix and run the rest: identical trace and state.
+        let mut r = Engine::restore(&cp, wildcard_fanin());
+        assert!(r.run().is_completed());
+        assert_eq!(r.collect_trace(), want, "restored run diverged");
+        assert_eq!(r.digest(), want_digest);
+    }
+
+    #[test]
+    fn snapshot_of_a_stop_restores_traps_and_continues_identically() {
+        let make = || -> Vec<ProgramFn> {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = site_of(ctx, "p0");
+                for _ in 0..10 {
+                    ctx.compute(100, s);
+                }
+            });
+            vec![p0]
+        };
+        let mut e = Engine::launch(ckpt_cfg(), make());
+        e.set_threshold(Rank(0), Some(5));
+        assert!(e.run().is_stopped());
+        let cp = e.snapshot();
+        assert_eq!(cp.markers().get(Rank(0)), 5);
+        e.clear_thresholds();
+        e.resume_trapped();
+        assert!(e.run().is_completed());
+        let want = e.collect_trace();
+        let want_digest = e.digest();
+        // A restored stop *is* the stop: same trap, then same run.
+        let mut r = Engine::restore(&cp, make());
+        assert!(r.is_trapped(Rank(0)));
+        match r.run() {
+            RunOutcome::Stopped(st) => assert_eq!(st.traps, vec![Marker::new(0u32, 5)]),
+            other => panic!("restored stop must re-report its stop, got {other:?}"),
+        }
+        r.clear_thresholds();
+        r.resume_trapped();
+        assert!(r.run().is_completed());
+        assert_eq!(r.collect_trace(), want);
+        assert_eq!(r.digest(), want_digest);
+    }
+
+    #[test]
+    fn restored_engine_chains_further_checkpoints() {
+        let make = || -> Vec<ProgramFn> {
+            let p0: ProgramFn = Box::new(|ctx| {
+                let s = site_of(ctx, "p0");
+                for _ in 0..10 {
+                    ctx.compute(100, s);
+                }
+            });
+            vec![p0]
+        };
+        let mut e = Engine::launch(ckpt_cfg(), make());
+        e.set_threshold(Rank(0), Some(3));
+        assert!(e.run().is_stopped());
+        let cp1 = e.snapshot();
+        let mut r1 = Engine::restore(&cp1, make());
+        assert!(r1.checkpoints_enabled());
+        r1.set_threshold(Rank(0), Some(7));
+        r1.resume_trapped();
+        assert!(r1.run().is_stopped());
+        let cp2 = r1.snapshot();
+        assert_eq!(cp2.markers().get(Rank(0)), 7);
+        let mut r2 = Engine::restore(&cp2, make());
+        r2.clear_thresholds();
+        r2.resume_trapped();
+        assert!(r2.run().is_completed());
+        assert_eq!(r2.markers().get(Rank(0)), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires EngineConfig.checkpoints")]
+    fn snapshot_requires_opt_in() {
+        let p0: ProgramFn = Box::new(|ctx| {
+            let s = site_of(ctx, "p0");
+            ctx.compute(1, s);
+        });
+        let e = Engine::launch(cfg(), vec![p0]);
+        let _ = e.snapshot();
+    }
+
+    #[test]
+    fn restore_replays_through_faults_identically() {
+        use tracedbg_trace::Fault;
+        // Crash P1 after one op: the straight and restored runs must agree
+        // on the resulting starvation deadlock and trace.
+        let make = || wildcard_fanin();
+        let faults = FaultPlan::new(vec![Fault::Crash {
+            rank: Rank(2),
+            after_ops: 0,
+        }]);
+        let mut c = ckpt_cfg();
+        c.faults = faults.clone();
+        let mut straight = Engine::launch(c.clone(), make());
+        let straight_out = straight.run();
+        let want = straight.collect_trace();
+        let mut e = Engine::launch(c, make());
+        e.set_snapshot_at(4);
+        let _ = e.run();
+        let cp = e.take_pending_snapshot().expect("snapshot");
+        let mut r = Engine::restore(&cp, make());
+        let r_out = r.run();
+        assert_eq!(
+            format!("{straight_out:?}"),
+            format!("{r_out:?}"),
+            "outcome must match"
+        );
+        assert_eq!(r.collect_trace(), want);
+        assert_eq!(r.faulted(), straight.faulted());
     }
 
     #[test]

@@ -22,10 +22,16 @@
 //!   genuine nondeterminism to defeat;
 //! * when no process can run and none trapped, the engine produces a
 //!   [`DeadlockReport`] with the wait-for cycle (the Figure 5 scenario);
+//! * the engine itself can be checkpointed: [`EngineCheckpoint`] captures
+//!   the full deterministic state of a run and [`Engine::restore`] rebuilds
+//!   a live engine from it by fast-forwarding fresh process threads through
+//!   their recorded reply streams — O(delta) replay for undo, stoplines and
+//!   prefix-shared schedule exploration (see [`checkpoint`]);
 //! * [`machine`] provides an alternative *state-machine* process backend
 //!   whose whole state can be checkpointed and restored — the paper's §6
 //!   future-work extension ("periodically checkpointing program states").
 
+pub mod checkpoint;
 pub mod clock;
 pub mod collective;
 pub mod deadlock;
@@ -40,6 +46,7 @@ pub mod proc;
 pub mod record;
 pub mod sched;
 
+pub use checkpoint::EngineCheckpoint;
 pub use clock::CostModel;
 pub use deadlock::{DeadlockReport, WaitForEdge};
 pub use engine::{set_quiet_panics, Engine, EngineConfig, RunOutcome, StopReason};

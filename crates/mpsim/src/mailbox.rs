@@ -22,7 +22,7 @@ pub struct Candidate {
 }
 
 /// The incoming-message store of one destination process.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Mailbox {
     /// Indexed by source rank.
     queues: Vec<VecDeque<Envelope>>,

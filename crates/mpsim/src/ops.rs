@@ -58,7 +58,11 @@ pub enum Request {
 }
 
 /// The engine's grant back to a process.
-#[derive(Debug)]
+///
+/// `Clone` because checkpointing logs the reply stream per rank: restoring
+/// a checkpoint re-feeds each process thread its recorded replies so it
+/// fast-forwards deterministically to the snapshot point.
+#[derive(Clone, Debug)]
 pub enum Reply {
     /// Initial grant / resume after a trap or a send.
     Proceed,

@@ -91,6 +91,14 @@ impl ReplayLog {
         self.per_rank[receiver.ix()].len()
     }
 
+    /// Position the cursors as if `counts[r]` matches were already consumed
+    /// per rank — a restored checkpoint pins only the *delta* of receives
+    /// still ahead of the snapshot point.
+    pub fn advance_to(&mut self, counts: &[usize]) {
+        assert_eq!(counts.len(), self.per_rank.len());
+        self.cursor = counts.to_vec();
+    }
+
     pub fn n_ranks(&self) -> usize {
         self.per_rank.len()
     }

@@ -31,6 +31,7 @@ pub enum SchedPolicy {
 }
 
 /// Instantiated scheduler state.
+#[derive(Clone)]
 pub struct Scheduler {
     policy_is_random: bool,
     rng: ChaCha8Rng,
@@ -68,6 +69,17 @@ impl Scheduler {
     /// How many scripted decisions have been consumed.
     pub fn cursor(&self) -> usize {
         self.cursor
+    }
+
+    /// Swap in a (typically longer) script with the cursor already advanced
+    /// past a shared prefix — the explorer forks a checkpointed prefix into
+    /// sibling schedules this way. `last` and the RNG are untouched: every
+    /// schedule sharing the prefix reached this state identically.
+    pub fn set_script(&mut self, script: Vec<Decision>, cursor: usize) {
+        assert!(cursor <= script.len());
+        self.script = script;
+        self.cursor = cursor;
+        self.diverged = false;
     }
 
     /// Next scripted decision, unless the script diverged or ran out.

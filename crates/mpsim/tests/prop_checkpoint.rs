@@ -1,0 +1,110 @@
+//! Property tests for the snapshot/restore plane: for arbitrary seeds,
+//! snapshot depths, and fault plans, a run that is snapshotted mid-way,
+//! restored into a fresh engine, and driven to the end must be
+//! byte-identical to the straight run — same outcome, same state digest,
+//! same trace records. This is the determinism contract the debugger's
+//! O(delta) replay and the explorer's prefix forking both stand on.
+
+use proptest::prelude::*;
+use tracedbg_mpsim::{
+    Engine, EngineConfig, FaultPlan, Payload, ProgramFn, Rank, RecorderConfig, SchedPolicy, Tag,
+};
+use tracedbg_trace::schedule::Fault;
+
+const NPROCS: usize = 4;
+
+/// Fan-in workload with genuine wildcard nondeterminism: every worker
+/// sends `rounds` messages to rank 0, which receives them in whatever
+/// order the scheduler picks and then releases the workers.
+fn fanin_programs(rounds: u64) -> Vec<ProgramFn> {
+    let p0: ProgramFn = Box::new(move |ctx| {
+        let s = ctx.site("prop.rs", 1, "collector");
+        let mut sum = 0i64;
+        for _ in 0..(NPROCS as u64 - 1) * rounds {
+            let m = ctx.recv_any(None, s);
+            sum += m.payload.to_i64().unwrap_or(0);
+        }
+        ctx.probe("sum", sum, s);
+        for r in 1..NPROCS {
+            ctx.send(Rank(r as u32), Tag(9), Payload::from_i64(sum), s);
+        }
+    });
+    let mut progs = vec![p0];
+    for r in 1..NPROCS {
+        let worker: ProgramFn = Box::new(move |ctx| {
+            let s = ctx.site("prop.rs", 2, "worker");
+            for round in 0..rounds {
+                ctx.compute(50, s);
+                let v = (r as i64) * 100 + round as i64;
+                ctx.send(Rank(0), Tag(0), Payload::from_i64(v), s);
+            }
+            let _ = ctx.recv_from(Rank(0), Tag(9), s);
+        });
+        progs.push(worker);
+    }
+    progs
+}
+
+/// An optional single-fault plan hitting a worker (never the collector,
+/// so runs stay short): crash, hang, or a delivery delay into rank 0.
+fn arb_faults() -> impl Strategy<Value = Vec<Fault>> {
+    let w = 1u32..NPROCS as u32;
+    prop_oneof![
+        Just(Vec::new()),
+        (w.clone(), 0u64..6).prop_map(|(r, k)| vec![Fault::Crash {
+            rank: Rank(r),
+            after_ops: k,
+        }]),
+        (w.clone(), 0u64..6).prop_map(|(r, k)| vec![Fault::Hang {
+            rank: Rank(r),
+            after_ops: k,
+        }]),
+        (w, 0u64..4, 1u64..500).prop_map(|(src, nth, extra_ns)| vec![Fault::Delay {
+            src: Rank(src),
+            dst: Rank(0),
+            nth,
+            extra_ns,
+        }]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn restore_then_continue_is_byte_identical(
+        seed in 0u64..1024,
+        rounds in 1u64..4,
+        k in 0usize..24,
+        faults in arb_faults(),
+    ) {
+        let cfg = || EngineConfig {
+            policy: SchedPolicy::Seeded(seed),
+            recorder: RecorderConfig::full(),
+            faults: FaultPlan::new(faults.clone()),
+            checkpoints: true,
+            ..Default::default()
+        };
+        // The straight run: the byte-level ground truth.
+        let mut straight = Engine::launch(cfg(), fanin_programs(rounds));
+        let s_out = format!("{:?}", straight.run());
+        let s_digest = straight.digest();
+        let s_trace = straight.collect_trace();
+        // The same run, snapshotting at decision depth `k` (the snapshot
+        // may never fire if the run ends first — then there is nothing to
+        // restore, but the run itself must still be unperturbed).
+        let mut snap = Engine::launch(cfg(), fanin_programs(rounds));
+        snap.set_snapshot_at(k);
+        let n_out = format!("{:?}", snap.run());
+        prop_assert_eq!(&n_out, &s_out, "snapshotting must not perturb the run");
+        prop_assert_eq!(snap.digest(), s_digest, "snapshotting run digest");
+        if let Some(cp) = snap.take_pending_snapshot() {
+            let mut restored = Engine::restore(&cp, fanin_programs(rounds));
+            let r_out = format!("{:?}", restored.run());
+            prop_assert_eq!(&r_out, &s_out, "restored run must end identically");
+            prop_assert_eq!(restored.digest(), s_digest, "restored state digest");
+            let r_trace = restored.collect_trace();
+            prop_assert_eq!(r_trace, s_trace, "restored trace must be byte-identical");
+        }
+    }
+}

@@ -39,10 +39,16 @@ impl FlushHandle {
     pub fn pending(&self) -> usize {
         self.sink.lock().unwrap().len()
     }
+
+    /// Copy everything flushed so far without draining it (checkpoint
+    /// capture: the snapshot must not perturb the live run).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.sink.lock().unwrap().clone()
+    }
 }
 
 /// A per-process append-only record buffer.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TraceBuffer {
     records: Vec<TraceRecord>,
     enabled: bool,

@@ -6,8 +6,9 @@
 //! the visualizers' click-to-locate both sit on this.
 
 use crate::event::EventKind;
-use crate::ids::{Rank, Tag};
+use crate::ids::{Rank, SiteId, Tag};
 use crate::store::{EventId, TraceStore};
+use std::collections::HashSet;
 
 /// A conjunctive event filter. All set constraints must hold.
 #[derive(Clone, Debug, Default)]
@@ -78,7 +79,22 @@ impl EventQuery {
         self
     }
 
-    fn matches(&self, store: &TraceStore, id: EventId) -> bool {
+    /// Pre-resolve the function constraint to site ids — one table scan
+    /// per `find`, not one string materialization per event. `None` means
+    /// no function constraint; an empty set means the function never
+    /// executed (nothing can match).
+    fn resolve_func(&self, store: &TraceStore) -> Option<HashSet<SiteId>> {
+        self.func
+            .as_deref()
+            .map(|f| store.sites().find_function(f).into_iter().collect())
+    }
+
+    fn matches(
+        &self,
+        store: &TraceStore,
+        id: EventId,
+        func_sites: Option<&HashSet<SiteId>>,
+    ) -> bool {
         let rec = store.record(id);
         if let Some(k) = self.kind {
             if rec.kind != k {
@@ -105,8 +121,8 @@ impl EventQuery {
                 return false;
             }
         }
-        if let Some(func) = &self.func {
-            if &store.sites().func_name(rec.site) != func {
+        if let Some(sites) = func_sites {
+            if !sites.contains(&rec.site) {
                 return false;
             }
         }
@@ -138,17 +154,26 @@ impl EventQuery {
 
     /// All matches in canonical order.
     pub fn find_all(&self, store: &TraceStore) -> Vec<EventId> {
-        store.ids().filter(|id| self.matches(store, *id)).collect()
+        let fs = self.resolve_func(store);
+        store
+            .ids()
+            .filter(|id| self.matches(store, *id, fs.as_ref()))
+            .collect()
     }
 
     /// The first match.
     pub fn find_first(&self, store: &TraceStore) -> Option<EventId> {
-        store.ids().find(|id| self.matches(store, *id))
+        let fs = self.resolve_func(store);
+        store.ids().find(|id| self.matches(store, *id, fs.as_ref()))
     }
 
     /// Number of matches.
     pub fn count(&self, store: &TraceStore) -> usize {
-        store.ids().filter(|id| self.matches(store, *id)).count()
+        let fs = self.resolve_func(store);
+        store
+            .ids()
+            .filter(|id| self.matches(store, *id, fs.as_ref()))
+            .count()
     }
 }
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Compare two BENCH_<suite>.json files (the single-line arrays written by
+# `tracedbg bench`) and flag median-time regressions.
+#
+#   usage: bench_diff.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]
+#
+# Prints one line per benchmark (REGRESS / IMPROVE / ok / NEW) and exits
+# non-zero iff any benchmark's median regressed by more than the threshold
+# (default 25%).
+set -euo pipefail
+
+base=${1:?usage: bench_diff.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]}
+cur=${2:?usage: bench_diff.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]}
+pct=${3:-25}
+
+[ -s "$base" ] || { echo "bench_diff: no such file $base" >&2; exit 2; }
+[ -s "$cur" ] || { echo "bench_diff: no such file $cur" >&2; exit 2; }
+
+# One "name median_ns" pair per record.
+extract() {
+  tr '{' '\n' <"$1" | sed -n 's/.*"name":"\([^"]*\)".*"median_ns":\([0-9]*\).*/\1 \2/p'
+}
+
+awk -v pct="$pct" -v basefile="$base" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    name = $1; now = $2
+    if (!(name in base)) {
+      printf "NEW      %-26s %38d ns\n", name, now
+      next
+    }
+    was = base[name]
+    delta = was > 0 ? (now - was) * 100.0 / was : 0
+    flag = delta > pct ? "REGRESS" : (delta < -pct ? "IMPROVE" : "ok")
+    printf "%-8s %-26s %15d -> %15d ns  (%+.1f%%)\n", flag, name, was, now, delta
+    if (delta > pct) bad++
+  }
+  END {
+    if (bad > 0) {
+      printf "bench_diff: %d benchmark(s) regressed by more than %s%% vs %s\n", bad, pct, basefile
+      exit 1
+    }
+  }
+' <(extract "$base") <(extract "$cur")

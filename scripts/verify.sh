@@ -54,10 +54,32 @@ for wl in racy-wildcard racy-deadlock; do
   fi
 done
 
+echo "==> checkpoint smoke: undo twice via checkpoints matches from-scratch replay"
+ckpt_undo_script() {
+  ./target/release/tracedbg debug ring --procs 4 --checkpoint-every "$1" \
+    -e run -e "stopline markers 10 10 10 10" -e replay \
+    -e "stopline markers 6 6 6 6" -e replay \
+    -e undo -e undo -e markers
+}
+fast=$(ckpt_undo_script 1)
+slow=$(ckpt_undo_script 0)
+if [ -z "$fast" ] || [ "$fast" != "$slow" ]; then
+  echo "checkpointed undo transcript diverged from from-scratch replay:" >&2
+  diff <(printf '%s\n' "$slow") <(printf '%s\n' "$fast") >&2 || true
+  exit 1
+fi
+# Restore determinism on failure artifacts: snapshot mid-schedule, restore,
+# and require the continued run byte-identical to the straight one.
+for class in racy-wildcard-panic racy-deadlock-deadlock; do
+  art=$(ls target/verify_explore/${class}-*.sched.json | head -n 1)
+  ./target/release/tracedbg replay --schedule "$art" --from-checkpoint >/dev/null \
+    || { echo "checkpointed replay of $art was not byte-identical" >&2; exit 1; }
+done
+
 echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
 rm -rf target/verify_bench
 ./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
-for suite in parse replay explore; do
+for suite in parse replay checkpoint explore; do
   f=target/verify_bench/BENCH_${suite}.json
   [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
   # Every row carries the six-field schema the serializer unit test pins.
@@ -65,5 +87,9 @@ for suite in parse replay explore; do
     grep -q "$key" "$f" || { echo "$f is missing $key" >&2; exit 1; }
   done
 done
+# bench_diff sanity: a file diffed against itself reports no regressions.
+./scripts/bench_diff.sh target/verify_bench/BENCH_parse.json \
+  target/verify_bench/BENCH_parse.json >/dev/null \
+  || { echo "bench_diff.sh flagged a self-diff" >&2; exit 1; }
 
 echo "verify: OK"
