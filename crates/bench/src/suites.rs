@@ -295,9 +295,13 @@ fn suite_replay(opts: &SuiteOptions) -> Suite {
 fn suite_engine(opts: &SuiteOptions) -> Suite {
     let mut records = Vec::new();
     let p = plan(opts, 2, 7, 4);
-    for (name, rcfg) in [
-        ("ring_instr_off", RecorderConfig::off()),
-        ("ring_instr_full", RecorderConfig::full()),
+    for (name, rcfg, metrics) in [
+        ("ring_instr_off", RecorderConfig::off(), false),
+        ("ring_instr_full", RecorderConfig::full(), false),
+        // The obs pair: same workload and recorder, telemetry toggled.
+        // DESIGN.md §10 quotes the delta; the contract is <5% on medians.
+        ("ring_metrics_off", RecorderConfig::full(), false),
+        ("ring_metrics_on", RecorderConfig::full(), true),
     ] {
         if !wants(opts, "engine", name) {
             continue;
@@ -309,7 +313,11 @@ fn suite_engine(opts: &SuiteOptions) -> Suite {
         };
         records.push(measure(name, 1, p, || {
             let mut e = Engine::launch(
-                EngineConfig::with_recorder(rcfg.clone()),
+                EngineConfig {
+                    recorder: rcfg.clone(),
+                    metrics,
+                    ..Default::default()
+                },
                 ring::programs(&cfg),
             );
             assert!(e.run().is_completed());

@@ -10,7 +10,9 @@
 //! tracedbg lint <trace.trc | script:path> [--procs N] [--json] [--rules SPEC]
 //! tracedbg explore <workload> [--runs N] [--seed N] [--preemptions K] [--faults]
 //!                  [--strategy random|systematic|both] [--jobs N] [--out DIR] [--json]
+//!                  [--metrics [FILE]] [--progress]
 //! tracedbg replay --schedule <file.sched.json> [--from-checkpoint] [--trace out.trc] [--json]
+//! tracedbg stats <workload> [--seed N] [--procs N] [--metrics [FILE]]
 //! tracedbg bench [--quick] [--filter NAME] [--jobs N] [--out DIR]
 //! tracedbg workloads
 //! ```
@@ -443,33 +445,64 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
     let name = opts.positional.first().ok_or(
         "usage: tracedbg explore <workload> [--runs N] [--seed N] [--procs N] \
          [--preemptions K] [--faults] [--strategy random|systematic|both] \
-         [--jobs N] [--out DIR] [--json]",
+         [--jobs N] [--out DIR] [--json] [--metrics [FILE]] [--progress]",
     )?;
     let seed = opts.num("seed", 42u64);
     let procs = opts.num("procs", 8usize);
+    let runs = opts.num("runs", 64usize);
     let (factory, _n) = workload_factory(name, seed, procs)?;
     let cfg = ExploreConfig {
         workload: name.clone(),
         seed,
-        runs: opts.num("runs", 64usize),
+        runs,
         preemptions: opts.num("preemptions", 2usize),
         inject_faults: opts.has("faults"),
         strategy: opts.flag("strategy").unwrap_or("both").parse()?,
         // 0 = one worker per available core; findings are identical for
         // every job count at a fixed seed.
         jobs: opts.num("jobs", 0usize),
+        metrics: opts.has("metrics"),
+        progress: opts.has("progress"),
         ..Default::default()
     };
-    let report = Explorer::new(cfg, factory).explore();
+    let started = std::time::Instant::now();
+    let (report, metrics) = Explorer::new(cfg, factory).explore_traced();
+    let wall_ms = started.elapsed().as_millis() as u64;
     if opts.has("json") {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render());
     }
+    let out_dir = opts.flag("out").unwrap_or("target/explore");
+    if let Some(m) = metrics {
+        // Telemetry goes to its own file so the ExploreReport JSON above
+        // stays byte-comparable across job counts.
+        let metrics_path = match opts.flag("metrics") {
+            Some(p) => p.to_string(),
+            None => {
+                std::fs::create_dir_all(out_dir)
+                    .map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+                format!("{out_dir}/metrics.json")
+            }
+        };
+        std::fs::write(&metrics_path, m.to_json())
+            .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+        if !opts.has("json") {
+            println!("metrics written to {metrics_path}");
+        }
+    }
     let found = !report.findings.is_empty();
     if found {
-        let out_dir = opts.flag("out").unwrap_or("target/explore");
         std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+        // Stamped at write time only: the in-report JSON stays free of
+        // wall-clock data, but every artifact on disk records where it
+        // came from.
+        let meta = ArtifactMeta {
+            jobs: report.jobs as u64,
+            runs: runs as u64,
+            wall_ms,
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        };
         let safe: String = name
             .chars()
             .map(|c| {
@@ -482,7 +515,9 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
             .collect();
         for (i, f) in report.findings.iter().enumerate() {
             let path = format!("{out_dir}/{safe}-{}-{i}.sched.json", f.class);
-            std::fs::write(&path, f.artifact.to_json())
+            let mut artifact = f.artifact.clone();
+            artifact.meta = Some(meta.clone());
+            std::fs::write(&path, artifact.to_json())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             if !opts.has("json") {
                 println!("schedule written to {path}");
@@ -494,6 +529,61 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `tracedbg stats` — run a workload once with engine telemetry on and
+/// show the AIMS-statistics-style per-rank profile (message volume, wait
+/// turns); `--metrics` additionally writes the machine-readable
+/// [`MetricsReport`] JSON.
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let name = opts
+        .positional
+        .first()
+        .ok_or("usage: tracedbg stats <workload> [--seed N] [--procs N] [--metrics [FILE]]")?;
+    let seed = opts.num("seed", 42u64);
+    let procs = opts.num("procs", 8usize);
+    let (factory, _n) = workload_factory(name, seed, procs)?;
+    let started = std::time::Instant::now();
+    let mut engine = Engine::launch(
+        EngineConfig {
+            recorder: RecorderConfig::full(),
+            metrics: true,
+            ..Default::default()
+        },
+        factory(),
+    );
+    let outcome = engine.run();
+    let wall_ms = started.elapsed().as_millis() as u64;
+    println!("outcome: {outcome:?}");
+    let snapshot_ns = engine.snapshot_ns();
+    let m = engine
+        .take_metrics()
+        .expect("engine was launched with metrics on");
+    print!("{}", render_rank_profile(&m));
+    if opts.has("metrics") {
+        let nprocs = m.nprocs() as u64;
+        let report = MetricsReport::new(
+            "stats",
+            name,
+            nprocs,
+            seed,
+            1,
+            tracedbg::obs::EventMetrics {
+                runs: 1,
+                engine: m,
+                explore: None,
+            },
+            tracedbg::obs::TimingMetrics {
+                wall_ms: wall_ms.max(1),
+                snapshot_ns,
+                ..Default::default()
+            },
+        );
+        let path = opts.flag("metrics").unwrap_or("metrics.json");
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
 }
 
 /// `tracedbg replay --schedule` — re-execute an explorer artifact. The
@@ -665,7 +755,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|explore|replay|bench|workloads> ...\n\
+            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|explore|replay|stats|bench|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -705,6 +795,7 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "stats" => cmd_stats(&opts),
         "bench" => cmd_bench(&opts),
         "workloads" => {
             println!(

@@ -57,6 +57,7 @@ pub use tracedbg_explore as explore;
 pub use tracedbg_instrument as instrument;
 pub use tracedbg_lint as lint;
 pub use tracedbg_mpsim as mpsim;
+pub use tracedbg_obs as obs;
 pub use tracedbg_trace as trace;
 pub use tracedbg_tracegraph as tracegraph;
 pub use tracedbg_viz as viz;
@@ -76,13 +77,18 @@ pub mod prelude {
     pub use tracedbg_instrument::{RecorderConfig, Strategy};
     pub use tracedbg_lint::{lint_script, lint_trace, Diagnostic, LintConfig, Severity};
     pub use tracedbg_mpsim::{
-        CostModel, Engine, EngineConfig, Payload, ProcessCtx, ProgramFn, RunOutcome, SchedPolicy,
+        CostModel, Engine, EngineConfig, EngineMetrics, Payload, ProcessCtx, ProgramFn, RunOutcome,
+        SchedPolicy,
     };
+    pub use tracedbg_obs::{EventMetrics, MetricsReport, TimingMetrics};
     pub use tracedbg_trace::{
-        EventKind, Marker, MarkerVector, Rank, ScheduleArtifact, Tag, TraceRecord, TraceStore,
+        ArtifactMeta, EventKind, Marker, MarkerVector, Rank, ScheduleArtifact, Tag, TraceRecord,
+        TraceStore,
     };
     pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
-    pub use tracedbg_viz::{render_ascii, render_svg, NtvView, TimelineModel, VkView};
+    pub use tracedbg_viz::{
+        render_ascii, render_rank_profile, render_svg, NtvView, TimelineModel, VkView,
+    };
 }
 
 #[cfg(test)]

@@ -17,9 +17,21 @@
 //! newest half is kept intact and the older half keeps every other entry,
 //! so long sessions retain exponentially-spaced restore points.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tracedbg_mpsim::EngineCheckpoint;
 use tracedbg_trace::MarkerVector;
+
+/// Lookup behaviour of a [`CheckpointCache`]: how often `best_for` found a
+/// usable checkpoint and how much re-execution the served checkpoints
+/// still left (summed marker distance from checkpoint to target — the
+/// paper's replay cost, in events).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheLookupStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub restore_distance: u64,
+}
 
 /// Bounded store of stop-state checkpoints, insertion-ordered (oldest
 /// first — debugger stops have monotonically nondecreasing marker sums
@@ -27,6 +39,10 @@ use tracedbg_trace::MarkerVector;
 pub struct CheckpointCache {
     entries: Vec<(MarkerVector, Arc<EngineCheckpoint>)>,
     max_len: usize,
+    /// Lookup telemetry (atomics: `best_for` takes `&self`).
+    hits: AtomicU64,
+    misses: AtomicU64,
+    restore_distance: AtomicU64,
 }
 
 impl CheckpointCache {
@@ -39,6 +55,9 @@ impl CheckpointCache {
         CheckpointCache {
             entries: Vec::new(),
             max_len: max_len.max(4),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            restore_distance: AtomicU64::new(0),
         }
     }
 
@@ -58,11 +77,36 @@ impl CheckpointCache {
     /// The best checkpoint to restore for a replay to `target`: dominated
     /// by the target on every rank, maximizing progress already made.
     pub fn best_for(&self, target: &MarkerVector) -> Option<Arc<EngineCheckpoint>> {
-        self.entries
+        let best = self
+            .entries
             .iter()
             .filter(|(m, _)| m.len() == target.len() && m.le(target))
-            .max_by_key(|(m, _)| m.counts().iter().sum::<u64>())
-            .map(|(_, cp)| Arc::clone(cp))
+            .max_by_key(|(m, _)| m.counts().iter().sum::<u64>());
+        match best {
+            Some((m, cp)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let target_sum: u64 = target.counts().iter().sum();
+                let cp_sum: u64 = m.counts().iter().sum();
+                self.restore_distance
+                    .fetch_add(target_sum.saturating_sub(cp_sum), Ordering::Relaxed);
+                Some(Arc::clone(cp))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Lookup telemetry so far. Survives [`CheckpointCache::clear`]: the
+    /// counters describe the cache's whole lifetime, not one generation of
+    /// entries.
+    pub fn stats(&self) -> CacheLookupStats {
+        CacheLookupStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            restore_distance: self.restore_distance.load(Ordering::Relaxed),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -158,6 +202,18 @@ mod tests {
         assert!(cache.len() <= 5, "len {}", cache.len());
         // The newest checkpoint always survives thinning.
         assert_eq!(cache.best_for(&mv(50)).unwrap().markers(), mv(12));
+    }
+
+    #[test]
+    fn lookup_stats_track_hits_misses_and_distance() {
+        let mut cache = CheckpointCache::new();
+        cache.insert(checkpoint_at(3));
+        assert!(cache.best_for(&mv(2)).is_none());
+        assert!(cache.best_for(&mv(7)).is_some());
+        let st = cache.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.restore_distance, 4, "target 7 minus checkpoint 3");
     }
 
     #[test]

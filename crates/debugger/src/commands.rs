@@ -9,6 +9,7 @@ use crate::analysis::HistoryReport;
 use crate::procset::ProcSets;
 use crate::session::{Session, SessionStatus};
 use crate::stopline::Stopline;
+use std::collections::BTreeMap;
 use tracedbg_trace::{EventKind, EventQuery, Rank, Tag};
 
 /// Stateful command processor.
@@ -18,6 +19,9 @@ pub struct CommandInterface {
     pending: Option<Stopline>,
     /// Named process sets (p2d2's set-oriented operations).
     sets: ProcSets,
+    /// Per-command-verb timing: count and total wall-clock nanoseconds
+    /// (BTreeMap: the `stats` listing is sorted and stable).
+    timings: BTreeMap<String, (u64, u64)>,
 }
 
 impl CommandInterface {
@@ -27,6 +31,7 @@ impl CommandInterface {
             session,
             pending: None,
             sets,
+            timings: BTreeMap::new(),
         }
     }
 
@@ -52,8 +57,34 @@ impl CommandInterface {
         }
     }
 
-    /// Execute one command, returning the transcript output.
+    /// Execute one command, returning the transcript output. Every command
+    /// is timed under its verb; `stats` reports the accumulated figures.
     pub fn execute(&mut self, cmd: &str) -> String {
+        let verb = cmd
+            .split_whitespace()
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        let t0 = std::time::Instant::now();
+        let out = self.execute_inner(cmd);
+        if !verb.is_empty() {
+            let slot = self.timings.entry(verb).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += t0.elapsed().as_nanos() as u64;
+        }
+        out
+    }
+
+    /// Per-verb `(count, total_ns)` timing collected so far, sorted by
+    /// verb name.
+    pub fn command_timings(&self) -> Vec<(String, u64, u64)> {
+        self.timings
+            .iter()
+            .map(|(verb, (count, ns))| (verb.clone(), *count, *ns))
+            .collect()
+    }
+
+    fn execute_inner(&mut self, cmd: &str) -> String {
         let parts: Vec<&str> = cmd.split_whitespace().collect();
         match parts.as_slice() {
             ["run"] => {
@@ -303,6 +334,48 @@ impl CommandInterface {
                 let model = tracedbg_viz::TimelineModel::build(&store, &mm, false);
                 format!("> view\n{}", tracedbg_viz::render_ascii(&model, width))
             }
+            ["stats"] => {
+                // The debugger's telemetry view: command timing, checkpoint
+                // cache behaviour, and engine metrics across incarnations.
+                let tel = self.session.telemetry();
+                let mut out = String::from("> stats");
+                out.push_str(&format!(
+                    "\nengine: {} turns, {} matches, {} msgs, {} bytes",
+                    tel.engine.turns,
+                    tel.engine.matches,
+                    tel.engine.total_msgs(),
+                    tel.engine.total_bytes()
+                ));
+                out.push_str(&format!(
+                    "\ncheckpoints: {} cached, {} hits, {} misses, \
+                     restore distance {} markers",
+                    tel.cache_len, tel.cache.hits, tel.cache.misses, tel.cache.restore_distance
+                ));
+                out.push_str(&format!(
+                    "\nrestores: {} ({} us), snapshots: {} ({} us)",
+                    tel.restores,
+                    tel.restore_ns / 1_000,
+                    tel.engine.snapshots,
+                    tel.snapshot_ns / 1_000
+                ));
+                if !tel.engine.replay_delta.is_empty() {
+                    out.push_str(&format!(
+                        "\nreplay deltas: {} (mean {} decisions, max {})",
+                        tel.engine.replay_delta.count,
+                        tel.engine.replay_delta.mean(),
+                        tel.engine.replay_delta.max
+                    ));
+                }
+                if self.timings.is_empty() {
+                    out.push_str("\n(no commands timed yet)");
+                } else {
+                    out.push_str("\ncommands:");
+                    for (verb, (count, ns)) in &self.timings {
+                        out.push_str(&format!("\n  {verb:<10} x{count:<4} {} us", ns / 1_000));
+                    }
+                }
+                out
+            }
             _ => format!("error: unknown command {cmd:?}"),
         }
     }
@@ -512,6 +585,26 @@ mod tests {
         ci.execute("run");
         let p = ci.execute("pending");
         assert!(p.contains("P1 <- P0 tag9"), "{p}");
+    }
+
+    #[test]
+    fn stats_reports_timing_and_cache_behaviour() {
+        let mut ci = iface();
+        ci.execute("run");
+        ci.execute("stopline markers 2 1");
+        ci.execute("replay");
+        ci.execute("markers");
+        let s = ci.execute("stats");
+        assert!(s.contains("engine:"), "{s}");
+        assert!(s.contains("checkpoints:"), "{s}");
+        assert!(s.contains("commands:"), "{s}");
+        assert!(s.contains("replay"), "{s}");
+        assert!(s.contains("markers"), "{s}");
+        let timings = ci.command_timings();
+        assert!(timings.iter().any(|(v, c, _)| v == "run" && *c == 1));
+        // The stats verb itself is timed once its call returns.
+        let s2 = ci.execute("stats");
+        assert!(s2.contains("stats"), "{s2}");
     }
 
     #[test]

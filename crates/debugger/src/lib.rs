@@ -34,13 +34,13 @@ pub mod stopline;
 pub mod undo;
 
 pub use analysis::HistoryReport;
-pub use checkpoint_cache::CheckpointCache;
+pub use checkpoint_cache::{CacheLookupStats, CheckpointCache};
 pub use commands::CommandInterface;
 pub use machine_session::{MachineFactory, MachineSession, MachineSessionStatus};
 pub use procset::ProcSets;
 pub use schedule_replay::{
     classify, replay_schedule, replay_schedule_from_checkpoint, CheckpointReplay, ScheduleReplay,
 };
-pub use session::{ProgramFactory, Session, SessionConfig, SessionStatus};
+pub use session::{ProgramFactory, Session, SessionConfig, SessionStatus, SessionTelemetry};
 pub use stopline::Stopline;
 pub use undo::UndoStack;

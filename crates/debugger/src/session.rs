@@ -7,13 +7,13 @@
 //! currently running it, the recorded receive-match log, and the undo
 //! stack of stop states.
 
-use crate::checkpoint_cache::CheckpointCache;
+use crate::checkpoint_cache::{CacheLookupStats, CheckpointCache};
 use crate::stopline::Stopline;
 use crate::undo::UndoStack;
 use tracedbg_mpsim::DeadlockReport;
 use tracedbg_mpsim::{
-    CostModel, Engine, EngineCheckpoint, EngineConfig, FaultPlan, ProgramFn, RecorderConfig,
-    ReplayLog, RunOutcome, SchedPolicy,
+    CostModel, Engine, EngineCheckpoint, EngineConfig, EngineMetrics, FaultPlan, ProgramFn,
+    RecorderConfig, ReplayLog, RunOutcome, SchedPolicy,
 };
 use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
@@ -100,6 +100,27 @@ pub struct Session {
     ckpts: CheckpointCache,
     /// Stops seen since launch/restart (drives `checkpoint_every`).
     stop_count: usize,
+    /// Engine metrics folded in from retired incarnations (replay and
+    /// restart replace the engine; its telemetry is absorbed here first).
+    retired_metrics: EngineMetrics,
+    /// Checkpoint restores performed by `replay_from_checkpoint`.
+    restores: u64,
+    /// Wall-clock nanoseconds those restores took.
+    restore_ns: u64,
+    /// Snapshot time folded in from retired incarnations.
+    retired_snapshot_ns: u64,
+}
+
+/// The session's telemetry snapshot: engine metrics summed over every
+/// incarnation, plus checkpoint-cache and restore behaviour.
+#[derive(Clone, Debug)]
+pub struct SessionTelemetry {
+    pub engine: EngineMetrics,
+    pub cache: CacheLookupStats,
+    pub cache_len: usize,
+    pub restores: u64,
+    pub restore_ns: u64,
+    pub snapshot_ns: u64,
 }
 
 impl Session {
@@ -115,9 +136,14 @@ impl Session {
                 sites: Some(sites.clone()),
                 faults: cfg.faults.clone(),
                 checkpoints: cfg.checkpoint_every > 0,
+                // The debugger is interactive: telemetry is always on (it
+                // feeds the `stats` command) and its cost is noise next to
+                // a human at the prompt.
+                metrics: true,
             },
             factory(),
         );
+        let n = engine.n_ranks();
         Session {
             factory,
             cfg,
@@ -129,6 +155,10 @@ impl Session {
             replaying: false,
             ckpts: CheckpointCache::new(),
             stop_count: 0,
+            retired_metrics: EngineMetrics::new(n),
+            restores: 0,
+            restore_ns: 0,
+            retired_snapshot_ns: 0,
         }
     }
 
@@ -252,6 +282,7 @@ impl Session {
                 sites: Some(self.sites.clone()),
                 faults: self.cfg.faults.clone(),
                 checkpoints: false,
+                metrics: false,
             },
             (self.factory)(),
         );
@@ -300,6 +331,7 @@ impl Session {
             .clone()
             .unwrap_or_else(|| self.engine.match_log());
         log.reset();
+        self.retire_engine_metrics();
         self.engine = Engine::launch(
             EngineConfig {
                 cost: self.cfg.cost,
@@ -309,12 +341,22 @@ impl Session {
                 sites: Some(self.sites.clone()),
                 faults: self.cfg.faults.clone(),
                 checkpoints: self.cfg.checkpoint_every > 0,
+                metrics: true,
             },
             (self.factory)(),
         );
         self.replaying = true;
         self.engine.arm_stopline(&stopline.markers);
         self.run()
+    }
+
+    /// Fold the outgoing engine incarnation's telemetry into the
+    /// session-level accumulator (called before every engine replacement).
+    fn retire_engine_metrics(&mut self) {
+        self.retired_snapshot_ns += self.engine.snapshot_ns();
+        if let Some(m) = self.engine.take_metrics() {
+            self.retired_metrics.merge(&m);
+        }
     }
 
     /// The O(delta) replay path: restore a dominated checkpoint and
@@ -324,13 +366,20 @@ impl Session {
         cp: &EngineCheckpoint,
         stopline: &Stopline,
     ) -> &SessionStatus {
+        self.retire_engine_metrics();
+        let t0 = std::time::Instant::now();
         self.engine = Engine::restore(cp, (self.factory)());
+        // A restored engine comes up with telemetry off; re-enable before
+        // `set_replay_delta` so the delta length lands in the histogram.
+        self.engine.enable_metrics();
         // Pin the remaining wildcard matches from the recorded history:
         // the engine advances the log's cursors past everything the
         // checkpoint already consumed, so only the delta is forced.
         if let Some(log) = self.recorded_log.clone() {
             self.engine.set_replay_delta(log);
         }
+        self.restores += 1;
+        self.restore_ns += t0.elapsed().as_nanos() as u64;
         // The snapshot carries whatever thresholds/pauses were armed when
         // it was taken; replace them with the stopline's.
         self.engine.clear_thresholds();
@@ -374,6 +423,7 @@ impl Session {
     /// Restart the program from scratch *without* replay forcing (a fresh
     /// recording run).
     pub fn restart(&mut self) -> &SessionStatus {
+        self.retire_engine_metrics();
         self.engine = Engine::launch(
             EngineConfig {
                 cost: self.cfg.cost,
@@ -383,6 +433,7 @@ impl Session {
                 sites: Some(self.sites.clone()),
                 faults: self.cfg.faults.clone(),
                 checkpoints: self.cfg.checkpoint_every > 0,
+                metrics: true,
             },
             (self.factory)(),
         );
@@ -440,6 +491,24 @@ impl Session {
     /// The checkpoint backlog (empty when `checkpoint_every` is 0).
     pub fn checkpoint_cache(&self) -> &CheckpointCache {
         &self.ckpts
+    }
+
+    /// The session's telemetry: engine metrics summed across every
+    /// incarnation so far, plus checkpoint-cache lookup and restore cost
+    /// figures (the replay-cost visibility §6's checkpointing asks for).
+    pub fn telemetry(&self) -> SessionTelemetry {
+        let mut engine = self.retired_metrics.clone();
+        if let Some(m) = self.engine.metrics() {
+            engine.merge(m);
+        }
+        SessionTelemetry {
+            engine,
+            cache: self.ckpts.stats(),
+            cache_len: self.ckpts.len(),
+            restores: self.restores,
+            restore_ns: self.restore_ns,
+            snapshot_ns: self.retired_snapshot_ns + self.engine.snapshot_ns(),
+        }
     }
 
     // ---- breakpoints & watchpoints ----
@@ -770,6 +839,36 @@ mod tests {
         s.step(Rank(0));
         assert_eq!(s.markers().get(Rank(0)), at_step.get(Rank(0)) + 1);
         assert!(s.continue_all().is_completed());
+    }
+
+    #[test]
+    fn telemetry_spans_incarnations_and_counts_restores() {
+        let mut s = session();
+        assert!(s.run().is_completed());
+        let turns_first_run = s.telemetry().engine.turns;
+        assert!(turns_first_run > 0, "metrics are on by default");
+        let sl = Stopline {
+            markers: MarkerVector::from_counts(vec![4, 1]),
+            origin: "t".into(),
+        };
+        s.replay_to(&sl); // scratch replay: metrics absorbed, new engine
+        s.step(Rank(0));
+        s.step(Rank(0));
+        assert!(s.undo(), "undo restores a cached checkpoint");
+        let tel = s.telemetry();
+        assert!(
+            tel.engine.turns > turns_first_run,
+            "replay incarnations add turns: {} vs {}",
+            tel.engine.turns,
+            turns_first_run
+        );
+        assert!(tel.restores >= 1, "undo went through the restore path");
+        assert!(tel.cache.hits >= 1);
+        assert!(
+            tel.engine.replay_delta.count >= 1,
+            "delta replay recorded its length"
+        );
+        assert!(tel.engine.msgs_sent.iter().sum::<u64>() >= 1);
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! The exploration strategies, finding pipeline, and report.
 
 use crate::oracle::{self, Violation};
-use crate::pool::{run_batch, PrefixCache, RunTask};
-use crate::runner::{execute, ProgramSource, RunResult, CLASS_COMPLETED, CLASS_DIVERGENCE};
+use crate::pool::{run_batch_traced, PrefixCache, RunTask, WorkerLoad};
+use crate::runner::{
+    execute, execute_metered, ProgramSource, RunResult, CLASS_COMPLETED, CLASS_DEADLOCK,
+    CLASS_DIVERGENCE, CLASS_PANIC,
+};
 use crate::shrink::ddmin;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use tracedbg_mpsim::SchedPolicy;
+use std::time::{Duration, Instant};
+use tracedbg_mpsim::{EngineMetrics, SchedPolicy};
+use tracedbg_obs::{
+    ClassCount, EventMetrics, ExploreEvent, MetricsReport, TimingMetrics, WorkerStat,
+};
 use tracedbg_trace::schedule::{Decision, DecisionPoint, Fault, ScheduleArtifact};
 use tracedbg_trace::Rank;
 
@@ -71,6 +78,14 @@ pub struct ExploreConfig {
     /// are formed and absorbed in deterministic order regardless of which
     /// worker executes which run.
     pub jobs: usize,
+    /// Collect engine + explorer telemetry
+    /// ([`Explorer::explore_traced`] then returns a [`MetricsReport`]).
+    /// Event-derived counters are byte-identical across `jobs` at a fixed
+    /// seed; metered runs never fork from prefix checkpoints, so metrics
+    /// mode trades some shared-prefix speedup for whole-run counters.
+    pub metrics: bool,
+    /// Print a throttled progress heartbeat to stderr while exploring.
+    pub progress: bool,
 }
 
 impl Default for ExploreConfig {
@@ -85,6 +100,8 @@ impl Default for ExploreConfig {
             lint_oracle: true,
             shrink_budget: 128,
             jobs: 1,
+            metrics: false,
+            progress: false,
         }
     }
 }
@@ -190,6 +207,53 @@ pub struct Explorer {
     /// Shared-prefix checkpoints for sibling schedules (systematic mode).
     prefix_cache: PrefixCache,
     prefix_groups: usize,
+    /// Telemetry accumulator (`cfg.metrics`).
+    obs: Option<Box<ObsAcc>>,
+    /// Last `--progress` heartbeat.
+    last_progress: Instant,
+}
+
+/// Everything the explorer accumulates for a [`MetricsReport`]. The event
+/// half (engine counters, prune/oracle counts) is fed exclusively from the
+/// deterministic absorb order; the timing half (worker load, snapshot
+/// time) is honest wall-clock data.
+struct ObsAcc {
+    /// Metered engine runs merged into `engine` (budgeted exploration
+    /// runs; shrink/confirm aux runs are not metered).
+    runs: u64,
+    engine: EngineMetrics,
+    digest_pruned: u64,
+    prefix_pruned: u64,
+    /// Oracle verdicts per class, every trigger (not just first-per-class
+    /// findings).
+    oracle_triggers: BTreeMap<String, u64>,
+    /// Per-worker (tasks, busy ns) summed over batches.
+    worker_load: WorkerLoad,
+    snapshot_ns: u64,
+}
+
+impl ObsAcc {
+    fn new(procs: usize) -> Box<Self> {
+        Box::new(ObsAcc {
+            runs: 0,
+            engine: EngineMetrics::new(procs),
+            digest_pruned: 0,
+            prefix_pruned: 0,
+            oracle_triggers: BTreeMap::new(),
+            worker_load: Vec::new(),
+            snapshot_ns: 0,
+        })
+    }
+
+    fn add_load(&mut self, load: &WorkerLoad) {
+        if self.worker_load.len() < load.len() {
+            self.worker_load.resize(load.len(), (0, 0));
+        }
+        for (acc, l) in self.worker_load.iter_mut().zip(load) {
+            acc.0 += l.0;
+            acc.1 += l.1;
+        }
+    }
 }
 
 /// Don't bother checkpointing shared prefixes shorter than this: the
@@ -213,6 +277,7 @@ fn splitmix64(mut x: u64) -> u64 {
 impl Explorer {
     pub fn new(cfg: ExploreConfig, source: ProgramSource) -> Self {
         let procs = source().len();
+        let obs = cfg.metrics.then(|| ObsAcc::new(procs));
         Explorer {
             cfg,
             source,
@@ -226,6 +291,8 @@ impl Explorer {
             classes_found: HashSet::new(),
             prefix_cache: PrefixCache::new(),
             prefix_groups: 0,
+            obs,
+            last_progress: Instant::now(),
         }
     }
 
@@ -240,7 +307,15 @@ impl Explorer {
     }
 
     /// Run the exploration to completion and report.
-    pub fn explore(mut self) -> ExploreReport {
+    pub fn explore(self) -> ExploreReport {
+        self.explore_traced().0
+    }
+
+    /// [`Explorer::explore`], additionally returning a [`MetricsReport`]
+    /// when the config opted into telemetry (`cfg.metrics`). The
+    /// [`ExploreReport`] is identical either way.
+    pub fn explore_traced(mut self) -> (ExploreReport, Option<MetricsReport>) {
+        let started = Instant::now();
         // Failing runs are the point here; keep their panics off stderr.
         tracedbg_mpsim::set_quiet_panics(true);
         // Deterministic baseline: the root of systematic search, and the
@@ -258,7 +333,11 @@ impl Explorer {
         }
         tracedbg_mpsim::set_quiet_panics(false);
         let jobs = self.effective_jobs();
-        ExploreReport {
+        let metrics = self
+            .obs
+            .take()
+            .map(|acc| self.metrics_report(*acc, jobs, started.elapsed()));
+        let report = ExploreReport {
             workload: self.cfg.workload,
             procs: self.procs,
             seed: self.cfg.seed,
@@ -270,7 +349,64 @@ impl Explorer {
             baseline_branches,
             prefix_groups: self.prefix_groups,
             findings: self.findings,
-        }
+        };
+        (report, metrics)
+    }
+
+    /// Assemble the [`MetricsReport`] from the accumulator. The `event`
+    /// section is built purely from absorb-order state; everything
+    /// wall-clock-shaped goes in `timing`.
+    fn metrics_report(&self, acc: ObsAcc, jobs: usize, elapsed: Duration) -> MetricsReport {
+        let event = EventMetrics {
+            runs: acc.runs,
+            engine: acc.engine,
+            explore: Some(ExploreEvent {
+                runs_executed: self.runs_executed as u64,
+                aux_runs: self.aux_runs as u64,
+                digest_pruned: acc.digest_pruned,
+                prefix_pruned: acc.prefix_pruned,
+                prefix_groups: self.prefix_groups as u64,
+                // BTreeMap iteration = sorted by class name.
+                oracle_triggers: acc
+                    .oracle_triggers
+                    .into_iter()
+                    .map(|(class, count)| ClassCount { class, count })
+                    .collect(),
+            }),
+        };
+        let wall_ms = (elapsed.as_millis() as u64).max(1);
+        let timing = TimingMetrics {
+            wall_ms,
+            walks_per_sec: self.runs_executed as u64 * 1000 / wall_ms,
+            snapshot_ns: acc.snapshot_ns,
+            workers: acc
+                .worker_load
+                .iter()
+                .enumerate()
+                .map(|(w, &(tasks, busy_ns))| {
+                    let busy_ms = busy_ns / 1_000_000;
+                    WorkerStat {
+                        worker: w as u64,
+                        tasks,
+                        busy_ms,
+                        util_pct: (busy_ms * 100 / wall_ms).min(100),
+                    }
+                })
+                .collect(),
+            prefix_cache_hits: self.prefix_cache.hits() as u64,
+            prefix_cache_len: self.prefix_cache.len() as u64,
+            checkpoint_cache: None,
+            commands: Vec::new(),
+        };
+        MetricsReport::new(
+            "explore",
+            &self.cfg.workload,
+            self.procs as u64,
+            self.cfg.seed,
+            jobs as u64,
+            event,
+            timing,
+        )
     }
 
     /// Execute one exploration run and feed it to the oracles.
@@ -280,7 +416,7 @@ impl Explorer {
         faults: &[Fault],
         strategy: &'static str,
     ) -> RunResult {
-        let res = execute(&self.source, policy, faults);
+        let res = execute_metered(&self.source, policy, faults, self.cfg.metrics);
         self.absorb(&res, faults, strategy);
         res
     }
@@ -288,16 +424,49 @@ impl Explorer {
     /// Account one finished run and feed it to the oracles. Every run —
     /// sequential or from a parallel batch — passes through here in
     /// deterministic task order, which is what keeps `jobs=N` findings
-    /// identical to `jobs=1`.
+    /// identical to `jobs=1`. Telemetry event counters are fed from the
+    /// same place, inheriting the same invariance.
     fn absorb(&mut self, res: &RunResult, faults: &[Fault], strategy: &'static str) {
         self.runs_executed += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            if let Some(m) = &res.metrics {
+                obs.runs += 1;
+                obs.engine.merge(m);
+                obs.snapshot_ns += res.snapshot_ns;
+            }
+        }
         if self.digests.insert(res.digest) {
             if let Some(v) = oracle::check(res, self.cfg.lint_oracle) {
+                if let Some(obs) = self.obs.as_mut() {
+                    *obs.oracle_triggers
+                        .entry(v.class().to_string())
+                        .or_default() += 1;
+                }
                 self.handle_violation(res, faults, v, strategy);
             }
         } else {
             self.pruned += 1;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.digest_pruned += 1;
+            }
         }
+        self.heartbeat();
+    }
+
+    /// Throttled `--progress` heartbeat on stderr (≥500 ms apart, so even
+    /// tight exploration loops cost one `Instant` read per run).
+    fn heartbeat(&mut self) {
+        if !self.cfg.progress || self.last_progress.elapsed() < Duration::from_millis(500) {
+            return;
+        }
+        self.last_progress = Instant::now();
+        eprintln!(
+            "explore: {}/{} runs, {} pruned, {} finding(s)",
+            self.runs_executed,
+            self.cfg.runs,
+            self.pruned,
+            self.findings.len()
+        );
     }
 
     /// Replay-conformance oracle: re-executing the baseline's own decision
@@ -363,6 +532,9 @@ impl Explorer {
                 // leads to an already-explored subtree.
                 if !self.prefixes.insert(hash_decisions(&prefix)) {
                     self.pruned += 1;
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.prefix_pruned += 1;
+                    }
                     continue;
                 }
                 batch.push((prefix, depth));
@@ -372,7 +544,10 @@ impl Explorer {
             }
             let tasks = self.assign_prefix_roles(&batch);
             self.prefix_groups += tasks.iter().filter(|t| t.snapshot_at.is_some()).count();
-            let results = run_batch(&self.source, &tasks, jobs, &self.prefix_cache);
+            let (results, load) = run_batch_traced(&self.source, &tasks, jobs, &self.prefix_cache);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.add_load(&load);
+            }
             for ((prefix, depth), res) in batch.into_iter().zip(results) {
                 self.absorb(&res, &[], "systematic");
                 // Only branch on decisions *after* the substitution:
@@ -412,6 +587,7 @@ impl Explorer {
             .iter()
             .map(|(prefix, _)| {
                 let mut task = RunTask::plain(SchedPolicy::Scripted(prefix.clone()), Vec::new());
+                task.metrics = self.cfg.metrics;
                 if prefix.len() <= MIN_SHARED_PREFIX {
                     return task;
                 }
@@ -478,10 +654,15 @@ impl Explorer {
                     } else {
                         Vec::new()
                     };
-                    RunTask::plain(SchedPolicy::Seeded(seed), faults)
+                    let mut task = RunTask::plain(SchedPolicy::Seeded(seed), faults);
+                    task.metrics = self.cfg.metrics;
+                    task
                 })
                 .collect();
-            let results = run_batch(&self.source, &tasks, jobs, &self.prefix_cache);
+            let (results, load) = run_batch_traced(&self.source, &tasks, jobs, &self.prefix_cache);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.add_load(&load);
+            }
             for (task, res) in tasks.iter().zip(results) {
                 self.absorb(&res, &task.faults, "random");
             }
@@ -563,8 +744,16 @@ impl Explorer {
             }
         }
         // Confirm: two scripted re-executions agree with each other and
-        // with the failure class.
-        let c1 = execute(&self.source, SchedPolicy::Scripted(shrunk.clone()), &kept);
+        // with the failure class. The first confirm run of a deadlock or
+        // panic is metered so its flight-recorder dump — the last engine
+        // decisions before the failure — rides along in the artifact.
+        let meter_confirm = class == CLASS_DEADLOCK || class == CLASS_PANIC;
+        let c1 = execute_metered(
+            &self.source,
+            SchedPolicy::Scripted(shrunk.clone()),
+            &kept,
+            meter_confirm,
+        );
         let c2 = execute(&self.source, SchedPolicy::Scripted(shrunk.clone()), &kept);
         aux += 2;
         let confirmed = c1.class == class && c2.class == class && c1.digest == c2.digest;
@@ -575,6 +764,9 @@ impl Explorer {
         artifact.faults = kept;
         artifact.decisions = shrunk;
         artifact.failure = Some(class.clone());
+        if c1.class == class && !c1.flight.is_empty() {
+            artifact.flight = Some(c1.flight);
+        }
         self.findings.push(Finding {
             class,
             detail: v.detail().to_string(),

@@ -35,5 +35,8 @@ pub mod shrink;
 
 pub use explorer::{ExploreConfig, ExploreReport, Explorer, Finding, Strategy};
 pub use oracle::Violation;
-pub use pool::{run_batch, PrefixCache, RunTask};
-pub use runner::{execute_task, ProgramSource, RunResult};
+pub use pool::{run_batch, run_batch_traced, PrefixCache, RunTask, WorkerLoad};
+pub use runner::{execute_metered, execute_task, ProgramSource, RunResult};
+
+// The telemetry vocabulary explorers export through.
+pub use tracedbg_obs::MetricsReport;

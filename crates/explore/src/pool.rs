@@ -33,16 +33,21 @@ pub struct RunTask {
     /// the last). Consumers (`snapshot_at: None`) fork from the cached
     /// checkpoint when one is present instead of re-executing the prefix.
     pub prefix_key: Option<u64>,
+    /// Collect engine telemetry for this run. Metered consumers run from
+    /// scratch instead of forking (see [`execute_task`]), keeping
+    /// event-derived counters independent of cache state and job count.
+    pub metrics: bool,
 }
 
 impl RunTask {
-    /// A plain run: no checkpoint production or consumption.
+    /// A plain run: no checkpoint production or consumption, no telemetry.
     pub fn plain(policy: SchedPolicy, faults: Vec<Fault>) -> Self {
         RunTask {
             policy,
             faults,
             snapshot_at: None,
             prefix_key: None,
+            metrics: false,
         }
     }
 }
@@ -127,6 +132,12 @@ impl Default for PrefixCache {
     }
 }
 
+/// Per-worker share of one batch: `(tasks executed, busy nanoseconds)`,
+/// indexed by worker. Pure timing telemetry — which worker ran which task
+/// is scheduler-dependent, so nothing event-deterministic may derive from
+/// it (results themselves are returned in task order regardless).
+pub type WorkerLoad = Vec<(u64, u64)>;
+
 /// Execute every task and return the results in task order.
 ///
 /// With `jobs <= 1` (or a single task) this degenerates to a plain
@@ -138,21 +149,36 @@ pub fn run_batch(
     jobs: usize,
     cache: &PrefixCache,
 ) -> Vec<RunResult> {
+    run_batch_traced(source, tasks, jobs, cache).0
+}
+
+/// [`run_batch`] plus per-worker load accounting (the sequential path
+/// reports all work under worker 0).
+pub fn run_batch_traced(
+    source: &ProgramSource,
+    tasks: &[RunTask],
+    jobs: usize,
+    cache: &PrefixCache,
+) -> (Vec<RunResult>, WorkerLoad) {
     let n = tasks.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let jobs = jobs.clamp(1, n);
     if jobs == 1 {
-        return tasks
+        let t0 = std::time::Instant::now();
+        let results = tasks
             .iter()
             .map(|t| execute_task(source, t, cache))
             .collect();
+        let load = vec![(n as u64, t0.elapsed().as_nanos() as u64)];
+        return (results, load);
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut load: Vec<(u64, u64)> = vec![(0, 0); jobs];
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
+        for my_load in load.iter_mut() {
             let cursor = &cursor;
             let slots = &slots;
             scope.spawn(move || loop {
@@ -160,19 +186,23 @@ pub fn run_batch(
                 if i >= n {
                     break;
                 }
+                let t0 = std::time::Instant::now();
                 let res = execute_task(source, &tasks[i], cache);
+                my_load.0 += 1;
+                my_load.1 += t0.elapsed().as_nanos() as u64;
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
             });
         }
     });
-    slots
+    let results = slots
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .unwrap_or_else(|e| e.into_inner())
                 .expect("every slot is filled before the scope ends")
         })
-        .collect()
+        .collect();
+    (results, load)
 }
 
 #[cfg(test)]
@@ -246,12 +276,14 @@ mod tests {
                 faults: Vec::new(),
                 snapshot_at: Some(shared),
                 prefix_key: Some(key),
+                metrics: false,
             },
             RunTask {
                 policy: SchedPolicy::Scripted(script.clone()),
                 faults: Vec::new(),
                 snapshot_at: None,
                 prefix_key: Some(key),
+                metrics: false,
             },
         ];
         let out = run_batch(&source, &tasks, 1, &cache);
@@ -261,6 +293,82 @@ mod tests {
             assert_eq!(r.class, base.class);
             assert_eq!(r.digest, base.digest, "forked run must match scratch");
             assert_eq!(r.decisions, base.decisions);
+        }
+    }
+
+    #[test]
+    fn worker_load_accounts_for_every_task() {
+        let source = pingpong_source();
+        let tasks: Vec<RunTask> = (0..10)
+            .map(|i| RunTask::plain(SchedPolicy::Seeded(i), Vec::new()))
+            .collect();
+        let cache = PrefixCache::new();
+        let (seq, seq_load) = run_batch_traced(&source, &tasks, 1, &cache);
+        assert_eq!(seq.len(), 10);
+        assert_eq!(seq_load.len(), 1, "sequential path is one worker");
+        assert_eq!(seq_load[0].0, 10);
+        let (par, par_load) = run_batch_traced(&source, &tasks, 3, &cache);
+        assert_eq!(par.len(), 10);
+        assert_eq!(par_load.len(), 3);
+        assert_eq!(par_load.iter().map(|(t, _)| t).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn metered_tasks_report_metrics_without_changing_content() {
+        let source = pingpong_source();
+        let plain = run_batch(
+            &source,
+            &[RunTask::plain(SchedPolicy::RoundRobin, Vec::new())],
+            1,
+            &PrefixCache::new(),
+        );
+        let mut metered_task = RunTask::plain(SchedPolicy::RoundRobin, Vec::new());
+        metered_task.metrics = true;
+        let metered = run_batch(&source, &[metered_task], 1, &PrefixCache::new());
+        assert!(plain[0].metrics.is_none());
+        assert!(plain[0].flight.is_empty());
+        let m = metered[0]
+            .metrics
+            .as_ref()
+            .expect("metered run has metrics");
+        assert_eq!(m.total_msgs(), 2, "pingpong sends two messages");
+        assert!(!metered[0].flight.is_empty());
+        assert_eq!(metered[0].digest, plain[0].digest, "telemetry is passive");
+        assert_eq!(metered[0].decisions, plain[0].decisions);
+    }
+
+    #[test]
+    fn metered_consumer_skips_fork_but_matches_forked_content() {
+        // Same producer/consumer setup as above, but the consumer is
+        // metered: it must NOT fork (metrics cover whole runs only) and
+        // still produce identical run content.
+        let source = pingpong_source();
+        let base = crate::runner::execute(&source, SchedPolicy::RoundRobin, &[]);
+        let script = base.decisions.clone();
+        let shared = script.len() - 1;
+        let key = 0xabcdu64;
+        let cache = PrefixCache::new();
+        let producer = RunTask {
+            policy: SchedPolicy::Scripted(script.clone()),
+            faults: Vec::new(),
+            snapshot_at: Some(shared),
+            prefix_key: Some(key),
+            metrics: true,
+        };
+        let consumer = RunTask {
+            policy: SchedPolicy::Scripted(script.clone()),
+            faults: Vec::new(),
+            snapshot_at: None,
+            prefix_key: Some(key),
+            metrics: true,
+        };
+        let out = run_batch(&source, &[producer, consumer], 1, &cache);
+        assert_eq!(cache.len(), 1, "producer still deposits");
+        assert_eq!(cache.hits(), 0, "metered consumer ran from scratch");
+        for r in &out {
+            assert_eq!(r.digest, base.digest);
+            let m = r.metrics.as_ref().expect("both runs metered");
+            assert_eq!(m.turns, out[0].metrics.as_ref().unwrap().turns);
         }
     }
 }

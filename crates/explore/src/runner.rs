@@ -2,7 +2,9 @@
 
 use crate::pool::{PrefixCache, RunTask};
 use tracedbg_instrument::RecorderConfig;
-use tracedbg_mpsim::{Engine, EngineConfig, FaultPlan, ProgramFn, RunOutcome, SchedPolicy};
+use tracedbg_mpsim::{
+    Engine, EngineConfig, EngineMetrics, FaultPlan, ProgramFn, RunOutcome, SchedPolicy,
+};
 use tracedbg_trace::schedule::{Decision, DecisionPoint, Fault};
 use tracedbg_trace::{trace_digest, TraceStore};
 
@@ -39,15 +41,34 @@ pub struct RunResult {
     pub diverged: bool,
     /// Did any injected fault actually silence a process?
     pub fault_fired: bool,
+    /// Engine telemetry, when the run was metered (`RunTask::metrics`).
+    pub metrics: Option<Box<EngineMetrics>>,
+    /// Flight-recorder dump of the run's last decisions; empty unless the
+    /// run was metered.
+    pub flight: Vec<String>,
+    /// Wall-clock nanoseconds the engine spent snapshotting (metered runs
+    /// only; timing, so never part of the event-determinism contract).
+    pub snapshot_ns: u64,
 }
 
 /// Execute the program once under `policy` + `faults` and summarize.
 pub fn execute(source: &ProgramSource, policy: SchedPolicy, faults: &[Fault]) -> RunResult {
+    execute_metered(source, policy, faults, false)
+}
+
+/// [`execute`], optionally with engine telemetry enabled.
+pub fn execute_metered(
+    source: &ProgramSource,
+    policy: SchedPolicy,
+    faults: &[Fault],
+    metrics: bool,
+) -> RunResult {
     let mut engine = Engine::launch(
         EngineConfig {
             policy,
             recorder: RecorderConfig::full(),
             faults: FaultPlan::new(faults.to_vec()),
+            metrics,
             ..Default::default()
         },
         source(),
@@ -67,6 +88,13 @@ pub fn execute(source: &ProgramSource, policy: SchedPolicy, faults: &[Fault]) ->
 ///   its script; otherwise falls back to a from-scratch run. Both paths
 ///   produce byte-identical results (the restore determinism contract).
 /// * Plain task: equivalent to [`execute`].
+///
+/// Metered tasks (`task.metrics`) never fork from a cached prefix: a
+/// forked engine only observes its own suffix, so its per-run counters
+/// would depend on whether a checkpoint happened to be cached — breaking
+/// the jobs-invariance contract for event metrics. Such tasks run from
+/// scratch (the producer path keeps its checkpoint role: a from-scratch
+/// run observes every event).
 pub fn execute_task(source: &ProgramSource, task: &RunTask, cache: &PrefixCache) -> RunResult {
     if let Some(k) = task.snapshot_at {
         let mut engine = Engine::launch(
@@ -75,6 +103,7 @@ pub fn execute_task(source: &ProgramSource, task: &RunTask, cache: &PrefixCache)
                 recorder: RecorderConfig::full(),
                 faults: FaultPlan::new(task.faults.clone()),
                 checkpoints: true,
+                metrics: task.metrics,
                 ..Default::default()
             },
             source(),
@@ -83,19 +112,21 @@ pub fn execute_task(source: &ProgramSource, task: &RunTask, cache: &PrefixCache)
         let outcome = engine.run();
         return finish(engine, outcome, task.prefix_key.map(|key| (key, cache)));
     }
-    if let (SchedPolicy::Scripted(script), Some(key), true) =
-        (&task.policy, task.prefix_key, task.faults.is_empty())
-    {
-        if let Some(cp) = cache.get(key) {
-            if cp.decision_len() <= script.len() {
-                let mut engine = Engine::restore(&cp, source());
-                engine.set_script(script.clone(), cp.decision_len());
-                let outcome = engine.run();
-                return finish(engine, outcome, None);
+    if !task.metrics {
+        if let (SchedPolicy::Scripted(script), Some(key), true) =
+            (&task.policy, task.prefix_key, task.faults.is_empty())
+        {
+            if let Some(cp) = cache.get(key) {
+                if cp.decision_len() <= script.len() {
+                    let mut engine = Engine::restore(&cp, source());
+                    engine.set_script(script.clone(), cp.decision_len());
+                    let outcome = engine.run();
+                    return finish(engine, outcome, None);
+                }
             }
         }
     }
-    execute(source, task.policy.clone(), &task.faults)
+    execute_metered(source, task.policy.clone(), &task.faults, task.metrics)
 }
 
 /// Summarize a finished engine; as a producer, deposit the pending
@@ -138,6 +169,13 @@ fn finish(
             }
         }
     }
+    let flight = if engine.metrics_enabled() {
+        engine.flight_dump()
+    } else {
+        Vec::new()
+    };
+    let snapshot_ns = engine.snapshot_ns();
+    let metrics = engine.take_metrics().map(Box::new);
     let store = engine.trace_store();
     let digest = {
         let recs: Vec<_> = store.records().to_vec();
@@ -153,5 +191,8 @@ fn finish(
         store,
         diverged,
         fault_fired,
+        metrics,
+        flight,
+        snapshot_ns,
     }
 }

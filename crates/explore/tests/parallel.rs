@@ -94,6 +94,71 @@ fn auto_jobs_also_matches_sequential() {
 }
 
 #[test]
+fn metered_exploration_event_metrics_identical_across_jobs() {
+    // The telemetry determinism contract: with metrics on, the whole
+    // `event` section of the MetricsReport — merged engine counters,
+    // histograms, prune counts, oracle triggers — is identical at jobs=1
+    // and jobs=4, and so is its digest. Only `timing` may differ.
+    let run = |jobs| {
+        let source: tracedbg_explore::ProgramSource =
+            Box::new(wildcard_race_factory(RacyConfig::default()));
+        let cfg = ExploreConfig {
+            workload: "racy-wildcard".to_string(),
+            seed: 7,
+            runs: 48,
+            preemptions: 2,
+            strategy: Strategy::Both,
+            jobs,
+            metrics: true,
+            ..Default::default()
+        };
+        Explorer::new(cfg, source).explore_traced()
+    };
+    let (seq_report, seq_metrics) = run(1);
+    let (par_report, par_metrics) = run(4);
+    assert_reports_identical(&seq_report, &par_report);
+    let seq_m = seq_metrics.expect("metrics requested");
+    let par_m = par_metrics.expect("metrics requested");
+    assert_eq!(seq_m.event, par_m.event, "event sections deep-equal");
+    assert_eq!(seq_m.event_digest, par_m.event_digest);
+    assert!(seq_m.event.runs > 0, "exploration runs were metered");
+    assert!(seq_m.event.engine.turns > 0);
+    let ex = seq_m.event.explore.as_ref().expect("explore section");
+    assert_eq!(ex.runs_executed, seq_report.runs_executed as u64);
+    assert!(
+        !ex.oracle_triggers.is_empty(),
+        "the race fires at least one oracle"
+    );
+    // Deadlock/panic findings carry the flight-recorder dump.
+    let panic_finding = seq_report
+        .findings
+        .iter()
+        .find(|f| f.class == "panic")
+        .expect("race found");
+    let flight = panic_finding.artifact.flight.as_ref().expect("flight dump");
+    assert!(flight.iter().any(|l| l.contains("panic")), "{flight:?}");
+    // The metered run (no prefix forking) and the plain run agree on the
+    // explorer-observable outcome anyway.
+    let plain = explore("racy-wildcard", 1, Strategy::Both);
+    assert_eq!(plain.runs_executed, seq_report.runs_executed);
+    assert_eq!(plain.findings.len(), seq_report.findings.len());
+}
+
+#[test]
+fn unmetered_exploration_returns_no_metrics() {
+    let source: tracedbg_explore::ProgramSource =
+        Box::new(wildcard_race_factory(RacyConfig::default()));
+    let cfg = ExploreConfig {
+        workload: "racy-wildcard".to_string(),
+        seed: 7,
+        runs: 8,
+        ..Default::default()
+    };
+    let (_, metrics) = Explorer::new(cfg, source).explore_traced();
+    assert!(metrics.is_none(), "telemetry is opt-in");
+}
+
+#[test]
 fn fault_injection_stays_deterministic_across_jobs() {
     // Fault plans derive from the walk index, not from worker identity;
     // randomized fault-injecting exploration must merge identically too.

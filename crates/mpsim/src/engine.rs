@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tracedbg_instrument::{Recorder, RecorderConfig};
+use tracedbg_obs::{EngineMetrics, FlightRecorder, Span, SpanKind};
 use tracedbg_trace::schedule::{Decision, DecisionPoint};
 use tracedbg_trace::{FlushHandle, Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
@@ -48,6 +49,11 @@ pub struct EngineConfig {
     /// message payloads on the grant path, which the engine benches must
     /// not pay unless checkpointing is actually wanted.
     pub checkpoints: bool,
+    /// Collect per-rank/per-channel [`EngineMetrics`] and a flight-recorder
+    /// span ring during the run. Off by default; when off the engine holds
+    /// no telemetry state and every collection site is a single
+    /// `Option` check.
+    pub metrics: bool,
 }
 
 impl EngineConfig {
@@ -125,6 +131,35 @@ pub(crate) enum ProcState {
     Panicked(String),
 }
 
+/// The engine's telemetry plane (present only when
+/// `EngineConfig::metrics` is on). Everything in `metrics` derives from
+/// the executed event sequence alone; `snapshot_ns` is the one wall-clock
+/// fact and is surfaced separately through [`Engine::snapshot_ns`].
+struct EngineObs {
+    metrics: EngineMetrics,
+    flight: FlightRecorder,
+    /// `turn_count` at the moment each rank posted its pending receive —
+    /// the subtrahend of the match-latency computation.
+    block_turn: Vec<Option<u64>>,
+    /// Scheduler turns granted so far (the logical clock blocked-turn
+    /// accounting runs on).
+    turn_count: u64,
+    /// Wall-clock nanoseconds spent inside [`Engine::snapshot`].
+    snapshot_ns: u64,
+}
+
+impl EngineObs {
+    fn new(n: usize) -> Box<Self> {
+        Box::new(EngineObs {
+            metrics: EngineMetrics::new(n),
+            flight: FlightRecorder::new(),
+            block_turn: vec![None; n],
+            turn_count: 0,
+            snapshot_ns: 0,
+        })
+    }
+}
+
 /// A complete simulated run.
 pub struct Engine {
     states: Vec<ProcState>,
@@ -164,6 +199,8 @@ pub struct Engine {
     /// Take a snapshot when the decision log reaches this length.
     snapshot_at_decision: Option<usize>,
     pending_snapshot: Option<Box<EngineCheckpoint>>,
+    /// Telemetry plane; `None` unless metrics collection is on.
+    obs: Option<Box<EngineObs>>,
 }
 
 impl Engine {
@@ -228,6 +265,7 @@ impl Engine {
             trap_history: vec![Vec::new(); n],
             snapshot_at_decision: None,
             pending_snapshot: None,
+            obs: config.metrics.then(|| EngineObs::new(n)),
         }
     }
 
@@ -335,6 +373,10 @@ impl Engine {
             trap_history: cp.trap_history.clone(),
             snapshot_at_decision: None,
             pending_snapshot: None,
+            // Checkpoints carry no telemetry: a restored engine's metrics
+            // would cover only its own incarnation. Callers that want
+            // telemetry after a restore opt back in via `enable_metrics`.
+            obs: None,
         }
     }
 
@@ -376,6 +418,18 @@ impl Engine {
                     .map(|&r| Decision::Turn { rank: r })
                     .collect(),
             });
+            if let Some(o) = self.obs.as_mut() {
+                o.turn_count += 1;
+                o.metrics.turns += 1;
+                o.flight.record(Span {
+                    decision: self.decision_log.len() as u64,
+                    sim_time: 0,
+                    kind: SpanKind::Turn,
+                    a: p.0 as u64,
+                    b: 0,
+                    c: 0,
+                });
+            }
             let reply = match std::mem::replace(&mut self.states[p.ix()], ProcState::Running) {
                 ProcState::Ready(r) => r,
                 other => unreachable!("granted non-ready process in state {other:?}"),
@@ -465,6 +519,25 @@ impl Engine {
             if let Some((after_ops, kind)) = self.faults.silence_for(rank) {
                 if self.ops[rank.ix()] > after_ops {
                     self.states[rank.ix()] = ProcState::Faulted(kind);
+                    if let Some(o) = self.obs.as_mut() {
+                        // The process already emitted its RecvPost trace
+                        // record before asking for service, so the swallowed
+                        // post still counts: metrics mirror the trace, not
+                        // the engine's private view. (A swallowed send left
+                        // no trace record — the Send record is written only
+                        // after SendDone — so sends need no such credit.)
+                        if matches!(req, Request::Recv { .. }) {
+                            o.metrics.recvs[rank.ix()] += 1;
+                        }
+                        o.flight.record(Span {
+                            decision: self.decision_log.len() as u64,
+                            sim_time: 0,
+                            kind: SpanKind::Fault,
+                            a: rank.0 as u64,
+                            b: self.ops[rank.ix()],
+                            c: 0,
+                        });
+                    }
                     return;
                 }
             }
@@ -482,6 +555,7 @@ impl Engine {
                 let seq = self.send_seq[rank.ix()][dst.ix()];
                 self.send_seq[rank.ix()][dst.ix()] += 1;
                 let t_done = self.cost.send_done(t0);
+                let bytes = payload.len() as u64;
                 let arrival =
                     self.cost.arrival(t_done, payload.len()) + self.faults.delay(rank, dst, seq);
                 let env = Envelope {
@@ -496,6 +570,15 @@ impl Engine {
                     payload,
                 };
                 self.mailboxes[dst.ix()].push(env);
+                let depth = self.mailboxes[dst.ix()].pending() as u64;
+                if let Some(o) = self.obs.as_mut() {
+                    o.metrics.msgs_sent[rank.ix()] += 1;
+                    o.metrics.bytes_sent[rank.ix()] += bytes;
+                    o.metrics.channel_msgs[rank.ix()][dst.ix()] += 1;
+                    o.metrics.channel_bytes[rank.ix()][dst.ix()] += bytes;
+                    let hwm = &mut o.metrics.queue_hwm[dst.ix()];
+                    *hwm = (*hwm).max(depth);
+                }
                 self.states[rank.ix()] = match mode {
                     SendMode::Buffered => ProcState::Ready(Reply::SendDone { seq, t_done }),
                     SendMode::Synchronous => ProcState::BlockedSend {
@@ -518,7 +601,27 @@ impl Engine {
                     t_post,
                     marker,
                 };
+                if let Some(o) = self.obs.as_mut() {
+                    o.metrics.recvs[rank.ix()] += 1;
+                    o.block_turn[rank.ix()] = Some(o.turn_count);
+                }
                 self.try_match(rank);
+                // Still blocked: log the wait the flight recorder will show
+                // if the run never delivers it (the deadlock picture).
+                let decision = self.decision_log.len() as u64;
+                if let (Some(o), ProcState::Blocked { spec, t_post, .. }) =
+                    (self.obs.as_mut(), &self.states[rank.ix()])
+                {
+                    let from = spec.src.map_or(u64::MAX, |s| s.0 as u64);
+                    o.flight.record(Span {
+                        decision,
+                        sim_time: *t_post,
+                        kind: SpanKind::Block,
+                        a: rank.0 as u64,
+                        b: from,
+                        c: 0,
+                    });
+                }
             }
             Request::Collective {
                 kind,
@@ -555,6 +658,16 @@ impl Engine {
                     self.trap_history[rank.ix()].push(marker);
                 }
                 self.states[rank.ix()] = ProcState::Trapped { marker };
+                if let Some(o) = self.obs.as_mut() {
+                    o.flight.record(Span {
+                        decision: self.decision_log.len() as u64,
+                        sim_time: 0,
+                        kind: SpanKind::Trap,
+                        a: rank.0 as u64,
+                        b: marker,
+                        c: 0,
+                    });
+                }
             }
             Request::Finished { .. } => {
                 self.states[rank.ix()] = ProcState::Finished;
@@ -564,6 +677,16 @@ impl Engine {
             }
             Request::Panicked { message } => {
                 self.states[rank.ix()] = ProcState::Panicked(message);
+                if let Some(o) = self.obs.as_mut() {
+                    o.flight.record(Span {
+                        decision: self.decision_log.len() as u64,
+                        sim_time: 0,
+                        kind: SpanKind::Panic,
+                        a: rank.0 as u64,
+                        b: 0,
+                        c: 0,
+                    });
+                }
             }
         }
     }
@@ -605,6 +728,25 @@ impl Engine {
             },
         );
         let t_done = self.cost.recv_done(t_post, env.arrival);
+        if let Some(o) = self.obs.as_mut() {
+            // Latency in turns since the receive was posted. A receive
+            // posted and matched within the same turn scores 0; the stamp
+            // defaults to "now" for matches delivered by the post-restore
+            // sweep, where no post was observed by this incarnation.
+            let posted = o.block_turn[dst.ix()].take().unwrap_or(o.turn_count);
+            let latency = o.turn_count - posted;
+            o.metrics.matches += 1;
+            o.metrics.blocked_turns[dst.ix()] += latency;
+            o.metrics.match_latency.record(latency);
+            o.flight.record(Span {
+                decision: self.decision_log.len() as u64,
+                sim_time: t_done,
+                kind: SpanKind::Match,
+                a: dst.0 as u64,
+                b: env.src.0 as u64,
+                c: env.seq,
+            });
+        }
         // A synchronous sender rendezvouses here: it completes at the
         // same instant the receive does.
         if env.synchronous {
@@ -840,12 +982,16 @@ impl Engine {
     /// Capture the full deterministic state of the run right now. Callable
     /// whenever the engine has control (between turns — i.e. whenever
     /// `run` has returned). Requires `EngineConfig::checkpoints`.
-    pub fn snapshot(&self) -> EngineCheckpoint {
+    ///
+    /// Checkpoints deliberately carry no telemetry: metrics describe one
+    /// engine incarnation, not a restored lineage.
+    pub fn snapshot(&mut self) -> EngineCheckpoint {
         assert!(
             self.checkpoints,
             "snapshot() requires EngineConfig.checkpoints"
         );
-        EngineCheckpoint {
+        let started = self.obs.is_some().then(std::time::Instant::now);
+        let cp = EngineCheckpoint {
             n_ranks: self.n_ranks,
             states: self.states.clone(),
             paused: self.paused.clone(),
@@ -866,7 +1012,12 @@ impl Engine {
             decision_log: self.decision_log.clone(),
             reply_log: self.reply_log.clone(),
             trap_history: self.trap_history.clone(),
+        };
+        if let (Some(o), Some(t0)) = (self.obs.as_mut(), started) {
+            o.metrics.snapshots += 1;
+            o.snapshot_ns += t0.elapsed().as_nanos() as u64;
         }
+        cp
     }
 
     /// Arrange for a snapshot to be taken automatically when the decision
@@ -968,7 +1119,15 @@ impl Engine {
     /// the rank's next receive.
     pub fn set_replay_delta(&mut self, mut log: ReplayLog) {
         log.reset();
-        log.advance_to(&self.match_counts());
+        let made = self.match_counts();
+        log.advance_to(&made);
+        if let Some(o) = self.obs.as_mut() {
+            // Delta length: recorded receives still ahead of this state —
+            // the work the coming replay actually re-pins.
+            let total: usize = (0..self.n_ranks).map(|r| log.len_for(Rank(r as u32))).sum();
+            let delta = total.saturating_sub(made.iter().sum::<usize>());
+            o.metrics.replay_delta.record(delta as u64);
+        }
         for r in 0..self.n_ranks {
             let rank = Rank(r as u32);
             if let ProcState::Blocked { spec, .. } = &mut self.states[r] {
@@ -985,6 +1144,45 @@ impl Engine {
     /// [`crate::sched::Scheduler::set_script`]).
     pub fn set_script(&mut self, script: Vec<Decision>, cursor: usize) {
         self.scheduler.set_script(script, cursor);
+    }
+
+    // ---- telemetry interface ----
+
+    /// Turn on metrics collection from this point (a restored engine comes
+    /// up with telemetry off; the debugger re-enables it here). No-op if
+    /// already collecting.
+    pub fn enable_metrics(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(EngineObs::new(self.n_ranks));
+        }
+    }
+
+    /// Is telemetry being collected?
+    pub fn metrics_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Event-derived metrics collected so far (None when disabled).
+    pub fn metrics(&self) -> Option<&EngineMetrics> {
+        self.obs.as_deref().map(|o| &o.metrics)
+    }
+
+    /// Detach the collected metrics, leaving telemetry disabled.
+    pub fn take_metrics(&mut self) -> Option<EngineMetrics> {
+        self.obs.take().map(|o| o.metrics)
+    }
+
+    /// Rendered flight-recorder dump: the last spans leading to the
+    /// current state, oldest first. Empty when telemetry is disabled.
+    pub fn flight_dump(&self) -> Vec<String> {
+        self.obs
+            .as_deref()
+            .map_or_else(Vec::new, |o| o.flight.dump())
+    }
+
+    /// Wall-clock nanoseconds spent taking snapshots (0 when disabled).
+    pub fn snapshot_ns(&self) -> u64 {
+        self.obs.as_deref().map_or(0, |o| o.snapshot_ns)
     }
 }
 
@@ -1686,7 +1884,7 @@ mod tests {
             let s = site_of(ctx, "p0");
             ctx.compute(1, s);
         });
-        let e = Engine::launch(cfg(), vec![p0]);
+        let mut e = Engine::launch(cfg(), vec![p0]);
         let _ = e.snapshot();
     }
 

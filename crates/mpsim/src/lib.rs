@@ -61,6 +61,7 @@ pub use sched::SchedPolicy;
 
 // Re-export the vocabulary crates so workloads depend only on mpsim.
 pub use tracedbg_instrument::{Recorder, RecorderConfig, Strategy};
+pub use tracedbg_obs::EngineMetrics;
 pub use tracedbg_trace::{
     Decision, DecisionPoint, Fault, Marker, MarkerVector, Rank, ScheduleArtifact, SiteTable, Tag,
     TraceRecord, TraceStore, ANY_SOURCE, ANY_TAG,

@@ -1,0 +1,140 @@
+//! Property tests for the telemetry plane: event-derived engine metrics
+//! must equal independent recounts from the artifacts the run already
+//! emits — the trace (sends, bytes, receive posts) and the schedule log
+//! (turns, matches, blocked-in-receive turns). Telemetry is a *view* of
+//! the event sequence, never a second source of truth; any divergence is
+//! a counting bug.
+
+use proptest::prelude::*;
+use tracedbg_mpsim::{
+    Engine, EngineConfig, FaultPlan, Payload, ProgramFn, Rank, RecorderConfig, SchedPolicy, Tag,
+};
+use tracedbg_trace::schedule::{Decision, Fault};
+use tracedbg_trace::EventKind;
+
+const NPROCS: usize = 4;
+
+/// Fan-in workload with genuine wildcard nondeterminism (same shape as
+/// the checkpoint property tests): workers send to a collecting rank 0,
+/// which receives in scheduler order and releases them.
+fn fanin_programs(rounds: u64) -> Vec<ProgramFn> {
+    let p0: ProgramFn = Box::new(move |ctx| {
+        let s = ctx.site("prop_obs.rs", 1, "collector");
+        let mut sum = 0i64;
+        for _ in 0..(NPROCS as u64 - 1) * rounds {
+            let m = ctx.recv_any(None, s);
+            sum += m.payload.to_i64().unwrap_or(0);
+        }
+        for r in 1..NPROCS {
+            ctx.send(Rank(r as u32), Tag(9), Payload::from_i64(sum), s);
+        }
+    });
+    let mut progs = vec![p0];
+    for r in 1..NPROCS {
+        let worker: ProgramFn = Box::new(move |ctx| {
+            let s = ctx.site("prop_obs.rs", 2, "worker");
+            for round in 0..rounds {
+                ctx.compute(50, s);
+                let v = (r as i64) * 100 + round as i64;
+                ctx.send(Rank(0), Tag(0), Payload::from_i64(v), s);
+            }
+            let _ = ctx.recv_from(Rank(0), Tag(9), s);
+        });
+        progs.push(worker);
+    }
+    progs
+}
+
+fn arb_faults() -> impl Strategy<Value = Vec<Fault>> {
+    let w = 1u32..NPROCS as u32;
+    prop_oneof![
+        Just(Vec::new()),
+        (w.clone(), 0u64..6).prop_map(|(r, k)| vec![Fault::Hang {
+            rank: Rank(r),
+            after_ops: k,
+        }]),
+        (w, 0u64..4, 1u64..500).prop_map(|(src, nth, extra_ns)| vec![Fault::Delay {
+            src: Rank(src),
+            dst: Rank(0),
+            nth,
+            extra_ns,
+        }]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn metrics_equal_independent_recounts(
+        seed in 0u64..1024,
+        rounds in 1u64..4,
+        faults in arb_faults(),
+    ) {
+        let mut engine = Engine::launch(
+            EngineConfig {
+                policy: SchedPolicy::Seeded(seed),
+                recorder: RecorderConfig::full(),
+                faults: FaultPlan::new(faults),
+                metrics: true,
+                ..Default::default()
+            },
+            fanin_programs(rounds),
+        );
+        let _ = engine.run();
+        let log = engine.schedule_log();
+        let m = engine.metrics().expect("metrics were enabled").clone();
+        let store = engine.trace_store();
+
+        // --- recount from the trace: sends, bytes, receive posts ---
+        let mut msgs = vec![0u64; NPROCS];
+        let mut bytes = vec![0u64; NPROCS];
+        let mut recvs = vec![0u64; NPROCS];
+        for rec in store.records() {
+            match rec.kind {
+                EventKind::Send => {
+                    let info = rec.msg.as_ref().expect("send records carry MsgInfo");
+                    msgs[rec.rank.ix()] += 1;
+                    bytes[rec.rank.ix()] += info.bytes as u64;
+                }
+                EventKind::RecvPost => recvs[rec.rank.ix()] += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(&m.msgs_sent, &msgs, "per-rank sends vs trace");
+        prop_assert_eq!(&m.bytes_sent, &bytes, "per-rank bytes vs trace");
+        prop_assert_eq!(&m.recvs, &recvs, "per-rank receive posts vs trace");
+        // Channel matrix rows sum to the per-rank totals.
+        for r in 0..NPROCS {
+            prop_assert_eq!(m.channel_msgs[r].iter().sum::<u64>(), msgs[r]);
+            prop_assert_eq!(m.channel_bytes[r].iter().sum::<u64>(), bytes[r]);
+        }
+
+        // --- recount from the schedule log: turns, matches, blocking ---
+        // A rank's wait is the number of turns granted (to anyone) between
+        // its last own turn — the one that posted the receive — and the
+        // match that released it.
+        let mut turns = 0u64;
+        let mut matches = 0u64;
+        let mut stamp = [0u64; NPROCS];
+        let mut blocked = vec![0u64; NPROCS];
+        for d in &log {
+            match d {
+                Decision::Turn { rank } => {
+                    turns += 1;
+                    stamp[rank.ix()] = turns;
+                }
+                Decision::Match { dst, .. } => {
+                    matches += 1;
+                    blocked[dst.ix()] += turns - stamp[dst.ix()];
+                }
+            }
+        }
+        prop_assert_eq!(m.turns, turns, "turn count vs schedule log");
+        prop_assert_eq!(m.matches, matches, "match count vs schedule log");
+        prop_assert_eq!(&m.blocked_turns, &blocked, "blocked turns vs log walk");
+        // The match-latency histogram is the same data, bucketed.
+        prop_assert_eq!(m.match_latency.count, matches);
+        prop_assert_eq!(m.match_latency.sum, blocked.iter().sum::<u64>());
+    }
+}

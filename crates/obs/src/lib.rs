@@ -1,0 +1,31 @@
+//! tracedbg-obs — offline telemetry for the tracedbg reproduction.
+//!
+//! The paper's AIMS monitors feed *statistics* — communication volume,
+//! blocking time, intrusion overhead — alongside the trace itself, and
+//! the NTV/VK views render them. This crate is that statistics plane:
+//! counters, high-water gauges, fixed log-2-bucket [`Histogram`]s, a
+//! bounded [`FlightRecorder`] span ring, and the [`MetricsReport`] JSON
+//! schema every `tracedbg` surface exports through.
+//!
+//! Design constraints (see DESIGN.md §10):
+//!
+//! * **Zero external deps** — only the in-tree compat `serde`/`serde_json`.
+//! * **Determinism where it counts** — everything in
+//!   [`EventMetrics`] derives from the executed event sequence alone and
+//!   is byte-identical across `--jobs`; wall-clock facts live in
+//!   [`TimingMetrics`], outside the digest.
+//! * **Near-zero cost when disabled** — collection lives behind an
+//!   `Option` checked at each call site; no metrics object, no work.
+
+pub mod flight;
+pub mod hist;
+pub mod metrics;
+pub mod report;
+
+pub use flight::{FlightRecorder, Span, SpanKind, FLIGHT_CAP};
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use metrics::EngineMetrics;
+pub use report::{
+    event_digest, fnv1a64, CacheStats, ClassCount, CommandStat, EventMetrics, ExploreEvent,
+    MetricsReport, TimingMetrics, WorkerStat, METRICS_VERSION,
+};

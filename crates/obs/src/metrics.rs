@@ -1,0 +1,157 @@
+//! Event-derived engine metrics.
+//!
+//! Everything in [`EngineMetrics`] is a pure function of the engine's
+//! decision/event sequence — never of wall-clock time, worker identity,
+//! or job count. That is the determinism contract the `--jobs` byte-
+//! identity check in `verify.sh` pins down: summing the per-run metrics
+//! of the same task set in task order yields the same aggregate no
+//! matter how the runs were scheduled.
+
+use crate::hist::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Per-rank / per-channel counters gathered by an `mpsim` engine run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Scheduler turns granted, total.
+    pub turns: u64,
+    /// Messages matched (send paired with receive), total.
+    pub matches: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Messages sent, per source rank.
+    pub msgs_sent: Vec<u64>,
+    /// Payload bytes sent, per source rank.
+    pub bytes_sent: Vec<u64>,
+    /// Receives posted, per rank.
+    pub recvs: Vec<u64>,
+    /// Turns the rank spent blocked in recv before its match arrived
+    /// (sum over all matched receives; a never-matched block — deadlock —
+    /// is not counted).
+    pub blocked_turns: Vec<u64>,
+    /// Mailbox queue-depth high-water mark, per destination rank.
+    pub queue_hwm: Vec<u64>,
+    /// Messages per (src, dst) channel: `channel_msgs[src][dst]`.
+    pub channel_msgs: Vec<Vec<u64>>,
+    /// Payload bytes per (src, dst) channel.
+    pub channel_bytes: Vec<Vec<u64>>,
+    /// Distribution of match latency in turns (0 = message was already
+    /// waiting when the receive was posted).
+    pub match_latency: Histogram,
+    /// Distribution of replay-delta lengths (decisions re-executed per
+    /// delta replay).
+    pub replay_delta: Histogram,
+}
+
+impl EngineMetrics {
+    pub fn new(nprocs: usize) -> Self {
+        EngineMetrics {
+            turns: 0,
+            matches: 0,
+            snapshots: 0,
+            msgs_sent: vec![0; nprocs],
+            bytes_sent: vec![0; nprocs],
+            recvs: vec![0; nprocs],
+            blocked_turns: vec![0; nprocs],
+            queue_hwm: vec![0; nprocs],
+            channel_msgs: vec![vec![0; nprocs]; nprocs],
+            channel_bytes: vec![vec![0; nprocs]; nprocs],
+            match_latency: Histogram::new(),
+            replay_delta: Histogram::new(),
+        }
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.msgs_sent.len()
+    }
+
+    /// Fold another engine's metrics into this one. Counters sum;
+    /// high-water marks take the max; histograms merge bucket-wise.
+    /// Merging across different process counts widens to the larger.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        let n = self.nprocs().max(other.nprocs());
+        self.widen(n);
+        self.turns += other.turns;
+        self.matches += other.matches;
+        self.snapshots += other.snapshots;
+        for r in 0..other.nprocs() {
+            self.msgs_sent[r] += other.msgs_sent[r];
+            self.bytes_sent[r] += other.bytes_sent[r];
+            self.recvs[r] += other.recvs[r];
+            self.blocked_turns[r] += other.blocked_turns[r];
+            self.queue_hwm[r] = self.queue_hwm[r].max(other.queue_hwm[r]);
+            for d in 0..other.nprocs() {
+                self.channel_msgs[r][d] += other.channel_msgs[r][d];
+                self.channel_bytes[r][d] += other.channel_bytes[r][d];
+            }
+        }
+        self.match_latency.merge(&other.match_latency);
+        self.replay_delta.merge(&other.replay_delta);
+    }
+
+    fn widen(&mut self, n: usize) {
+        if self.nprocs() >= n {
+            return;
+        }
+        self.msgs_sent.resize(n, 0);
+        self.bytes_sent.resize(n, 0);
+        self.recvs.resize(n, 0);
+        self.blocked_turns.resize(n, 0);
+        self.queue_hwm.resize(n, 0);
+        for row in &mut self.channel_msgs {
+            row.resize(n, 0);
+        }
+        for row in &mut self.channel_bytes {
+            row.resize(n, 0);
+        }
+        self.channel_msgs.resize(n, vec![0; n]);
+        self.channel_bytes.resize(n, vec![0; n]);
+    }
+
+    /// Total messages across ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().sum()
+    }
+
+    /// Total payload bytes across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_hwm() {
+        let mut a = EngineMetrics::new(2);
+        a.turns = 10;
+        a.msgs_sent[0] = 3;
+        a.queue_hwm[1] = 5;
+        a.channel_msgs[0][1] = 3;
+        let mut b = EngineMetrics::new(2);
+        b.turns = 7;
+        b.msgs_sent[0] = 2;
+        b.queue_hwm[1] = 2;
+        b.channel_msgs[0][1] = 2;
+        a.merge(&b);
+        assert_eq!(a.turns, 17);
+        assert_eq!(a.msgs_sent[0], 5);
+        assert_eq!(a.queue_hwm[1], 5, "hwm merges by max");
+        assert_eq!(a.channel_msgs[0][1], 5);
+    }
+
+    #[test]
+    fn merge_widens_to_the_larger_rank_count() {
+        let mut a = EngineMetrics::new(1);
+        a.msgs_sent[0] = 1;
+        let mut b = EngineMetrics::new(3);
+        b.msgs_sent[2] = 4;
+        b.channel_msgs[2][0] = 4;
+        a.merge(&b);
+        assert_eq!(a.nprocs(), 3);
+        assert_eq!(a.msgs_sent, vec![1, 0, 4]);
+        assert_eq!(a.channel_msgs[2][0], 4);
+    }
+}

@@ -40,6 +40,6 @@ pub use ids::{ChannelId, Rank, SiteId, Tag, ANY_SOURCE, ANY_TAG};
 pub use loc::{SiteTable, SourceLoc};
 pub use marker::{Marker, MarkerVector};
 pub use query::EventQuery;
-pub use schedule::{Decision, DecisionPoint, Fault, ScheduleArtifact};
+pub use schedule::{ArtifactMeta, Decision, DecisionPoint, Fault, ScheduleArtifact};
 pub use stats::TraceStats;
 pub use store::{EventId, TraceStore};

@@ -91,6 +91,21 @@ impl fmt::Display for Fault {
 /// Current artifact format version (bump on incompatible change).
 pub const ARTIFACT_VERSION: u32 = 1;
 
+/// Provenance of an artifact: how the exploration that produced it was
+/// configured and how long it took. Purely informational — replay ignores
+/// it — and optional, so artifacts written by older builds still parse.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactMeta {
+    /// Worker threads the exploration ran with (resolved: never 0).
+    pub jobs: u64,
+    /// Exploration run budget that was configured.
+    pub runs: u64,
+    /// Wall-clock duration of the whole exploration, in milliseconds.
+    pub wall_ms: u64,
+    /// tracedbg version that wrote the artifact.
+    pub version: String,
+}
+
 /// A complete, replayable description of one explored execution.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleArtifact {
@@ -111,6 +126,14 @@ pub struct ScheduleArtifact {
     /// Failure class this artifact reproduces (`deadlock`, `panic`,
     /// `lint`, `divergence`), if any.
     pub failure: Option<String>,
+    /// Run provenance (absent in artifacts from older builds; replay
+    /// ignores it either way).
+    pub meta: Option<ArtifactMeta>,
+    /// Flight-recorder dump of the confirming run — the last engine
+    /// decisions before the failure, rendered one span per line. Attached
+    /// to deadlock/panic artifacts; absent elsewhere and in artifacts from
+    /// older builds.
+    pub flight: Option<Vec<String>>,
 }
 
 impl ScheduleArtifact {
@@ -123,6 +146,8 @@ impl ScheduleArtifact {
             faults: Vec::new(),
             decisions: Vec::new(),
             failure: None,
+            meta: None,
+            flight: None,
         }
     }
 
@@ -188,6 +213,47 @@ mod tests {
         let json = a.to_json();
         let back = ScheduleArtifact::from_json(&json).unwrap();
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn artifact_without_meta_or_flight_still_parses() {
+        // An artifact exactly as a pre-telemetry build wrote it: no `meta`,
+        // no `flight` keys at all. Committed regression corpora must stay
+        // replayable.
+        let old = r#"{"version":1,"workload":"ring","procs":4,"seed":9,
+            "faults":[],"decisions":[{"Turn":{"rank":1}}],"failure":"deadlock"}"#;
+        let a = ScheduleArtifact::from_json(old).unwrap();
+        assert_eq!(a.workload, "ring");
+        assert_eq!(a.decisions.len(), 1);
+        assert!(a.meta.is_none());
+        assert!(a.flight.is_none());
+    }
+
+    #[test]
+    fn artifact_meta_and_flight_roundtrip() {
+        let mut a = ScheduleArtifact::new("ring", 4, 0);
+        a.meta = Some(ArtifactMeta {
+            jobs: 4,
+            runs: 64,
+            wall_ms: 123,
+            version: "0.1.0".into(),
+        });
+        a.flight = vec!["d1 t0 turn rank=0".to_string()].into();
+        let back = ScheduleArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.meta.as_ref().unwrap().jobs, 4);
+        assert_eq!(back.flight.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_fields_in_artifact_json_are_ignored() {
+        // Forward compatibility: a *newer* build may add fields; this build
+        // must still load the decisions it understands.
+        let future = r#"{"version":1,"workload":"ring","procs":2,"seed":0,
+            "faults":[],"decisions":[],"failure":null,"meta":null,
+            "flight":null,"some_future_field":{"x":1}}"#;
+        let a = ScheduleArtifact::from_json(future).unwrap();
+        assert_eq!(a.procs, 2);
     }
 
     #[test]

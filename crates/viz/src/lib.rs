@@ -20,6 +20,7 @@ pub mod ascii;
 pub mod dot;
 pub mod html;
 pub mod ntv;
+pub mod profile;
 pub mod svg;
 pub mod timeline;
 pub mod vcg;
@@ -28,6 +29,7 @@ pub mod vk;
 pub use ascii::render_ascii;
 pub use html::render_html_report;
 pub use ntv::NtvView;
+pub use profile::render_rank_profile;
 pub use svg::render_svg;
 pub use timeline::{Bar, BarKind, MsgLine, Overlay, TimelineModel};
 pub use vk::VkView;

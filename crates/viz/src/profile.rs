@@ -1,0 +1,111 @@
+//! AIMS-statistics-style per-rank profile.
+//!
+//! The paper pairs its trace displays with AIMS' statistical views —
+//! aggregate communication volume and wait time per process, next to the
+//! time-space diagram. [`render_rank_profile`] reproduces that view in the
+//! terminal from an [`EngineMetrics`]: one row per rank with its message
+//! count, byte volume, receive count, and turns spent blocked in a
+//! receive, the last visualized as a proportional bar so the most-starved
+//! rank is visible at a glance.
+
+use tracedbg_obs::EngineMetrics;
+
+/// Width of the blocked-turns bar for the fullest rank.
+const BAR_WIDTH: usize = 24;
+
+/// Render a per-rank wait-time/volume table. Pure function of the
+/// metrics — no wall-clock input — so output is byte-stable for a given
+/// run.
+pub fn render_rank_profile(m: &EngineMetrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:>8} {:>10} {:>7} {:>8}  {}\n",
+        "rank", "msgs", "bytes", "recvs", "blocked", "wait profile"
+    ));
+    let max_blocked = m.blocked_turns.iter().copied().max().unwrap_or(0).max(1);
+    for r in 0..m.nprocs() {
+        let blocked = m.blocked_turns[r];
+        let bar_len = (blocked as usize * BAR_WIDTH) / max_blocked as usize;
+        out.push_str(&format!(
+            "P{:<5} {:>8} {:>10} {:>7} {:>8}  {}\n",
+            r,
+            m.msgs_sent[r],
+            m.bytes_sent[r],
+            m.recvs[r],
+            blocked,
+            "#".repeat(bar_len)
+        ));
+    }
+    out.push_str(&format!(
+        "total  {:>8} {:>10} {:>7} {:>8}\n",
+        m.total_msgs(),
+        m.total_bytes(),
+        m.recvs.iter().sum::<u64>(),
+        m.blocked_turns.iter().sum::<u64>(),
+    ));
+    out.push_str(&format!(
+        "turns {}  matches {}  queue high-water {}  match latency mean {} turn(s) (max {})\n",
+        m.turns,
+        m.matches,
+        m.queue_hwm.iter().copied().max().unwrap_or(0),
+        m.match_latency.mean(),
+        m.match_latency.max,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineMetrics {
+        let mut m = EngineMetrics::new(3);
+        m.turns = 40;
+        m.matches = 5;
+        m.msgs_sent = vec![4, 1, 0];
+        m.bytes_sent = vec![64, 8, 0];
+        m.recvs = vec![0, 2, 3];
+        m.blocked_turns = vec![0, 6, 12];
+        m.queue_hwm = vec![2, 1, 0];
+        m.match_latency.record(3);
+        m.match_latency.record(5);
+        m
+    }
+
+    #[test]
+    fn profile_has_one_row_per_rank_plus_totals() {
+        let s = render_rank_profile(&sample());
+        assert!(s.contains("P0"), "{s}");
+        assert!(s.contains("P2"), "{s}");
+        assert!(s.contains("total"), "{s}");
+        assert_eq!(
+            s.lines().count(),
+            1 + 3 + 1 + 1,
+            "header, ranks, totals, summary"
+        );
+    }
+
+    #[test]
+    fn bar_length_is_proportional_to_blocked_turns() {
+        let s = render_rank_profile(&sample());
+        let bar_of = |rank: &str| {
+            s.lines()
+                .find(|l| l.starts_with(rank))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '#')
+                .count()
+        };
+        assert_eq!(bar_of("P2"), BAR_WIDTH, "fullest rank gets a full bar");
+        assert_eq!(bar_of("P1"), BAR_WIDTH / 2, "half the wait, half the bar");
+        assert_eq!(bar_of("P0"), 0);
+    }
+
+    #[test]
+    fn all_idle_ranks_render_without_bars() {
+        let m = EngineMetrics::new(2);
+        let s = render_rank_profile(&m);
+        assert!(!s.contains('#'), "{s}");
+        assert!(s.contains("match latency mean 0"), "{s}");
+    }
+}

@@ -4,31 +4,43 @@
 #
 #   usage: bench_diff.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]
 #
-# Prints one line per benchmark (REGRESS / IMPROVE / ok / NEW) and exits
-# non-zero iff any benchmark's median regressed by more than the threshold
-# (default 25%).
+# Prints one line per benchmark (REGRESS / IMPROVE / ok / ADDED / REMOVED)
+# and exits non-zero iff any benchmark's median regressed by more than the
+# threshold (default 25%). A suite file that exists in only one of the two
+# snapshots is not an error: every benchmark in it is reported as ADDED
+# (no baseline) or REMOVED (no current), and the diff exits 0.
 set -euo pipefail
 
 base=${1:?usage: bench_diff.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]}
 cur=${2:?usage: bench_diff.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]}
 pct=${3:-25}
 
-[ -s "$base" ] || { echo "bench_diff: no such file $base" >&2; exit 2; }
-[ -s "$cur" ] || { echo "bench_diff: no such file $cur" >&2; exit 2; }
-
 # One "name median_ns" pair per record.
 extract() {
   tr '{' '\n' <"$1" | sed -n 's/.*"name":"\([^"]*\)".*"median_ns":\([0-9]*\).*/\1 \2/p'
 }
 
+# A suite present in only one snapshot: report, don't error.
+if [ ! -s "$base" ] && [ ! -s "$cur" ]; then
+  echo "bench_diff: neither $base nor $cur exists" >&2
+  exit 2
+elif [ ! -s "$base" ]; then
+  extract "$cur" | awk '{ printf "ADDED    %-26s %38d ns  (suite not in baseline)\n", $1, $2 }'
+  exit 0
+elif [ ! -s "$cur" ]; then
+  extract "$base" | awk '{ printf "REMOVED  %-26s %38d ns  (suite not in current)\n", $1, $2 }'
+  exit 0
+fi
+
 awk -v pct="$pct" -v basefile="$base" '
-  NR == FNR { base[$1] = $2; next }
+  NR == FNR { base[$1] = $2; order[++n] = $1; next }
   {
     name = $1; now = $2
     if (!(name in base)) {
-      printf "NEW      %-26s %38d ns\n", name, now
+      printf "ADDED    %-26s %38d ns\n", name, now
       next
     }
+    seen[name] = 1
     was = base[name]
     delta = was > 0 ? (now - was) * 100.0 / was : 0
     flag = delta > pct ? "REGRESS" : (delta < -pct ? "IMPROVE" : "ok")
@@ -36,6 +48,9 @@ awk -v pct="$pct" -v basefile="$base" '
     if (delta > pct) bad++
   }
   END {
+    for (i = 1; i <= n; i++)
+      if (!(order[i] in seen))
+        printf "REMOVED  %-26s %38d ns\n", order[i], base[order[i]]
     if (bad > 0) {
       printf "bench_diff: %d benchmark(s) regressed by more than %s%% vs %s\n", bad, pct, basefile
       exit 1

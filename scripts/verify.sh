@@ -54,6 +54,35 @@ for wl in racy-wildcard racy-deadlock; do
   fi
 done
 
+echo "==> metrics smoke: schema keys, cross-jobs digest identity, disabled-path guard"
+rm -rf target/verify_metrics && mkdir -p target/verify_metrics
+./target/release/tracedbg stats ring --procs 4 \
+  --metrics target/verify_metrics/stats.json >/dev/null
+for key in '"version"' '"source"' '"workload"' '"procs"' '"seed"' '"jobs"' \
+    '"event"' '"event_digest"' '"timing"' '"engine"' '"wall_ms"'; do
+  grep -q "$key" target/verify_metrics/stats.json \
+    || { echo "stats metrics report is missing $key" >&2; exit 1; }
+done
+# Event-derived counters must be byte-identical across worker counts.
+for jobs in 1 4; do
+  ./target/release/tracedbg explore racy-wildcard --procs 3 --runs 48 --seed 7 \
+    --jobs "$jobs" --metrics "target/verify_metrics/m${jobs}.json" \
+    --out "target/verify_metrics/art${jobs}" >/dev/null || true
+done
+d1=$(grep -o '"event_digest":"[^"]*"' target/verify_metrics/m1.json)
+d4=$(grep -o '"event_digest":"[^"]*"' target/verify_metrics/m4.json)
+if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
+  echo "metrics event_digest diverged across --jobs: '$d1' vs '$d4'" >&2
+  exit 1
+fi
+# Disabled path: explore without --metrics must not write a report file.
+./target/release/tracedbg explore racy-wildcard --procs 3 --runs 48 --seed 7 \
+  --out target/verify_metrics/plain >/dev/null || true
+if [ -e target/verify_metrics/plain/metrics.json ]; then
+  echo "explore wrote metrics.json without --metrics" >&2
+  exit 1
+fi
+
 echo "==> checkpoint smoke: undo twice via checkpoints matches from-scratch replay"
 ckpt_undo_script() {
   ./target/release/tracedbg debug ring --procs 4 --checkpoint-every "$1" \
@@ -87,9 +116,16 @@ for suite in parse replay checkpoint explore; do
     grep -q "$key" "$f" || { echo "$f is missing $key" >&2; exit 1; }
   done
 done
-# bench_diff sanity: a file diffed against itself reports no regressions.
+# bench_diff sanity: a file diffed against itself reports no regressions,
+# and a suite present in only one snapshot reports ADDED/REMOVED, exit 0.
 ./scripts/bench_diff.sh target/verify_bench/BENCH_parse.json \
   target/verify_bench/BENCH_parse.json >/dev/null \
   || { echo "bench_diff.sh flagged a self-diff" >&2; exit 1; }
+./scripts/bench_diff.sh /dev/null target/verify_bench/BENCH_parse.json \
+  | grep -q '^ADDED' \
+  || { echo "bench_diff.sh mishandled a suite with no baseline" >&2; exit 1; }
+./scripts/bench_diff.sh target/verify_bench/BENCH_parse.json /dev/null \
+  | grep -q '^REMOVED' \
+  || { echo "bench_diff.sh mishandled a removed suite" >&2; exit 1; }
 
 echo "verify: OK"
