@@ -1,0 +1,682 @@
+//! The static communication graph: every send/recv/barrier site each rank
+//! can reach, with peer values abstracted into a small lattice.
+//!
+//! The walker mirrors the abstract interpreter in
+//! `crates/lint/src/script_rules.rs` but strengthens it where soundness
+//! matters for may-matching: loops with unknown or oversized bounds are
+//! iterated to an *environment fixpoint* (variables assigned in the body
+//! widen to unknown) instead of being walked once, so a value that changes
+//! across iterations can never masquerade as a constant peer. Environment
+//! facts are must-facts — a variable is either known to hold one value on
+//! every path reaching a statement, or it is unknown — which is what makes
+//! pruning a decidable branch sound.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tracedbg_workloads::script::{Cond, Expr, Script, Stmt, StmtKind};
+
+pub(crate) const STEP_CAP: usize = 100_000;
+const LOOP_CAP: i64 = 4096;
+const DEPTH_CAP: usize = 32;
+/// Peer sets wider than this collapse to ⊤.
+const PEERS_CAP: usize = 64;
+/// Widening converges in at most one step per body-assigned variable; this
+/// cap is a safety net, and tripping it degrades to `complete = false`.
+const WIDEN_CAP: usize = 24;
+
+/// A lattice over i64 values: either a finite set or ⊤ (any value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Peers {
+    /// ⊤ — any value is possible (wildcards, untracked expressions).
+    Top,
+    /// A finite set of possible values.
+    Set(BTreeSet<i64>),
+}
+
+impl Peers {
+    pub fn empty() -> Self {
+        Peers::Set(BTreeSet::new())
+    }
+
+    pub fn is_top(&self) -> bool {
+        matches!(self, Peers::Top)
+    }
+
+    /// Join one abstract value into the set; `None` (untracked) is ⊤.
+    pub fn join_value(&mut self, v: Option<i64>) {
+        match (&mut *self, v) {
+            (Peers::Top, _) => {}
+            (_, None) => *self = Peers::Top,
+            (Peers::Set(set), Some(v)) => {
+                set.insert(v);
+                if set.len() > PEERS_CAP {
+                    *self = Peers::Top;
+                }
+            }
+        }
+    }
+
+    pub fn contains(&self, v: i64) -> bool {
+        match self {
+            Peers::Top => true,
+            Peers::Set(set) => set.contains(&v),
+        }
+    }
+
+    /// Render for reports: `*` for ⊤, else a comma-joined value list.
+    pub fn render(&self) -> String {
+        match self {
+            Peers::Top => "*".to_string(),
+            Peers::Set(set) => set
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        }
+    }
+}
+
+/// The abstract operation performed at one source site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SiteOp {
+    Send {
+        dst: Peers,
+        tag: i32,
+    },
+    Recv {
+        src: Peers,
+        tag: Option<i32>,
+        /// True for a syntactic `recv from any`.
+        wildcard: bool,
+    },
+    Barrier,
+}
+
+impl SiteOp {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SiteOp::Send { .. } => "send",
+            SiteOp::Recv { .. } => "recv",
+            SiteOp::Barrier => "barrier",
+        }
+    }
+}
+
+/// One communication site: a (rank, source line) pair with joined lattice
+/// values over every abstract visit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommSite {
+    pub rank: usize,
+    pub line: u32,
+    pub func: String,
+    pub op: SiteOp,
+}
+
+/// Which sites can be a rank's *first* communication operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankEntry {
+    /// Candidate first-communication lines (an over-approximation).
+    pub lines: Vec<u32>,
+    /// True when every execution path provably reaches a communication
+    /// operation and `lines` covers all candidates. Only `certain` entries
+    /// feed the static-deadlock fixpoint.
+    pub certain: bool,
+}
+
+/// The per-configuration static communication graph.
+#[derive(Clone, Debug)]
+pub struct CommGraph {
+    pub nprocs: usize,
+    pub file: String,
+    /// All sites, sorted by (rank, line).
+    pub sites: Vec<CommSite>,
+    /// True when the walk covered every reachable site (no step/depth cap
+    /// hit, widening converged). May-match soundness requires only this.
+    pub complete: bool,
+    /// True when every value was additionally tracked exactly.
+    pub exact: bool,
+    /// Per-rank first-communication analysis.
+    pub entry: Vec<RankEntry>,
+    index: HashMap<(usize, u32), usize>,
+}
+
+impl CommGraph {
+    pub fn build(script: &Script, nprocs: usize, file: &str) -> Self {
+        let mut sites = Vec::new();
+        let mut complete = true;
+        let mut exact = true;
+        let mut entry = Vec::with_capacity(nprocs);
+        for rank in 0..nprocs {
+            let mut w = SiteWalker {
+                script,
+                rank,
+                sites: BTreeMap::new(),
+                complete: true,
+                exact: true,
+                steps: 0,
+            };
+            let mut env = seed_env(rank, nprocs);
+            if let Some(main) = script.functions.get("main") {
+                w.walk("main", main, &mut env, 0);
+            }
+            complete &= w.complete;
+            exact &= w.exact;
+            sites.extend(w.sites.into_values());
+
+            let mut scan = EntryScan { script, steps: 0 };
+            let mut found = BTreeSet::new();
+            let outcome = match script.functions.get("main") {
+                Some(main) => scan.scan(main, &mut seed_env(rank, nprocs), 0, &mut found),
+                None => EntryOutcome::FallThrough,
+            };
+            entry.push(RankEntry {
+                lines: found.into_iter().collect(),
+                certain: outcome == EntryOutcome::Comm,
+            });
+        }
+        let index = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.rank, s.line), i))
+            .collect();
+        CommGraph {
+            nprocs,
+            file: file.to_string(),
+            sites,
+            complete,
+            exact,
+            entry,
+            index,
+        }
+    }
+
+    /// Index of the site at (rank, line), if the analysis saw one.
+    pub fn site_at(&self, rank: usize, line: u32) -> Option<usize> {
+        self.index.get(&(rank, line)).copied()
+    }
+}
+
+// ------------------------------------------------ abstract interpretation
+
+type Env = HashMap<String, Option<i64>>;
+
+fn seed_env(rank: usize, nprocs: usize) -> Env {
+    let mut env = Env::new();
+    env.insert("rank".to_string(), Some(rank as i64));
+    env.insert("nprocs".to_string(), Some(nprocs as i64));
+    env
+}
+
+fn eval(env: &Env, e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(n) => Some(*n),
+        Expr::Var(name) => env.get(name).copied().flatten(),
+        Expr::Add(a, b) => Some(eval(env, a)?.wrapping_add(eval(env, b)?)),
+        Expr::Sub(a, b) => Some(eval(env, a)?.wrapping_sub(eval(env, b)?)),
+        Expr::Mul(a, b) => Some(eval(env, a)?.wrapping_mul(eval(env, b)?)),
+        Expr::Mod(a, b) => {
+            let (a, b) = (eval(env, a)?, eval(env, b)?);
+            (b != 0).then(|| a.rem_euclid(b))
+        }
+    }
+}
+
+fn eval_cond(env: &Env, c: &Cond) -> Option<bool> {
+    let (a, b) = match c {
+        Cond::Eq(a, b) | Cond::Ne(a, b) | Cond::Lt(a, b) => (eval(env, a)?, eval(env, b)?),
+    };
+    Some(match c {
+        Cond::Eq(..) => a == b,
+        Cond::Ne(..) => a != b,
+        Cond::Lt(..) => a < b,
+    })
+}
+
+/// Join environments from two paths: variables that disagree widen to
+/// unknown, so surviving facts hold on *every* path.
+fn merge_env(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for (k, &va) in a {
+        let vb = b.get(k).copied().flatten();
+        out.insert(k.clone(), if va == vb { va } else { None });
+    }
+    for (k, _) in b.iter() {
+        out.entry(k.clone()).or_insert(None);
+    }
+    out
+}
+
+fn loop_is_enumerable(lo: i64, hi: i64) -> bool {
+    (hi as i128 - lo as i128) <= LOOP_CAP as i128
+}
+
+struct SiteWalker<'a> {
+    script: &'a Script,
+    rank: usize,
+    sites: BTreeMap<u32, CommSite>,
+    complete: bool,
+    exact: bool,
+    steps: usize,
+}
+
+impl<'a> SiteWalker<'a> {
+    fn record(&mut self, line: u32, func: &str, op: SiteOp) {
+        match self.sites.entry(line) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(CommSite {
+                    rank: self.rank,
+                    line,
+                    func: func.to_string(),
+                    op,
+                });
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                // Same source line revisited (loop iteration / other path):
+                // join the lattice values.
+                match (&mut e.get_mut().op, op) {
+                    (SiteOp::Send { dst, .. }, SiteOp::Send { dst: new, .. }) => match new {
+                        Peers::Top => *dst = Peers::Top,
+                        Peers::Set(vals) => {
+                            for v in vals {
+                                dst.join_value(Some(v));
+                            }
+                        }
+                    },
+                    (SiteOp::Recv { src, .. }, SiteOp::Recv { src: new, .. }) => match new {
+                        Peers::Top => *src = Peers::Top,
+                        Peers::Set(vals) => {
+                            for v in vals {
+                                src.join_value(Some(v));
+                            }
+                        }
+                    },
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn walk(&mut self, func: &str, stmts: &[Stmt], env: &mut Env, depth: usize) {
+        for s in stmts {
+            self.steps += 1;
+            if self.steps > STEP_CAP {
+                self.complete = false;
+                self.exact = false;
+                return;
+            }
+            match &s.kind {
+                StmtKind::Let { var, value } => {
+                    let v = eval(env, value);
+                    env.insert(var.clone(), v);
+                }
+                StmtKind::Compute { .. } | StmtKind::Trace { .. } => {}
+                StmtKind::Send { dst, tag, .. } => {
+                    let v = eval(env, dst);
+                    if v.is_none() {
+                        self.exact = false;
+                    }
+                    let mut peers = Peers::empty();
+                    peers.join_value(v);
+                    self.record(
+                        s.line,
+                        func,
+                        SiteOp::Send {
+                            dst: peers,
+                            tag: *tag,
+                        },
+                    );
+                }
+                StmtKind::Recv { src, tag, var } => {
+                    let (peers, wildcard) = match src {
+                        None => (Peers::Top, true),
+                        Some(e) => {
+                            let v = eval(env, e);
+                            if v.is_none() {
+                                self.exact = false;
+                            }
+                            let mut p = Peers::empty();
+                            p.join_value(v);
+                            (p, false)
+                        }
+                    };
+                    self.record(
+                        s.line,
+                        func,
+                        SiteOp::Recv {
+                            src: peers,
+                            tag: *tag,
+                            wildcard,
+                        },
+                    );
+                    // The payload and observed sender are data-dependent.
+                    env.insert(var.clone(), None);
+                    env.insert(format!("{var}_src"), None);
+                }
+                StmtKind::Call { func: callee } => {
+                    if depth >= DEPTH_CAP {
+                        // The callee's sites are not collected.
+                        self.complete = false;
+                        self.exact = false;
+                        continue;
+                    }
+                    if let Some(body) = self.script.functions.get(callee) {
+                        self.walk(callee, body, env, depth + 1);
+                    }
+                    // Undefined callee: the runtime aborts here, so any
+                    // sites we collect past this point over-approximate.
+                }
+                StmtKind::Loop {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => match (eval(env, from), eval(env, to)) {
+                    (Some(lo), Some(hi)) if loop_is_enumerable(lo, hi) => {
+                        for i in lo..hi {
+                            env.insert(var.clone(), Some(i));
+                            self.walk(func, body, env, depth);
+                            if self.steps > STEP_CAP {
+                                self.complete = false;
+                                self.exact = false;
+                                return;
+                            }
+                        }
+                    }
+                    _ => {
+                        // Unknown or oversized bounds: widen body-assigned
+                        // variables to a fixpoint, then walk once more so
+                        // every site's lattice is joined under an
+                        // environment that over-approximates all
+                        // iterations.
+                        self.exact = false;
+                        let mut cur = env.clone();
+                        cur.insert(var.clone(), None);
+                        let mut converged = false;
+                        for _ in 0..WIDEN_CAP {
+                            let mut probe = cur.clone();
+                            self.walk(func, body, &mut probe, depth);
+                            if self.steps > STEP_CAP {
+                                return;
+                            }
+                            let widened = merge_env(&cur, &probe);
+                            if widened == cur {
+                                converged = true;
+                                break;
+                            }
+                            cur = widened;
+                        }
+                        if !converged {
+                            self.complete = false;
+                        }
+                        *env = merge_env(env, &cur);
+                    }
+                },
+                StmtKind::If { cond, then, els } => match eval_cond(env, cond) {
+                    Some(true) => self.walk(func, then, env, depth),
+                    Some(false) => self.walk(func, els, env, depth),
+                    None => {
+                        self.exact = false;
+                        let mut then_env = env.clone();
+                        let mut els_env = env.clone();
+                        self.walk(func, then, &mut then_env, depth);
+                        self.walk(func, els, &mut els_env, depth);
+                        *env = merge_env(&then_env, &els_env);
+                    }
+                },
+                StmtKind::Barrier => {
+                    self.record(s.line, func, SiteOp::Barrier);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- entry (first-comm) scan
+
+/// What a statement sequence does before its first communication op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EntryOutcome {
+    /// Every path performs a communication op inside the sequence.
+    Comm,
+    /// Some path may reach the end without communicating.
+    FallThrough,
+    /// The scan gave up (caps, undefined call); the rank must not be
+    /// trusted by the deadlock fixpoint.
+    Opaque,
+}
+
+struct EntryScan<'a> {
+    script: &'a Script,
+    steps: usize,
+}
+
+impl<'a> EntryScan<'a> {
+    fn scan(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        depth: usize,
+        found: &mut BTreeSet<u32>,
+    ) -> EntryOutcome {
+        use EntryOutcome::*;
+        for s in stmts {
+            self.steps += 1;
+            if self.steps > STEP_CAP {
+                return Opaque;
+            }
+            match &s.kind {
+                StmtKind::Let { var, value } => {
+                    let v = eval(env, value);
+                    env.insert(var.clone(), v);
+                }
+                StmtKind::Compute { .. } | StmtKind::Trace { .. } => {}
+                StmtKind::Send { .. } | StmtKind::Recv { .. } | StmtKind::Barrier => {
+                    found.insert(s.line);
+                    return Comm;
+                }
+                StmtKind::Call { func: callee } => {
+                    if depth >= DEPTH_CAP {
+                        return Opaque;
+                    }
+                    match self.script.functions.get(callee) {
+                        // An undefined callee aborts the runtime; treat the
+                        // whole rank as opaque rather than guess.
+                        None => return Opaque,
+                        Some(body) => match self.scan(body, env, depth + 1, found) {
+                            Comm => return Comm,
+                            Opaque => return Opaque,
+                            FallThrough => {}
+                        },
+                    }
+                }
+                StmtKind::Loop {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => match (eval(env, from), eval(env, to)) {
+                    (Some(lo), Some(hi)) if loop_is_enumerable(lo, hi) => {
+                        let mut stopped = None;
+                        for i in lo..hi {
+                            env.insert(var.clone(), Some(i));
+                            match self.scan(body, env, depth, found) {
+                                Comm => {
+                                    stopped = Some(Comm);
+                                    break;
+                                }
+                                Opaque => {
+                                    stopped = Some(Opaque);
+                                    break;
+                                }
+                                FallThrough => {}
+                            }
+                            if self.steps > STEP_CAP {
+                                stopped = Some(Opaque);
+                                break;
+                            }
+                        }
+                        if let Some(o) = stopped {
+                            return o;
+                        }
+                    }
+                    _ => {
+                        // The loop may run zero times, so it can never
+                        // *prove* a communication; widen and collect
+                        // candidates from the body.
+                        let mut cur = env.clone();
+                        cur.insert(var.clone(), None);
+                        let mut converged = false;
+                        for _ in 0..WIDEN_CAP {
+                            let mut probe = cur.clone();
+                            match self.scan(body, &mut probe, depth, found) {
+                                Opaque => return Opaque,
+                                // Paths that communicated never fall
+                                // through; only fall-through environments
+                                // feed the continuation.
+                                Comm => probe = cur.clone(),
+                                FallThrough => {}
+                            }
+                            let widened = merge_env(&cur, &probe);
+                            if widened == cur {
+                                converged = true;
+                                break;
+                            }
+                            cur = widened;
+                        }
+                        if !converged {
+                            return Opaque;
+                        }
+                        *env = merge_env(env, &cur);
+                    }
+                },
+                StmtKind::If { cond, then, els } => match eval_cond(env, cond) {
+                    Some(true) => match self.scan(then, env, depth, found) {
+                        Comm => return Comm,
+                        Opaque => return Opaque,
+                        FallThrough => {}
+                    },
+                    Some(false) => match self.scan(els, env, depth, found) {
+                        Comm => return Comm,
+                        Opaque => return Opaque,
+                        FallThrough => {}
+                    },
+                    None => {
+                        let mut then_env = env.clone();
+                        let mut els_env = env.clone();
+                        let t = self.scan(then, &mut then_env, depth, found);
+                        let e = self.scan(els, &mut els_env, depth, found);
+                        match (t, e) {
+                            (Opaque, _) | (_, Opaque) => return Opaque,
+                            (Comm, Comm) => return Comm,
+                            // Only the branch that can fall through feeds
+                            // the continuation environment.
+                            (Comm, FallThrough) => *env = els_env,
+                            (FallThrough, Comm) => *env = then_env,
+                            (FallThrough, FallThrough) => *env = merge_env(&then_env, &els_env),
+                        }
+                    }
+                },
+            }
+        }
+        FallThrough
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_workloads::script::parse;
+
+    fn graph(src: &str, nprocs: usize) -> CommGraph {
+        CommGraph::build(&parse(src).expect("parse"), nprocs, "test.sdl")
+    }
+
+    #[test]
+    fn collects_sites_with_known_peers() {
+        let g = graph(
+            "fn main\n  if rank == 0\n    send 1 tag 5 7\n  else\n    recv from 0 tag 5 into x\n  end\nend\n",
+            2,
+        );
+        assert!(g.complete && g.exact);
+        assert_eq!(g.sites.len(), 2);
+        let send = &g.sites[g.site_at(0, 3).unwrap()];
+        match &send.op {
+            SiteOp::Send { dst, tag } => {
+                assert_eq!(*tag, 5);
+                assert!(dst.contains(1) && !dst.contains(0));
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_carried_values_widen_to_top() {
+        // `x` changes every iteration of a loop with unknown bounds; a
+        // single-pass walker would report dst = {1}, which is unsound.
+        let src = "fn main\n  recv from any tag 1 into n\n  let x = 1\n  loop i 0 n\n    send x tag 2 0\n    let x = x + 1\n  end\nend\n";
+        let g = graph(src, 4);
+        assert!(g.complete);
+        assert!(!g.exact);
+        let send = &g.sites[g.site_at(0, 5).unwrap()];
+        match &send.op {
+            SiteOp::Send { dst, .. } => assert!(dst.is_top(), "got {dst:?}"),
+            other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enumerable_loops_stay_exact() {
+        let g = graph("fn main\n  loop i 0 3\n    send i tag 9 0\n  end\nend\n", 4);
+        assert!(g.complete && g.exact);
+        let send = &g.sites[g.site_at(0, 3).unwrap()];
+        match &send.op {
+            SiteOp::Send { dst, .. } => {
+                assert!(dst.contains(0) && dst.contains(1) && dst.contains(2));
+                assert!(!dst.contains(3));
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_analysis_tracks_first_comm() {
+        let g = graph(
+            "fn main\n  if rank == 0\n    send 1 tag 5 7\n  else\n    recv from 0 tag 5 into x\n  end\nend\n",
+            2,
+        );
+        assert!(g.entry[0].certain && g.entry[1].certain);
+        assert_eq!(g.entry[0].lines, vec![3]);
+        assert_eq!(g.entry[1].lines, vec![5]);
+    }
+
+    #[test]
+    fn entry_is_uncertain_when_a_path_skips_comm() {
+        // rank 1's recv is guarded by a data-dependent condition.
+        let src = "fn main\n  if rank == 0\n    send 1 tag 5 7\n    recv from 1 tag 6 into a\n  else\n    recv from 0 tag 5 into x\n    if x < 3\n      send 0 tag 6 1\n    end\n  end\nend\n";
+        let g = graph(src, 2);
+        assert!(g.entry[0].certain);
+        // First comm of rank 1 is still certain (the unconditional recv)…
+        assert!(g.entry[1].certain);
+        assert_eq!(g.entry[1].lines, vec![6]);
+    }
+
+    #[test]
+    fn unknown_loop_entries_fall_through() {
+        let src = "fn main\n  recv from any tag 1 into n\n  loop i 0 n\n    barrier\n  end\nend\n";
+        let g = graph(src, 2);
+        // First comm is the unconditional recv; certain.
+        assert!(g.entry[0].certain);
+        assert_eq!(g.entry[0].lines, vec![2]);
+    }
+
+    #[test]
+    fn peers_lattice_joins_and_caps() {
+        let mut p = Peers::empty();
+        p.join_value(Some(3));
+        p.join_value(Some(5));
+        assert!(p.contains(3) && p.contains(5) && !p.contains(4));
+        assert_eq!(p.render(), "3,5");
+        p.join_value(None);
+        assert!(p.is_top() && p.contains(i64::MIN));
+        assert_eq!(p.render(), "*");
+    }
+}

@@ -1,0 +1,286 @@
+//! The may-match relation and the independence facts derived from it.
+//!
+//! May-match is a sound over-approximation: if the engine can ever match a
+//! message sent from site *s* to a receive at site *r* — under any
+//! schedule, any fault plan — then `(s, r)` is in the relation. The
+//! over-approximation direction is the safe one everywhere this is
+//! consumed: lints only report sites with *no* partner, and the explorer
+//! only treats decisions as commuting when the relation proves their ranks
+//! can never interact.
+
+use crate::graph::{CommGraph, SiteOp};
+use std::collections::{BTreeMap, BTreeSet};
+use tracedbg_trace::Decision;
+
+/// All (send site, recv site) pairs that could match dynamically, as
+/// indices into [`CommGraph::sites`].
+#[derive(Clone, Debug)]
+pub struct MayMatch {
+    /// Sorted (send index, recv index) pairs.
+    pub pairs: Vec<(usize, usize)>,
+    /// Per-site partner count (0 for barriers).
+    pub partners: Vec<usize>,
+    /// Per-recv-site set of ranks with a send site that may feed it.
+    pub recv_senders: BTreeMap<usize, BTreeSet<usize>>,
+    /// comm[src * nprocs + dst]: some send of `src` may match a recv of
+    /// `dst`.
+    comm: Vec<bool>,
+    nprocs: usize,
+}
+
+impl MayMatch {
+    pub fn build(graph: &CommGraph) -> Self {
+        let n = graph.nprocs;
+        let mut pairs = Vec::new();
+        let mut partners = vec![0usize; graph.sites.len()];
+        let mut recv_senders: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let mut comm = vec![false; n * n];
+        for (si, s) in graph.sites.iter().enumerate() {
+            let SiteOp::Send { dst, tag } = &s.op else {
+                continue;
+            };
+            for (ri, r) in graph.sites.iter().enumerate() {
+                let SiteOp::Recv { src, tag: rtag, .. } = &r.op else {
+                    continue;
+                };
+                if !dst.contains(r.rank as i64) || !src.contains(s.rank as i64) {
+                    continue;
+                }
+                if let Some(rt) = rtag {
+                    if rt != tag {
+                        continue;
+                    }
+                }
+                pairs.push((si, ri));
+                partners[si] += 1;
+                partners[ri] += 1;
+                recv_senders.entry(ri).or_default().insert(s.rank);
+                comm[s.rank * n + r.rank] = true;
+            }
+        }
+        MayMatch {
+            pairs,
+            partners,
+            recv_senders,
+            comm,
+            nprocs: n,
+        }
+    }
+
+    /// Can some send of `src` match some recv of `dst`?
+    pub fn rank_may_comm(&self, src: usize, dst: usize) -> bool {
+        src < self.nprocs && dst < self.nprocs && self.comm[src * self.nprocs + dst]
+    }
+
+    pub fn contains(&self, send_idx: usize, recv_idx: usize) -> bool {
+        self.pairs.binary_search(&(send_idx, recv_idx)).is_ok()
+    }
+}
+
+/// Rank-level commutativity facts for the explorer's sleep sets.
+///
+/// Two ranks are *independent* when the analysis proves no send of either
+/// may match a recv of the other, no third rank has a receive site both
+/// may feed (a wildcard funnel orders their messages), and no barrier
+/// synchronizes them. Decisions commute when every rank of one is
+/// independent of every rank of the other. When the communication graph is
+/// not `complete` (or any barrier exists) no fact is emitted — absence of
+/// facts degrades to the full search, never to an unsound pruning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndependenceFacts {
+    nprocs: usize,
+    /// indep[a * nprocs + b]: a and b proven independent.
+    indep: Vec<bool>,
+}
+
+impl IndependenceFacts {
+    /// No facts: every pair of decisions is treated as dependent.
+    pub fn none(nprocs: usize) -> Self {
+        IndependenceFacts {
+            nprocs,
+            indep: vec![false; nprocs * nprocs],
+        }
+    }
+
+    pub fn build(graph: &CommGraph, mm: &MayMatch) -> Self {
+        let n = graph.nprocs;
+        if !graph.complete {
+            return Self::none(n);
+        }
+        // A barrier synchronizes every rank that reaches it; rather than
+        // reason about which ranks those are, give up on independence for
+        // barrier-bearing programs.
+        if graph.sites.iter().any(|s| matches!(s.op, SiteOp::Barrier)) {
+            return Self::none(n);
+        }
+        let mut dep = vec![false; n * n];
+        for &(si, ri) in &mm.pairs {
+            let a = graph.sites[si].rank;
+            let b = graph.sites[ri].rank;
+            dep[a * n + b] = true;
+            dep[b * n + a] = true;
+        }
+        // Wildcard funnel: two senders feeding the same receive site race
+        // for it, so their relative order is observable.
+        for senders in mm.recv_senders.values() {
+            for &a in senders {
+                for &b in senders {
+                    if a != b {
+                        dep[a * n + b] = true;
+                        dep[b * n + a] = true;
+                    }
+                }
+            }
+        }
+        let mut indep = vec![false; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                indep[a * n + b] = a != b && !dep[a * n + b];
+            }
+        }
+        IndependenceFacts { nprocs: n, indep }
+    }
+
+    pub fn rank_independent(&self, a: usize, b: usize) -> bool {
+        a != b && a < self.nprocs && b < self.nprocs && self.indep[a * self.nprocs + b]
+    }
+
+    /// Number of unordered rank pairs proven independent.
+    pub fn pair_count(&self) -> u64 {
+        let mut count = 0;
+        for a in 0..self.nprocs {
+            for b in a + 1..self.nprocs {
+                if self.indep[a * self.nprocs + b] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Unordered independent rank pairs, for reports.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.nprocs {
+            for b in a + 1..self.nprocs {
+                if self.indep[a * self.nprocs + b] {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Do two scheduling decisions provably commute?
+    pub fn independent(&self, x: &Decision, y: &Decision) -> bool {
+        let (xr, xn) = decision_ranks(x);
+        let (yr, yn) = decision_ranks(y);
+        for &a in &xr[..xn] {
+            for &b in &yr[..yn] {
+                if !self.rank_independent(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn decision_ranks(d: &Decision) -> ([usize; 2], usize) {
+    match d {
+        Decision::Turn { rank } => ([rank.0 as usize, 0], 1),
+        Decision::Match { dst, src, .. } => ([dst.0 as usize, src.0 as usize], 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::Rank;
+    use tracedbg_workloads::script::parse;
+
+    fn analysis(src: &str, nprocs: usize) -> (CommGraph, MayMatch, IndependenceFacts) {
+        let g = CommGraph::build(&parse(src).expect("parse"), nprocs, "test.sdl");
+        let mm = MayMatch::build(&g);
+        let facts = IndependenceFacts::build(&g, &mm);
+        (g, mm, facts)
+    }
+
+    const PAIRED: &str = "fn main\n  let partner = ( rank + 1 ) - ( ( rank % 2 ) * 2 )\n  if ( rank % 2 ) == 0\n    send partner tag 1 rank\n  else\n    recv from partner tag 1 into x\n  end\nend\n";
+
+    #[test]
+    fn disjoint_pairs_are_independent() {
+        let (_, mm, facts) = analysis(PAIRED, 4);
+        assert!(mm.rank_may_comm(0, 1) && mm.rank_may_comm(2, 3));
+        assert!(!mm.rank_may_comm(0, 3));
+        assert!(facts.rank_independent(0, 2));
+        assert!(facts.rank_independent(1, 3));
+        assert!(!facts.rank_independent(0, 1));
+        assert_eq!(facts.pair_count(), 4); // (0,2) (0,3) (1,2) (1,3)
+    }
+
+    #[test]
+    fn wildcard_funnel_makes_senders_dependent() {
+        let src = "fn main\n  if rank == 0\n    recv from any tag 1 into x\n    recv from any tag 1 into y\n  else\n    send 0 tag 1 rank\n  end\nend\n";
+        let (_, mm, facts) = analysis(src, 3);
+        assert!(mm.rank_may_comm(1, 0) && mm.rank_may_comm(2, 0));
+        // Ranks 1 and 2 never message each other, but both race for the
+        // master's wildcard receives.
+        assert!(!mm.rank_may_comm(1, 2) && !mm.rank_may_comm(2, 1));
+        assert!(!facts.rank_independent(1, 2));
+        assert_eq!(facts.pair_count(), 0);
+    }
+
+    #[test]
+    fn barriers_suppress_all_facts() {
+        let src = "fn main\n  barrier\nend\n";
+        let (_, _, facts) = analysis(src, 4);
+        assert_eq!(facts.pair_count(), 0);
+    }
+
+    #[test]
+    fn incomplete_graphs_yield_no_facts() {
+        let facts = IndependenceFacts::none(3);
+        assert!(!facts.rank_independent(0, 2));
+        assert_eq!(facts.pair_count(), 0);
+    }
+
+    #[test]
+    fn decision_independence_uses_all_involved_ranks() {
+        let (_, _, facts) = analysis(PAIRED, 4);
+        let t0 = Decision::Turn { rank: Rank(0) };
+        let t2 = Decision::Turn { rank: Rank(2) };
+        let m01 = Decision::Match {
+            dst: Rank(1),
+            src: Rank(0),
+            seq: 0,
+        };
+        let m23 = Decision::Match {
+            dst: Rank(3),
+            src: Rank(2),
+            seq: 0,
+        };
+        assert!(facts.independent(&t0, &t2));
+        assert!(facts.independent(&m01, &m23));
+        assert!(!facts.independent(&t0, &m01));
+        assert!(!facts.independent(&t0, &t0));
+        assert!(!facts.independent(&m01, &m01));
+    }
+
+    #[test]
+    fn tag_mismatch_excludes_pairs() {
+        let src = "fn main\n  if rank == 0\n    send 1 tag 1 7\n  else\n    recv from 0 tag 2 into x\n  end\nend\n";
+        let (_, mm, _) = analysis(src, 2);
+        assert!(mm.pairs.is_empty());
+        assert!(!mm.rank_may_comm(0, 1));
+    }
+
+    #[test]
+    fn untagged_recv_matches_any_tag() {
+        let src = "fn main\n  if rank == 0\n    send 1 tag 1 7\n  else\n    recv from 0 into x\n  end\nend\n";
+        let (g, mm, _) = analysis(src, 2);
+        let si = g.site_at(0, 3).unwrap();
+        let ri = g.site_at(1, 5).unwrap();
+        assert!(mm.contains(si, ri));
+    }
+}

@@ -1,0 +1,343 @@
+//! Static communication analysis over workload scripts.
+//!
+//! Whole-program reasoning for the same SDL surface the script lints walk:
+//! a per-rank communication graph with peer/tag lattice values, a sound
+//! may-match over-approximation of every dynamic send/recv match, and
+//! rank-level independence facts the explorer's sleep sets consume to skip
+//! interleavings that only permute commuting decisions (see DESIGN.md
+//! §11).
+
+pub mod graph;
+pub mod independence;
+
+pub use graph::{CommGraph, CommSite, Peers, RankEntry, SiteOp};
+pub use independence::{IndependenceFacts, MayMatch};
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use tracedbg_workloads::script::Script;
+
+/// The full analysis result for one (script, nprocs) configuration.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    pub graph: CommGraph,
+    pub may_match: MayMatch,
+    pub independence: IndependenceFacts,
+}
+
+/// Analyze a script as executed SPMD by `nprocs` ranks. `file` labels the
+/// sites, and must equal the file string the engine's site table records
+/// for trace-side consumers to correlate.
+pub fn analyze(script: &Script, nprocs: usize, file: &str) -> Analysis {
+    let graph = CommGraph::build(script, nprocs, file);
+    let may_match = MayMatch::build(&graph);
+    let independence = IndependenceFacts::build(&graph, &may_match);
+    Analysis {
+        graph,
+        may_match,
+        independence,
+    }
+}
+
+impl Analysis {
+    /// Can a send at (send_rank, send_line) ever match a recv at
+    /// (recv_rank, recv_line)? Unknown sites answer `false`.
+    pub fn may_match_lines(
+        &self,
+        send_rank: usize,
+        send_line: u32,
+        recv_rank: usize,
+        recv_line: u32,
+    ) -> bool {
+        match (
+            self.graph.site_at(send_rank, send_line),
+            self.graph.site_at(recv_rank, recv_line),
+        ) {
+            (Some(si), Some(ri)) => self.may_match.contains(si, ri),
+            _ => false,
+        }
+    }
+
+    /// Ranks provably deadlocked at startup: a non-empty set B where every
+    /// rank in B must receive before it can do anything else, and every
+    /// possible sender for each of those receives is itself in B. Sound —
+    /// only `certain` entry analyses over a `complete` graph participate.
+    pub fn deadlocked_ranks(&self) -> Vec<usize> {
+        if !self.graph.complete {
+            return Vec::new();
+        }
+        let mut blocked: Vec<usize> = (0..self.graph.nprocs)
+            .filter(|&r| {
+                let e = &self.graph.entry[r];
+                e.certain
+                    && !e.lines.is_empty()
+                    && e.lines.iter().all(|&line| {
+                        self.graph
+                            .site_at(r, line)
+                            .map(|i| matches!(self.graph.sites[i].op, SiteOp::Recv { .. }))
+                            .unwrap_or(false)
+                    })
+            })
+            .collect();
+        loop {
+            let snapshot = blocked.clone();
+            let before = blocked.len();
+            blocked.retain(|&r| {
+                self.graph.entry[r].lines.iter().all(|&line| {
+                    let idx = match self.graph.site_at(r, line) {
+                        Some(i) => i,
+                        None => return false,
+                    };
+                    // Every rank that might feed this entry receive must
+                    // itself be blocked for r to stay blocked.
+                    self.may_match
+                        .recv_senders
+                        .get(&idx)
+                        .map(|senders| senders.iter().all(|s| snapshot.contains(s)))
+                        .unwrap_or(true) // no sender at all: never matched
+                })
+            });
+            if blocked.len() == before {
+                break;
+            }
+        }
+        blocked
+    }
+
+    /// Ranks whose send sites may feed the recv site at `recv_idx`.
+    pub fn senders_of(&self, recv_idx: usize) -> Vec<usize> {
+        self.may_match
+            .recv_senders
+            .get(&recv_idx)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    pub fn to_json(&self, workload: &str) -> String {
+        #[derive(Serialize)]
+        struct SiteJson {
+            rank: usize,
+            line: u32,
+            func: String,
+            op: &'static str,
+            peers: String,
+            tag: Option<i32>,
+            wildcard: bool,
+            partners: usize,
+        }
+        #[derive(Serialize)]
+        struct PairJson {
+            send_rank: usize,
+            send_line: u32,
+            recv_rank: usize,
+            recv_line: u32,
+        }
+        #[derive(Serialize)]
+        struct RankPair {
+            a: usize,
+            b: usize,
+        }
+        #[derive(Serialize)]
+        struct EntryJson {
+            rank: usize,
+            lines: Vec<u32>,
+            certain: bool,
+        }
+        #[derive(Serialize)]
+        struct Report {
+            workload: String,
+            file: String,
+            nprocs: usize,
+            complete: bool,
+            exact: bool,
+            sites: Vec<SiteJson>,
+            may_match: Vec<PairJson>,
+            independent_rank_pairs: Vec<RankPair>,
+            independence_pairs: u64,
+            wildcard_sites: usize,
+            entry: Vec<EntryJson>,
+            deadlocked_ranks: Vec<usize>,
+        }
+        let sites: Vec<SiteJson> = self
+            .graph
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (peers, tag, wildcard) = match &s.op {
+                    SiteOp::Send { dst, tag } => (dst.render(), Some(*tag), false),
+                    SiteOp::Recv { src, tag, wildcard } => (src.render(), *tag, *wildcard),
+                    SiteOp::Barrier => (String::new(), None, false),
+                };
+                SiteJson {
+                    rank: s.rank,
+                    line: s.line,
+                    func: s.func.clone(),
+                    op: s.op.kind(),
+                    peers,
+                    tag,
+                    wildcard,
+                    partners: self.may_match.partners[i],
+                }
+            })
+            .collect();
+        let wildcard_sites = self
+            .graph
+            .sites
+            .iter()
+            .filter(|s| matches!(s.op, SiteOp::Recv { wildcard: true, .. }))
+            .count();
+        let report = Report {
+            workload: workload.to_string(),
+            file: self.graph.file.clone(),
+            nprocs: self.graph.nprocs,
+            complete: self.graph.complete,
+            exact: self.graph.exact,
+            sites,
+            may_match: self
+                .may_match
+                .pairs
+                .iter()
+                .map(|&(si, ri)| PairJson {
+                    send_rank: self.graph.sites[si].rank,
+                    send_line: self.graph.sites[si].line,
+                    recv_rank: self.graph.sites[ri].rank,
+                    recv_line: self.graph.sites[ri].line,
+                })
+                .collect(),
+            independent_rank_pairs: self
+                .independence
+                .pairs()
+                .into_iter()
+                .map(|(a, b)| RankPair { a, b })
+                .collect(),
+            independence_pairs: self.independence.pair_count(),
+            wildcard_sites,
+            entry: self
+                .graph
+                .entry
+                .iter()
+                .enumerate()
+                .map(|(rank, e)| EntryJson {
+                    rank,
+                    lines: e.lines.clone(),
+                    certain: e.certain,
+                })
+                .collect(),
+            deadlocked_ranks: self.deadlocked_ranks(),
+        };
+        serde_json::to_string(&report).expect("analysis report serializes")
+    }
+
+    /// Graphviz rendering: one cluster per rank, sites as nodes, may-match
+    /// pairs as edges.
+    pub fn to_dot(&self, workload: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph may_match {{");
+        let _ = writeln!(out, "  label=\"{workload}\";");
+        let _ = writeln!(out, "  rankdir=LR;");
+        for rank in 0..self.graph.nprocs {
+            let _ = writeln!(out, "  subgraph cluster_rank{rank} {{");
+            let _ = writeln!(out, "    label=\"rank {rank}\";");
+            for (i, s) in self.graph.sites.iter().enumerate() {
+                if s.rank != rank {
+                    continue;
+                }
+                let desc = match &s.op {
+                    SiteOp::Send { dst, tag } => {
+                        format!("send→{} tag {tag}", dst.render())
+                    }
+                    SiteOp::Recv { src, tag, .. } => match tag {
+                        Some(t) => format!("recv←{} tag {t}", src.render()),
+                        None => format!("recv←{}", src.render()),
+                    },
+                    SiteOp::Barrier => "barrier".to_string(),
+                };
+                let _ = writeln!(out, "    s{i} [label=\"L{}: {desc}\"];", s.line);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for &(si, ri) in &self.may_match.pairs {
+            let _ = writeln!(out, "  s{si} -> s{ri};");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_workloads::script::parse;
+
+    fn run(src: &str, nprocs: usize) -> Analysis {
+        analyze(&parse(src).expect("parse"), nprocs, "test.sdl")
+    }
+
+    /// Head-to-head: both ranks receive first, from each other.
+    const DEADLOCKED: &str = "fn main\n  let peer = 1 - rank\n  recv from peer tag 1 into x\n  send peer tag 1 rank\nend\n";
+
+    #[test]
+    fn head_to_head_recvs_are_statically_deadlocked() {
+        let a = run(DEADLOCKED, 2);
+        assert_eq!(a.deadlocked_ranks(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ring_with_a_kickoff_send_is_not_deadlocked() {
+        // Rank 0 sends first; everyone else receives first but rank 0's
+        // send eventually feeds the chain.
+        let src = "fn main\n  let nxt = ( rank + 1 ) % nprocs\n  let prv = ( rank + nprocs - 1 ) % nprocs\n  if rank == 0\n    send nxt tag 1 0\n    recv from prv tag 1 into x\n  else\n    recv from prv tag 1 into x\n    send nxt tag 1 x\n  end\nend\n";
+        let a = run(src, 4);
+        assert!(a.graph.complete && a.graph.exact);
+        assert!(a.deadlocked_ranks().is_empty());
+    }
+
+    #[test]
+    fn orphan_recv_with_no_sender_is_deadlocked() {
+        let src = "fn main\n  if rank == 0\n    recv from 1 tag 9 into x\n  end\nend\n";
+        let a = run(src, 2);
+        assert_eq!(a.deadlocked_ranks(), vec![0]);
+    }
+
+    #[test]
+    fn may_match_lines_answers_by_location() {
+        let a = run(DEADLOCKED, 2);
+        // send at line 4, recv at line 3, both directions.
+        assert!(a.may_match_lines(0, 4, 1, 3));
+        assert!(a.may_match_lines(1, 4, 0, 3));
+        assert!(!a.may_match_lines(0, 3, 1, 4)); // recv is not a send
+        assert!(!a.may_match_lines(0, 99, 1, 3)); // unknown site
+    }
+
+    #[test]
+    fn json_report_has_schema_keys() {
+        let a = run(DEADLOCKED, 2);
+        let js = a.to_json("test");
+        for key in [
+            "\"workload\"",
+            "\"file\"",
+            "\"nprocs\"",
+            "\"complete\"",
+            "\"exact\"",
+            "\"sites\"",
+            "\"may_match\"",
+            "\"independent_rank_pairs\"",
+            "\"independence_pairs\"",
+            "\"wildcard_sites\"",
+            "\"entry\"",
+            "\"deadlocked_ranks\"",
+        ] {
+            assert!(js.contains(key), "missing {key} in {js}");
+        }
+    }
+
+    #[test]
+    fn dot_report_renders_clusters_and_edges() {
+        let a = run(DEADLOCKED, 2);
+        let dot = a.to_dot("test");
+        assert!(dot.starts_with("digraph may_match {"));
+        assert!(dot.contains("cluster_rank0") && dot.contains("cluster_rank1"));
+        assert!(dot.contains("->"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Soundness of the static analysis: the may-match relation is an
+//! over-approximation of *every* dynamic execution. Whatever the
+//! scheduler does — seeded match races, injected delays, crashes, hangs
+//! — every message the engine actually matches must fall inside the
+//! statically computed may-match relation, and ranks the analysis calls
+//! independent must never exchange a message.
+
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use tracedbg_analysis::analyze;
+use tracedbg_mpsim::{Engine, EngineConfig, FaultPlan, RecorderConfig, SchedPolicy};
+use tracedbg_trace::{Fault, Rank};
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_workloads::script::programs;
+use tracedbg_workloads::scripts::{builtin, builtins};
+
+#[derive(Clone, Debug)]
+struct Case {
+    name: &'static str,
+    nprocs: usize,
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+fn rank_below(rng: &mut TestRng, nprocs: usize) -> Rank {
+    Rank(rng.below(nprocs as u64) as u32)
+}
+
+/// Random case: builtin script, process count near its minimum, seed for
+/// the match-racing scheduler, and 0–2 injected faults (delay/crash/hang)
+/// targeting in-range ranks.
+fn case_strategy() -> impl Strategy<Value = Case> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let b = builtins()[rng.below(builtins().len() as u64) as usize];
+        let nprocs = b.min_procs + rng.below(3) as usize;
+        let seed = rng.next_u64();
+        let faults = (0..rng.below(3))
+            .map(|_| match rng.below(3) {
+                0 => Fault::Delay {
+                    src: rank_below(rng, nprocs),
+                    dst: rank_below(rng, nprocs),
+                    nth: rng.below(3),
+                    extra_ns: (1 + rng.below(4)) * 1_000_000,
+                },
+                1 => Fault::Crash {
+                    rank: rank_below(rng, nprocs),
+                    after_ops: rng.below(8),
+                },
+                _ => Fault::Hang {
+                    rank: rank_below(rng, nprocs),
+                    after_ops: rng.below(8),
+                },
+            })
+            .collect();
+        Case {
+            name: b.name,
+            nprocs,
+            seed,
+            faults,
+        }
+    })
+}
+
+/// Non-vacuity guard for the property below: a fault-free run of every
+/// builtin actually produces matched messages, so the quantifier ranges
+/// over something real.
+#[test]
+fn fault_free_runs_produce_matches() {
+    for b in builtins() {
+        let parsed = b.parse();
+        let mut engine = Engine::launch(
+            EngineConfig {
+                policy: SchedPolicy::Seeded(1),
+                recorder: RecorderConfig::full(),
+                ..Default::default()
+            },
+            programs(&parsed, b.min_procs, &b.file()),
+        );
+        let _ = engine.run();
+        let store = engine.trace_store();
+        let matching = MessageMatching::build(&store);
+        assert!(
+            !matching.matched.is_empty(),
+            "{}: no dynamic matches to check soundness against",
+            b.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dynamic_matches_stay_inside_static_may_match(case in case_strategy()) {
+        tracedbg_mpsim::set_quiet_panics(true);
+        let b = builtin(case.name).unwrap();
+        let parsed = b.parse();
+        let file = b.file();
+        let a = analyze(&parsed, case.nprocs, &file);
+        prop_assert!(a.graph.complete, "builtin scripts analyze completely");
+
+        let mut engine = Engine::launch(
+            EngineConfig {
+                policy: SchedPolicy::Seeded(case.seed),
+                recorder: RecorderConfig::full(),
+                faults: FaultPlan::new(case.faults.clone()),
+                ..Default::default()
+            },
+            programs(&parsed, case.nprocs, &file),
+        );
+        // Faulted/racy runs may panic, deadlock, or complete — soundness
+        // must hold for the matches of *any* outcome.
+        let _ = engine.run();
+        let store = engine.trace_store();
+        let matching = MessageMatching::build(&store);
+
+        for m in &matching.matched {
+            let src = m.info.src.0 as usize;
+            let dst = m.info.dst.0 as usize;
+            let sloc = store.sites().resolve(store.record(m.send).site);
+            let rloc = store.sites().resolve(store.record(m.recv).site);
+            let (Some(sloc), Some(rloc)) = (sloc, rloc) else {
+                prop_assert!(false, "scripted sites always resolve");
+                unreachable!();
+            };
+            prop_assert_eq!(&sloc.file, &a.graph.file);
+            prop_assert_eq!(&rloc.file, &a.graph.file);
+            prop_assert!(
+                a.may_match_lines(src, sloc.line, dst, rloc.line),
+                "{}@{} procs, seed {}, faults {:?}: dynamic match \
+                 {}:{} -> {}:{} escapes the static may-match relation",
+                case.name, case.nprocs, case.seed, case.faults,
+                src, sloc.line, dst, rloc.line,
+            );
+            prop_assert!(
+                a.may_match.rank_may_comm(src, dst),
+                "{}: ranks {} -> {} exchanged a message the rank-level \
+                 comm relation excludes",
+                case.name, src, dst,
+            );
+            // Independence soundness: independent rank pairs never
+            // exchange messages in any execution.
+            let key = (src.min(dst), src.max(dst));
+            prop_assert!(
+                !a.independence.pairs().contains(&key),
+                "{}: ranks {:?} are declared independent yet communicated",
+                case.name, key,
+            );
+        }
+    }
+}

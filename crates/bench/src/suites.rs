@@ -11,7 +11,10 @@
 //! * `checkpoint` — snapshot/restore plane: checkpoint capture, engine
 //!   restoration, restored-run determinism, and query site pre-resolution;
 //! * `explore` — explorer schedule-search throughput at `jobs = 1` vs
-//!   `jobs = N` (the parallel-speedup comparison).
+//!   `jobs = N` (the parallel-speedup comparison);
+//! * `explore_dpor` — exhaustive systematic search with static
+//!   independence facts off vs on (the sleep-set DPOR payoff), at
+//!   `jobs = 1` and `jobs = 4`.
 //!
 //! Every suite runs a fixed iteration plan (see [`crate::measure`]), so
 //! numbers are comparable between invocations and across commits.
@@ -457,6 +460,75 @@ fn suite_explore(opts: &SuiteOptions) -> Suite {
     }
 }
 
+/// Sleep-set DPOR payoff: exhaustive systematic search over the `pairs`
+/// script workload with independence facts off vs on, at jobs 1 and 4.
+/// The closures also pin the reduction contract: with facts the search
+/// must finish in at most half the runs while agreeing on the (empty)
+/// finding set.
+fn suite_explore_dpor(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let b = tracedbg_workloads::scripts::builtin("pairs").expect("built-in script");
+    let nprocs = 4;
+    let parsed = b.parse();
+    let file = b.file();
+    let facts = tracedbg_analysis::analyze(&parsed, nprocs, &file).independence;
+    let run = |dpor: bool, jobs: usize| {
+        let script = parsed.clone();
+        let f = file.clone();
+        let source: tracedbg_explore::ProgramSource =
+            Box::new(move || tracedbg_workloads::script::programs(&script, nprocs, &f));
+        let cfg = ExploreConfig {
+            workload: "sdl:pairs".to_string(),
+            seed: 42,
+            runs: 100_000,
+            preemptions: 2,
+            strategy: Strategy::Systematic,
+            jobs,
+            independence: dpor.then(|| facts.clone()),
+            ..Default::default()
+        };
+        Explorer::new(cfg, source).explore()
+    };
+    // The reduction contract is part of the bench: measure nothing if the
+    // full search and the reduced search disagree.
+    let full = run(false, 1);
+    let reduced = run(true, 1);
+    assert!(
+        reduced.runs_executed * 2 <= full.runs_executed,
+        "sleep sets must cut systematic runs at least 2x: {} vs {}",
+        reduced.runs_executed,
+        full.runs_executed
+    );
+    assert_eq!(full.findings.len(), reduced.findings.len());
+    let p = if opts.quick {
+        Plan::new(1, 3, 1)
+    } else {
+        Plan::new(1, 5, 1)
+    };
+    for (name, dpor, jobs) in [
+        ("pairs_full_jobs1", false, 1usize),
+        ("pairs_sleep_jobs1", true, 1usize),
+        ("pairs_full_jobs4", false, 4usize),
+        ("pairs_sleep_jobs4", true, 4usize),
+    ] {
+        if !wants(opts, "explore_dpor", name) {
+            continue;
+        }
+        records.push(measure(name, jobs, p, || {
+            let r = run(dpor, jobs);
+            assert_eq!(
+                r.runs_executed,
+                if dpor { &reduced } else { &full }.runs_executed
+            );
+            assert!(r.findings.is_empty(), "pairs is clean under every schedule");
+        }));
+    }
+    Suite {
+        name: "explore_dpor",
+        records,
+    }
+}
+
 /// Run every (non-filtered) suite in deterministic order.
 pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
     let all = [
@@ -466,6 +538,7 @@ pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
         suite_engine,
         suite_checkpoint,
         suite_explore,
+        suite_explore_dpor,
     ];
     all.iter()
         .map(|f| f(opts))

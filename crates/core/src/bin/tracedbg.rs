@@ -3,14 +3,15 @@
 //! ```text
 //! tracedbg run <workload> [--trace out.trc] [--seed N] [--procs N]
 //! tracedbg view <trace.trc> [--width N] [--svg out.svg] [--window lo:hi]
-//! tracedbg analyze <trace.trc>
+//! tracedbg analyze <trace.trc | script:path | sdl:name> [--procs N] [--json | --dot]
 //! tracedbg report <trace.trc> -o report.html
 //! tracedbg graph <trace.trc> --kind comm|call|trace [--format dot|vcg] [--rank N]
 //! tracedbg debug <workload> [--seed N] [--procs N] [--checkpoint-every N] [-e CMD]...
-//! tracedbg lint <trace.trc | script:path> [--procs N] [--json] [--rules SPEC]
+//! tracedbg lint <trace.trc | script:path | sdl:name> [--procs N] [--json] [--rules SPEC]
+//!               [--script SPEC]
 //! tracedbg explore <workload> [--runs N] [--seed N] [--preemptions K] [--faults]
-//!                  [--strategy random|systematic|both] [--jobs N] [--out DIR] [--json]
-//!                  [--metrics [FILE]] [--progress]
+//!                  [--strategy random|systematic|both] [--dpor] [--jobs N] [--out DIR]
+//!                  [--json] [--metrics [FILE]] [--progress]
 //! tracedbg replay --schedule <file.sched.json> [--from-checkpoint] [--trace out.trc] [--json]
 //! tracedbg stats <workload> [--seed N] [--procs N] [--metrics [FILE]]
 //! tracedbg bench [--quick] [--filter NAME] [--jobs N] [--out DIR]
@@ -19,7 +20,9 @@
 //!
 //! Workloads: `strassen`, `strassen-bug`, `lu`, `ring`, `pool`,
 //! `racy-wildcard`, `racy-deadlock`, `fib:<n>`, `random:<transfers>`,
-//! `script:<path>`.
+//! `script:<path>`, `sdl:<name>` (builtin scripts — `tracedbg workloads`
+//! lists them; script-backed specs are the ones `analyze` and
+//! `explore --dpor` can reason about statically).
 //!
 //! `debug` opens the p2d2-style command loop (`run`, `analyze`,
 //! `stopline t <ns>`, `replay`, `step <rank>`, `probe <rank> <label>`,
@@ -33,7 +36,9 @@ use tracedbg::trace::file::{read_binary, write_binary};
 use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::tracegraph::{ActionGraph, Profile};
 use tracedbg::viz::{dot, vcg};
-use tracedbg::workloads::{heat, lu, master_worker, racy, random_comm, ring, script, strassen};
+use tracedbg::workloads::{
+    heat, lu, master_worker, racy, random_comm, ring, script, scripts, strassen,
+};
 
 struct Opts {
     positional: Vec<String>,
@@ -169,12 +174,9 @@ fn workload_factory(
                 let nprocs = procs.max(2);
                 let pat = random_comm::generate(seed, nprocs, t);
                 (Box::new(move || random_comm::programs(&pat, seed)), nprocs)
-            } else if let Some(path) = other.strip_prefix("script:") {
-                let src = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let parsed = script::parse(&src).map_err(|e| e.to_string())?;
-                let nprocs = procs.max(2);
-                let file = path.to_string();
+            } else if other.starts_with("script:") || other.starts_with("sdl:") {
+                let (parsed, file, nprocs) = script_workload(other, procs, false)?
+                    .expect("prefixed specs always resolve to a script");
                 (
                     Box::new(move || script::programs(&parsed, nprocs, &file)),
                     nprocs,
@@ -187,6 +189,34 @@ fn workload_factory(
         }
     };
     Ok(f)
+}
+
+/// Resolve a script-backed workload spec — `script:<path>`, `sdl:<name>`,
+/// or (with `allow_bare`) a bare builtin script name — to its parsed
+/// script, the file label its trace sites carry, and the process count it
+/// runs with. `Ok(None)` means the spec names a native workload instead.
+fn script_workload(
+    name: &str,
+    procs: usize,
+    allow_bare: bool,
+) -> Result<Option<(script::Script, String, usize)>, String> {
+    if let Some(path) = name.strip_prefix("script:") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let parsed = script::parse(&src).map_err(|e| e.to_string())?;
+        return Ok(Some((parsed, path.to_string(), procs.max(2))));
+    }
+    let explicit = name.starts_with("sdl:");
+    if !explicit && !allow_bare {
+        return Ok(None);
+    }
+    let bare = name.strip_prefix("sdl:").unwrap_or(name);
+    match scripts::builtin(bare) {
+        Some(b) => Ok(Some((b.parse(), b.file(), procs.max(b.min_procs)))),
+        None if explicit => Err(format!(
+            "unknown builtin script {bare:?} (try `tracedbg workloads`)"
+        )),
+        None => Ok(None),
+    }
 }
 
 fn load_store(path: &str) -> Result<TraceStore, String> {
@@ -255,11 +285,82 @@ fn cmd_view(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Human rendering of a static analysis: the communication graph with
+/// lattice values, then the derived facts the other consumers use.
+fn render_analysis(workload: &str, a: &tracedbg::analysis::Analysis) -> String {
+    use tracedbg::analysis::SiteOp;
+    let mut out = String::new();
+    let g = &a.graph;
+    out.push_str(&format!(
+        "static analysis of {workload} ({} procs, graph {}, values {})\n",
+        g.nprocs,
+        if g.complete { "complete" } else { "partial" },
+        if g.exact { "exact" } else { "approximate" },
+    ));
+    out.push_str("--- communication sites ---\n");
+    for (i, s) in g.sites.iter().enumerate() {
+        let desc = match &s.op {
+            SiteOp::Send { dst, tag } => format!("send -> {{{}}} tag {tag}", dst.render()),
+            SiteOp::Recv { src, tag, wildcard } => {
+                let t = match tag {
+                    Some(t) => format!(" tag {t}"),
+                    None => " any tag".to_string(),
+                };
+                let w = if *wildcard { " (wildcard)" } else { "" };
+                format!("recv <- {{{}}}{t}{w}", src.render())
+            }
+            SiteOp::Barrier => "barrier".to_string(),
+        };
+        out.push_str(&format!(
+            "rank {} {}:{} ({})  {desc}  [{} partner(s)]\n",
+            s.rank, g.file, s.line, s.func, a.may_match.partners[i]
+        ));
+    }
+    out.push_str(&format!(
+        "--- may-match: {} send/recv pair(s) ---\n",
+        a.may_match.pairs.len()
+    ));
+    let indep = a.independence.pairs();
+    out.push_str(&format!(
+        "independent rank pairs: {}\n",
+        if indep.is_empty() {
+            "none".to_string()
+        } else {
+            indep
+                .iter()
+                .map(|(x, y)| format!("({x},{y})"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    ));
+    let dead = a.deadlocked_ranks();
+    if dead.is_empty() {
+        out.push_str("static deadlock: none\n");
+    } else {
+        let set: Vec<String> = dead.iter().map(|r| r.to_string()).collect();
+        out.push_str(&format!("static deadlock: rank(s) {}\n", set.join(", ")));
+    }
+    out
+}
+
 fn cmd_analyze(opts: &Opts) -> Result<(), String> {
-    let path = opts
-        .positional
-        .first()
-        .ok_or("usage: tracedbg analyze <trace.trc>")?;
+    let path = opts.positional.first().ok_or(
+        "usage: tracedbg analyze <trace.trc | script:path | sdl:name> \
+         [--procs N] [--json | --dot]",
+    )?;
+    // Script-backed specs get the static analysis; anything else is a
+    // recorded trace and gets the history analyzer.
+    if let Some((parsed, file, nprocs)) = script_workload(path, opts.num("procs", 8usize), true)? {
+        let a = tracedbg::analysis::analyze(&parsed, nprocs, &file);
+        if opts.has("json") {
+            println!("{}", a.to_json(path));
+        } else if opts.has("dot") {
+            println!("{}", a.to_dot(path));
+        } else {
+            print!("{}", render_analysis(path, &a));
+        }
+        return Ok(());
+    }
     let store = load_store(path)?;
     let report = HistoryReport::analyze(&store);
     println!("{report}");
@@ -393,20 +494,23 @@ fn cmd_lint(opts: &Opts) -> Result<ExitCode, String> {
     use tracedbg::lint::{self, report};
 
     let input = opts.positional.first().ok_or(
-        "usage: tracedbg lint <trace.trc | trace.tbin | script:path> \
-         [--procs N] [--json] [--rules SPEC]\n\
+        "usage: tracedbg lint <trace.trc | trace.tbin | script:path | sdl:name> \
+         [--procs N] [--json] [--rules SPEC] [--script SPEC]\n\
          SPEC: comma-separated rule IDs to run, or -ID entries to skip \
          (e.g. --rules TDL001,TDL005 or --rules -SDL105).\n\
+         --script: the script the trace was recorded from, enabling the \
+         analysis-divergence rule (TDL008).\n\
          `tracedbg lint rules` lists the catalog.",
     )?;
     if input == "rules" {
         for info in lint::rule_catalog() {
             println!(
-                "{}  {:<7}  {:<6}  {}",
+                "{}  {:<7}  {:<6}  {:<70}  {}",
                 info.id,
                 info.severity.to_string(),
                 info.front_end,
-                info.description
+                info.description,
+                info.id.docs_url()
             );
         }
         return Ok(ExitCode::SUCCESS);
@@ -415,14 +519,32 @@ fn cmd_lint(opts: &Opts) -> Result<ExitCode, String> {
         Some(spec) => lint::LintConfig::from_spec(spec),
         None => lint::LintConfig::default(),
     };
-    let diags = if let Some(path) = input.strip_prefix("script:") {
-        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let parsed = script::parse(&src).map_err(|e| e.to_string())?;
-        let nprocs = opts.num("procs", 8usize).max(2);
-        lint::lint_script(&parsed, nprocs, path, &cfg)
+    let diags = if let Some((parsed, file, nprocs)) =
+        script_workload(input, opts.num("procs", 8usize), false)?
+    {
+        lint::lint_script(&parsed, nprocs, &file, &cfg)
     } else {
         let store = load_store(input)?;
-        lint::lint_trace(&store, &cfg)
+        match opts.flag("script") {
+            Some(spec) => {
+                // Accept bare paths too: `--script foo.script` means
+                // `--script script:foo.script`.
+                let norm = if spec.starts_with("script:")
+                    || spec.starts_with("sdl:")
+                    || scripts::builtin(spec).is_some()
+                {
+                    spec.to_string()
+                } else {
+                    format!("script:{spec}")
+                };
+                let (parsed, file, _) = script_workload(&norm, store.n_ranks(), true)?
+                    .expect("normalized spec always resolves");
+                // The analysis must model exactly the traced execution:
+                // its rank count, not the spec's default.
+                lint::lint_trace_with_script(&store, &parsed, store.n_ranks(), &file, &cfg)
+            }
+            None => lint::lint_trace(&store, &cfg),
+        }
     };
     if opts.has("json") {
         println!("{}", report::render_json(&diags));
@@ -445,12 +567,24 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
     let name = opts.positional.first().ok_or(
         "usage: tracedbg explore <workload> [--runs N] [--seed N] [--procs N] \
          [--preemptions K] [--faults] [--strategy random|systematic|both] \
-         [--jobs N] [--out DIR] [--json] [--metrics [FILE]] [--progress]",
+         [--dpor] [--jobs N] [--out DIR] [--json] [--metrics [FILE]] [--progress]",
     )?;
     let seed = opts.num("seed", 42u64);
     let procs = opts.num("procs", 8usize);
     let runs = opts.num("runs", 64usize);
     let (factory, _n) = workload_factory(name, seed, procs)?;
+    // --dpor: prove rank independence statically and let the systematic
+    // search skip interleavings that only permute commuting decisions.
+    // Only script-backed workloads have a source to analyze.
+    let independence = if opts.has("dpor") {
+        let (parsed, file, nprocs) = script_workload(name, procs, false)?.ok_or(
+            "--dpor needs a script-backed workload (script:<path> or sdl:<name>) \
+             so the static analysis has a source to prove independence from",
+        )?;
+        Some(tracedbg::analysis::analyze(&parsed, nprocs, &file).independence)
+    } else {
+        None
+    };
     let cfg = ExploreConfig {
         workload: name.clone(),
         seed,
@@ -463,6 +597,7 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
         jobs: opts.num("jobs", 0usize),
         metrics: opts.has("metrics"),
         progress: opts.has("progress"),
+        independence,
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -809,8 +944,15 @@ fn main() -> ExitCode {
                  racy-deadlock  orphaned receive (explore finds the deadlock)\n\
                  fib:<n>        recursive Fibonacci (Table 1 driver)\n\
                  random:<n>     seeded random transfer pattern\n\
-                 script:<path>  interpreted mini-language program (SPMD)"
+                 script:<path>  interpreted mini-language program (SPMD)\n\
+                 sdl:<name>     builtin script (statically analyzable):"
             );
+            for b in scripts::builtins() {
+                println!(
+                    "   sdl:{:<18} {} (min {} procs)",
+                    b.name, b.description, b.min_procs
+                );
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
@@ -860,12 +1002,38 @@ mod tests {
             "racy-deadlock",
             "fib:6",
             "random:4",
+            "sdl:ring",
+            "sdl:pairs",
+            "sdl:racy-wildcard",
+            "sdl:racy-deadlock",
         ] {
             let (factory, n) = workload_factory(name, 1, 4).expect(name);
             assert_eq!(factory().len(), n, "{name}: factory/proc-count agree");
         }
         assert!(workload_factory("no-such-workload", 1, 4).is_err());
         assert!(workload_factory("fib:x", 1, 4).is_err());
+        assert!(workload_factory("sdl:no-such-script", 1, 4).is_err());
+    }
+
+    #[test]
+    fn sdl_workloads_clamp_to_min_procs() {
+        let (_, n) = workload_factory("sdl:racy-wildcard", 1, 1).unwrap();
+        assert_eq!(n, 3, "racy builtin needs a master and two workers");
+        let (_, n) = workload_factory("sdl:ring", 1, 1).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn script_workload_resolves_bare_names_only_when_allowed() {
+        // `ring` is a native workload; only `analyze` treats the bare
+        // name as the builtin script.
+        assert!(script_workload("ring", 4, false).unwrap().is_none());
+        let (_, file, n) = script_workload("ring", 4, true).unwrap().unwrap();
+        assert_eq!(file, "sdl:ring");
+        assert_eq!(n, 4);
+        let (_, file, n) = script_workload("sdl:pairs", 1, false).unwrap().unwrap();
+        assert_eq!(file, "sdl:pairs");
+        assert_eq!(n, 2, "clamped to the builtin's minimum");
     }
 
     #[test]

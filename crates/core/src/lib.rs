@@ -46,11 +46,13 @@
 //! | [`tracegraph`] | `tracedbg-tracegraph` | §3.2, §4.3: trace/call/comm/action graphs |
 //! | [`causality`] | `tracedbg-causality` | §4.1: happens-before, frontiers, races |
 //! | [`lint`] | `tracedbg-lint` | §4.4: rule-based communication supervision |
+//! | [`analysis`] | `tracedbg-analysis` | static may-match / independence analysis |
 //! | [`debugger`] | `tracedbg-debugger` | §4: stoplines, replay, undo, analysis |
 //! | [`explore`] | `tracedbg-explore` | schedule exploration + fault injection |
 //! | [`viz`] | `tracedbg-viz` | §3.1: NTV/VK time-space diagrams, DOT/VCG |
 //! | [`workloads`] | `tracedbg-workloads` | evaluation programs (Strassen, fib, LU) |
 
+pub use tracedbg_analysis as analysis;
 pub use tracedbg_causality as causality;
 pub use tracedbg_debugger as debugger;
 pub use tracedbg_explore as explore;

@@ -13,6 +13,7 @@ use serde::Serialize;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
+use tracedbg_analysis::IndependenceFacts;
 use tracedbg_mpsim::{EngineMetrics, SchedPolicy};
 use tracedbg_obs::{
     ClassCount, EventMetrics, ExploreEvent, MetricsReport, TimingMetrics, WorkerStat,
@@ -86,6 +87,11 @@ pub struct ExploreConfig {
     pub metrics: bool,
     /// Print a throttled progress heartbeat to stderr while exploring.
     pub progress: bool,
+    /// Statically proven commutativity facts (from `tracedbg-analysis`).
+    /// When present, the systematic search keeps Godefroid-style sleep
+    /// sets and skips enqueueing alternatives that only permute
+    /// independent decisions. `None` degrades to the full search.
+    pub independence: Option<IndependenceFacts>,
 }
 
 impl Default for ExploreConfig {
@@ -102,6 +108,7 @@ impl Default for ExploreConfig {
             jobs: 1,
             metrics: false,
             progress: false,
+            independence: None,
         }
     }
 }
@@ -145,6 +152,12 @@ pub struct ExploreReport {
     /// Sibling-schedule groups that shared one checkpointed prefix
     /// execution (systematic mode). Deterministic for a fixed seed.
     pub prefix_groups: usize,
+    /// Systematic alternatives skipped by sleep sets (DPOR). Deterministic
+    /// for a fixed seed at every `jobs` count.
+    pub sleep_skipped: u64,
+    /// Independent rank pairs proven by the static analysis (0 without
+    /// independence facts).
+    pub independence_pairs: u64,
     pub findings: Vec<Finding>,
 }
 
@@ -168,6 +181,12 @@ impl ExploreReport {
             self.pruned,
             self.baseline_branches,
         ));
+        if self.independence_pairs > 0 {
+            out.push_str(&format!(
+                "sleep sets: {} independent rank pair(s), {} alternative(s) skipped\n",
+                self.independence_pairs, self.sleep_skipped,
+            ));
+        }
         if self.findings.is_empty() {
             out.push_str("no violations found\n");
         }
@@ -207,6 +226,8 @@ pub struct Explorer {
     /// Shared-prefix checkpoints for sibling schedules (systematic mode).
     prefix_cache: PrefixCache,
     prefix_groups: usize,
+    /// Alternatives skipped because they were asleep (sleep-set DPOR).
+    sleep_skipped: u64,
     /// Telemetry accumulator (`cfg.metrics`).
     obs: Option<Box<ObsAcc>>,
     /// Last `--progress` heartbeat.
@@ -261,6 +282,10 @@ impl ObsAcc {
 /// once a real chunk of execution is skipped.
 const MIN_SHARED_PREFIX: usize = 3;
 
+/// Queue entry of the systematic search: (schedule prefix, substitution
+/// depth along the path, decisions asleep at the end of the prefix).
+type SleepEntry = (Vec<Decision>, usize, Vec<Decision>);
+
 fn hash_decisions(d: &[Decision]) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     d.hash(&mut h);
@@ -291,6 +316,7 @@ impl Explorer {
             classes_found: HashSet::new(),
             prefix_cache: PrefixCache::new(),
             prefix_groups: 0,
+            sleep_skipped: 0,
             obs,
             last_progress: Instant::now(),
         }
@@ -348,6 +374,13 @@ impl Explorer {
             pruned: self.pruned,
             baseline_branches,
             prefix_groups: self.prefix_groups,
+            sleep_skipped: self.sleep_skipped,
+            independence_pairs: self
+                .cfg
+                .independence
+                .as_ref()
+                .map(|f| f.pair_count())
+                .unwrap_or(0),
             findings: self.findings,
         };
         (report, metrics)
@@ -366,6 +399,13 @@ impl Explorer {
                 digest_pruned: acc.digest_pruned,
                 prefix_pruned: acc.prefix_pruned,
                 prefix_groups: self.prefix_groups as u64,
+                runs_skipped_by_sleep_sets: self.sleep_skipped,
+                independence_pairs: self
+                    .cfg
+                    .independence
+                    .as_ref()
+                    .map(|f| f.pair_count())
+                    .unwrap_or(0),
                 // BTreeMap iteration = sorted by class name.
                 oracle_triggers: acc
                     .oracle_triggers
@@ -520,12 +560,20 @@ impl Explorer {
     /// which is precisely the sequential FIFO order.
     fn systematic(&mut self, base: &RunResult) {
         let jobs = self.effective_jobs();
-        let mut queue: VecDeque<(Vec<Decision>, usize)> = VecDeque::new();
-        Self::push_extensions(&base.points, 0, 0, &mut queue);
+        let mut queue: VecDeque<SleepEntry> = VecDeque::new();
+        Self::push_extensions(
+            &base.points,
+            0,
+            0,
+            &[],
+            self.cfg.independence.as_ref(),
+            &mut self.sleep_skipped,
+            &mut queue,
+        );
         loop {
-            let mut batch: Vec<(Vec<Decision>, usize)> = Vec::new();
+            let mut batch: Vec<SleepEntry> = Vec::new();
             while self.runs_executed + batch.len() < self.cfg.runs {
-                let Some((prefix, depth)) = queue.pop_front() else {
+                let Some((prefix, depth, sleep)) = queue.pop_front() else {
                     break;
                 };
                 // Prefix-level pruning: an already-visited substitution
@@ -537,7 +585,7 @@ impl Explorer {
                     }
                     continue;
                 }
-                batch.push((prefix, depth));
+                batch.push((prefix, depth, sleep));
             }
             if batch.is_empty() {
                 break;
@@ -548,13 +596,21 @@ impl Explorer {
             if let Some(obs) = self.obs.as_mut() {
                 obs.add_load(&load);
             }
-            for ((prefix, depth), res) in batch.into_iter().zip(results) {
+            for ((prefix, depth, sleep), res) in batch.into_iter().zip(results) {
                 self.absorb(&res, &[], "systematic");
                 // Only branch on decisions *after* the substitution:
                 // earlier alternatives are someone else's subtree (the
                 // sleep-set-style part of the reduction).
                 if depth < self.cfg.preemptions && !res.diverged {
-                    Self::push_extensions(&res.points, prefix.len(), depth, &mut queue);
+                    Self::push_extensions(
+                        &res.points,
+                        prefix.len(),
+                        depth,
+                        &sleep,
+                        self.cfg.independence.as_ref(),
+                        &mut self.sleep_skipped,
+                        &mut queue,
+                    );
                 }
             }
         }
@@ -572,10 +628,10 @@ impl Explorer {
     /// Role assignment depends only on the batch and on which keys earlier
     /// batches cached — both deterministic — so the task list is identical
     /// for every worker count.
-    fn assign_prefix_roles(&self, batch: &[(Vec<Decision>, usize)]) -> Vec<RunTask> {
+    fn assign_prefix_roles(&self, batch: &[SleepEntry]) -> Vec<RunTask> {
         let mut group_size: std::collections::HashMap<u64, usize> =
             std::collections::HashMap::new();
-        for (prefix, _) in batch {
+        for (prefix, _, _) in batch {
             if prefix.len() > MIN_SHARED_PREFIX {
                 *group_size
                     .entry(hash_decisions(&prefix[..prefix.len() - 1]))
@@ -585,7 +641,7 @@ impl Explorer {
         let mut producing: HashSet<u64> = HashSet::new();
         batch
             .iter()
-            .map(|(prefix, _)| {
+            .map(|(prefix, _, _)| {
                 let mut task = RunTask::plain(SchedPolicy::Scripted(prefix.clone()), Vec::new());
                 task.metrics = self.cfg.metrics;
                 if prefix.len() <= MIN_SHARED_PREFIX {
@@ -610,23 +666,75 @@ impl Explorer {
 
     /// For every branch point at index >= `from`, enqueue each untaken
     /// alternative as (replayed prefix + alternative).
+    ///
+    /// With independence facts, this is where the DPOR reduction lives
+    /// (sleep sets plus a source-set-style skip, adapted to the
+    /// breadth-first prefix queue).
+    ///
+    /// *Source-set skip*: an alternative independent of the point's chosen
+    /// decision is not enqueued at all. Nothing dependent with it executes
+    /// here, so it stays enabled and is offered again at the first later
+    /// point whose chosen decision depends on it (a rank's own next
+    /// decision is always dependent); substituting it earlier only
+    /// commutes it across an independent segment, which yields a
+    /// Mazurkiewicz-equivalent run the digest pruner would discard after
+    /// paying for the execution.
+    ///
+    /// *Sleep sets* (Godefroid-style): a decision is *asleep* when an
+    /// already-enqueued sibling subtree covers every behavior reachable
+    /// through it. Each enqueued alternative inherits the sleeping
+    /// decisions it is independent of, plus its earlier siblings;
+    /// executing a dependent decision wakes a sleeper.
+    ///
+    /// Both skips count into `sleep_skipped`. Without facts every sleep
+    /// set is empty, no alternative is provably independent, and this
+    /// reduces exactly to the full search.
+    #[allow(clippy::too_many_arguments)]
     fn push_extensions(
         points: &[DecisionPoint],
         from: usize,
         depth: usize,
-        queue: &mut VecDeque<(Vec<Decision>, usize)>,
+        entry_sleep: &[Decision],
+        facts: Option<&IndependenceFacts>,
+        sleep_skipped: &mut u64,
+        queue: &mut VecDeque<SleepEntry>,
     ) {
+        let mut asleep: Vec<Decision> = entry_sleep.to_vec();
         for (i, p) in points.iter().enumerate().skip(from) {
-            if !p.is_branch() {
-                continue;
-            }
-            for &alt in &p.alternatives {
-                if alt == p.chosen {
-                    continue;
+            if p.is_branch() {
+                let mut explored: Vec<Decision> = vec![p.chosen];
+                for &alt in &p.alternatives {
+                    if alt == p.chosen {
+                        continue;
+                    }
+                    if facts.is_some_and(|f| f.independent(&alt, &p.chosen)) {
+                        *sleep_skipped += 1;
+                        continue;
+                    }
+                    if asleep.contains(&alt) {
+                        *sleep_skipped += 1;
+                        continue;
+                    }
+                    let child_sleep: Vec<Decision> = match facts {
+                        Some(f) => asleep
+                            .iter()
+                            .chain(explored.iter())
+                            .filter(|u| f.independent(u, &alt))
+                            .copied()
+                            .collect(),
+                        None => Vec::new(),
+                    };
+                    let mut prefix: Vec<Decision> = points[..i].iter().map(|q| q.chosen).collect();
+                    prefix.push(alt);
+                    queue.push_back((prefix, depth + 1, child_sleep));
+                    explored.push(alt);
                 }
-                let mut prefix: Vec<Decision> = points[..i].iter().map(|q| q.chosen).collect();
-                prefix.push(alt);
-                queue.push_back((prefix, depth + 1));
+            }
+            if !asleep.is_empty() {
+                match facts {
+                    Some(f) => asleep.retain(|u| f.independent(u, &p.chosen)),
+                    None => asleep.clear(),
+                }
             }
         }
     }

@@ -33,6 +33,8 @@ fn assert_reports_identical(a: &ExploreReport, b: &ExploreReport) {
     assert_eq!(a.pruned, b.pruned, "pruning decisions");
     assert_eq!(a.baseline_branches, b.baseline_branches);
     assert_eq!(a.prefix_groups, b.prefix_groups, "prefix-sharing roles");
+    assert_eq!(a.sleep_skipped, b.sleep_skipped, "DPOR skip accounting");
+    assert_eq!(a.independence_pairs, b.independence_pairs);
     assert_eq!(a.findings.len(), b.findings.len(), "finding count");
     for (fa, fb) in a.findings.iter().zip(&b.findings) {
         assert_eq!(fa.class, fb.class, "violation class");
@@ -142,6 +144,29 @@ fn metered_exploration_event_metrics_identical_across_jobs() {
     let plain = explore("racy-wildcard", 1, Strategy::Both);
     assert_eq!(plain.runs_executed, seq_report.runs_executed);
     assert_eq!(plain.findings.len(), seq_report.findings.len());
+}
+
+#[test]
+fn no_independence_facts_means_no_sleep_accounting() {
+    // Without `--dpor` the search must be byte-for-byte the full search:
+    // nothing skipped, no independence pairs reported, and the metered
+    // ExploreEvent carries zeros for both counters.
+    let source: tracedbg_explore::ProgramSource =
+        Box::new(wildcard_race_factory(RacyConfig::default()));
+    let cfg = ExploreConfig {
+        workload: "racy-wildcard".to_string(),
+        seed: 7,
+        runs: 24,
+        strategy: Strategy::Systematic,
+        metrics: true,
+        ..Default::default()
+    };
+    let (report, metrics) = Explorer::new(cfg, source).explore_traced();
+    assert_eq!(report.sleep_skipped, 0);
+    assert_eq!(report.independence_pairs, 0);
+    let ex = metrics.unwrap().event.explore.unwrap();
+    assert_eq!(ex.runs_skipped_by_sleep_sets, 0);
+    assert_eq!(ex.independence_pairs, 0);
 }
 
 #[test]

@@ -17,6 +17,11 @@ impl RuleId {
     pub fn as_str(&self) -> &'static str {
         self.0
     }
+
+    /// Stable documentation URL for this rule.
+    pub fn docs_url(&self) -> String {
+        format!("https://tracedbg.dev/rules/{}", self.0)
+    }
 }
 
 impl fmt::Display for RuleId {
@@ -74,6 +79,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Actionable follow-up, when the rule can propose one.
     pub suggestion: Option<String>,
+    /// Stable documentation URL for the rule.
+    pub docs: String,
 }
 
 impl Diagnostic {
@@ -86,6 +93,7 @@ impl Diagnostic {
             loc: None,
             message: message.into(),
             suggestion: None,
+            docs: rule.docs_url(),
         }
     }
 

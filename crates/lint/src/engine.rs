@@ -21,16 +21,27 @@ pub struct TraceCx<'a> {
     pub store: &'a TraceStore,
     pub matching: MessageMatching,
     pub hb: HbIndex,
+    /// Static analysis of the script that produced this trace, when the
+    /// caller knows the source (enables TDL008 divergence checking).
+    pub analysis: Option<tracedbg_analysis::Analysis>,
 }
 
 impl<'a> TraceCx<'a> {
     pub fn build(store: &'a TraceStore) -> Self {
+        Self::build_with_analysis(store, None)
+    }
+
+    pub fn build_with_analysis(
+        store: &'a TraceStore,
+        analysis: Option<tracedbg_analysis::Analysis>,
+    ) -> Self {
         let matching = MessageMatching::build(store);
         let hb = HbIndex::build(store, &matching);
         TraceCx {
             store,
             matching,
             hb,
+            analysis,
         }
     }
 
@@ -113,7 +124,25 @@ fn finish(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
 
 /// Run every enabled trace rule over a recorded trace.
 pub fn lint_trace(store: &TraceStore, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let cx = TraceCx::build(store);
+    lint_trace_cx(TraceCx::build(store), cfg)
+}
+
+/// [`lint_trace`], additionally told which script (as executed with
+/// `nprocs` ranks under the file label `file`) produced the trace. The
+/// static analysis of that script feeds the analysis-vs-trace divergence
+/// rule (TDL008).
+pub fn lint_trace_with_script(
+    store: &TraceStore,
+    script: &Script,
+    nprocs: usize,
+    file: &str,
+    cfg: &LintConfig,
+) -> Vec<Diagnostic> {
+    let analysis = tracedbg_analysis::analyze(script, nprocs, file);
+    lint_trace_cx(TraceCx::build_with_analysis(store, Some(analysis)), cfg)
+}
+
+fn lint_trace_cx(cx: TraceCx<'_>, cfg: &LintConfig) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for rule in trace_rules::all() {
         if cfg.is_enabled(rule.id()) {

@@ -19,6 +19,9 @@ pub const GUARANTEED_DEADLOCK: RuleId = RuleId("SDL103");
 pub const TAG_NEVER_SENT: RuleId = RuleId("SDL104");
 pub const SELF_MESSAGE: RuleId = RuleId("SDL105");
 pub const MISSING_MAIN: RuleId = RuleId("SDL106");
+pub const STATIC_DEADLOCK: RuleId = RuleId("SDL107");
+pub const UNMATCHED_SITE: RuleId = RuleId("SDL108");
+pub const RACING_WILDCARD: RuleId = RuleId("SDL109");
 
 /// All registered script rules.
 pub fn all() -> Vec<Box<dyn ScriptRule>> {
@@ -29,6 +32,9 @@ pub fn all() -> Vec<Box<dyn ScriptRule>> {
         Box::new(GuaranteedDeadlock),
         Box::new(TagNeverSent),
         Box::new(SelfMessage),
+        Box::new(StaticDeadlock),
+        Box::new(UnmatchedSite),
+        Box::new(RacingWildcard),
     ]
 }
 
@@ -611,6 +617,171 @@ impl ScriptRule for TagNeverSent {
                     out.push(d);
                 }
             }
+        }
+    }
+}
+
+// Rules SDL107-SDL109 consume the whole-program static analysis from
+// `tracedbg-analysis` (may-match relation over the communication graph)
+// instead of the local walker above, so they see through wildcard receives
+// and loop-carried peer expressions the simulator must give up on.
+
+fn analysis_loc(cx: &ScriptCx<'_>, site: &tracedbg_analysis::CommSite) -> Loc {
+    Loc {
+        file: cx.file.to_string(),
+        line: site.line,
+        func: site.func.clone(),
+    }
+}
+
+/// SDL107: the may-match wait-for graph proves a set of ranks deadlocked
+/// at startup — every rank in the set must receive first, and every
+/// possible sender for those receives is itself in the set.
+struct StaticDeadlock;
+
+impl ScriptRule for StaticDeadlock {
+    fn id(&self) -> RuleId {
+        STATIC_DEADLOCK
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "a set of ranks provably deadlocks: each begins with a receive only the others could feed"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let a = tracedbg_analysis::analyze(cx.script, cx.nprocs, cx.file);
+        let blocked = a.deadlocked_ranks();
+        if blocked.is_empty() {
+            return;
+        }
+        let first = blocked[0];
+        let set: Vec<String> = blocked.iter().map(|r| r.to_string()).collect();
+        let mut d = Diagnostic::new(
+            self.id(),
+            self.severity(),
+            format!(
+                "static deadlock with {} processes: rank(s) {} each begin with a \
+                 receive that only another blocked rank (or nobody) could satisfy",
+                cx.nprocs,
+                set.join(", ")
+            ),
+        )
+        .with_rank(first as u32)
+        .with_suggestion("break the wait cycle: some rank in the set must send first");
+        if let Some(&line) = a.graph.entry[first].lines.first() {
+            if let Some(i) = a.graph.site_at(first, line) {
+                d = d.with_loc(analysis_loc(cx, &a.graph.sites[i]));
+            }
+        }
+        out.push(d);
+    }
+}
+
+/// SDL108: a send or receive site with zero partners in the may-match
+/// relation — provably never matched under any schedule.
+struct UnmatchedSite;
+
+impl ScriptRule for UnmatchedSite {
+    fn id(&self) -> RuleId {
+        UNMATCHED_SITE
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn description(&self) -> &'static str {
+        "a send/receive site has no possible partner in the may-match relation"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let a = tracedbg_analysis::analyze(cx.script, cx.nprocs, cx.file);
+        // A partial walk may simply not have seen the partner site; only a
+        // complete graph makes "no partner" a sound claim.
+        if !a.graph.complete {
+            return;
+        }
+        let mut seen_lines: BTreeSet<u32> = BTreeSet::new();
+        for (i, site) in a.graph.sites.iter().enumerate() {
+            if matches!(site.op, tracedbg_analysis::SiteOp::Barrier) {
+                continue;
+            }
+            if a.may_match.partners[i] > 0 || !seen_lines.insert(site.line) {
+                continue;
+            }
+            let what = match &site.op {
+                tracedbg_analysis::SiteOp::Send { dst, tag } => format!(
+                    "send to rank(s) {} with tag {tag} can never be received",
+                    dst.render()
+                ),
+                tracedbg_analysis::SiteOp::Recv { src, tag, .. } => {
+                    let t = match tag {
+                        Some(t) => format!(" with tag {t}"),
+                        None => String::new(),
+                    };
+                    format!(
+                        "receive from rank(s) {}{t} can never be satisfied",
+                        src.render()
+                    )
+                }
+                tracedbg_analysis::SiteOp::Barrier => continue,
+            };
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    format!("rank {}: {what} (no may-match partner)", site.rank),
+                )
+                .with_rank(site.rank as u32)
+                .with_loc(analysis_loc(cx, site))
+                .with_suggestion("check the peer expression and tag against the other side"),
+            );
+        }
+    }
+}
+
+/// SDL109: a wildcard receive that two or more ranks may race to satisfy —
+/// the message order (and any `_src`-dependent control flow) is schedule-
+/// dependent.
+struct RacingWildcard;
+
+impl ScriptRule for RacingWildcard {
+    fn id(&self) -> RuleId {
+        RACING_WILDCARD
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn description(&self) -> &'static str {
+        "a wildcard receive has two or more statically racing senders"
+    }
+    fn check(&self, cx: &ScriptCx<'_>, out: &mut Vec<Diagnostic>) {
+        let a = tracedbg_analysis::analyze(cx.script, cx.nprocs, cx.file);
+        let mut seen_lines: BTreeSet<u32> = BTreeSet::new();
+        for (i, site) in a.graph.sites.iter().enumerate() {
+            let tracedbg_analysis::SiteOp::Recv { wildcard: true, .. } = site.op else {
+                continue;
+            };
+            let senders = a.senders_of(i);
+            if senders.len() < 2 || !seen_lines.insert(site.line) {
+                continue;
+            }
+            let list: Vec<String> = senders.iter().map(|r| r.to_string()).collect();
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    format!(
+                        "wildcard receive on rank {} races: rank(s) {} may all \
+                         satisfy it, so the arrival order is schedule-dependent",
+                        site.rank,
+                        list.join(", ")
+                    ),
+                )
+                .with_rank(site.rank as u32)
+                .with_loc(analysis_loc(cx, site))
+                .with_suggestion(
+                    "name the source rank explicitly, or make the handling order-insensitive",
+                ),
+            );
         }
     }
 }

@@ -19,6 +19,7 @@ pub const COLLECTIVE_MISMATCH: RuleId = RuleId("TDL004");
 pub const WILDCARD_RACE: RuleId = RuleId("TDL005");
 pub const WAIT_CYCLE: RuleId = RuleId("TDL006");
 pub const EVENT_AFTER_END: RuleId = RuleId("TDL007");
+pub const ANALYSIS_DIVERGENCE: RuleId = RuleId("TDL008");
 
 /// All registered trace rules.
 pub fn all() -> Vec<Box<dyn TraceRule>> {
@@ -30,6 +31,7 @@ pub fn all() -> Vec<Box<dyn TraceRule>> {
         Box::new(WildcardRace),
         Box::new(WaitCycle),
         Box::new(EventAfterEnd),
+        Box::new(AnalysisDivergence),
     ]
 }
 
@@ -372,6 +374,77 @@ impl TraceRule for WaitCycle {
                 )
                 .with_events(cycle.posts.iter().map(|e| e.0))
                 .with_suggestion("reorder the communication or break the cycle with a send"),
+            );
+        }
+    }
+}
+
+/// TDL008: a dynamic match the static may-match relation says is
+/// impossible. The relation over-approximates every schedule, so a match
+/// outside it means the trace and the analyzed script disagree — a stale
+/// script, a site-table mismatch, or an analysis bug. Only runs when the
+/// caller supplied the script ([`crate::lint_trace_with_script`]) and the
+/// analysis covered every reachable site.
+struct AnalysisDivergence;
+
+impl TraceRule for AnalysisDivergence {
+    fn id(&self) -> RuleId {
+        ANALYSIS_DIVERGENCE
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "a dynamic message match falls outside the static may-match relation"
+    }
+    fn check(&self, cx: &TraceCx<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(a) = &cx.analysis else { return };
+        if !a.graph.complete {
+            return;
+        }
+        for m in &cx.matching.matched {
+            let (Some(sloc), Some(rloc)) = (cx.loc_of(m.send), cx.loc_of(m.recv)) else {
+                continue;
+            };
+            // Only sites the analysis labeled (same script file) are
+            // comparable; runtime-internal sites are not its business.
+            if sloc.file != a.graph.file || rloc.file != a.graph.file {
+                continue;
+            }
+            let src = m.info.src.0 as usize;
+            let dst = m.info.dst.0 as usize;
+            if a.may_match_lines(src, sloc.line, dst, rloc.line) {
+                continue;
+            }
+            let missing = a.graph.site_at(src, sloc.line).is_none()
+                || a.graph.site_at(dst, rloc.line).is_none();
+            let (why, fix) = if missing {
+                (
+                    "a site the static analysis never saw",
+                    "the trace references script lines the analysis never reached \
+                     — is the script the one that produced this trace?",
+                )
+            } else {
+                (
+                    "outside the static may-match relation",
+                    "re-record the trace from the analyzed script; if it reproduces, \
+                     this is an analysis soundness bug",
+                )
+            };
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.severity(),
+                    format!(
+                        "message from rank {src} (line {}) to rank {dst} (line {}) \
+                         tag {} matched at {why} — trace and script analysis disagree",
+                        sloc.line, rloc.line, m.info.tag.0
+                    ),
+                )
+                .with_rank(dst as u32)
+                .with_events([m.send.0, m.recv.0])
+                .with_loc(rloc)
+                .with_suggestion(fix),
             );
         }
     }

@@ -290,7 +290,7 @@ fn sdl106_missing_main() {
 }
 
 #[test]
-fn clean_script_has_no_diagnostics() {
+fn clean_script_has_no_errors() {
     let src = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../examples/scripts/pingpong.script"
@@ -298,7 +298,20 @@ fn clean_script_has_no_diagnostics() {
     .expect("pingpong example script exists");
     for nprocs in [2, 4, 7] {
         let diags = lint_src(&src, nprocs);
-        assert!(diags.is_empty(), "pingpong at {nprocs} procs: {diags:?}");
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        assert!(errors.is_empty(), "pingpong at {nprocs} procs: {errors:?}");
+        // Pingpong's reply collection uses a deliberate wildcard receive;
+        // with >= 2 workers SDL109 correctly flags the arrival race, and
+        // nothing else should fire.
+        for d in &diags {
+            assert_eq!(d.rule.as_str(), "SDL109", "unexpected: {d:?}");
+        }
+        let want_racy = nprocs > 2;
+        assert_eq!(
+            diags.iter().any(|d| d.rule.as_str() == "SDL109"),
+            want_racy,
+            "SDL109 at {nprocs} procs"
+        );
     }
 }
 
@@ -327,6 +340,227 @@ fn config_only_restricts_to_listed_rules() {
         !has(&diags, "TDL002"),
         "TDL002 not in allow-list: {diags:?}"
     );
+}
+
+// ------------------------------------------- static-analysis rules (SDL107+)
+
+#[test]
+fn sdl107_static_deadlock_through_wildcards() {
+    // Every rank begins with a wildcard receive; the only sends come
+    // after. SDL103's exact simulator must bail (wildcards), but the
+    // may-match wait-for fixpoint proves the whole set blocked.
+    let src = "\
+fn main
+  recv from any tag 1 into x
+  send ( ( rank + 1 ) % nprocs ) tag 1 rank
+end
+";
+    let diags = lint_src(src, 3);
+    let d = find(&diags, "SDL107");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("static deadlock"));
+    assert!(!has(&diags, "SDL103"), "the simulator bails on wildcards");
+}
+
+#[test]
+fn sdl107_silent_when_a_rank_sends_first() {
+    // Ring with a kick-off: rank 0 sends before receiving, so the
+    // wait-for set never closes.
+    let src = "\
+fn main
+  let nxt = ( rank + 1 ) % nprocs
+  let prv = ( rank + nprocs - 1 ) % nprocs
+  if rank == 0
+    send nxt tag 1 rank
+    recv from prv tag 1 into x
+  else
+    recv from prv tag 1 into x
+    send nxt tag 1 rank
+  end
+end
+";
+    for nprocs in [2, 3, 5] {
+        let diags = lint_src(src, nprocs);
+        assert!(!has(&diags, "SDL107"), "ring at {nprocs}: {diags:?}");
+        assert!(!has(&diags, "SDL108"), "every site pairs: {diags:?}");
+    }
+}
+
+#[test]
+fn sdl108_unmatched_send_site() {
+    let src = "\
+fn main
+  if rank == 0
+    send 1 tag 1 rank
+    send 1 tag 9 rank
+  end
+  if rank == 1
+    recv from 0 tag 1 into x
+  end
+end
+";
+    let diags = lint_src(src, 2);
+    let sdl108: Vec<_> = diags.iter().filter(|d| d.rule.0 == "SDL108").collect();
+    assert_eq!(
+        sdl108.len(),
+        1,
+        "only the tag-9 send is orphaned: {diags:?}"
+    );
+    assert_eq!(sdl108[0].severity, Severity::Warning);
+    assert!(sdl108[0].message.contains("never be received"));
+    assert_eq!(sdl108[0].loc.as_ref().unwrap().line, 4);
+}
+
+#[test]
+fn sdl108_unmatched_recv_site() {
+    let src = "\
+fn main
+  if rank == 0
+    send 1 tag 1 rank
+  end
+  if rank == 1
+    recv from 0 tag 1 into x
+    recv from 0 tag 2 into y
+  end
+end
+";
+    let diags = lint_src(src, 2);
+    let d = find(&diags, "SDL108");
+    assert!(d.message.contains("never be satisfied"));
+    assert_eq!(d.loc.as_ref().unwrap().line, 7);
+}
+
+#[test]
+fn sdl109_racing_wildcard_needs_two_senders() {
+    let src = "\
+fn main
+  if rank == 0
+    recv from any tag 1 into x
+  else
+    send 0 tag 1 rank
+  end
+end
+";
+    // One worker: a single possible sender, nothing races.
+    assert!(!has(&lint_src(src, 2), "SDL109"));
+    // Two workers: the arrival order is schedule-dependent.
+    let diags = lint_src(src, 3);
+    let d = find(&diags, "SDL109");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("rank(s) 1, 2"));
+}
+
+#[test]
+fn tdl008_match_outside_may_match() {
+    use tracedbg_lint::lint_trace_with_script;
+    // The trace says rank 0's line-3 send matched rank 1's line-6 recv —
+    // but the analyzed script routes that send to rank 2. Divergence.
+    let src = "\
+fn main
+  if rank == 0
+    send 2 tag 5 rank
+  end
+  if rank == 1
+    recv from 0 tag 5 into x
+  end
+  if rank == 2
+    recv from 0 tag 5 into y
+  end
+end
+";
+    let parsed = script::parse(src).unwrap();
+    let sites = SiteTable::new();
+    let s_send = sites.site("fixture.script", 3, "main");
+    let s_recv = sites.site("fixture.script", 6, "main");
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::Send, 1, 0)
+            .with_span(0, 1)
+            .with_msg(msg(0, 1, 5, 0))
+            .with_site(s_send),
+        TraceRecord::basic(1u32, EventKind::RecvPost, 1, 1)
+            .with_args(0, 5)
+            .with_site(s_recv),
+        TraceRecord::basic(1u32, EventKind::RecvDone, 2, 2)
+            .with_span(2, 3)
+            .with_msg(msg(0, 1, 5, 0))
+            .with_site(s_recv),
+    ];
+    let store = TraceStore::build(recs, sites, 3);
+    let diags =
+        lint_trace_with_script(&store, &parsed, 3, "fixture.script", &LintConfig::default());
+    let d = find(&diags, "TDL008");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("outside the static may-match relation"));
+    assert_eq!(d.events, vec![0, 2]);
+}
+
+#[test]
+fn tdl008_silent_when_trace_agrees() {
+    use tracedbg_lint::lint_trace_with_script;
+    let src = "\
+fn main
+  if rank == 0
+    send 1 tag 5 rank
+  end
+  if rank == 1
+    recv from 0 tag 5 into x
+  end
+end
+";
+    let parsed = script::parse(src).unwrap();
+    let sites = SiteTable::new();
+    let s_send = sites.site("fixture.script", 3, "main");
+    let s_recv = sites.site("fixture.script", 6, "main");
+    let recs = vec![
+        TraceRecord::basic(0u32, EventKind::Send, 1, 0)
+            .with_span(0, 1)
+            .with_msg(msg(0, 1, 5, 0))
+            .with_site(s_send),
+        TraceRecord::basic(1u32, EventKind::RecvPost, 1, 1)
+            .with_args(0, 5)
+            .with_site(s_recv),
+        TraceRecord::basic(1u32, EventKind::RecvDone, 2, 2)
+            .with_span(2, 3)
+            .with_msg(msg(0, 1, 5, 0))
+            .with_site(s_recv),
+    ];
+    let store = TraceStore::build(recs, sites, 2);
+    let diags =
+        lint_trace_with_script(&store, &parsed, 2, "fixture.script", &LintConfig::default());
+    assert!(!has(&diags, "TDL008"), "{diags:?}");
+    // Plain lint_trace has no analysis, so TDL008 never fires either.
+    assert!(!has(&lint(Vec::new(), 2), "TDL008"));
+}
+
+#[test]
+fn catalog_lists_new_rules_with_docs_urls() {
+    let catalog = tracedbg_lint::rule_catalog();
+    for id in ["SDL107", "SDL108", "SDL109", "TDL008"] {
+        let info = catalog
+            .iter()
+            .find(|r| r.id.as_str() == id)
+            .unwrap_or_else(|| panic!("{id} missing from catalog"));
+        assert!(!info.description.is_empty());
+        assert_eq!(
+            info.id.docs_url(),
+            format!("https://tracedbg.dev/rules/{id}")
+        );
+    }
+    // IDs are unique and sorted — stable for `--rules` listings.
+    let ids: Vec<&str> = catalog.iter().map(|r| r.id.as_str()).collect();
+    let mut sorted = ids.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(ids, sorted);
+}
+
+#[test]
+fn json_report_carries_docs_url() {
+    let src = "fn main\n  call helper\nend\n";
+    let parsed = script::parse(src).unwrap();
+    let diags = lint_script(&parsed, 2, "f.script", &LintConfig::default());
+    let json = tracedbg_lint::report::render_json(&diags);
+    assert!(json.contains("https://tracedbg.dev/rules/SDL101"), "{json}");
 }
 
 #[test]

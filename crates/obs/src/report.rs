@@ -95,6 +95,12 @@ pub struct ExploreEvent {
     pub prefix_pruned: u64,
     /// Sibling groups that shared a prefix checkpoint.
     pub prefix_groups: u64,
+    /// Systematic alternatives never enqueued because a sleeping
+    /// (independence-proven) decision covered them (DPOR sleep sets).
+    pub runs_skipped_by_sleep_sets: u64,
+    /// Independent rank pairs proven by the static analysis (0 when the
+    /// explorer ran without independence facts).
+    pub independence_pairs: u64,
     /// Oracle verdicts per violation class, sorted by class name.
     pub oracle_triggers: Vec<ClassCount>,
 }
@@ -232,6 +238,8 @@ mod tests {
                     digest_pruned: 3,
                     prefix_pruned: 1,
                     prefix_groups: 2,
+                    runs_skipped_by_sleep_sets: 5,
+                    independence_pairs: 4,
                     oracle_triggers: vec![ClassCount {
                         class: "deadlock".into(),
                         count: 1,

@@ -25,6 +25,7 @@ pub mod racy;
 pub mod random_comm;
 pub mod ring;
 pub mod script;
+pub mod scripts;
 pub mod strassen;
 
 pub use matrix::Matrix;

@@ -1,0 +1,195 @@
+//! Built-in SDL workload scripts.
+//!
+//! These mirror the native workloads (`ring`, `racy`) in the script
+//! dialect, so the static analysis in `crates/analysis` — which reasons
+//! about script source — has first-class workloads to chew on. The engine
+//! executes exactly the analyzed source, which is what makes explorer
+//! sleep sets and the TDL008 divergence lint meaningful: every dynamic
+//! match the engine produces must fall inside the statically computed
+//! may-match relation for the same file label.
+
+use crate::script::{parse, Script};
+
+/// One named, built-in script workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BuiltinScript {
+    pub name: &'static str,
+    pub description: &'static str,
+    /// Smallest process count the pattern is meaningful at.
+    pub min_procs: usize,
+    pub source: &'static str,
+}
+
+impl BuiltinScript {
+    /// Parse the source; built-in sources are tested, so this cannot fail.
+    pub fn parse(&self) -> Script {
+        parse(self.source).expect("built-in script parses")
+    }
+
+    /// The file label under which the engine records this script's sites
+    /// — shared with the analysis so locations correlate.
+    pub fn file(&self) -> String {
+        format!("sdl:{}", self.name)
+    }
+}
+
+const RING: &str = "\
+# Token ring: rank 0 kicks off, everyone forwards once around.
+fn main
+  let nxt = ( rank + 1 ) % nprocs
+  let prv = ( rank + nprocs - 1 ) % nprocs
+  if rank == 0
+    send nxt tag 1 0
+    recv from prv tag 1 into x
+  else
+    recv from prv tag 1 into x
+    send nxt tag 1 ( x + 1 )
+  end
+end
+";
+
+const PAIRS: &str = "\
+# Disjoint ping-pong pairs: rank 2k <-> 2k+1. Cross-pair ranks never
+# communicate, so their scheduling decisions provably commute — the
+# workload sleep-set DPOR is benchmarked on.
+fn main
+  if ( rank % 2 ) == 0
+    let partner = rank + 1
+    if partner < nprocs
+      loop k 0 2
+        send partner tag 10 ( rank * 100 + k )
+        recv from partner tag 11 into r
+      end
+    end
+  else
+    let partner = rank - 1
+    loop k 0 2
+      recv from partner tag 10 into v
+      send partner tag 11 ( v + 1 )
+    end
+  end
+end
+";
+
+const RACY_WILDCARD: &str = "\
+# The master assumes worker 1's report lands first; nothing enforces it.
+# A schedule that lets another worker go first divides by zero: the
+# script analog of the native wildcard-race workload.
+fn main
+  if rank == 0
+    recv from any tag 30 into v
+    if v_src != 1
+      let boom = ( 1 % 0 )
+    end
+    loop k 2 nprocs
+      recv from any tag 30 into w
+    end
+  else
+    compute ( ( rank - 1 ) * 200000 )
+    send 0 tag 30 rank
+  end
+end
+";
+
+const RACY_DEADLOCK: &str = "\
+# The master follows up with whoever reported first, but only worker 1
+# ever sends the follow-up: any other first match orphans the directed
+# receive — the script analog of the native orphan-deadlock workload.
+fn main
+  if rank == 0
+    recv from any tag 30 into v
+    recv from v_src tag 31 into w
+    loop k 2 nprocs
+      recv from any tag 30 into z
+    end
+  else
+    compute ( ( rank - 1 ) * 200000 )
+    send 0 tag 30 rank
+    if rank == 1
+      send 0 tag 31 rank
+    end
+  end
+end
+";
+
+const BUILTINS: &[BuiltinScript] = &[
+    BuiltinScript {
+        name: "ring",
+        description: "token ring in the script dialect; statically clean",
+        min_procs: 2,
+        source: RING,
+    },
+    BuiltinScript {
+        name: "pairs",
+        description: "disjoint ping-pong pairs with provably-commuting cross-pair schedules",
+        min_procs: 2,
+        source: PAIRS,
+    },
+    BuiltinScript {
+        name: "racy-wildcard",
+        description: "wildcard-receive race ending in a panic off the assumed match order",
+        min_procs: 3,
+        source: RACY_WILDCARD,
+    },
+    BuiltinScript {
+        name: "racy-deadlock",
+        description:
+            "orphaned directed receive after a wildcard match: schedule-dependent deadlock",
+        min_procs: 3,
+        source: RACY_DEADLOCK,
+    },
+];
+
+/// All built-in script workloads.
+pub fn builtins() -> &'static [BuiltinScript] {
+    BUILTINS
+}
+
+/// Look up a built-in script by name.
+pub fn builtin(name: &str) -> Option<&'static BuiltinScript> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::programs;
+    use tracedbg_mpsim::{Engine, EngineConfig, RecorderConfig, SchedPolicy};
+
+    #[test]
+    fn all_builtins_parse() {
+        for b in builtins() {
+            let script = b.parse();
+            assert!(script.functions.contains_key("main"), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn all_builtins_complete_under_round_robin() {
+        for b in builtins() {
+            for nprocs in [b.min_procs, b.min_procs + 1, b.min_procs + 2] {
+                let progs = programs(&b.parse(), nprocs, &b.file());
+                let mut e = Engine::launch(
+                    EngineConfig {
+                        policy: SchedPolicy::RoundRobin,
+                        recorder: RecorderConfig::full(),
+                        ..Default::default()
+                    },
+                    progs,
+                );
+                assert!(
+                    e.run().is_completed(),
+                    "{} did not complete at nprocs={nprocs}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(builtin("pairs").is_some());
+        assert!(builtin("nope").is_none());
+        assert_eq!(builtin("racy-wildcard").unwrap().min_procs, 3);
+    }
+}

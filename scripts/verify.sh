@@ -20,6 +20,36 @@ echo "==> lint smoke: seed workloads must be clean"
 ./target/release/tracedbg lint target/verify_ring.trc
 ./target/release/tracedbg lint script:examples/scripts/pingpong.script --procs 4
 
+echo "==> analyze smoke: static analysis renders, JSON schema keys, DPOR findings identity"
+./target/release/tracedbg analyze sdl:ring --procs 4 >/dev/null
+# Capture instead of piping into `grep -q`: an early-exiting reader would
+# hit the writer with a broken pipe mid-print.
+dot=$(./target/release/tracedbg analyze sdl:ring --procs 4 --dot)
+printf '%s' "$dot" | grep -q 'digraph' \
+  || { echo "analyze --dot did not emit a digraph" >&2; exit 1; }
+for wl in sdl:ring sdl:racy-wildcard; do
+  out=$(./target/release/tracedbg analyze "$wl" --procs 4 --json)
+  for key in '"workload"' '"nprocs"' '"complete"' '"sites"' '"may_match"' \
+      '"independent_rank_pairs"' '"deadlocked_ranks"'; do
+    printf '%s' "$out" | grep -q "$key" \
+      || { echo "analyze $wl --json is missing $key" >&2; exit 1; }
+  done
+done
+# Sleep-set DPOR must report exactly the findings of the full search on
+# the racy script workloads (same classes, same counts), at any --jobs.
+for wl in sdl:racy-wildcard sdl:racy-deadlock; do
+  full=$(./target/release/tracedbg explore "$wl" --procs 3 --runs 300 --seed 7 \
+      --strategy systematic --jobs 1 --json --out target/verify_dpor_full || true)
+  dpor=$(./target/release/tracedbg explore "$wl" --procs 3 --runs 300 --seed 7 \
+      --strategy systematic --jobs 4 --dpor --json --out target/verify_dpor_on || true)
+  full_classes=$(printf '%s' "$full" | grep -o '"class":"[^"]*"' | sort)
+  dpor_classes=$(printf '%s' "$dpor" | grep -o '"class":"[^"]*"' | sort)
+  if [ -z "$full_classes" ] || [ "$full_classes" != "$dpor_classes" ]; then
+    echo "explore $wl: --dpor findings diverged from the full search" >&2
+    exit 1
+  fi
+done
+
 echo "==> explore smoke: the seeded races must be found and must reproduce"
 rm -rf target/verify_explore
 # `explore` exits non-zero when it finds violations — here that is the
@@ -108,7 +138,7 @@ done
 echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
 rm -rf target/verify_bench
 ./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
-for suite in parse replay checkpoint explore; do
+for suite in parse replay checkpoint explore explore_dpor; do
   f=target/verify_bench/BENCH_${suite}.json
   [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
   # Every row carries the six-field schema the serializer unit test pins.
