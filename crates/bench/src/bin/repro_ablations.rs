@@ -33,6 +33,7 @@ fn dissemination_table() -> String {
             nprocs: 4,
             rounds,
             hop_cost: 100,
+            tag_stride: 0,
         };
         let mut e = Engine::launch(
             EngineConfig::with_recorder(RecorderConfig::full()),

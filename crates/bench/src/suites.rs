@@ -14,7 +14,10 @@
 //!   `jobs = N` (the parallel-speedup comparison);
 //! * `explore_dpor` — exhaustive systematic search with static
 //!   independence facts off vs on (the sleep-set DPOR payoff), at
-//!   `jobs = 1` and `jobs = 4`.
+//!   `jobs = 1` and `jobs = 4`;
+//! * `store` — the on-disk indexed trace store: ingest throughput,
+//!   cold-open latency, and each indexed query against the
+//!   `read_binary`+scan baseline it must beat.
 //!
 //! Every suite runs a fixed iteration plan (see [`crate::measure`]), so
 //! numbers are comparable between invocations and across commits.
@@ -24,8 +27,9 @@ use tracedbg_debugger::{Session, SessionConfig, Stopline};
 use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
 use tracedbg_instrument::RecorderConfig;
 use tracedbg_mpsim::{Engine, EngineConfig, SchedPolicy};
+use tracedbg_store::{ingest_records, DiskStore, StoreOptions};
 use tracedbg_trace::file::{read_binary, read_text, write_binary, write_text, TraceFile};
-use tracedbg_trace::{trace_digest, EventQuery, MarkerVector, TraceStore};
+use tracedbg_trace::{trace_digest, EventQuery, MarkerVector, Rank, Tag, TraceStore};
 use tracedbg_tracegraph::MessageMatching;
 use tracedbg_workloads::racy::{wildcard_race_factory, RacyConfig};
 use tracedbg_workloads::ring::{self, RingConfig};
@@ -79,6 +83,7 @@ fn ring_store(rounds: usize) -> TraceStore {
         nprocs: 4,
         rounds,
         hop_cost: 100,
+        tag_stride: 0,
     };
     let mut e = Engine::launch(
         EngineConfig::with_recorder(RecorderConfig::full()),
@@ -170,6 +175,7 @@ fn suite_replay(opts: &SuiteOptions) -> Suite {
         nprocs: 4,
         rounds: 64,
         hop_cost: 100,
+        tag_stride: 0,
     };
     // Record once: markers, match log, and the full decision schedule.
     let mut rec = Engine::launch(
@@ -313,6 +319,7 @@ fn suite_engine(opts: &SuiteOptions) -> Suite {
             nprocs: 4,
             rounds: 100,
             hop_cost: 0,
+            tag_stride: 0,
         };
         records.push(measure(name, 1, p, || {
             let mut e = Engine::launch(
@@ -341,6 +348,7 @@ fn suite_checkpoint(opts: &SuiteOptions) -> Suite {
         nprocs: 4,
         rounds: 64,
         hop_cost: 100,
+        tag_stride: 0,
     };
     let launch = || {
         Engine::launch(
@@ -529,6 +537,148 @@ fn suite_explore_dpor(opts: &SuiteOptions) -> Suite {
     }
 }
 
+/// The on-disk indexed trace store vs the `read_binary`+scan baseline.
+///
+/// Corpus: a 16-rank, 512-round ring with `tag_stride: 64`, so both zone
+/// indexes have real selectivity (1/16 of events per rank lane, 1/64 of
+/// the traffic per tag). The `*_scan` baselines re-parse the binary trace
+/// and linearly filter — the path every consumer used before the store —
+/// and each `*_indexed` benchmark asserts it saw exactly the same events.
+fn suite_store(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let cfg = RingConfig {
+        nprocs: 32,
+        rounds: 256,
+        hop_cost: 100,
+        tag_stride: 64,
+    };
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::full()),
+        ring::programs(&cfg),
+    );
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    let file = TraceFile::new(
+        store.records().to_vec(),
+        store.sites().clone(),
+        store.n_ranks(),
+    );
+    let mut binary = Vec::new();
+    write_binary(&mut binary, &file).expect("in-memory write");
+
+    let dir = std::env::temp_dir().join(format!("tracedbg-bench-store-{}", std::process::id()));
+    let store_opts = StoreOptions {
+        segment_events: 8192,
+    };
+    let summary = ingest_records(
+        file.records.as_slice(),
+        &file.sites,
+        file.n_ranks,
+        &dir,
+        store_opts,
+    )
+    .expect("bench store ingest");
+    assert!(summary.n_segments > 1, "corpus should span segments");
+
+    if wants(opts, "store", "ingest") {
+        let p = plan(opts, 2, 5, 4);
+        records.push(measure("ingest", 1, p, || {
+            let s = ingest_records(
+                file.records.as_slice(),
+                &file.sites,
+                file.n_ranks,
+                &dir,
+                store_opts,
+            )
+            .expect("ingest");
+            assert_eq!(s.n_events, file.records.len() as u64);
+        }));
+        // The timed loop rewrote the directory; rebuild the canonical copy.
+        ingest_records(
+            file.records.as_slice(),
+            &file.sites,
+            file.n_ranks,
+            &dir,
+            store_opts,
+        )
+        .expect("bench store rebuild");
+    }
+    if wants(opts, "store", "cold_open") {
+        // Manifest + index directory + segment headers only: the lazy
+        // reader's promise is that this stays in the sub-millisecond range
+        // however large the payload grows.
+        let p = plan(opts, 8, 9, 24);
+        records.push(measure("cold_open", 1, p, || {
+            let d = DiskStore::open(&dir).expect("open");
+            assert_eq!(d.n_events(), file.records.len() as u64);
+        }));
+    }
+
+    let disk = DiskStore::open(&dir).expect("open");
+    let rank = Rank(7);
+    let tag = Tag(20 + 11);
+    let p = plan(opts, 4, 9, 8);
+
+    let n_rank = disk.by_rank(rank).expect("cursor").count();
+    if wants(opts, "store", "query_rank_indexed") {
+        records.push(measure("query_rank_indexed", 1, p, || {
+            let n = disk.by_rank(rank).expect("cursor").count();
+            assert_eq!(n, n_rank);
+        }));
+    }
+    if wants(opts, "store", "query_rank_scan") {
+        records.push(measure("query_rank_scan", 1, p, || {
+            let tf = read_binary(binary.as_slice()).expect("parse");
+            let n = tf.records.iter().filter(|r| r.rank == rank).count();
+            assert_eq!(n, n_rank);
+        }));
+    }
+    let n_tag = disk.by_tag(tag).expect("cursor").count();
+    if wants(opts, "store", "query_tag_indexed") {
+        records.push(measure("query_tag_indexed", 1, p, || {
+            let n = disk.by_tag(tag).expect("cursor").count();
+            assert_eq!(n, n_tag);
+        }));
+    }
+    if wants(opts, "store", "query_tag_scan") {
+        records.push(measure("query_tag_scan", 1, p, || {
+            let tf = read_binary(binary.as_slice()).expect("parse");
+            let n = tf
+                .records
+                .iter()
+                .filter(|r| r.msg.as_ref().is_some_and(|m| m.tag == tag))
+                .count();
+            assert_eq!(n, n_tag);
+        }));
+    }
+    let (t_lo, t_hi) = disk.time_bounds();
+    let (w_lo, w_hi) = (t_lo, t_lo + (t_hi - t_lo) / 100);
+    let n_win = disk.by_time_window(w_lo, w_hi).expect("cursor").count();
+    if wants(opts, "store", "query_window_indexed") {
+        records.push(measure("query_window_indexed", 1, p, || {
+            let n = disk.by_time_window(w_lo, w_hi).expect("cursor").count();
+            assert_eq!(n, n_win);
+        }));
+    }
+    if wants(opts, "store", "query_window_scan") {
+        records.push(measure("query_window_scan", 1, p, || {
+            let tf = read_binary(binary.as_slice()).expect("parse");
+            let n = tf
+                .records
+                .iter()
+                .filter(|r| r.t_start <= w_hi && r.t_end >= w_lo)
+                .count();
+            assert_eq!(n, n_win);
+        }));
+    }
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+    Suite {
+        name: "store",
+        records,
+    }
+}
+
 /// Run every (non-filtered) suite in deterministic order.
 pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
     let all = [
@@ -539,6 +689,7 @@ pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
         suite_checkpoint,
         suite_explore,
         suite_explore_dpor,
+        suite_store,
     ];
     all.iter()
         .map(|f| f(opts))

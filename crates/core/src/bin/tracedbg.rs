@@ -1,8 +1,11 @@
 //! `tracedbg` — command-line front end.
 //!
 //! ```text
-//! tracedbg run <workload> [--trace out.trc] [--seed N] [--procs N]
-//! tracedbg view <trace.trc> [--width N] [--svg out.svg] [--window lo:hi]
+//! tracedbg run <workload> [--trace out.trc] [--store dir] [--seed N] [--procs N]
+//! tracedbg ingest <trace.trc | trace.tbin> --out <dir> [--segment-events N]
+//! tracedbg query <dir> [--rank N | --tag T | --kind CODE | --window lo:hi]
+//!                [--limit N] [--count] [--stats]
+//! tracedbg view <trace.trc | store-dir> [--width N] [--svg out.svg] [--window lo:hi]
 //! tracedbg analyze <trace.trc | script:path | sdl:name> [--procs N] [--json | --dot]
 //! tracedbg report <trace.trc> -o report.html
 //! tracedbg graph <trace.trc> --kind comm|call|trace [--format dot|vcg] [--rank N]
@@ -219,7 +222,14 @@ fn script_workload(
     }
 }
 
+/// Read a recorded trace from any of its on-disk forms: text (`.trc`),
+/// binary (`.tbin`), or an indexed store directory (`tracedbg ingest`),
+/// which is materialized through the [`TraceSource`] trait.
 fn load_store(path: &str) -> Result<TraceStore, String> {
+    if std::path::Path::new(path).is_dir() {
+        let disk = DiskStore::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        return materialize(&disk).map_err(|e| e.to_string());
+    }
     let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let tf = if path.ends_with(".tbin") {
         read_binary(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
@@ -227,6 +237,17 @@ fn load_store(path: &str) -> Result<TraceStore, String> {
         read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
     };
     Ok(tf.into_store())
+}
+
+/// Read a trace file (text or binary) without building the in-memory
+/// index — `ingest` only needs the raw records.
+fn load_trace_file(path: &str) -> Result<TraceFile, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if path.ends_with(".tbin") {
+        read_binary(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    } else {
+        read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    }
 }
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
@@ -238,9 +259,37 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let procs = opts.num("procs", 8usize);
     let (factory, _n) = workload_factory(name, seed, procs)?;
     let mut session = Session::launch(SessionConfig::default(), factory);
+    // --store: stream records into an indexed on-disk store *while the
+    // run executes* — the sink rides the monitor's flush path, nothing is
+    // re-read from memory afterwards.
+    let streaming = match opts.flag("store") {
+        Some(dir) => {
+            let w = StoreWriter::create(
+                std::path::Path::new(dir),
+                StoreOptions {
+                    segment_events: opts.num("segment-events", 65536usize),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let shared = SharedWriter::new(w);
+            session.attach_trace_sink(Box::new(shared.clone()));
+            Some((shared, dir.to_string()))
+        }
+        None => None,
+    };
     let status = session.run();
     println!("outcome: {status:?}");
     let store = session.trace();
+    if let Some((shared, dir)) = streaming {
+        session.detach_trace_sink();
+        let summary = shared
+            .finish(store.sites(), store.n_ranks())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "store written to {dir} ({} events, {} segments, {} bytes)",
+            summary.n_events, summary.n_segments, summary.bytes
+        );
+    }
     println!("{}", tracedbg::trace::TraceStats::compute(store.records()));
     let report = HistoryReport::analyze(&store);
     println!("{report}");
@@ -834,6 +883,110 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     })
 }
 
+/// `tracedbg ingest` — convert a recorded trace file into the indexed
+/// on-disk store format `tracedbg query` (and every trace-consuming
+/// command) reads.
+fn cmd_ingest(opts: &Opts) -> Result<(), String> {
+    let path = opts.positional.first().ok_or(
+        "usage: tracedbg ingest <trace.trc | trace.tbin> --out <dir> [--segment-events N]",
+    )?;
+    let out = opts.flag("out").ok_or("ingest needs --out <dir>")?;
+    let tf = load_trace_file(path)?;
+    let started = std::time::Instant::now();
+    let summary = tracedbg::store::ingest_records(
+        &tf.records,
+        &tf.sites,
+        tf.n_ranks,
+        std::path::Path::new(out),
+        StoreOptions {
+            segment_events: opts.num("segment-events", 65536usize),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "ingested {path}: {} events, {} ranks -> {out} ({} segments, {} bytes) in {:.1} ms",
+        summary.n_events,
+        summary.n_ranks,
+        summary.n_segments,
+        summary.bytes,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
+/// `tracedbg query` — indexed queries over an ingested store directory.
+/// Events stream from the store's cursors; the trace is never
+/// materialized, so multi-million-event stores answer in milliseconds.
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    const USAGE: &str = "usage: tracedbg query <dir> \
+         [--rank N | --tag T | --kind CODE | --window lo:hi] \
+         [--limit N] [--count] [--stats]";
+    let dir = opts.positional.first().ok_or(USAGE)?;
+    let disk = DiskStore::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    if opts.has("stats") {
+        // Streaming one-pass statistics through the TraceSource trait.
+        let stats = tracedbg::trace::TraceStats::from_source(&disk).map_err(|e| e.to_string())?;
+        print!("{stats}");
+        return Ok(());
+    }
+    let mut selectors = Vec::new();
+    if let Some(r) = opts.flag("rank") {
+        let r: u32 = r.parse().map_err(|_| format!("bad rank {r:?}"))?;
+        selectors.push(Select::Rank(Rank(r)));
+    }
+    if let Some(t) = opts.flag("tag") {
+        let t: i32 = t.parse().map_err(|_| format!("bad tag {t:?}"))?;
+        selectors.push(Select::Tag(Tag(t)));
+    }
+    if let Some(code) = opts.flag("kind") {
+        let kind = EventKind::all()
+            .into_iter()
+            .find(|k| k.code() == code)
+            .ok_or_else(|| {
+                let codes: Vec<&str> = EventKind::all().into_iter().map(|k| k.code()).collect();
+                format!("unknown kind {code:?} (one of: {})", codes.join(" "))
+            })?;
+        selectors.push(Select::Kind(kind));
+    }
+    if let Some(win) = opts.flag("window") {
+        let (lo, hi) = win
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .ok_or("bad --window, expected lo:hi")?;
+        selectors.push(Select::TimeWindow(lo, hi));
+    }
+    if selectors.len() > 1 {
+        return Err("give at most one of --rank/--tag/--kind/--window".into());
+    }
+    let sel = selectors.pop().unwrap_or(Select::All);
+    let (t_lo, t_hi) = disk.time_bounds();
+    println!(
+        "{dir}: {} events, {} ranks, t=[{t_lo}, {t_hi}] — {sel}",
+        disk.n_events(),
+        disk.n_ranks(),
+    );
+    let limit = opts.num("limit", 20usize);
+    let count_only = opts.has("count");
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    for rec in disk.select(sel).map_err(|e| e.to_string())? {
+        let rec = rec.map_err(|e| e.to_string())?;
+        total += 1;
+        if !count_only && shown < limit {
+            println!(
+                "  {:?} marker {} at t={}: {}",
+                rec.rank, rec.marker, rec.t_start, rec
+            );
+            shown += 1;
+        }
+    }
+    if !count_only && total > shown {
+        println!("  ... ({} more; raise --limit)", total - shown);
+    }
+    println!("{total} match(es)");
+    Ok(())
+}
+
 /// `tracedbg bench` — the in-tree perf harness. Runs the fixed-iteration
 /// suites from `tracedbg-bench` (trace parse, happens-before
 /// construction, golden-trace replay, engine throughput, and explorer
@@ -890,7 +1043,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|view|analyze|report|graph|debug|lint|explore|replay|stats|bench|workloads> ...\n\
+            "usage: tracedbg <run|ingest|query|view|analyze|report|graph|debug|lint|explore|replay|stats|bench|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -898,6 +1051,8 @@ fn main() -> ExitCode {
     let opts = Opts::parse(&args[1..]);
     let result = match cmd.as_str() {
         "run" => cmd_run(&opts),
+        "ingest" => cmd_ingest(&opts),
+        "query" => cmd_query(&opts),
         "view" => cmd_view(&opts),
         "analyze" => cmd_analyze(&opts),
         "report" => cmd_report(&opts),

@@ -60,6 +60,7 @@ pub use tracedbg_instrument as instrument;
 pub use tracedbg_lint as lint;
 pub use tracedbg_mpsim as mpsim;
 pub use tracedbg_obs as obs;
+pub use tracedbg_store as store;
 pub use tracedbg_trace as trace;
 pub use tracedbg_tracegraph as tracegraph;
 pub use tracedbg_viz as viz;
@@ -83,9 +84,10 @@ pub mod prelude {
         SchedPolicy,
     };
     pub use tracedbg_obs::{EventMetrics, MetricsReport, TimingMetrics};
+    pub use tracedbg_store::{DiskStore, SharedWriter, StoreOptions, StoreWriter};
     pub use tracedbg_trace::{
-        ArtifactMeta, EventKind, Marker, MarkerVector, Rank, ScheduleArtifact, Tag, TraceRecord,
-        TraceStore,
+        materialize, ArtifactMeta, EventKind, EventQuery, Marker, MarkerVector, Rank,
+        ScheduleArtifact, Select, Tag, TraceRecord, TraceSink, TraceSource, TraceStats, TraceStore,
     };
     pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
     pub use tracedbg_viz::{

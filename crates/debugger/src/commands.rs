@@ -147,7 +147,12 @@ impl CommandInterface {
             ["stopline", "t", t] => match t.parse::<u64>() {
                 Ok(t) => {
                     let store = self.session.trace();
-                    let sl = Stopline::vertical(&store, t);
+                    // Source-backed slice: resolves through the time-window
+                    // index when the trace lives in an on-disk store.
+                    let sl = match Stopline::vertical_from(&store, t) {
+                        Ok(sl) => sl,
+                        Err(e) => return format!("error: {e}"),
+                    };
                     let out = format!("> stopline t {t}\nstopline {:?}", sl.markers);
                     self.pending = Some(sl);
                     out
@@ -272,10 +277,15 @@ impl CommandInterface {
                             .into()
                     }
                 };
-                let hits = q.find_all(&store);
+                // The index-aware TraceSource path: on the in-memory store
+                // it is a reference scan; an attached on-disk store would
+                // answer the same query from its zone indexes.
+                let hits = match q.find_records(&store) {
+                    Ok(hits) => hits,
+                    Err(e) => return format!("error: {e}"),
+                };
                 let mut out = format!("> find {}\n{} match(es)", rest.join(" "), hits.len());
-                for id in hits.iter().take(8) {
-                    let rec = store.record(*id);
+                for rec in hits.iter().take(8) {
                     out.push_str(&format!(
                         "\n  {:?} marker {} at t={}: {}",
                         rec.rank, rec.marker, rec.t_start, rec

@@ -174,6 +174,19 @@ impl Session {
         &self.engine
     }
 
+    /// Stream every trace record of the current engine incarnation into a
+    /// [`tracedbg_trace::TraceSink`] (e.g. an on-disk store writer) as the
+    /// run executes. Replay and restart replace the engine, so attach
+    /// before the first `run` of the incarnation you want persisted.
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn tracedbg_trace::TraceSink>) {
+        self.engine.attach_trace_sink(sink);
+    }
+
+    /// Detach the streaming sink so its owner can finish it.
+    pub fn detach_trace_sink(&mut self) -> Option<Box<dyn tracedbg_trace::TraceSink>> {
+        self.engine.detach_trace_sink()
+    }
+
     /// Run until the next stop/completion/deadlock, recording the stop on
     /// the undo stack.
     pub fn run(&mut self) -> &SessionStatus {
@@ -920,6 +933,7 @@ mod tests {
             nprocs: 4,
             rounds: 8,
             hop_cost: 100,
+            tag_stride: 0,
         };
         let mut s = Session::launch(
             SessionConfig {

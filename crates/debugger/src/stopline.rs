@@ -19,7 +19,7 @@
 //! currently implemented" in p2d2.)
 
 use tracedbg_causality::{verify_cut, Frontier, HbIndex};
-use tracedbg_trace::{EventId, Marker, MarkerVector, TraceStore};
+use tracedbg_trace::{EventId, Marker, MarkerVector, Select, SourceError, TraceSource, TraceStore};
 use tracedbg_tracegraph::MessageMatching;
 
 /// A consistent set of per-process stop markers.
@@ -37,6 +37,26 @@ impl Stopline {
             markers: store.markers_at_time(t),
             origin: format!("t={t}"),
         }
+    }
+
+    /// [`Stopline::vertical`] over any [`TraceSource`]: builds the slice
+    /// by streaming the `[0, t]` time window, so an on-disk store answers
+    /// from its sparse time index without materializing the trace. Within
+    /// a rank markers and end times both increase in program order, so the
+    /// per-rank maximum marker among events with `t_end <= t` is exactly
+    /// the lane-prefix threshold `vertical` computes.
+    pub fn vertical_from(src: &dyn TraceSource, t: u64) -> Result<Stopline, SourceError> {
+        let mut markers = MarkerVector::zero(src.source_n_ranks());
+        for rec in src.select(Select::TimeWindow(0, t))? {
+            let rec = rec?;
+            if rec.t_end <= t && rec.marker > markers.get(rec.rank) {
+                markers.set(rec.rank, rec.marker);
+            }
+        }
+        Ok(Stopline {
+            markers,
+            origin: format!("t={t}"),
+        })
     }
 
     /// Stop at the selected event in its process and at the last point
@@ -130,6 +150,15 @@ mod tests {
         let sl = Stopline::vertical(&s, 13);
         assert_eq!(sl.markers.counts(), &[2, 1]);
         assert_eq!(sl.origin, "t=13");
+    }
+
+    #[test]
+    fn vertical_from_source_matches_vertical() {
+        let s = store();
+        for t in 0..=40 {
+            let sl = Stopline::vertical_from(&s, t).unwrap();
+            assert_eq!(sl, Stopline::vertical(&s, t), "t={t}");
+        }
     }
 
     #[test]

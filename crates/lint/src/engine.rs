@@ -127,6 +127,18 @@ pub fn lint_trace(store: &TraceStore, cfg: &LintConfig) -> Vec<Diagnostic> {
     lint_trace_cx(TraceCx::build(store), cfg)
 }
 
+/// Run the trace rules over any [`TraceSource`] — e.g. an on-disk store.
+/// The rules need message matching and cross-rank context, so the source
+/// is materialized into the in-memory reference form first; the store
+/// stays the single artifact the user hands around.
+pub fn lint_source(
+    src: &dyn tracedbg_trace::TraceSource,
+    cfg: &LintConfig,
+) -> Result<Vec<Diagnostic>, tracedbg_trace::SourceError> {
+    let store = tracedbg_trace::materialize(src)?;
+    Ok(lint_trace(&store, cfg))
+}
+
 /// [`lint_trace`], additionally told which script (as executed with
 /// `nprocs` ranks under the file label `file`) produced the trace. The
 /// static analysis of that script feeds the analysis-vs-trace divergence

@@ -673,6 +673,7 @@ impl Engine {
                 self.states[rank.ix()] = ProcState::Finished;
                 // Collect the finished process's trace immediately.
                 let recs = self.recorders[rank.ix()].lock().take_records();
+                self.flush.tee_records(&recs);
                 self.collected.extend(recs);
             }
             Request::Panicked { message } => {
@@ -903,10 +904,26 @@ impl Engine {
             let mut g = r.lock();
             let recs = g.take_records();
             drop(g);
+            // Records drained here bypass the flush handle, so forward
+            // them to any attached streaming sink explicitly.
+            self.flush.tee_records(&recs);
             self.collected.extend(recs);
         }
         self.collected.extend(self.flush.drain());
         self.collected.clone()
+    }
+
+    /// Attach a streaming trace sink: every record is forwarded to it at
+    /// flush/collect time, in arrival order. The sink sees each record
+    /// exactly once; call [`Engine::detach_trace_sink`] after the final
+    /// [`Engine::collect_trace`] to get it back and finish it.
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn tracedbg_trace::TraceSink>) {
+        self.flush.set_tee(sink);
+    }
+
+    /// Detach the streaming sink attached by [`Engine::attach_trace_sink`].
+    pub fn detach_trace_sink(&mut self) -> Option<Box<dyn tracedbg_trace::TraceSink>> {
+        self.flush.take_tee()
     }
 
     /// Collected trace as a queryable store.

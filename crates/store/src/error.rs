@@ -1,0 +1,142 @@
+//! Typed failures for every store operation.
+//!
+//! The robustness contract of the store is that *no* corrupt, truncated,
+//! or mismatched input ever panics or yields a silent partial read —
+//! every failure is one of these variants, naming the file and what was
+//! wrong with it.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a store could not be written, opened, or read.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io { path: PathBuf, source: io::Error },
+    /// A file did not start with its expected magic number.
+    BadMagic { path: PathBuf, found: [u8; 4] },
+    /// A file carries a format version this build does not speak.
+    BadVersion {
+        path: PathBuf,
+        found: u32,
+        want: u32,
+    },
+    /// A checksum did not match; `what` names the protected region.
+    CrcMismatch {
+        path: PathBuf,
+        what: String,
+        want: u32,
+        got: u32,
+    },
+    /// The file ended before `what` could be read in full.
+    Truncated { path: PathBuf, what: String },
+    /// Two pieces of the store disagree (lengths, counts, bounds).
+    Mismatch { path: PathBuf, what: String },
+}
+
+impl StoreError {
+    pub fn io(path: &Path, source: io::Error) -> Self {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    pub fn truncated(path: &Path, what: impl Into<String>) -> Self {
+        StoreError::Truncated {
+            path: path.to_path_buf(),
+            what: what.into(),
+        }
+    }
+
+    pub fn mismatch(path: &Path, what: impl Into<String>) -> Self {
+        StoreError::Mismatch {
+            path: path.to_path_buf(),
+            what: what.into(),
+        }
+    }
+
+    pub fn crc(path: &Path, what: impl Into<String>, want: u32, got: u32) -> Self {
+        StoreError::CrcMismatch {
+            path: path.to_path_buf(),
+            what: what.into(),
+            want,
+            got,
+        }
+    }
+
+    /// Map a read error: `UnexpectedEof` is a truncation (the common way
+    /// corruption presents), everything else is I/O.
+    pub fn from_read(path: &Path, what: &str, e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::truncated(path, what)
+        } else {
+            StoreError::io(path, e)
+        }
+    }
+
+    /// The file the error is about.
+    pub fn path(&self) -> &Path {
+        match self {
+            StoreError::Io { path, .. }
+            | StoreError::BadMagic { path, .. }
+            | StoreError::BadVersion { path, .. }
+            | StoreError::CrcMismatch { path, .. }
+            | StoreError::Truncated { path, .. }
+            | StoreError::Mismatch { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "{}: io error: {source}", path.display())
+            }
+            StoreError::BadMagic { path, found } => write!(
+                f,
+                "{}: bad magic {:?} (not a tracedbg store file)",
+                path.display(),
+                found
+            ),
+            StoreError::BadVersion { path, found, want } => write!(
+                f,
+                "{}: format version {found} (this build speaks {want})",
+                path.display()
+            ),
+            StoreError::CrcMismatch {
+                path,
+                what,
+                want,
+                got,
+            } => write!(
+                f,
+                "{}: crc mismatch in {what} (expected {want:#010x}, computed {got:#010x})",
+                path.display()
+            ),
+            StoreError::Truncated { path, what } => {
+                write!(f, "{}: truncated reading {what}", path.display())
+            }
+            StoreError::Mismatch { path, what } => {
+                write!(f, "{}: inconsistent store: {what}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for tracedbg_trace::SourceError {
+    fn from(e: StoreError) -> Self {
+        tracedbg_trace::SourceError::new(e.to_string())
+    }
+}

@@ -1,0 +1,167 @@
+//! The per-event frame codec.
+//!
+//! A frame body carries one [`TraceRecord`] in exactly the field layout of
+//! the `.tbin` record encoding (`tracedbg_trace::file`), so the two
+//! formats stay convertible without re-quantizing anything. Inside a
+//! segment, each frame is length-prefixed (`u32` body length, then the
+//! body) so a cursor can skip records without decoding them.
+
+use crate::error::StoreError;
+use crate::layout::{Builder, Cursor};
+use tracedbg_trace::{EventKind, MsgInfo, Rank, SiteId, Tag, TraceRecord};
+
+pub(crate) fn kind_code(kind: EventKind) -> u8 {
+    EventKind::all()
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind in table") as u8
+}
+
+/// Append one record's frame (length prefix + body) to `out`.
+pub fn encode_frame(out: &mut Builder, r: &TraceRecord) {
+    let mut body = Builder::new();
+    body.u32(r.rank.0);
+    body.u8(kind_code(r.kind));
+    body.u64(r.marker);
+    body.u64(r.t_start);
+    body.u64(r.t_end);
+    body.u32(r.site.0);
+    body.i64(r.args[0]);
+    body.i64(r.args[1]);
+    let flags = (r.msg.is_some() as u8) | ((r.label.is_some() as u8) << 1);
+    body.u8(flags);
+    if let Some(m) = &r.msg {
+        body.u32(m.src.0);
+        body.u32(m.dst.0);
+        body.u32(m.tag.0 as u32);
+        body.u32(m.bytes);
+        body.u64(m.seq);
+    }
+    if let Some(l) = &r.label {
+        body.string(l);
+    }
+    out.u32(body.buf.len() as u32);
+    out.bytes(&body.buf);
+}
+
+/// Decode one frame (length prefix + body) from the cursor.
+pub fn decode_frame(c: &mut Cursor<'_>, path: &std::path::Path) -> Result<TraceRecord, StoreError> {
+    let len = c.u32("frame length")? as usize;
+    if len > c.remaining() {
+        return Err(StoreError::truncated(path, "frame body"));
+    }
+    let body = c.take(len, "frame body")?;
+    let mut b = Cursor::new(body, path);
+    let rec = decode_body(&mut b, path)?;
+    if b.remaining() != 0 {
+        return Err(StoreError::mismatch(
+            path,
+            format!("frame body has {} trailing bytes", b.remaining()),
+        ));
+    }
+    Ok(rec)
+}
+
+fn decode_body(b: &mut Cursor<'_>, path: &std::path::Path) -> Result<TraceRecord, StoreError> {
+    let rank = Rank(b.u32("record rank")?);
+    let code = b.u8("record kind")?;
+    let kind = EventKind::all()
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| StoreError::mismatch(path, format!("bad kind code {code}")))?;
+    let marker = b.u64("record marker")?;
+    let t_start = b.u64("record t_start")?;
+    let t_end = b.u64("record t_end")?;
+    let site = SiteId(b.u32("record site")?);
+    let a0 = b.i64("record arg0")?;
+    let a1 = b.i64("record arg1")?;
+    let flags = b.u8("record flags")?;
+    if flags & !3 != 0 {
+        return Err(StoreError::mismatch(
+            path,
+            format!("bad record flags {flags:#04x}"),
+        ));
+    }
+    let msg = if flags & 1 != 0 {
+        Some(MsgInfo {
+            src: Rank(b.u32("msg src")?),
+            dst: Rank(b.u32("msg dst")?),
+            tag: Tag(b.u32("msg tag")? as i32),
+            bytes: b.u32("msg bytes")?,
+            seq: b.u64("msg seq")?,
+        })
+    } else {
+        None
+    };
+    let label = if flags & 2 != 0 {
+        Some(b.string("record label")?)
+    } else {
+        None
+    };
+    Ok(TraceRecord {
+        rank,
+        kind,
+        marker,
+        t_start,
+        t_end,
+        site,
+        msg,
+        args: [a0, a1],
+        label,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::basic(0u32, EventKind::Compute, 1, 0).with_span(0, 10),
+            TraceRecord::basic(3u32, EventKind::Send, 2, 10)
+                .with_span(10, 12)
+                .with_site(SiteId(5))
+                .with_args(-4, 7)
+                .with_msg(MsgInfo {
+                    src: Rank(3),
+                    dst: Rank(0),
+                    tag: Tag(-1),
+                    bytes: 64,
+                    seq: 9,
+                }),
+            TraceRecord::basic(1u32, EventKind::Probe, 3, 20).with_label("checkpoint α"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_shape() {
+        let path = PathBuf::from("seg");
+        for rec in sample() {
+            let mut b = Builder::new();
+            encode_frame(&mut b, &rec);
+            let mut c = Cursor::new(&b.buf, &path);
+            let back = decode_frame(&mut c, &path).unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(c.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_error() {
+        let path = PathBuf::from("seg");
+        let mut b = Builder::new();
+        encode_frame(&mut b, &sample()[1]);
+        for cut in [0, 3, 4, 10, b.buf.len() - 1] {
+            let mut c = Cursor::new(&b.buf[..cut], &path);
+            assert!(decode_frame(&mut c, &path).is_err(), "cut at {cut}");
+        }
+        // A frame longer than its body declares is a mismatch.
+        let mut long = b.buf.clone();
+        let len = u32::from_le_bytes([long[0], long[1], long[2], long[3]]);
+        long[0..4].copy_from_slice(&(len + 1).to_le_bytes());
+        long.push(0);
+        let mut c = Cursor::new(&long, &path);
+        assert!(decode_frame(&mut c, &path).is_err());
+    }
+}

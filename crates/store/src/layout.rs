@@ -1,0 +1,190 @@
+//! On-disk layout constants and the checked byte cursor.
+//!
+//! A store directory holds three file kinds, all little-endian, all
+//! version-stamped and checksummed (see DESIGN.md §12):
+//!
+//! ```text
+//! store/
+//!   manifest.tds     run-wide metadata + site table   (magic "TDSM")
+//!   index.tds        zone indexes + sparse time index (magic "TDSI")
+//!   seg-00000.tds    event segments                   (magic "TDSG")
+//!   seg-00001.tds
+//!   ...
+//! ```
+//!
+//! Decoding never indexes a slice directly: every read goes through
+//! [`Cursor`], which turns out-of-bounds into a typed
+//! [`StoreError::Truncated`](crate::StoreError::Truncated).
+
+use crate::error::StoreError;
+use std::path::Path;
+
+/// Magic number of a segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"TDSG";
+/// Magic number of the manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"TDSM";
+/// Magic number of the index.
+pub const INDEX_MAGIC: [u8; 4] = *b"TDSI";
+
+/// The one format version this build reads and writes. Compatibility
+/// policy: strict equality — a reader rejects both older and newer
+/// files with [`StoreError::BadVersion`](crate::StoreError::BadVersion)
+/// rather than guessing at a layout it does not know.
+pub const VERSION: u32 = 1;
+
+/// Fixed byte size of a segment header.
+pub const SEGMENT_HEADER_LEN: usize = 40;
+
+/// Byte size of one index directory entry.
+pub const DIR_ENTRY_LEN: usize = 33;
+
+/// Canonical-order id list (one section).
+pub const SEC_CANON: u8 = 0;
+/// Per-rank program-order postings (one section per rank).
+pub const SEC_RANK: u8 = 1;
+/// Per-tag canonical-order postings (one section per distinct tag).
+pub const SEC_TAG: u8 = 2;
+/// Per-construct canonical-order postings (one per distinct kind).
+pub const SEC_KIND: u8 = 3;
+/// Sparse `(t_start, canon_pos)` samples every `key` positions.
+pub const SEC_TIME: u8 = 4;
+
+/// Sampling stride of the sparse time index.
+pub const TIME_STRIDE: u64 = 1024;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.tds";
+/// Index file name inside a store directory.
+pub const INDEX_FILE: &str = "index.tds";
+
+/// Segment file name for segment `i`.
+pub fn segment_file(i: u32) -> String {
+    format!("seg-{i:05}.tds")
+}
+
+/// A bounds-checked reader over an in-memory byte slice.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8], path: &'a Path) -> Self {
+        Cursor { buf, pos: 0, path }
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::truncated(self.path, what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn i64(&mut self, what: &str) -> Result<i64, StoreError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &str) -> Result<String, StoreError> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(StoreError::truncated(self.path, what));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::mismatch(self.path, format!("{what}: invalid UTF-8")))
+    }
+}
+
+/// A little-endian byte builder (the write-side mirror of [`Cursor`]).
+#[derive(Default)]
+pub struct Builder {
+    pub buf: Vec<u8>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn cursor_roundtrip_and_truncation() {
+        let mut b = Builder::new();
+        b.u8(7);
+        b.u32(0xDEAD_BEEF);
+        b.u64(1 << 40);
+        b.string("hello");
+        let path = PathBuf::from("x");
+        let mut c = Cursor::new(&b.buf, &path);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64("c").unwrap(), 1 << 40);
+        assert_eq!(c.string("d").unwrap(), "hello");
+        assert_eq!(c.remaining(), 0);
+        assert!(matches!(c.u8("end"), Err(StoreError::Truncated { .. })));
+        // A string whose declared length exceeds the buffer is a
+        // truncation, not a huge allocation.
+        let mut b2 = Builder::new();
+        b2.u32(1 << 30);
+        let mut c2 = Cursor::new(&b2.buf, &path);
+        assert!(matches!(c2.string("s"), Err(StoreError::Truncated { .. })));
+    }
+}

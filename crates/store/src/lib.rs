@@ -1,0 +1,39 @@
+//! On-disk indexed trace store.
+//!
+//! The paper treats the trace as the debugging substrate; this crate makes
+//! that substrate persistent and random-access. A *store directory* holds
+//! a run's events in append-only binary segments plus fixed-width zone
+//! indexes (per rank, per tag, per construct) and a sparse time index, so
+//! the questions the debugger asks — "rank 3's events in program order",
+//! "everything with tag 20", "what intersects `[t0, t1]`" — are index
+//! lookups over a cold file, not linear scans over a materialized vector.
+//!
+//! Three entry points:
+//!
+//! * [`StoreWriter`] / [`SharedWriter`] — streaming ingestion; the engine
+//!   tees its flush path through the sink, so the store is built *while
+//!   the run executes*;
+//! * [`ingest_store`] / [`ingest_records`] — one-shot conversion of an
+//!   existing trace;
+//! * [`DiskStore`] — the reader: cheap [`DiskStore::open`], lazy
+//!   CRC-verified segment loads, cursor-based queries, and a
+//!   [`TraceSource`](tracedbg_trace::TraceSource) impl so every consumer
+//!   of the in-memory reference store works against disk unchanged.
+//!
+//! Every query returns events byte-identical to the same selection over
+//! the in-memory [`TraceStore`](tracedbg_trace::TraceStore) — the store
+//! is a pure index, never a filter; `crates/store/tests` holds the
+//! property battery that pins this.
+
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod layout;
+pub mod reader;
+pub mod writer;
+
+pub use error::StoreError;
+pub use reader::{DiskStore, EventCursor};
+pub use writer::{
+    ingest_records, ingest_store, SharedWriter, StoreOptions, StoreWriter, WriteSummary,
+};

@@ -12,12 +12,18 @@
 //! on and off in the monitor" — see [`TraceBuffer::set_enabled`].
 
 use crate::event::TraceRecord;
+use crate::source::TraceSink;
 use std::sync::{Arc, Mutex};
 
 /// Shared drain target for all per-process buffers of one run.
+///
+/// Optionally tees every record through an attached [`TraceSink`] (a
+/// streaming store writer) at flush time — persistence happens while the
+/// run executes, without perturbing what the debugger drains.
 #[derive(Clone, Default)]
 pub struct FlushHandle {
     sink: Arc<Mutex<Vec<TraceRecord>>>,
+    tee: Arc<Mutex<Option<Box<dyn TraceSink>>>>,
 }
 
 impl FlushHandle {
@@ -25,8 +31,31 @@ impl FlushHandle {
         Self::default()
     }
 
+    /// Attach a streaming sink; every record subsequently flushed is also
+    /// forwarded to it. Replaces any previously attached sink.
+    pub fn set_tee(&self, sink: Box<dyn TraceSink>) {
+        *self.tee.lock().unwrap() = Some(sink);
+    }
+
+    /// Detach and return the attached sink (so its owner can finish it).
+    pub fn take_tee(&self) -> Option<Box<dyn TraceSink>> {
+        self.tee.lock().unwrap().take()
+    }
+
+    /// Forward records to the attached sink without storing them here.
+    /// Used for records that reach the collector on a path that bypasses
+    /// [`FlushHandle::accept`] (end-of-run recorder drains).
+    pub fn tee_records(&self, records: &[TraceRecord]) {
+        if let Some(t) = self.tee.lock().unwrap().as_mut() {
+            for r in records {
+                t.accept(r);
+            }
+        }
+    }
+
     /// Append a batch of flushed records.
     pub fn accept(&self, mut records: Vec<TraceRecord>) {
+        self.tee_records(&records);
         self.sink.lock().unwrap().append(&mut records);
     }
 
@@ -157,6 +186,29 @@ mod tests {
         assert_eq!(b.suppressed(), 2);
         let markers: Vec<u64> = b.records().iter().map(|r| r.marker).collect();
         assert_eq!(markers, vec![1, 4]);
+    }
+
+    #[test]
+    fn tee_sees_accepts_and_explicit_forwards() {
+        use crate::source::TraceSink;
+        use std::sync::{Arc, Mutex};
+        struct CountSink(Arc<Mutex<Vec<u64>>>);
+        impl TraceSink for CountSink {
+            fn accept(&mut self, r: &TraceRecord) {
+                self.0.lock().unwrap().push(r.marker);
+            }
+        }
+        let h = FlushHandle::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        h.set_tee(Box::new(CountSink(seen.clone())));
+        h.accept(vec![rec(1), rec(2)]);
+        h.tee_records(&[rec(3)]);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+        // tee_records does not store; accept does.
+        assert_eq!(h.pending(), 2);
+        assert!(h.take_tee().is_some());
+        h.accept(vec![rec(4)]);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! determinism regressions.
 
 use crate::event::TraceRecord;
+use crate::history::TraceStore;
 use crate::ids::Rank;
-use crate::store::TraceStore;
 use std::fmt;
 
 /// How strictly to compare events.

@@ -25,21 +25,23 @@ pub mod buffer;
 pub mod diff;
 pub mod event;
 pub mod file;
+pub mod history;
 pub mod ids;
 pub mod loc;
 pub mod marker;
 pub mod query;
 pub mod schedule;
+pub mod source;
 pub mod stats;
-pub mod store;
 
 pub use buffer::{FlushHandle, TraceBuffer};
 pub use diff::{diff_traces, trace_digest, DiffMode, Divergence};
 pub use event::{CollKind, EventKind, MsgInfo, TraceRecord};
+pub use history::{EventId, TraceStore};
 pub use ids::{ChannelId, Rank, SiteId, Tag, ANY_SOURCE, ANY_TAG};
 pub use loc::{SiteTable, SourceLoc};
 pub use marker::{Marker, MarkerVector};
 pub use query::EventQuery;
 pub use schedule::{ArtifactMeta, Decision, DecisionPoint, Fault, ScheduleArtifact};
+pub use source::{materialize, EventIter, Select, SourceError, TraceSink, TraceSource};
 pub use stats::TraceStats;
-pub use store::{EventId, TraceStore};

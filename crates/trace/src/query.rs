@@ -5,9 +5,10 @@
 //! iterate matches in canonical order. The debugger's `find` command and
 //! the visualizers' click-to-locate both sit on this.
 
-use crate::event::EventKind;
+use crate::event::{EventKind, TraceRecord};
+use crate::history::{EventId, TraceStore};
 use crate::ids::{Rank, SiteId, Tag};
-use crate::store::{EventId, TraceStore};
+use crate::source::{Select, SourceError, TraceSource};
 use std::collections::HashSet;
 
 /// A conjunctive event filter. All set constraints must hold.
@@ -95,7 +96,10 @@ impl EventQuery {
         id: EventId,
         func_sites: Option<&HashSet<SiteId>>,
     ) -> bool {
-        let rec = store.record(id);
+        self.matches_record(store.record(id), func_sites)
+    }
+
+    fn matches_record(&self, rec: &TraceRecord, func_sites: Option<&HashSet<SiteId>>) -> bool {
         if let Some(k) = self.kind {
             if rec.kind != k {
                 return false;
@@ -150,6 +154,42 @@ impl EventQuery {
             }
         }
         true
+    }
+
+    /// The narrowest index selection this query can ride. Rank lanes are
+    /// deliberately never chosen: lane order is per-rank program order, and
+    /// `find` promises canonical order across ranks.
+    fn selection(&self) -> Select {
+        if let Some(k) = self.kind {
+            Select::Kind(k)
+        } else if let Some(t) = self.tag {
+            Select::Tag(t)
+        } else if let (Some(lo), Some(hi)) = (self.t_min, self.t_max) {
+            Select::TimeWindow(lo, hi)
+        } else {
+            Select::All
+        }
+    }
+
+    /// All matching records from any [`TraceSource`], in canonical order.
+    ///
+    /// Index-aware: the most selective constraint (kind, then tag, then
+    /// time window) is pushed down to the source as a [`Select`], so an
+    /// on-disk store answers from its zone indexes without a full scan;
+    /// remaining constraints are applied per record.
+    pub fn find_records(&self, src: &dyn TraceSource) -> Result<Vec<TraceRecord>, SourceError> {
+        let fs: Option<HashSet<SiteId>> = self
+            .func
+            .as_deref()
+            .map(|f| src.source_sites().find_function(f).into_iter().collect());
+        let mut out = Vec::new();
+        for rec in src.select(self.selection())? {
+            let rec = rec?;
+            if self.matches_record(&rec, fs.as_ref()) {
+                out.push(rec);
+            }
+        }
+        Ok(out)
     }
 
     /// All matches in canonical order.
@@ -258,5 +298,26 @@ mod tests {
         let s = store();
         let q = EventQuery::new().rank(0u32).after_marker(3);
         assert_eq!(q.count(&s), 1);
+    }
+
+    #[test]
+    fn find_records_matches_find_all() {
+        let s = store();
+        let queries = [
+            EventQuery::new(),
+            EventQuery::new().kind(EventKind::Send).msg_to(7u32),
+            EventQuery::new().tag(Tag(11)),
+            EventQuery::new().rank(0u32).in_window(9, 16),
+            EventQuery::new().in_function("MatrSend"),
+            EventQuery::new().label("jres"),
+        ];
+        for q in queries {
+            let by_id: Vec<_> = q
+                .find_all(&s)
+                .iter()
+                .map(|id| s.record(*id).clone())
+                .collect();
+            assert_eq!(q.find_records(&s).unwrap(), by_id);
+        }
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::event::{EventKind, TraceRecord};
 use crate::ids::Rank;
+use crate::source::{Select, SourceError, TraceSource};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -30,31 +31,48 @@ pub struct TraceStats {
 impl TraceStats {
     /// Compute statistics from records.
     pub fn compute(records: &[TraceRecord]) -> Self {
-        let mut s = TraceStats {
-            n_events: records.len(),
-            ..TraceStats::default()
-        };
-        let mut t_lo = u64::MAX;
-        let mut t_hi = 0u64;
+        let mut s = TraceStats::default();
+        let mut span = (u64::MAX, 0u64);
         for r in records {
-            *s.per_kind.entry(r.kind.code()).or_insert(0) += 1;
-            *s.per_rank.entry(r.rank.0).or_insert(0) += 1;
-            t_lo = t_lo.min(r.t_start);
-            t_hi = t_hi.max(r.t_end);
-            match r.kind {
-                EventKind::Send => {
-                    s.sends += 1;
-                    if let Some(m) = &r.msg {
-                        s.bytes_sent += m.bytes as u64;
-                    }
-                }
-                EventKind::RecvDone => s.messages_delivered += 1,
-                _ => {}
-            }
+            s.fold(r, &mut span);
         }
-        s.n_ranks = s.per_rank.len();
-        s.makespan = if s.n_events == 0 { 0 } else { t_hi - t_lo };
+        s.seal(span);
         s
+    }
+
+    /// Compute statistics by streaming any [`TraceSource`] — one pass,
+    /// constant memory: an on-disk store is never materialized.
+    pub fn from_source(src: &dyn TraceSource) -> Result<Self, SourceError> {
+        let mut s = TraceStats::default();
+        let mut span = (u64::MAX, 0u64);
+        for rec in src.select(Select::All)? {
+            s.fold(&rec?, &mut span);
+        }
+        s.seal(span);
+        Ok(s)
+    }
+
+    fn fold(&mut self, r: &TraceRecord, (t_lo, t_hi): &mut (u64, u64)) {
+        self.n_events += 1;
+        *self.per_kind.entry(r.kind.code()).or_insert(0) += 1;
+        *self.per_rank.entry(r.rank.0).or_insert(0) += 1;
+        *t_lo = (*t_lo).min(r.t_start);
+        *t_hi = (*t_hi).max(r.t_end);
+        match r.kind {
+            EventKind::Send => {
+                self.sends += 1;
+                if let Some(m) = &r.msg {
+                    self.bytes_sent += m.bytes as u64;
+                }
+            }
+            EventKind::RecvDone => self.messages_delivered += 1,
+            _ => {}
+        }
+    }
+
+    fn seal(&mut self, (t_lo, t_hi): (u64, u64)) {
+        self.n_ranks = self.per_rank.len();
+        self.makespan = if self.n_events == 0 { 0 } else { t_hi - t_lo };
     }
 
     /// Messages delivered *to* a given rank.
@@ -138,5 +156,22 @@ mod tests {
         let s = TraceStats::compute(&[]);
         assert_eq!(s.n_events, 0);
         assert_eq!(s.makespan, 0);
+    }
+
+    #[test]
+    fn from_source_matches_compute() {
+        use crate::loc::SiteTable;
+        let recs = vec![
+            TraceRecord::basic(0u32, EventKind::Send, 1, 10)
+                .with_span(10, 12)
+                .with_msg(msg(0, 1, 100)),
+            TraceRecord::basic(1u32, EventKind::RecvDone, 1, 12)
+                .with_span(12, 14)
+                .with_msg(msg(0, 1, 100)),
+            TraceRecord::basic(0u32, EventKind::Compute, 2, 12).with_span(12, 50),
+        ];
+        let want = TraceStats::compute(&recs);
+        let store = crate::TraceStore::build(recs, SiteTable::new(), 2);
+        assert_eq!(TraceStats::from_source(&store).unwrap(), want);
     }
 }

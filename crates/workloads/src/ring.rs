@@ -11,6 +11,11 @@ pub struct RingConfig {
     pub rounds: usize,
     /// Simulated work between forwards (ns).
     pub hop_cost: u64,
+    /// Number of distinct token tags. `0` (and `1`) keep the classic
+    /// single `Tag(20)`; with a stride `k`, round `r` circulates on
+    /// `Tag(20 + r % k)` — gives tag-indexed queries real selectivity on
+    /// large rings (the store bench workload).
+    pub tag_stride: usize,
 }
 
 impl Default for RingConfig {
@@ -19,6 +24,7 @@ impl Default for RingConfig {
             nprocs: 4,
             rounds: 3,
             hop_cost: 10_000,
+            tag_stride: 0,
         }
     }
 }
@@ -30,16 +36,23 @@ fn node(ctx: &mut ProcessCtx, cfg: &RingConfig, rank: usize) {
         let next = Rank(((rank + 1) % cfg.nprocs) as u32);
         let prev = Rank(((rank + cfg.nprocs - 1) % cfg.nprocs) as u32);
         for round in 0..cfg.rounds {
+            // Every rank derives the same per-round tag, so the token
+            // still matches deterministically.
+            let tag = if cfg.tag_stride > 1 {
+                Tag(TAG_TOKEN.0 + (round % cfg.tag_stride) as i32)
+            } else {
+                TAG_TOKEN
+            };
             if rank == 0 {
                 // Rank 0 injects the token, then waits for it to return.
                 ctx.compute(cfg.hop_cost, site);
-                ctx.send(next, TAG_TOKEN, Payload::from_i64(round as i64), site);
-                let tok = ctx.recv_from(prev, TAG_TOKEN, site);
+                ctx.send(next, tag, Payload::from_i64(round as i64), site);
+                let tok = ctx.recv_from(prev, tag, site);
                 assert_eq!(tok.payload.to_i64(), Some(round as i64));
             } else {
-                let tok = ctx.recv_from(prev, TAG_TOKEN, site);
+                let tok = ctx.recv_from(prev, tag, site);
                 ctx.compute(cfg.hop_cost, site);
-                ctx.send(next, TAG_TOKEN, tok.payload, site);
+                ctx.send(next, tag, tok.payload, site);
             }
         }
     });
@@ -93,11 +106,40 @@ mod tests {
             nprocs: 2,
             rounds: 5,
             hop_cost: 100,
+            tag_stride: 0,
         };
         let mut e = Engine::launch(
             EngineConfig::with_recorder(RecorderConfig::comm_only()),
             programs(&cfg),
         );
         assert!(e.run().is_completed());
+    }
+
+    #[test]
+    fn tag_stride_spreads_rounds_over_distinct_tags() {
+        let cfg = RingConfig {
+            nprocs: 3,
+            rounds: 8,
+            hop_cost: 100,
+            tag_stride: 4,
+        };
+        let mut e = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::comm_only()),
+            programs(&cfg),
+        );
+        assert!(e.run().is_completed());
+        let store = e.trace_store();
+        let mut tags: Vec<i32> = store
+            .records()
+            .iter()
+            .filter(|r| r.kind == EventKind::Send)
+            .filter_map(|r| r.msg.as_ref().map(|m| m.tag.0))
+            .collect();
+        let sends = tags.len();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags, vec![20, 21, 22, 23]);
+        // Each tag carries exactly rounds/stride of the traffic.
+        assert_eq!(sends, cfg.rounds * cfg.nprocs);
     }
 }

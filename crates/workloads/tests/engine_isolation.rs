@@ -23,6 +23,7 @@ fn mix() -> Vec<(&'static str, Factory)> {
                     nprocs: 4,
                     rounds: 32,
                     hop_cost: 100,
+                    tag_stride: 0,
                 })
             }),
         ),
@@ -33,6 +34,7 @@ fn mix() -> Vec<(&'static str, Factory)> {
                     nprocs: 8,
                     rounds: 16,
                     hop_cost: 50,
+                    tag_stride: 0,
                 })
             }),
         ),

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Regenerate the golden-trace corpus (tests/golden/*.trc) from the current
-# engine. Review the resulting diff before committing — a blessed drift is
-# a semantic change to the runtime.
+# Regenerate the golden corpora from the current engine:
+#   tests/golden/*.trc        — canonical text traces
+#   tests/golden/store/<name> — on-disk store format (pins the v1 byte layout)
+# Review the resulting diff before committing — a blessed drift is a
+# semantic change to the runtime or a break of store-format compatibility.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BLESS=1 cargo test --offline --test golden "$@"
-echo "golden corpus re-blessed; review: git diff tests/golden/"
+BLESS=1 cargo test --offline --test golden_store "$@"
+echo "golden corpora re-blessed; review: git diff tests/golden/"

@@ -20,6 +20,28 @@ echo "==> lint smoke: seed workloads must be clean"
 ./target/release/tracedbg lint target/verify_ring.trc
 ./target/release/tracedbg lint script:examples/scripts/pingpong.script --procs 4
 
+echo "==> store smoke: ingest/query round-trip, run --store tee, corruption battery"
+rm -rf target/verify_store target/verify_store_run
+./target/release/tracedbg ingest target/verify_ring.trc --out target/verify_store >/dev/null
+# The store must render exactly the trace it was built from.
+diff <(./target/release/tracedbg view target/verify_ring.trc) \
+     <(./target/release/tracedbg view target/verify_store) >/dev/null \
+  || { echo "store view diverged from the source trace" >&2; exit 1; }
+# One query per index family; each touches only its own index section.
+for sel in "--rank 0" "--tag 20" "--kind SN" "--window 0:100000"; do
+  ./target/release/tracedbg query target/verify_store $sel --count \
+    | grep -q 'match(es)' \
+    || { echo "store query $sel failed" >&2; exit 1; }
+done
+# The streaming sink path: a store teed off a live run renders the same
+# trace as the one recorded to .trc (the engine is deterministic).
+./target/release/tracedbg run ring --store target/verify_store_run >/dev/null
+diff <(./target/release/tracedbg view target/verify_ring.trc) \
+     <(./target/release/tracedbg view target/verify_store_run) >/dev/null \
+  || { echo "run --store tee diverged from the recorded trace" >&2; exit 1; }
+# Corruption robustness: typed-error battery incl. the byte-flip fuzz loop.
+cargo test --offline -q -p tracedbg-store --test corruption >/dev/null
+
 echo "==> analyze smoke: static analysis renders, JSON schema keys, DPOR findings identity"
 ./target/release/tracedbg analyze sdl:ring --procs 4 >/dev/null
 # Capture instead of piping into `grep -q`: an early-exiting reader would
@@ -138,7 +160,7 @@ done
 echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
 rm -rf target/verify_bench
 ./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
-for suite in parse replay checkpoint explore explore_dpor; do
+for suite in parse replay checkpoint explore explore_dpor store; do
   f=target/verify_bench/BENCH_${suite}.json
   [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
   # Every row carries the six-field schema the serializer unit test pins.

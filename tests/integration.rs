@@ -269,6 +269,7 @@ fn command_interface_drives_a_session() {
         nprocs: 3,
         rounds: 2,
         hop_cost: 1_000,
+        tag_stride: 0,
     };
     let session = Session::launch(SessionConfig::default(), Box::new(ring::factory(cfg)));
     let mut ci = CommandInterface::new(session);
