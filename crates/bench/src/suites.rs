@@ -17,7 +17,10 @@
 //!   `jobs = 1` and `jobs = 4`;
 //! * `store` — the on-disk indexed trace store: ingest throughput,
 //!   cold-open latency, and each indexed query against the
-//!   `read_binary`+scan baseline it must beat.
+//!   `read_binary`+scan baseline it must beat;
+//! * `localize` — differential fault localization: the full
+//!   replay-harvest-rank pipeline at `jobs = 1` vs `jobs = N`, plus the
+//!   event-graph differ in isolation.
 //!
 //! Every suite runs a fixed iteration plan (see [`crate::measure`]), so
 //! numbers are comparable between invocations and across commits.
@@ -26,11 +29,14 @@ use crate::measure::{measure, BenchRecord, Plan};
 use tracedbg_debugger::{Session, SessionConfig, Stopline};
 use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
 use tracedbg_instrument::RecorderConfig;
+use tracedbg_localize::{diff_channels, diff_ranks, localize, LocalizeConfig, VERDICT_LOCALIZED};
 use tracedbg_mpsim::{Engine, EngineConfig, SchedPolicy};
 use tracedbg_store::{ingest_records, DiskStore, StoreOptions};
 use tracedbg_trace::file::{read_binary, read_text, write_binary, write_text, TraceFile};
+use tracedbg_trace::schedule::{Decision, ScheduleArtifact};
 use tracedbg_trace::{trace_digest, EventQuery, MarkerVector, Rank, Tag, TraceStore};
 use tracedbg_tracegraph::MessageMatching;
+use tracedbg_workloads::planted::{planted_wildcard_factory, PlantedConfig};
 use tracedbg_workloads::racy::{wildcard_race_factory, RacyConfig};
 use tracedbg_workloads::ring::{self, RingConfig};
 
@@ -679,6 +685,63 @@ fn suite_store(opts: &SuiteOptions) -> Suite {
     }
 }
 
+/// Differential fault localization on the planted-wildcard corpus
+/// artifact: the full replay-harvest-rank pipeline at `jobs = 1` vs
+/// `jobs = N` (the report must come out `localized` every iteration),
+/// plus the event-graph differ on its own between a failing and a
+/// passing recorded trace.
+fn suite_localize(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let cfg = PlantedConfig::default();
+    let mut artifact = ScheduleArtifact::new("planted-wildcard", cfg.nprocs, 0);
+    artifact.decisions = vec![Decision::Turn {
+        rank: Rank(cfg.bug_rank),
+    }];
+    let p = plan(opts, 1, 5, 2);
+    let n_jobs = resolved_jobs(opts).max(2);
+    tracedbg_mpsim::set_quiet_panics(true);
+    for (name, jobs) in [("localize_jobs1", 1usize), ("localize_jobsN", n_jobs)] {
+        if !wants(opts, "localize", name) {
+            continue;
+        }
+        records.push(measure(name, jobs, p, || {
+            let source: tracedbg_explore::ProgramSource = Box::new(planted_wildcard_factory(cfg));
+            let lcfg = LocalizeConfig {
+                runs: 8,
+                seed: 0,
+                jobs,
+            };
+            let report = localize(&source, &artifact, &lcfg);
+            assert_eq!(report.verdict, VERDICT_LOCALIZED);
+        }));
+    }
+    if wants(opts, "localize", "graph_diff") {
+        let source: tracedbg_explore::ProgramSource = Box::new(planted_wildcard_factory(cfg));
+        let failing = tracedbg_explore::execute_metered(
+            &source,
+            SchedPolicy::Scripted(artifact.decisions.clone()),
+            &artifact.faults,
+            false,
+        );
+        let passing =
+            tracedbg_explore::execute_metered(&source, SchedPolicy::RoundRobin, &[], false);
+        records.push(measure("graph_diff", 1, plan(opts, 2, 5, 20), || {
+            let ranks = diff_ranks(&failing.store, &passing.store).expect("in-memory diff");
+            assert!(
+                ranks.iter().any(|d| d.score() > 0),
+                "failing vs passing must differ"
+            );
+            let channels = diff_channels(&failing.store, &passing.store).expect("in-memory diff");
+            assert!(!channels.is_empty());
+        }));
+    }
+    tracedbg_mpsim::set_quiet_panics(false);
+    Suite {
+        name: "localize",
+        records,
+    }
+}
+
 /// Run every (non-filtered) suite in deterministic order.
 pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
     let all = [
@@ -690,6 +753,7 @@ pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
         suite_explore,
         suite_explore_dpor,
         suite_store,
+        suite_localize,
     ];
     all.iter()
         .map(|f| f(opts))

@@ -15,7 +15,10 @@
 //! tracedbg explore <workload> [--runs N] [--seed N] [--preemptions K] [--faults]
 //!                  [--strategy random|systematic|both] [--dpor] [--jobs N] [--out DIR]
 //!                  [--json] [--metrics [FILE]] [--progress]
-//! tracedbg replay --schedule <file.sched.json> [--from-checkpoint] [--trace out.trc] [--json]
+//! tracedbg replay --schedule <file.sched.json> [--from-checkpoint] [--to-suspect REPORT]
+//!                 [--trace out.trc] [--json]
+//! tracedbg localize (--schedule <file.sched.json> | <workload>) [--runs N] [--seed N]
+//!                   [--jobs N] [--procs N] [--trace <trc|store-dir>] [--out FILE] [--json]
 //! tracedbg stats <workload> [--seed N] [--procs N] [--metrics [FILE]]
 //! tracedbg bench [--quick] [--filter NAME] [--jobs N] [--out DIR]
 //! tracedbg workloads
@@ -39,8 +42,9 @@ use tracedbg::trace::file::{read_binary, write_binary};
 use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::tracegraph::{ActionGraph, Profile};
 use tracedbg::viz::{dot, vcg};
+use tracedbg::viz::{ChannelRow, SuspectRow, SuspectSummary};
 use tracedbg::workloads::{
-    heat, lu, master_worker, racy, random_comm, ring, script, scripts, strassen,
+    heat, lu, master_worker, planted, racy, random_comm, ring, script, scripts, strassen,
 };
 
 struct Opts {
@@ -152,6 +156,20 @@ fn workload_factory(
             };
             let n = cfg.nprocs;
             (Box::new(master_worker::factory(cfg)), n)
+        }
+        "planted-wildcard" | "planted-orphan" | "planted-pipeline" => {
+            // The localization corpus: each workload carries a known
+            // planted bug at `bug_rank` (see `workloads::planted`).
+            let cfg = planted::PlantedConfig {
+                nprocs: procs.clamp(4, 16),
+                ..Default::default()
+            };
+            let n = cfg.nprocs;
+            match name {
+                "planted-wildcard" => (Box::new(planted::planted_wildcard_factory(cfg)), n),
+                "planted-orphan" => (Box::new(planted::planted_orphan_factory(cfg)), n),
+                _ => (Box::new(planted::planted_pipeline_factory(cfg)), n),
+            }
         }
         "racy-wildcard" | "racy-deadlock" => {
             let cfg = racy::RacyConfig {
@@ -781,6 +799,9 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let artifact = ScheduleArtifact::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
     let (factory, _n) = workload_factory(&artifact.workload, artifact.seed, artifact.procs)?;
+    if let Some(report_path) = opts.flag("to-suspect") {
+        return replay_to_suspect(&artifact, factory, report_path, opts);
+    }
     if opts.has("from-checkpoint") {
         // Checkpointed re-execution: snapshot mid-schedule, restore, and
         // check the continued run is byte-identical to the straight one —
@@ -881,6 +902,211 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// `tracedbg replay --to-suspect` — re-execute a failing schedule and
+/// stop every process at the divergence frontier a `tracedbg localize`
+/// report recorded: the point where the failing run first left the
+/// passing envelope. The failing execution runs once to record its match
+/// log (pinning wildcard choices) and seed the checkpoint cache, then the
+/// stopline replay jumps to the frontier and prints where each top
+/// suspect is stopped.
+fn replay_to_suspect(
+    artifact: &ScheduleArtifact,
+    factory: ProgramFactory,
+    report_path: &str,
+    opts: &Opts,
+) -> Result<ExitCode, String> {
+    let rjson = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read {report_path}: {e}"))?;
+    let report = tracedbg::localize::LocalizeReport::from_json(&rjson)?;
+    let d = report.divergence.as_ref().ok_or_else(|| {
+        format!(
+            "{report_path}: verdict {:?} has no divergence frontier to replay to",
+            report.verdict
+        )
+    })?;
+    let stopline = Stopline {
+        markers: MarkerVector::from_counts(d.markers.clone()),
+        origin: format!("localize divergence at decision {}", d.index),
+    };
+    tracedbg::mpsim::set_quiet_panics(true);
+    let mut session = Session::launch(
+        SessionConfig {
+            policy: SchedPolicy::Scripted(artifact.decisions.clone()),
+            faults: tracedbg::mpsim::FaultPlan::new(artifact.faults.clone()),
+            ..SessionConfig::default()
+        },
+        factory,
+    );
+    session.run();
+    let status = format!("{:?}", session.replay_to(&stopline));
+    tracedbg::mpsim::set_quiet_panics(false);
+    let markers = session.markers();
+    let reached = markers.counts() == d.markers.as_slice();
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    if opts.has("json") {
+        println!(
+            "{{\"origin\":{},\"target\":[{}],\"markers\":[{}],\"reached\":{},\"status\":{}}}",
+            json_string(&stopline.origin),
+            join(&d.markers),
+            join(markers.counts()),
+            reached,
+            json_string(&status),
+        );
+    } else {
+        println!("replaying {artifact}");
+        println!("stopline: {} -> markers {:?}", stopline.origin, d.markers);
+        println!("status: {status}");
+        for s in report.suspects.iter().take(2) {
+            println!("suspect P{} (score {}):", s.rank, s.score);
+            for line in session.where_is(Rank(s.rank)) {
+                println!("  {line}");
+            }
+        }
+        println!(
+            "{}",
+            if reached {
+                "stopped at the divergence frontier"
+            } else {
+                "did NOT reach the divergence frontier"
+            }
+        );
+    }
+    Ok(if reached {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Convert a [`tracedbg::localize::LocalizeReport`] into the viz crate's
+/// renderer rows (viz stays a leaf crate and takes plain structs).
+fn suspect_view(
+    r: &tracedbg::localize::LocalizeReport,
+) -> (SuspectSummary, Vec<SuspectRow>, Vec<ChannelRow>) {
+    let summary = SuspectSummary {
+        workload: r.workload.clone(),
+        verdict: r.verdict.clone(),
+        failure: r.failure.clone(),
+        passing_runs: r.passing_runs,
+        divergence: r
+            .divergence
+            .as_ref()
+            .map(|d| (d.index, d.chosen.clone(), d.expected.clone())),
+        markers: r
+            .divergence
+            .as_ref()
+            .map(|d| d.markers.clone())
+            .unwrap_or_default(),
+    };
+    let suspects = r
+        .suspects
+        .iter()
+        .map(|s| SuspectRow {
+            rank: s.rank,
+            score: s.score,
+            divergence: s.divergence,
+            graph: s.graph,
+            anomaly: s.anomaly,
+            evidence: s.evidence.clone(),
+        })
+        .collect();
+    let channels = r
+        .channels
+        .iter()
+        .map(|c| ChannelRow {
+            src: c.src,
+            dst: c.dst,
+            tag: c.tag,
+            missing: c.missing,
+            extra: c.extra,
+            reordered: c.reordered,
+        })
+        .collect();
+    (summary, suspects, channels)
+}
+
+/// `tracedbg localize` — differential fault localization: replay a
+/// failing artifact (from `--schedule`, or the first finding of an
+/// on-the-fly exploration of a workload), harvest passing reference
+/// schedules, and rank suspect processes by decision-log divergence,
+/// event-graph diff, and telemetry anomaly. `--trace` supplies the
+/// failing trace from a recorded `.trc`/`.tbin` file or an ingested
+/// store directory (read through `TraceSource`, never materialized).
+/// Exits non-zero only when no passing reference could be found.
+fn cmd_localize(opts: &Opts) -> Result<ExitCode, String> {
+    const USAGE: &str = "usage: tracedbg localize (--schedule <file.sched.json> | <workload>) \
+         [--runs N] [--seed N] [--jobs N] [--procs N] [--explore-runs N] \
+         [--trace <trc|store-dir>] [--out FILE] [--json]";
+    let artifact = if let Some(path) = opts.flag("schedule") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        ScheduleArtifact::from_json(&json).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        // Workload mode: explore on the fly, localize the first finding.
+        let name = opts.positional.first().ok_or(USAGE)?;
+        let seed = opts.num("seed", 42u64);
+        let procs = opts.num("procs", 8usize);
+        let (factory, _n) = workload_factory(name, seed, procs)?;
+        let cfg = ExploreConfig {
+            workload: name.clone(),
+            seed,
+            runs: opts.num("explore-runs", 64usize),
+            ..Default::default()
+        };
+        let report = Explorer::new(cfg, factory).explore();
+        let finding = report.findings.first().ok_or_else(|| {
+            format!("exploration found no failures in {name} — nothing to localize")
+        })?;
+        finding.artifact.clone()
+    };
+    let (factory, _n) = workload_factory(&artifact.workload, artifact.seed, artifact.procs)?;
+    let lcfg = tracedbg::localize::LocalizeConfig {
+        runs: opts.num("runs", 8usize),
+        seed: opts.num("seed", 0u64),
+        jobs: opts.num("jobs", 1usize),
+    };
+    // Resolve the failing-trace override up front so IO errors surface
+    // before any simulated processes run.
+    let failing_trace: Option<Box<dyn TraceSource>> = match opts.flag("trace") {
+        Some(p) if std::path::Path::new(p).is_dir() => Some(Box::new(
+            DiskStore::open(std::path::Path::new(p)).map_err(|e| e.to_string())?,
+        )),
+        Some(p) => Some(Box::new(load_store(p)?)),
+        None => None,
+    };
+    tracedbg::mpsim::set_quiet_panics(true);
+    let report = tracedbg::localize::localize_with_trace(
+        &factory,
+        &artifact,
+        &lcfg,
+        failing_trace.as_deref(),
+    );
+    tracedbg::mpsim::set_quiet_panics(false);
+    if opts.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        let (summary, suspects, channels) = suspect_view(&report);
+        print!("{}", render_suspects(&summary, &suspects, &channels));
+    }
+    if let Some(out) = opts.flag("out") {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        if !opts.has("json") {
+            println!("report written to {out}");
+        }
+    }
+    Ok(
+        if report.verdict == tracedbg::localize::VERDICT_NO_REFERENCE {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        },
+    )
 }
 
 /// `tracedbg ingest` — convert a recorded trace file into the indexed
@@ -1043,7 +1269,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|ingest|query|view|analyze|report|graph|debug|lint|explore|replay|stats|bench|workloads> ...\n\
+            "usage: tracedbg <run|ingest|query|view|analyze|report|graph|debug|lint|explore|localize|replay|stats|bench|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -1076,6 +1302,15 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "localize" => {
+            return match cmd_localize(&opts) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         "replay" => {
             return match cmd_replay(&opts) {
                 Ok(code) => code,
@@ -1097,6 +1332,9 @@ fn main() -> ExitCode {
                  heat           1-D heat diffusion: halo exchange + allreduce\n\
                  racy-wildcard  wildcard-receive race (explore finds the panic)\n\
                  racy-deadlock  orphaned receive (explore finds the deadlock)\n\
+                 planted-wildcard  localization corpus: racy wildcard, bug planted at rank 2\n\
+                 planted-orphan    localization corpus: orphaned receive at rank 2\n\
+                 planted-pipeline  localization corpus: delay-sensitive merge stage at rank 2\n\
                  fib:<n>        recursive Fibonacci (Table 1 driver)\n\
                  random:<n>     seeded random transfer pattern\n\
                  script:<path>  interpreted mini-language program (SPMD)\n\
@@ -1155,6 +1393,9 @@ mod tests {
             "pool",
             "racy-wildcard",
             "racy-deadlock",
+            "planted-wildcard",
+            "planted-orphan",
+            "planted-pipeline",
             "fib:6",
             "random:4",
             "sdl:ring",

@@ -49,6 +49,7 @@
 //! | [`analysis`] | `tracedbg-analysis` | static may-match / independence analysis |
 //! | [`debugger`] | `tracedbg-debugger` | §4: stoplines, replay, undo, analysis |
 //! | [`explore`] | `tracedbg-explore` | schedule exploration + fault injection |
+//! | [`localize`] | `tracedbg-localize` | differential fault localization |
 //! | [`viz`] | `tracedbg-viz` | §3.1: NTV/VK time-space diagrams, DOT/VCG |
 //! | [`workloads`] | `tracedbg-workloads` | evaluation programs (Strassen, fib, LU) |
 
@@ -58,6 +59,7 @@ pub use tracedbg_debugger as debugger;
 pub use tracedbg_explore as explore;
 pub use tracedbg_instrument as instrument;
 pub use tracedbg_lint as lint;
+pub use tracedbg_localize as localize;
 pub use tracedbg_mpsim as mpsim;
 pub use tracedbg_obs as obs;
 pub use tracedbg_store as store;
@@ -79,6 +81,7 @@ pub mod prelude {
     };
     pub use tracedbg_instrument::{RecorderConfig, Strategy};
     pub use tracedbg_lint::{lint_script, lint_trace, Diagnostic, LintConfig, Severity};
+    pub use tracedbg_localize::{LocalizeConfig, LocalizeReport};
     pub use tracedbg_mpsim::{
         CostModel, Engine, EngineConfig, EngineMetrics, Payload, ProcessCtx, ProgramFn, RunOutcome,
         SchedPolicy,
@@ -91,7 +94,8 @@ pub mod prelude {
     };
     pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
     pub use tracedbg_viz::{
-        render_ascii, render_rank_profile, render_svg, NtvView, TimelineModel, VkView,
+        render_ascii, render_rank_profile, render_suspects, render_svg, NtvView, TimelineModel,
+        VkView,
     };
 }
 

@@ -1,0 +1,211 @@
+//! Event-graph differencing between a failing and a passing trace.
+//!
+//! Works over [`TraceSource`], so either side can be the in-memory
+//! [`TraceStore`] of a fresh run or an on-disk store directory — the
+//! differ only consumes the per-rank [`CommEdge`] projection. Three
+//! signals come out, per rank and per channel:
+//!
+//! * **missing** — edge keys `(dir, peer, tag)` the passing trace has
+//!   more of than the failing trace (communication that never happened);
+//! * **extra** — keys the failing trace has more of (communication that
+//!   should not have happened);
+//! * **reordered** — aligned positions where both traces communicated,
+//!   but over different keys, net of missing/extra — the signature of a
+//!   wildcard receive matching a different sender.
+//!
+//! [`TraceStore`]: tracedbg_trace::TraceStore
+
+use std::collections::BTreeMap;
+use tracedbg_trace::{CommEdge, EdgeDir, Rank, SourceError, TraceSource};
+
+/// Edge-diff counts for one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankDiff {
+    pub missing: u64,
+    pub extra: u64,
+    pub reordered: u64,
+}
+
+impl RankDiff {
+    /// The per-rank graph score: structural differences (missing/extra
+    /// edges) weigh triple, reorderings single.
+    pub fn score(&self) -> u64 {
+        3 * (self.missing + self.extra) + self.reordered
+    }
+}
+
+/// Edge-diff counts for one directed channel `(src, dst, tag)`.
+pub type ChannelKey = (u32, u32, i32);
+
+fn key_counts(edges: &[CommEdge]) -> BTreeMap<(EdgeDir, Rank, i32), u64> {
+    let mut m = BTreeMap::new();
+    for e in edges {
+        *m.entry((e.dir, e.peer, e.tag.0)).or_insert(0u64) += 1;
+    }
+    m
+}
+
+/// Diff one rank's edge sequences. `missing`/`extra` come from the key
+/// multisets; `reordered` is the number of aligned positions whose keys
+/// differ, minus the positions explained by missing/extra edges.
+pub fn diff_rank(failing: &[CommEdge], passing: &[CommEdge]) -> RankDiff {
+    let fail_counts = key_counts(failing);
+    let pass_counts = key_counts(passing);
+    let mut missing = 0u64;
+    let mut extra = 0u64;
+    for (k, &pc) in &pass_counts {
+        let fc = fail_counts.get(k).copied().unwrap_or(0);
+        missing += pc.saturating_sub(fc);
+    }
+    for (k, &fc) in &fail_counts {
+        let pc = pass_counts.get(k).copied().unwrap_or(0);
+        extra += fc.saturating_sub(pc);
+    }
+    let mismatched = failing
+        .iter()
+        .zip(passing.iter())
+        .filter(|(f, p)| (f.dir, f.peer, f.tag) != (p.dir, p.peer, p.tag))
+        .count() as u64;
+    RankDiff {
+        missing,
+        extra,
+        reordered: mismatched.saturating_sub(missing + extra),
+    }
+}
+
+/// Per-rank diffs over every rank of the wider source.
+pub fn diff_ranks<F, P>(failing: &F, passing: &P) -> Result<Vec<RankDiff>, SourceError>
+where
+    F: TraceSource + ?Sized,
+    P: TraceSource + ?Sized,
+{
+    let n = failing.source_n_ranks().max(passing.source_n_ranks());
+    let mut out = Vec::with_capacity(n);
+    for r in 0..n as u32 {
+        let fe = failing.comm_edges(Rank(r))?;
+        let pe = passing.comm_edges(Rank(r))?;
+        out.push(diff_rank(&fe, &pe));
+    }
+    Ok(out)
+}
+
+/// Channel-level diffs, keyed `(src, dst, tag)`, deterministic order.
+///
+/// Missing/extra counts come from each rank's **send** edges (one count
+/// per channel, not double-counted from the receive side). Reorderings
+/// come from each rank's **receive** edges: an aligned receive position
+/// where the two traces matched different channels charges both channels
+/// — that is where a wildcard race surfaces.
+pub fn diff_channels<F, P>(
+    failing: &F,
+    passing: &P,
+) -> Result<BTreeMap<ChannelKey, RankDiff>, SourceError>
+where
+    F: TraceSource + ?Sized,
+    P: TraceSource + ?Sized,
+{
+    let n = failing.source_n_ranks().max(passing.source_n_ranks());
+    let mut out: BTreeMap<ChannelKey, RankDiff> = BTreeMap::new();
+    for r in 0..n as u32 {
+        let fe = failing.comm_edges(Rank(r))?;
+        let pe = passing.comm_edges(Rank(r))?;
+        let sends = |edges: &[CommEdge]| {
+            key_counts(edges)
+                .into_iter()
+                .filter(|((d, _, _), _)| *d == EdgeDir::Send)
+                .collect::<BTreeMap<_, _>>()
+        };
+        let fs = sends(&fe);
+        let ps = sends(&pe);
+        for ((_, peer, tag), pc) in &ps {
+            let fc = fs.get(&(EdgeDir::Send, *peer, *tag)).copied().unwrap_or(0);
+            if *pc > fc {
+                out.entry((r, peer.0, *tag)).or_default().missing += pc - fc;
+            }
+        }
+        for ((_, peer, tag), fc) in &fs {
+            let pc = ps.get(&(EdgeDir::Send, *peer, *tag)).copied().unwrap_or(0);
+            if *fc > pc {
+                out.entry((r, peer.0, *tag)).or_default().extra += fc - pc;
+            }
+        }
+        let frecv: Vec<&CommEdge> = fe.iter().filter(|e| e.dir == EdgeDir::Recv).collect();
+        let precv: Vec<&CommEdge> = pe.iter().filter(|e| e.dir == EdgeDir::Recv).collect();
+        for (f, p) in frecv.iter().zip(precv.iter()) {
+            if (f.peer, f.tag) != (p.peer, p.tag) {
+                out.entry((f.peer.0, r, f.tag.0)).or_default().reordered += 1;
+                out.entry((p.peer.0, r, p.tag.0)).or_default().reordered += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_trace::Tag;
+
+    fn edge(dir: EdgeDir, peer: u32, tag: i32, seq: u64) -> CommEdge {
+        CommEdge {
+            dir,
+            peer: Rank(peer),
+            tag: Tag(tag),
+            bytes: 8,
+            seq,
+            marker: seq + 1,
+        }
+    }
+
+    #[test]
+    fn identical_sequences_diff_to_zero() {
+        let e = vec![edge(EdgeDir::Send, 1, 7, 0), edge(EdgeDir::Recv, 2, 7, 0)];
+        assert_eq!(diff_rank(&e, &e), RankDiff::default());
+    }
+
+    #[test]
+    fn missing_and_extra_count_multiset_differences() {
+        let fail = vec![edge(EdgeDir::Send, 1, 7, 0)];
+        let pass = vec![edge(EdgeDir::Send, 1, 7, 0), edge(EdgeDir::Send, 2, 7, 1)];
+        let d = diff_rank(&fail, &pass);
+        assert_eq!(
+            d,
+            RankDiff {
+                missing: 1,
+                extra: 0,
+                reordered: 0
+            }
+        );
+        let d = diff_rank(&pass, &fail);
+        assert_eq!(d.extra, 1);
+        assert_eq!(d.score(), 3);
+    }
+
+    #[test]
+    fn pure_reorder_is_not_charged_as_missing_or_extra() {
+        // Same multiset, swapped order: the wildcard-race shape.
+        let fail = vec![edge(EdgeDir::Recv, 2, 7, 0), edge(EdgeDir::Recv, 1, 7, 1)];
+        let pass = vec![edge(EdgeDir::Recv, 1, 7, 0), edge(EdgeDir::Recv, 2, 7, 1)];
+        let d = diff_rank(&fail, &pass);
+        assert_eq!(
+            d,
+            RankDiff {
+                missing: 0,
+                extra: 0,
+                reordered: 2
+            }
+        );
+        assert_eq!(d.score(), 2);
+    }
+
+    #[test]
+    fn mismatches_explained_by_missing_edges_are_not_reorders() {
+        // Failing run stops one edge early; the shifted tail is a length
+        // artifact, not a reorder.
+        let fail = vec![edge(EdgeDir::Send, 1, 7, 0)];
+        let pass = vec![edge(EdgeDir::Send, 1, 7, 0), edge(EdgeDir::Send, 3, 7, 1)];
+        let d = diff_rank(&fail, &pass);
+        assert_eq!(d.missing, 1);
+        assert_eq!(d.reordered, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Localization accuracy on the planted-bug corpus: for every workload in
+//! `tracedbg_workloads::planted`, the rank carrying the planted bug must
+//! surface in the top two suspects (and for the pipeline, at the very
+//! top) — the ground truth pinning DESIGN.md §13's scoring model.
+
+use tracedbg_explore::ProgramSource;
+use tracedbg_localize::{localize, LocalizeConfig, LocalizeReport, VERDICT_LOCALIZED};
+use tracedbg_mpsim::Rank;
+use tracedbg_trace::schedule::{Decision, Fault, ScheduleArtifact};
+use tracedbg_workloads::planted::{
+    planted_orphan_factory, planted_pipeline_factory, planted_wildcard_factory, PlantedConfig,
+};
+
+fn top2(report: &LocalizeReport) -> Vec<u32> {
+    report.suspects.iter().take(2).map(|s| s.rank).collect()
+}
+
+fn check(report: &LocalizeReport, bug_rank: u32, failure_class: &str) {
+    assert_eq!(report.verdict, VERDICT_LOCALIZED, "{}", report.to_json());
+    assert!(
+        report.failure.starts_with(failure_class),
+        "expected a {failure_class}, got {}",
+        report.failure
+    );
+    assert!(report.passing_runs >= 1);
+    assert!(report.digest_ok(), "sealed digest must verify");
+    assert!(
+        top2(report).contains(&bug_rank),
+        "planted rank {bug_rank} not in top-2 of {}",
+        report.to_json()
+    );
+    let d = report.divergence.as_ref().expect("divergence frontier");
+    assert!(!d.markers.is_empty(), "stopline markers present");
+}
+
+#[test]
+fn wildcard_race_puts_the_planted_rank_in_the_top_two() {
+    tracedbg_mpsim::set_quiet_panics(true);
+    let cfg = PlantedConfig::default();
+    let mut a = ScheduleArtifact::new("planted-wildcard", cfg.nprocs, 0);
+    // The failing interleaving: the planted rank reports first.
+    a.decisions = vec![Decision::Turn {
+        rank: Rank(cfg.bug_rank),
+    }];
+    let src: ProgramSource = Box::new(planted_wildcard_factory(cfg));
+    let r = localize(&src, &a, &LocalizeConfig::default());
+    check(&r, cfg.bug_rank, "panic");
+    // The race's signature: the planted rank's report channel to the
+    // master was received out of reference order.
+    assert!(
+        r.channels
+            .iter()
+            .any(|c| c.src == cfg.bug_rank && c.dst == 0 && c.reordered > 0),
+        "wildcard race channel not flagged: {}",
+        r.to_json()
+    );
+}
+
+#[test]
+fn orphaned_receive_puts_the_planted_rank_in_the_top_two() {
+    tracedbg_mpsim::set_quiet_panics(true);
+    let cfg = PlantedConfig::default();
+    let mut a = ScheduleArtifact::new("planted-orphan", cfg.nprocs, 0);
+    a.decisions = vec![Decision::Turn {
+        rank: Rank(cfg.bug_rank),
+    }];
+    let src: ProgramSource = Box::new(planted_orphan_factory(cfg));
+    let r = localize(&src, &a, &LocalizeConfig::default());
+    check(&r, cfg.bug_rank, "deadlock");
+}
+
+#[test]
+fn delayed_merge_token_makes_the_planted_stage_the_top_suspect() {
+    tracedbg_mpsim::set_quiet_panics(true);
+    let cfg = PlantedConfig::default();
+    let mut a = ScheduleArtifact::new("planted-pipeline", cfg.nprocs, 0);
+    // The failing recipe is a pure fault plan: no scripted decisions, the
+    // delay alone reorders the planted stage's wildcard merge.
+    a.faults = vec![Fault::Delay {
+        src: Rank(0),
+        dst: Rank(cfg.bug_rank),
+        nth: 1,
+        extra_ns: cfg.work * 2,
+    }];
+    let src: ProgramSource = Box::new(planted_pipeline_factory(cfg));
+    let r = localize(&src, &a, &LocalizeConfig::default());
+    check(&r, cfg.bug_rank, "panic");
+    assert_eq!(
+        r.top_suspect(),
+        Some(cfg.bug_rank),
+        "the merge stage must rank first: {}",
+        r.to_json()
+    );
+    // Both producer channels into the merge stage show the reorder.
+    assert!(
+        r.channels
+            .iter()
+            .any(|c| c.dst == cfg.bug_rank && c.reordered > 0),
+        "merge-input channels not flagged: {}",
+        r.to_json()
+    );
+    // The divergence frontier is deep inside the run (not turn 0) and
+    // names the merge rank among the implicated ranks.
+    let d = r.divergence.as_ref().unwrap();
+    assert!(d.index > 0);
+    assert!(d.ranks.contains(&cfg.bug_rank));
+    assert!(d.markers.iter().any(|&m| m > 0), "non-trivial stopline");
+}
+
+#[test]
+fn localization_scales_past_the_default_process_count() {
+    tracedbg_mpsim::set_quiet_panics(true);
+    let cfg = PlantedConfig {
+        nprocs: 6,
+        bug_rank: 4,
+        ..Default::default()
+    };
+    let mut a = ScheduleArtifact::new("planted-wildcard", cfg.nprocs, 0);
+    a.decisions = vec![Decision::Turn {
+        rank: Rank(cfg.bug_rank),
+    }];
+    let src: ProgramSource = Box::new(planted_wildcard_factory(cfg));
+    let r = localize(&src, &a, &LocalizeConfig::default());
+    check(&r, cfg.bug_rank, "panic");
+}

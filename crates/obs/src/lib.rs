@@ -19,11 +19,13 @@
 
 pub mod flight;
 pub mod hist;
+pub mod mad;
 pub mod metrics;
 pub mod report;
 
 pub use flight::{FlightRecorder, Span, SpanKind, FLIGHT_CAP};
 pub use hist::{Histogram, HIST_BUCKETS};
+pub use mad::{mad, mad_score, median, SCORE_CAP};
 pub use metrics::EngineMetrics;
 pub use report::{
     event_digest, fnv1a64, CacheStats, ClassCount, CommandStat, EventMetrics, ExploreEvent,

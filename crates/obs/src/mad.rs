@@ -1,0 +1,85 @@
+//! Median / median-absolute-deviation helpers over integer counters.
+//!
+//! The localize plane scores per-rank anomalies by comparing a failing
+//! run's counters against the *median* of the passing reference set,
+//! scaled by the set's MAD — the robust dispersion measure that one
+//! outlying reference run cannot inflate. Everything here is pure integer
+//! arithmetic on `u64` counters, so scores are byte-identical across
+//! platforms and `--jobs` (the determinism contract every report plane
+//! shares).
+
+/// Median of a sample; even-sized samples take the lower middle (a real
+/// sample value, which keeps everything in `u64`). Empty samples are 0.
+pub fn median(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[(v.len() - 1) / 2]
+}
+
+/// Median absolute deviation from the sample median. Empty samples are 0.
+pub fn mad(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let m = median(values);
+    let devs: Vec<u64> = values.iter().map(|&x| x.abs_diff(m)).collect();
+    median(&devs)
+}
+
+/// Robust z-score of `x` against a reference sample, in milli-units:
+/// `|x - median| * 1000 / max(mad, 1)`, capped at [`SCORE_CAP`] so one
+/// wild counter cannot drown every other signal.
+pub fn mad_score(x: u64, reference: &[u64]) -> u64 {
+    let m = median(reference);
+    let spread = mad(reference).max(1);
+    let dev = x.abs_diff(m);
+    (dev.saturating_mul(1000) / spread).min(SCORE_CAP)
+}
+
+/// Upper bound on a single [`mad_score`]: 20 MADs, in milli-units.
+pub const SCORE_CAP: u64 = 20_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_takes_lower_middle_and_handles_edges() {
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[7]), 7);
+        assert_eq!(median(&[1, 9]), 1);
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[4, 1, 3, 2]), 2);
+    }
+
+    #[test]
+    fn mad_measures_dispersion_robustly() {
+        assert_eq!(mad(&[]), 0);
+        assert_eq!(mad(&[5, 5, 5]), 0);
+        assert_eq!(mad(&[1, 2, 3]), 1);
+        // One wild outlier moves the MAD of a tight sample barely at all.
+        assert_eq!(mad(&[10, 10, 10, 10, 1000]), 0);
+    }
+
+    #[test]
+    fn mad_score_scales_deviation_by_spread() {
+        // Tight reference: any deviation is many MADs (capped).
+        assert_eq!(mad_score(10, &[10, 10, 10]), 0);
+        assert_eq!(mad_score(30, &[10, 10, 10]), SCORE_CAP);
+        // Spread reference: the same deviation scores lower.
+        let reference = [8, 10, 12, 14];
+        assert_eq!(median(&reference), 10);
+        assert_eq!(mad(&reference), 2);
+        assert_eq!(mad_score(30, &reference), 10_000);
+        assert_eq!(mad_score(10, &reference), 0);
+    }
+
+    #[test]
+    fn mad_score_is_symmetric_in_deviation() {
+        let reference = [100, 100, 104];
+        assert_eq!(mad_score(90, &reference), mad_score(110, &reference));
+    }
+}

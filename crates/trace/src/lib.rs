@@ -43,5 +43,7 @@ pub use loc::{SiteTable, SourceLoc};
 pub use marker::{Marker, MarkerVector};
 pub use query::EventQuery;
 pub use schedule::{ArtifactMeta, Decision, DecisionPoint, Fault, ScheduleArtifact};
-pub use source::{materialize, EventIter, Select, SourceError, TraceSink, TraceSource};
+pub use source::{
+    materialize, CommEdge, EdgeDir, EventIter, Select, SourceError, TraceSink, TraceSource,
+};
 pub use stats::TraceStats;

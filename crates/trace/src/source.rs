@@ -85,6 +85,62 @@ impl std::error::Error for SourceError {}
 /// (a disk-backed cursor discovers corruption lazily).
 pub type EventIter<'a> = Box<dyn Iterator<Item = Result<TraceRecord, SourceError>> + 'a>;
 
+/// Direction of a [`CommEdge`] as seen from the rank it was iterated at.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EdgeDir {
+    /// The rank sent a message to `peer`.
+    Send,
+    /// The rank completed a receive of a message from `peer`.
+    Recv,
+}
+
+impl fmt::Display for EdgeDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeDir::Send => write!(f, "send"),
+            EdgeDir::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// One communication edge observed at a rank — the per-rank projection of
+/// the message graph that `tracedbg localize` aligns between a failing and
+/// a passing run. A `Send` event contributes an edge toward its
+/// destination; a `RecvDone` event contributes an edge from its source
+/// (the *completed* match, not the posted intent).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CommEdge {
+    pub dir: EdgeDir,
+    /// The peer rank: destination of a send, source of a completed recv.
+    pub peer: Rank,
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: u32,
+    /// Per-channel send sequence number of the message.
+    pub seq: u64,
+    /// Marker of the event at the iterated rank (program order).
+    pub marker: u64,
+}
+
+impl CommEdge {
+    /// The identity the graph differ keys multisets by: direction, peer
+    /// and tag — *which* communication happened, not when or with what
+    /// payload.
+    pub fn key(&self) -> (EdgeDir, Rank, Tag) {
+        (self.dir, self.peer, self.tag)
+    }
+}
+
+impl fmt::Display for CommEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.dir {
+            EdgeDir::Send => "->",
+            EdgeDir::Recv => "<-",
+        };
+        write!(f, "{} {arrow} {:?} tag {}", self.dir, self.peer, self.tag)
+    }
+}
+
 /// A queryable provider of one run's trace.
 pub trait TraceSource {
     /// Number of process ranks in the run.
@@ -125,6 +181,38 @@ pub trait TraceSource {
     /// Events intersecting `[lo, hi]`, canonical order, collected.
     fn by_time_window(&self, lo: u64, hi: u64) -> Result<Vec<TraceRecord>, SourceError> {
         collect(self.select(Select::TimeWindow(lo, hi))?)
+    }
+
+    /// One rank's communication edges in program order: every `Send` and
+    /// completed receive (`RecvDone`), projected to [`CommEdge`]s.
+    ///
+    /// Streams the rank's cursor and keeps only the communication events,
+    /// so a disk-backed store answers from its rank index without
+    /// materializing the trace — the accessor the localize graph differ
+    /// is built on.
+    fn comm_edges(&self, rank: Rank) -> Result<Vec<CommEdge>, SourceError> {
+        let mut out = Vec::new();
+        for rec in self.select(Select::Rank(rank))? {
+            let rec = rec?;
+            let dir = match rec.kind {
+                EventKind::Send => EdgeDir::Send,
+                EventKind::RecvDone => EdgeDir::Recv,
+                _ => continue,
+            };
+            let Some(msg) = &rec.msg else { continue };
+            out.push(CommEdge {
+                dir,
+                peer: match dir {
+                    EdgeDir::Send => msg.dst,
+                    EdgeDir::Recv => msg.src,
+                },
+                tag: msg.tag,
+                bytes: msg.bytes,
+                seq: msg.seq,
+                marker: rec.marker,
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -274,6 +362,29 @@ mod tests {
         assert_eq!(src.by_time_window(12, 16).unwrap(), want);
         assert_eq!(src.by_tag(Tag(7)).unwrap().len(), 2);
         assert!(src.by_tag(Tag(99)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn comm_edges_projects_sends_and_completed_recvs_in_program_order() {
+        let s = sample();
+        let src: &dyn TraceSource = &s;
+        // Rank 0: Compute (skipped) then Send to rank 1.
+        let e0 = src.comm_edges(Rank(0)).unwrap();
+        assert_eq!(e0.len(), 1);
+        assert_eq!(e0[0].dir, EdgeDir::Send);
+        assert_eq!(e0[0].peer, Rank(1));
+        assert_eq!(e0[0].tag, Tag(7));
+        assert_eq!(e0[0].seq, 1);
+        assert_eq!(e0[0].marker, 2);
+        // Rank 1: RecvDone from rank 0, Compute skipped.
+        let e1 = src.comm_edges(Rank(1)).unwrap();
+        assert_eq!(e1.len(), 1);
+        assert_eq!(e1[0].dir, EdgeDir::Recv);
+        assert_eq!(e1[0].peer, Rank(0));
+        assert_eq!(e1[0].marker, 1);
+        assert_eq!(e1[0].key(), (EdgeDir::Recv, Rank(0), Tag(7)));
+        // Out-of-range rank is empty, matching `by_rank`.
+        assert!(src.comm_edges(Rank(9)).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! ASCII rendering of a fault-localization result.
+//!
+//! `tracedbg localize` ranks suspect processes by three comparative
+//! signals (decision-log divergence, event-graph diff, telemetry
+//! anomaly); this module draws that ranking as a terminal table — one row
+//! per suspect with its component scores and a proportional bar, evidence
+//! lines indented underneath, then the per-channel edge diffs.
+//!
+//! The renderer is deliberately decoupled from `tracedbg-localize`: it
+//! consumes plain row structs, so the viz crate stays a leaf that any
+//! report producer can feed.
+
+/// One ranked suspect process.
+#[derive(Clone, Debug, Default)]
+pub struct SuspectRow {
+    pub rank: u32,
+    /// Combined score in milli-units (0..=1000).
+    pub score: u64,
+    pub divergence: u64,
+    pub graph: u64,
+    pub anomaly: u64,
+    /// Free-form contribution notes, printed indented under the row.
+    pub evidence: Vec<String>,
+}
+
+/// One channel's edge-diff summary.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelRow {
+    pub src: u32,
+    pub dst: u32,
+    pub tag: i32,
+    pub missing: u64,
+    pub extra: u64,
+    pub reordered: u64,
+}
+
+/// The localization header: what failed and where the schedules part ways.
+#[derive(Clone, Debug, Default)]
+pub struct SuspectSummary {
+    pub workload: String,
+    pub verdict: String,
+    pub failure: String,
+    pub passing_runs: usize,
+    /// `(index, chosen, expected)` of the first diverging decision.
+    pub divergence: Option<(usize, String, String)>,
+    /// Stopline marker frontier at the divergence.
+    pub markers: Vec<u64>,
+}
+
+/// Width of the score bar for a 1000-milli suspect.
+const BAR_WIDTH: usize = 24;
+
+/// Render the suspect ranking. Pure function of its inputs — byte-stable
+/// for a given report, like every other render in this crate.
+pub fn render_suspects(
+    summary: &SuspectSummary,
+    suspects: &[SuspectRow],
+    channels: &[ChannelRow],
+) -> String {
+    let mut out = String::new();
+    // Panic details can span lines; the header stays one line.
+    let failure: Vec<&str> = summary.failure.lines().map(str::trim).collect();
+    out.push_str(&format!(
+        "localize {} — {} ({})\n",
+        summary.workload,
+        summary.verdict,
+        failure.join(" ")
+    ));
+    out.push_str(&format!(
+        "references: {} passing run(s)\n",
+        summary.passing_runs
+    ));
+    if let Some((index, chosen, expected)) = &summary.divergence {
+        out.push_str(&format!(
+            "first divergence at decision {index}: chose {chosen}, passing runs {expected}\n"
+        ));
+        if !summary.markers.is_empty() {
+            let m: Vec<String> = summary.markers.iter().map(|v| v.to_string()).collect();
+            out.push_str(&format!("stopline markers: [{}]\n", m.join(", ")));
+        }
+    }
+    if suspects.is_empty() {
+        out.push_str("no suspects.\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<6} {:>6} {:>5} {:>6} {:>4}  suspicion\n",
+        "rank", "score", "div", "graph", "mad"
+    ));
+    for s in suspects {
+        let bar = (s.score as usize * BAR_WIDTH) / 1000;
+        out.push_str(&format!(
+            "P{:<5} {:>6} {:>5} {:>6} {:>4}  {}\n",
+            s.rank,
+            s.score,
+            s.divergence,
+            s.graph,
+            s.anomaly,
+            "#".repeat(bar)
+        ));
+        for e in &s.evidence {
+            out.push_str(&format!("       - {e}\n"));
+        }
+    }
+    if !channels.is_empty() {
+        out.push_str("channel diffs vs nearest passing trace:\n");
+        for c in channels {
+            out.push_str(&format!(
+                "  P{} -> P{} tag {}: {} missing, {} extra, {} reordered\n",
+                c.src, c.dst, c.tag, c.missing, c.extra, c.reordered
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (SuspectSummary, Vec<SuspectRow>, Vec<ChannelRow>) {
+        let summary = SuspectSummary {
+            workload: "planted-wildcard".into(),
+            verdict: "localized".into(),
+            failure: "panic: poisoned leader".into(),
+            passing_runs: 3,
+            divergence: Some((0, "turn P2".into(), "turn P0".into())),
+            markers: vec![4, 1, 2, 1],
+        };
+        let suspects = vec![
+            SuspectRow {
+                rank: 2,
+                score: 1000,
+                divergence: 1000,
+                graph: 1000,
+                anomaly: 1000,
+                evidence: vec!["first diverging decision involves rank 2".into()],
+            },
+            SuspectRow {
+                rank: 0,
+                score: 500,
+                divergence: 1000,
+                graph: 0,
+                anomaly: 0,
+                evidence: vec![],
+            },
+        ];
+        let channels = vec![ChannelRow {
+            src: 2,
+            dst: 0,
+            tag: 40,
+            missing: 0,
+            extra: 0,
+            reordered: 1,
+        }];
+        (summary, suspects, channels)
+    }
+
+    #[test]
+    fn render_shows_header_rows_evidence_and_channels() {
+        let (summary, suspects, channels) = sample();
+        let s = render_suspects(&summary, &suspects, &channels);
+        assert!(s.contains("localize planted-wildcard — localized"), "{s}");
+        assert!(s.contains("first divergence at decision 0"), "{s}");
+        assert!(s.contains("stopline markers: [4, 1, 2, 1]"), "{s}");
+        assert!(s.contains("P2 "), "{s}");
+        assert!(s.contains("- first diverging decision"), "{s}");
+        assert!(s.contains("P2 -> P0 tag 40"), "{s}");
+    }
+
+    #[test]
+    fn bar_is_proportional_to_the_combined_score() {
+        let (summary, suspects, channels) = sample();
+        let s = render_suspects(&summary, &suspects, &channels);
+        let bar_of = |rank: &str| {
+            s.lines()
+                .find(|l| l.starts_with(rank))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '#')
+                .count()
+        };
+        assert_eq!(
+            bar_of("P2"),
+            BAR_WIDTH,
+            "a 1000-milli suspect fills the bar"
+        );
+        assert_eq!(bar_of("P0"), BAR_WIDTH / 2);
+    }
+
+    #[test]
+    fn empty_ranking_says_so() {
+        let (mut summary, _, _) = sample();
+        summary.divergence = None;
+        let s = render_suspects(&summary, &[], &[]);
+        assert!(s.contains("no suspects."), "{s}");
+        assert!(!s.contains("stopline"), "{s}");
+    }
+}

@@ -21,6 +21,7 @@ pub mod heat;
 pub mod lu;
 pub mod master_worker;
 pub mod matrix;
+pub mod planted;
 pub mod racy;
 pub mod random_comm;
 pub mod ring;

@@ -1,0 +1,337 @@
+//! Planted-bug corpus for the fault-localization plane.
+//!
+//! Each workload hides a schedule- or delay-dependent bug in ONE known
+//! rank (`PlantedConfig::bug_rank`), completes cleanly under the
+//! deterministic round-robin baseline, and fails when the schedule (or an
+//! injected delay) exposes the planted rank's faulty behavior. That makes
+//! them ground truth for `tracedbg localize`: the localizer must rank the
+//! planted rank at (or near) the top, and the accuracy tests in
+//! `crates/localize/tests/known_bugs.rs` pin exactly that.
+//!
+//! * [`planted_wildcard`] — the master treats whichever worker reports
+//!   first as the "leader"; the planted rank's report is poison in that
+//!   role. Any schedule that lets the planted rank's send land first
+//!   panics the master — the racy-wildcard shape with a parameterized
+//!   culprit.
+//! * [`planted_orphan`] — after the first report the master requests an
+//!   acknowledgment from the reporting worker. The planted rank's reply
+//!   code is missing (it swallows the request), so a schedule where it
+//!   reports first orphans the master's directed receive: a non-cyclic
+//!   deadlock awaiting exactly the planted rank.
+//! * [`planted_pipeline`] — a fan-in merge pipeline whose planted stage
+//!   merges its producers' streams with a full wildcard instead of
+//!   alternating directed receives. The merged order is then arrival
+//!   order; one delayed producer message reorders the stream and the
+//!   sink's ordering assertion fires ranks away from where the bug lives
+//!   — a delay-sensitive bug with a clean baseline.
+
+use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+
+pub const TAG_DATA: Tag = Tag(40);
+pub const TAG_REQ: Tag = Tag(42);
+pub const TAG_ACK: Tag = Tag(43);
+
+/// Data tokens each pipeline producer emits.
+pub const PIPELINE_TOKENS: u64 = 4;
+
+/// Parameters for the planted-bug patterns.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedConfig {
+    /// Total processes; at least 4 (master/source + 3 others).
+    pub nprocs: usize,
+    /// The rank carrying the planted bug. Must be a worker (1..nprocs);
+    /// for the pipeline it must be an interior stage (1..nprocs-1).
+    pub bug_rank: u32,
+    /// Simulated work (ns) the fast worker does; slower ranks do four
+    /// times as much, which is why the baseline schedule stays clean.
+    pub work: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            nprocs: 4,
+            bug_rank: 2,
+            work: 50_000,
+        }
+    }
+}
+
+impl PlantedConfig {
+    fn check(&self) {
+        assert!(self.nprocs >= 4, "planted patterns need 4+ processes");
+        assert!(
+            (1..self.nprocs as u32).contains(&self.bug_rank),
+            "bug_rank must be a worker rank"
+        );
+    }
+}
+
+fn reporting_worker(ctx: &mut ProcessCtx, cfg: PlantedConfig, rank: usize) {
+    let site = ctx.site("planted.c", 40, "worker");
+    let slow = if rank == 1 { 1 } else { 4 };
+    ctx.compute(cfg.work * slow, site);
+    ctx.send(Rank(0), TAG_DATA, Payload::from_i64(rank as i64), site);
+}
+
+/// Wildcard leader election with a poison candidate: panics at the master
+/// whenever the planted rank's report is matched first.
+pub fn planted_wildcard(cfg: &PlantedConfig) -> Vec<ProgramFn> {
+    cfg.check();
+    let c = *cfg;
+    let master: ProgramFn = Box::new(move |ctx| {
+        let site = ctx.site("planted.c", 10, "master");
+        let first = ctx.recv_any(Some(TAG_DATA), site);
+        ctx.probe("leader", first.src.0 as i64, site);
+        // The planted bug lives in `bug_rank`: its report is unusable as
+        // a leader, but nothing stops it from arriving first.
+        assert_ne!(
+            first.src,
+            Rank(c.bug_rank),
+            "rank {} elected leader with a poison report",
+            c.bug_rank
+        );
+        for _ in 0..c.nprocs - 2 {
+            let _ = ctx.recv_any(Some(TAG_DATA), site);
+        }
+    });
+    let mut progs = vec![master];
+    for r in 1..c.nprocs {
+        progs.push(Box::new(move |ctx: &mut ProcessCtx| reporting_worker(ctx, c, r)) as ProgramFn);
+    }
+    progs
+}
+
+/// A reusable factory for sessions, the explorer, and the localizer.
+pub fn planted_wildcard_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+    move || planted_wildcard(&cfg)
+}
+
+/// Request/acknowledge handshake where the planted rank never replies:
+/// deadlocks (orphaned directed receive) whenever it reports first.
+pub fn planted_orphan(cfg: &PlantedConfig) -> Vec<ProgramFn> {
+    cfg.check();
+    let c = *cfg;
+    let master: ProgramFn = Box::new(move |ctx| {
+        let site = ctx.site("planted.c", 20, "master");
+        let first = ctx.recv_any(Some(TAG_DATA), site);
+        ctx.probe("reporter", first.src.0 as i64, site);
+        for r in 1..c.nprocs {
+            ctx.send(Rank(r as u32), TAG_REQ, Payload::from_i64(0), site);
+        }
+        // Orphaned if `first.src` is the planted rank: its ACK never comes.
+        let _ = ctx.recv_from(first.src, TAG_ACK, site);
+        for _ in 0..c.nprocs - 2 {
+            let _ = ctx.recv_any(Some(TAG_DATA), site);
+        }
+    });
+    let mut progs = vec![master];
+    for r in 1..c.nprocs {
+        let worker: ProgramFn = Box::new(move |ctx| {
+            let site = ctx.site("planted.c", 30, "worker");
+            reporting_worker(ctx, c, r);
+            let _ = ctx.recv_from(Rank(0), TAG_REQ, site);
+            // The planted bug: `bug_rank` swallows the request.
+            if r as u32 != c.bug_rank {
+                ctx.send(Rank(0), TAG_ACK, Payload::from_i64(r as i64), site);
+            }
+        });
+        progs.push(worker);
+    }
+    progs
+}
+
+/// A reusable factory for sessions, the explorer, and the localizer.
+pub fn planted_orphan_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+    move || planted_orphan(&cfg)
+}
+
+/// Fan-in merge pipeline with a wildcard-receiving planted stage: ranks
+/// `0..bug_rank` produce interleaved token streams, the planted stage
+/// merges them, relay stages pass the merged stream on, and the sink
+/// asserts it arrives in token order. A correct merge would alternate
+/// directed receives across the producers; the planted wildcard instead
+/// takes whatever arrives first, so a delayed producer message reorders
+/// the stream and the sink panics ranks away from the bug.
+pub fn planted_pipeline(cfg: &PlantedConfig) -> Vec<ProgramFn> {
+    cfg.check();
+    let c = *cfg;
+    let last = c.nprocs - 1;
+    assert!(
+        (2..last as u32).contains(&c.bug_rank),
+        "pipeline bug_rank must be an interior merge stage fed by 2+ producers"
+    );
+    let nprods = c.bug_rank as usize;
+    let total = nprods as u64 * PIPELINE_TOKENS;
+    let step = c.work / 4;
+    let mut progs: Vec<ProgramFn> = Vec::new();
+    for p in 0..nprods {
+        let producer: ProgramFn = Box::new(move |ctx| {
+            let site = ctx.site("planted.c", 50, "producer");
+            // Producer `p` owns token ids `p, p + nprods, ...`; the pacing
+            // staggers emission so token `i` arrives at the merge stage at
+            // roughly `i * step` — globally ordered across producers.
+            ctx.compute(p as u64 * step + 1, site);
+            for k in 0..PIPELINE_TOKENS {
+                let id = p as u64 + k * nprods as u64;
+                ctx.send(
+                    Rank(c.bug_rank),
+                    TAG_DATA,
+                    Payload::from_i64(id as i64),
+                    site,
+                );
+                ctx.compute(nprods as u64 * step, site);
+            }
+        });
+        progs.push(producer);
+    }
+    let merge: ProgramFn = Box::new(move |ctx| {
+        let site = ctx.site("planted.c", 60, "merge");
+        let next = Rank(c.bug_rank + 1);
+        for _ in 0..total {
+            // The planted bug: the merge receives with a full wildcard
+            // instead of alternating directed receives per producer, so
+            // the merged order is whatever arrival order happens to be.
+            let v = ctx.recv_any(Some(TAG_DATA), site).payload;
+            ctx.send(next, TAG_DATA, v, site);
+        }
+    });
+    progs.push(merge);
+    for r in (c.bug_rank as usize + 1)..last {
+        let relay: ProgramFn = Box::new(move |ctx| {
+            let site = ctx.site("planted.c", 65, "relay");
+            for _ in 0..total {
+                let v = ctx.recv_from(Rank((r - 1) as u32), TAG_DATA, site).payload;
+                ctx.send(Rank((r + 1) as u32), TAG_DATA, v, site);
+            }
+        });
+        progs.push(relay);
+    }
+    let sink: ProgramFn = Box::new(move |ctx| {
+        let site = ctx.site("planted.c", 70, "sink");
+        let pred = Rank((last - 1) as u32);
+        for expect in 0..total as i64 {
+            let v = ctx
+                .recv_from(pred, TAG_DATA, site)
+                .payload
+                .to_i64()
+                .unwrap();
+            assert_eq!(v, expect, "pipeline stream corrupted");
+        }
+    });
+    progs.push(sink);
+    progs
+}
+
+/// A reusable factory for sessions, the explorer, and the localizer.
+pub fn planted_pipeline_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+    move || planted_pipeline(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracedbg_mpsim::{
+        Decision, Engine, EngineConfig, FaultPlan, RecorderConfig, RunOutcome, SchedPolicy,
+    };
+    use tracedbg_trace::schedule::Fault;
+
+    fn run(programs: Vec<ProgramFn>, policy: SchedPolicy, faults: Vec<Fault>) -> RunOutcome {
+        let mut e = Engine::launch(
+            EngineConfig {
+                policy,
+                recorder: RecorderConfig::full(),
+                faults: FaultPlan::new(faults),
+                ..Default::default()
+            },
+            programs,
+        );
+        e.run()
+    }
+
+    #[test]
+    fn all_three_complete_under_the_baseline_schedule() {
+        let cfg = PlantedConfig::default();
+        for progs in [
+            planted_wildcard(&cfg),
+            planted_orphan(&cfg),
+            planted_pipeline(&cfg),
+        ] {
+            assert!(run(progs, SchedPolicy::RoundRobin, vec![]).is_completed());
+        }
+    }
+
+    #[test]
+    fn wildcard_panics_when_the_planted_rank_reports_first() {
+        tracedbg_mpsim::set_quiet_panics(true);
+        let cfg = PlantedConfig::default();
+        let script = vec![Decision::Turn {
+            rank: Rank(cfg.bug_rank),
+        }];
+        match run(
+            planted_wildcard(&cfg),
+            SchedPolicy::Scripted(script),
+            vec![],
+        ) {
+            RunOutcome::Panicked { rank, message } => {
+                assert_eq!(rank, Rank(0));
+                assert!(message.contains("poison report"), "{message}");
+            }
+            other => panic!("expected the planted race to fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphan_deadlocks_awaiting_exactly_the_planted_rank() {
+        let cfg = PlantedConfig::default();
+        let script = vec![Decision::Turn {
+            rank: Rank(cfg.bug_rank),
+        }];
+        match run(planted_orphan(&cfg), SchedPolicy::Scripted(script), vec![]) {
+            RunOutcome::Deadlock(rep) => {
+                assert!(!rep.is_cyclic());
+                assert_eq!(rep.waits.len(), 1);
+                assert_eq!(rep.waits[0].waiter, Rank(0));
+                assert_eq!(rep.waits[0].awaited, Some(Rank(cfg.bug_rank)));
+            }
+            other => panic!("expected the orphaned receive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_corrupts_when_a_merge_token_is_delayed() {
+        tracedbg_mpsim::set_quiet_panics(true);
+        let cfg = PlantedConfig::default();
+        // Delay producer 0's second token past its successors: the
+        // planted wildcard merges by arrival, so the stream reorders.
+        let fault = Fault::Delay {
+            src: Rank(0),
+            dst: Rank(cfg.bug_rank),
+            nth: 1,
+            extra_ns: cfg.work * 2,
+        };
+        match run(planted_pipeline(&cfg), SchedPolicy::RoundRobin, vec![fault]) {
+            RunOutcome::Panicked { rank, message } => {
+                assert_eq!(rank, Rank((cfg.nprocs - 1) as u32), "fails at the sink");
+                assert!(message.contains("corrupted"), "{message}");
+            }
+            other => panic!("expected the delayed token to corrupt the stream, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scales_beyond_four_processes() {
+        let cfg = PlantedConfig {
+            nprocs: 6,
+            bug_rank: 3,
+            ..Default::default()
+        };
+        for progs in [
+            planted_wildcard(&cfg),
+            planted_orphan(&cfg),
+            planted_pipeline(&cfg),
+        ] {
+            assert!(run(progs, SchedPolicy::RoundRobin, vec![]).is_completed());
+        }
+    }
+}

@@ -106,6 +106,46 @@ for wl in racy-wildcard racy-deadlock; do
   fi
 done
 
+echo "==> localize smoke: explore -> localize -> replay-to-suspect, .trc and store-dir feeds"
+rm -rf target/verify_localize && mkdir -p target/verify_localize
+# The planted corpus workload: exploration must find the planted panic.
+if ./target/release/tracedbg explore planted-wildcard --procs 4 --runs 48 --seed 7 \
+    --out target/verify_localize >/dev/null; then
+  echo "explore failed to find the planted wildcard bug" >&2; exit 1
+fi
+art=$(ls target/verify_localize/planted-wildcard-panic-*.sched.json | head -n 1)
+# The report must be byte-identical across --jobs (it has no jobs field).
+for jobs in 1 4; do
+  ./target/release/tracedbg localize --schedule "$art" --jobs "$jobs" --json \
+    > "target/verify_localize/report_j${jobs}.json" \
+    || { echo "localize --jobs $jobs failed on $art" >&2; exit 1; }
+done
+cmp -s target/verify_localize/report_j1.json target/verify_localize/report_j4.json \
+  || { echo "localize report diverged across --jobs" >&2; exit 1; }
+grep -q '"verdict":"localized"' target/verify_localize/report_j1.json \
+  || { echo "localize did not localize the planted bug" >&2; exit 1; }
+# Graph-diff feeds: the recorded failing trace — as a .trc file and as an
+# ingested store directory — must both yield the replay-fed report bytes.
+./target/release/tracedbg replay --schedule "$art" \
+  --trace target/verify_localize/fail.trc >/dev/null \
+  || { echo "failing artifact did not reproduce for the trace feed" >&2; exit 1; }
+./target/release/tracedbg ingest target/verify_localize/fail.trc \
+  --out target/verify_localize/fail-store >/dev/null
+for feed in fail.trc fail-store; do
+  ./target/release/tracedbg localize --schedule "$art" \
+    --trace "target/verify_localize/$feed" --json \
+    > "target/verify_localize/report_${feed}.json" \
+    || { echo "localize --trace $feed failed" >&2; exit 1; }
+  cmp -s target/verify_localize/report_j1.json \
+    "target/verify_localize/report_${feed}.json" \
+    || { echo "localize --trace $feed diverged from the replay-fed report" >&2; exit 1; }
+done
+# Round trip: the report's divergence markers are a replayable stopline.
+./target/release/tracedbg replay --schedule "$art" \
+    --to-suspect target/verify_localize/report_j1.json \
+  | grep -q 'stopped at the divergence frontier' \
+  || { echo "replay --to-suspect did not reach the frontier" >&2; exit 1; }
+
 echo "==> metrics smoke: schema keys, cross-jobs digest identity, disabled-path guard"
 rm -rf target/verify_metrics && mkdir -p target/verify_metrics
 ./target/release/tracedbg stats ring --procs 4 \
@@ -160,7 +200,7 @@ done
 echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
 rm -rf target/verify_bench
 ./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
-for suite in parse replay checkpoint explore explore_dpor store; do
+for suite in parse replay checkpoint explore explore_dpor store localize; do
   f=target/verify_bench/BENCH_${suite}.json
   [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
   # Every row carries the six-field schema the serializer unit test pins.

@@ -1,0 +1,94 @@
+//! Golden localization reports: `tracedbg localize` on the planted-bug
+//! corpus must reproduce the committed `tests/golden/localize/*.json`
+//! byte-for-byte. Any change to the scoring model, the divergence
+//! analysis, or the report schema shifts these bytes — making every
+//! ranking change a conscious, reviewed event.
+//!
+//! Re-bless after an intentional scoring change:
+//!
+//! ```text
+//! scripts/bless.sh          # re-blesses all golden corpora
+//! ```
+
+use std::path::PathBuf;
+use tracedbg::explore::ProgramSource;
+use tracedbg::localize::{localize, LocalizeConfig, LocalizeReport};
+use tracedbg::mpsim::Rank;
+use tracedbg::trace::schedule::{Decision, Fault, ScheduleArtifact};
+use tracedbg::workloads::planted::{
+    planted_orphan_factory, planted_pipeline_factory, planted_wildcard_factory, PlantedConfig,
+};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/localize")
+}
+
+/// The corpus: each workload with its canonical failing recipe (the same
+/// artifacts `crates/localize/tests/known_bugs.rs` asserts accuracy on).
+fn corpus() -> Vec<(&'static str, ProgramSource, ScheduleArtifact)> {
+    let cfg = PlantedConfig::default();
+    let mut wildcard = ScheduleArtifact::new("planted-wildcard", cfg.nprocs, 0);
+    wildcard.decisions = vec![Decision::Turn {
+        rank: Rank(cfg.bug_rank),
+    }];
+    let mut orphan = ScheduleArtifact::new("planted-orphan", cfg.nprocs, 0);
+    orphan.decisions = vec![Decision::Turn {
+        rank: Rank(cfg.bug_rank),
+    }];
+    let mut pipeline = ScheduleArtifact::new("planted-pipeline", cfg.nprocs, 0);
+    pipeline.faults = vec![Fault::Delay {
+        src: Rank(0),
+        dst: Rank(cfg.bug_rank),
+        nth: 1,
+        extra_ns: cfg.work * 2,
+    }];
+    vec![
+        (
+            "planted-wildcard",
+            Box::new(planted_wildcard_factory(cfg)) as ProgramSource,
+            wildcard,
+        ),
+        (
+            "planted-orphan",
+            Box::new(planted_orphan_factory(cfg)) as ProgramSource,
+            orphan,
+        ),
+        (
+            "planted-pipeline",
+            Box::new(planted_pipeline_factory(cfg)) as ProgramSource,
+            pipeline,
+        ),
+    ]
+}
+
+#[test]
+fn localize_reports_match_the_committed_goldens() {
+    let bless = std::env::var_os("BLESS").is_some();
+    tracedbg::mpsim::set_quiet_panics(true);
+    for (name, src, artifact) in corpus() {
+        let report = localize(&src, &artifact, &LocalizeConfig::default());
+        let json = report.to_json();
+        let path = golden_dir().join(format!("{name}.json"));
+        if bless {
+            std::fs::create_dir_all(golden_dir()).expect("create tests/golden/localize");
+            std::fs::write(&path, format!("{json}\n"))
+                .unwrap_or_else(|e| panic!("{name}: bless failed: {e}"));
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden {}: {e}; run scripts/bless.sh",
+                path.display()
+            )
+        });
+        assert_eq!(
+            json,
+            want.trim_end(),
+            "{name}: localization report drifted from the committed golden; \
+             if the ranking change is intentional, re-bless with scripts/bless.sh"
+        );
+        // The committed golden must itself be a well-formed, sealed report.
+        let back = LocalizeReport::from_json(want.trim_end()).expect("golden parses");
+        assert!(back.digest_ok(), "{name}: committed golden digest broken");
+    }
+}
