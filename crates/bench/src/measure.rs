@@ -6,8 +6,9 @@
 //! `tracedbg bench` are comparable sample-for-sample and the quick mode
 //! is an honest scaled-down replica. Each benchmark runs `warmup`
 //! untimed iterations, then `samples` timed batches of `iters`
-//! iterations; the recorded per-iteration figures are the median, p10 and
-//! p90 across batches.
+//! iterations; the slowest quartile of batches is trimmed (wall-clock
+//! noise is one-sided — interference only adds time) and the recorded
+//! per-iteration figures are the median, p10 and p90 of the rest.
 
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -76,19 +77,38 @@ pub fn measure(name: &str, jobs: usize, plan: Plan, mut f: impl FnMut()) -> Benc
             (t0.elapsed().as_nanos() as u64) / plan.iters
         })
         .collect();
+    let (median_ns, p10_ns, p90_ns) = trimmed_percentiles(&mut per_iter_ns);
+    BenchRecord {
+        name: name.to_string(),
+        iters: plan.samples as u64 * plan.iters,
+        median_ns,
+        p10_ns,
+        p90_ns,
+        jobs,
+    }
+}
+
+/// Sort the per-batch figures, drop the slow outliers, and return
+/// `(median, p10, p90)` by nearest-rank on what remains.
+///
+/// The trim is one-sided: wall-clock interference (preemption, page
+/// faults, a sibling benchmark's cache residue) only ever *adds* time,
+/// so the slowest quartile of batches is discarded — the fastest
+/// batches are the honest ones. This is what keeps pairs like
+/// `ring_instr_off` vs `ring_instr_full` ordered by actual work rather
+/// than by which one caught a scheduler hiccup.
+fn trimmed_percentiles(per_iter_ns: &mut Vec<u64>) -> (u64, u64, u64) {
     per_iter_ns.sort_unstable();
+    let kept = (per_iter_ns.len() * 3)
+        .div_ceil(4)
+        .max(3)
+        .min(per_iter_ns.len());
+    per_iter_ns.truncate(kept);
     let pct = |p: usize| {
         // Nearest-rank on the sorted samples; exact for the median of odd k.
         per_iter_ns[((per_iter_ns.len() - 1) * p + 50) / 100]
     };
-    BenchRecord {
-        name: name.to_string(),
-        iters: plan.samples as u64 * plan.iters,
-        median_ns: pct(50),
-        p10_ns: pct(10),
-        p90_ns: pct(90),
-        jobs,
-    }
+    (pct(50), pct(10), pct(90))
 }
 
 /// Serialize one suite's records as the `BENCH_<suite>.json` payload — a
@@ -170,6 +190,21 @@ mod tests {
         assert!(rec.p10_ns <= rec.median_ns && rec.median_ns <= rec.p90_ns);
         assert!(rec.median_ns > 0, "timed work cannot be free");
         assert!(n > 0);
+    }
+
+    #[test]
+    fn trim_drops_the_slow_outliers() {
+        // Seven batches, one pathological straggler: the straggler must
+        // not move the p90, and the median sits in the fast cluster.
+        let mut ns = vec![100, 101, 99, 102, 100, 5_000, 101];
+        let (median, p10, p90) = trimmed_percentiles(&mut ns);
+        assert_eq!(median, 101);
+        assert!(p90 <= 102, "straggler leaked into p90: {p90}");
+        assert!(p10 <= median && median <= p90);
+        // Small sample counts are kept whole (never trim below 3).
+        let mut small = vec![7, 8, 9];
+        let (m, _, hi) = trimmed_percentiles(&mut small);
+        assert_eq!((m, hi), (8, 9));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use tracedbg_tracegraph::MessageMatching;
 use tracedbg_workloads::planted::{planted_wildcard_factory, PlantedConfig};
 use tracedbg_workloads::racy::{wildcard_race_factory, RacyConfig};
 use tracedbg_workloads::ring::{self, RingConfig};
+use tracedbg_workloads::wide;
 
 /// What to run and how hard.
 #[derive(Clone, Debug, Default)]
@@ -339,6 +340,48 @@ fn suite_engine(opts: &SuiteOptions) -> Suite {
             assert!(e.run().is_completed());
         }));
     }
+    // The wide set: thousand-rank workloads that only fit because ranks
+    // are resumable tasks, not OS threads. One pass each per iteration.
+    let wp = plan(opts, 1, 5, 1);
+    if wants(opts, "engine", "wide_ring_1024") {
+        let cfg = wide::wide_ring_config(1024, 1);
+        records.push(measure("wide_ring_1024", 1, wp, || {
+            let mut e = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::markers_only(),
+                    ..Default::default()
+                },
+                ring::programs(&cfg),
+            );
+            assert!(e.run().is_completed());
+        }));
+    }
+    if wants(opts, "engine", "wide_stencil_32x32") {
+        let cfg = wide::StencilConfig { p: 32, steps: 1 };
+        records.push(measure("wide_stencil_32x32", 1, wp, || {
+            let mut e = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::markers_only(),
+                    ..Default::default()
+                },
+                wide::stencil_programs(&cfg),
+            );
+            assert!(e.run().is_completed());
+        }));
+    }
+    if wants(opts, "engine", "wide_butterfly_1024") {
+        let cfg = wide::ButterflyConfig { nprocs: 1024 };
+        records.push(measure("wide_butterfly_1024", 1, wp, || {
+            let mut e = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::markers_only(),
+                    ..Default::default()
+                },
+                wide::butterfly_programs(&cfg),
+            );
+            assert!(e.run().is_completed());
+        }));
+    }
     Suite {
         name: "engine",
         records,
@@ -396,6 +439,29 @@ fn suite_checkpoint(opts: &SuiteOptions) -> Suite {
         records.push(measure("restore", 1, p, || {
             let e = Engine::restore(&cp, ring::programs(&cfg));
             assert_eq!(e.markers(), cp.markers());
+        }));
+    }
+    if wants(opts, "checkpoint", "restore_respawn") {
+        // The legacy path the task engine replaced: thread-backed ranks
+        // force restore to respawn every rank and fast-forward it
+        // through the reply log. A checkpoint taken from thread ranks
+        // is required, so a second stopped engine is built here.
+        let mut tstopped = Engine::launch(
+            EngineConfig {
+                recorder: RecorderConfig::markers_only(),
+                checkpoints: true,
+                ..Default::default()
+            },
+            ring::thread_programs(&cfg),
+        );
+        for m in target.iter() {
+            tstopped.set_threshold(m.rank, Some((m.count / 2).max(1)));
+        }
+        assert!(tstopped.run().is_stopped());
+        let tcp = tstopped.snapshot();
+        records.push(measure("restore_respawn", 1, p, || {
+            let e = Engine::restore(&tcp, ring::thread_programs(&cfg));
+            assert_eq!(e.markers(), tcp.markers());
         }));
     }
     if wants(opts, "checkpoint", "restore_continue") {

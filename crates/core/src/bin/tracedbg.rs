@@ -44,7 +44,7 @@ use tracedbg::tracegraph::{ActionGraph, Profile};
 use tracedbg::viz::{dot, vcg};
 use tracedbg::viz::{ChannelRow, SuspectRow, SuspectSummary};
 use tracedbg::workloads::{
-    heat, lu, master_worker, planted, racy, random_comm, ring, script, scripts, strassen,
+    heat, lu, master_worker, planted, racy, random_comm, ring, script, scripts, strassen, wide,
 };
 
 struct Opts {
@@ -170,6 +170,22 @@ fn workload_factory(
                 "planted-orphan" => (Box::new(planted::planted_orphan_factory(cfg)), n),
                 _ => (Box::new(planted::planted_pipeline_factory(cfg)), n),
             }
+        }
+        "stencil" => {
+            // --procs is the total rank count; the grid side is its
+            // (floored) square root, so 1024 procs = the 32x32 grid.
+            let p = (procs.max(4) as f64).sqrt().floor() as usize;
+            let cfg = wide::StencilConfig {
+                p: p.max(2),
+                ..Default::default()
+            };
+            let n = cfg.p * cfg.p;
+            (Box::new(wide::stencil_factory(cfg)), n)
+        }
+        "butterfly" => {
+            let n = procs.max(2).next_power_of_two();
+            let cfg = wide::ButterflyConfig { nprocs: n };
+            (Box::new(wide::butterfly_factory(cfg)), n)
         }
         "racy-wildcard" | "racy-deadlock" => {
             let cfg = racy::RacyConfig {
@@ -1330,6 +1346,8 @@ fn main() -> ExitCode {
                  ring           token ring\n\
                  pool           master/worker with wildcard receives\n\
                  heat           1-D heat diffusion: halo exchange + allreduce\n\
+                 stencil        2-D halo exchange on a sqrt(procs) x sqrt(procs) grid\n\
+                 butterfly      log2-stage allreduce over next_power_of_two(procs) ranks\n\
                  racy-wildcard  wildcard-receive race (explore finds the panic)\n\
                  racy-deadlock  orphaned receive (explore finds the deadlock)\n\
                  planted-wildcard  localization corpus: racy wildcard, bug planted at rank 2\n\
@@ -1391,6 +1409,8 @@ mod tests {
             "ring",
             "heat",
             "pool",
+            "stencil",
+            "butterfly",
             "racy-wildcard",
             "racy-deadlock",
             "planted-wildcard",

@@ -24,7 +24,7 @@
 //!         let m = ctx.recv_from(Rank(0), Tag(7), site);
 //!         assert_eq!(m.payload.to_i64(), Some(42));
 //!     });
-//!     vec![p0, p1]
+//!     vec![p0.into(), p1.into()]
 //! });
 //!
 //! // Debug it: run, inspect the history, replay to a stopline.

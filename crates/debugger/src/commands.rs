@@ -418,7 +418,7 @@ mod tests {
                 let s = ctx.site("c.rs", 2, "p1");
                 let _ = ctx.recv_from(Rank(0), Tag(1), s);
             });
-            vec![p0, p1]
+            vec![p0.into(), p1.into()]
         });
         CommandInterface::new(Session::launch(
             SessionConfig {
@@ -583,7 +583,7 @@ mod tests {
                 let s = ctx.site("p.rs", 2, "p1");
                 ctx.compute(10, s);
             });
-            vec![p0, p1]
+            vec![p0.into(), p1.into()]
         });
         let mut ci = CommandInterface::new(Session::launch(
             SessionConfig {

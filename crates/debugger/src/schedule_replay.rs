@@ -200,7 +200,12 @@ mod tests {
                     ctx.send(Rank(0), Tag(tag), Payload::from_i64(1), s);
                 })
             };
-            vec![p0, sender(7), sender(0), sender(0)]
+            vec![
+                p0.into(),
+                sender(7).into(),
+                sender(0).into(),
+                sender(0).into(),
+            ]
         })
     }
 

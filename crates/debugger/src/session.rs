@@ -12,13 +12,13 @@ use crate::stopline::Stopline;
 use crate::undo::UndoStack;
 use tracedbg_mpsim::DeadlockReport;
 use tracedbg_mpsim::{
-    CostModel, Engine, EngineCheckpoint, EngineConfig, EngineMetrics, FaultPlan, ProgramFn,
+    CostModel, Engine, EngineCheckpoint, EngineConfig, EngineMetrics, FaultPlan, RankProgram,
     RecorderConfig, ReplayLog, RunOutcome, SchedPolicy,
 };
 use tracedbg_trace::{Marker, MarkerVector, Rank, SiteTable, TraceRecord, TraceStore};
 
 /// Recreates the target program for each (re-)execution.
-pub type ProgramFactory = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
+pub type ProgramFactory = Box<dyn Fn() -> Vec<RankProgram> + Send + Sync>;
 
 /// Session construction parameters.
 #[derive(Clone, Debug)]
@@ -573,7 +573,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracedbg_mpsim::{Payload, Tag};
+    use tracedbg_mpsim::{Payload, ProgramFn, Tag};
 
     fn two_proc_factory() -> ProgramFactory {
         Box::new(|| {
@@ -590,7 +590,7 @@ mod tests {
                 let m = ctx.recv_from(Rank(0), Tag(1), s);
                 ctx.probe("got", m.payload.to_i64().unwrap(), s);
             });
-            vec![p0, p1]
+            vec![p0.into(), p1.into()]
         })
     }
 
@@ -898,7 +898,7 @@ mod tests {
                 ctx.compute(10, s);
                 let _ = ctx.recv_from(Rank(0), Tag(0), s);
             });
-            vec![p0, p1]
+            vec![p0.into(), p1.into()]
         });
         let mut s = Session::launch(
             SessionConfig {

@@ -1,10 +1,10 @@
 //! The exploration strategies, finding pipeline, and report.
 
 use crate::oracle::{self, Violation};
-use crate::pool::{run_batch_traced, PrefixCache, RunTask, WorkerLoad};
+use crate::pool::{PrefixCache, RunTask, WorkerLoad, WorkerPool};
 use crate::runner::{
-    execute, execute_metered, ProgramSource, RunResult, CLASS_COMPLETED, CLASS_DEADLOCK,
-    CLASS_DIVERGENCE, CLASS_PANIC,
+    execute, execute_metered, execute_task, ProgramSource, RunResult, CLASS_COMPLETED,
+    CLASS_DEADLOCK, CLASS_DIVERGENCE, CLASS_PANIC,
 };
 use crate::shrink::ddmin;
 use rand::{Rng, SeedableRng};
@@ -12,6 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tracedbg_analysis::IndependenceFacts;
 use tracedbg_mpsim::{EngineMetrics, SchedPolicy};
@@ -214,7 +215,7 @@ impl ExploreReport {
 /// The exploration engine.
 pub struct Explorer {
     cfg: ExploreConfig,
-    source: ProgramSource,
+    source: Arc<ProgramSource>,
     procs: usize,
     runs_executed: usize,
     aux_runs: usize,
@@ -224,8 +225,11 @@ pub struct Explorer {
     findings: Vec<Finding>,
     classes_found: HashSet<String>,
     /// Shared-prefix checkpoints for sibling schedules (systematic mode).
-    prefix_cache: PrefixCache,
+    prefix_cache: Arc<PrefixCache>,
     prefix_groups: usize,
+    /// Persistent worker pool, spun up on the first parallel batch and
+    /// reused for every batch after it (see [`WorkerPool`]).
+    pool: Option<WorkerPool>,
     /// Alternatives skipped because they were asleep (sleep-set DPOR).
     sleep_skipped: u64,
     /// Telemetry accumulator (`cfg.metrics`).
@@ -277,9 +281,9 @@ impl ObsAcc {
     }
 }
 
-/// Don't bother checkpointing shared prefixes shorter than this: the
-/// restore machinery costs a thread respawn per rank, which only pays off
-/// once a real chunk of execution is skipped.
+/// Don't bother checkpointing shared prefixes shorter than this: even a
+/// task-frame restore clones per-rank state and recorder buffers, which
+/// only pays off once a real chunk of execution is skipped.
 const MIN_SHARED_PREFIX: usize = 3;
 
 /// Queue entry of the systematic search: (schedule prefix, substitution
@@ -305,7 +309,7 @@ impl Explorer {
         let obs = cfg.metrics.then(|| ObsAcc::new(procs));
         Explorer {
             cfg,
-            source,
+            source: Arc::new(source),
             procs,
             runs_executed: 0,
             aux_runs: 0,
@@ -314,8 +318,9 @@ impl Explorer {
             prefixes: HashSet::new(),
             findings: Vec::new(),
             classes_found: HashSet::new(),
-            prefix_cache: PrefixCache::new(),
+            prefix_cache: Arc::new(PrefixCache::new()),
             prefix_groups: 0,
+            pool: None,
             sleep_skipped: 0,
             obs,
             last_progress: Instant::now(),
@@ -330,6 +335,44 @@ impl Explorer {
                 .unwrap_or(1),
             n => n,
         }
+    }
+
+    /// Dispatch a batch of tasks, sequentially or on the persistent
+    /// worker pool, returning `(tasks, results, load)` with results in
+    /// task order.
+    fn run_tasks(
+        &mut self,
+        tasks: Vec<RunTask>,
+    ) -> (Arc<Vec<RunTask>>, Vec<RunResult>, WorkerLoad) {
+        let jobs = self.effective_jobs();
+        let tasks = Arc::new(tasks);
+        // Usable concurrency: a pool that would spawn zero workers (more
+        // jobs than cores) is just the sequential loop with extra
+        // bookkeeping, so run the plain loop instead.
+        let threads = jobs.min(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        );
+        if threads <= 1 || tasks.len() <= 1 {
+            let t0 = Instant::now();
+            let results = tasks
+                .iter()
+                .map(|t| execute_task(&self.source, t, &self.prefix_cache))
+                .collect();
+            let load = vec![(tasks.len() as u64, t0.elapsed().as_nanos() as u64)];
+            return (tasks, results, load);
+        }
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(
+                jobs,
+                Arc::clone(&self.source),
+                Arc::clone(&self.prefix_cache),
+            ));
+        }
+        let pool = self.pool.as_ref().expect("pool just created");
+        let (results, load) = pool.run(Arc::clone(&tasks));
+        (tasks, results, load)
     }
 
     /// Run the exploration to completion and report.
@@ -559,7 +602,6 @@ impl Explorer {
     /// batch item `k` therefore enqueue before extensions of item `k+1`,
     /// which is precisely the sequential FIFO order.
     fn systematic(&mut self, base: &RunResult) {
-        let jobs = self.effective_jobs();
         let mut queue: VecDeque<SleepEntry> = VecDeque::new();
         Self::push_extensions(
             &base.points,
@@ -592,7 +634,7 @@ impl Explorer {
             }
             let tasks = self.assign_prefix_roles(&batch);
             self.prefix_groups += tasks.iter().filter(|t| t.snapshot_at.is_some()).count();
-            let (results, load) = run_batch_traced(&self.source, &tasks, jobs, &self.prefix_cache);
+            let (_tasks, results, load) = self.run_tasks(tasks);
             if let Some(obs) = self.obs.as_mut() {
                 obs.add_load(&load);
             }
@@ -767,7 +809,7 @@ impl Explorer {
                     task
                 })
                 .collect();
-            let (results, load) = run_batch_traced(&self.source, &tasks, jobs, &self.prefix_cache);
+            let (tasks, results, load) = self.run_tasks(tasks);
             if let Some(obs) = self.obs.as_mut() {
                 obs.add_load(&load);
             }

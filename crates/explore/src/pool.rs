@@ -16,7 +16,7 @@
 use crate::runner::{execute_task, ProgramSource, RunResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use tracedbg_mpsim::{EngineCheckpoint, SchedPolicy};
 use tracedbg_trace::schedule::Fault;
 
@@ -174,11 +174,29 @@ pub fn run_batch_traced(
         let load = vec![(n as u64, t0.elapsed().as_nanos() as u64)];
         return (results, load);
     }
+    // Never oversubscribe: workers beyond the machine's cores only add
+    // context switches to CPU-bound engine runs. Load accounting keeps
+    // `jobs` rows; the unspawned workers simply report zero.
+    let threads = jobs.min(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+    if threads == 1 {
+        let t0 = std::time::Instant::now();
+        let results = tasks
+            .iter()
+            .map(|t| execute_task(source, t, cache))
+            .collect();
+        let mut load = vec![(0, 0); jobs];
+        load[0] = (n as u64, t0.elapsed().as_nanos() as u64);
+        return (results, load);
+    }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let mut load: Vec<(u64, u64)> = vec![(0, 0); jobs];
     std::thread::scope(|scope| {
-        for my_load in load.iter_mut() {
+        for my_load in load.iter_mut().take(threads) {
             let cursor = &cursor;
             let slots = &slots;
             scope.spawn(move || loop {
@@ -205,6 +223,217 @@ pub fn run_batch_traced(
     (results, load)
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One batch in flight on a [`WorkerPool`].
+struct Batch {
+    tasks: Arc<Vec<RunTask>>,
+    cursor: AtomicUsize,
+    slots: Vec<Mutex<Option<RunResult>>>,
+    /// Per-executor (tasks, busy ns); index 0 is the calling thread.
+    loads: Vec<Mutex<(u64, u64)>>,
+}
+
+struct PoolState {
+    batch: Option<Arc<Batch>>,
+    /// Bumped per batch so a worker never re-drains one it finished.
+    epoch: u64,
+    /// Tasks of the current batch not yet completed.
+    open: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    source: Arc<ProgramSource>,
+    cache: Arc<PrefixCache>,
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+impl PoolShared {
+    /// Pull tasks off the batch cursor until it runs dry, executing each
+    /// and parking the result in its slot.
+    fn drain(&self, batch: &Batch, executor: usize) {
+        let n = batch.tasks.len();
+        loop {
+            let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return;
+            }
+            let t0 = std::time::Instant::now();
+            let res = execute_task(&self.source, &batch.tasks[i], &self.cache);
+            {
+                let mut l = batch.loads[executor]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                l.0 += 1;
+                l.1 += t0.elapsed().as_nanos() as u64;
+            }
+            *batch.slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+            let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            g.open -= 1;
+            if g.open == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A persistent exploration worker pool.
+///
+/// The old shape — `std::thread::scope` per batch — respawned every
+/// worker thread for every batch, and an exploration is *many* small
+/// batches (each systematic wave and each random-walk chunk is one).
+/// That fixed per-batch thread cost is exactly what made `jobs = N`
+/// lose to `jobs = 1` on small workloads. Here workers are spawned
+/// once and parked on a condvar between batches, and the **calling
+/// thread participates as executor 0**, so a batch costs one
+/// `notify_all` instead of N spawns — and on a single-core box the
+/// caller simply drains the cursor inline while the parked workers
+/// stay out of the way.
+///
+/// The determinism contract of [`run_batch`] is unchanged: result
+/// content depends only on the task, and results come back in task
+/// order.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    jobs: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with `jobs` executors: the calling thread plus up to
+    /// `jobs - 1` parked worker threads. Threads beyond the machine's
+    /// available parallelism are never spawned — engine runs are CPU
+    /// bound, so oversubscribing cores buys nothing but context
+    /// switches (and is how `jobs = N` used to lose to `jobs = 1` on
+    /// small boxes). Load accounting still reports `jobs` rows; the
+    /// unspawned executors simply stay at zero.
+    pub fn new(jobs: usize, source: Arc<ProgramSource>, cache: Arc<PrefixCache>) -> Self {
+        let jobs = jobs.max(1);
+        let spawn = (jobs - 1).min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .saturating_sub(1),
+        );
+        let shared = Arc::new(PoolShared {
+            source,
+            cache,
+            state: Mutex::new(PoolState {
+                batch: None,
+                epoch: 0,
+                open: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..=spawn)
+            .map(|executor| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        let batch = {
+                            let mut g = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                            loop {
+                                if g.shutdown {
+                                    return;
+                                }
+                                if g.epoch != seen {
+                                    if let Some(b) = &g.batch {
+                                        seen = g.epoch;
+                                        break Arc::clone(b);
+                                    }
+                                }
+                                g = shared.work_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                            }
+                        };
+                        shared.drain(&batch, executor);
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            jobs,
+            workers,
+        }
+    }
+
+    /// Number of executors (calling thread included).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Execute every task and return the results in task order, plus
+    /// per-executor load. The caller drains alongside the workers and
+    /// returns only when every slot is filled.
+    pub fn run(&self, tasks: Arc<Vec<RunTask>>) -> (Vec<RunResult>, WorkerLoad) {
+        let n = tasks.len();
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let batch = Arc::new(Batch {
+            tasks,
+            cursor: AtomicUsize::new(0),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            loads: (0..self.jobs).map(|_| Mutex::new((0, 0))).collect(),
+        });
+        {
+            let mut g = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            g.batch = Some(Arc::clone(&batch));
+            g.epoch += 1;
+            g.open = n;
+            self.shared.work_cv.notify_all();
+        }
+        self.shared.drain(&batch, 0);
+        let mut g = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while g.open > 0 {
+            g = self
+                .shared
+                .done_cv
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        g.batch = None;
+        drop(g);
+        let results = batch
+            .slots
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("open == 0 means every slot is filled")
+            })
+            .collect();
+        let load = batch
+            .loads
+            .iter()
+            .map(|m| *m.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        (results, load)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            g.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,7 +451,7 @@ mod tests {
                 let _ = ctx.recv_from(Rank(0), Tag(1), s);
                 ctx.send(Rank(0), Tag(2), Payload::from_i64(2), s);
             });
-            vec![p0, p1]
+            vec![p0.into(), p1.into()]
         })
     }
 
@@ -294,6 +523,42 @@ mod tests {
             assert_eq!(r.digest, base.digest, "forked run must match scratch");
             assert_eq!(r.decisions, base.decisions);
         }
+    }
+
+    #[test]
+    fn persistent_pool_matches_sequential_across_batches() {
+        // The pool is the reuse-across-batches path: three consecutive
+        // batches on one pool must match the sequential results, in
+        // order, and account for every task exactly once.
+        let source = Arc::new(pingpong_source());
+        let cache = Arc::new(PrefixCache::new());
+        let pool = WorkerPool::new(3, Arc::clone(&source), Arc::clone(&cache));
+        assert_eq!(pool.jobs(), 3);
+        for round in 0..3u64 {
+            let tasks: Vec<RunTask> = (0..11)
+                .map(|i| RunTask::plain(SchedPolicy::Seeded(round * 100 + i), Vec::new()))
+                .collect();
+            let seq = run_batch(&source, &tasks, 1, &cache);
+            let (par, load) = pool.run(Arc::new(tasks));
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.digest, b.digest);
+                assert_eq!(a.class, b.class);
+                assert_eq!(a.decisions, b.decisions);
+            }
+            assert_eq!(load.len(), 3, "one load row per executor");
+            assert_eq!(load.iter().map(|(t, _)| t).sum::<u64>(), 11);
+        }
+    }
+
+    #[test]
+    fn pool_drop_joins_idle_workers() {
+        let source = Arc::new(pingpong_source());
+        let cache = Arc::new(PrefixCache::new());
+        let pool = WorkerPool::new(4, source, cache);
+        // Never ran a batch: drop must still shut the workers down
+        // promptly instead of leaving them parked forever.
+        drop(pool);
     }
 
     #[test]

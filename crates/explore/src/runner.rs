@@ -3,14 +3,14 @@
 use crate::pool::{PrefixCache, RunTask};
 use tracedbg_instrument::RecorderConfig;
 use tracedbg_mpsim::{
-    Engine, EngineConfig, EngineMetrics, FaultPlan, ProgramFn, RunOutcome, SchedPolicy,
+    Engine, EngineConfig, EngineMetrics, FaultPlan, RankProgram, RunOutcome, SchedPolicy,
 };
 use tracedbg_trace::schedule::{Decision, DecisionPoint, Fault};
 use tracedbg_trace::{trace_digest, TraceStore};
 
 /// Recreates the target program for each run (the explorer executes it
 /// many times).
-pub type ProgramSource = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
+pub type ProgramSource = Box<dyn Fn() -> Vec<RankProgram> + Send + Sync>;
 
 /// Outcome classes. These are the `failure` strings written into schedule
 /// artifacts; `tracedbg replay` compares against them.

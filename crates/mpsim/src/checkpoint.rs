@@ -31,6 +31,7 @@ use crate::mailbox::Mailbox;
 use crate::ops::Reply;
 use crate::record::{MatchRecorder, ReplayLog};
 use crate::sched::Scheduler;
+use crate::task::TaskSnapshot;
 use tracedbg_instrument::{Recorder, RecorderConfig};
 use tracedbg_trace::schedule::DecisionPoint;
 use tracedbg_trace::{MarkerVector, Rank, SiteTable, TraceRecord};
@@ -63,6 +64,10 @@ pub struct EngineCheckpoint {
     pub(crate) decision_log: Vec<DecisionPoint>,
     pub(crate) reply_log: Vec<Vec<Reply>>,
     pub(crate) trap_history: Vec<Vec<u64>>,
+    /// Frame snapshots of task-backed ranks (`None` for thread ranks).
+    /// Restoring a task rank clones this — the reply log and trap history
+    /// above exist only for thread ranks.
+    pub(crate) tasks: Vec<Option<TaskSnapshot>>,
 }
 
 impl EngineCheckpoint {

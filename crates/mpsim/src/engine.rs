@@ -21,6 +21,7 @@ use crate::ops::{Reply, Request, SendMode, ShutdownSignal};
 use crate::proc::{ProcessCtx, ProgramFn};
 use crate::record::{MatchRecorder, RecordedMatch, ReplayLog};
 use crate::sched::{SchedPolicy, Scheduler};
+use crate::task::{Prog, TaskHarness, TaskInterp, TaskProgram};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -160,13 +161,61 @@ impl EngineObs {
     }
 }
 
+/// How one rank executes: the legacy OS thread running a `ProcessCtx`
+/// closure, or a resumable task stepped inline on the engine thread.
+///
+/// Thread ranks pay a channel round-trip per grant and respawn +
+/// fast-forward on restore; task ranks cost a struct, are granted by a
+/// direct call, and restore by cloning their frame snapshot.
+enum Backend {
+    Thread {
+        reply_tx: Sender<Reply>,
+        handle: Option<JoinHandle<()>>,
+    },
+    Task(TaskHarness),
+}
+
+impl Backend {
+    fn is_thread(&self) -> bool {
+        matches!(self, Backend::Thread { .. })
+    }
+}
+
+/// A rank's program, in either execution form. `Vec<ProgramFn>` call
+/// sites keep working through the `From` impl; task ranks are built with
+/// [`RankProgram::task`] or from any [`TaskProgram`] box.
+pub enum RankProgram {
+    /// A thread-backed `ProcessCtx` closure (the legacy backend).
+    Thread(ProgramFn),
+    /// A resumable state-machine task.
+    Task(Box<dyn TaskProgram>),
+}
+
+impl RankProgram {
+    /// A task rank from a [`Prog`] tree and its initial state.
+    pub fn task<S: Clone + Send + Sync + 'static>(state: S, prog: Prog<S>) -> Self {
+        RankProgram::Task(Box::new(TaskInterp::new(state, prog)))
+    }
+}
+
+impl From<ProgramFn> for RankProgram {
+    fn from(f: ProgramFn) -> Self {
+        RankProgram::Thread(f)
+    }
+}
+
+impl From<Box<dyn TaskProgram>> for RankProgram {
+    fn from(t: Box<dyn TaskProgram>) -> Self {
+        RankProgram::Task(t)
+    }
+}
+
 /// A complete simulated run.
 pub struct Engine {
     states: Vec<ProcState>,
     paused: Vec<bool>,
-    reply_txs: Vec<Sender<Reply>>,
+    backends: Vec<Backend>,
     req_rx: Receiver<(Rank, Request)>,
-    handles: Vec<Option<JoinHandle<()>>>,
     mailboxes: Vec<Mailbox>,
     /// `send_seq[src][dst]`: next sequence number on that channel.
     send_seq: Vec<Vec<u64>>,
@@ -205,45 +254,61 @@ pub struct Engine {
 
 impl Engine {
     /// Launch `programs` (one per rank) under `config`. Processes start
-    /// ready but do not run until [`Engine::run`].
-    pub fn launch(config: EngineConfig, programs: Vec<ProgramFn>) -> Self {
+    /// ready but do not run until [`Engine::run`]. Accepts any mix of
+    /// thread closures ([`ProgramFn`]) and resumable tasks
+    /// ([`RankProgram::Task`]).
+    pub fn launch<P: Into<RankProgram>>(config: EngineConfig, programs: Vec<P>) -> Self {
         install_quiet_shutdown_hook();
         let n = programs.len();
         assert!(n > 0, "need at least one process");
         let sites = config.sites.clone().unwrap_or_default();
         let flush = FlushHandle::new();
         let (req_tx, req_rx) = unbounded::<(Rank, Request)>();
-        let mut reply_txs = Vec::with_capacity(n);
+        let mut backends = Vec::with_capacity(n);
         let mut recorders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
         let mut replay = config.replay;
         if let Some(log) = replay.as_mut() {
             log.reset();
         }
         for (i, program) in programs.into_iter().enumerate() {
             let rank = Rank(i as u32);
-            let (reply_tx, reply_rx) = unbounded::<Reply>();
             let recorder = Arc::new(Mutex::new(Recorder::new(rank, config.recorder.clone())));
-            let ctx = ProcessCtx::new(
-                rank,
-                n,
-                config.cost,
-                sites.clone(),
-                Arc::clone(&recorder),
-                req_tx.clone(),
-                reply_rx,
-                flush.clone(),
-            );
-            reply_txs.push(reply_tx);
+            let backend = match program.into() {
+                RankProgram::Thread(program) => {
+                    let (reply_tx, reply_rx) = unbounded::<Reply>();
+                    let ctx = ProcessCtx::new(
+                        rank,
+                        n,
+                        config.cost,
+                        sites.clone(),
+                        Arc::clone(&recorder),
+                        req_tx.clone(),
+                        reply_rx,
+                        flush.clone(),
+                    );
+                    Backend::Thread {
+                        reply_tx,
+                        handle: Some(spawn_process(i, program, ctx)),
+                    }
+                }
+                RankProgram::Task(task) => Backend::Task(TaskHarness::new(
+                    rank,
+                    n,
+                    config.cost,
+                    sites.clone(),
+                    Arc::clone(&recorder),
+                    flush.clone(),
+                    task,
+                )),
+            };
             recorders.push(recorder);
-            handles.push(Some(spawn_process(i, program, ctx)));
+            backends.push(backend);
         }
         Engine {
             states: (0..n).map(|_| ProcState::Ready(Reply::Proceed)).collect(),
             paused: vec![false; n],
-            reply_txs,
+            backends,
             req_rx,
-            handles,
             mailboxes: (0..n).map(|_| Mailbox::new(n)).collect(),
             send_seq: vec![vec![0; n]; n],
             scheduler: Scheduler::new(&config.policy, n),
@@ -273,14 +338,16 @@ impl Engine {
     /// (the same programs the checkpointed engine was launched with —
     /// determinism of the restore depends on it).
     ///
-    /// Threads cannot be snapshotted, so each program is re-executed on a
+    /// Task ranks restore by cloning their checkpointed frame snapshot —
+    /// no respawn, no fast-forward, no reply traffic. Threads cannot be
+    /// snapshotted, so each thread rank's program is re-executed on a
     /// fresh thread against its recorded reply stream, preloaded in full:
     /// every rank fast-forwards to the snapshot point in parallel, with no
     /// engine round-trips, no scheduling, no mailbox work and no trace
     /// buffering. The engine only drains (and discards) the re-issued
     /// requests, then installs the checkpointed state wholesale. Restored
     /// engines keep checkpointing enabled, so checkpoints chain.
-    pub fn restore(cp: &EngineCheckpoint, programs: Vec<ProgramFn>) -> Self {
+    pub fn restore<P: Into<RankProgram>>(cp: &EngineCheckpoint, programs: Vec<P>) -> Self {
         install_quiet_shutdown_hook();
         let n = cp.n_ranks;
         assert_eq!(programs.len(), n, "restore needs one program per rank");
@@ -288,11 +355,30 @@ impl Engine {
         let flush = FlushHandle::new();
         flush.accept(cp.flush_pending.clone());
         let (req_tx, req_rx) = unbounded::<(Rank, Request)>();
-        let mut reply_txs = Vec::with_capacity(n);
+        let mut backends = Vec::with_capacity(n);
         let mut recorders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
         for (i, program) in programs.into_iter().enumerate() {
             let rank = Rank(i as u32);
+            if let Some(snap) = &cp.tasks[i] {
+                // Task rank: the snapshot *is* the process state; the
+                // program argument is only a launch recipe and is unused.
+                let recorder = Arc::new(Mutex::new(cp.recorders[i].clone()));
+                let harness = TaskHarness::restore(
+                    snap,
+                    rank,
+                    n,
+                    cp.cost,
+                    sites.clone(),
+                    Arc::clone(&recorder),
+                    flush.clone(),
+                );
+                recorders.push(recorder);
+                backends.push(Backend::Task(harness));
+                continue;
+            }
+            let RankProgram::Thread(program) = program.into() else {
+                panic!("rank {i}: checkpoint holds a thread rank; restore got a task program");
+            };
             let (reply_tx, reply_rx) = unbounded::<Reply>();
             let recorder = Arc::new(Mutex::new(Recorder::fast_forward(
                 rank,
@@ -315,15 +401,18 @@ impl Engine {
             for reply in &cp.reply_log[i] {
                 reply_tx.send(reply.clone()).expect("preload reply stream");
             }
-            reply_txs.push(reply_tx);
             recorders.push(recorder);
-            handles.push(Some(handle));
+            backends.push(Backend::Thread {
+                reply_tx,
+                handle: Some(handle),
+            });
         }
         // A thread that consumes R preloaded replies makes exactly R
         // requests before parking (or exiting): at every engine-rest point
         // requests-made equals replies-granted for every rank, in every
         // state. Drain exactly that many, discarding contents — the
         // checkpointed engine state already reflects having serviced them.
+        // (Task ranks log no replies, so they contribute zero here.)
         let want: Vec<usize> = cp.reply_log.iter().map(|v| v.len()).collect();
         let mut seen = vec![0usize; n];
         for _ in 0..want.iter().sum::<usize>() {
@@ -337,6 +426,9 @@ impl Engine {
         // Self-check, then swap the checkpointed recorder state in over
         // the fast-forward recorders (threads keep their Arc handles).
         for (i, arc) in recorders.iter().enumerate() {
+            if cp.tasks[i].is_some() {
+                continue; // task recorders are already exact clones
+            }
             let mut g = arc.lock();
             assert_eq!(g.ff_pending(), 0, "rank {i}: scripted traps left over");
             assert_eq!(
@@ -349,9 +441,8 @@ impl Engine {
         Engine {
             states: cp.states.clone(),
             paused: cp.paused.clone(),
-            reply_txs,
+            backends,
             req_rx,
-            handles,
             mailboxes: cp.mailboxes.clone(),
             send_seq: cp.send_seq.clone(),
             scheduler: cp.scheduler.clone(),
@@ -434,13 +525,20 @@ impl Engine {
                 ProcState::Ready(r) => r,
                 other => unreachable!("granted non-ready process in state {other:?}"),
             };
-            if self.checkpoints {
+            if self.checkpoints && self.backends[p.ix()].is_thread() {
+                // Only thread ranks need a reply log: a task rank restores
+                // from its frame snapshot, not by re-feeding replies.
                 self.reply_log[p.ix()].push(reply.clone());
             }
-            self.reply_txs[p.ix()]
-                .send(reply)
-                .expect("process thread vanished");
-            let (rank, req) = self.req_rx.recv().expect("request channel closed");
+            let (rank, req) = match &mut self.backends[p.ix()] {
+                Backend::Thread { reply_tx, .. } => {
+                    reply_tx.send(reply).expect("process thread vanished");
+                    self.req_rx.recv().expect("request channel closed")
+                }
+                // Task rank: step it inline — no channels, no context
+                // switch; the grant is a function call.
+                Backend::Task(harness) => (p, harness.resume(reply)),
+            };
             debug_assert_eq!(rank, p, "request from a process without the turn");
             self.service(rank, req);
         }
@@ -654,7 +752,7 @@ impl Engine {
                 }
             }
             Request::MarkerTrap { marker } => {
-                if self.checkpoints {
+                if self.checkpoints && self.backends[rank.ix()].is_thread() {
                     self.trap_history[rank.ix()].push(marker);
                 }
                 self.states[rank.ix()] = ProcState::Trapped { marker };
@@ -1029,6 +1127,14 @@ impl Engine {
             decision_log: self.decision_log.clone(),
             reply_log: self.reply_log.clone(),
             trap_history: self.trap_history.clone(),
+            tasks: self
+                .backends
+                .iter()
+                .map(|b| match b {
+                    Backend::Task(h) => Some(h.snapshot()),
+                    Backend::Thread { .. } => None,
+                })
+                .collect(),
         };
         if let (Some(o), Some(t0)) = (self.obs.as_mut(), started) {
             o.metrics.snapshots += 1;
@@ -1254,9 +1360,12 @@ fn install_quiet_shutdown_hook() {
             if info.payload().downcast_ref::<ShutdownSignal>().is_some() {
                 return;
             }
+            // A simulated process is either a named `mpsim-p*` thread or a
+            // task being stepped inline on the engine's own thread.
             let in_sim_proc = std::thread::current()
                 .name()
-                .is_some_and(|n| n.starts_with("mpsim-p"));
+                .is_some_and(|n| n.starts_with("mpsim-p"))
+                || crate::task::in_task_step();
             if in_sim_proc && QUIET_PANICS.load(std::sync::atomic::Ordering::Relaxed) {
                 return;
             }
@@ -1267,15 +1376,20 @@ fn install_quiet_shutdown_hook() {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Wake every parked process with a shutdown grant, then join.
-        for (i, tx) in self.reply_txs.iter().enumerate() {
-            if !matches!(self.states[i], ProcState::Finished | ProcState::Panicked(_)) {
-                let _ = tx.send(Reply::Shutdown);
+        // Wake every parked process thread with a shutdown grant, then
+        // join. Task ranks live inside the engine and need no teardown.
+        for (i, b) in self.backends.iter().enumerate() {
+            if let Backend::Thread { reply_tx, .. } = b {
+                if !matches!(self.states[i], ProcState::Finished | ProcState::Panicked(_)) {
+                    let _ = reply_tx.send(Reply::Shutdown);
+                }
             }
         }
-        for h in self.handles.iter_mut() {
-            if let Some(h) = h.take() {
-                let _ = h.join();
+        for b in self.backends.iter_mut() {
+            if let Backend::Thread { handle, .. } = b {
+                if let Some(h) = handle.take() {
+                    let _ = h.join();
+                }
             }
         }
     }

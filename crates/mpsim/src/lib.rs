@@ -1,10 +1,13 @@
 //! A deterministic message-passing runtime with debugger hooks.
 //!
 //! `mpsim` plays the role of MPI/PVM plus the process-control half of p2d2
-//! in the paper's architecture. Simulated processes are real OS threads
-//! running arbitrary Rust code against a [`ProcessCtx`] (an MPI-flavoured
-//! API: tagged sends, blocking receives with `ANY_SOURCE`/`ANY_TAG`
-//! wildcards, collectives). A turn-taking [`Engine`] grants execution to
+//! in the paper's architecture. Simulated processes are resumable
+//! state-machine tasks ([`task::TaskProgram`], usually written as a
+//! [`task::Prog`] tree) that yield a [`task::TaskOp`] at every
+//! send/recv/collective boundary (an MPI-flavoured vocabulary: tagged
+//! sends, blocking receives with `ANY_SOURCE`/`ANY_TAG` wildcards,
+//! collectives); a legacy thread-per-rank backend ([`ProcessCtx`])
+//! remains as a parity baseline. A turn-taking [`Engine`] grants execution to
 //! exactly one process at a time, which makes a run a pure function of the
 //! program and the scheduling seed — precisely the controlled-execution
 //! property the paper's replay machinery requires.
@@ -45,11 +48,12 @@ pub mod payload;
 pub mod proc;
 pub mod record;
 pub mod sched;
+pub mod task;
 
 pub use checkpoint::EngineCheckpoint;
 pub use clock::CostModel;
 pub use deadlock::{DeadlockReport, WaitForEdge};
-pub use engine::{set_quiet_panics, Engine, EngineConfig, RunOutcome, StopReason};
+pub use engine::{set_quiet_panics, Engine, EngineConfig, RankProgram, RunOutcome, StopReason};
 pub use fault::{FaultKind, FaultPlan};
 pub use mailbox::{Candidate, Mailbox};
 pub use message::{Envelope, MatchSpec, Message};
@@ -58,11 +62,12 @@ pub use payload::Payload;
 pub use proc::{ProcessCtx, ProgramFn};
 pub use record::{MatchRecorder, RecordedMatch, ReplayLog};
 pub use sched::SchedPolicy;
+pub use task::{OpResult, Prog, TaskInterp, TaskOp, TaskProgram, TaskView};
 
 // Re-export the vocabulary crates so workloads depend only on mpsim.
 pub use tracedbg_instrument::{Recorder, RecorderConfig, Strategy};
 pub use tracedbg_obs::EngineMetrics;
 pub use tracedbg_trace::{
-    Decision, DecisionPoint, Fault, Marker, MarkerVector, Rank, ScheduleArtifact, SiteTable, Tag,
-    TraceRecord, TraceStore, ANY_SOURCE, ANY_TAG,
+    Decision, DecisionPoint, Fault, Marker, MarkerVector, Rank, ScheduleArtifact, SiteId,
+    SiteTable, Tag, TraceRecord, TraceStore, ANY_SOURCE, ANY_TAG,
 };

@@ -1,0 +1,1127 @@
+//! Resumable rank tasks: state-machine processes multiplexed on the
+//! engine's own thread.
+//!
+//! The thread-per-rank backend ([`crate::proc::ProcessCtx`]) caps rank
+//! counts at a few dozen and makes every checkpoint restore pay thread
+//! respawn plus reply-log fast-forward. This module is the scalable
+//! alternative: a rank is a [`TaskProgram`] — a poll-able state machine
+//! that yields a [`TaskOp`] at every send/recv/collective boundary — and
+//! the engine drives it *inline* on the granting thread. Per-rank cost is
+//! a struct, not a thread; a checkpoint of a task rank is a clone of its
+//! frame stack ([`TaskSnapshot`]), so restore is a memcpy instead of
+//! respawn + fast-forward.
+//!
+//! Semantics contract: a task rank produces **byte-identical traces** to
+//! the same program written against `ProcessCtx` at a fixed seed. The
+//! [`TaskHarness`] replicates every emission rule of `proc.rs` exactly —
+//! record field layout, clock arithmetic, marker peeking, trap points
+//! (including the RecvPost trap that fires *before* the receive is
+//! submitted), `instr_off` short-circuits, and panic capture.
+//!
+//! Most programs are written as a [`Prog`] syntax tree (sequence /
+//! act / op / scope / if / loops / dynamic generation) interpreted by
+//! [`TaskInterp`], whose explicit frame stack is what makes mid-program
+//! snapshots cheap: nodes are `Arc`-shared, so cloning an interpreter
+//! clones a few pointers plus the user state `S`.
+
+use crate::clock::CostModel;
+use crate::collective::ReduceOp;
+use crate::message::Message;
+use crate::ops::{Reply, Request, SendMode};
+use crate::payload::Payload;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use tracedbg_instrument::{Disposition, Recorder};
+use tracedbg_trace::{
+    CollKind, EventKind, FlushHandle, MsgInfo, Rank, SiteId, SiteTable, Tag, TraceRecord,
+};
+
+// ---------------------------------------------------------------------------
+// Op vocabulary
+// ---------------------------------------------------------------------------
+
+/// What a resuming task receives: the value produced by the op it last
+/// yielded at.
+#[derive(Clone, Debug)]
+pub enum OpResult {
+    /// Ops with no value (compute, probe, send, tracing toggles...).
+    None,
+    /// A completed receive.
+    Message(Message),
+    /// A completed collective: this rank's share of the result.
+    Payload(Payload),
+}
+
+impl OpResult {
+    /// The delivered message; panics if the last op was not a receive.
+    pub fn message(self) -> Message {
+        match self {
+            OpResult::Message(m) => m,
+            other => panic!("expected a message result, got {other:?}"),
+        }
+    }
+
+    /// The collective result; panics if the last op was not a collective.
+    pub fn payload(self) -> Payload {
+        match self {
+            OpResult::Payload(p) => p,
+            other => panic!("expected a payload result, got {other:?}"),
+        }
+    }
+}
+
+/// One operation a task yields at. Mirrors the `ProcessCtx` surface
+/// one-to-one; the harness turns each into the exact record/request
+/// sequence the thread backend emits.
+#[derive(Clone)]
+pub enum TaskOp {
+    /// `ProcessCtx::compute`.
+    Compute { cost_ns: u64, site: SiteId },
+    /// `ProcessCtx::probe`.
+    Probe {
+        label: String,
+        value: i64,
+        site: SiteId,
+    },
+    /// `ProcessCtx::scope` entry (emitted by [`Prog::scope`] frames).
+    Enter { site: SiteId, args: [i64; 2] },
+    /// `ProcessCtx::scope` exit.
+    Exit { site: SiteId },
+    /// `ProcessCtx::send` / `ssend`.
+    Send {
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        site: SiteId,
+        mode: SendMode,
+    },
+    /// `ProcessCtx::recv` (both components optional, as in `recv_any`).
+    Recv {
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        site: SiteId,
+    },
+    /// `ProcessCtx::collective` and its wrappers.
+    Collective {
+        kind: CollKind,
+        root: Rank,
+        payload: Payload,
+        op: Option<ReduceOp>,
+        site: SiteId,
+    },
+    /// `ProcessCtx::set_tracing`.
+    SetTracing(bool),
+    /// `ProcessCtx::flush_trace`.
+    FlushTrace,
+    /// No operation: the program had nothing to emit at this step (used
+    /// by conditional emitters); the harness advances immediately.
+    Nop,
+    /// The program is finished (`ProcEnd` + `Finished` follow).
+    Done,
+}
+
+/// Read-only view a task gets while deciding its next op: identity plus
+/// the shared site table (interning through it preserves the exact site
+/// numbering of the thread backend).
+pub struct TaskView<'a> {
+    pub rank: Rank,
+    pub n_ranks: usize,
+    sites: &'a SiteTable,
+    fn_stack: &'a [SiteId],
+}
+
+impl TaskView<'_> {
+    /// Intern a source site (see `ProcessCtx::site`).
+    pub fn site(&self, file: &str, line: u32, func: &str) -> SiteId {
+        self.sites.site(file, line, func)
+    }
+
+    /// Site attributed to the innermost open scope (see
+    /// `ProcessCtx::site_here`).
+    pub fn site_here(&self, file: &str, line: u32) -> SiteId {
+        let func = self
+            .fn_stack
+            .last()
+            .map(|s| self.sites.func_name(*s))
+            .unwrap_or_else(|| "main".into());
+        self.sites.site(file, line, &func)
+    }
+}
+
+/// A resumable rank program. `next` is called with the result of the
+/// previously yielded op (or [`OpResult::None`] on the first call) and
+/// returns the next op; [`TaskOp::Done`] ends the rank.
+///
+/// `snapshot` must return an independent deep copy positioned at the same
+/// execution point — this is what makes checkpoint/restore a memcpy.
+pub trait TaskProgram: Send + Sync {
+    fn next(&mut self, input: OpResult, view: &TaskView<'_>) -> TaskOp;
+    fn snapshot(&self) -> Box<dyn TaskProgram>;
+}
+
+impl Clone for Box<dyn TaskProgram> {
+    fn clone(&self) -> Self {
+        self.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prog<S>: a resumable program syntax tree
+// ---------------------------------------------------------------------------
+
+type ActFn<S> = Arc<dyn Fn(&mut S, &TaskView<'_>) + Send + Sync>;
+type EmitFn<S> = Arc<dyn Fn(&mut S, &TaskView<'_>) -> TaskOp + Send + Sync>;
+type BindFn<S> = Arc<dyn Fn(&mut S, OpResult, &TaskView<'_>) + Send + Sync>;
+type CondFn<S> = Arc<dyn Fn(&S, &TaskView<'_>) -> bool + Send + Sync>;
+type RangeFn<S> = Arc<dyn Fn(&S, &TaskView<'_>) -> (i64, i64) + Send + Sync>;
+type IndexFn<S> = Arc<dyn Fn(&mut S, i64) + Send + Sync>;
+type EnterFn<S> = Arc<dyn Fn(&mut S, &TaskView<'_>) -> (SiteId, [i64; 2]) + Send + Sync>;
+type GenFn<S> = Arc<dyn Fn(&mut S, &TaskView<'_>) -> Prog<S> + Send + Sync>;
+
+enum Node<S> {
+    /// Run children in order.
+    Seq(Vec<Prog<S>>),
+    /// Pure local mutation of the task state: no op, no trace record.
+    Act(ActFn<S>),
+    /// Yield one op; `bind` consumes its result on resume.
+    Op {
+        emit: EmitFn<S>,
+        bind: Option<BindFn<S>>,
+    },
+    /// `ProcessCtx::scope`: FnEnter, body, FnExit.
+    Scope { enter: EnterFn<S>, body: Prog<S> },
+    /// Two-way branch.
+    If {
+        cond: CondFn<S>,
+        then: Prog<S>,
+        els: Prog<S>,
+    },
+    /// Counted loop over `start..end`; `at` publishes the index into `S`
+    /// before each iteration.
+    For {
+        range: RangeFn<S>,
+        at: IndexFn<S>,
+        body: Prog<S>,
+    },
+    /// Condition-checked loop.
+    While { cond: CondFn<S>, body: Prog<S> },
+    /// Build a subtree at runtime from the current state — recursion and
+    /// data-dependent program shapes.
+    Gen(GenFn<S>),
+}
+
+/// A shareable program tree node (cheap to clone: one `Arc`).
+pub struct Prog<S>(Arc<Node<S>>);
+
+impl<S> Clone for Prog<S> {
+    fn clone(&self) -> Self {
+        Prog(Arc::clone(&self.0))
+    }
+}
+
+impl<S: Send + Sync + 'static> Prog<S> {
+    pub fn seq(items: Vec<Prog<S>>) -> Self {
+        Prog(Arc::new(Node::Seq(items)))
+    }
+
+    pub fn act(f: impl Fn(&mut S, &TaskView<'_>) + Send + Sync + 'static) -> Self {
+        Prog(Arc::new(Node::Act(Arc::new(f))))
+    }
+
+    /// Yield the op computed by `emit`, discarding its result.
+    pub fn op(f: impl Fn(&mut S, &TaskView<'_>) -> TaskOp + Send + Sync + 'static) -> Self {
+        Prog(Arc::new(Node::Op {
+            emit: Arc::new(f),
+            bind: None,
+        }))
+    }
+
+    /// Yield the op computed by `emit`; `bind` receives its result.
+    pub fn op_bind(
+        emit: impl Fn(&mut S, &TaskView<'_>) -> TaskOp + Send + Sync + 'static,
+        bind: impl Fn(&mut S, OpResult, &TaskView<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        Prog(Arc::new(Node::Op {
+            emit: Arc::new(emit),
+            bind: Some(Arc::new(bind)),
+        }))
+    }
+
+    pub fn scope(
+        enter: impl Fn(&mut S, &TaskView<'_>) -> (SiteId, [i64; 2]) + Send + Sync + 'static,
+        body: Prog<S>,
+    ) -> Self {
+        Prog(Arc::new(Node::Scope {
+            enter: Arc::new(enter),
+            body,
+        }))
+    }
+
+    pub fn if_else(
+        cond: impl Fn(&S, &TaskView<'_>) -> bool + Send + Sync + 'static,
+        then: Prog<S>,
+        els: Prog<S>,
+    ) -> Self {
+        Prog(Arc::new(Node::If {
+            cond: Arc::new(cond),
+            then,
+            els,
+        }))
+    }
+
+    pub fn when(
+        cond: impl Fn(&S, &TaskView<'_>) -> bool + Send + Sync + 'static,
+        then: Prog<S>,
+    ) -> Self {
+        Self::if_else(cond, then, Self::seq(vec![]))
+    }
+
+    /// `for i in range.0..range.1 { at(state, i); body }`.
+    pub fn for_range(
+        range: impl Fn(&S, &TaskView<'_>) -> (i64, i64) + Send + Sync + 'static,
+        at: impl Fn(&mut S, i64) + Send + Sync + 'static,
+        body: Prog<S>,
+    ) -> Self {
+        Prog(Arc::new(Node::For {
+            range: Arc::new(range),
+            at: Arc::new(at),
+            body,
+        }))
+    }
+
+    pub fn while_loop(
+        cond: impl Fn(&S, &TaskView<'_>) -> bool + Send + Sync + 'static,
+        body: Prog<S>,
+    ) -> Self {
+        Prog(Arc::new(Node::While {
+            cond: Arc::new(cond),
+            body,
+        }))
+    }
+
+    /// Defer construction: `f` runs when execution reaches this node and
+    /// the subtree it returns is executed in place.
+    pub fn gen(f: impl Fn(&mut S, &TaskView<'_>) -> Prog<S> + Send + Sync + 'static) -> Self {
+        Prog(Arc::new(Node::Gen(Arc::new(f))))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskInterp: the frame-stack interpreter
+// ---------------------------------------------------------------------------
+
+enum Frame<S> {
+    /// A `Seq` node with the index of the next child to enter.
+    Seq { node: Prog<S>, idx: usize },
+    /// A counted loop mid-flight.
+    For { node: Prog<S>, cur: i64, end: i64 },
+    /// A `While` node (condition re-checked each pass).
+    While { node: Prog<S> },
+    /// A node whose entry was deferred (body of a scope after its
+    /// `FnEnter` op, loop bodies).
+    Pending(Prog<S>),
+    /// Emit `FnExit` for this site once the scope body is done.
+    ScopeExit { site: SiteId },
+}
+
+impl<S> Clone for Frame<S> {
+    fn clone(&self) -> Self {
+        match self {
+            Frame::Seq { node, idx } => Frame::Seq {
+                node: node.clone(),
+                idx: *idx,
+            },
+            Frame::For { node, cur, end } => Frame::For {
+                node: node.clone(),
+                cur: *cur,
+                end: *end,
+            },
+            Frame::While { node } => Frame::While { node: node.clone() },
+            Frame::Pending(node) => Frame::Pending(node.clone()),
+            Frame::ScopeExit { site } => Frame::ScopeExit { site: *site },
+        }
+    }
+}
+
+/// Interprets a [`Prog`] tree as a [`TaskProgram`]. The whole execution
+/// point is `(stack, state, pending_bind)` — all cheap to clone.
+pub struct TaskInterp<S> {
+    stack: Vec<Frame<S>>,
+    state: S,
+    pending_bind: Option<BindFn<S>>,
+}
+
+impl<S: Clone + Send + Sync + 'static> TaskInterp<S> {
+    pub fn new(state: S, prog: Prog<S>) -> Self {
+        TaskInterp {
+            stack: vec![Frame::Pending(prog)],
+            state,
+            pending_bind: None,
+        }
+    }
+
+    /// Enter `node`, descending through control nodes until something
+    /// yields an op (`Some`) or completes silently (`None`, with any
+    /// remaining work pushed as frames).
+    fn enter(
+        stack: &mut Vec<Frame<S>>,
+        pending_bind: &mut Option<BindFn<S>>,
+        state: &mut S,
+        mut node: Prog<S>,
+        view: &TaskView<'_>,
+    ) -> Option<TaskOp> {
+        loop {
+            match &*node.0.clone() {
+                Node::Seq(_) => {
+                    stack.push(Frame::Seq { node, idx: 0 });
+                    return None;
+                }
+                Node::Act(f) => {
+                    f(state, view);
+                    return None;
+                }
+                Node::Op { emit, bind } => {
+                    let op = emit(state, view);
+                    if matches!(op, TaskOp::Nop) {
+                        return None;
+                    }
+                    *pending_bind = bind.clone();
+                    return Some(op);
+                }
+                Node::Scope { enter, body } => {
+                    let (site, args) = enter(state, view);
+                    stack.push(Frame::ScopeExit { site });
+                    stack.push(Frame::Pending(body.clone()));
+                    return Some(TaskOp::Enter { site, args });
+                }
+                Node::If { cond, then, els } => {
+                    node = if cond(state, view) {
+                        then.clone()
+                    } else {
+                        els.clone()
+                    };
+                }
+                Node::For { range, .. } => {
+                    let (start, end) = range(state, view);
+                    stack.push(Frame::For {
+                        node,
+                        cur: start,
+                        end,
+                    });
+                    return None;
+                }
+                Node::While { .. } => {
+                    stack.push(Frame::While { node });
+                    return None;
+                }
+                Node::Gen(f) => {
+                    node = f(state, view);
+                }
+            }
+        }
+    }
+}
+
+impl<S: Clone + Send + Sync + 'static> TaskProgram for TaskInterp<S> {
+    fn next(&mut self, input: OpResult, view: &TaskView<'_>) -> TaskOp {
+        let TaskInterp {
+            stack,
+            state,
+            pending_bind,
+        } = self;
+        if let Some(bind) = pending_bind.take() {
+            bind(state, input, view);
+        }
+        loop {
+            let Some(top) = stack.last_mut() else {
+                return TaskOp::Done;
+            };
+            match top {
+                Frame::Seq { node, idx } => {
+                    let Node::Seq(items) = &*node.0 else {
+                        unreachable!("Seq frame holds non-Seq node")
+                    };
+                    if *idx >= items.len() {
+                        stack.pop();
+                        continue;
+                    }
+                    let child = items[*idx].clone();
+                    *idx += 1;
+                    if let Some(op) = Self::enter(stack, pending_bind, state, child, view) {
+                        return op;
+                    }
+                }
+                Frame::For { node, cur, end } => {
+                    if *cur >= *end {
+                        stack.pop();
+                        continue;
+                    }
+                    let i = *cur;
+                    *cur += 1;
+                    let Node::For { at, body, .. } = &*node.0.clone() else {
+                        unreachable!("For frame holds non-For node")
+                    };
+                    at(state, i);
+                    if let Some(op) = Self::enter(stack, pending_bind, state, body.clone(), view) {
+                        return op;
+                    }
+                }
+                Frame::While { node } => {
+                    let Node::While { cond, body } = &*node.0.clone() else {
+                        unreachable!("While frame holds non-While node")
+                    };
+                    if !cond(state, view) {
+                        stack.pop();
+                        continue;
+                    }
+                    if let Some(op) = Self::enter(stack, pending_bind, state, body.clone(), view) {
+                        return op;
+                    }
+                }
+                Frame::Pending(_) => {
+                    let Some(Frame::Pending(node)) = stack.pop() else {
+                        unreachable!()
+                    };
+                    if let Some(op) = Self::enter(stack, pending_bind, state, node, view) {
+                        return op;
+                    }
+                }
+                Frame::ScopeExit { site } => {
+                    let site = *site;
+                    stack.pop();
+                    return TaskOp::Exit { site };
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Box<dyn TaskProgram> {
+        Box::new(TaskInterp {
+            stack: self.stack.clone(),
+            state: self.state.clone(),
+            pending_bind: self.pending_bind.clone(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskHarness: the engine-side driver
+// ---------------------------------------------------------------------------
+
+/// Where a suspended task is in the grant protocol: which [`Reply`] it is
+/// waiting for, and what to do with it.
+#[derive(Clone)]
+enum Await {
+    /// Waiting for the initial `Proceed` (ProcStart not yet emitted).
+    Initial,
+    /// Trapped at a marker threshold; on `Proceed`, continue with `Then`.
+    Trap(Then),
+    /// A send was submitted; the completion record still has to be
+    /// emitted from the `SendDone` reply.
+    SendDone {
+        t0: u64,
+        bytes: u32,
+        site: SiteId,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+    },
+    /// A receive was submitted.
+    RecvDone { t_post: u64, site: SiteId },
+    /// A collective was submitted.
+    CollDone {
+        kind: CollKind,
+        root: Rank,
+        site: SiteId,
+        t_enter: u64,
+    },
+    /// `Finished` was submitted; the engine never grants again.
+    Finished,
+}
+
+/// Continuation after a trap resolves: the action the trap interrupted.
+#[derive(Clone)]
+enum Then {
+    /// Hand `OpResult` to the program and keep stepping.
+    Advance(OpResult),
+    /// FnEnter was recorded; push the scope site, then advance.
+    PushScope { site: SiteId },
+    /// RecvPost was recorded (and trapped); now submit the receive.
+    SubmitRecv {
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        t_post: u64,
+        site: SiteId,
+    },
+    /// ProcEnd was recorded (and trapped); now submit `Finished`.
+    SubmitFinished,
+}
+
+thread_local! {
+    /// True while a task is being stepped inline on this thread — lets the
+    /// engine's quiet-panic hook recognize simulated-process panics that
+    /// do not happen on an `mpsim-p*` thread.
+    static IN_TASK_STEP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Is the current thread inside [`TaskHarness::resume`]?
+pub(crate) fn in_task_step() -> bool {
+    IN_TASK_STEP.with(|f| f.get())
+}
+
+/// Drives one task rank: owns the rank-local state `ProcessCtx` would own
+/// (clock, fn stack, recorder handle) and converts the ops the program
+/// yields into the engine's request/reply protocol, one grant at a time.
+pub(crate) struct TaskHarness {
+    rank: Rank,
+    n_ranks: usize,
+    clock: u64,
+    cost: CostModel,
+    sites: SiteTable,
+    recorder: Arc<Mutex<Recorder>>,
+    flush: FlushHandle,
+    fn_stack: Vec<SiteId>,
+    instr_off: bool,
+    program: Box<dyn TaskProgram>,
+    waiting: Await,
+}
+
+/// The checkpointable execution point of a task rank. Restoring is a
+/// clone of this plus a recorder clone — no respawn, no fast-forward.
+#[derive(Clone)]
+pub(crate) struct TaskSnapshot {
+    clock: u64,
+    fn_stack: Vec<SiteId>,
+    program: Box<dyn TaskProgram>,
+    waiting: Await,
+}
+
+impl TaskHarness {
+    pub(crate) fn new(
+        rank: Rank,
+        n_ranks: usize,
+        cost: CostModel,
+        sites: SiteTable,
+        recorder: Arc<Mutex<Recorder>>,
+        flush: FlushHandle,
+        program: Box<dyn TaskProgram>,
+    ) -> Self {
+        let instr_off = recorder.lock().is_off();
+        TaskHarness {
+            rank,
+            n_ranks,
+            clock: 0,
+            cost,
+            sites,
+            recorder,
+            flush,
+            fn_stack: Vec::new(),
+            instr_off,
+            program,
+            waiting: Await::Initial,
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> TaskSnapshot {
+        TaskSnapshot {
+            clock: self.clock,
+            fn_stack: self.fn_stack.clone(),
+            program: self.program.snapshot(),
+            waiting: self.waiting.clone(),
+        }
+    }
+
+    pub(crate) fn restore(
+        snap: &TaskSnapshot,
+        rank: Rank,
+        n_ranks: usize,
+        cost: CostModel,
+        sites: SiteTable,
+        recorder: Arc<Mutex<Recorder>>,
+        flush: FlushHandle,
+    ) -> Self {
+        let instr_off = recorder.lock().is_off();
+        TaskHarness {
+            rank,
+            n_ranks,
+            clock: snap.clock,
+            cost,
+            sites,
+            recorder,
+            flush,
+            fn_stack: snap.fn_stack.clone(),
+            instr_off,
+            program: snap.program.snapshot(),
+            waiting: snap.waiting.clone(),
+        }
+    }
+
+    /// Step the task with the engine's grant until it issues its next
+    /// request. Panics inside the program become `Request::Panicked`,
+    /// mirroring the thread backend's catch-all (no `ProcEnd` is emitted
+    /// for a panicking rank there either).
+    pub(crate) fn resume(&mut self, reply: Reply) -> Request {
+        IN_TASK_STEP.with(|f| f.set(true));
+        let out = catch_unwind(AssertUnwindSafe(|| self.step(reply)));
+        IN_TASK_STEP.with(|f| f.set(false));
+        match out {
+            Ok(req) => req,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                Request::Panicked { message }
+            }
+        }
+    }
+
+    /// Observe an instrumentation record exactly as `ProcessCtx::observe`
+    /// does; returns the marker when the recorder demands a trap.
+    fn observe(&mut self, rec: TraceRecord) -> Option<u64> {
+        if self.instr_off {
+            return None;
+        }
+        let (marker, disposition) = self.recorder.lock().observe(rec);
+        self.clock += self.cost.event_overhead;
+        match disposition {
+            Disposition::Trap => Some(marker),
+            _ => None,
+        }
+    }
+
+    fn step(&mut self, reply: Reply) -> Request {
+        let mut then = match std::mem::replace(&mut self.waiting, Await::Initial) {
+            Await::Initial => {
+                match reply {
+                    Reply::Proceed => {}
+                    other => panic!("unexpected initial grant: {other:?}"),
+                }
+                let rec = TraceRecord::basic(self.rank, EventKind::ProcStart, 0, self.clock);
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::Advance(OpResult::None));
+                        return Request::MarkerTrap { marker };
+                    }
+                    None => Then::Advance(OpResult::None),
+                }
+            }
+            Await::Trap(t) => {
+                match reply {
+                    Reply::Proceed => {}
+                    other => panic!("unexpected reply to trap: {other:?}"),
+                }
+                t
+            }
+            Await::SendDone {
+                t0,
+                bytes,
+                site,
+                src,
+                dst,
+                tag,
+            } => {
+                let (seq, t_done) = match reply {
+                    Reply::SendDone { seq, t_done } => (seq, t_done),
+                    other => panic!("unexpected reply to send: {other:?}"),
+                };
+                self.clock = t_done;
+                let rec = TraceRecord::basic(self.rank, EventKind::Send, 0, t0)
+                    .with_span(t0, t_done)
+                    .with_site(site)
+                    .with_msg(MsgInfo {
+                        src,
+                        dst,
+                        tag,
+                        bytes,
+                        seq,
+                    });
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::Advance(OpResult::None));
+                        return Request::MarkerTrap { marker };
+                    }
+                    None => Then::Advance(OpResult::None),
+                }
+            }
+            Await::RecvDone { t_post, site } => {
+                let (env, t_done) = match reply {
+                    Reply::RecvDone { env, t_done } => (env, t_done),
+                    other => panic!("unexpected reply to recv: {other:?}"),
+                };
+                self.clock = t_done;
+                let rec = TraceRecord::basic(self.rank, EventKind::RecvDone, 0, t_post)
+                    .with_span(t_post, t_done)
+                    .with_site(site)
+                    .with_msg(env.msg_info());
+                let msg: Message = env.into();
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::Advance(OpResult::Message(msg)));
+                        return Request::MarkerTrap { marker };
+                    }
+                    None => Then::Advance(OpResult::Message(msg)),
+                }
+            }
+            Await::CollDone {
+                kind,
+                root,
+                site,
+                t_enter,
+            } => {
+                let (result, t_done) = match reply {
+                    Reply::CollDone { result, t_done } => (result, t_done),
+                    other => panic!("unexpected reply to collective: {other:?}"),
+                };
+                self.clock = t_done;
+                let rec = TraceRecord::basic(self.rank, EventKind::Collective(kind), 0, t_enter)
+                    .with_span(t_enter, t_done)
+                    .with_site(site)
+                    .with_msg(MsgInfo {
+                        src: root,
+                        dst: self.rank,
+                        tag: Tag(-1),
+                        bytes: result.len() as u32,
+                        seq: 0,
+                    });
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::Advance(OpResult::Payload(result)));
+                        return Request::MarkerTrap { marker };
+                    }
+                    None => Then::Advance(OpResult::Payload(result)),
+                }
+            }
+            Await::Finished => panic!("task granted after Finished"),
+        };
+        loop {
+            match then {
+                Then::Advance(input) => {
+                    let op = {
+                        let view = TaskView {
+                            rank: self.rank,
+                            n_ranks: self.n_ranks,
+                            sites: &self.sites,
+                            fn_stack: &self.fn_stack,
+                        };
+                        self.program.next(input, &view)
+                    };
+                    match self.perform(op) {
+                        Ok(next) => then = next,
+                        Err(request) => return request,
+                    }
+                }
+                Then::PushScope { site } => {
+                    self.fn_stack.push(site);
+                    then = Then::Advance(OpResult::None);
+                }
+                Then::SubmitRecv {
+                    src,
+                    tag,
+                    t_post,
+                    site,
+                } => {
+                    self.waiting = Await::RecvDone { t_post, site };
+                    return Request::Recv {
+                        spec: crate::message::MatchSpec::new(src, tag),
+                        t_post,
+                    };
+                }
+                Then::SubmitFinished => {
+                    self.waiting = Await::Finished;
+                    return Request::Finished { t_end: self.clock };
+                }
+            }
+        }
+    }
+
+    /// Execute one op. `Ok(then)` continues the inner loop; `Err(req)`
+    /// suspends the task (with `self.waiting` already set) and hands the
+    /// request to the engine.
+    fn perform(&mut self, op: TaskOp) -> Result<Then, Request> {
+        match op {
+            TaskOp::Nop => Ok(Then::Advance(OpResult::None)),
+            TaskOp::Compute { cost_ns, site } => {
+                let t0 = self.clock;
+                self.clock += cost_ns;
+                let t1 = self.clock;
+                let rec = TraceRecord::basic(self.rank, EventKind::Compute, 0, t0)
+                    .with_span(t0, t1)
+                    .with_site(site);
+                self.after_observe(rec, Then::Advance(OpResult::None))
+            }
+            TaskOp::Probe { label, value, site } => {
+                let rec = TraceRecord::basic(self.rank, EventKind::Probe, 0, self.clock)
+                    .with_site(site)
+                    .with_args(value, 0)
+                    .with_label(label);
+                self.after_observe(rec, Then::Advance(OpResult::None))
+            }
+            TaskOp::Enter { site, args } => {
+                if self.instr_off {
+                    return Ok(Then::Advance(OpResult::None));
+                }
+                let rec = TraceRecord::basic(self.rank, EventKind::FnEnter, 0, self.clock)
+                    .with_site(site)
+                    .with_args(args[0], args[1]);
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::PushScope { site });
+                        Err(Request::MarkerTrap { marker })
+                    }
+                    None => {
+                        self.fn_stack.push(site);
+                        Ok(Then::Advance(OpResult::None))
+                    }
+                }
+            }
+            TaskOp::Exit { site } => {
+                if self.instr_off {
+                    return Ok(Then::Advance(OpResult::None));
+                }
+                self.fn_stack.pop();
+                let rec =
+                    TraceRecord::basic(self.rank, EventKind::FnExit, 0, self.clock).with_site(site);
+                self.after_observe(rec, Then::Advance(OpResult::None))
+            }
+            TaskOp::Send {
+                dst,
+                tag,
+                payload,
+                site,
+                mode,
+            } => {
+                assert!(dst.ix() < self.n_ranks, "send to nonexistent {dst:?}");
+                let t0 = self.clock;
+                let bytes = payload.len() as u32;
+                let send_marker = if self.instr_off {
+                    0
+                } else {
+                    self.recorder.lock().marker() + 1
+                };
+                self.waiting = Await::SendDone {
+                    t0,
+                    bytes,
+                    site,
+                    src: self.rank,
+                    dst,
+                    tag,
+                };
+                Err(Request::Send {
+                    dst,
+                    tag,
+                    payload,
+                    t0,
+                    send_marker,
+                    site,
+                    mode,
+                })
+            }
+            TaskOp::Recv { src, tag, site } => {
+                let t_post = self.clock;
+                let rec = TraceRecord::basic(self.rank, EventKind::RecvPost, 0, t_post)
+                    .with_site(site)
+                    .with_args(
+                        src.map(|r| r.0 as i64).unwrap_or(-1),
+                        tag.map(|t| t.0 as i64).unwrap_or(-1),
+                    );
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::SubmitRecv {
+                            src,
+                            tag,
+                            t_post,
+                            site,
+                        });
+                        Err(Request::MarkerTrap { marker })
+                    }
+                    None => {
+                        self.waiting = Await::RecvDone { t_post, site };
+                        Err(Request::Recv {
+                            spec: crate::message::MatchSpec::new(src, tag),
+                            t_post,
+                        })
+                    }
+                }
+            }
+            TaskOp::Collective {
+                kind,
+                root,
+                payload,
+                op,
+                site,
+            } => {
+                let t_enter = self.clock;
+                self.waiting = Await::CollDone {
+                    kind,
+                    root,
+                    site,
+                    t_enter,
+                };
+                Err(Request::Collective {
+                    kind,
+                    root,
+                    payload,
+                    op,
+                    t_enter,
+                })
+            }
+            TaskOp::SetTracing(on) => {
+                self.recorder.lock().set_tracing_enabled(on);
+                Ok(Then::Advance(OpResult::None))
+            }
+            TaskOp::FlushTrace => {
+                self.recorder.lock().flush_into(&self.flush);
+                Ok(Then::Advance(OpResult::None))
+            }
+            TaskOp::Done => {
+                let rec = TraceRecord::basic(self.rank, EventKind::ProcEnd, 0, self.clock);
+                match self.observe(rec) {
+                    Some(marker) => {
+                        self.waiting = Await::Trap(Then::SubmitFinished);
+                        Err(Request::MarkerTrap { marker })
+                    }
+                    None => {
+                        self.waiting = Await::Finished;
+                        Err(Request::Finished { t_end: self.clock })
+                    }
+                }
+            }
+        }
+    }
+
+    fn after_observe(&mut self, rec: TraceRecord, then: Then) -> Result<Then, Request> {
+        match self.observe(rec) {
+            Some(marker) => {
+                self.waiting = Await::Trap(then);
+                Err(Request::MarkerTrap { marker })
+            }
+            None => Ok(then),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Default)]
+    struct St {
+        i: i64,
+        log: Vec<i64>,
+    }
+
+    fn dummy_view_run(prog: Prog<St>) -> Vec<i64> {
+        let sites = SiteTable::new();
+        let fn_stack = Vec::new();
+        let view = TaskView {
+            rank: Rank(0),
+            n_ranks: 1,
+            sites: &sites,
+            fn_stack: &fn_stack,
+        };
+        let mut interp = TaskInterp::new(St::default(), prog);
+        loop {
+            match interp.next(OpResult::None, &view) {
+                TaskOp::Done => break,
+                TaskOp::Nop => {}
+                _ => panic!("pure-control program yielded an op"),
+            }
+        }
+        interp.state.log
+    }
+
+    #[test]
+    fn seq_and_for_run_in_order() {
+        let prog = Prog::seq(vec![
+            Prog::act(|s: &mut St, _| s.log.push(-1)),
+            Prog::for_range(
+                |_, _| (0, 3),
+                |s, i| s.i = i,
+                Prog::act(|s: &mut St, _| s.log.push(s.i)),
+            ),
+            Prog::act(|s: &mut St, _| s.log.push(-2)),
+        ]);
+        assert_eq!(dummy_view_run(prog), vec![-1, 0, 1, 2, -2]);
+    }
+
+    #[test]
+    fn while_and_if_branch() {
+        let prog = Prog::seq(vec![Prog::while_loop(
+            |s: &St, _| s.i < 4,
+            Prog::seq(vec![
+                Prog::if_else(
+                    |s: &St, _| s.i % 2 == 0,
+                    Prog::act(|s: &mut St, _| s.log.push(s.i * 10)),
+                    Prog::act(|s: &mut St, _| s.log.push(s.i)),
+                ),
+                Prog::act(|s: &mut St, _| s.i += 1),
+            ]),
+        )]);
+        assert_eq!(dummy_view_run(prog), vec![0, 1, 20, 3]);
+    }
+
+    #[test]
+    fn gen_recursion_descends() {
+        // Countdown via runtime-generated subtrees.
+        fn countdown() -> Prog<St> {
+            Prog::gen(|s: &mut St, _| {
+                if s.i <= 0 {
+                    Prog::seq(vec![])
+                } else {
+                    Prog::seq(vec![
+                        Prog::act(|s: &mut St, _| {
+                            s.log.push(s.i);
+                            s.i -= 1;
+                        }),
+                        countdown(),
+                    ])
+                }
+            })
+        }
+        let prog = Prog::seq(vec![Prog::act(|s: &mut St, _| s.i = 3), countdown()]);
+        assert_eq!(dummy_view_run(prog), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn interp_snapshot_resumes_independently() {
+        let sites = SiteTable::new();
+        let fn_stack = Vec::new();
+        let view = TaskView {
+            rank: Rank(0),
+            n_ranks: 1,
+            sites: &sites,
+            fn_stack: &fn_stack,
+        };
+        let prog = Prog::for_range(
+            |_, _| (0, 5),
+            |s, i| s.i = i,
+            Prog::seq(vec![
+                Prog::act(|s: &mut St, _| s.log.push(s.i)),
+                Prog::op(|s: &mut St, _| TaskOp::Compute {
+                    cost_ns: s.i as u64,
+                    site: SiteId(0),
+                }),
+            ]),
+        );
+        let mut a = TaskInterp::new(St::default(), prog);
+        // Run two yields, snapshot, then check both copies agree forever.
+        a.next(OpResult::None, &view);
+        a.next(OpResult::None, &view);
+        let mut b_box = a.snapshot();
+        loop {
+            let va = a.next(OpResult::None, &view);
+            let vb = b_box.next(OpResult::None, &view);
+            match (&va, &vb) {
+                (TaskOp::Done, TaskOp::Done) => break,
+                (TaskOp::Compute { cost_ns: ca, .. }, TaskOp::Compute { cost_ns: cb, .. }) => {
+                    assert_eq!(ca, cb)
+                }
+                _ => panic!("snapshot diverged from original"),
+            }
+        }
+        assert_eq!(a.state.log, vec![0, 1, 2, 3, 4]);
+    }
+}

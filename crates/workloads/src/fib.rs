@@ -5,8 +5,14 @@
 //! the paper measured 18,454,930 calls for fib(34) and 29,860,704 for
 //! fib(35). The closed form for the number of calls is
 //! [`fib_call_count`].
+//!
+//! Task-backed via [`Prog::gen`]: the recursion is re-grown at run time,
+//! with explicit argument/value stacks in [`FibState`] standing in for the
+//! call stack — which is what lets a checkpoint capture a recursion
+//! mid-flight as plain data.
 
-use tracedbg_mpsim::{ProcessCtx, ProgramFn};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Prog, RankProgram};
 use tracedbg_trace::SiteId;
 
 /// Uninstrumented reference implementation.
@@ -24,26 +30,77 @@ pub fn fib_call_count(n: u64) -> u64 {
     2 * fib_plain(n + 1) - 1
 }
 
-/// Instrumented recursion: one function scope per call, carrying `n` as
-/// the first monitored argument (the §2.2 contract).
-pub fn fib_traced(ctx: &mut ProcessCtx, n: u64, site: SiteId) -> u64 {
-    ctx.scope(site, [n as i64, 0], |ctx| {
-        if n < 2 {
-            n
-        } else {
-            fib_traced(ctx, n - 1, site) + fib_traced(ctx, n - 2, site)
-        }
-    })
+/// Task state: the instrumented site plus explicit arg/value stacks that
+/// replace the thread backend's native call stack.
+#[derive(Clone)]
+struct FibState {
+    site: SiteId,
+    args: Vec<u64>,
+    vals: Vec<u64>,
+}
+
+/// One instrumented call: expects its argument on top of `args`, pops it
+/// and pushes `fib(n)` onto `vals`. Each call enters a function scope
+/// carrying `n` as the first monitored argument (the §2.2 contract).
+fn fib_call() -> Prog<FibState> {
+    Prog::scope(
+        |s: &mut FibState, _| (s.site, [*s.args.last().unwrap() as i64, 0]),
+        Prog::gen(|s: &mut FibState, _| {
+            let n = *s.args.last().unwrap();
+            if n < 2 {
+                Prog::act(|s: &mut FibState, _| {
+                    let n = s.args.pop().unwrap();
+                    s.vals.push(n);
+                })
+            } else {
+                Prog::seq(vec![
+                    Prog::act(|s: &mut FibState, _| {
+                        let n = *s.args.last().unwrap();
+                        s.args.push(n - 1);
+                    }),
+                    fib_call(),
+                    Prog::act(|s: &mut FibState, _| {
+                        let n = *s.args.last().unwrap();
+                        s.args.push(n - 2);
+                    }),
+                    fib_call(),
+                    Prog::act(|s: &mut FibState, _| {
+                        let b = s.vals.pop().unwrap();
+                        let a = s.vals.pop().unwrap();
+                        s.args.pop();
+                        s.vals.push(a + b);
+                    }),
+                ])
+            }
+        }),
+    )
 }
 
 /// A single-process program computing `fib(n)` under instrumentation.
-pub fn program(n: u64) -> ProgramFn {
-    Box::new(move |ctx| {
-        let site = ctx.site("fib.c", 11, "fib");
-        let result = fib_traced(ctx, n, site);
-        let check_site = ctx.site("fib.c", 30, "main");
-        ctx.probe("fib_result", result as i64, check_site);
-    })
+pub fn program(n: u64) -> RankProgram {
+    let prog = Prog::seq(vec![
+        Prog::act(move |s: &mut FibState, v| {
+            s.site = v.site("fib.c", 11, "fib");
+            s.args.push(n);
+        }),
+        fib_call(),
+        Prog::op(|s: &mut FibState, v| {
+            let check_site = v.site("fib.c", 30, "main");
+            TaskOp::Probe {
+                label: "fib_result".into(),
+                value: *s.vals.last().unwrap() as i64,
+                site: check_site,
+            }
+        }),
+    ]);
+    RankProgram::task(
+        FibState {
+            site: SiteId(0),
+            args: Vec::new(),
+            vals: Vec::new(),
+        },
+        prog,
+    )
 }
 
 #[cfg(test)]

@@ -7,10 +7,13 @@
 //! workloads don't: bidirectional halos and collectives inside a
 //! point-to-point program, which also makes its time-space diagram (and
 //! its happens-before structure, via the collective synchronization)
-//! richer.
+//! richer. Task-backed: the whole solver state (the cell vector included)
+//! lives in [`HeatState`] and snapshots into checkpoints by clone.
 
 use tracedbg_mpsim::collective::ReduceOp;
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
+use tracedbg_trace::CollKind;
 
 const TAG_LEFT: Tag = Tag(40); // data moving left (to rank-1)
 const TAG_RIGHT: Tag = Tag(41); // data moving right (to rank+1)
@@ -41,94 +44,193 @@ impl Default for HeatConfig {
     }
 }
 
-fn stage(ctx: &mut ProcessCtx, cfg: &HeatConfig, rank: usize) {
-    let solve_site = ctx.site("heat.c", 30, "solve");
-    let halo_site = ctx.site("heat.c", 45, "halo_exchange");
-    let cfg = *cfg;
-    ctx.scope(solve_site, [rank as i64, cfg.steps as i64], move |ctx| {
-        // Initial condition: a hot spot on rank 0.
-        let mut u = vec![0.0f64; cfg.cells];
-        if rank == 0 {
-            u[0] = 100.0;
-        }
-        let left = rank.checked_sub(1);
-        let right = if rank + 1 < cfg.nprocs {
-            Some(rank + 1)
+/// Per-rank solver state: the local domain plus loop cursors and the
+/// ghost cells in flight.
+#[derive(Clone)]
+struct HeatState {
+    cfg: HeatConfig,
+    rank: usize,
+    solve: SiteId,
+    halo: SiteId,
+    u: Vec<f64>,
+    ghost_l: f64,
+    ghost_r: f64,
+    /// Residual of the last step (probed after the allreduce).
+    resid: f64,
+    step: i64,
+}
+
+impl HeatState {
+    fn left(&self) -> Option<usize> {
+        self.rank.checked_sub(1)
+    }
+    fn right(&self) -> Option<usize> {
+        if self.rank + 1 < self.cfg.nprocs {
+            Some(self.rank + 1)
         } else {
             None
-        };
-        for step in 0..cfg.steps {
-            // Halo exchange: send our boundary cells, receive neighbours'.
-            let (mut ghost_l, mut ghost_r) = (u[0], u[cfg.cells - 1]);
-            ctx.scope(halo_site, [step as i64, 0], |ctx| {
-                if let Some(l) = left {
-                    ctx.send(
-                        Rank(l as u32),
-                        TAG_LEFT,
-                        Payload::from_f64s(&[u[0]]),
-                        halo_site,
-                    );
-                }
-                if let Some(r) = right {
-                    ctx.send(
-                        Rank(r as u32),
-                        TAG_RIGHT,
-                        Payload::from_f64s(&[u[cfg.cells - 1]]),
-                        halo_site,
-                    );
-                }
-                if let Some(l) = left {
-                    let m = ctx.recv_from(Rank(l as u32), TAG_RIGHT, halo_site);
-                    ghost_l = m.payload.to_f64s().unwrap()[0];
-                }
-                if let Some(r) = right {
-                    let m = ctx.recv_from(Rank(r as u32), TAG_LEFT, halo_site);
-                    ghost_r = m.payload.to_f64s().unwrap()[0];
-                }
-            });
-            // Jacobi update.
-            let old = u.clone();
-            for i in 0..cfg.cells {
-                let l = if i == 0 { ghost_l } else { old[i - 1] };
-                let r = if i == cfg.cells - 1 {
-                    ghost_r
+        }
+    }
+}
+
+fn stage_prog() -> Prog<HeatState> {
+    // Halo exchange: send our boundary cells, receive neighbours'.
+    let halo = Prog::scope(
+        |s: &mut HeatState, _| (s.halo, [s.step, 0]),
+        Prog::seq(vec![
+            Prog::when(
+                |s: &HeatState, _| s.left().is_some(),
+                Prog::op(|s: &mut HeatState, _| TaskOp::Send {
+                    dst: Rank(s.left().unwrap() as u32),
+                    tag: TAG_LEFT,
+                    payload: Payload::from_f64s(&[s.u[0]]),
+                    site: s.halo,
+                    mode: SendMode::Buffered,
+                }),
+            ),
+            Prog::when(
+                |s: &HeatState, _| s.right().is_some(),
+                Prog::op(|s: &mut HeatState, _| TaskOp::Send {
+                    dst: Rank(s.right().unwrap() as u32),
+                    tag: TAG_RIGHT,
+                    payload: Payload::from_f64s(&[s.u[s.cfg.cells - 1]]),
+                    site: s.halo,
+                    mode: SendMode::Buffered,
+                }),
+            ),
+            Prog::when(
+                |s: &HeatState, _| s.left().is_some(),
+                Prog::op_bind(
+                    |s: &mut HeatState, _| TaskOp::Recv {
+                        src: Some(Rank(s.left().unwrap() as u32)),
+                        tag: Some(TAG_RIGHT),
+                        site: s.halo,
+                    },
+                    |s, m, _| s.ghost_l = m.message().payload.to_f64s().unwrap()[0],
+                ),
+            ),
+            Prog::when(
+                |s: &HeatState, _| s.right().is_some(),
+                Prog::op_bind(
+                    |s: &mut HeatState, _| TaskOp::Recv {
+                        src: Some(Rank(s.right().unwrap() as u32)),
+                        tag: Some(TAG_LEFT),
+                        site: s.halo,
+                    },
+                    |s, m, _| s.ghost_r = m.message().payload.to_f64s().unwrap()[0],
+                ),
+            ),
+        ]),
+    );
+    let step_body = Prog::seq(vec![
+        Prog::act(|s: &mut HeatState, _| {
+            // Halo defaults: own boundary values when a neighbour is
+            // missing (the receives overwrite the rest).
+            s.ghost_l = s.u[0];
+            s.ghost_r = s.u[s.cfg.cells - 1];
+        }),
+        halo,
+        // Jacobi update; the arithmetic is attributed to the compute op
+        // that charges its simulated cost.
+        Prog::op(|s: &mut HeatState, _| {
+            let cells = s.cfg.cells;
+            let old = s.u.clone();
+            for i in 0..cells {
+                let l = if i == 0 { s.ghost_l } else { old[i - 1] };
+                let r = if i == cells - 1 {
+                    s.ghost_r
                 } else {
                     old[i + 1]
                 };
-                u[i] = old[i] + 0.25 * (l - 2.0 * old[i] + r);
+                s.u[i] = old[i] + 0.25 * (l - 2.0 * old[i] + r);
             }
-            ctx.compute(cfg.cell_cost * cfg.cells as u64, solve_site);
-            // Global residual check.
-            if (step + 1) % cfg.check_every == 0 {
-                let local: f64 = u.iter().zip(&old).map(|(a, b)| (a - b) * (a - b)).sum();
-                let global = ctx.allreduce(ReduceOp::Sum, Payload::from_f64s(&[local]), solve_site);
-                let g = global.to_f64s().unwrap()[0];
-                ctx.probe("residual_e6", (g * 1e6) as i64, solve_site);
+            s.resid = s.u.iter().zip(&old).map(|(a, b)| (a - b) * (a - b)).sum();
+            TaskOp::Compute {
+                cost_ns: s.cfg.cell_cost * cells as u64,
+                site: s.solve,
             }
-        }
-        // Conservation check: the total heat is preserved by the scheme
-        // except at the (insulated-ish) domain ends; probe the local sum.
-        let total: f64 = u.iter().sum();
-        ctx.probe("local_heat_e3", (total * 1e3) as i64, solve_site);
-    });
+        }),
+        // Global residual check.
+        Prog::when(
+            |s: &HeatState, _| (s.step + 1) % s.cfg.check_every as i64 == 0,
+            Prog::seq(vec![
+                Prog::op_bind(
+                    |s: &mut HeatState, _| TaskOp::Collective {
+                        kind: CollKind::AllReduce,
+                        root: Rank(0),
+                        payload: Payload::from_f64s(&[s.resid]),
+                        op: Some(ReduceOp::Sum),
+                        site: s.solve,
+                    },
+                    |s, r, _| s.resid = r.payload().to_f64s().unwrap()[0],
+                ),
+                Prog::op(|s: &mut HeatState, _| TaskOp::Probe {
+                    label: "residual_e6".into(),
+                    value: (s.resid * 1e6) as i64,
+                    site: s.solve,
+                }),
+            ]),
+        ),
+    ]);
+    Prog::seq(vec![
+        Prog::act(|s: &mut HeatState, v| {
+            s.solve = v.site("heat.c", 30, "solve");
+            s.halo = v.site("heat.c", 45, "halo_exchange");
+        }),
+        Prog::scope(
+            |s: &mut HeatState, _| (s.solve, [s.rank as i64, s.cfg.steps as i64]),
+            Prog::seq(vec![
+                Prog::for_range(
+                    |s: &HeatState, _| (0, s.cfg.steps as i64),
+                    |s: &mut HeatState, i| s.step = i,
+                    step_body,
+                ),
+                // Conservation check: the total heat is preserved by the
+                // scheme except at the (insulated-ish) domain ends; probe
+                // the local sum.
+                Prog::op(|s: &mut HeatState, _| TaskOp::Probe {
+                    label: "local_heat_e3".into(),
+                    value: (s.u.iter().sum::<f64>() * 1e3) as i64,
+                    site: s.solve,
+                }),
+            ]),
+        ),
+    ])
 }
 
 /// Build the solver programs.
-pub fn programs(cfg: &HeatConfig) -> Vec<ProgramFn> {
+pub fn programs(cfg: &HeatConfig) -> Vec<RankProgram> {
     assert!(cfg.nprocs >= 2);
     assert!(cfg.cells >= 2);
     assert!(cfg.check_every >= 1);
+    let prog = stage_prog();
     (0..cfg.nprocs)
         .map(|r| {
-            let c = *cfg;
-            let p: ProgramFn = Box::new(move |ctx| stage(ctx, &c, r));
-            p
+            // Initial condition: a hot spot on rank 0.
+            let mut u = vec![0.0f64; cfg.cells];
+            if r == 0 {
+                u[0] = 100.0;
+            }
+            RankProgram::task(
+                HeatState {
+                    cfg: *cfg,
+                    rank: r,
+                    solve: SiteId(0),
+                    halo: SiteId(0),
+                    u,
+                    ghost_l: 0.0,
+                    ghost_r: 0.0,
+                    resid: 0.0,
+                    step: 0,
+                },
+                prog.clone(),
+            )
         })
         .collect()
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: HeatConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn factory(cfg: HeatConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || programs(&cfg)
 }
 

@@ -28,6 +28,7 @@ pub mod ring;
 pub mod script;
 pub mod scripts;
 pub mod strassen;
+pub mod wide;
 
 pub use matrix::Matrix;
 pub use racy::RacyConfig;

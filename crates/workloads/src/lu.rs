@@ -5,9 +5,10 @@
 //! block, and forwards the boundary to its successor. The staircase of
 //! dependencies is exactly what makes Figure 8's past/future frontiers
 //! non-trivial (slanted lines), so this workload reproduces it as a 1-D
-//! pipeline with multiple sweeps.
+//! pipeline with multiple sweeps. Task-backed ([`RankProgram::task`]).
 
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
 
 /// Pipeline parameters.
 #[derive(Clone, Copy, Debug)]
@@ -35,53 +36,96 @@ impl Default for LuConfig {
 
 const TAG_BOUNDARY: Tag = Tag(10);
 
-fn stage(ctx: &mut ProcessCtx, cfg: &LuConfig, rank: usize) {
-    let ssor_site = ctx.site("lu.f", 40, "ssor");
-    let relax_site = ctx.site("lu.f", 55, "blts");
-    let cfg = *cfg;
-    ctx.scope(ssor_site, [rank as i64, cfg.sweeps as i64], move |ctx| {
-        let mut boundary = vec![rank as f64; cfg.boundary];
-        for sweep in 0..cfg.sweeps {
-            // Receive the incoming boundary from the predecessor (stage 0
-            // starts each sweep on its own).
-            if rank > 0 {
-                let m = ctx.recv_from(Rank(rank as u32 - 1), TAG_BOUNDARY, ssor_site);
-                boundary = m.payload.to_f64s().expect("f64 boundary");
-            }
-            // Relax the local block.
-            ctx.scope(relax_site, [sweep as i64, rank as i64], |ctx| {
-                ctx.compute(cfg.block_cost, relax_site);
-                for x in boundary.iter_mut() {
+/// Per-stage task state: the boundary vector plus loop cursor and sites.
+#[derive(Clone)]
+struct LuState {
+    cfg: LuConfig,
+    rank: usize,
+    ssor: SiteId,
+    relax: SiteId,
+    boundary: Vec<f64>,
+    sweep: i64,
+}
+
+fn stage_prog() -> Prog<LuState> {
+    let sweep_body = Prog::seq(vec![
+        // Receive the incoming boundary from the predecessor (stage 0
+        // starts each sweep on its own).
+        Prog::when(
+            |s: &LuState, _| s.rank > 0,
+            Prog::op_bind(
+                |s: &mut LuState, _| TaskOp::Recv {
+                    src: Some(Rank(s.rank as u32 - 1)),
+                    tag: Some(TAG_BOUNDARY),
+                    site: s.ssor,
+                },
+                |s, m, _| s.boundary = m.message().payload.to_f64s().expect("f64 boundary"),
+            ),
+        ),
+        // Relax the local block.
+        Prog::scope(
+            |s: &mut LuState, _| (s.relax, [s.sweep, s.rank as i64]),
+            Prog::op(|s: &mut LuState, _| {
+                for x in s.boundary.iter_mut() {
                     *x = 0.5 * *x + 1.0;
                 }
-            });
-            // Forward the boundary downstream.
-            if rank + 1 < cfg.nprocs {
-                ctx.send(
-                    Rank(rank as u32 + 1),
-                    TAG_BOUNDARY,
-                    Payload::from_f64s(&boundary),
-                    ssor_site,
-                );
-            }
-        }
-    });
+                TaskOp::Compute {
+                    cost_ns: s.cfg.block_cost,
+                    site: s.relax,
+                }
+            }),
+        ),
+        // Forward the boundary downstream.
+        Prog::when(
+            |s: &LuState, _| s.rank + 1 < s.cfg.nprocs,
+            Prog::op(|s: &mut LuState, _| TaskOp::Send {
+                dst: Rank(s.rank as u32 + 1),
+                tag: TAG_BOUNDARY,
+                payload: Payload::from_f64s(&s.boundary),
+                site: s.ssor,
+                mode: SendMode::Buffered,
+            }),
+        ),
+    ]);
+    Prog::seq(vec![
+        Prog::act(|s: &mut LuState, v| {
+            s.ssor = v.site("lu.f", 40, "ssor");
+            s.relax = v.site("lu.f", 55, "blts");
+        }),
+        Prog::scope(
+            |s: &mut LuState, _| (s.ssor, [s.rank as i64, s.cfg.sweeps as i64]),
+            Prog::for_range(
+                |s: &LuState, _| (0, s.cfg.sweeps as i64),
+                |s: &mut LuState, i| s.sweep = i,
+                sweep_body,
+            ),
+        ),
+    ])
 }
 
 /// Build the pipeline programs.
-pub fn programs(cfg: &LuConfig) -> Vec<ProgramFn> {
+pub fn programs(cfg: &LuConfig) -> Vec<RankProgram> {
     assert!(cfg.nprocs >= 2);
+    let prog = stage_prog();
     (0..cfg.nprocs)
         .map(|r| {
-            let c = *cfg;
-            let p: ProgramFn = Box::new(move |ctx| stage(ctx, &c, r));
-            p
+            RankProgram::task(
+                LuState {
+                    cfg: *cfg,
+                    rank: r,
+                    ssor: SiteId(0),
+                    relax: SiteId(0),
+                    boundary: vec![r as f64; cfg.boundary],
+                    sweep: 0,
+                },
+                prog.clone(),
+            )
         })
         .collect()
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: LuConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn factory(cfg: LuConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || programs(&cfg)
 }
 

@@ -5,9 +5,10 @@
 //! replay control exists for. Under a perturbed scheduling seed the result
 //! arrival order varies run to run; under replay it is pinned. Completion
 //! order is recorded via probes so tests (and the replay ablation bench)
-//! can compare orders across runs.
+//! can compare orders across runs. Task-backed ([`RankProgram::task`]).
 
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
 
 const TAG_WORK: Tag = Tag(30);
 const TAG_RESULT: Tag = Tag(31);
@@ -33,77 +34,178 @@ impl Default for PoolConfig {
     }
 }
 
-fn master(ctx: &mut ProcessCtx, cfg: &PoolConfig) {
-    let site = ctx.site("pool.c", 10, "master");
-    let cfg = *cfg;
-    ctx.scope(site, [cfg.tasks as i64, 0], move |ctx| {
-        let nworkers = cfg.nprocs - 1;
-        let mut next_task = 0usize;
-        let mut outstanding = 0usize;
-        // Prime every worker with one task.
-        for w in 1..=nworkers {
-            if next_task < cfg.tasks {
-                ctx.send(
-                    Rank(w as u32),
-                    TAG_WORK,
-                    Payload::from_i64(next_task as i64),
-                    site,
-                );
-                next_task += 1;
-                outstanding += 1;
-            }
-        }
-        // Collect results with wildcard receives; keep the pipeline full.
-        let mut done = 0usize;
-        while done < cfg.tasks {
-            let m = ctx.recv_any(Some(TAG_RESULT), site);
-            done += 1;
-            outstanding -= 1;
-            // Record the nondeterministic completion order.
-            ctx.probe("completed_by", m.src.0 as i64, site);
-            if next_task < cfg.tasks {
-                ctx.send(m.src, TAG_WORK, Payload::from_i64(next_task as i64), site);
-                next_task += 1;
-                outstanding += 1;
-            }
-        }
-        assert_eq!(outstanding, 0);
-        // Dismiss the pool.
-        for w in 1..=nworkers {
-            ctx.send(Rank(w as u32), TAG_STOP, Payload::empty(), site);
-        }
-    });
+/// Per-rank task state for both roles.
+#[derive(Clone)]
+struct PoolState {
+    cfg: PoolConfig,
+    rank: usize,
+    site: SiteId,
+    // Master bookkeeping.
+    next_task: usize,
+    outstanding: usize,
+    done: usize,
+    src: Rank,
+    w: i64,
+    // Worker bookkeeping.
+    task: i64,
+    stopped: bool,
 }
 
-fn worker(ctx: &mut ProcessCtx, cfg: &PoolConfig, rank: usize) {
-    let site = ctx.site("pool.c", 40, "worker");
-    let cfg = *cfg;
-    ctx.scope(site, [rank as i64, 0], move |ctx| loop {
-        let m = ctx.recv(Some(Rank(0)), None, site);
-        if m.tag == TAG_STOP {
-            break;
-        }
-        let task = m.payload.to_i64().unwrap() as u64;
-        ctx.compute(cfg.base_cost * (1 + task % 3), site);
-        ctx.send(Rank(0), TAG_RESULT, Payload::from_i64(task as i64), site);
-    });
+fn master_prog() -> Prog<PoolState> {
+    let hand_out = Prog::seq(vec![
+        Prog::op(|s: &mut PoolState, _| TaskOp::Send {
+            dst: s.src,
+            tag: TAG_WORK,
+            payload: Payload::from_i64(s.next_task as i64),
+            site: s.site,
+            mode: SendMode::Buffered,
+        }),
+        Prog::act(|s: &mut PoolState, _| {
+            s.next_task += 1;
+            s.outstanding += 1;
+        }),
+    ]);
+    Prog::seq(vec![
+        Prog::act(|s: &mut PoolState, v| s.site = v.site("pool.c", 10, "master")),
+        Prog::scope(
+            |s: &mut PoolState, _| (s.site, [s.cfg.tasks as i64, 0]),
+            Prog::seq(vec![
+                // Prime every worker with one task.
+                Prog::for_range(
+                    |s: &PoolState, _| (1, s.cfg.nprocs as i64),
+                    |s: &mut PoolState, w| s.w = w,
+                    Prog::when(
+                        |s: &PoolState, _| s.next_task < s.cfg.tasks,
+                        Prog::seq(vec![
+                            Prog::act(|s: &mut PoolState, _| s.src = Rank(s.w as u32)),
+                            hand_out.clone(),
+                        ]),
+                    ),
+                ),
+                // Collect results with wildcard receives; keep the
+                // pipeline full.
+                Prog::while_loop(
+                    |s: &PoolState, _| s.done < s.cfg.tasks,
+                    Prog::seq(vec![
+                        Prog::op_bind(
+                            |s: &mut PoolState, _| TaskOp::Recv {
+                                src: None,
+                                tag: Some(TAG_RESULT),
+                                site: s.site,
+                            },
+                            |s, m, _| {
+                                s.src = m.message().src;
+                                s.done += 1;
+                                s.outstanding -= 1;
+                            },
+                        ),
+                        // Record the nondeterministic completion order.
+                        Prog::op(|s: &mut PoolState, _| TaskOp::Probe {
+                            label: "completed_by".into(),
+                            value: s.src.0 as i64,
+                            site: s.site,
+                        }),
+                        Prog::when(
+                            |s: &PoolState, _| s.next_task < s.cfg.tasks,
+                            hand_out.clone(),
+                        ),
+                    ]),
+                ),
+                Prog::act(|s: &mut PoolState, _| assert_eq!(s.outstanding, 0)),
+                // Dismiss the pool.
+                Prog::for_range(
+                    |s: &PoolState, _| (1, s.cfg.nprocs as i64),
+                    |s: &mut PoolState, w| s.w = w,
+                    Prog::op(|s: &mut PoolState, _| TaskOp::Send {
+                        dst: Rank(s.w as u32),
+                        tag: TAG_STOP,
+                        payload: Payload::empty(),
+                        site: s.site,
+                        mode: SendMode::Buffered,
+                    }),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn worker_prog() -> Prog<PoolState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut PoolState, v| s.site = v.site("pool.c", 40, "worker")),
+        Prog::scope(
+            |s: &mut PoolState, _| (s.site, [s.rank as i64, 0]),
+            Prog::while_loop(
+                |s: &PoolState, _| !s.stopped,
+                Prog::seq(vec![
+                    Prog::op_bind(
+                        |s: &mut PoolState, _| TaskOp::Recv {
+                            src: Some(Rank(0)),
+                            tag: None,
+                            site: s.site,
+                        },
+                        |s, m, _| {
+                            let m = m.message();
+                            if m.tag == TAG_STOP {
+                                s.stopped = true;
+                            } else {
+                                s.task = m.payload.to_i64().unwrap();
+                            }
+                        },
+                    ),
+                    Prog::when(
+                        |s: &PoolState, _| !s.stopped,
+                        Prog::seq(vec![
+                            Prog::op(|s: &mut PoolState, _| TaskOp::Compute {
+                                cost_ns: s.cfg.base_cost * (1 + s.task as u64 % 3),
+                                site: s.site,
+                            }),
+                            Prog::op(|s: &mut PoolState, _| TaskOp::Send {
+                                dst: Rank(0),
+                                tag: TAG_RESULT,
+                                payload: Payload::from_i64(s.task),
+                                site: s.site,
+                                mode: SendMode::Buffered,
+                            }),
+                        ]),
+                    ),
+                ]),
+            ),
+        ),
+    ])
 }
 
 /// Build the pool programs.
-pub fn programs(cfg: &PoolConfig) -> Vec<ProgramFn> {
+pub fn programs(cfg: &PoolConfig) -> Vec<RankProgram> {
     assert!(cfg.nprocs >= 2);
-    let mut out: Vec<ProgramFn> = Vec::new();
-    let c0 = *cfg;
-    out.push(Box::new(move |ctx| master(ctx, &c0)));
-    for r in 1..cfg.nprocs {
-        let c = *cfg;
-        out.push(Box::new(move |ctx| worker(ctx, &c, r)));
-    }
-    out
+    let master = master_prog();
+    let worker = worker_prog();
+    (0..cfg.nprocs)
+        .map(|r| {
+            RankProgram::task(
+                PoolState {
+                    cfg: *cfg,
+                    rank: r,
+                    site: SiteId(0),
+                    next_task: 0,
+                    outstanding: 0,
+                    done: 0,
+                    src: Rank(0),
+                    w: 0,
+                    task: 0,
+                    stopped: false,
+                },
+                if r == 0 {
+                    master.clone()
+                } else {
+                    worker.clone()
+                },
+            )
+        })
+        .collect()
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: PoolConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn factory(cfg: PoolConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || programs(&cfg)
 }
 

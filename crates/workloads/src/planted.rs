@@ -24,8 +24,12 @@
 //!   order; one delayed producer message reorders the stream and the
 //!   sink's ordering assertion fires ranks away from where the bug lives
 //!   — a delay-sensitive bug with a clean baseline.
+//!
+//! All three are task-backed ([`RankProgram::task`]), so the localizer's
+//! many exploratory re-runs never spawn per-rank threads.
 
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
 
 pub const TAG_DATA: Tag = Tag(40);
 pub const TAG_REQ: Tag = Tag(42);
@@ -67,82 +71,189 @@ impl PlantedConfig {
     }
 }
 
-fn reporting_worker(ctx: &mut ProcessCtx, cfg: PlantedConfig, rank: usize) {
-    let site = ctx.site("planted.c", 40, "worker");
-    let slow = if rank == 1 { 1 } else { 4 };
-    ctx.compute(cfg.work * slow, site);
-    ctx.send(Rank(0), TAG_DATA, Payload::from_i64(rank as i64), site);
+/// Per-rank task state shared by every planted pattern.
+#[derive(Clone)]
+struct PState {
+    cfg: PlantedConfig,
+    rank: usize,
+    /// Innermost program site (master/worker/stage body).
+    site: SiteId,
+    /// Secondary site (the orphan worker interns two).
+    wsite: SiteId,
+    /// Source of the first wildcard match (masters only).
+    first: Rank,
+    /// Generic loop cursor.
+    k: i64,
+    /// In-flight payload (pipeline stages).
+    tok: Payload,
+}
+
+fn state(cfg: &PlantedConfig, rank: usize) -> PState {
+    PState {
+        cfg: *cfg,
+        rank,
+        site: SiteId(0),
+        wsite: SiteId(0),
+        first: Rank(0),
+        k: 0,
+        tok: Payload::empty(),
+    }
+}
+
+/// The reporting body shared by both handshake patterns: compute (worker 1
+/// is fastest), then report to the master. Interns its own site into
+/// `wsite`, matching the thread version's nested `reporting_worker`.
+fn reporting_body() -> Prog<PState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.wsite = v.site("planted.c", 40, "worker")),
+        Prog::op(|s: &mut PState, _| TaskOp::Compute {
+            cost_ns: s.cfg.work * if s.rank == 1 { 1 } else { 4 },
+            site: s.wsite,
+        }),
+        Prog::op(|s: &mut PState, _| TaskOp::Send {
+            dst: Rank(0),
+            tag: TAG_DATA,
+            payload: Payload::from_i64(s.rank as i64),
+            site: s.wsite,
+            mode: SendMode::Buffered,
+        }),
+    ])
+}
+
+/// Drain the remaining `nprocs - 2` reports with wildcard receives.
+fn drain_rest() -> Prog<PState> {
+    Prog::for_range(
+        |s: &PState, _| (0, s.cfg.nprocs as i64 - 2),
+        |_s: &mut PState, _| {},
+        Prog::op(|s: &mut PState, _| TaskOp::Recv {
+            src: None,
+            tag: Some(TAG_DATA),
+            site: s.site,
+        }),
+    )
 }
 
 /// Wildcard leader election with a poison candidate: panics at the master
 /// whenever the planted rank's report is matched first.
-pub fn planted_wildcard(cfg: &PlantedConfig) -> Vec<ProgramFn> {
+pub fn planted_wildcard(cfg: &PlantedConfig) -> Vec<RankProgram> {
     cfg.check();
-    let c = *cfg;
-    let master: ProgramFn = Box::new(move |ctx| {
-        let site = ctx.site("planted.c", 10, "master");
-        let first = ctx.recv_any(Some(TAG_DATA), site);
-        ctx.probe("leader", first.src.0 as i64, site);
+    let master = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 10, "master")),
+        Prog::op_bind(
+            |s: &mut PState, _| TaskOp::Recv {
+                src: None,
+                tag: Some(TAG_DATA),
+                site: s.site,
+            },
+            |s, r, _| s.first = r.message().src,
+        ),
+        Prog::op(|s: &mut PState, _| TaskOp::Probe {
+            label: "leader".into(),
+            value: s.first.0 as i64,
+            site: s.site,
+        }),
         // The planted bug lives in `bug_rank`: its report is unusable as
         // a leader, but nothing stops it from arriving first.
-        assert_ne!(
-            first.src,
-            Rank(c.bug_rank),
-            "rank {} elected leader with a poison report",
-            c.bug_rank
-        );
-        for _ in 0..c.nprocs - 2 {
-            let _ = ctx.recv_any(Some(TAG_DATA), site);
-        }
-    });
-    let mut progs = vec![master];
-    for r in 1..c.nprocs {
-        progs.push(Box::new(move |ctx: &mut ProcessCtx| reporting_worker(ctx, c, r)) as ProgramFn);
-    }
-    progs
+        Prog::act(|s: &mut PState, _| {
+            assert_ne!(
+                s.first,
+                Rank(s.cfg.bug_rank),
+                "rank {} elected leader with a poison report",
+                s.cfg.bug_rank
+            );
+        }),
+        drain_rest(),
+    ]);
+    let worker = reporting_body();
+    (0..cfg.nprocs)
+        .map(|r| {
+            let prog = if r == 0 {
+                master.clone()
+            } else {
+                worker.clone()
+            };
+            RankProgram::task(state(cfg, r), prog)
+        })
+        .collect()
 }
 
 /// A reusable factory for sessions, the explorer, and the localizer.
-pub fn planted_wildcard_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn planted_wildcard_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || planted_wildcard(&cfg)
 }
 
 /// Request/acknowledge handshake where the planted rank never replies:
 /// deadlocks (orphaned directed receive) whenever it reports first.
-pub fn planted_orphan(cfg: &PlantedConfig) -> Vec<ProgramFn> {
+pub fn planted_orphan(cfg: &PlantedConfig) -> Vec<RankProgram> {
     cfg.check();
-    let c = *cfg;
-    let master: ProgramFn = Box::new(move |ctx| {
-        let site = ctx.site("planted.c", 20, "master");
-        let first = ctx.recv_any(Some(TAG_DATA), site);
-        ctx.probe("reporter", first.src.0 as i64, site);
-        for r in 1..c.nprocs {
-            ctx.send(Rank(r as u32), TAG_REQ, Payload::from_i64(0), site);
-        }
-        // Orphaned if `first.src` is the planted rank: its ACK never comes.
-        let _ = ctx.recv_from(first.src, TAG_ACK, site);
-        for _ in 0..c.nprocs - 2 {
-            let _ = ctx.recv_any(Some(TAG_DATA), site);
-        }
-    });
-    let mut progs = vec![master];
-    for r in 1..c.nprocs {
-        let worker: ProgramFn = Box::new(move |ctx| {
-            let site = ctx.site("planted.c", 30, "worker");
-            reporting_worker(ctx, c, r);
-            let _ = ctx.recv_from(Rank(0), TAG_REQ, site);
-            // The planted bug: `bug_rank` swallows the request.
-            if r as u32 != c.bug_rank {
-                ctx.send(Rank(0), TAG_ACK, Payload::from_i64(r as i64), site);
-            }
-        });
-        progs.push(worker);
-    }
-    progs
+    let master = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 20, "master")),
+        Prog::op_bind(
+            |s: &mut PState, _| TaskOp::Recv {
+                src: None,
+                tag: Some(TAG_DATA),
+                site: s.site,
+            },
+            |s, r, _| s.first = r.message().src,
+        ),
+        Prog::op(|s: &mut PState, _| TaskOp::Probe {
+            label: "reporter".into(),
+            value: s.first.0 as i64,
+            site: s.site,
+        }),
+        Prog::for_range(
+            |s: &PState, _| (1, s.cfg.nprocs as i64),
+            |s: &mut PState, r| s.k = r,
+            Prog::op(|s: &mut PState, _| TaskOp::Send {
+                dst: Rank(s.k as u32),
+                tag: TAG_REQ,
+                payload: Payload::from_i64(0),
+                site: s.site,
+                mode: SendMode::Buffered,
+            }),
+        ),
+        // Orphaned if `first` is the planted rank: its ACK never comes.
+        Prog::op(|s: &mut PState, _| TaskOp::Recv {
+            src: Some(s.first),
+            tag: Some(TAG_ACK),
+            site: s.site,
+        }),
+        drain_rest(),
+    ]);
+    let worker = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 30, "worker")),
+        reporting_body(),
+        Prog::op(|s: &mut PState, _| TaskOp::Recv {
+            src: Some(Rank(0)),
+            tag: Some(TAG_REQ),
+            site: s.site,
+        }),
+        // The planted bug: `bug_rank` swallows the request.
+        Prog::when(
+            |s: &PState, _| s.rank as u32 != s.cfg.bug_rank,
+            Prog::op(|s: &mut PState, _| TaskOp::Send {
+                dst: Rank(0),
+                tag: TAG_ACK,
+                payload: Payload::from_i64(s.rank as i64),
+                site: s.site,
+                mode: SendMode::Buffered,
+            }),
+        ),
+    ]);
+    (0..cfg.nprocs)
+        .map(|r| {
+            let prog = if r == 0 {
+                master.clone()
+            } else {
+                worker.clone()
+            };
+            RankProgram::task(state(cfg, r), prog)
+        })
+        .collect()
 }
 
 /// A reusable factory for sessions, the explorer, and the localizer.
-pub fn planted_orphan_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn planted_orphan_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || planted_orphan(&cfg)
 }
 
@@ -153,78 +264,130 @@ pub fn planted_orphan_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn>
 /// directed receives across the producers; the planted wildcard instead
 /// takes whatever arrives first, so a delayed producer message reorders
 /// the stream and the sink panics ranks away from the bug.
-pub fn planted_pipeline(cfg: &PlantedConfig) -> Vec<ProgramFn> {
+pub fn planted_pipeline(cfg: &PlantedConfig) -> Vec<RankProgram> {
     cfg.check();
-    let c = *cfg;
-    let last = c.nprocs - 1;
+    let last = cfg.nprocs - 1;
     assert!(
-        (2..last as u32).contains(&c.bug_rank),
+        (2..last as u32).contains(&cfg.bug_rank),
         "pipeline bug_rank must be an interior merge stage fed by 2+ producers"
     );
-    let nprods = c.bug_rank as usize;
+    let nprods = cfg.bug_rank as usize;
     let total = nprods as u64 * PIPELINE_TOKENS;
-    let step = c.work / 4;
-    let mut progs: Vec<ProgramFn> = Vec::new();
-    for p in 0..nprods {
-        let producer: ProgramFn = Box::new(move |ctx| {
-            let site = ctx.site("planted.c", 50, "producer");
-            // Producer `p` owns token ids `p, p + nprods, ...`; the pacing
-            // staggers emission so token `i` arrives at the merge stage at
-            // roughly `i * step` — globally ordered across producers.
-            ctx.compute(p as u64 * step + 1, site);
-            for k in 0..PIPELINE_TOKENS {
-                let id = p as u64 + k * nprods as u64;
-                ctx.send(
-                    Rank(c.bug_rank),
-                    TAG_DATA,
-                    Payload::from_i64(id as i64),
-                    site,
-                );
-                ctx.compute(nprods as u64 * step, site);
-            }
-        });
-        progs.push(producer);
-    }
-    let merge: ProgramFn = Box::new(move |ctx| {
-        let site = ctx.site("planted.c", 60, "merge");
-        let next = Rank(c.bug_rank + 1);
-        for _ in 0..total {
-            // The planted bug: the merge receives with a full wildcard
-            // instead of alternating directed receives per producer, so
-            // the merged order is whatever arrival order happens to be.
-            let v = ctx.recv_any(Some(TAG_DATA), site).payload;
-            ctx.send(next, TAG_DATA, v, site);
-        }
-    });
-    progs.push(merge);
-    for r in (c.bug_rank as usize + 1)..last {
-        let relay: ProgramFn = Box::new(move |ctx| {
-            let site = ctx.site("planted.c", 65, "relay");
-            for _ in 0..total {
-                let v = ctx.recv_from(Rank((r - 1) as u32), TAG_DATA, site).payload;
-                ctx.send(Rank((r + 1) as u32), TAG_DATA, v, site);
-            }
-        });
-        progs.push(relay);
-    }
-    let sink: ProgramFn = Box::new(move |ctx| {
-        let site = ctx.site("planted.c", 70, "sink");
-        let pred = Rank((last - 1) as u32);
-        for expect in 0..total as i64 {
-            let v = ctx
-                .recv_from(pred, TAG_DATA, site)
-                .payload
-                .to_i64()
-                .unwrap();
-            assert_eq!(v, expect, "pipeline stream corrupted");
-        }
-    });
-    progs.push(sink);
-    progs
+    let step = cfg.work / 4;
+    let producer = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 50, "producer")),
+        // Producer `p` owns token ids `p, p + nprods, ...`; the pacing
+        // staggers emission so token `i` arrives at the merge stage at
+        // roughly `i * step` — globally ordered across producers.
+        Prog::op(move |s: &mut PState, _| TaskOp::Compute {
+            cost_ns: s.rank as u64 * step + 1,
+            site: s.site,
+        }),
+        Prog::for_range(
+            |_s: &PState, _| (0, PIPELINE_TOKENS as i64),
+            |s: &mut PState, k| s.k = k,
+            Prog::seq(vec![
+                Prog::op(move |s: &mut PState, _| TaskOp::Send {
+                    dst: Rank(s.cfg.bug_rank),
+                    tag: TAG_DATA,
+                    payload: Payload::from_i64(s.rank as i64 + s.k * nprods as i64),
+                    site: s.site,
+                    mode: SendMode::Buffered,
+                }),
+                Prog::op(move |s: &mut PState, _| TaskOp::Compute {
+                    cost_ns: nprods as u64 * step,
+                    site: s.site,
+                }),
+            ]),
+        ),
+    ]);
+    let merge = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 60, "merge")),
+        Prog::for_range(
+            move |_s: &PState, _| (0, total as i64),
+            |_s: &mut PState, _| {},
+            Prog::seq(vec![
+                // The planted bug: the merge receives with a full wildcard
+                // instead of alternating directed receives per producer, so
+                // the merged order is whatever arrival order happens to be.
+                Prog::op_bind(
+                    |s: &mut PState, _| TaskOp::Recv {
+                        src: None,
+                        tag: Some(TAG_DATA),
+                        site: s.site,
+                    },
+                    |s, r, _| s.tok = r.message().payload,
+                ),
+                Prog::op(|s: &mut PState, _| TaskOp::Send {
+                    dst: Rank(s.cfg.bug_rank + 1),
+                    tag: TAG_DATA,
+                    payload: s.tok.clone(),
+                    site: s.site,
+                    mode: SendMode::Buffered,
+                }),
+            ]),
+        ),
+    ]);
+    let relay = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 65, "relay")),
+        Prog::for_range(
+            move |_s: &PState, _| (0, total as i64),
+            |_s: &mut PState, _| {},
+            Prog::seq(vec![
+                Prog::op_bind(
+                    |s: &mut PState, _| TaskOp::Recv {
+                        src: Some(Rank(s.rank as u32 - 1)),
+                        tag: Some(TAG_DATA),
+                        site: s.site,
+                    },
+                    |s, r, _| s.tok = r.message().payload,
+                ),
+                Prog::op(|s: &mut PState, _| TaskOp::Send {
+                    dst: Rank(s.rank as u32 + 1),
+                    tag: TAG_DATA,
+                    payload: s.tok.clone(),
+                    site: s.site,
+                    mode: SendMode::Buffered,
+                }),
+            ]),
+        ),
+    ]);
+    let sink = Prog::seq(vec![
+        Prog::act(|s: &mut PState, v| s.site = v.site("planted.c", 70, "sink")),
+        Prog::for_range(
+            move |_s: &PState, _| (0, total as i64),
+            |s: &mut PState, k| s.k = k,
+            Prog::op_bind(
+                |s: &mut PState, _| TaskOp::Recv {
+                    src: Some(Rank(s.rank as u32 - 1)),
+                    tag: Some(TAG_DATA),
+                    site: s.site,
+                },
+                |s, r, _| {
+                    let v = r.message().payload.to_i64().unwrap();
+                    assert_eq!(v, s.k, "pipeline stream corrupted");
+                },
+            ),
+        ),
+    ]);
+    (0..cfg.nprocs)
+        .map(|r| {
+            let prog = if r < nprods {
+                producer.clone()
+            } else if r == nprods {
+                merge.clone()
+            } else if r < last {
+                relay.clone()
+            } else {
+                sink.clone()
+            };
+            RankProgram::task(state(cfg, r), prog)
+        })
+        .collect()
 }
 
 /// A reusable factory for sessions, the explorer, and the localizer.
-pub fn planted_pipeline_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn planted_pipeline_factory(cfg: PlantedConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || planted_pipeline(&cfg)
 }
 
@@ -236,7 +399,7 @@ mod tests {
     };
     use tracedbg_trace::schedule::Fault;
 
-    fn run(programs: Vec<ProgramFn>, policy: SchedPolicy, faults: Vec<Fault>) -> RunOutcome {
+    fn run(programs: Vec<RankProgram>, policy: SchedPolicy, faults: Vec<Fault>) -> RunOutcome {
         let mut e = Engine::launch(
             EngineConfig {
                 policy,

@@ -14,8 +14,13 @@
 //!   Only worker 1 ever sends a follow-up; if the wildcard matches anyone
 //!   else, the directed receive waits forever — a schedule-dependent,
 //!   non-cyclic deadlock (the orphaned-receive shape of §4.4).
+//!
+//! Both patterns are task-backed ([`RankProgram::task`]): the explorer
+//! re-instantiates them once per schedule, and resumable tasks make that
+//! instantiation thread-spawn-free.
 
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
 
 const TAG_DATA: Tag = Tag(30);
 
@@ -39,73 +44,160 @@ impl Default for RacyConfig {
     }
 }
 
-fn worker(ctx: &mut ProcessCtx, cfg: RacyConfig, rank: usize, extra_sends: usize) {
-    let site = ctx.site("racy.c", 40, "worker");
-    let slow = if rank == 1 { 1 } else { 4 };
-    ctx.compute(cfg.work * slow, site);
-    ctx.send(Rank(0), TAG_DATA, Payload::from_i64(rank as i64), site);
-    for k in 0..extra_sends {
-        ctx.send(Rank(0), TAG_DATA, Payload::from_i64((100 + k) as i64), site);
+/// Per-rank task state shared by masters and workers of both patterns.
+#[derive(Clone)]
+struct RacyState {
+    cfg: RacyConfig,
+    rank: usize,
+    site: SiteId,
+    /// Source of the first wildcard match (masters only).
+    first: Rank,
+    /// Loop cursor for the workers' extra sends.
+    k: i64,
+}
+
+fn state(cfg: &RacyConfig, rank: usize) -> RacyState {
+    RacyState {
+        cfg: *cfg,
+        rank,
+        site: SiteId(0),
+        first: Rank(0),
+        k: 0,
     }
 }
 
+/// The worker program: compute (worker 1 is fastest), report to the
+/// master, then `extra_sends` follow-ups.
+fn worker_prog(extra_sends: usize) -> Prog<RacyState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut RacyState, v| s.site = v.site("racy.c", 40, "worker")),
+        Prog::op(|s: &mut RacyState, _| TaskOp::Compute {
+            cost_ns: s.cfg.work * if s.rank == 1 { 1 } else { 4 },
+            site: s.site,
+        }),
+        Prog::op(|s: &mut RacyState, _| TaskOp::Send {
+            dst: Rank(0),
+            tag: TAG_DATA,
+            payload: Payload::from_i64(s.rank as i64),
+            site: s.site,
+            mode: SendMode::Buffered,
+        }),
+        Prog::for_range(
+            move |_s: &RacyState, _| (0, extra_sends as i64),
+            |s: &mut RacyState, k| s.k = k,
+            Prog::op(|s: &mut RacyState, _| TaskOp::Send {
+                dst: Rank(0),
+                tag: TAG_DATA,
+                payload: Payload::from_i64(100 + s.k),
+                site: s.site,
+                mode: SendMode::Buffered,
+            }),
+        ),
+    ])
+}
+
+/// Drain the remaining `nprocs - 2` reports with wildcard receives.
+fn drain_rest() -> Prog<RacyState> {
+    Prog::for_range(
+        |s: &RacyState, _| (0, s.cfg.nprocs as i64 - 2),
+        |_s: &mut RacyState, _| {},
+        Prog::op(|s: &mut RacyState, _| TaskOp::Recv {
+            src: None,
+            tag: Some(TAG_DATA),
+            site: s.site,
+        }),
+    )
+}
+
 /// The wildcard-race pattern: assertion failure on "wrong" match order.
-pub fn wildcard_race(cfg: &RacyConfig) -> Vec<ProgramFn> {
+pub fn wildcard_race(cfg: &RacyConfig) -> Vec<RankProgram> {
     assert!(
         cfg.nprocs >= 3,
         "racy patterns need a master and 2+ workers"
     );
-    let c = *cfg;
-    let master: ProgramFn = Box::new(move |ctx| {
-        let site = ctx.site("racy.c", 12, "master");
-        let first = ctx.recv_any(Some(TAG_DATA), site);
-        ctx.probe("first_src", first.src.0 as i64, site);
+    let master = Prog::seq(vec![
+        Prog::act(|s: &mut RacyState, v| s.site = v.site("racy.c", 12, "master")),
+        Prog::op_bind(
+            |s: &mut RacyState, _| TaskOp::Recv {
+                src: None,
+                tag: Some(TAG_DATA),
+                site: s.site,
+            },
+            |s, r, _| s.first = r.message().src,
+        ),
+        Prog::op(|s: &mut RacyState, _| TaskOp::Probe {
+            label: "first_src".into(),
+            value: s.first.0 as i64,
+            site: s.site,
+        }),
         // The bug: worker 1 is assumed fastest, but nothing enforces it.
-        assert_eq!(first.src, Rank(1), "master assumed worker 1 reports first");
-        for _ in 0..c.nprocs - 2 {
-            let _ = ctx.recv_any(Some(TAG_DATA), site);
-        }
-    });
-    let mut progs = vec![master];
-    for r in 1..c.nprocs {
-        progs.push(Box::new(move |ctx: &mut ProcessCtx| worker(ctx, c, r, 0)) as ProgramFn);
-    }
-    progs
+        Prog::act(|s: &mut RacyState, _| {
+            assert_eq!(s.first, Rank(1), "master assumed worker 1 reports first");
+        }),
+        drain_rest(),
+    ]);
+    let worker = worker_prog(0);
+    (0..cfg.nprocs)
+        .map(|r| {
+            let prog = if r == 0 {
+                master.clone()
+            } else {
+                worker.clone()
+            };
+            RankProgram::task(state(cfg, r), prog)
+        })
+        .collect()
 }
 
 /// A reusable factory for sessions and the explorer.
-pub fn wildcard_race_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn wildcard_race_factory(cfg: RacyConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || wildcard_race(&cfg)
 }
 
 /// The orphaned-receive pattern: schedule-dependent non-cyclic deadlock.
-pub fn orphan_deadlock(cfg: &RacyConfig) -> Vec<ProgramFn> {
+pub fn orphan_deadlock(cfg: &RacyConfig) -> Vec<RankProgram> {
     assert!(
         cfg.nprocs >= 3,
         "racy patterns need a master and 2+ workers"
     );
-    let c = *cfg;
-    let master: ProgramFn = Box::new(move |ctx| {
-        let site = ctx.site("racy.c", 24, "master");
-        let first = ctx.recv_any(Some(TAG_DATA), site);
-        ctx.probe("first_src", first.src.0 as i64, site);
+    let master = Prog::seq(vec![
+        Prog::act(|s: &mut RacyState, v| s.site = v.site("racy.c", 24, "master")),
+        Prog::op_bind(
+            |s: &mut RacyState, _| TaskOp::Recv {
+                src: None,
+                tag: Some(TAG_DATA),
+                site: s.site,
+            },
+            |s, r, _| s.first = r.message().src,
+        ),
+        Prog::op(|s: &mut RacyState, _| TaskOp::Probe {
+            label: "first_src".into(),
+            value: s.first.0 as i64,
+            site: s.site,
+        }),
         // The bug: only worker 1 sends a follow-up message, but the
         // directed receive targets whoever happened to match first.
-        let _ = ctx.recv_from(first.src, TAG_DATA, site);
-        for _ in 0..c.nprocs - 2 {
-            let _ = ctx.recv_any(Some(TAG_DATA), site);
-        }
-    });
-    let mut progs = vec![master];
-    for r in 1..c.nprocs {
-        let extra = if r == 1 { 1 } else { 0 };
-        progs.push(Box::new(move |ctx: &mut ProcessCtx| worker(ctx, c, r, extra)) as ProgramFn);
-    }
-    progs
+        Prog::op(|s: &mut RacyState, _| TaskOp::Recv {
+            src: Some(s.first),
+            tag: Some(TAG_DATA),
+            site: s.site,
+        }),
+        drain_rest(),
+    ]);
+    (0..cfg.nprocs)
+        .map(|r| {
+            let prog = if r == 0 {
+                master.clone()
+            } else {
+                worker_prog(if r == 1 { 1 } else { 0 })
+            };
+            RankProgram::task(state(cfg, r), prog)
+        })
+        .collect()
 }
 
 /// A reusable factory for sessions and the explorer.
-pub fn orphan_deadlock_factory(cfg: RacyConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn orphan_deadlock_factory(cfg: RacyConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || orphan_deadlock(&cfg)
 }
 
@@ -114,7 +206,7 @@ mod tests {
     use super::*;
     use tracedbg_mpsim::{Decision, Engine, EngineConfig, RecorderConfig, RunOutcome, SchedPolicy};
 
-    fn run(programs: Vec<ProgramFn>, policy: SchedPolicy) -> RunOutcome {
+    fn run(programs: Vec<RankProgram>, policy: SchedPolicy) -> RunOutcome {
         let mut e = Engine::launch(
             EngineConfig {
                 policy,

@@ -7,11 +7,14 @@
 //! order strictly decreases along any wait chain — patterns are
 //! **deadlock-free by construction**, which makes them ideal inputs for
 //! property tests (every run must complete; every vertical cut must be
-//! consistent; matching must be a bijection).
+//! consistent; matching must be a bijection). Task-backed: the jitter RNG
+//! is part of the snapshot, so a restored rank draws the same stream.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use tracedbg_mpsim::{Payload, ProgramFn, Rank, Tag};
+use std::sync::Arc;
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
 
 /// One point-to-point transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,28 +56,92 @@ pub fn generate(seed: u64, nprocs: usize, n_transfers: usize) -> Pattern {
     Pattern { nprocs, transfers }
 }
 
-/// Build the per-rank programs executing a pattern.
-pub fn programs(pattern: &Pattern, jitter_seed: u64) -> Vec<ProgramFn> {
-    (0..pattern.nprocs)
-        .map(|r| {
-            let pat = pattern.clone();
-            let p: ProgramFn = Box::new(move |ctx| {
-                let site = ctx.site("random.comm", r as u32 + 1, "pattern");
-                let mut rng = ChaCha8Rng::seed_from_u64(jitter_seed ^ r as u64);
-                for t in &pat.transfers {
-                    if t.src as usize == r {
-                        ctx.compute(rng.gen_range(0..5_000), site);
-                        ctx.send(Rank(t.dst), Tag(t.tag), Payload::from_i64(t.value), site);
-                    } else if t.dst as usize == r {
-                        let m = ctx.recv_from(Rank(t.src), Tag(t.tag), site);
+/// Per-rank task state: the shared pattern, a transfer cursor, the jitter
+/// RNG (cloned into snapshots mid-stream), and the last received value.
+#[derive(Clone)]
+struct CommState {
+    pat: Arc<Pattern>,
+    rank: usize,
+    site: SiteId,
+    rng: ChaCha8Rng,
+    i: i64,
+    got: i64,
+}
+
+impl CommState {
+    fn cur(&self) -> Transfer {
+        self.pat.transfers[self.i as usize]
+    }
+}
+
+fn pattern_prog() -> Prog<CommState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut CommState, v| {
+            s.site = v.site("random.comm", s.rank as u32 + 1, "pattern")
+        }),
+        Prog::for_range(
+            |s: &CommState, _| (0, s.pat.transfers.len() as i64),
+            |s: &mut CommState, i| s.i = i,
+            Prog::seq(vec![
+                Prog::when(
+                    |s: &CommState, _| s.cur().src as usize == s.rank,
+                    Prog::seq(vec![
+                        Prog::op(|s: &mut CommState, _| TaskOp::Compute {
+                            cost_ns: s.rng.gen_range(0..5_000),
+                            site: s.site,
+                        }),
+                        Prog::op(|s: &mut CommState, _| TaskOp::Send {
+                            dst: Rank(s.cur().dst),
+                            tag: Tag(s.cur().tag),
+                            payload: Payload::from_i64(s.cur().value),
+                            site: s.site,
+                            mode: SendMode::Buffered,
+                        }),
+                    ]),
+                ),
+                Prog::when(
+                    |s: &CommState, _| s.cur().dst as usize == s.rank,
+                    Prog::seq(vec![
+                        Prog::op_bind(
+                            |s: &mut CommState, _| TaskOp::Recv {
+                                src: Some(Rank(s.cur().src)),
+                                tag: Some(Tag(s.cur().tag)),
+                                site: s.site,
+                            },
+                            |s, m, _| s.got = m.message().payload.to_i64().unwrap(),
+                        ),
                         // Per-(src,dst,tag) FIFO: values on the same
                         // (src,tag) lane arrive in pattern order, but the
                         // payload always identifies the transfer.
-                        ctx.probe("got", m.payload.to_i64().unwrap(), site);
-                    }
-                }
-            });
-            p
+                        Prog::op(|s: &mut CommState, _| TaskOp::Probe {
+                            label: "got".into(),
+                            value: s.got,
+                            site: s.site,
+                        }),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Build the per-rank programs executing a pattern.
+pub fn programs(pattern: &Pattern, jitter_seed: u64) -> Vec<RankProgram> {
+    let pat = Arc::new(pattern.clone());
+    let prog = pattern_prog();
+    (0..pattern.nprocs)
+        .map(|r| {
+            RankProgram::task(
+                CommState {
+                    pat: pat.clone(),
+                    rank: r,
+                    site: SiteId(0),
+                    rng: ChaCha8Rng::seed_from_u64(jitter_seed ^ r as u64),
+                    i: 0,
+                    got: 0,
+                },
+                prog.clone(),
+            )
         })
         .collect()
 }

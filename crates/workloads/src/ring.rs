@@ -1,6 +1,14 @@
 //! A token ring: deterministic pattern for replay/trace tests.
+//!
+//! The ring is the first workload ported to the resumable task engine:
+//! `programs()` builds [`RankProgram::task`] ranks, and the retained
+//! thread variant (`thread_programs`) exists so the equivalence test can
+//! pin byte-identical traces across both backends.
 
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{
+    Payload, ProcessCtx, Prog, ProgramFn, Rank, RankProgram, SendMode, SiteId, Tag,
+};
 
 const TAG_TOKEN: Tag = Tag(20);
 
@@ -58,8 +66,116 @@ fn node(ctx: &mut ProcessCtx, cfg: &RingConfig, rank: usize) {
     });
 }
 
-/// Build the ring programs.
-pub fn programs(cfg: &RingConfig) -> Vec<ProgramFn> {
+/// Per-rank task state: config + identity, plus the loop cursor and the
+/// in-flight token.
+#[derive(Clone)]
+struct RingState {
+    cfg: RingConfig,
+    rank: usize,
+    site: SiteId,
+    round: i64,
+    tok: Payload,
+}
+
+impl RingState {
+    fn next(&self) -> Rank {
+        Rank(((self.rank + 1) % self.cfg.nprocs) as u32)
+    }
+    fn prev(&self) -> Rank {
+        Rank(((self.rank + self.cfg.nprocs - 1) % self.cfg.nprocs) as u32)
+    }
+    fn tag(&self) -> Tag {
+        if self.cfg.tag_stride > 1 {
+            Tag(TAG_TOKEN.0 + (self.round as usize % self.cfg.tag_stride) as i32)
+        } else {
+            TAG_TOKEN
+        }
+    }
+}
+
+fn node_prog() -> Prog<RingState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut RingState, v| s.site = v.site("ring.c", 12, "ring")),
+        Prog::scope(
+            |s: &mut RingState, _| (s.site, [s.rank as i64, s.cfg.rounds as i64]),
+            Prog::for_range(
+                |s: &RingState, _| (0, s.cfg.rounds as i64),
+                |s: &mut RingState, i| s.round = i,
+                Prog::if_else(
+                    |s: &RingState, _| s.rank == 0,
+                    // Rank 0 injects the token, then waits for it to return.
+                    Prog::seq(vec![
+                        Prog::op(|s: &mut RingState, _| TaskOp::Compute {
+                            cost_ns: s.cfg.hop_cost,
+                            site: s.site,
+                        }),
+                        Prog::op(|s: &mut RingState, _| TaskOp::Send {
+                            dst: s.next(),
+                            tag: s.tag(),
+                            payload: Payload::from_i64(s.round),
+                            site: s.site,
+                            mode: SendMode::Buffered,
+                        }),
+                        Prog::op_bind(
+                            |s: &mut RingState, _| TaskOp::Recv {
+                                src: Some(s.prev()),
+                                tag: Some(s.tag()),
+                                site: s.site,
+                            },
+                            |s, tok, _| {
+                                assert_eq!(tok.message().payload.to_i64(), Some(s.round));
+                            },
+                        ),
+                    ]),
+                    Prog::seq(vec![
+                        Prog::op_bind(
+                            |s: &mut RingState, _| TaskOp::Recv {
+                                src: Some(s.prev()),
+                                tag: Some(s.tag()),
+                                site: s.site,
+                            },
+                            |s, tok, _| s.tok = tok.message().payload,
+                        ),
+                        Prog::op(|s: &mut RingState, _| TaskOp::Compute {
+                            cost_ns: s.cfg.hop_cost,
+                            site: s.site,
+                        }),
+                        Prog::op(|s: &mut RingState, _| TaskOp::Send {
+                            dst: s.next(),
+                            tag: s.tag(),
+                            payload: s.tok.clone(),
+                            site: s.site,
+                            mode: SendMode::Buffered,
+                        }),
+                    ]),
+                ),
+            ),
+        ),
+    ])
+}
+
+/// Build the ring programs (task-backed).
+pub fn programs(cfg: &RingConfig) -> Vec<RankProgram> {
+    assert!(cfg.nprocs >= 2);
+    let prog = node_prog();
+    (0..cfg.nprocs)
+        .map(|r| {
+            RankProgram::task(
+                RingState {
+                    cfg: *cfg,
+                    rank: r,
+                    site: SiteId(0),
+                    round: 0,
+                    tok: Payload::empty(),
+                },
+                prog.clone(),
+            )
+        })
+        .collect()
+}
+
+/// The legacy thread-backed ring, kept for backend-equivalence tests.
+pub fn thread_programs(cfg: &RingConfig) -> Vec<ProgramFn> {
     assert!(cfg.nprocs >= 2);
     (0..cfg.nprocs)
         .map(|r| {
@@ -71,7 +187,7 @@ pub fn programs(cfg: &RingConfig) -> Vec<ProgramFn> {
 }
 
 /// A reusable factory for debugger sessions.
-pub fn factory(cfg: RingConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn factory(cfg: RingConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || programs(&cfg)
 }
 
@@ -141,5 +257,27 @@ mod tests {
         assert_eq!(tags, vec![20, 21, 22, 23]);
         // Each tag carries exactly rounds/stride of the traffic.
         assert_eq!(sends, cfg.rounds * cfg.nprocs);
+    }
+
+    /// The tentpole's acceptance bar: the task backend must trace
+    /// byte-identically to the thread backend at a fixed seed.
+    #[test]
+    fn task_ring_matches_thread_ring_trace() {
+        let cfg = RingConfig::default();
+        let collect = |mut e: Engine| {
+            let store = e.trace_store();
+            format!("{:?}", store.records())
+        };
+        let mut et = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            thread_programs(&cfg),
+        );
+        assert!(et.run().is_completed());
+        let mut ek = Engine::launch(
+            EngineConfig::with_recorder(RecorderConfig::full()),
+            programs(&cfg),
+        );
+        assert!(ek.run().is_completed());
+        assert_eq!(collect(et), collect(ek));
     }
 }

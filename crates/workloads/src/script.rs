@@ -33,7 +33,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use std::sync::Arc;
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{
+    OpResult, Payload, Rank, RankProgram, SendMode, SiteId, Tag, TaskProgram, TaskView,
+};
+use tracedbg_trace::CollKind;
 
 /// Where the source-to-source pass inserts `trace` statements.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -484,127 +489,151 @@ pub fn parse(src: &str) -> Result<Script, ScriptError> {
 
 // ------------------------------------------------------------- execution
 
-/// Run-time state of one script process.
-struct Interp<'a, 'b> {
-    ctx: &'a mut ProcessCtx,
-    script: &'b Script,
-    vars: BTreeMap<String, i64>,
-    file: String,
+/// One suspended activation in the script task's explicit call/loop stack.
+#[derive(Clone)]
+enum SFrame {
+    /// A statement block of function `func` with a cursor.
+    Block {
+        stmts: Arc<Vec<Stmt>>,
+        func: Arc<str>,
+        idx: usize,
+    },
+    /// A `loop` mid-flight (bounds were evaluated at entry).
+    Loop {
+        var: String,
+        cur: i64,
+        end: i64,
+        body: Arc<Vec<Stmt>>,
+        func: Arc<str>,
+    },
+    /// Emit `FnExit` for this scope once the frames above are done.
+    ScopeExit { site: SiteId },
 }
 
-impl Interp<'_, '_> {
-    fn eval(&self, e: &Expr, line: u32) -> Result<i64, ScriptError> {
-        Ok(match e {
+/// A resumable script interpreter: one rank's run-time state, poll-able
+/// by the engine. Where the old thread-backed interpreter recursed down
+/// the statement tree, this one keeps an explicit stack of [`SFrame`]s,
+/// yields a [`TaskOp`] at every communication/instrumentation point, and
+/// clones into an [`EngineCheckpoint`](tracedbg_mpsim::EngineCheckpoint)
+/// as plain data. Runtime errors panic the task (reported through the
+/// engine as a process panic, message unchanged).
+#[derive(Clone)]
+struct ScriptTask {
+    script: Arc<Script>,
+    file: Arc<str>,
+    vars: BTreeMap<String, i64>,
+    stack: Vec<SFrame>,
+    /// A posted `recv` waiting to bind its message: `(var, line)`.
+    pending_recv: Option<(String, u32)>,
+    started: bool,
+}
+
+impl ScriptTask {
+    fn eval(&self, e: &Expr, line: u32, view: &TaskView<'_>) -> i64 {
+        match e {
             Expr::Const(n) => *n,
             Expr::Var(v) => match v.as_str() {
-                "rank" => self.ctx.rank().0 as i64,
-                "nprocs" => self.ctx.n_ranks() as i64,
-                _ => *self
-                    .vars
-                    .get(v)
-                    .ok_or_else(|| err(line, format!("undefined variable {v:?}")))?,
+                "rank" => view.rank.0 as i64,
+                "nprocs" => view.n_ranks as i64,
+                _ => *self.vars.get(v).unwrap_or_else(|| {
+                    panic!("{}", err(line, format!("undefined variable {v:?}")))
+                }),
             },
-            Expr::Add(a, b) => self.eval(a, line)? + self.eval(b, line)?,
-            Expr::Sub(a, b) => self.eval(a, line)? - self.eval(b, line)?,
-            Expr::Mul(a, b) => self.eval(a, line)? * self.eval(b, line)?,
+            Expr::Add(a, b) => self.eval(a, line, view) + self.eval(b, line, view),
+            Expr::Sub(a, b) => self.eval(a, line, view) - self.eval(b, line, view),
+            Expr::Mul(a, b) => self.eval(a, line, view) * self.eval(b, line, view),
             Expr::Mod(a, b) => {
-                let d = self.eval(b, line)?;
+                let d = self.eval(b, line, view);
                 if d == 0 {
-                    return Err(err(line, "modulo by zero"));
+                    panic!("{}", err(line, "modulo by zero"));
                 }
-                self.eval(a, line)? % d
+                self.eval(a, line, view) % d
             }
-        })
-    }
-
-    fn test(&self, c: &Cond, line: u32) -> Result<bool, ScriptError> {
-        Ok(match c {
-            Cond::Eq(a, b) => self.eval(a, line)? == self.eval(b, line)?,
-            Cond::Ne(a, b) => self.eval(a, line)? != self.eval(b, line)?,
-            Cond::Lt(a, b) => self.eval(a, line)? < self.eval(b, line)?,
-        })
-    }
-
-    fn exec_block(&mut self, stmts: &[Stmt], func: &str) -> Result<(), ScriptError> {
-        for s in stmts {
-            self.exec(s, func)?;
         }
-        Ok(())
     }
 
-    fn exec(&mut self, s: &Stmt, func: &str) -> Result<(), ScriptError> {
-        let site = self.ctx.site(&self.file, s.line, func);
+    fn test(&self, c: &Cond, line: u32, view: &TaskView<'_>) -> bool {
+        match c {
+            Cond::Eq(a, b) => self.eval(a, line, view) == self.eval(b, line, view),
+            Cond::Ne(a, b) => self.eval(a, line, view) != self.eval(b, line, view),
+            Cond::Lt(a, b) => self.eval(a, line, view) < self.eval(b, line, view),
+        }
+    }
+
+    /// Execute one statement: control flow pushes frames and returns
+    /// `None`; anything the engine must see returns its op.
+    fn exec(&mut self, s: &Stmt, func: &Arc<str>, view: &TaskView<'_>) -> Option<TaskOp> {
+        let site = view.site(&self.file, s.line, func);
         match &s.kind {
             StmtKind::Let { var, value } => {
-                let v = self.eval(value, s.line)?;
+                let v = self.eval(value, s.line, view);
                 self.vars.insert(var.clone(), v);
+                None
             }
-            StmtKind::Compute { cost } => {
-                let c = self.eval(cost, s.line)?.max(0) as u64;
-                self.ctx.compute(c, site);
-            }
+            StmtKind::Compute { cost } => Some(TaskOp::Compute {
+                cost_ns: self.eval(cost, s.line, view).max(0) as u64,
+                site,
+            }),
             StmtKind::Send { dst, tag, value } => {
-                let d = self.eval(dst, s.line)?;
-                if d < 0 || d as usize >= self.ctx.n_ranks() {
-                    return Err(err(s.line, format!("send to bad rank {d}")));
+                let d = self.eval(dst, s.line, view);
+                if d < 0 || d as usize >= view.n_ranks {
+                    panic!("{}", err(s.line, format!("send to bad rank {d}")));
                 }
-                let v = self.eval(value, s.line)?;
-                self.ctx
-                    .send(Rank(d as u32), Tag(*tag), Payload::from_i64(v), site);
+                let v = self.eval(value, s.line, view);
+                Some(TaskOp::Send {
+                    dst: Rank(d as u32),
+                    tag: Tag(*tag),
+                    payload: Payload::from_i64(v),
+                    site,
+                    mode: SendMode::Buffered,
+                })
             }
             StmtKind::Recv { src, tag, var } => {
                 let src_rank = match src {
                     Some(e) => {
-                        let r = self.eval(e, s.line)?;
-                        if r < 0 || r as usize >= self.ctx.n_ranks() {
-                            return Err(err(s.line, format!("recv from bad rank {r}")));
+                        let r = self.eval(e, s.line, view);
+                        if r < 0 || r as usize >= view.n_ranks {
+                            panic!("{}", err(s.line, format!("recv from bad rank {r}")));
                         }
                         Some(Rank(r as u32))
                     }
                     None => None,
                 };
-                let m = self.ctx.recv(src_rank, tag.map(Tag), site);
-                let v = m
-                    .payload
-                    .to_i64()
-                    .ok_or_else(|| err(s.line, "non-integer payload"))?;
-                self.vars.insert(var.clone(), v);
-                // The sender's rank is observable, like MPI_STATUS.
-                self.vars.insert(format!("{var}_src"), m.src.0 as i64);
+                self.pending_recv = Some((var.clone(), s.line));
+                Some(TaskOp::Recv {
+                    src: src_rank,
+                    tag: tag.map(Tag),
+                    site,
+                })
             }
-            StmtKind::Trace { label, value } => {
-                let v = match value {
-                    Some(e) => self.eval(e, s.line)?,
+            StmtKind::Trace { label, value } => Some(TaskOp::Probe {
+                label: label.clone(),
+                value: match value {
+                    Some(e) => self.eval(e, s.line, view),
                     None => 0,
-                };
-                self.ctx.probe(label, v, site);
-            }
+                },
+                site,
+            }),
             StmtKind::Call { func: callee } => {
                 let body = self
                     .script
                     .functions
                     .get(callee)
-                    .ok_or_else(|| err(s.line, format!("unknown function {callee:?}")))?
+                    .unwrap_or_else(|| {
+                        panic!("{}", err(s.line, format!("unknown function {callee:?}")))
+                    })
                     .clone();
-                let fsite = self.ctx.site(&self.file, s.line, callee);
-                let script = self.script;
-                // Manual scope to keep the borrow checker happy: emit the
-                // enter/exit through ctx.scope with a closure that reuses
-                // this interpreter's state.
-                let vars = std::mem::take(&mut self.vars);
-                let file = self.file.clone();
-                let result = self.ctx.scope(fsite, [0, 0], |ctx| {
-                    let mut inner = Interp {
-                        ctx,
-                        script,
-                        vars,
-                        file,
-                    };
-                    let r = inner.exec_block(&body, callee);
-                    (inner.vars, r)
+                let fsite = view.site(&self.file, s.line, callee);
+                self.stack.push(SFrame::ScopeExit { site: fsite });
+                self.stack.push(SFrame::Block {
+                    stmts: Arc::new(body),
+                    func: Arc::from(callee.as_str()),
+                    idx: 0,
                 });
-                self.vars = result.0;
-                result.1?;
+                Some(TaskOp::Enter {
+                    site: fsite,
+                    args: [0, 0],
+                })
             }
             StmtKind::Loop {
                 var,
@@ -612,55 +641,139 @@ impl Interp<'_, '_> {
                 to,
                 body,
             } => {
-                let a = self.eval(from, s.line)?;
-                let b = self.eval(to, s.line)?;
-                for i in a..b {
-                    self.vars.insert(var.clone(), i);
-                    self.exec_block(body, func)?;
-                }
+                let a = self.eval(from, s.line, view);
+                let b = self.eval(to, s.line, view);
+                self.stack.push(SFrame::Loop {
+                    var: var.clone(),
+                    cur: a,
+                    end: b,
+                    body: Arc::new(body.clone()),
+                    func: func.clone(),
+                });
+                None
             }
             StmtKind::If { cond, then, els } => {
-                if self.test(cond, s.line)? {
-                    self.exec_block(then, func)?;
+                let branch = if self.test(cond, s.line, view) {
+                    then
                 } else {
-                    self.exec_block(els, func)?;
+                    els
+                };
+                self.stack.push(SFrame::Block {
+                    stmts: Arc::new(branch.clone()),
+                    func: func.clone(),
+                    idx: 0,
+                });
+                None
+            }
+            StmtKind::Barrier => Some(TaskOp::Collective {
+                kind: CollKind::Barrier,
+                root: Rank(0),
+                payload: Payload::empty(),
+                op: None,
+                site,
+            }),
+        }
+    }
+}
+
+impl TaskProgram for ScriptTask {
+    fn next(&mut self, input: OpResult, view: &TaskView<'_>) -> TaskOp {
+        if let Some((var, line)) = self.pending_recv.take() {
+            let m = input.message();
+            let v = m
+                .payload
+                .to_i64()
+                .unwrap_or_else(|| panic!("{}", err(line, "non-integer payload")));
+            self.vars.insert(var.clone(), v);
+            // The sender's rank is observable, like MPI_STATUS.
+            self.vars.insert(format!("{var}_src"), m.src.0 as i64);
+        }
+        if !self.started {
+            self.started = true;
+            let fsite = view.site(&self.file, 0, "main");
+            let main = self.script.functions["main"].clone();
+            self.stack.push(SFrame::ScopeExit { site: fsite });
+            self.stack.push(SFrame::Block {
+                stmts: Arc::new(main),
+                func: Arc::from("main"),
+                idx: 0,
+            });
+            return TaskOp::Enter {
+                site: fsite,
+                args: [0, 0],
+            };
+        }
+        loop {
+            let Some(top) = self.stack.last_mut() else {
+                return TaskOp::Done;
+            };
+            match top {
+                SFrame::ScopeExit { site } => {
+                    let site = *site;
+                    self.stack.pop();
+                    return TaskOp::Exit { site };
+                }
+                SFrame::Loop {
+                    var,
+                    cur,
+                    end,
+                    body,
+                    func,
+                } => {
+                    if cur < end {
+                        let i = *cur;
+                        *cur += 1;
+                        let var = var.clone();
+                        let frame = SFrame::Block {
+                            stmts: body.clone(),
+                            func: func.clone(),
+                            idx: 0,
+                        };
+                        self.vars.insert(var, i);
+                        self.stack.push(frame);
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+                SFrame::Block { stmts, func, idx } => {
+                    if *idx >= stmts.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let s = stmts[*idx].clone();
+                    *idx += 1;
+                    let func = func.clone();
+                    if let Some(op) = self.exec(&s, &func, view) {
+                        return op;
+                    }
                 }
             }
-            StmtKind::Barrier => {
-                self.ctx.barrier(site);
-            }
         }
-        Ok(())
+    }
+
+    fn snapshot(&self) -> Box<dyn TaskProgram> {
+        Box::new(self.clone())
     }
 }
 
 /// Build one engine program per rank, all running the same script (SPMD,
 /// like `mpirun`). Runtime errors panic the process (reported through the
 /// engine as a process panic).
-pub fn programs(script: &Script, nprocs: usize, file: &str) -> Vec<ProgramFn> {
+pub fn programs(script: &Script, nprocs: usize, file: &str) -> Vec<RankProgram> {
     assert!(nprocs >= 1);
+    let script = Arc::new(script.clone());
+    let file: Arc<str> = Arc::from(file);
     (0..nprocs)
         .map(|_| {
-            let script = script.clone();
-            let file = file.to_string();
-            let p: ProgramFn = Box::new(move |ctx| {
-                let main = script.functions["main"].clone();
-                let fsite = ctx.site(&file, 0, "main");
-                let script_ref = &script;
-                let file2 = file.clone();
-                ctx.scope(fsite, [0, 0], |ctx| {
-                    let mut interp = Interp {
-                        ctx,
-                        script: script_ref,
-                        vars: BTreeMap::new(),
-                        file: file2,
-                    };
-                    if let Err(e) = interp.exec_block(&main, "main") {
-                        panic!("{e}");
-                    }
-                });
+            let task: Box<dyn TaskProgram> = Box::new(ScriptTask {
+                script: script.clone(),
+                file: file.clone(),
+                vars: BTreeMap::new(),
+                stack: Vec::new(),
+                pending_recv: None,
+                started: false,
             });
-            p
+            RankProgram::from(task)
         })
         .collect()
 }

@@ -13,10 +13,13 @@
 //! where `jres+1` was meant ("the user will find that jres should be
 //! replaced by jres+1 in line 161", Figure 7) — which starves the last
 //! worker of one message and deadlocks ranks 0 and 7 against each other
-//! (Figures 5 and 6).
+//! (Figures 5 and 6). Task-backed ([`RankProgram::task`]): the in-flight
+//! matrices live in the task state, so a checkpoint mid-distribution
+//! carries them by clone.
 
 use crate::matrix::Matrix;
-use tracedbg_mpsim::{Payload, ProcessCtx, ProgramFn, Rank, Tag};
+use tracedbg_mpsim::task::TaskOp;
+use tracedbg_mpsim::{Payload, Prog, Rank, RankProgram, SendMode, SiteId, Tag};
 
 /// Message tags.
 pub const TAG_A: Tag = Tag(1);
@@ -96,138 +99,271 @@ pub fn expected(cfg: &StrassenConfig) -> Matrix {
     a.mul_naive(&b)
 }
 
-fn send_matrix(
-    ctx: &mut ProcessCtx,
-    dst: Rank,
-    tag: Tag,
-    m: &Matrix,
-    site: tracedbg_trace::SiteId,
-) {
-    ctx.send(dst, tag, Payload::from_f64s(&m.to_vec()), site);
+fn matrix_of(m: tracedbg_mpsim::OpResult, h: usize) -> Matrix {
+    Matrix::from_vec(h, h, m.message().payload.to_f64s().expect("f64 payload"))
 }
 
-fn recv_matrix(
-    ctx: &mut ProcessCtx,
-    src: Rank,
-    tag: Tag,
-    rows: usize,
-    cols: usize,
-    site: tracedbg_trace::SiteId,
-) -> Matrix {
-    let msg = ctx.recv_from(src, tag, site);
-    Matrix::from_vec(rows, cols, msg.payload.to_f64s().expect("f64 payload"))
+/// Master task state (rank 0): the operand pairs awaiting distribution,
+/// the partial results collected so far, and the interned sites.
+#[derive(Clone)]
+struct MasterState {
+    cfg: StrassenConfig,
+    master_site: SiteId,
+    send_a_site: SiteId,
+    send_b_site: SiteId,
+    recv_site: SiteId,
+    send_fn_site: SiteId,
+    recv_fn_site: SiteId,
+    ops: Vec<(Matrix, Matrix)>,
+    results: Vec<Matrix>,
+    /// Loop cursor: 0-based pair index during distribution, 1-based
+    /// product number during collection.
+    ix: i64,
+    b_dest: i64,
 }
 
 /// The master process (rank 0).
-fn master(ctx: &mut ProcessCtx, cfg: &StrassenConfig) {
-    let nworkers = cfg.nprocs - 1;
-    let h = cfg.n / 2;
-    let master_site = ctx.site("strassen.c", 120, "StrassenMaster");
-    let send_a_site = ctx.site("strassen.c", 158, "MatrSend");
-    // Line 161: the send whose destination expression is wrong in the
-    // buggy variant.
-    let send_b_site = ctx.site("strassen.c", 161, "MatrSend");
-    let recv_site = ctx.site("strassen.c", 190, "MatrRecv");
-    let cfg2 = cfg.clone();
-    ctx.scope(master_site, [cfg.n as i64, cfg.nprocs as i64], move |ctx| {
-        let a = Matrix::random(cfg2.n, cfg2.n, cfg2.seed);
-        let b = Matrix::random(cfg2.n, cfg2.n, cfg2.seed + 1);
-        // Simulated cost of forming the operand combinations.
-        ctx.compute((cfg2.n * cfg2.n) as u64, master_site);
-        let ops = operands(&a, &b);
-
-        // MatrSend: distribute pairs of submatrices (Figure 3's fan of
-        // separate sends).
-        let send_fn_site = ctx.site("strassen.c", 150, "MatrSend");
-        ctx.scope(send_fn_site, [nworkers as i64, 0], |ctx| {
-            for (ix, (x, y)) in ops.iter().enumerate() {
-                let i = ix + 1; // product number, 1-based
-                let jres = worker_of(i, nworkers); // loop variable of the paper
-                send_matrix(ctx, Rank(jres as u32), TAG_A, x, send_a_site);
-                let b_dest = match cfg2.variant {
-                    Variant::Correct => jres,
-                    // The bug: `jres` where `jres+1` was meant. With the
-                    // paper's 0-based loop the wrong expression addresses
-                    // the previous rank.
-                    Variant::JresBug => jres - 1,
-                };
-                ctx.probe("jres", b_dest as i64, send_b_site);
-                send_matrix(ctx, Rank(b_dest as u32), TAG_B, y, send_b_site);
-            }
-        });
-
-        // MatrRecv: collect the seven partial results and combine.
-        let recv_fn_site = ctx.site("strassen.c", 185, "MatrRecv");
-        let results: Vec<Matrix> = ctx.scope(recv_fn_site, [7, 0], |ctx| {
-            (1..=7)
-                .map(|i| {
-                    let w = worker_of(i, nworkers);
-                    recv_matrix(
-                        ctx,
-                        Rank(w as u32),
-                        Tag(TAG_RESULT_BASE + i as i32),
-                        h,
-                        h,
-                        recv_site,
-                    )
-                })
-                .collect()
-        });
-        ctx.compute((cfg2.n * cfg2.n) as u64, master_site);
-        let c = combine(&results);
-        let err = c.max_diff(&expected(&cfg2));
-        // Verification probe: max |C - A·B| in nano-units.
-        ctx.probe("maxerr_e9", (err * 1e9) as i64, master_site);
-    });
+fn master_prog() -> Prog<MasterState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut MasterState, v| {
+            s.master_site = v.site("strassen.c", 120, "StrassenMaster");
+            s.send_a_site = v.site("strassen.c", 158, "MatrSend");
+            // Line 161: the send whose destination expression is wrong in
+            // the buggy variant.
+            s.send_b_site = v.site("strassen.c", 161, "MatrSend");
+            s.recv_site = v.site("strassen.c", 190, "MatrRecv");
+        }),
+        Prog::scope(
+            |s: &mut MasterState, _| (s.master_site, [s.cfg.n as i64, s.cfg.nprocs as i64]),
+            Prog::seq(vec![
+                // Simulated cost of forming the operand combinations.
+                Prog::op(|s: &mut MasterState, _| {
+                    let a = Matrix::random(s.cfg.n, s.cfg.n, s.cfg.seed);
+                    let b = Matrix::random(s.cfg.n, s.cfg.n, s.cfg.seed + 1);
+                    s.ops = operands(&a, &b);
+                    TaskOp::Compute {
+                        cost_ns: (s.cfg.n * s.cfg.n) as u64,
+                        site: s.master_site,
+                    }
+                }),
+                // MatrSend: distribute pairs of submatrices (Figure 3's
+                // fan of separate sends).
+                Prog::act(|s: &mut MasterState, v| {
+                    s.send_fn_site = v.site("strassen.c", 150, "MatrSend");
+                }),
+                Prog::scope(
+                    |s: &mut MasterState, _| (s.send_fn_site, [(s.cfg.nprocs - 1) as i64, 0]),
+                    Prog::for_range(
+                        |_: &MasterState, _| (0, 7),
+                        |s: &mut MasterState, ix| s.ix = ix,
+                        Prog::seq(vec![
+                            Prog::op(|s: &mut MasterState, _| {
+                                let i = s.ix as usize + 1; // product number, 1-based
+                                let jres = worker_of(i, s.cfg.nprocs - 1);
+                                TaskOp::Send {
+                                    dst: Rank(jres as u32),
+                                    tag: TAG_A,
+                                    payload: Payload::from_f64s(&s.ops[s.ix as usize].0.to_vec()),
+                                    site: s.send_a_site,
+                                    mode: SendMode::Buffered,
+                                }
+                            }),
+                            Prog::op(|s: &mut MasterState, _| {
+                                let i = s.ix as usize + 1;
+                                // The loop variable of the paper.
+                                let jres = worker_of(i, s.cfg.nprocs - 1);
+                                s.b_dest = match s.cfg.variant {
+                                    Variant::Correct => jres as i64,
+                                    // The bug: `jres` where `jres+1` was
+                                    // meant. With the paper's 0-based loop
+                                    // the wrong expression addresses the
+                                    // previous rank.
+                                    Variant::JresBug => jres as i64 - 1,
+                                };
+                                TaskOp::Probe {
+                                    label: "jres".into(),
+                                    value: s.b_dest,
+                                    site: s.send_b_site,
+                                }
+                            }),
+                            Prog::op(|s: &mut MasterState, _| TaskOp::Send {
+                                dst: Rank(s.b_dest as u32),
+                                tag: TAG_B,
+                                payload: Payload::from_f64s(&s.ops[s.ix as usize].1.to_vec()),
+                                site: s.send_b_site,
+                                mode: SendMode::Buffered,
+                            }),
+                        ]),
+                    ),
+                ),
+                // MatrRecv: collect the seven partial results and combine.
+                Prog::act(|s: &mut MasterState, v| {
+                    s.recv_fn_site = v.site("strassen.c", 185, "MatrRecv");
+                }),
+                Prog::scope(
+                    |s: &mut MasterState, _| (s.recv_fn_site, [7, 0]),
+                    Prog::for_range(
+                        |_: &MasterState, _| (1, 8),
+                        |s: &mut MasterState, i| s.ix = i,
+                        Prog::op_bind(
+                            |s: &mut MasterState, _| TaskOp::Recv {
+                                src: Some(Rank(worker_of(s.ix as usize, s.cfg.nprocs - 1) as u32)),
+                                tag: Some(Tag(TAG_RESULT_BASE + s.ix as i32)),
+                                site: s.recv_site,
+                            },
+                            |s, m, _| {
+                                let h = s.cfg.n / 2;
+                                s.results.push(matrix_of(m, h));
+                            },
+                        ),
+                    ),
+                ),
+                Prog::op(|s: &mut MasterState, _| TaskOp::Compute {
+                    cost_ns: (s.cfg.n * s.cfg.n) as u64,
+                    site: s.master_site,
+                }),
+                // Verification probe: max |C - A·B| in nano-units.
+                Prog::op(|s: &mut MasterState, _| {
+                    let c = combine(&s.results);
+                    let err = c.max_diff(&expected(&s.cfg));
+                    TaskOp::Probe {
+                        label: "maxerr_e9".into(),
+                        value: (err * 1e9) as i64,
+                        site: s.master_site,
+                    }
+                }),
+            ]),
+        ),
+    ])
 }
 
-/// A worker process (ranks 1..nprocs).
-fn worker(ctx: &mut ProcessCtx, cfg: &StrassenConfig, rank: usize) {
-    let nworkers = cfg.nprocs - 1;
-    let h = cfg.n / 2;
-    let worker_site = ctx.site("strassen.c", 220, "StrassenWorker");
-    let mult_site = ctx.site("strassen.c", 240, "MatrMult");
-    let cfg2 = cfg.clone();
-    ctx.scope(worker_site, [rank as i64, 0], move |ctx| {
-        let my_products: Vec<usize> = (1..=7)
-            .filter(|&i| worker_of(i, nworkers) == rank)
-            .collect();
-        for i in my_products {
-            let x = recv_matrix(ctx, Rank(0), TAG_A, h, h, worker_site);
-            let y = recv_matrix(ctx, Rank(0), TAG_B, h, h, worker_site);
-            let m = ctx.scope(mult_site, [i as i64, h as i64], |ctx| {
-                let m = x.mul_strassen(&y, cfg2.cutoff);
-                // Simulated cost of the block multiply (~2·h³ flops).
-                ctx.compute(2 * (h * h * h) as u64, mult_site);
-                m
-            });
-            send_matrix(
-                ctx,
-                Rank(0),
-                Tag(TAG_RESULT_BASE + i as i32),
-                &m,
-                worker_site,
-            );
-        }
-    });
+/// Worker task state (ranks 1..nprocs).
+#[derive(Clone)]
+struct WorkerState {
+    cfg: StrassenConfig,
+    rank: usize,
+    worker_site: SiteId,
+    mult_site: SiteId,
+    my_products: Vec<usize>,
+    k: i64,
+    x: Matrix,
+    y: Matrix,
+    m: Matrix,
+}
+
+impl WorkerState {
+    fn product(&self) -> usize {
+        self.my_products[self.k as usize]
+    }
+}
+
+/// A worker process.
+fn worker_prog() -> Prog<WorkerState> {
+    Prog::seq(vec![
+        Prog::act(|s: &mut WorkerState, v| {
+            s.worker_site = v.site("strassen.c", 220, "StrassenWorker");
+            s.mult_site = v.site("strassen.c", 240, "MatrMult");
+        }),
+        Prog::scope(
+            |s: &mut WorkerState, _| (s.worker_site, [s.rank as i64, 0]),
+            Prog::seq(vec![
+                Prog::act(|s: &mut WorkerState, _| {
+                    s.my_products = (1..=7)
+                        .filter(|&i| worker_of(i, s.cfg.nprocs - 1) == s.rank)
+                        .collect();
+                }),
+                Prog::for_range(
+                    |s: &WorkerState, _| (0, s.my_products.len() as i64),
+                    |s: &mut WorkerState, k| s.k = k,
+                    Prog::seq(vec![
+                        Prog::op_bind(
+                            |s: &mut WorkerState, _| TaskOp::Recv {
+                                src: Some(Rank(0)),
+                                tag: Some(TAG_A),
+                                site: s.worker_site,
+                            },
+                            |s, m, _| s.x = matrix_of(m, s.cfg.n / 2),
+                        ),
+                        Prog::op_bind(
+                            |s: &mut WorkerState, _| TaskOp::Recv {
+                                src: Some(Rank(0)),
+                                tag: Some(TAG_B),
+                                site: s.worker_site,
+                            },
+                            |s, m, _| s.y = matrix_of(m, s.cfg.n / 2),
+                        ),
+                        Prog::scope(
+                            |s: &mut WorkerState, _| {
+                                (s.mult_site, [s.product() as i64, (s.cfg.n / 2) as i64])
+                            },
+                            // Simulated cost of the block multiply
+                            // (~2·h³ flops).
+                            Prog::op(|s: &mut WorkerState, _| {
+                                s.m = s.x.mul_strassen(&s.y, s.cfg.cutoff);
+                                let h = s.cfg.n / 2;
+                                TaskOp::Compute {
+                                    cost_ns: 2 * (h * h * h) as u64,
+                                    site: s.mult_site,
+                                }
+                            }),
+                        ),
+                        Prog::op(|s: &mut WorkerState, _| TaskOp::Send {
+                            dst: Rank(0),
+                            tag: Tag(TAG_RESULT_BASE + s.product() as i32),
+                            payload: Payload::from_f64s(&s.m.to_vec()),
+                            site: s.worker_site,
+                            mode: SendMode::Buffered,
+                        }),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
 }
 
 /// Build the program vector for an engine launch.
-pub fn programs(cfg: &StrassenConfig) -> Vec<ProgramFn> {
+pub fn programs(cfg: &StrassenConfig) -> Vec<RankProgram> {
     assert!(cfg.nprocs >= 2, "need a master and at least one worker");
     assert!(cfg.n % 2 == 0, "matrix dimension must be even");
-    let mut progs: Vec<ProgramFn> = Vec::with_capacity(cfg.nprocs);
-    let c0 = cfg.clone();
-    progs.push(Box::new(move |ctx| master(ctx, &c0)));
+    let mut progs: Vec<RankProgram> = Vec::with_capacity(cfg.nprocs);
+    progs.push(RankProgram::task(
+        MasterState {
+            cfg: cfg.clone(),
+            master_site: SiteId(0),
+            send_a_site: SiteId(0),
+            send_b_site: SiteId(0),
+            recv_site: SiteId(0),
+            send_fn_site: SiteId(0),
+            recv_fn_site: SiteId(0),
+            ops: Vec::new(),
+            results: Vec::new(),
+            ix: 0,
+            b_dest: 0,
+        },
+        master_prog(),
+    ));
+    let worker = worker_prog();
     for r in 1..cfg.nprocs {
-        let c = cfg.clone();
-        progs.push(Box::new(move |ctx| worker(ctx, &c, r)));
+        progs.push(RankProgram::task(
+            WorkerState {
+                cfg: cfg.clone(),
+                rank: r,
+                worker_site: SiteId(0),
+                mult_site: SiteId(0),
+                my_products: Vec::new(),
+                k: 0,
+                x: Matrix::zeros(0, 0),
+                y: Matrix::zeros(0, 0),
+                m: Matrix::zeros(0, 0),
+            },
+            worker.clone(),
+        ));
     }
     progs
 }
 
 /// A reusable factory (for debugger sessions, which re-execute).
-pub fn factory(cfg: StrassenConfig) -> impl Fn() -> Vec<ProgramFn> + Send + Sync {
+pub fn factory(cfg: StrassenConfig) -> impl Fn() -> Vec<RankProgram> + Send + Sync {
     move || programs(&cfg)
 }
 

@@ -6,11 +6,11 @@
 //! no panics, no lost messages.
 
 use tracedbg_instrument::RecorderConfig;
-use tracedbg_mpsim::{Engine, EngineConfig, ProgramFn};
+use tracedbg_mpsim::{Engine, EngineConfig, RankProgram};
 use tracedbg_trace::trace_digest;
 use tracedbg_workloads::{heat, lu, master_worker, ring};
 
-type Factory = Box<dyn Fn() -> Vec<ProgramFn> + Send + Sync>;
+type Factory = Box<dyn Fn() -> Vec<RankProgram> + Send + Sync>;
 
 /// The 8-engine mix: deterministic workloads under round-robin, so each
 /// has exactly one legal trace.
@@ -75,7 +75,7 @@ fn mix() -> Vec<(&'static str, Factory)> {
     ]
 }
 
-fn run_once(programs: Vec<ProgramFn>) -> u64 {
+fn run_once(programs: Vec<RankProgram>) -> u64 {
     let mut e = Engine::launch(
         EngineConfig::with_recorder(RecorderConfig::full()),
         programs,

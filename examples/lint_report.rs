@@ -37,7 +37,7 @@ fn main() {
             let site = ctx.site("buggy.rs", 11, "main");
             let _ = ctx.recv_from(Rank(0), Tag(7), site);
         });
-        vec![p0, p1]
+        vec![p0.into(), p1.into()]
     }));
     let diags = lint_trace(&buggy, &cfg);
     println!("\nbuggy trace:");

@@ -31,7 +31,7 @@ fn main() {
                 ctx.send(Rank(0), Tag(2), Payload::from_i64(x * x), site);
             })
         };
-        vec![p0, worker(1), worker(2)]
+        vec![p0.into(), worker(1).into(), worker(2).into()]
     });
 
     // 2. Debug it in a session.

@@ -64,7 +64,7 @@ fn main() {
                 let _ = me;
             })
         };
-        vec![mk(0, 1), mk(1, 2), mk(2, 0)]
+        vec![mk(0, 1).into(), mk(1, 2).into(), mk(2, 0).into()]
     });
     let mut session = Session::launch(SessionConfig::default(), factory);
     let status = session.run();

@@ -197,10 +197,60 @@ for class in racy-wildcard-panic racy-deadlock-deadlock; do
     || { echo "checkpointed replay of $art was not byte-identical" >&2; exit 1; }
 done
 
+echo "==> wide-rank smoke: 1024 ranks run, undo via checkpoints, artifact restore"
+rm -rf target/verify_wide && mkdir -p target/verify_wide
+# Two recordings of a 1024-rank ring must be byte-identical — determinism
+# does not degrade with width on the task engine.
+./target/release/tracedbg run ring --procs 1024 --trace target/verify_wide/a.trc >/dev/null
+./target/release/tracedbg run ring --procs 1024 --trace target/verify_wide/b.trc >/dev/null
+cmp -s target/verify_wide/a.trc target/verify_wide/b.trc \
+  || { echo "1024-rank ring trace is not deterministic" >&2; exit 1; }
+# The wide generators run end to end from the CLI.
+./target/release/tracedbg run stencil --procs 1024 >/dev/null
+./target/release/tracedbg run butterfly --procs 1024 >/dev/null
+# Checkpointed undo at width matches from-scratch replay, transcript for
+# transcript — the 4-rank checkpoint audit above, at 1024 ranks.
+wide_undo() {
+  ./target/release/tracedbg debug ring --procs 1024 --checkpoint-every "$1" \
+    -e run -e "stopline t 100000000" -e replay -e undo -e markers
+}
+wide_fast=$(wide_undo 1)
+wide_slow=$(wide_undo 0)
+if [ -z "$wide_fast" ] || [ "$wide_fast" != "$wide_slow" ]; then
+  echo "1024-rank checkpointed undo diverged from from-scratch replay" >&2
+  exit 1
+fi
+# Snapshot/restore byte-identity on a 1024-rank failure artifact: inject
+# faults until the ring fails, then replay the artifact --from-checkpoint.
+if ./target/release/tracedbg explore ring --procs 1024 --runs 12 --seed 3 \
+    --faults --strategy random --out target/verify_wide >/dev/null; then
+  echo "explore --faults found nothing on the 1024-rank ring" >&2; exit 1
+fi
+wide_art=$(ls target/verify_wide/ring-*.sched.json | head -n 1)
+./target/release/tracedbg replay --schedule "$wide_art" --from-checkpoint >/dev/null \
+  || { echo "1024-rank checkpointed replay was not byte-identical" >&2; exit 1; }
+
+echo "==> perf gate: engine + checkpoint suites vs committed baselines"
+# Flag any median >25% over the committed BENCH_*.json trajectory. On a
+# loaded or single-core box the microsecond-scale rows can swing past the
+# threshold from scheduler noise alone, so regressions warn by default;
+# set VERIFY_BENCH_STRICT=1 (quiet dedicated hardware) to make them fatal.
+rm -rf target/verify_bench_gate
+for suite in engine checkpoint; do
+  ./target/release/tracedbg bench --filter "$suite" --out target/verify_bench_gate >/dev/null
+  if ! ./scripts/bench_diff.sh "BENCH_${suite}.json" \
+      "target/verify_bench_gate/BENCH_${suite}.json"; then
+    if [ "${VERIFY_BENCH_STRICT:-0}" = "1" ]; then
+      echo "BENCH_${suite} regressed beyond the 25% gate" >&2; exit 1
+    fi
+    echo "WARNING: BENCH_${suite} exceeded the 25% gate (advisory on shared hardware)" >&2
+  fi
+done
+
 echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
 rm -rf target/verify_bench
 ./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
-for suite in parse replay checkpoint explore explore_dpor store localize; do
+for suite in parse causality replay engine checkpoint explore explore_dpor store localize; do
   f=target/verify_bench/BENCH_${suite}.json
   [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
   # Every row carries the six-field schema the serializer unit test pins.

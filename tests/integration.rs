@@ -348,7 +348,7 @@ fn crash_postmortem_replay() {
             let s = ctx.site("crash.rs", 20, "bystander");
             ctx.compute(500, s);
         });
-        vec![p0, p1]
+        vec![p0.into(), p1.into()]
     });
     let mut session = Session::launch(
         SessionConfig {

@@ -218,7 +218,7 @@ proptest! {
 #[test]
 fn seed_workloads_lint_clean() {
     use tracedbg::workloads::{ring, strassen};
-    let run = |programs: Vec<ProgramFn>| -> TraceStore {
+    let run = |programs: Vec<tracedbg::mpsim::RankProgram>| -> TraceStore {
         let mut e = Engine::launch(
             EngineConfig {
                 recorder: RecorderConfig::full(),
@@ -291,5 +291,79 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wide-rank snapshot/restore identity under faults (the task-engine
+// checkpoint plane at scale).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Snapshot a 128-rank butterfly mid-run — under an injected crash,
+    /// hang, or message delay — restore it, and run both the original
+    /// and the restored engine to the end: outcome, state digest, and
+    /// faulted-rank set must be identical. Task frames are cloned on
+    /// restore (no respawn, no reply fast-forward), so any divergence
+    /// here is a checkpoint-plane bug, not scheduling noise.
+    #[test]
+    fn wide_snapshot_restore_is_identical_under_faults(
+        fault_sel in 0usize..3,
+        fault_rank in 0u32..128,
+        after_ops in 0u64..8,
+        extra_ns in 1u64..500_000,
+        snap_at in 20usize..280,
+    ) {
+        use tracedbg::mpsim::FaultPlan;
+        use tracedbg::trace::schedule::Fault;
+        use tracedbg::workloads::wide::{butterfly_programs, ButterflyConfig};
+
+        let cfg = ButterflyConfig { nprocs: 128 };
+        let fault = match fault_sel {
+            0 => Fault::Crash { rank: Rank(fault_rank), after_ops },
+            1 => Fault::Hang { rank: Rank(fault_rank), after_ops },
+            _ => Fault::Delay {
+                src: Rank(fault_rank),
+                // Stage-0 partner: the one channel guaranteed to carry
+                // a message.
+                dst: Rank(fault_rank ^ 1),
+                nth: 0,
+                extra_ns,
+            },
+        };
+        let ecfg = EngineConfig {
+            recorder: RecorderConfig::markers_only(),
+            checkpoints: true,
+            faults: FaultPlan::new(vec![fault]),
+            ..Default::default()
+        };
+        // Ground truth: the straight faulted run (crash/hang starves the
+        // butterfly into deadlock; delay-only runs still complete).
+        let mut straight = Engine::launch(ecfg.clone(), butterfly_programs(&cfg));
+        let straight_out = straight.run();
+
+        // Same run, snapshotted mid-flight at a decision index.
+        let mut snapped = Engine::launch(ecfg, butterfly_programs(&cfg));
+        snapped.set_snapshot_at(snap_at);
+        let _ = snapped.run();
+        let Some(cp) = snapped.take_pending_snapshot() else {
+            // The run ended before the snapshot point armed — nothing to
+            // restore in this case.
+            continue;
+        };
+        let mut restored = Engine::restore(&cp, butterfly_programs(&cfg));
+        let restored_out = restored.run();
+        prop_assert_eq!(
+            format!("{straight_out:?}"),
+            format!("{restored_out:?}"),
+            "restored run outcome diverged"
+        );
+        prop_assert_eq!(restored.digest(), straight.digest(), "state digest diverged");
+        prop_assert_eq!(restored.faulted(), straight.faulted(), "faulted set diverged");
     }
 }

@@ -1,0 +1,117 @@
+//! Checkpoint-restore latency: the task engine's restore path clones
+//! frozen task frames and must never pay the legacy respawn cost
+//! (spawn an OS thread per rank, fast-forward it through the reply
+//! log). This pins the perf contract as a test, not just a bench: at
+//! 64 ranks a task restore is required to beat a thread respawn
+//! restore by at least 5x on medians.
+
+use std::time::Instant;
+use tracedbg::mpsim::{Engine, EngineCheckpoint, EngineConfig, RecorderConfig};
+use tracedbg::workloads::ring::{self, RingConfig};
+
+const CFG: RingConfig = RingConfig {
+    nprocs: 64,
+    rounds: 8,
+    hop_cost: 0,
+    tag_stride: 0,
+};
+
+/// Run the ring to completion once for the marker targets, then stop a
+/// second engine halfway and snapshot it.
+fn halfway_checkpoint<P, F>(mut programs: F) -> EngineCheckpoint
+where
+    P: Into<tracedbg::mpsim::RankProgram>,
+    F: FnMut() -> Vec<P>,
+{
+    let launch = |ps: Vec<P>| {
+        Engine::launch(
+            EngineConfig {
+                recorder: RecorderConfig::markers_only(),
+                checkpoints: true,
+                ..Default::default()
+            },
+            ps,
+        )
+    };
+    let mut straight = launch(programs());
+    assert!(straight.run().is_completed());
+    let target = straight.markers();
+    let mut stopped = launch(programs());
+    for m in target.iter() {
+        stopped.set_threshold(m.rank, Some((m.count / 2).max(1)));
+    }
+    assert!(stopped.run().is_stopped());
+    stopped.snapshot()
+}
+
+/// Median wall time of `runs` invocations of `f`, nanoseconds.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut ns: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+#[test]
+fn task_restore_is_5x_faster_than_thread_respawn() {
+    let task_cp = halfway_checkpoint(|| ring::programs(&CFG));
+    let thread_cp = halfway_checkpoint(|| ring::thread_programs(&CFG));
+    // Warmup + 9 timed restores each; medians are robust to a stray
+    // slow iteration on a loaded CI box.
+    let runs = 9;
+    let task_ns = median_ns(runs, || {
+        let e = Engine::restore(&task_cp, ring::programs(&CFG));
+        assert_eq!(e.markers(), task_cp.markers());
+    });
+    let thread_ns = median_ns(runs, || {
+        let e = Engine::restore(&thread_cp, ring::thread_programs(&CFG));
+        assert_eq!(e.markers(), thread_cp.markers());
+    });
+    assert!(
+        task_ns * 5 <= thread_ns,
+        "task restore must be >=5x faster than thread respawn: \
+         task={task_ns}ns thread={thread_ns}ns (ratio {:.1}x)",
+        thread_ns as f64 / task_ns as f64
+    );
+}
+
+#[test]
+fn task_restore_continues_to_the_same_digest() {
+    // The latency win is only a win if the restored engine is the same
+    // machine: continue both the stopped original and the restored copy
+    // to completion and require identical digests.
+    let launch = || {
+        Engine::launch(
+            EngineConfig {
+                recorder: RecorderConfig::markers_only(),
+                checkpoints: true,
+                ..Default::default()
+            },
+            ring::programs(&CFG),
+        )
+    };
+    let mut straight = launch();
+    assert!(straight.run().is_completed());
+    let target = straight.markers();
+    let mut stopped = launch();
+    for m in target.iter() {
+        stopped.set_threshold(m.rank, Some((m.count / 2).max(1)));
+    }
+    assert!(stopped.run().is_stopped());
+    let cp = stopped.snapshot();
+    stopped.clear_thresholds();
+    stopped.resume_trapped();
+    assert!(stopped.run().is_completed());
+
+    let mut restored = Engine::restore(&cp, ring::programs(&CFG));
+    restored.clear_thresholds();
+    restored.resume_trapped();
+    assert!(restored.run().is_completed());
+    assert_eq!(restored.digest(), stopped.digest());
+    assert_eq!(restored.markers(), stopped.markers());
+}
