@@ -20,7 +20,10 @@
 //!   `read_binary`+scan baseline it must beat;
 //! * `localize` — differential fault localization: the full
 //!   replay-harvest-rank pipeline at `jobs = 1` vs `jobs = N`, plus the
-//!   event-graph differ in isolation.
+//!   event-graph differ in isolation;
+//! * `profile` — critical-path profiling: wait-state classification,
+//!   critical-path extraction, the sealed end-to-end `ProfileReport`
+//!   build, and the Perfetto trace-event export.
 //!
 //! Every suite runs a fixed iteration plan (see [`crate::measure`]), so
 //! numbers are comparable between invocations and across commits.
@@ -31,6 +34,7 @@ use tracedbg_explore::{ExploreConfig, Explorer, Strategy};
 use tracedbg_instrument::RecorderConfig;
 use tracedbg_localize::{diff_channels, diff_ranks, localize, LocalizeConfig, VERDICT_LOCALIZED};
 use tracedbg_mpsim::{Engine, EngineConfig, SchedPolicy};
+use tracedbg_profile::{perfetto_json, CriticalPath, ProfileInput, ProfileReport, WaitAnalysis};
 use tracedbg_store::{ingest_records, DiskStore, StoreOptions};
 use tracedbg_trace::file::{read_binary, read_text, write_binary, write_text, TraceFile};
 use tracedbg_trace::schedule::{Decision, ScheduleArtifact};
@@ -808,6 +812,56 @@ fn suite_localize(opts: &SuiteOptions) -> Suite {
     }
 }
 
+/// Critical-path profiling hot paths over a recorded ring trace — the
+/// pure analyses (`tracedbg profile` minus the run that produced the
+/// trace), each measured in isolation and then end to end.
+fn suite_profile(opts: &SuiteOptions) -> Suite {
+    let mut records = Vec::new();
+    let store = ring_store(100);
+    let matching = MessageMatching::build(&store);
+    let p = plan(opts, 4, 7, 12);
+    if wants(opts, "profile", "wait_classify") {
+        records.push(measure("wait_classify", 1, p, || {
+            let w = WaitAnalysis::build(&store, &matching);
+            assert!(!w.waits.is_empty(), "a ring trace has late-sender waits");
+        }));
+    }
+    if wants(opts, "profile", "critical_path") {
+        records.push(measure("critical_path", 1, p, || {
+            let cp = CriticalPath::build(&store, &matching);
+            assert!(cp.len > 0, "a nonempty trace has a nonempty path");
+        }));
+    }
+    if wants(opts, "profile", "report_build") {
+        records.push(measure("report_build", 1, p, || {
+            let report = ProfileReport::build(
+                &store,
+                ProfileInput {
+                    source: "bench",
+                    workload: "ring",
+                    procs: store.n_ranks(),
+                    seed: 0,
+                    flight_dropped: 0,
+                },
+            );
+            assert!(report.digest_ok());
+            assert!(report.critical_path_len <= report.makespan);
+        }));
+    }
+    if wants(opts, "profile", "perfetto_export") {
+        let waits = WaitAnalysis::build(&store, &matching);
+        let path = CriticalPath::build(&store, &matching);
+        records.push(measure("perfetto_export", 1, p, || {
+            let json = perfetto_json(&store, &matching, &waits, &path);
+            assert!(json.ends_with('}'), "export is a complete JSON object");
+        }));
+    }
+    Suite {
+        name: "profile",
+        records,
+    }
+}
+
 /// Run every (non-filtered) suite in deterministic order.
 pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
     let all = [
@@ -820,6 +874,7 @@ pub fn run_suites(opts: &SuiteOptions) -> Vec<Suite> {
         suite_explore_dpor,
         suite_store,
         suite_localize,
+        suite_profile,
     ];
     all.iter()
         .map(|f| f(opts))

@@ -16,10 +16,14 @@
 //!                  [--strategy random|systematic|both] [--dpor] [--jobs N] [--out DIR]
 //!                  [--json] [--metrics [FILE]] [--progress]
 //! tracedbg replay --schedule <file.sched.json> [--from-checkpoint] [--to-suspect REPORT]
-//!                 [--trace out.trc] [--json]
+//!                 [--to-critical-path REPORT] [--trace out.trc] [--json]
 //! tracedbg localize (--schedule <file.sched.json> | <workload>) [--runs N] [--seed N]
 //!                   [--jobs N] [--procs N] [--trace <trc|store-dir>] [--out FILE] [--json]
-//! tracedbg stats <workload> [--seed N] [--procs N] [--metrics [FILE]]
+//! tracedbg profile (<workload> | <trace.trc|trace.tbin|store-dir> | --schedule FILE)
+//!                  [--seed N] [--procs N] [--jobs N] [--out FILE] [--json]
+//!                  [--perfetto FILE]
+//! tracedbg stats <workload | trace.trc | store-dir> [--seed N] [--procs N]
+//!                [--metrics [FILE]]
 //! tracedbg bench [--quick] [--filter NAME] [--jobs N] [--out DIR]
 //! tracedbg workloads
 //! ```
@@ -38,10 +42,12 @@
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use tracedbg::prelude::*;
+use tracedbg::profile::{perfetto_json, CriticalPath, ProfileInput, ProfileReport, WaitAnalysis};
 use tracedbg::trace::file::{read_binary, write_binary};
 use tracedbg::trace::file::{read_text, write_text, TraceFile};
 use tracedbg::tracegraph::{ActionGraph, Profile};
 use tracedbg::viz::{dot, vcg};
+use tracedbg::viz::{render_wait_blame, ProfileSummary, WaitKindRow, WaitRankRow};
 use tracedbg::viz::{ChannelRow, SuspectRow, SuspectSummary};
 use tracedbg::workloads::{
     heat, lu, master_worker, planted, racy, random_comm, ring, script, scripts, strassen, wide,
@@ -749,15 +755,189 @@ fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
     })
 }
 
+/// Convert a [`ProfileReport`] into the viz crate's renderer rows.
+fn profile_view(r: &ProfileReport) -> (ProfileSummary, Vec<WaitRankRow>, Vec<WaitKindRow>) {
+    let summary = ProfileSummary {
+        workload: r.workload.clone(),
+        procs: r.procs,
+        events: r.events,
+        makespan: r.makespan,
+        critical_path_len: r.critical_path_len,
+        busy_total: r.busy_total,
+        wait_total: r.wait_total,
+        flight_dropped: r.flight_dropped,
+    };
+    let ranks = r
+        .ranks
+        .iter()
+        .map(|p| WaitRankRow {
+            rank: p.rank,
+            busy: p.busy,
+            wait: p.wait,
+            blamed: p.blamed,
+            path: p.path,
+        })
+        .collect();
+    let kinds = r
+        .wait_kinds
+        .iter()
+        .map(|k| WaitKindRow {
+            kind: k.kind.clone(),
+            count: k.count,
+            cost: k.cost,
+        })
+        .collect();
+    (summary, ranks, kinds)
+}
+
+/// `tracedbg profile` — critical-path profiling and wait-state analysis
+/// over any trace plane: a workload (run once under the full recorder
+/// with telemetry on), a recorded `.trc`/`.tbin` file or ingested store
+/// directory, or a failing explorer artifact (`--schedule`, replaying its
+/// recorded decisions and faults). Prints the wait/blame table, writes
+/// the sealed [`ProfileReport`] with `--out`, and with `--perfetto FILE`
+/// exports a Chrome/Perfetto trace-event timeline (load it in
+/// `ui.perfetto.dev` or `chrome://tracing`: one track per rank, wait
+/// slices with their causing rank, message-flow arrows, and a dedicated
+/// critical-path track). The report is a pure function of the trace, so
+/// it is byte-identical for every `--jobs N` and every input plane that
+/// delivers the same records.
+fn cmd_profile(opts: &Opts) -> Result<(), String> {
+    const USAGE: &str = "usage: tracedbg profile (<workload> | <trace.trc|trace.tbin|store-dir> \
+         | --schedule <file.sched.json>) [--seed N] [--procs N] [--jobs N] [--out FILE] \
+         [--json] [--perfetto FILE]";
+    // Accepted for CLI symmetry with explore/localize; the report never
+    // depends on it.
+    let _jobs = opts.num("jobs", 1usize);
+    let source: String;
+    let workload: String;
+    let procs: usize;
+    let seed: u64;
+    let flight_dropped: u64;
+    let store: TraceStore;
+    if let Some(path) = opts.flag("schedule") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let artifact = ScheduleArtifact::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        let (factory, _n) = workload_factory(&artifact.workload, artifact.seed, artifact.procs)?;
+        // The artifact usually records a failure; its panics are expected.
+        tracedbg::mpsim::set_quiet_panics(true);
+        let mut session = Session::launch(
+            SessionConfig {
+                policy: SchedPolicy::Scripted(artifact.decisions.clone()),
+                faults: tracedbg::mpsim::FaultPlan::new(artifact.faults.clone()),
+                ..SessionConfig::default()
+            },
+            factory,
+        );
+        session.run();
+        tracedbg::mpsim::set_quiet_panics(false);
+        flight_dropped = session.engine().flight_dropped();
+        store = session.trace();
+        source = "schedule".into();
+        workload = artifact.workload.clone();
+        procs = artifact.procs;
+        seed = artifact.seed;
+    } else {
+        let name = opts.positional.first().ok_or(USAGE)?;
+        if std::path::Path::new(name).exists() {
+            source = if std::path::Path::new(name).is_dir() {
+                "store"
+            } else {
+                "trace"
+            }
+            .into();
+            store = load_store(name)?;
+            workload = name.clone();
+            procs = store.n_ranks();
+            seed = 0;
+            flight_dropped = 0;
+        } else {
+            seed = opts.num("seed", 42u64);
+            let procs_req = opts.num("procs", 8usize);
+            let (factory, _n) = workload_factory(name, seed, procs_req)?;
+            let mut engine = Engine::launch(
+                EngineConfig {
+                    recorder: RecorderConfig::full(),
+                    metrics: true,
+                    ..Default::default()
+                },
+                factory(),
+            );
+            engine.run();
+            flight_dropped = engine.flight_dropped();
+            store = engine.trace_store();
+            source = "workload".into();
+            workload = name.clone();
+            procs = store.n_ranks();
+        }
+    }
+    let report = ProfileReport::build(
+        &store,
+        ProfileInput {
+            source: &source,
+            workload: &workload,
+            procs,
+            seed,
+            flight_dropped,
+        },
+    );
+    if opts.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        let (summary, ranks, kinds) = profile_view(&report);
+        print!("{}", render_wait_blame(&summary, &ranks, &kinds));
+        if !report.path_sites.is_empty() {
+            println!("critical path by site:");
+            for s in report.path_sites.iter().take(4) {
+                println!(
+                    "  {:>4}.{}% {}",
+                    s.share_millis / 10,
+                    s.share_millis % 10,
+                    s.site
+                );
+            }
+        }
+    }
+    if let Some(out) = opts.flag("out") {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        if !opts.has("json") {
+            println!("report written to {out}");
+        }
+    }
+    if let Some(out) = opts.flag("perfetto") {
+        let matching = MessageMatching::build(&store);
+        let waits = WaitAnalysis::build(&store, &matching);
+        let path = CriticalPath::build(&store, &matching);
+        std::fs::write(out, perfetto_json(&store, &matching, &waits, &path))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        if !opts.has("json") {
+            println!("perfetto trace written to {out}");
+        }
+    }
+    Ok(())
+}
+
 /// `tracedbg stats` — run a workload once with engine telemetry on and
 /// show the AIMS-statistics-style per-rank profile (message volume, wait
 /// turns); `--metrics` additionally writes the machine-readable
 /// [`MetricsReport`] JSON.
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
-    let name = opts
-        .positional
-        .first()
-        .ok_or("usage: tracedbg stats <workload> [--seed N] [--procs N] [--metrics [FILE]]")?;
+    let name = opts.positional.first().ok_or(
+        "usage: tracedbg stats <workload | trace.trc | store-dir> \
+         [--seed N] [--procs N] [--metrics [FILE]]",
+    )?;
+    // Recorded-trace mode: stream the statistics off any trace plane
+    // through `TraceSource` — a store directory is never materialized.
+    if std::path::Path::new(name).exists() {
+        let stats = if std::path::Path::new(name).is_dir() {
+            let disk = DiskStore::open(std::path::Path::new(name)).map_err(|e| e.to_string())?;
+            TraceStats::from_source(&disk).map_err(|e| e.to_string())?
+        } else {
+            TraceStats::from_source(&load_store(name)?).map_err(|e| e.to_string())?
+        };
+        print!("{stats}");
+        return Ok(());
+    }
     let seed = opts.num("seed", 42u64);
     let procs = opts.num("procs", 8usize);
     let (factory, _n) = workload_factory(name, seed, procs)?;
@@ -817,6 +997,9 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     let (factory, _n) = workload_factory(&artifact.workload, artifact.seed, artifact.procs)?;
     if let Some(report_path) = opts.flag("to-suspect") {
         return replay_to_suspect(&artifact, factory, report_path, opts);
+    }
+    if let Some(report_path) = opts.flag("to-critical-path") {
+        return replay_to_critical_path(&artifact, factory, report_path, opts);
     }
     if opts.has("from-checkpoint") {
         // Checkpointed re-execution: snapshot mid-schedule, restore, and
@@ -1001,6 +1184,94 @@ fn replay_to_suspect(
     })
 }
 
+/// `tracedbg replay --to-critical-path` — re-execute a failing schedule
+/// and stop every process at the causal frontier of the critical path's
+/// terminal event, as recorded by `tracedbg profile`. Every rank halts at
+/// the last execution marker in the terminal's causal past, so the
+/// stopped state shows exactly what the makespan-bounding chain was
+/// waiting on.
+fn replay_to_critical_path(
+    artifact: &ScheduleArtifact,
+    factory: ProgramFactory,
+    report_path: &str,
+    opts: &Opts,
+) -> Result<ExitCode, String> {
+    let rjson = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read {report_path}: {e}"))?;
+    let report = ProfileReport::from_json(&rjson)?;
+    if report.frontier_markers.is_empty() {
+        return Err(format!(
+            "{report_path}: profile of an empty trace has no critical-path frontier"
+        ));
+    }
+    let stopline = Stopline {
+        markers: MarkerVector::from_counts(report.frontier_markers.clone()),
+        origin: format!(
+            "critical-path terminal ({}ns path)",
+            report.critical_path_len
+        ),
+    };
+    tracedbg::mpsim::set_quiet_panics(true);
+    let mut session = Session::launch(
+        SessionConfig {
+            policy: SchedPolicy::Scripted(artifact.decisions.clone()),
+            faults: tracedbg::mpsim::FaultPlan::new(artifact.faults.clone()),
+            ..SessionConfig::default()
+        },
+        factory,
+    );
+    session.run();
+    let status = format!("{:?}", session.replay_to(&stopline));
+    tracedbg::mpsim::set_quiet_panics(false);
+    let markers = session.markers();
+    let reached = markers.counts() == report.frontier_markers.as_slice();
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    if opts.has("json") {
+        println!(
+            "{{\"origin\":{},\"target\":[{}],\"markers\":[{}],\"reached\":{},\"status\":{}}}",
+            json_string(&stopline.origin),
+            join(&report.frontier_markers),
+            join(markers.counts()),
+            reached,
+            json_string(&status),
+        );
+    } else {
+        println!("replaying {artifact}");
+        println!(
+            "stopline: {} -> markers {:?}",
+            stopline.origin, report.frontier_markers
+        );
+        println!("status: {status}");
+        if let Some(step) = report.path.last() {
+            println!(
+                "critical path ends at P{} marker {} ({})",
+                step.rank, step.marker, step.site
+            );
+            for line in session.where_is(Rank(step.rank)) {
+                println!("  {line}");
+            }
+        }
+        println!(
+            "{}",
+            if reached {
+                "stopped at the critical-path frontier"
+            } else {
+                "did NOT reach the critical-path frontier"
+            }
+        );
+    }
+    Ok(if reached {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// Convert a [`tracedbg::localize::LocalizeReport`] into the viz crate's
 /// renderer rows (viz stays a leaf crate and takes plain structs).
 fn suspect_view(
@@ -1030,6 +1301,7 @@ fn suspect_view(
             divergence: s.divergence,
             graph: s.graph,
             anomaly: s.anomaly,
+            blame: s.blame,
             evidence: s.evidence.clone(),
         })
         .collect();
@@ -1285,7 +1557,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tracedbg <run|ingest|query|view|analyze|report|graph|debug|lint|explore|localize|replay|stats|bench|workloads> ...\n\
+            "usage: tracedbg <run|ingest|query|view|analyze|report|graph|debug|lint|explore|localize|replay|profile|stats|bench|workloads> ...\n\
              see `tracedbg workloads` for available targets"
         );
         return ExitCode::FAILURE;
@@ -1336,6 +1608,7 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "profile" => cmd_profile(&opts),
         "stats" => cmd_stats(&opts),
         "bench" => cmd_bench(&opts),
         "workloads" => {

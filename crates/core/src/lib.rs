@@ -50,6 +50,7 @@
 //! | [`debugger`] | `tracedbg-debugger` | §4: stoplines, replay, undo, analysis |
 //! | [`explore`] | `tracedbg-explore` | schedule exploration + fault injection |
 //! | [`localize`] | `tracedbg-localize` | differential fault localization |
+//! | [`profile`] | `tracedbg-profile` | critical-path & wait-state profiling |
 //! | [`viz`] | `tracedbg-viz` | §3.1: NTV/VK time-space diagrams, DOT/VCG |
 //! | [`workloads`] | `tracedbg-workloads` | evaluation programs (Strassen, fib, LU) |
 
@@ -62,6 +63,7 @@ pub use tracedbg_lint as lint;
 pub use tracedbg_localize as localize;
 pub use tracedbg_mpsim as mpsim;
 pub use tracedbg_obs as obs;
+pub use tracedbg_profile as profile;
 pub use tracedbg_store as store;
 pub use tracedbg_trace as trace;
 pub use tracedbg_tracegraph as tracegraph;
@@ -87,6 +89,9 @@ pub mod prelude {
         SchedPolicy,
     };
     pub use tracedbg_obs::{EventMetrics, MetricsReport, TimingMetrics};
+    pub use tracedbg_profile::{
+        perfetto_json, CriticalPath, ProfileInput, ProfileReport, WaitAnalysis,
+    };
     pub use tracedbg_store::{DiskStore, SharedWriter, StoreOptions, StoreWriter};
     pub use tracedbg_trace::{
         materialize, ArtifactMeta, EventKind, EventQuery, Marker, MarkerVector, Rank,
@@ -94,8 +99,8 @@ pub mod prelude {
     };
     pub use tracedbg_tracegraph::{CallGraph, CommGraph, MessageMatching, TraceGraph};
     pub use tracedbg_viz::{
-        render_ascii, render_rank_profile, render_suspects, render_svg, NtvView, TimelineModel,
-        VkView,
+        render_ascii, render_rank_profile, render_suspects, render_svg, render_wait_blame, NtvView,
+        TimelineModel, VkView,
     };
 }
 

@@ -6,7 +6,7 @@
 //! process should I look at first?* Given a failing [`ScheduleArtifact`],
 //! the localizer replays it, harvests a reference set of passing
 //! schedules of the same workload, and ranks suspect processes by
-//! combining three independent comparisons (DESIGN.md §13):
+//! combining four independent comparisons (DESIGN.md §13):
 //!
 //! 1. **First divergence** — the longest common prefix between the
 //!    failing decision log and each passing run's log; the decision at
@@ -20,6 +20,10 @@
 //! 3. **Telemetry anomaly** — per-rank engine counters of the failing
 //!    run scored against the passing sample by median-absolute-deviation
 //!    ([`tracedbg_obs::mad_score`]).
+//! 4. **Wait-state blame** — the failing trace's classified waits
+//!    (late-sender, wait-at-collective, fault stalls) attributed to the
+//!    rank that *caused* each one ([`tracedbg_profile::blame_vector`],
+//!    DESIGN.md §15).
 //!
 //! Every output is a pure function of executed event sequences, so the
 //! [`LocalizeReport`] is byte-identical across `--jobs` — the same
@@ -48,10 +52,11 @@ pub use report::{
 /// Outcome class string for a clean run (re-exported for gating).
 pub use tracedbg_explore::runner::CLASS_COMPLETED;
 
-/// Component weights of the combined suspect score, in tenths.
+/// Component weights of the combined suspect score, in twelfths.
 pub const WEIGHT_DIVERGENCE: u64 = 5;
 pub const WEIGHT_GRAPH: u64 = 3;
 pub const WEIGHT_ANOMALY: u64 = 2;
+pub const WEIGHT_BLAME: u64 = 2;
 
 /// How a localization is collected.
 #[derive(Clone, Copy, Debug)]
@@ -311,14 +316,23 @@ pub fn localize_with_trace(
         _ => (vec![0; nprocs], vec![Vec::new(); nprocs]),
     };
 
-    // 6. Normalize components and combine.
+    // 6. Wait-state blame: who *caused* the failing run's waiting. A
+    //    pure function of the failing trace, so `--jobs` and input-plane
+    //    byte-identity are preserved for free.
+    let mut blame_ns = tracedbg_profile::blame_vector(&failing.store);
+    blame_ns.resize(nprocs, 0);
+    let mut blame_score = blame_ns.clone();
+
+    // 7. Normalize components and combine.
     normalize(&mut graph_score);
     normalize(&mut mad_scores);
+    normalize(&mut blame_score);
     let mut suspects: Vec<Suspect> = (0..nprocs)
         .map(|r| {
             let divergence = div_score[r];
             let graph = graph_score[r];
             let anomaly = mad_scores[r];
+            let blame = blame_score[r];
             let mut evidence = Vec::new();
             if divergence > 0 {
                 evidence.push(format!(
@@ -329,15 +343,23 @@ pub fn localize_with_trace(
                 evidence.push(e.clone());
             }
             evidence.extend(mad_evidence[r].iter().cloned());
+            if blame > 0 {
+                evidence.push(format!(
+                    "wait-state blame: caused {}ns of other ranks' waiting",
+                    blame_ns[r]
+                ));
+            }
             Suspect {
                 rank: r as u32,
                 score: (WEIGHT_DIVERGENCE * divergence
                     + WEIGHT_GRAPH * graph
-                    + WEIGHT_ANOMALY * anomaly)
-                    / 10,
+                    + WEIGHT_ANOMALY * anomaly
+                    + WEIGHT_BLAME * blame)
+                    / 12,
                 divergence,
                 graph,
                 anomaly,
+                blame,
                 evidence,
             }
         })

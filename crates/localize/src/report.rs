@@ -11,8 +11,9 @@
 use serde::{Deserialize, Serialize};
 use tracedbg_obs::fnv1a64;
 
-/// Schema version of [`LocalizeReport`].
-pub const LOCALIZE_VERSION: u32 = 1;
+/// Schema version of [`LocalizeReport`]. v2 added the wait-state blame
+/// component to [`Suspect`].
+pub const LOCALIZE_VERSION: u32 = 2;
 
 /// Report verdicts.
 pub const VERDICT_LOCALIZED: &str = "localized";
@@ -45,7 +46,8 @@ pub struct Divergence {
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Suspect {
     pub rank: u32,
-    /// Combined score: `(5*divergence + 3*graph + 2*anomaly) / 10`.
+    /// Combined score:
+    /// `(5*divergence + 3*graph + 2*anomaly + 2*blame) / 12`.
     pub score: u64,
     /// First-divergence component: 1000 for ranks implicated by the
     /// diverging decision, 0 otherwise.
@@ -56,6 +58,9 @@ pub struct Suspect {
     /// Telemetry component: normalized sum of per-counter MAD scores vs
     /// the passing reference sample.
     pub anomaly: u64,
+    /// Wait-state component: normalized ns of other ranks' waiting this
+    /// rank caused in the failing trace (profile's blame vector).
+    pub blame: u64,
     /// Human-readable contribution notes, deterministic order.
     pub evidence: Vec<String>,
 }
@@ -171,6 +176,7 @@ mod tests {
             divergence: 1000,
             graph: 800,
             anomaly: 700,
+            blame: 1000,
             evidence: vec!["diverging decision names P2".into()],
         });
         r.channels.push(ChannelDiff {

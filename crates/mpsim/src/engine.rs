@@ -159,6 +159,14 @@ impl EngineObs {
             snapshot_ns: 0,
         })
     }
+
+    /// Record a flight span and keep the exact overflow count visible in
+    /// the metrics (so `MetricsReport` consumers never have to parse the
+    /// dump's "... N earlier spans dropped" text note).
+    fn record_span(&mut self, span: Span) {
+        self.flight.record(span);
+        self.metrics.flight_dropped = self.flight.dropped();
+    }
 }
 
 /// How one rank executes: the legacy OS thread running a `ProcessCtx`
@@ -512,7 +520,7 @@ impl Engine {
             if let Some(o) = self.obs.as_mut() {
                 o.turn_count += 1;
                 o.metrics.turns += 1;
-                o.flight.record(Span {
+                o.record_span(Span {
                     decision: self.decision_log.len() as u64,
                     sim_time: 0,
                     kind: SpanKind::Turn,
@@ -627,7 +635,7 @@ impl Engine {
                         if matches!(req, Request::Recv { .. }) {
                             o.metrics.recvs[rank.ix()] += 1;
                         }
-                        o.flight.record(Span {
+                        o.record_span(Span {
                             decision: self.decision_log.len() as u64,
                             sim_time: 0,
                             kind: SpanKind::Fault,
@@ -711,7 +719,7 @@ impl Engine {
                     (self.obs.as_mut(), &self.states[rank.ix()])
                 {
                     let from = spec.src.map_or(u64::MAX, |s| s.0 as u64);
-                    o.flight.record(Span {
+                    o.record_span(Span {
                         decision,
                         sim_time: *t_post,
                         kind: SpanKind::Block,
@@ -757,7 +765,7 @@ impl Engine {
                 }
                 self.states[rank.ix()] = ProcState::Trapped { marker };
                 if let Some(o) = self.obs.as_mut() {
-                    o.flight.record(Span {
+                    o.record_span(Span {
                         decision: self.decision_log.len() as u64,
                         sim_time: 0,
                         kind: SpanKind::Trap,
@@ -777,7 +785,7 @@ impl Engine {
             Request::Panicked { message } => {
                 self.states[rank.ix()] = ProcState::Panicked(message);
                 if let Some(o) = self.obs.as_mut() {
-                    o.flight.record(Span {
+                    o.record_span(Span {
                         decision: self.decision_log.len() as u64,
                         sim_time: 0,
                         kind: SpanKind::Panic,
@@ -837,7 +845,7 @@ impl Engine {
             o.metrics.matches += 1;
             o.metrics.blocked_turns[dst.ix()] += latency;
             o.metrics.match_latency.record(latency);
-            o.flight.record(Span {
+            o.record_span(Span {
                 decision: self.decision_log.len() as u64,
                 sim_time: t_done,
                 kind: SpanKind::Match,
@@ -1301,6 +1309,12 @@ impl Engine {
         self.obs
             .as_deref()
             .map_or_else(Vec::new, |o| o.flight.dump())
+    }
+
+    /// Exact flight-recorder spans lost to ring overflow (0 when
+    /// telemetry is disabled).
+    pub fn flight_dropped(&self) -> u64 {
+        self.obs.as_deref().map_or(0, |o| o.flight.dropped())
     }
 
     /// Wall-clock nanoseconds spent taking snapshots (0 when disabled).

@@ -136,6 +136,13 @@ impl FlightRecorder {
         self.total
     }
 
+    /// Exact number of spans evicted by ring overflow. Zero until the
+    /// `cap+1`-th record; surfaced numerically in `MetricsReport` /
+    /// `ProfileReport` so consumers need not parse the dump's text note.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
     pub fn len(&self) -> usize {
         self.ring.len()
     }
@@ -148,7 +155,7 @@ impl FlightRecorder {
     /// line notes how many spans were dropped, if any.
     pub fn dump(&self) -> Vec<String> {
         let mut out = Vec::with_capacity(self.ring.len() + 1);
-        let dropped = self.total - self.ring.len() as u64;
+        let dropped = self.dropped();
         if dropped > 0 {
             out.push(format!("... {dropped} earlier spans dropped"));
         }
@@ -227,6 +234,27 @@ mod tests {
             c: 0,
         };
         assert!(b.render().ends_with("rank=4 from=*"), "{}", b.render());
+    }
+
+    #[test]
+    fn dropped_counter_is_exact_across_the_capacity_edge() {
+        let mut fr = FlightRecorder::with_capacity(3);
+        assert_eq!(fr.dropped(), 0);
+        for i in 0..3 {
+            fr.record(span(i, SpanKind::Turn, i));
+            assert_eq!(fr.dropped(), 0, "no drop until the ring overflows");
+        }
+        // The capacity edge: the very next record evicts exactly one.
+        fr.record(span(3, SpanKind::Turn, 3));
+        assert_eq!(fr.dropped(), 1);
+        for i in 4..103 {
+            fr.record(span(i, SpanKind::Turn, i));
+        }
+        assert_eq!(fr.dropped(), 100);
+        assert_eq!(fr.total(), 103);
+        assert_eq!(fr.len(), 3);
+        // The text note and the numeric counter agree.
+        assert!(fr.dump()[0].contains("100 earlier spans dropped"));
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub use mad::{mad, mad_score, median, SCORE_CAP};
 pub use metrics::EngineMetrics;
 pub use report::{
     event_digest, fnv1a64, CacheStats, ClassCount, CommandStat, EventMetrics, ExploreEvent,
-    MetricsReport, TimingMetrics, WorkerStat, METRICS_VERSION,
+    MetricsReport, TimingMetrics, WorkerStat, METRICS_SCHEMA_VERSION, METRICS_VERSION,
 };

@@ -41,6 +41,9 @@ pub struct EngineMetrics {
     /// Distribution of replay-delta lengths (decisions re-executed per
     /// delta replay).
     pub replay_delta: Histogram,
+    /// Spans evicted from the bounded flight recorder by ring overflow —
+    /// exact, so consumers know how much of the span history is gone.
+    pub flight_dropped: u64,
 }
 
 impl EngineMetrics {
@@ -58,6 +61,7 @@ impl EngineMetrics {
             channel_bytes: vec![vec![0; nprocs]; nprocs],
             match_latency: Histogram::new(),
             replay_delta: Histogram::new(),
+            flight_dropped: 0,
         }
     }
 
@@ -87,6 +91,7 @@ impl EngineMetrics {
         }
         self.match_latency.merge(&other.match_latency);
         self.replay_delta.merge(&other.replay_delta);
+        self.flight_dropped += other.flight_dropped;
     }
 
     fn widen(&mut self, n: usize) {

@@ -1,0 +1,80 @@
+//! Cheap causal-past frontier extraction.
+//!
+//! `ProfileReport` stores the critical path's divergence frontier as a
+//! per-rank marker vector so `tracedbg replay --to-critical-path` can arm
+//! it as a stopline. The full `HbIndex` computes this too (its vector
+//! clocks *are* causal-past marker vectors), but building it costs
+//! `O(events × ranks)` memory — prohibitive at 1024 ranks. The causal
+//! past of a *single* event only needs a worklist over the three edge
+//! kinds (program order, matched send → receive, collective barrier), so
+//! that is what we do here; a unit test pins equality with
+//! `HbIndex::past_markers`.
+
+use crate::wait::collective_instances;
+use tracedbg_trace::{EventId, EventKind, Rank, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
+
+/// Per-rank marker counts of the causal past of `of`, inclusive of `of`
+/// itself — a consistent (left-closed) cut by construction.
+pub fn causal_past_markers(
+    store: &TraceStore,
+    matching: &MessageMatching,
+    of: EventId,
+) -> Vec<u64> {
+    let n = store.n_ranks();
+    let mut frontier = vec![0u64; n];
+    let mut done = vec![0u64; n];
+    if store.is_empty() {
+        return frontier;
+    }
+
+    let instances = collective_instances(store);
+    let mut instance_of = vec![usize::MAX; store.len()];
+    for (i, inst) in instances.iter().enumerate() {
+        for id in inst {
+            instance_of[id.ix()] = i;
+        }
+    }
+
+    let start = store.record(of);
+    frontier[start.rank.ix()] = start.marker;
+
+    // Absorb cross-rank edges until the cut stops growing. Each lane
+    // event is scanned at most once (`done` tracks progress), so the
+    // whole walk is linear in the size of the causal past.
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for r in 0..n {
+            if frontier[r] <= done[r] {
+                continue;
+            }
+            progressed = true;
+            let lane = store.by_rank(Rank(r as u32));
+            let upto = frontier[r].min(lane.len() as u64);
+            for idx in done[r]..upto {
+                let id = lane[idx as usize];
+                let rec = store.record(id);
+                if rec.kind == EventKind::RecvDone {
+                    if let Some(m) = matching.match_of_recv(id) {
+                        let s = store.record(m.send);
+                        let f = &mut frontier[s.rank.ix()];
+                        *f = (*f).max(s.marker);
+                    }
+                }
+                let inst = instance_of[id.ix()];
+                if inst != usize::MAX {
+                    // A collective synchronizes all participants: every
+                    // participant's record joins the past.
+                    for &pid in &instances[inst] {
+                        let p = store.record(pid);
+                        let f = &mut frontier[p.rank.ix()];
+                        *f = (*f).max(p.marker);
+                    }
+                }
+            }
+            done[r] = upto;
+        }
+    }
+    frontier
+}

@@ -1,0 +1,146 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! Emits the legacy "JSON trace event" format that `ui.perfetto.dev` and
+//! `chrome://tracing` both load: one `"X"` (complete) slice per trace
+//! record on a per-rank track, `"s"`/`"f"` flow events drawing an arrow
+//! for every matched message, extra slices on the same tracks for
+//! classified wait states, and a dedicated track highlighting the
+//! critical path. Timestamps are microseconds; simulated ns are emitted
+//! as `us.nnn` with the fraction formatted by hand so the output is
+//! byte-deterministic (no float formatting involved anywhere).
+
+use crate::path::CriticalPath;
+use crate::wait::WaitAnalysis;
+use tracedbg_trace::{EventKind, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
+
+/// ns -> "us.nnn" with an exact three-digit fraction.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-facing slice name for a record.
+fn slice_name(store: &TraceStore, kind: EventKind, label: &Option<String>) -> String {
+    let _ = store;
+    match label {
+        Some(l) => format!("{} {}", kind.code(), l),
+        None => kind.code().to_string(),
+    }
+}
+
+/// Render the whole trace as Perfetto trace-event JSON.
+pub fn perfetto_json(
+    store: &TraceStore,
+    matching: &MessageMatching,
+    waits: &WaitAnalysis,
+    path: &CriticalPath,
+) -> String {
+    let n = store.n_ranks();
+    let mut ev: Vec<String> = Vec::new();
+
+    // Track names: tid r = rank r, tid n = the critical-path track.
+    for r in 0..n {
+        ev.push(format!(
+            r#"{{"ph":"M","pid":0,"tid":{r},"name":"thread_name","args":{{"name":"rank {r}"}}}}"#
+        ));
+    }
+    ev.push(format!(
+        r#"{{"ph":"M","pid":0,"tid":{n},"name":"thread_name","args":{{"name":"critical path"}}}}"#
+    ));
+
+    // One complete slice per record. Zero-duration constructs (posts,
+    // probes) still get a slice so they are findable on the track.
+    for id in store.ids() {
+        let rec = store.record(id);
+        let name = slice_name(store, rec.kind, &rec.label);
+        let mut args = format!(r#""marker":{}"#, rec.marker);
+        if let Some(m) = &rec.msg {
+            args.push_str(&format!(
+                r#","src":{},"dst":{},"tag":{},"seq":{}"#,
+                m.src.0, m.dst.0, m.tag.0, m.seq
+            ));
+        }
+        ev.push(format!(
+            r#"{{"ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"name":"{}","cat":"event","args":{{{}}}}}"#,
+            rec.rank.0,
+            us(rec.t_start),
+            us(rec.t_end.saturating_sub(rec.t_start)),
+            esc(&name),
+            args
+        ));
+    }
+
+    // Wait-state slices on the waiting rank's track.
+    for w in &waits.waits {
+        ev.push(format!(
+            r#"{{"ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"name":"{}","cat":"wait","args":{{"cause_rank":{},"cost_ns":{}}}}}"#,
+            w.rank.0,
+            us(w.t_from),
+            us(w.cost()),
+            w.kind,
+            w.cause_rank.0,
+            w.cost()
+        ));
+    }
+
+    // Message-flow arrows: start at the send's completion, finish at the
+    // receive's completion.
+    for (i, m) in matching.matched.iter().enumerate() {
+        let send = store.record(m.send);
+        let recv = store.record(m.recv);
+        ev.push(format!(
+            r#"{{"ph":"s","pid":0,"tid":{},"ts":{},"id":{},"name":"msg","cat":"msg"}}"#,
+            send.rank.0,
+            us(send.t_end),
+            i
+        ));
+        ev.push(format!(
+            r#"{{"ph":"f","bp":"e","pid":0,"tid":{},"ts":{},"id":{},"name":"msg","cat":"msg"}}"#,
+            recv.rank.0,
+            us(recv.t_end),
+            i
+        ));
+    }
+
+    // Critical-path highlighting: each step's exclusive stretch on the
+    // dedicated track, named after the rank executing it.
+    let mut prev_end = store.time_bounds().0;
+    for (i, &id) in path.steps.iter().enumerate() {
+        let rec = store.record(id);
+        let c = path.contributions[i];
+        if c > 0 {
+            let from = rec.t_start.max(prev_end);
+            ev.push(format!(
+                r#"{{"ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"name":"rank {} {}","cat":"critical","args":{{"rank":{},"marker":{}}}}}"#,
+                n,
+                us(from),
+                us(c),
+                rec.rank.0,
+                rec.kind.code(),
+                rec.rank.0,
+                rec.marker
+            ));
+        }
+        prev_end = prev_end.max(rec.t_end);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&ev.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}

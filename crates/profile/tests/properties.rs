@@ -1,0 +1,186 @@
+//! Property-based tests of the profiler over real (faulted) executions.
+//!
+//! Random deadlock-free communication patterns run on the engine with a
+//! randomly drawn crash / hang / delay fault injected, and the profiling
+//! invariants are checked on every resulting trace:
+//!
+//! * `critical_path_len <= makespan <= busy_total + wait_total`;
+//! * the sealed report round-trips through JSON with its digest intact;
+//! * the report is a pure function of the trace: rebuilding from the
+//!   text-serialized trace (`.trc` plane) and from an ingested store
+//!   directory (`DiskStore` plane) is byte-identical;
+//! * the critical path is a happens-before chain with per-rank
+//!   contributions that sum to its length.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tracedbg_mpsim::{Engine, EngineConfig, SchedPolicy};
+use tracedbg_profile::{CriticalPath, ProfileInput, ProfileReport, WaitAnalysis};
+use tracedbg_trace::file::{read_text, write_text, TraceFile};
+use tracedbg_trace::schedule::Fault;
+use tracedbg_trace::{materialize, Rank, TraceStore};
+use tracedbg_tracegraph::MessageMatching;
+use tracedbg_workloads::random_comm;
+
+/// A random pattern under a randomly drawn fault. Faulted runs may stall
+/// or crash — every outcome is a legal profiling input.
+fn run_faulted(seed: u64, nprocs: usize, n: usize, fault: Option<Fault>) -> TraceStore {
+    let pat = random_comm::generate(seed, nprocs, n);
+    let mut e = Engine::launch(
+        EngineConfig {
+            policy: SchedPolicy::RoundRobin,
+            recorder: tracedbg_instrument::RecorderConfig::full(),
+            faults: tracedbg_mpsim::FaultPlan::new(fault.into_iter().collect()),
+            ..Default::default()
+        },
+        random_comm::programs(&pat, seed),
+    );
+    e.run();
+    e.trace_store()
+}
+
+/// Draw one of the three fault families (or none) from the raw knobs.
+fn pick_fault(kind: u8, nprocs: usize, a: u64, b: u64) -> Option<Fault> {
+    let r = |v: u64| Rank((v % nprocs as u64) as u32);
+    match kind % 4 {
+        0 => None,
+        1 => Some(Fault::Crash {
+            rank: r(a),
+            after_ops: b % 8,
+        }),
+        2 => Some(Fault::Hang {
+            rank: r(a),
+            after_ops: b % 8,
+        }),
+        _ => Some(Fault::Delay {
+            src: r(a),
+            dst: r(a + 1 + b % (nprocs as u64 - 1)),
+            nth: b % 4,
+            extra_ns: 10_000 + (a % 16) * 25_000,
+        }),
+    }
+}
+
+fn build(store: &TraceStore, workload: &str) -> ProfileReport {
+    ProfileReport::build(
+        store,
+        ProfileInput {
+            source: "test",
+            workload,
+            procs: store.n_ranks(),
+            seed: 0,
+            flight_dropped: 0,
+        },
+    )
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn makespan_inequality_holds_under_faults(
+        seed in 0u64..10_000,
+        nprocs in 2usize..6,
+        n in 1usize..30,
+        kind in 0u8..8,
+        a in 0u64..64,
+        b in 0u64..64,
+    ) {
+        tracedbg_mpsim::set_quiet_panics(true);
+        let store = run_faulted(seed, nprocs, n, pick_fault(kind, nprocs, a, b));
+        let report = build(&store, "random");
+        prop_assert!(
+            report.critical_path_len <= report.makespan,
+            "path {} > makespan {}", report.critical_path_len, report.makespan
+        );
+        prop_assert!(
+            report.makespan <= report.busy_total + report.wait_total,
+            "makespan {} > busy {} + wait {}",
+            report.makespan, report.busy_total, report.wait_total
+        );
+        // The sealed report round-trips with its digest intact.
+        prop_assert!(report.digest_ok());
+        let back = ProfileReport::from_json(&report.to_json()).unwrap();
+        prop_assert_eq!(&back, &report);
+        // Per-rank path contributions partition the path length, and
+        // every blamed nanosecond shows up in the blame vector.
+        let per_rank: u64 = report.ranks.iter().map(|r| r.path).sum();
+        prop_assert_eq!(per_rank, report.critical_path_len);
+        let blamed: u64 = report.ranks.iter().map(|r| r.blamed).sum();
+        prop_assert_eq!(blamed, report.blame.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn report_is_identical_across_trace_planes(
+        seed in 0u64..10_000,
+        nprocs in 2usize..5,
+        n in 1usize..20,
+        kind in 0u8..8,
+        a in 0u64..64,
+        b in 0u64..64,
+    ) {
+        tracedbg_mpsim::set_quiet_panics(true);
+        let store = run_faulted(seed, nprocs, n, pick_fault(kind, nprocs, a, b));
+        let live = build(&store, "random").to_json();
+
+        // `.trc` text plane: serialize and re-parse the trace file.
+        let file = TraceFile::new(store.records().to_vec(), store.sites().clone(), store.n_ranks());
+        let mut text = Vec::new();
+        write_text(&mut text, &file).unwrap();
+        let reread = read_text(&text[..]).unwrap().into_store();
+        prop_assert_eq!(&build(&reread, "random").to_json(), &live);
+
+        // DiskStore plane: ingest to an on-disk store and materialize it
+        // back through `TraceSource`.
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "tracedbg-profile-prop-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        tracedbg_store::ingest_records(
+            store.records(),
+            store.sites(),
+            store.n_ranks(),
+            &dir,
+            tracedbg_store::StoreOptions::default(),
+        )
+        .unwrap();
+        let disk = tracedbg_store::DiskStore::open(&dir).unwrap();
+        let from_disk = materialize(&disk).unwrap();
+        let disk_json = build(&from_disk, "random").to_json();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(&disk_json, &live);
+    }
+
+    #[test]
+    fn critical_path_is_a_causal_chain(
+        seed in 0u64..10_000,
+        nprocs in 2usize..6,
+        n in 1usize..25,
+    ) {
+        let store = run_faulted(seed, nprocs, n, None);
+        let matching = MessageMatching::build(&store);
+        let path = CriticalPath::build(&store, &matching);
+        prop_assert_eq!(path.steps.len(), path.contributions.len());
+        prop_assert_eq!(path.contributions.iter().sum::<u64>(), path.len);
+        // Steps never move backward in time, and each rank-local hop
+        // moves to an earlier-or-equal marker going backward (the walk
+        // emitted them terminal-last).
+        for w in path.steps.windows(2) {
+            let (a, b) = (store.record(w[0]), store.record(w[1]));
+            prop_assert!(a.t_end <= b.t_end, "path steps out of time order");
+        }
+        // Every wait the classifier emits has positive cost and a cause.
+        let waits = WaitAnalysis::build(&store, &matching);
+        for wi in &waits.waits {
+            prop_assert!(wi.cost() > 0);
+            prop_assert!(wi.cause_rank.ix() < store.n_ranks());
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod svg;
 pub mod timeline;
 pub mod vcg;
 pub mod vk;
+pub mod waitblame;
 
 pub use ascii::render_ascii;
 pub use html::render_html_report;
@@ -35,3 +36,4 @@ pub use suspects::{render_suspects, ChannelRow, SuspectRow, SuspectSummary};
 pub use svg::render_svg;
 pub use timeline::{Bar, BarKind, MsgLine, Overlay, TimelineModel};
 pub use vk::VkView;
+pub use waitblame::{render_wait_blame, ProfileSummary, WaitKindRow, WaitRankRow};

@@ -1,8 +1,9 @@
 //! ASCII rendering of a fault-localization result.
 //!
-//! `tracedbg localize` ranks suspect processes by three comparative
+//! `tracedbg localize` ranks suspect processes by four comparative
 //! signals (decision-log divergence, event-graph diff, telemetry
-//! anomaly); this module draws that ranking as a terminal table — one row
+//! anomaly, wait-state blame); this module draws that ranking as a
+//! terminal table — one row
 //! per suspect with its component scores and a proportional bar, evidence
 //! lines indented underneath, then the per-channel edge diffs.
 //!
@@ -19,6 +20,8 @@ pub struct SuspectRow {
     pub divergence: u64,
     pub graph: u64,
     pub anomaly: u64,
+    /// Wait-state blame component (0..=1000).
+    pub blame: u64,
     /// Free-form contribution notes, printed indented under the row.
     pub evidence: Vec<String>,
 }
@@ -84,18 +87,19 @@ pub fn render_suspects(
         return out;
     }
     out.push_str(&format!(
-        "{:<6} {:>6} {:>5} {:>6} {:>4}  suspicion\n",
-        "rank", "score", "div", "graph", "mad"
+        "{:<6} {:>6} {:>5} {:>6} {:>4} {:>6}  suspicion\n",
+        "rank", "score", "div", "graph", "mad", "blame"
     ));
     for s in suspects {
         let bar = (s.score as usize * BAR_WIDTH) / 1000;
         out.push_str(&format!(
-            "P{:<5} {:>6} {:>5} {:>6} {:>4}  {}\n",
+            "P{:<5} {:>6} {:>5} {:>6} {:>4} {:>6}  {}\n",
             s.rank,
             s.score,
             s.divergence,
             s.graph,
             s.anomaly,
+            s.blame,
             "#".repeat(bar)
         ));
         for e in &s.evidence {
@@ -134,6 +138,7 @@ mod tests {
                 divergence: 1000,
                 graph: 1000,
                 anomaly: 1000,
+                blame: 1000,
                 evidence: vec!["first diverging decision involves rank 2".into()],
             },
             SuspectRow {
@@ -142,6 +147,7 @@ mod tests {
                 divergence: 1000,
                 graph: 0,
                 anomaly: 0,
+                blame: 0,
                 evidence: vec![],
             },
         ];

@@ -1,0 +1,205 @@
+//! ASCII rendering of a profiling result — the wait/blame table.
+//!
+//! `tracedbg profile` classifies every blocked interval and extracts the
+//! critical path; this module draws the answer as a terminal summary:
+//! the makespan / critical-path headline, per-kind wait totals, and one
+//! row per rank with its busy/wait split, the cost *blamed on* it, and
+//! its critical-path share. Like `suspects`, the renderer consumes plain
+//! row structs so the viz crate stays a leaf.
+
+/// The profiling headline numbers.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSummary {
+    pub workload: String,
+    pub procs: usize,
+    pub events: usize,
+    pub makespan: u64,
+    pub critical_path_len: u64,
+    pub busy_total: u64,
+    pub wait_total: u64,
+    pub flight_dropped: u64,
+}
+
+/// Per-rank accounting row, all in simulated ns.
+#[derive(Clone, Debug, Default)]
+pub struct WaitRankRow {
+    pub rank: u32,
+    pub busy: u64,
+    pub wait: u64,
+    /// Wait cost blamed *on* this rank.
+    pub blamed: u64,
+    /// Critical-path contribution of this rank.
+    pub path: u64,
+}
+
+/// Aggregate cost of one wait-state kind.
+#[derive(Clone, Debug, Default)]
+pub struct WaitKindRow {
+    pub kind: String,
+    pub count: u64,
+    pub cost: u64,
+}
+
+/// Width of the blame bar for the most-blamed rank.
+const BAR_WIDTH: usize = 24;
+
+/// Rank rows shown; the rest are summarized in one line (the table must
+/// stay readable at 1024 ranks).
+const RANK_ROWS: usize = 16;
+
+fn ns(v: u64) -> String {
+    match v {
+        0..=9_999 => format!("{v}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", v as f64 / 1e3),
+        10_000_000..=999_999_999 => format!("{:.1}ms", v as f64 / 1e6),
+        _ => format!("{:.2}s", v as f64 / 1e9),
+    }
+}
+
+/// Render the wait/blame table. Pure function of its inputs — byte-stable
+/// for a given report.
+pub fn render_wait_blame(
+    summary: &ProfileSummary,
+    ranks: &[WaitRankRow],
+    kinds: &[WaitKindRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile {} — {} ranks, {} events\n",
+        summary.workload, summary.procs, summary.events
+    ));
+    let share = (summary.critical_path_len * 100)
+        .checked_div(summary.makespan)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "makespan {}  critical path {} ({share}% of makespan)\n",
+        ns(summary.makespan),
+        ns(summary.critical_path_len)
+    ));
+    out.push_str(&format!(
+        "busy {}  wait {}\n",
+        ns(summary.busy_total),
+        ns(summary.wait_total)
+    ));
+    if summary.flight_dropped > 0 {
+        out.push_str(&format!(
+            "flight recorder dropped {} spans\n",
+            summary.flight_dropped
+        ));
+    }
+    if !kinds.is_empty() {
+        out.push_str("wait states:\n");
+        for k in kinds {
+            out.push_str(&format!(
+                "  {:<18} {:>6}x {:>10}\n",
+                k.kind,
+                k.count,
+                ns(k.cost)
+            ));
+        }
+    }
+    if ranks.is_empty() {
+        return out;
+    }
+    // Most interesting ranks first: by blamed cost, then wait, then rank.
+    let mut order: Vec<&WaitRankRow> = ranks.iter().collect();
+    order.sort_by(|a, b| {
+        (b.blamed, b.wait)
+            .cmp(&(a.blamed, a.wait))
+            .then(a.rank.cmp(&b.rank))
+    });
+    let max_blame = order.iter().map(|r| r.blamed).max().unwrap_or(0).max(1);
+    out.push_str(&format!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}  blame\n",
+        "rank", "busy", "wait", "blamed", "path"
+    ));
+    for r in order.iter().take(RANK_ROWS) {
+        let bar = (r.blamed as u128 * BAR_WIDTH as u128 / max_blame as u128) as usize;
+        out.push_str(&format!(
+            "P{:<5} {:>10} {:>10} {:>10} {:>10}  {}\n",
+            r.rank,
+            ns(r.busy),
+            ns(r.wait),
+            ns(r.blamed),
+            ns(r.path),
+            "#".repeat(bar)
+        ));
+    }
+    if order.len() > RANK_ROWS {
+        out.push_str(&format!("... {} more ranks\n", order.len() - RANK_ROWS));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (ProfileSummary, Vec<WaitRankRow>, Vec<WaitKindRow>) {
+        let summary = ProfileSummary {
+            workload: "ring:4".into(),
+            procs: 4,
+            events: 40,
+            makespan: 100_000,
+            critical_path_len: 80_000,
+            busy_total: 220_000,
+            wait_total: 60_000,
+            flight_dropped: 3,
+        };
+        let ranks = vec![
+            WaitRankRow {
+                rank: 0,
+                busy: 70_000,
+                wait: 10_000,
+                blamed: 40_000,
+                path: 50_000,
+            },
+            WaitRankRow {
+                rank: 1,
+                busy: 50_000,
+                wait: 50_000,
+                blamed: 0,
+                path: 30_000,
+            },
+        ];
+        let kinds = vec![WaitKindRow {
+            kind: "late-sender".into(),
+            count: 3,
+            cost: 60_000,
+        }];
+        (summary, ranks, kinds)
+    }
+
+    #[test]
+    fn render_shows_headline_kinds_and_rows() {
+        let (summary, ranks, kinds) = sample();
+        let s = render_wait_blame(&summary, &ranks, &kinds);
+        assert!(s.contains("profile ring:4 — 4 ranks, 40 events"), "{s}");
+        assert!(s.contains("critical path 80.0us (80% of makespan)"), "{s}");
+        assert!(s.contains("late-sender"), "{s}");
+        assert!(s.contains("flight recorder dropped 3 spans"), "{s}");
+        // Rank 0 is most blamed: first row, full bar.
+        let row0 = s.lines().find(|l| l.starts_with("P0")).unwrap();
+        assert_eq!(row0.chars().filter(|&c| c == '#').count(), BAR_WIDTH);
+        let p0 = s.find("P0").unwrap();
+        let p1 = s.find("P1").unwrap();
+        assert!(p0 < p1, "blame-descending order");
+    }
+
+    #[test]
+    fn long_rank_lists_are_summarized() {
+        let (summary, _, _) = sample();
+        let ranks: Vec<WaitRankRow> = (0..40)
+            .map(|r| WaitRankRow {
+                rank: r,
+                busy: 1,
+                wait: 0,
+                blamed: (40 - r) as u64,
+                path: 0,
+            })
+            .collect();
+        let s = render_wait_blame(&summary, &ranks, &[]);
+        assert!(s.contains("... 24 more ranks"), "{s}");
+        assert!(!s.contains("P39 "), "tail ranks are folded: {s}");
+    }
+}

@@ -3,6 +3,7 @@
 #   tests/golden/*.trc           — canonical text traces
 #   tests/golden/store/<name>    — on-disk store format (pins the v1 byte layout)
 #   tests/golden/localize/*.json — localization reports on the planted corpus
+#   tests/golden/profile/*.json  — profiling reports on the planted corpus
 # Review the resulting diff before committing — a blessed drift is a
 # semantic change to the runtime or a break of store-format compatibility.
 set -euo pipefail
@@ -11,4 +12,5 @@ cd "$(dirname "$0")/.."
 BLESS=1 cargo test --offline --test golden "$@"
 BLESS=1 cargo test --offline --test golden_store "$@"
 BLESS=1 cargo test --offline --test golden_localize "$@"
+BLESS=1 cargo test --offline --test golden_profile "$@"
 echo "golden corpora re-blessed; review: git diff tests/golden/"

@@ -146,6 +146,64 @@ done
   | grep -q 'stopped at the divergence frontier' \
   || { echo "replay --to-suspect did not reach the frontier" >&2; exit 1; }
 
+echo "==> profile smoke: wait/blame report, --jobs identity, Perfetto export, frontier replay"
+rm -rf target/verify_profile && mkdir -p target/verify_profile
+# Profile the planted-bug artifact the localize stage produced: the
+# planted rank must carry blame, and the report must be --jobs-invariant.
+for jobs in 1 4; do
+  ./target/release/tracedbg profile --schedule "$art" --jobs "$jobs" --json \
+    > "target/verify_profile/report_j${jobs}.json" \
+    || { echo "profile --jobs $jobs failed on $art" >&2; exit 1; }
+done
+cmp -s target/verify_profile/report_j1.json target/verify_profile/report_j4.json \
+  || { echo "profile report diverged across --jobs" >&2; exit 1; }
+# Schema and invariant checks on the sealed report.
+jq -e '.version and .makespan >= .critical_path_len
+       and .busy_total + .wait_total >= .makespan
+       and (.ranks | length) == .procs
+       and (.blame | length) == .procs
+       and (.frontier_markers | length) == .procs
+       and .digest > 0' target/verify_profile/report_j1.json >/dev/null \
+  || { echo "profile report failed the schema/invariant check" >&2; exit 1; }
+# The planted rank must rank in the top-2 of the blame vector.
+jq -e '[.ranks[] | {rank, blamed}] | sort_by(-.blamed) | .[0:2] | map(.rank) | index(2) != null' \
+    target/verify_profile/report_j1.json >/dev/null \
+  || { echo "planted rank 2 is not in the top-2 of the blame ranking" >&2; exit 1; }
+# A .trc trace and its ingested store directory must profile identically.
+./target/release/tracedbg profile target/verify_localize/fail.trc --json \
+  | sed 's/"source":"[a-z]*"/"source":"x"/; s/"workload":"[^"]*"/"workload":"x"/' \
+  > target/verify_profile/from_trc.json
+./target/release/tracedbg profile target/verify_localize/fail-store --json \
+  | sed 's/"source":"[a-z]*"/"source":"x"/; s/"workload":"[^"]*"/"workload":"x"/' \
+  > target/verify_profile/from_store.json
+# The digest covers source/workload provenance, which legitimately
+# differs between planes; compare with both normalized and digest dropped.
+for f in from_trc from_store; do
+  jq 'del(.digest)' "target/verify_profile/${f}.json" > "target/verify_profile/${f}.norm.json"
+done
+cmp -s target/verify_profile/from_trc.norm.json target/verify_profile/from_store.norm.json \
+  || { echo "profile diverged between .trc and store-dir inputs" >&2; exit 1; }
+# Perfetto export: a valid trace-event JSON with all four slice planes.
+./target/release/tracedbg profile --schedule "$art" \
+  --perfetto target/verify_profile/trace.perfetto.json >/dev/null
+jq -e '.traceEvents | length > 0
+       and ([.[] | .ph] | unique | contains(["M","X","s","f"]))
+       and ([.[] | select(.cat == "critical")] | length > 0)
+       and ([.[] | select(.cat == "wait")] | length > 0)' \
+    target/verify_profile/trace.perfetto.json >/dev/null \
+  || { echo "Perfetto export is not a well-formed trace-event JSON" >&2; exit 1; }
+# Round trip: the report's frontier markers are a replayable stopline.
+./target/release/tracedbg profile --schedule "$art" \
+  --out target/verify_profile/report.json >/dev/null
+./target/release/tracedbg replay --schedule "$art" \
+    --to-critical-path target/verify_profile/report.json \
+  | grep -q 'stopped at the critical-path frontier' \
+  || { echo "replay --to-critical-path did not reach the frontier" >&2; exit 1; }
+# stats over recorded planes: .trc and store-dir must render byte-identically.
+diff <(./target/release/tracedbg stats target/verify_localize/fail.trc) \
+     <(./target/release/tracedbg stats target/verify_localize/fail-store) >/dev/null \
+  || { echo "stats diverged between .trc and store-dir inputs" >&2; exit 1; }
+
 echo "==> metrics smoke: schema keys, cross-jobs digest identity, disabled-path guard"
 rm -rf target/verify_metrics && mkdir -p target/verify_metrics
 ./target/release/tracedbg stats ring --procs 4 \
@@ -250,7 +308,7 @@ done
 echo "==> bench smoke: --quick must exit 0 and emit schema-valid BENCH_*.json"
 rm -rf target/verify_bench
 ./target/release/tracedbg bench --quick --out target/verify_bench >/dev/null
-for suite in parse causality replay engine checkpoint explore explore_dpor store localize; do
+for suite in parse causality replay engine checkpoint explore explore_dpor store localize profile; do
   f=target/verify_bench/BENCH_${suite}.json
   [ -s "$f" ] || { echo "bench smoke did not write $f" >&2; exit 1; }
   # Every row carries the six-field schema the serializer unit test pins.

@@ -504,3 +504,100 @@ fn explorer_finding_replays_through_the_debugger() {
     assert!(!replay.diverged);
     assert!(replay.detail.contains("worker 1"), "{}", replay.detail);
 }
+
+#[test]
+fn stats_stream_identically_from_every_trace_plane() {
+    // `tracedbg stats <path>` renders `TraceStats::from_source`; the
+    // number stream must be identical whether the plane is the in-memory
+    // store, a re-parsed `.trc` text file, or an ingested DiskStore
+    // directory (read without materializing).
+    let cfg = RingConfig {
+        nprocs: 4,
+        rounds: 3,
+        hop_cost: 100,
+        tag_stride: 10,
+    };
+    let mut e = Engine::launch(
+        EngineConfig::with_recorder(RecorderConfig::full()),
+        ring::programs(&cfg),
+    );
+    assert!(e.run().is_completed());
+    let store = e.trace_store();
+    let live = format!("{}", TraceStats::from_source(&store).unwrap());
+
+    let file = TraceFile::new(
+        store.records().to_vec(),
+        store.sites().clone(),
+        store.n_ranks(),
+    );
+    let mut text = Vec::new();
+    write_text(&mut text, &file).unwrap();
+    let reread = read_text(Cursor::new(text)).unwrap().into_store();
+    assert_eq!(
+        format!("{}", TraceStats::from_source(&reread).unwrap()),
+        live
+    );
+
+    let dir = std::env::temp_dir().join(format!("tracedbg-stats-plane-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    tracedbg::store::ingest_records(
+        store.records(),
+        store.sites(),
+        store.n_ranks(),
+        &dir,
+        StoreOptions::default(),
+    )
+    .unwrap();
+    let disk = DiskStore::open(&dir).unwrap();
+    let from_disk = format!("{}", TraceStats::from_source(&disk).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(from_disk, live, "DiskStore plane diverged");
+}
+
+#[test]
+fn profile_report_blames_the_planted_rank_through_the_facade() {
+    // End-to-end through the `tracedbg` facade: run the planted pipeline
+    // bug under its canonical delay fault and check the profiler pins the
+    // planted rank in the top-2 of the blame ranking, with the makespan
+    // inequality intact.
+    use tracedbg::profile::{ProfileInput, ProfileReport};
+    use tracedbg::trace::schedule::Fault;
+    use tracedbg::workloads::planted::{planted_pipeline_factory, PlantedConfig};
+    let cfg = PlantedConfig::default();
+    tracedbg::mpsim::set_quiet_panics(true);
+    let mut e = Engine::launch(
+        EngineConfig {
+            recorder: RecorderConfig::full(),
+            faults: tracedbg::mpsim::FaultPlan::new(vec![Fault::Delay {
+                src: Rank(0),
+                dst: Rank(cfg.bug_rank),
+                nth: 1,
+                extra_ns: cfg.work * 2,
+            }]),
+            ..Default::default()
+        },
+        planted_pipeline_factory(cfg)(),
+    );
+    e.run();
+    tracedbg::mpsim::set_quiet_panics(false);
+    let store = e.trace_store();
+    let report = ProfileReport::build(
+        &store,
+        ProfileInput {
+            source: "test",
+            workload: "planted-pipeline",
+            procs: store.n_ranks(),
+            seed: 0,
+            flight_dropped: 0,
+        },
+    );
+    assert!(report.digest_ok());
+    assert!(report.critical_path_len <= report.makespan);
+    assert!(report.makespan <= report.busy_total + report.wait_total);
+    let ranking = report.blame_ranking();
+    assert!(
+        ranking.iter().take(2).any(|&r| r == cfg.bug_rank),
+        "planted rank {} not in blame top-2: {ranking:?}",
+        cfg.bug_rank
+    );
+}
